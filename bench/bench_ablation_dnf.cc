@@ -1,0 +1,104 @@
+// Ablation: cost of the recency-query generation pipeline (parse, bind,
+// DNF normalization, classification, satisfiability) as the user
+// predicate grows, plus the behaviour of the DNF blow-up guard.
+//
+// The paper reports that query parsing/generation dominates Focused
+// overhead for fast queries (its PL/pgSQL parser was the bottleneck);
+// this bench quantifies the same pipeline in-engine.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "predicate/normalize.h"
+
+namespace trac {
+namespace bench {
+namespace {
+
+/// WHERE with `clauses` OR-ed conjunctions of two terms each:
+/// (mach_id = 'TaoK' AND value = 'idle') OR ...
+std::string WideDisjunction(const BenchEnv& env, size_t clauses) {
+  std::string sql = "SELECT COUNT(*) FROM activity WHERE ";
+  for (size_t i = 0; i < clauses; ++i) {
+    if (i != 0) sql += " OR ";
+    sql += "(mach_id = '" +
+           env.workload.sources[i % env.workload.sources.size()] +
+           "' AND value = 'idle')";
+  }
+  return sql;
+}
+
+/// WHERE as a conjunction of `factors` two-way disjunctions — DNF size
+/// doubles with every factor: 2^factors conjuncts.
+std::string ExponentialPredicate(const BenchEnv& env, size_t factors) {
+  std::string sql = "SELECT COUNT(*) FROM activity WHERE ";
+  for (size_t i = 0; i < factors; ++i) {
+    if (i != 0) sql += " AND ";
+    sql += "(mach_id = '" + env.workload.sources[2 * i] + "' OR mach_id = '" +
+           env.workload.sources[2 * i + 1] + "')";
+  }
+  return sql;
+}
+
+void BM_GenerateWide(benchmark::State& state) {
+  BenchEnv& env = BenchEnv::Get(100);
+  const std::string sql =
+      WideDisjunction(env, static_cast<size_t>(state.range(0)));
+  auto bound = BindSql(*env.db, sql);
+  if (!bound.ok()) {
+    state.SkipWithError(bound.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    auto plan = GenerateRecencyQueries(*env.db, *bound);
+    if (!plan.ok()) state.SkipWithError(plan.status().ToString().c_str());
+    benchmark::DoNotOptimize(plan);
+  }
+  state.counters["clauses"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_GenerateWide)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_GenerateExponential(benchmark::State& state) {
+  BenchEnv& env = BenchEnv::Get(100);
+  const std::string sql =
+      ExponentialPredicate(env, static_cast<size_t>(state.range(0)));
+  auto bound = BindSql(*env.db, sql);
+  if (!bound.ok()) {
+    state.SkipWithError(bound.status().ToString().c_str());
+    return;
+  }
+  size_t fallbacks = 0;
+  for (auto _ : state) {
+    auto plan = GenerateRecencyQueries(*env.db, *bound);
+    if (!plan.ok()) state.SkipWithError(plan.status().ToString().c_str());
+    if (plan.ok() && plan->fallback_all) ++fallbacks;
+    benchmark::DoNotOptimize(plan);
+  }
+  state.counters["dnf_conjuncts"] =
+      static_cast<double>(uint64_t{1} << state.range(0));
+  state.counters["fell_back"] = fallbacks > 0 ? 1 : 0;
+}
+// 2^14 = 16384 conjuncts exceeds the default 4096 guard: the last
+// configurations must fall back to the complete all-sources answer
+// instead of hanging.
+BENCHMARK(BM_GenerateExponential)
+    ->Arg(2)->Arg(6)->Arg(10)->Arg(12)->Arg(14)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ParseOnly(benchmark::State& state) {
+  BenchEnv& env = BenchEnv::Get(100);
+  const std::string sql = env.queries[0].sql;  // Q1.
+  for (auto _ : state) {
+    auto bound = BindSql(*env.db, sql);
+    if (!bound.ok()) state.SkipWithError(bound.status().ToString().c_str());
+    benchmark::DoNotOptimize(bound);
+  }
+}
+BENCHMARK(BM_ParseOnly)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace trac
+
+BENCHMARK_MAIN();

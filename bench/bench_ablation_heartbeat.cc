@@ -1,0 +1,127 @@
+// Ablation: the recency protocol (Section 3.1).
+//
+// The simple protocol keeps, per source, the timestamp of its most
+// recent *reported event* — so a source with nothing to report looks
+// ever more stale, inflating the reported bound of inconsistency and
+// eventually tripping the z-score outlier rule for perfectly healthy
+// machines. The paper's fix is periodic "nothing to report" heartbeat
+// records. This bench simulates a grid whose sources have wildly
+// different event rates and compares the recency report under both
+// protocols.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/random.h"
+#include "monitor/grid.h"
+
+namespace trac {
+namespace bench {
+namespace {
+
+struct ProtocolOutcome {
+  int64_t inconsistency_bound_micros = 0;
+  size_t exceptional = 0;
+  size_t relevant = 0;
+};
+
+Result<ProtocolOutcome> Simulate(bool heartbeats_enabled) {
+  Database db;
+  TRAC_ASSIGN_OR_RETURN(GridSimulator grid, GridSimulator::Create(&db));
+  Timestamp start = Timestamp::FromSeconds(1142432405);
+  grid.clock().AdvanceTo(start);
+
+  TableSchema schema("events", {ColumnDef("src", TypeId::kString),
+                                ColumnDef("n", TypeId::kInt64)});
+  TRAC_RETURN_IF_ERROR(schema.SetDataSourceColumn("src"));
+  TRAC_RETURN_IF_ERROR(db.CreateTable(std::move(schema)).status());
+  TRAC_RETURN_IF_ERROR(db.CreateIndex("events", "src"));
+
+  // 50 sources; event periods spread from 10 seconds to ~3 hours, so
+  // the quiet tail looks very stale under the simple protocol.
+  constexpr size_t kSources = 50;
+  Random rng(1234);
+  std::vector<int64_t> periods;
+  std::vector<DataSource*> sources;
+  SnifferOptions sniffer;
+  sniffer.poll_interval_micros = 30 * Timestamp::kMicrosPerSecond;
+  for (size_t i = 0; i < kSources; ++i) {
+    std::string id = "node" + std::to_string(i + 1);
+    TRAC_ASSIGN_OR_RETURN(DataSource * src, grid.AddSource(id, sniffer));
+    sources.push_back(src);
+    // Periods grow geometrically: 10s, ~12s, ..., up to ~3h.
+    double factor = static_cast<double>(i) / (kSources - 1);
+    int64_t period = static_cast<int64_t>(
+        10.0 * Timestamp::kMicrosPerSecond *
+        std::pow(1080.0, factor));  // 10s .. 10800s.
+    periods.push_back(period);
+    if (heartbeats_enabled) {
+      TRAC_RETURN_IF_ERROR(
+          grid.EnableAutoHeartbeat(id, Timestamp::kMicrosPerMinute));
+    }
+  }
+
+  // Six simulated hours of activity.
+  const Timestamp end = start + 6 * Timestamp::kMicrosPerHour;
+  std::vector<Timestamp> next_event(kSources, start);
+  for (Timestamp t = start; t < end;
+       t = t + 30 * Timestamp::kMicrosPerSecond) {
+    TRAC_RETURN_IF_ERROR(grid.RunUntil(t));
+    for (size_t i = 0; i < kSources; ++i) {
+      while (next_event[i] <= t) {
+        sources[i]->EmitInsert(
+            next_event[i], "events",
+            {Value::Str(sources[i]->id()),
+             Value::Int(static_cast<int64_t>(rng.Uniform(1000)))});
+        next_event[i] = next_event[i] + periods[i] +
+                        static_cast<int64_t>(rng.Uniform(
+                            static_cast<uint64_t>(periods[i] / 4 + 1)));
+      }
+    }
+  }
+  TRAC_RETURN_IF_ERROR(grid.RunUntil(end));
+
+  // The report: a non-selective query, so every source is relevant.
+  Session session(&db);
+  RecencyReporter reporter(&db, &session);
+  RecencyReportOptions options;
+  options.create_temp_tables = false;
+  TRAC_ASSIGN_OR_RETURN(RecencyReport report,
+                        reporter.Run("SELECT COUNT(*) FROM events", options));
+  ProtocolOutcome out;
+  out.inconsistency_bound_micros = report.stats.inconsistency_bound_micros;
+  out.exceptional = report.stats.exceptional.size();
+  out.relevant = report.relevance.sources.size();
+  return out;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace trac
+
+int main() {
+  std::printf(
+      "=== Ablation: recency protocol (50 sources, event periods 10s..3h, "
+      "6 simulated hours) ===\n");
+  std::printf("%28s %24s %14s %10s\n", "protocol", "bound_of_inconsistency",
+              "exceptional", "relevant");
+  for (bool heartbeats : {false, true}) {
+    auto outcome = trac::bench::Simulate(heartbeats);
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "%s\n", outcome.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%28s %24s %14zu %10zu\n",
+                heartbeats ? "heartbeats (60s)" : "last-event-only",
+                trac::FormatDurationMicros(outcome->inconsistency_bound_micros)
+                    .c_str(),
+                outcome->exceptional, outcome->relevant);
+  }
+  std::printf(
+      "\nPaper shape check (Section 3.1): without heartbeat records, "
+      "low-rate sources drag the bound of inconsistency toward their "
+      "event period; with them, the bound collapses to transport lag "
+      "and healthy-but-quiet machines stop looking dead.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Ablation: how much of the Focused method's advantage comes from the
+// ordered indexes on the data source columns (the paper's B-trees on
+// Heartbeat/Activity/Routing)?
+//
+// Runs the Focused report for Q1 and Q3 with and without indexes at a
+// fixed mid-sweep data ratio. Without the Heartbeat index the recency
+// query degenerates to a scan of all sources even when the predicate
+// names only six of them.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace trac {
+namespace bench {
+namespace {
+
+void RunOne(benchmark::State& state, size_t query_index, bool with_indexes,
+            size_t ratio) {
+  BenchEnv& env = BenchEnv::Get(ratio, with_indexes);
+  const BenchEnv::PreparedQuery& q = env.queries[query_index];
+  int64_t total = 0, n = 0;
+  for (auto _ : state) {
+    const int64_t t0 = NowMicros();
+    auto report =
+        env.reporter->Run(q.sql, MeasuredOptions(RecencyMethod::kFocused));
+    if (!report.ok()) state.SkipWithError(report.status().ToString().c_str());
+    benchmark::DoNotOptimize(report);
+    total += NowMicros() - t0;
+    ++n;
+  }
+  const double mean = n > 0 ? static_cast<double>(total) / n : 0.0;
+  state.counters["mean_us"] = mean;
+  ResultRegistry::Instance().Record(
+      "abl_index/" + q.name + "/" +
+          (with_indexes ? "indexed" : "no_index") + "/" +
+          std::to_string(ratio),
+      mean);
+}
+
+void PrintTable(size_t ratio) {
+  auto& reg = ResultRegistry::Instance();
+  std::printf(
+      "\n=== Ablation: data-source-column indexes "
+      "(data ratio %zu, %zu sources) ===\n",
+      ratio, TotalRows() / ratio);
+  std::printf("%4s %16s %16s %10s\n", "Q", "indexed_us", "no_index_us",
+              "slowdown");
+  for (const char* query : {"Q1", "Q3"}) {
+    double with_index = reg.Get("abl_index/" + std::string(query) +
+                                "/indexed/" + std::to_string(ratio));
+    double without = reg.Get("abl_index/" + std::string(query) +
+                             "/no_index/" + std::to_string(ratio));
+    std::printf("%4s %16.1f %16.1f %9.2fx\n", query, with_index, without,
+                with_index > 0 ? without / with_index : 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace trac
+
+int main(int argc, char** argv) {
+  using trac::bench::RunOne;
+
+  benchmark::Initialize(&argc, argv);
+  const size_t ratio = 100;  // Mid-sweep: many sources, modest per-source.
+  // Index-state-major registration so the data set is built twice only.
+  for (bool with_indexes : {true, false}) {
+    for (size_t query : {size_t{0}, size_t{2}}) {
+      std::string name = "abl_index/Q" + std::to_string(query + 1) +
+                         (with_indexes ? "/indexed" : "/no_index");
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [query, with_indexes, ratio](benchmark::State& state) {
+            RunOne(state, query, with_indexes, ratio);
+          })
+          ->Unit(benchmark::kMicrosecond)
+          ->MinTime(0.2);
+    }
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  trac::bench::PrintTable(ratio);
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Ablation: cost of the reporting tail — z-score exceptional-source
+// detection plus min/max/range statistics (Section 4.3) — as the number
+// of relevant sources grows. This is the component both the Focused and
+// Naive methods share, and it bounds how cheap Naive can ever be.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "common/random.h"
+#include "core/recency_stats.h"
+
+namespace trac {
+namespace bench {
+namespace {
+
+std::vector<SourceRecency> MakeSources(size_t n, size_t exceptional) {
+  Random rng(7);
+  std::vector<SourceRecency> out;
+  out.reserve(n);
+  const Timestamp base = Timestamp::FromSeconds(1142432405);
+  for (size_t i = 0; i < n; ++i) {
+    Timestamp recency =
+        i < exceptional
+            ? base - 30 * Timestamp::kMicrosPerDay
+            : base - static_cast<int64_t>(
+                         rng.Uniform(20 * Timestamp::kMicrosPerMinute));
+    out.push_back(SourceRecency{"Tao" + std::to_string(i + 1), recency});
+  }
+  return out;
+}
+
+void BM_RecencyStats(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t exceptional = n / 100;  // 1% hard-disconnected sources.
+  std::vector<SourceRecency> sources = MakeSources(n, exceptional);
+  size_t detected = 0;
+  for (auto _ : state) {
+    std::vector<SourceRecency> copy = sources;
+    RecencyStats stats = ComputeRecencyStats(std::move(copy));
+    detected = stats.exceptional.size();
+    benchmark::DoNotOptimize(stats);
+  }
+  state.counters["sources"] = static_cast<double>(n);
+  state.counters["exceptional_found"] = static_cast<double>(detected);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_RecencyStats)
+    ->Arg(1000)->Arg(10000)->Arg(100000)->Arg(1000000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_NaiveReportTail(benchmark::State& state) {
+  // End-to-end Naive report on the generated workload: heartbeat scan +
+  // stats, the floor cost paid regardless of the user query.
+  const size_t ratio = 10;  // Max sources.
+  if (TotalRows() % ratio != 0) {
+    state.SkipWithError("ratio does not divide total rows");
+    return;
+  }
+  BenchEnv& env = BenchEnv::Get(ratio);
+  const BenchEnv::PreparedQuery& q = env.queries[0];
+  for (auto _ : state) {
+    auto report = env.reporter->RunBound(
+        q.bound, MeasuredOptions(RecencyMethod::kNaive));
+    if (!report.ok()) state.SkipWithError(report.status().ToString().c_str());
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["sources"] = static_cast<double>(TotalRows() / ratio);
+}
+BENCHMARK(BM_NaiveReportTail)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace trac
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// Figure 2: absolute response times for Q1 and Q3 with and without the
+// Focused recency report, zooming into the region where Figure 1's
+// relative overheads look large (they are large only because the user
+// queries themselves are very fast at low data ratios).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace trac {
+namespace bench {
+namespace {
+
+std::string Key(const std::string& query, bool with_report, size_t ratio) {
+  return "fig2/" + query + (with_report ? "/report/" : "/plain/") +
+         std::to_string(ratio);
+}
+
+void RunOne(benchmark::State& state, size_t query_index, bool with_report,
+            size_t ratio) {
+  BenchEnv& env = BenchEnv::Get(ratio);
+  const BenchEnv::PreparedQuery& q = env.queries[query_index];
+  int64_t total = 0;
+  int64_t n = 0;
+  for (auto _ : state) {
+    const int64_t t0 = NowMicros();
+    if (with_report) {
+      auto report = env.reporter->Run(
+          q.sql, MeasuredOptions(RecencyMethod::kFocused));
+      if (!report.ok()) {
+        state.SkipWithError(report.status().ToString().c_str());
+      }
+      benchmark::DoNotOptimize(report);
+    } else {
+      auto rs = ExecuteQuery(*env.db, q.bound, env.db->LatestSnapshot());
+      if (!rs.ok()) state.SkipWithError(rs.status().ToString().c_str());
+      benchmark::DoNotOptimize(rs);
+    }
+    total += NowMicros() - t0;
+    ++n;
+  }
+  const double mean = n > 0 ? static_cast<double>(total) / n : 0.0;
+  state.counters["mean_us"] = mean;
+  ResultRegistry::Instance().Record(Key(q.name, with_report, ratio), mean);
+}
+
+void PrintFigure2() {
+  auto& reg = ResultRegistry::Instance();
+  std::printf(
+      "\n=== Figure 2: absolute response times, Focused method with "
+      "auto-generated recency query (total rows = %zu) ===\n",
+      TotalRows());
+  for (const char* query : {"Q1", "Q3"}) {
+    std::printf("\n-- %s --\n", query);
+    std::printf("%12s %12s %16s %20s\n", "data_ratio", "#sources",
+                "plain_us", "with_report_us");
+    for (size_t ratio : RatioSweep()) {
+      std::string plain_key = Key(query, false, ratio);
+      if (!reg.Has(plain_key)) continue;
+      std::printf("%12zu %12zu %16.1f %20.1f\n", ratio,
+                  TotalRows() / ratio, reg.Get(plain_key),
+                  reg.Get(Key(query, true, ratio)));
+    }
+  }
+  std::printf(
+      "\nPaper shape check: at small data ratios the plain queries run "
+      "in very little time, so even a small absolute reporting cost "
+      "reads as a large relative overhead in Figure 1.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace trac
+
+int main(int argc, char** argv) {
+  using trac::bench::RatioSweep;
+  using trac::bench::RunOne;
+
+  benchmark::Initialize(&argc, argv);
+  for (size_t ratio : RatioSweep()) {
+    for (size_t query : {size_t{0}, size_t{2}}) {  // Q1 and Q3.
+      for (bool with_report : {false, true}) {
+        std::string name = "fig2/Q" + std::to_string(query + 1) +
+                           (with_report ? "/report" : "/plain") +
+                           "/ratio:" + std::to_string(ratio);
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [query, with_report, ratio](benchmark::State& state) {
+              RunOne(state, query, with_report, ratio);
+            })
+            ->Unit(benchmark::kMicrosecond)
+            ->MinTime(0.2);
+      }
+    }
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  trac::bench::PrintFigure2();
+  return 0;
+}

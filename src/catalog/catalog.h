@@ -1,0 +1,67 @@
+#ifndef TRAC_CATALOG_CATALOG_H_
+#define TRAC_CATALOG_CATALOG_H_
+
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/result.h"
+
+namespace trac {
+
+/// Stable identifier of a table for the lifetime of a Database. Ids are
+/// never reused, even after a drop.
+using TableId = size_t;
+
+/// Name -> schema mapping. The Catalog owns schemas only; row storage
+/// lives in storage::Table objects held by the Database, keyed by the
+/// same TableId. Lookups are case-insensitive, matching the SQL layer.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Registers a new table. Fails with AlreadyExists on a name clash.
+  Result<TableId> CreateTable(TableSchema schema);
+
+  /// Id for `name`; NotFound if absent or dropped.
+  Result<TableId> GetTableId(std::string_view name) const;
+
+  bool HasTable(std::string_view name) const {
+    return GetTableId(name).ok();
+  }
+
+  /// Schema access by id. The id must be live (not dropped).
+  const TableSchema& schema(TableId id) const { return entries_[id].schema; }
+  TableSchema& mutable_schema(TableId id) { return entries_[id].schema; }
+
+  /// Drops `name`. The TableId becomes invalid. NotFound if absent.
+  Status DropTable(std::string_view name);
+
+  bool IsLive(TableId id) const {
+    return id < entries_.size() && entries_[id].live;
+  }
+
+  /// Number of ids ever allocated (live + dropped); ids are < this.
+  size_t NumIds() const { return entries_.size(); }
+
+  /// Names of all live tables, in creation order.
+  std::vector<std::string> TableNames() const;
+
+ private:
+  struct Entry {
+    TableSchema schema;
+    bool live = true;
+  };
+  // Deque: schema references stay valid across CreateTable (Table objects
+  // point at their catalog schema).
+  std::deque<Entry> entries_;
+};
+
+}  // namespace trac
+
+#endif  // TRAC_CATALOG_CATALOG_H_

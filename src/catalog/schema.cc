@@ -1,0 +1,52 @@
+#include "catalog/schema.h"
+
+#include "common/str_util.h"
+
+namespace trac {
+
+std::optional<size_t> TableSchema::FindColumn(std::string_view name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCaseAscii(columns_[i].name, name)) return i;
+  }
+  return std::nullopt;
+}
+
+Status TableSchema::SetDataSourceColumn(std::string_view column_name) {
+  std::optional<size_t> idx = FindColumn(column_name);
+  if (!idx.has_value()) {
+    return Status::NotFound("no column '" + std::string(column_name) +
+                            "' in table '" + name_ + "'");
+  }
+  data_source_column_ = *idx;
+  return Status::OK();
+}
+
+Status TableSchema::ValidateRow(const Row& row) const {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " does not match table '" +
+        name_ + "' arity " + std::to_string(columns_.size()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    const Value& v = row[i];
+    if (v.is_null()) continue;
+    const ColumnDef& col = columns_[i];
+    bool type_ok = v.type() == col.type ||
+                   (v.type() == TypeId::kInt64 && col.type == TypeId::kDouble);
+    if (!type_ok) {
+      return Status::TypeError("column '" + col.name + "' of table '" + name_ +
+                               "' expects " +
+                               std::string(TypeIdToString(col.type)) +
+                               ", got " +
+                               std::string(TypeIdToString(v.type())));
+    }
+    if (col.domain.is_finite() && !col.domain.Contains(v)) {
+      return Status::InvalidArgument("value " + v.ToSqlLiteral() +
+                                     " outside the finite domain of column '" +
+                                     col.name + "'");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace trac

@@ -1,0 +1,89 @@
+#ifndef TRAC_CATALOG_SCHEMA_H_
+#define TRAC_CATALOG_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "types/domain.h"
+#include "types/value.h"
+
+namespace trac {
+
+/// Definition of one column: name, type, and (optionally) a finite domain.
+struct ColumnDef {
+  std::string name;
+  TypeId type = TypeId::kString;
+  Domain domain = Domain::Infinite(TypeId::kString);
+
+  ColumnDef(std::string n, TypeId t)
+      : name(std::move(n)), type(t), domain(Domain::Infinite(t)) {}
+  ColumnDef(std::string n, TypeId t, Domain d)
+      : name(std::move(n)), type(t), domain(std::move(d)) {}
+};
+
+/// Schema of a relation following the paper's model (Section 3.3): every
+/// monitored table has exactly one *data source column* tagging each
+/// tuple with the source that produced it; that column is a foreign key
+/// into the Heartbeat table. Tables without a data-source column are
+/// allowed (e.g. the Heartbeat table itself, or session temp tables) but
+/// do not participate in relevance analysis as monitored relations.
+class TableSchema {
+ public:
+  TableSchema() = default;
+  TableSchema(std::string name, std::vector<ColumnDef> columns)
+      : name_(std::move(name)), columns_(std::move(columns)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+
+  /// Case-insensitive column lookup; nullopt if absent.
+  std::optional<size_t> FindColumn(std::string_view name) const;
+
+  /// Designates `column_name` as the data source column. Fails if the
+  /// column does not exist.
+  Status SetDataSourceColumn(std::string_view column_name);
+
+  /// Index of the data source column, or nullopt for unmonitored tables.
+  std::optional<size_t> data_source_column() const {
+    return data_source_column_;
+  }
+
+  /// True iff `i` is the data source column.
+  bool IsDataSourceColumn(size_t i) const {
+    return data_source_column_.has_value() && *data_source_column_ == i;
+  }
+
+  /// Validates a row against this schema: arity, per-column type (NULL is
+  /// always accepted), and finite-domain membership if declared.
+  Status ValidateRow(const Row& row) const;
+
+  /// Declares a CHECK-style predicate constraint over this table's
+  /// columns, as SQL predicate text (e.g. "mach_id <> neighbor" — the
+  /// paper's "a machine can't have itself as a neighbor"). Constraints
+  /// participate in relevance analysis per Section 3.4's Q' = Q ∧ C
+  /// construction and are enforced on rows shipped through the monitor
+  /// layer. The text is parsed/bound lazily by expr/constraints.h; this
+  /// method performs no validation.
+  void AddCheckConstraint(std::string predicate_sql) {
+    check_constraints_.push_back(std::move(predicate_sql));
+  }
+
+  const std::vector<std::string>& check_constraints() const {
+    return check_constraints_;
+  }
+
+ private:
+  std::string name_;
+  std::vector<ColumnDef> columns_;
+  std::optional<size_t> data_source_column_;
+  std::vector<std::string> check_constraints_;
+};
+
+}  // namespace trac
+
+#endif  // TRAC_CATALOG_SCHEMA_H_

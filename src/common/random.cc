@@ -1,0 +1,3 @@
+// random.h is header-only; this TU exists so trac_common always has at
+// least the sources CMake lists, and to hold any future out-of-line code.
+#include "common/random.h"

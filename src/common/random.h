@@ -1,0 +1,46 @@
+#ifndef TRAC_COMMON_RANDOM_H_
+#define TRAC_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace trac {
+
+/// A small, fast, deterministic PRNG (xorshift64*). All synthetic
+/// workloads and property-test generators use this so every run and every
+/// machine produces identical data sets; std::mt19937 would also work but
+/// its seeding is heavier and its state is overkill here.
+class Random {
+ public:
+  explicit Random(uint64_t seed) : state_(seed ? seed : 0x9E3779B97F4A7C15ULL) {}
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545F4914F6CDD1DULL;
+  }
+
+  /// Uniform value in [0, n); n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform value in [lo, hi]; requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace trac
+
+#endif  // TRAC_COMMON_RANDOM_H_

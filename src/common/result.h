@@ -1,0 +1,71 @@
+#ifndef TRAC_COMMON_RESULT_H_
+#define TRAC_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace trac {
+
+/// The value-or-error return type used by every fallible function that
+/// produces a value. A Result is always in exactly one of two states:
+/// it holds a T (and an OK status), or it holds a non-OK Status.
+///
+/// Typical use:
+///
+///   Result<int> ParsePort(std::string_view s);
+///   ...
+///   TRAC_ASSIGN_OR_RETURN(int port, ParsePort(text));
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit on purpose: `return value;`).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from an error status (implicit on purpose:
+  /// `return Status::NotFound(...)`). Must not be OK.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Accessors require ok(); checked with assert in debug builds.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds a T.
+};
+
+}  // namespace trac
+
+#endif  // TRAC_COMMON_RESULT_H_

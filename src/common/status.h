@@ -1,0 +1,116 @@
+#ifndef TRAC_COMMON_STATUS_H_
+#define TRAC_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace trac {
+
+/// Error categories used across the library. Modeled after the
+/// RocksDB/Arrow convention: no exceptions cross the public API; every
+/// fallible operation returns a Status (or a Result<T>, see result.h).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Caller passed something malformed.
+  kNotFound,          ///< A named table/column/source does not exist.
+  kAlreadyExists,     ///< Creating something that is already there.
+  kParseError,        ///< SQL text could not be parsed.
+  kBindError,         ///< SQL parsed but names/types do not resolve.
+  kTypeError,         ///< Value-level type mismatch at runtime.
+  kUnsupported,       ///< Outside the implemented SPJ subset.
+  kResourceExhausted, ///< A guard tripped (e.g. DNF blow-up limit).
+  kInternal,          ///< Invariant violation; indicates a library bug.
+};
+
+/// Returns a short stable name for a StatusCode ("OK", "ParseError", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A cheap, copyable success-or-error value.
+///
+/// The OK status carries no allocation. Error statuses carry a code and a
+/// human-readable message. Statuses are ordered only by okayness; use
+/// code() to dispatch on the specific failure kind.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status BindError(std::string msg) {
+    return Status(StatusCode::kBindError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace trac
+
+/// Propagates a non-OK Status from the current function.
+#define TRAC_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::trac::Status _trac_status = (expr);           \
+    if (!_trac_status.ok()) return _trac_status;    \
+  } while (false)
+
+/// Evaluates a Result<T>-returning expression, propagating errors and
+/// otherwise binding the value to `lhs`.
+#define TRAC_ASSIGN_OR_RETURN(lhs, expr)                     \
+  TRAC_ASSIGN_OR_RETURN_IMPL_(                               \
+      TRAC_STATUS_CONCAT_(_trac_result, __LINE__), lhs, expr)
+
+#define TRAC_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#define TRAC_STATUS_CONCAT_(a, b) TRAC_STATUS_CONCAT_IMPL_(a, b)
+#define TRAC_STATUS_CONCAT_IMPL_(a, b) a##b
+
+#endif  // TRAC_COMMON_STATUS_H_

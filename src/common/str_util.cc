@@ -1,0 +1,51 @@
+#include "common/str_util.h"
+
+namespace trac {
+
+namespace {
+char LowerChar(char c) { return (c >= 'A' && c <= 'Z') ? c - 'A' + 'a' : c; }
+char UpperChar(char c) { return (c >= 'a' && c <= 'z') ? c - 'a' + 'A' : c; }
+}  // namespace
+
+std::string ToLowerAscii(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = LowerChar(c);
+  return out;
+}
+
+std::string ToUpperAscii(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = UpperChar(c);
+  return out;
+}
+
+bool EqualsIgnoreCaseAscii(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (LowerChar(a[i]) != LowerChar(b[i])) return false;
+  }
+  return true;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string QuoteSqlString(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '\'';
+  for (char c : s) {
+    if (c == '\'') out += '\'';
+    out += c;
+  }
+  out += '\'';
+  return out;
+}
+
+}  // namespace trac

@@ -1,0 +1,24 @@
+#ifndef TRAC_COMMON_STR_UTIL_H_
+#define TRAC_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace trac {
+
+/// ASCII-only case folding; SQL keywords and identifiers are matched
+/// case-insensitively with these.
+std::string ToLowerAscii(std::string_view s);
+std::string ToUpperAscii(std::string_view s);
+bool EqualsIgnoreCaseAscii(std::string_view a, std::string_view b);
+
+/// Joins `parts` with `sep` ("a", "b" -> "a, b" for sep ", ").
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Wraps `s` in single quotes, doubling embedded quotes (SQL literal style).
+std::string QuoteSqlString(std::string_view s);
+
+}  // namespace trac
+
+#endif  // TRAC_COMMON_STR_UTIL_H_

@@ -1,0 +1,141 @@
+#include "common/timestamp.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace trac {
+
+namespace {
+
+// Days from civil date to days since 1970-01-01 (Howard Hinnant's
+// public-domain algorithm). Valid far beyond any timestamp we handle.
+constexpr int64_t DaysFromCivil(int64_t y, int64_t m, int64_t d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const int64_t yoe = y - era * 400;                           // [0, 399]
+  const int64_t doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const int64_t doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;   // [0, 146096]
+  return era * 146097 + doe - 719468;
+}
+
+// Inverse of DaysFromCivil.
+constexpr void CivilFromDays(int64_t z, int64_t* y, int64_t* m, int64_t* d) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const int64_t doe = z - era * 146097;                        // [0, 146096]
+  const int64_t yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;   // [0, 399]
+  const int64_t yr = yoe + era * 400;
+  const int64_t doy = doe - (365 * yoe + yoe / 4 - yoe / 100);  // [0, 365]
+  const int64_t mp = (5 * doy + 2) / 153;                       // [0, 11]
+  *d = doy - (153 * mp + 2) / 5 + 1;
+  *m = mp + (mp < 10 ? 3 : -9);
+  *y = yr + (*m <= 2);
+}
+
+bool ParseFixedInt(std::string_view s, size_t pos, size_t len, int64_t* out) {
+  if (pos + len > s.size()) return false;
+  int64_t v = 0;
+  for (size_t i = pos; i < pos + len; ++i) {
+    char c = s[i];
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + (c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+Result<Timestamp> Timestamp::Parse(std::string_view text) {
+  // Expected: YYYY-MM-DD HH:MM:SS[.ffffff]
+  auto fail = [&]() {
+    return Status::InvalidArgument("cannot parse timestamp: '" +
+                                   std::string(text) + "'");
+  };
+  int64_t year, month, day, hour, minute, second;
+  if (text.size() < 19) return fail();
+  if (!ParseFixedInt(text, 0, 4, &year) || text[4] != '-' ||
+      !ParseFixedInt(text, 5, 2, &month) || text[7] != '-' ||
+      !ParseFixedInt(text, 8, 2, &day) || text[10] != ' ' ||
+      !ParseFixedInt(text, 11, 2, &hour) || text[13] != ':' ||
+      !ParseFixedInt(text, 14, 2, &minute) || text[16] != ':' ||
+      !ParseFixedInt(text, 17, 2, &second)) {
+    return fail();
+  }
+  if (month < 1 || month > 12 || day < 1 || day > 31 || hour > 23 ||
+      minute > 59 || second > 60) {
+    return fail();
+  }
+  int64_t frac = 0;
+  if (text.size() > 19) {
+    if (text[19] != '.') return fail();
+    size_t digits = text.size() - 20;
+    if (digits == 0 || digits > 6) return fail();
+    if (!ParseFixedInt(text, 20, digits, &frac)) return fail();
+    for (size_t i = digits; i < 6; ++i) frac *= 10;
+  }
+  int64_t days = DaysFromCivil(year, month, day);
+  int64_t micros =
+      ((days * 24 + hour) * 60 + minute) * 60 * Timestamp::kMicrosPerSecond +
+      second * Timestamp::kMicrosPerSecond + frac;
+  return Timestamp(micros);
+}
+
+std::string Timestamp::ToString() const {
+  int64_t total_secs = micros_ / kMicrosPerSecond;
+  int64_t frac = micros_ % kMicrosPerSecond;
+  if (frac < 0) {
+    frac += kMicrosPerSecond;
+    total_secs -= 1;
+  }
+  int64_t days = total_secs / 86400;
+  int64_t rem = total_secs % 86400;
+  if (rem < 0) {
+    rem += 86400;
+    days -= 1;
+  }
+  int64_t y, m, d;
+  CivilFromDays(days, &y, &m, &d);
+  int64_t hh = rem / 3600, mm = (rem % 3600) / 60, ss = rem % 60;
+  char buf[64];
+  if (frac == 0) {
+    std::snprintf(buf, sizeof(buf), "%04lld-%02lld-%02lld %02lld:%02lld:%02lld",
+                  static_cast<long long>(y), static_cast<long long>(m),
+                  static_cast<long long>(d), static_cast<long long>(hh),
+                  static_cast<long long>(mm), static_cast<long long>(ss));
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "%04lld-%02lld-%02lld %02lld:%02lld:%02lld.%06lld",
+                  static_cast<long long>(y), static_cast<long long>(m),
+                  static_cast<long long>(d), static_cast<long long>(hh),
+                  static_cast<long long>(mm), static_cast<long long>(ss),
+                  static_cast<long long>(frac));
+  }
+  return buf;
+}
+
+std::string FormatDurationMicros(int64_t micros) {
+  std::string sign;
+  if (micros < 0) {
+    sign = "-";
+    micros = -micros;
+  }
+  int64_t frac = micros % Timestamp::kMicrosPerSecond;
+  int64_t secs = micros / Timestamp::kMicrosPerSecond;
+  int64_t hh = secs / 3600, mm = (secs % 3600) / 60, ss = secs % 60;
+  char buf[64];
+  if (frac == 0) {
+    std::snprintf(buf, sizeof(buf), "%s%02lld:%02lld:%02lld", sign.c_str(),
+                  static_cast<long long>(hh), static_cast<long long>(mm),
+                  static_cast<long long>(ss));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%02lld:%02lld:%02lld.%06lld",
+                  sign.c_str(), static_cast<long long>(hh),
+                  static_cast<long long>(mm), static_cast<long long>(ss),
+                  static_cast<long long>(frac));
+  }
+  return buf;
+}
+
+}  // namespace trac

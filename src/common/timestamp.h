@@ -1,0 +1,70 @@
+#ifndef TRAC_COMMON_TIMESTAMP_H_
+#define TRAC_COMMON_TIMESTAMP_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace trac {
+
+/// A point in time, stored as microseconds since the Unix epoch (UTC).
+///
+/// This is the unit of "recency" throughout the library: event timestamps
+/// in monitored tables, the Heartbeat table's recency column, and the
+/// descriptive statistics (min/max/range, z-scores) all operate on
+/// Timestamp values. Arithmetic on Timestamps yields Duration values
+/// (plain int64_t microseconds).
+class Timestamp {
+ public:
+  /// Constructs the epoch timestamp (1970-01-01 00:00:00 UTC).
+  constexpr Timestamp() = default;
+  constexpr explicit Timestamp(int64_t micros) : micros_(micros) {}
+
+  static constexpr Timestamp FromSeconds(int64_t secs) {
+    return Timestamp(secs * kMicrosPerSecond);
+  }
+
+  /// Parses "YYYY-MM-DD HH:MM:SS" with an optional ".ffffff" fractional
+  /// part. The input is interpreted as UTC.
+  static Result<Timestamp> Parse(std::string_view text);
+
+  constexpr int64_t micros() const { return micros_; }
+  constexpr int64_t seconds() const { return micros_ / kMicrosPerSecond; }
+
+  /// Formats as "YYYY-MM-DD HH:MM:SS[.ffffff]" (UTC); fractional digits
+  /// are printed only when nonzero.
+  std::string ToString() const;
+
+  friend constexpr auto operator<=>(Timestamp a, Timestamp b) = default;
+
+  constexpr Timestamp operator+(int64_t delta_micros) const {
+    return Timestamp(micros_ + delta_micros);
+  }
+  constexpr Timestamp operator-(int64_t delta_micros) const {
+    return Timestamp(micros_ - delta_micros);
+  }
+  /// Difference in microseconds.
+  constexpr int64_t operator-(Timestamp other) const {
+    return micros_ - other.micros_;
+  }
+
+  static constexpr int64_t kMicrosPerSecond = 1000000;
+  static constexpr int64_t kMicrosPerMinute = 60 * kMicrosPerSecond;
+  static constexpr int64_t kMicrosPerHour = 60 * kMicrosPerMinute;
+  static constexpr int64_t kMicrosPerDay = 24 * kMicrosPerHour;
+
+ private:
+  int64_t micros_ = 0;
+};
+
+/// Formats a duration (microseconds) as "[-]HH:MM:SS[.ffffff]", the shape
+/// PostgreSQL uses for intervals; the paper's "Bound of inconsistency:
+/// 00:20:00" output uses this format.
+std::string FormatDurationMicros(int64_t micros);
+
+}  // namespace trac
+
+#endif  // TRAC_COMMON_TIMESTAMP_H_

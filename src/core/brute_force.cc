@@ -1,0 +1,179 @@
+#include "core/brute_force.h"
+
+#include <algorithm>
+#include <set>
+
+#include "expr/constraints.h"
+#include "expr/evaluator.h"
+
+namespace trac {
+
+namespace {
+
+/// Enumerates the cross product of the visible rows of `tables`,
+/// invoking fn(rows) with one row pointer per table. Returns false if fn
+/// ever returns false (abort).
+bool ForEachCombination(
+    const std::vector<std::vector<const Row*>>& candidates,
+    const std::function<bool(const std::vector<const Row*>&)>& fn) {
+  std::vector<size_t> cursor(candidates.size(), 0);
+  std::vector<const Row*> current(candidates.size(), nullptr);
+  for (const auto& c : candidates) {
+    if (c.empty()) return true;  // Empty product: nothing to visit.
+  }
+  while (true) {
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      current[i] = candidates[i][cursor[i]];
+    }
+    if (!fn(current)) return false;
+    size_t i = 0;
+    for (; i < candidates.size(); ++i) {
+      if (++cursor[i] < candidates[i].size()) break;
+      cursor[i] = 0;
+    }
+    if (i == candidates.size()) return true;
+  }
+}
+
+}  // namespace
+
+Result<std::vector<std::string>> BruteForceRelevantSources(
+    const Database& db, const BoundQuery& query, Snapshot snapshot,
+    const BruteForceOptions& options) {
+  const size_t num_rels = query.relations.size();
+
+  // Validate domains and collect schemas.
+  std::vector<const TableSchema*> schemas(num_rels);
+  for (size_t r = 0; r < num_rels; ++r) {
+    schemas[r] = &db.catalog().schema(query.relations[r].table_id);
+    for (size_t c = 0; c < schemas[r]->num_columns(); ++c) {
+      if (!schemas[r]->column(c).domain.is_finite()) {
+        return Status::Unsupported(
+            "brute force requires finite domains; column '" +
+            schemas[r]->column(c).name + "' of '" + schemas[r]->name() +
+            "' is infinite");
+      }
+    }
+  }
+
+  // Visible rows per relation.
+  std::vector<std::vector<const Row*>> visible(num_rels);
+  for (size_t r = 0; r < num_rels; ++r) {
+    const Table* table = db.GetTable(query.relations[r].table_id);
+    table->Scan(snapshot, [&](size_t vidx, const Row&) {
+      visible[r].push_back(&table->version(vidx).values);
+    });
+  }
+
+  std::set<std::string> relevant;
+  size_t budget = options.max_assignments;
+
+  for (size_t ri = 0; ri < num_rels; ++ri) {
+    std::optional<size_t> ds = schemas[ri]->data_source_column();
+    if (!ds.has_value()) continue;  // No update stream exists for it.
+
+    // Potential tuples must be legal instances: respect R_i's CHECK
+    // constraints (Section 3.4).
+    TRAC_ASSIGN_OR_RETURN(
+        std::vector<BoundExprPtr> constraints,
+        BindCheckConstraints(db, query.relations[ri].table_id));
+    for (BoundExprPtr& cexpr : constraints) {
+      cexpr->RewriteColumnRefs([ri](BoundColumnRef* ref) { ref->rel = ri; });
+    }
+
+    // Existing-tuple combinations for the other relations.
+    std::vector<std::vector<const Row*>> others;
+    std::vector<size_t> other_slots;
+    for (size_t j = 0; j < num_rels; ++j) {
+      if (j == ri) continue;
+      others.push_back(visible[j]);
+      other_slots.push_back(j);
+    }
+
+    // Potential-tuple enumeration state for R_i.
+    const size_t arity = schemas[ri]->num_columns();
+    Row potential(arity);
+    TupleView tuple(num_rels, nullptr);
+    tuple[ri] = &potential;
+
+    Status overflow = Status::OK();
+    bool completed = ForEachCombination(others, [&](const std::vector<
+                                                    const Row*>& combo) {
+      for (size_t k = 0; k < other_slots.size(); ++k) {
+        tuple[other_slots[k]] = combo[k];
+      }
+      // Enumerate potential tuples of R_i; the data source column is the
+      // outermost dimension so already-relevant sources can be skipped.
+      const Domain& ds_domain = schemas[ri]->column(*ds).domain;
+      for (const Value& source : ds_domain.values()) {
+        if (source.is_null()) continue;
+        const std::string& sid = source.str_val();
+        if (relevant.count(sid) != 0) continue;
+        potential[*ds] = source;
+
+        // Mixed-radix enumeration over the regular columns.
+        std::vector<size_t> regular;
+        for (size_t c = 0; c < arity; ++c) {
+          if (c != *ds) regular.push_back(c);
+        }
+        std::vector<size_t> cursor(regular.size(), 0);
+        bool found = false;
+        while (!found) {
+          for (size_t k = 0; k < regular.size(); ++k) {
+            potential[regular[k]] =
+                schemas[ri]->column(regular[k]).domain.values()[cursor[k]];
+          }
+          if (budget == 0) {
+            overflow = Status::ResourceExhausted(
+                "brute-force assignment budget exceeded");
+            return false;
+          }
+          --budget;
+          bool legal = true;
+          for (const BoundExprPtr& cexpr : constraints) {
+            auto cv = EvalPredicate(*cexpr, tuple);
+            if (!cv.ok()) {
+              overflow = cv.status();
+              return false;
+            }
+            // CHECK semantics: only FALSE is a violation.
+            if (*cv == TriBool::kFalse) {
+              legal = false;
+              break;
+            }
+          }
+          bool all_true = legal;
+          if (legal && query.where != nullptr) {
+            auto v = EvalPredicate(*query.where, tuple);
+            if (!v.ok()) {
+              overflow = v.status();
+              return false;
+            }
+            all_true = IsTrue(*v);
+          }
+          if (all_true) {
+            relevant.insert(sid);
+            found = true;
+            break;
+          }
+          size_t k = 0;
+          for (; k < regular.size(); ++k) {
+            if (++cursor[k] <
+                schemas[ri]->column(regular[k]).domain.size()) {
+              break;
+            }
+            cursor[k] = 0;
+          }
+          if (k == regular.size()) break;  // Exhausted.
+        }
+      }
+      return true;
+    });
+    if (!completed) return overflow;
+    for (size_t j : other_slots) tuple[j] = nullptr;
+  }
+
+  return std::vector<std::string>(relevant.begin(), relevant.end());
+}
+
+}  // namespace trac

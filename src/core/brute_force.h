@@ -1,0 +1,39 @@
+#ifndef TRAC_CORE_BRUTE_FORCE_H_
+#define TRAC_CORE_BRUTE_FORCE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "expr/bound_expr.h"
+#include "storage/database.h"
+
+namespace trac {
+
+struct BruteForceOptions {
+  /// Upper bound on evaluated assignments before giving up with
+  /// ResourceExhausted. Ground truth is an evaluation-only tool
+  /// (Section 5.2): "we used this approach only to compute the exact
+  /// relevant source set in order to analyze our results".
+  size_t max_assignments = 50000000;
+};
+
+/// Computes the exact S(Q) of Definitions 1 and 2 by enumeration:
+/// for every relation R_i of the query, every combination of *existing*
+/// tuples of the other relations (visible in `snapshot`) is paired with
+/// every *potential* tuple of R_i drawn from the cross product of its
+/// columns' finite domains; a data source is relevant iff some such
+/// combination satisfies all of the query's predicates.
+///
+/// Requires every column of every relation referenced by the query to
+/// have a declared finite domain (the paper's specially designed test
+/// schema); fails with Unsupported otherwise.
+///
+/// Returns the sorted set of relevant source ids.
+Result<std::vector<std::string>> BruteForceRelevantSources(
+    const Database& db, const BoundQuery& query, Snapshot snapshot,
+    const BruteForceOptions& options = BruteForceOptions());
+
+}  // namespace trac
+
+#endif  // TRAC_CORE_BRUTE_FORCE_H_

@@ -1,0 +1,98 @@
+#include "core/heartbeat.h"
+
+#include <algorithm>
+
+namespace trac {
+
+Result<HeartbeatTable> HeartbeatTable::Create(Database* db,
+                                              std::string_view name) {
+  TableSchema schema(std::string(name),
+                     {ColumnDef(std::string(kSourceColumn), TypeId::kString),
+                      ColumnDef(std::string(kRecencyColumn),
+                                TypeId::kTimestamp)});
+  TRAC_ASSIGN_OR_RETURN(TableId id, db->CreateTable(std::move(schema)));
+  TRAC_RETURN_IF_ERROR(db->CreateIndex(name, kSourceColumn));
+  return HeartbeatTable(db, id, std::string(name));
+}
+
+Result<HeartbeatTable> HeartbeatTable::Open(Database* db,
+                                            std::string_view name) {
+  TRAC_ASSIGN_OR_RETURN(TableId id, db->FindTable(name));
+  const TableSchema& schema = db->catalog().schema(id);
+  if (!schema.FindColumn(kSourceColumn).has_value() ||
+      !schema.FindColumn(kRecencyColumn).has_value()) {
+    return Status::InvalidArgument("table '" + std::string(name) +
+                                   "' does not have the heartbeat schema");
+  }
+  return HeartbeatTable(db, id, std::string(name));
+}
+
+Status HeartbeatTable::ReportHeartbeat(const std::string& source,
+                                       Timestamp recency) {
+  // Update-if-newer; insert if absent.
+  TRAC_ASSIGN_OR_RETURN(
+      int updated,
+      db_->UpdateWhere(
+          name_,
+          [&](const Row& row) {
+            return !row[0].is_null() && row[0].str_val() == source &&
+                   (row[1].is_null() || row[1].ts_val() < recency);
+          },
+          [&](Row* row) { (*row)[1] = Value::Ts(recency); }));
+  if (updated > 0) return Status::OK();
+  // Either absent or already at least as recent; insert only if absent.
+  Snapshot snap = db_->LatestSnapshot();
+  if (Get(source, snap).ok()) return Status::OK();
+  return db_->Insert(name_, {Value::Str(source), Value::Ts(recency)});
+}
+
+Status HeartbeatTable::SetRecency(const std::string& source,
+                                  Timestamp recency) {
+  TRAC_ASSIGN_OR_RETURN(
+      int updated,
+      db_->UpdateWhere(
+          name_,
+          [&](const Row& row) {
+            return !row[0].is_null() && row[0].str_val() == source;
+          },
+          [&](Row* row) { (*row)[1] = Value::Ts(recency); }));
+  if (updated > 0) return Status::OK();
+  return db_->Insert(name_, {Value::Str(source), Value::Ts(recency)});
+}
+
+Result<Timestamp> HeartbeatTable::Get(const std::string& source,
+                                      Snapshot snap) const {
+  const Table* table = db_->GetTable(table_id_);
+  const OrderedIndex* index = table->GetIndex(0);
+  Result<Timestamp> out =
+      Status::NotFound("source '" + source + "' has never reported");
+  auto check = [&](size_t vidx) {
+    const RowVersion& v = table->version(vidx);
+    if (table->Visible(v, snap)) out = v.values[1].ts_val();
+  };
+  if (index != nullptr) {
+    index->ScanEqual(Value::Str(source), check);
+  } else {
+    table->Scan(snap, [&](size_t vidx, const Row& row) {
+      if (!row[0].is_null() && row[0].str_val() == source) check(vidx);
+    });
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, Timestamp>> HeartbeatTable::GetAll(
+    Snapshot snap) const {
+  std::vector<std::pair<std::string, Timestamp>> out;
+  const Table* table = db_->GetTable(table_id_);
+  table->Scan(snap, [&](size_t, const Row& row) {
+    out.emplace_back(row[0].str_val(), row[1].ts_val());
+  });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t HeartbeatTable::NumSources(Snapshot snap) const {
+  return db_->GetTable(table_id_)->CountVisible(snap);
+}
+
+}  // namespace trac

@@ -1,0 +1,151 @@
+#include "core/recency_reporter.h"
+
+#include <chrono>
+
+#include "expr/binder.h"
+
+namespace trac {
+
+namespace {
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+std::string RecencyReport::FormatNotices() const {
+  std::string out;
+  if (!exceptional_temp_table.empty()) {
+    out +=
+        "NOTICE: Exceptional relevant data sources and timestamps are in "
+        "the temporary table: " +
+        exceptional_temp_table + "\n";
+  }
+  if (stats.least_recent.has_value()) {
+    out += "NOTICE: The least recent data source: " +
+           stats.least_recent->source + ", " +
+           stats.least_recent->recency.ToString() + "\n";
+    out += "NOTICE: The most recent data source: " +
+           stats.most_recent->source + ", " +
+           stats.most_recent->recency.ToString() + "\n";
+    out += "NOTICE: Bound of inconsistency: " +
+           FormatDurationMicros(stats.inconsistency_bound_micros) + "\n";
+  } else {
+    out += "NOTICE: No normal relevant data sources\n";
+  }
+  if (!normal_temp_table.empty()) {
+    out +=
+        "NOTICE: All \"normal\" relevant data sources and timestamps are "
+        "in the temporary table: " +
+        normal_temp_table + "\n";
+  }
+  if (!relevance.minimal) {
+    out +=
+        "NOTICE: The relevant source set is an upper bound (minimality "
+        "not guaranteed)\n";
+  }
+  return out;
+}
+
+Result<RecencyReport> RecencyReporter::Run(
+    std::string_view user_sql, const RecencyReportOptions& options) {
+  const int64_t t0 = NowMicros();
+  TRAC_ASSIGN_OR_RETURN(BoundQuery user_query, BindSql(*db_, user_sql));
+  RecencyQueryPlan plan;
+  if (options.method == RecencyMethod::kNaive) {
+    TRAC_ASSIGN_OR_RETURN(plan, GenerateNaivePlan(*db_, options.relevance));
+    // The Naive method pays no generation cost in the paper's
+    // accounting; parsing the user query is shared by every method.
+  } else {
+    TRAC_ASSIGN_OR_RETURN(
+        plan, GenerateRecencyQueries(*db_, user_query, options.relevance));
+  }
+  Snapshot snapshot = db_->LatestSnapshot();
+  return Finish(user_query, plan, snapshot, options, NowMicros() - t0);
+}
+
+Result<RecencyReport> RecencyReporter::RunBound(
+    const BoundQuery& user_query, const RecencyReportOptions& options) {
+  const int64_t t0 = NowMicros();
+  RecencyQueryPlan plan;
+  if (options.method == RecencyMethod::kNaive) {
+    TRAC_ASSIGN_OR_RETURN(plan, GenerateNaivePlan(*db_, options.relevance));
+  } else {
+    TRAC_ASSIGN_OR_RETURN(
+        plan, GenerateRecencyQueries(*db_, user_query, options.relevance));
+  }
+  Snapshot snapshot = db_->LatestSnapshot();
+  return Finish(user_query, plan, snapshot, options, NowMicros() - t0);
+}
+
+Result<RecencyReport> RecencyReporter::RunWithPlan(
+    const BoundQuery& user_query, const RecencyQueryPlan& plan,
+    const RecencyReportOptions& options) {
+  // No generation cost: the plan is hardcoded.
+  Snapshot snapshot = db_->LatestSnapshot();
+  return Finish(user_query, plan, snapshot, options, /*parse_generate=*/0);
+}
+
+Result<RecencyReport> RecencyReporter::Finish(
+    const BoundQuery& user_query, const RecencyQueryPlan& plan,
+    Snapshot snapshot, const RecencyReportOptions& options,
+    int64_t parse_generate_micros) {
+  RecencyReport report;
+  report.parse_generate_micros = parse_generate_micros;
+  // 1. The user query, on the shared snapshot.
+  int64_t t = NowMicros();
+  TRAC_ASSIGN_OR_RETURN(report.result,
+                        ExecuteQuery(*db_, user_query, snapshot));
+  report.user_query_micros = NowMicros() - t;
+
+  // 2. The recency queries, on the same snapshot.
+  t = NowMicros();
+  TRAC_ASSIGN_OR_RETURN(std::vector<SourceRecency> sources,
+                        ExecuteRecencyQueries(*db_, plan, snapshot));
+  report.relevance_exec_micros = NowMicros() - t;
+
+  report.relevance.sources = sources;
+  report.relevance.minimal = plan.minimal;
+  report.relevance.fallback_all = plan.fallback_all;
+  report.relevance.notes = plan.notes;
+  for (const RecencyQueryPlan::Part& part : plan.parts) {
+    report.relevance.recency_sqls.push_back(part.sql);
+  }
+
+  // 3. Exceptional-source detection + descriptive statistics.
+  t = NowMicros();
+  report.stats = ComputeRecencyStats(std::move(sources), options.stats);
+  report.stats_micros = NowMicros() - t;
+
+  if (options.create_temp_tables) {
+    if (session_ == nullptr) {
+      return Status::InvalidArgument(
+          "temp tables requested but the reporter has no session");
+    }
+    auto make_rows = [](const std::vector<SourceRecency>& list) {
+      std::vector<Row> rows;
+      rows.reserve(list.size());
+      for (const SourceRecency& s : list) {
+        rows.push_back({Value::Str(s.source), Value::Ts(s.recency)});
+      }
+      return rows;
+    };
+    std::vector<ColumnDef> columns = {
+        ColumnDef("sid", TypeId::kString),
+        ColumnDef("recency_timestamp", TypeId::kTimestamp)};
+    TRAC_ASSIGN_OR_RETURN(
+        report.normal_temp_table,
+        session_->CreateTempTable("sys_temp_a", columns,
+                                  make_rows(report.stats.normal)));
+    TRAC_ASSIGN_OR_RETURN(
+        report.exceptional_temp_table,
+        session_->CreateTempTable("sys_temp_e", columns,
+                                  make_rows(report.stats.exceptional)));
+  }
+  return report;
+}
+
+}  // namespace trac

@@ -1,0 +1,96 @@
+#ifndef TRAC_CORE_RECENCY_REPORTER_H_
+#define TRAC_CORE_RECENCY_REPORTER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "core/recency_stats.h"
+#include "core/relevance.h"
+#include "core/session.h"
+#include "exec/executor.h"
+
+namespace trac {
+
+/// Which relevant-source computation backs the report (Section 5.2's
+/// three measured configurations).
+enum class RecencyMethod {
+  kFocused,           ///< Generated recency queries (this paper).
+  kFocusedHardcoded,  ///< Pre-generated plan supplied by the caller.
+  kNaive,             ///< All sources reported (the baseline).
+};
+
+struct RecencyReportOptions {
+  RecencyMethod method = RecencyMethod::kFocused;
+  RecencyStatsOptions stats;
+  RelevanceOptions relevance;
+  /// Materialize the normal/exceptional source lists as session temp
+  /// tables (sys_temp_a* / sys_temp_e*). Disable in benchmarks when only
+  /// timings matter... the paper's function always creates them, so the
+  /// default is on.
+  bool create_temp_tables = true;
+};
+
+/// Everything the paper's recencyReport() table function returns: the
+/// user-query result plus the recency/consistency report consistent with
+/// it.
+struct RecencyReport {
+  ResultSet result;               ///< The user query's rows.
+  RelevanceResult relevance;      ///< A(Q) with provenance.
+  RecencyStats stats;             ///< Normal/exceptional split + extremes.
+  std::string normal_temp_table;       ///< sys_temp_a*; empty if disabled.
+  std::string exceptional_temp_table;  ///< sys_temp_e*; empty if disabled.
+
+  /// Timing breakdown in microseconds (the three components measured in
+  /// Section 5.2, plus the user query itself).
+  int64_t parse_generate_micros = 0;  ///< Parse user SQL + generate plan.
+  int64_t relevance_exec_micros = 0;  ///< Execute the recency queries.
+  int64_t stats_micros = 0;           ///< Outlier detection + min/max.
+  int64_t user_query_micros = 0;      ///< The user query alone.
+
+  /// Formats the paper's NOTICE block (exceptional table, least/most
+  /// recent source, bound of inconsistency, normal table).
+  std::string FormatNotices() const;
+};
+
+/// Runs user queries with recency and consistency reporting. The user
+/// query and the generated recency queries are evaluated against the
+/// same MVCC snapshot, satisfying the consistency requirement of
+/// Section 3.2.
+class RecencyReporter {
+ public:
+  /// `session` may be null iff options.create_temp_tables is false on
+  /// every call.
+  RecencyReporter(Database* db, Session* session)
+      : db_(db), session_(session) {}
+
+  /// Parse + bind + report.
+  Result<RecencyReport> Run(
+      std::string_view user_sql,
+      const RecencyReportOptions& options = RecencyReportOptions());
+
+  /// Report for an already-bound user query (no parse cost).
+  Result<RecencyReport> RunBound(
+      const BoundQuery& user_query,
+      const RecencyReportOptions& options = RecencyReportOptions());
+
+  /// The hardcoded-recency-query configuration: the caller supplies a
+  /// pre-generated plan, so the report pays no parse/generate cost.
+  Result<RecencyReport> RunWithPlan(
+      const BoundQuery& user_query, const RecencyQueryPlan& plan,
+      const RecencyReportOptions& options = RecencyReportOptions());
+
+ private:
+  Result<RecencyReport> Finish(const BoundQuery& user_query,
+                               const RecencyQueryPlan& plan,
+                               Snapshot snapshot,
+                               const RecencyReportOptions& options,
+                               int64_t parse_generate_micros);
+
+  Database* db_;
+  Session* session_;
+};
+
+}  // namespace trac
+
+#endif  // TRAC_CORE_RECENCY_REPORTER_H_

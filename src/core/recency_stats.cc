@@ -1,0 +1,74 @@
+#include "core/recency_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace trac {
+
+RecencyStats ComputeRecencyStats(std::vector<SourceRecency> relevant,
+                                 const RecencyStatsOptions& options) {
+  RecencyStats stats;
+  if (relevant.empty()) return stats;
+
+  std::sort(relevant.begin(), relevant.end(),
+            [](const SourceRecency& a, const SourceRecency& b) {
+              return a.source < b.source;
+            });
+
+  const double n = static_cast<double>(relevant.size());
+  double mean = 0;
+  for (const SourceRecency& s : relevant) {
+    mean += static_cast<double>(s.recency.micros()) / n;
+  }
+  double var = 0;
+  for (const SourceRecency& s : relevant) {
+    const double d = static_cast<double>(s.recency.micros()) - mean;
+    var += d * d / n;  // Population variance, matching Section 4.3.
+  }
+  stats.mean_micros = mean;
+  stats.stddev_micros = std::sqrt(var);
+
+  for (SourceRecency& s : relevant) {
+    bool exceptional = false;
+    if (stats.stddev_micros > 0) {
+      const double z =
+          (static_cast<double>(s.recency.micros()) - mean) /
+          stats.stddev_micros;
+      exceptional = std::fabs(z) > options.zscore_threshold;
+    }
+    (exceptional ? stats.exceptional : stats.normal).push_back(std::move(s));
+  }
+
+  for (const SourceRecency& s : stats.normal) {
+    if (!stats.least_recent.has_value() ||
+        s.recency < stats.least_recent->recency) {
+      stats.least_recent = s;
+    }
+    if (!stats.most_recent.has_value() ||
+        s.recency > stats.most_recent->recency) {
+      stats.most_recent = s;
+    }
+  }
+  if (stats.least_recent.has_value()) {
+    stats.inconsistency_bound_micros =
+        stats.most_recent->recency - stats.least_recent->recency;
+  }
+
+  if (!options.percentiles.empty() && !stats.normal.empty()) {
+    std::vector<Timestamp> sorted;
+    sorted.reserve(stats.normal.size());
+    for (const SourceRecency& s : stats.normal) sorted.push_back(s.recency);
+    std::sort(sorted.begin(), sorted.end());
+    for (double p : options.percentiles) {
+      if (p <= 0.0 || p > 1.0) continue;
+      // Nearest-rank: ceil(p * n), 1-based.
+      size_t rank = static_cast<size_t>(
+          std::ceil(p * static_cast<double>(sorted.size())));
+      if (rank == 0) rank = 1;
+      stats.percentile_recencies.emplace_back(p, sorted[rank - 1]);
+    }
+  }
+  return stats;
+}
+
+}  // namespace trac

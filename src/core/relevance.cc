@@ -1,0 +1,436 @@
+#include "core/relevance.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "common/str_util.h"
+#include "exec/executor.h"
+#include "expr/constraints.h"
+#include "predicate/basic_term.h"
+
+namespace trac {
+
+namespace {
+
+struct HeartbeatInfo {
+  TableId table_id;
+  size_t source_col;
+  size_t recency_col;
+  std::string name;
+};
+
+Result<HeartbeatInfo> ResolveHeartbeat(const Database& db,
+                                       const RelevanceOptions& options) {
+  TRAC_ASSIGN_OR_RETURN(TableId id, db.FindTable(options.heartbeat_table));
+  const TableSchema& schema = db.catalog().schema(id);
+  auto src = schema.FindColumn(HeartbeatTable::kSourceColumn);
+  auto rec = schema.FindColumn(HeartbeatTable::kRecencyColumn);
+  if (!src.has_value() || !rec.has_value()) {
+    return Status::InvalidArgument("table '" + options.heartbeat_table +
+                                   "' does not have the heartbeat schema");
+  }
+  return HeartbeatInfo{id, *src, *rec, schema.name()};
+}
+
+/// A display name for the Heartbeat slot that cannot clash with the user
+/// query's FROM list.
+std::string UniqueHeartbeatAlias(const BoundQuery& user) {
+  std::string alias = "__hb";
+  bool clash = true;
+  while (clash) {
+    clash = false;
+    for (const BoundTableRef& rel : user.relations) {
+      if (EqualsIgnoreCaseAscii(rel.display_name, alias)) {
+        alias += "_";
+        clash = true;
+        break;
+      }
+    }
+  }
+  return alias;
+}
+
+/// Builds the SELECT DISTINCT H.source_id, H.recency FROM heartbeat [...]
+/// scaffold shared by every generated part and the Naive plan.
+BoundQuery MakeRecencyScaffold(const HeartbeatInfo& hb,
+                               const std::string& hb_alias) {
+  BoundQuery rq;
+  rq.relations.push_back(BoundTableRef{hb.table_id, hb_alias});
+  rq.distinct = true;
+  rq.outputs.push_back(BoundQuery::OutputColumn{
+      BoundColumnRef{0, hb.source_col, TypeId::kString},
+      std::string(HeartbeatTable::kSourceColumn)});
+  rq.outputs.push_back(BoundQuery::OutputColumn{
+      BoundColumnRef{0, hb.recency_col, TypeId::kTimestamp},
+      std::string(HeartbeatTable::kRecencyColumn)});
+  return rq;
+}
+
+/// Splits a freshly built part into its Heartbeat-connected main query
+/// plus one EXISTS guard per disconnected component (see the Part doc).
+/// `where_terms` are the P_s' ∧ J_s' ∧ P_o terms in the part's slot
+/// space; the part's relations/outputs are already populated.
+void SplitPartIntoGuards(const Database& db, RecencyQueryPlan::Part* part,
+                         std::vector<BoundExprPtr> where_terms) {
+  const size_t n = part->query.relations.size();
+  std::vector<size_t> parent(n);
+  for (size_t i = 0; i < n; ++i) parent[i] = i;
+  std::function<size_t(size_t)> find = [&](size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const BoundExprPtr& term : where_terms) {
+    uint64_t mask = term->ReferencedRelations();
+    int first = -1;
+    for (size_t r = 0; r < n; ++r) {
+      if (((mask >> r) & 1) == 0) continue;
+      if (first < 0) {
+        first = static_cast<int>(r);
+      } else {
+        parent[find(static_cast<size_t>(first))] = find(r);
+      }
+    }
+  }
+
+  const size_t h_root = find(0);
+  bool all_connected = true;
+  for (size_t r = 0; r < n; ++r) all_connected &= (find(r) == h_root);
+  if (all_connected) {
+    if (where_terms.size() == 1) {
+      part->query.where = std::move(where_terms[0]);
+    } else if (!where_terms.empty()) {
+      part->query.where = MakeBoundAnd(std::move(where_terms));
+    }
+    part->sql = part->query.ToSql(db);
+    return;
+  }
+
+  // Slot remapping per component root.
+  std::map<size_t, std::vector<size_t>> component_slots;  // root -> slots
+  for (size_t r = 0; r < n; ++r) component_slots[find(r)].push_back(r);
+
+  std::map<size_t, BoundQuery> component_query;  // root -> query shell
+  std::map<size_t, std::vector<size_t>> remap;   // root -> old slot -> new
+  for (auto& [root, slots] : component_slots) {
+    BoundQuery q;
+    std::vector<size_t> m(n, SIZE_MAX);
+    for (size_t slot : slots) {
+      m[slot] = q.relations.size();
+      q.relations.push_back(part->query.relations[slot]);
+    }
+    if (root == h_root) {
+      q.distinct = part->query.distinct;
+      q.outputs = part->query.outputs;  // Slot 0 stays slot 0.
+    } else {
+      // EXISTS guard: project an arbitrary column; execution stops at
+      // the first row anyway.
+      const TableSchema& schema =
+          db.catalog().schema(q.relations[0].table_id);
+      q.outputs.push_back(BoundQuery::OutputColumn{
+          BoundColumnRef{0, 0, schema.column(0).type},
+          schema.column(0).name});
+    }
+    component_query.emplace(root, std::move(q));
+    remap.emplace(root, std::move(m));
+  }
+
+  std::map<size_t, std::vector<BoundExprPtr>> component_terms;
+  for (BoundExprPtr& term : where_terms) {
+    uint64_t mask = term->ReferencedRelations();
+    size_t root = h_root;  // Constant terms ride with the main query.
+    for (size_t r = 0; r < n; ++r) {
+      if ((mask >> r) & 1) {
+        root = find(r);
+        break;
+      }
+    }
+    const std::vector<size_t>& m = remap[root];
+    term->RewriteColumnRefs([&](BoundColumnRef* ref) { ref->rel = m[ref->rel]; });
+    component_terms[root].push_back(std::move(term));
+  }
+  for (auto& [root, q] : component_query) {
+    auto& terms = component_terms[root];
+    if (terms.size() == 1) {
+      q.where = std::move(terms[0]);
+    } else if (!terms.empty()) {
+      q.where = MakeBoundAnd(std::move(terms));
+    }
+  }
+
+  part->query = std::move(component_query[h_root]);
+  part->sql = part->query.ToSql(db);
+  for (auto& [root, q] : component_query) {
+    if (root == h_root) continue;
+    part->sql += " AND EXISTS (" + q.ToSql(db) + ")";
+    part->guards.push_back(std::move(q));
+  }
+}
+
+}  // namespace
+
+Result<RecencyQueryPlan> GenerateNaivePlan(const Database& db,
+                                           const RelevanceOptions& options) {
+  TRAC_ASSIGN_OR_RETURN(HeartbeatInfo hb, ResolveHeartbeat(db, options));
+  RecencyQueryPlan plan;
+  plan.fallback_all = true;
+  plan.minimal = false;
+  RecencyQueryPlan::Part part;
+  part.query = MakeRecencyScaffold(hb, hb.name);
+  part.minimal = false;
+  part.sql = part.query.ToSql(db);
+  plan.parts.push_back(std::move(part));
+  return plan;
+}
+
+Result<RecencyQueryPlan> GenerateRecencyQueries(
+    const Database& db, const BoundQuery& user_query,
+    const RelevanceOptions& options) {
+  TRAC_ASSIGN_OR_RETURN(HeartbeatInfo hb, ResolveHeartbeat(db, options));
+  const std::string hb_alias = UniqueHeartbeatAlias(user_query);
+
+  // Data source column of each user relation (nullopt: unmonitored).
+  const size_t num_rels = user_query.relations.size();
+  std::vector<std::optional<size_t>> ds_col(num_rels);
+  for (size_t r = 0; r < num_rels; ++r) {
+    ds_col[r] = db.catalog()
+                    .schema(user_query.relations[r].table_id)
+                    .data_source_column();
+  }
+
+  RecencyQueryPlan plan;
+
+  // Section 3.4's Q' = Q ∧ C: conjoin every FROM relation's CHECK
+  // constraints (remapped into the query's slot space) with the user
+  // predicate. Constraints restrict which potential tuples are legal,
+  // so they can only sharpen the relevant set; their terms classify
+  // like any other (a mixed constraint costs the minimality guarantee,
+  // exactly as the paper's definitions imply for Q').
+  BoundExprPtr effective_where;
+  {
+    std::vector<BoundExprPtr> terms;
+    if (user_query.where != nullptr) {
+      terms.push_back(user_query.where->Clone());
+    }
+    for (size_t r = 0; r < num_rels; ++r) {
+      TRAC_ASSIGN_OR_RETURN(
+          std::vector<BoundExprPtr> constraints,
+          BindCheckConstraints(db, user_query.relations[r].table_id));
+      for (BoundExprPtr& cexpr : constraints) {
+        cexpr->RewriteColumnRefs(
+            [r](BoundColumnRef* ref) { ref->rel = r; });
+        terms.push_back(std::move(cexpr));
+      }
+    }
+    if (terms.size() == 1) {
+      effective_where = std::move(terms[0]);
+    } else if (!terms.empty()) {
+      effective_where = MakeBoundAnd(std::move(terms));
+    }
+  }
+
+  // DNF-normalize the predicate; a blow-up falls back to the complete
+  // Naive answer (never an error: completeness first).
+  Dnf dnf;
+  if (effective_where != nullptr) {
+    Result<Dnf> normalized = ToDnf(*effective_where, options.normalize);
+    if (!normalized.ok()) {
+      if (normalized.status().code() == StatusCode::kResourceExhausted) {
+        TRAC_ASSIGN_OR_RETURN(plan, GenerateNaivePlan(db, options));
+        plan.notes.push_back(
+            "DNF conjunct limit exceeded; reporting all sources (complete "
+            "upper bound)");
+        return plan;
+      }
+      return normalized.status();
+    }
+    dnf = std::move(*normalized);
+  } else {
+    dnf.conjuncts.push_back(Conjunct{});  // TRUE: one empty conjunct.
+  }
+
+  for (size_t ci = 0; ci < dnf.conjuncts.size(); ++ci) {
+    const Conjunct& conjunct = dnf.conjuncts[ci];
+
+    // Corollaries 2 / 6: a conjunct whose predicates are unsatisfiable
+    // over the column domains contributes nothing.
+    Sat conj_sat = CheckConjunctionSat(db, user_query, conjunct, options.sat);
+    if (conj_sat == Sat::kUnsat) continue;
+
+    for (size_t ri = 0; ri < num_rels; ++ri) {
+      if (!ds_col[ri].has_value()) {
+        // A relation with untagged tuples: no update stream exists for
+        // it, so nothing can be relevant *via* it (its rows still join
+        // inside the other relations' parts).
+        continue;
+      }
+
+      // Classify the conjunct's terms relative to R_i (Notation 6).
+      std::vector<const BasicTerm*> ps, pr, pm, js, jrm, po, sel;
+      for (const BasicTerm& term : conjunct) {
+        switch (ClassifyTerm(db, user_query, term, ri)) {
+          case TermClass::kPs:
+            ps.push_back(&term);
+            sel.push_back(&term);
+            break;
+          case TermClass::kPr:
+            pr.push_back(&term);
+            sel.push_back(&term);
+            break;
+          case TermClass::kPm:
+            pm.push_back(&term);
+            sel.push_back(&term);
+            break;
+          case TermClass::kJs:
+            js.push_back(&term);
+            break;
+          case TermClass::kJrm:
+            jrm.push_back(&term);
+            break;
+          case TermClass::kPo:
+            po.push_back(&term);
+            break;
+        }
+      }
+
+      // If the selection predicates on R_i alone are unsatisfiable over
+      // the domains, no potential tuple of R_i exists: S(C, R_i) = ∅.
+      Sat sel_sat = CheckConjunctionSat(db, user_query, sel, options.sat);
+      if (sel_sat == Sat::kUnsat) continue;
+
+      // Theorem 3/4 preconditions.
+      bool part_minimal = pm.empty() && jrm.empty();
+      std::string note;
+      if (!pm.empty()) {
+        note = "mixed predicate on " +
+               user_query.relations[ri].display_name;
+      } else if (!jrm.empty()) {
+        note = "join predicate over a regular column of " +
+               user_query.relations[ri].display_name;
+      }
+      if (part_minimal) {
+        Sat pr_sat = CheckConjunctionSat(db, user_query, pr, options.sat);
+        if (pr_sat != Sat::kSat) {
+          part_minimal = false;
+          note = "satisfiability of the regular-column predicates on " +
+                 user_query.relations[ri].display_name +
+                 " could not be proven";
+        }
+      }
+      if (!part_minimal && !note.empty()) {
+        plan.notes.push_back("conjunct " + std::to_string(ci + 1) + ": " +
+                             note + " (upper bound; Corollary " +
+                             (num_rels == 1 ? "3" : "5") + ")");
+      }
+
+      // Build the part: H × R_j (j != i) with P_s' ∧ J_s' ∧ P_o.
+      RecencyQueryPlan::Part part;
+      part.via_relation = ri;
+      part.conjunct = ci;
+      part.minimal = part_minimal;
+      part.query = MakeRecencyScaffold(hb, hb_alias);
+
+      // Relation remapping: user slot j -> recency slot.
+      std::vector<size_t> remap(num_rels, SIZE_MAX);
+      for (size_t j = 0; j < num_rels; ++j) {
+        if (j == ri) continue;
+        remap[j] = part.query.relations.size();
+        part.query.relations.push_back(user_query.relations[j]);
+      }
+
+      const size_t ds = *ds_col[ri];
+      auto rewrite = [&](BoundColumnRef* ref) {
+        if (ref->rel == ri) {
+          // Only the data source column of R_i may appear here (terms in
+          // P_s and J_s reference no other R_i column by construction):
+          // substitute H.c_s for R_i.c_s (Notations 5 and 7).
+          ref->rel = 0;
+          ref->col = hb.source_col;
+          ref->type = TypeId::kString;
+          (void)ds;
+        } else {
+          ref->rel = remap[ref->rel];
+        }
+      };
+
+      std::vector<BoundExprPtr> where_terms;
+      for (const std::vector<const BasicTerm*>* group : {&ps, &js, &po}) {
+        for (const BasicTerm* term : *group) {
+          BoundExprPtr cloned = term->expr->Clone();
+          cloned->RewriteColumnRefs(rewrite);
+          where_terms.push_back(std::move(cloned));
+        }
+      }
+      SplitPartIntoGuards(db, &part, std::move(where_terms));
+      plan.parts.push_back(std::move(part));
+    }
+  }
+
+  plan.minimal = true;
+  for (const RecencyQueryPlan::Part& part : plan.parts) {
+    plan.minimal = plan.minimal && part.minimal;
+  }
+  return plan;
+}
+
+Result<std::vector<SourceRecency>> ExecuteRecencyQueries(
+    const Database& db, const RecencyQueryPlan& plan, Snapshot snapshot) {
+  std::map<std::string, Timestamp> merged;
+  for (const RecencyQueryPlan::Part& part : plan.parts) {
+    bool guards_pass = true;
+    for (const BoundQuery& guard : part.guards) {
+      TRAC_ASSIGN_OR_RETURN(bool nonempty,
+                            QueryHasResults(db, guard, snapshot));
+      if (!nonempty) {
+        guards_pass = false;
+        break;
+      }
+    }
+    if (!guards_pass) continue;
+    TRAC_ASSIGN_OR_RETURN(ResultSet rs,
+                          ExecuteQuery(db, part.query, snapshot));
+    for (const Row& row : rs.rows) {
+      if (row[0].is_null()) continue;
+      merged.emplace(row[0].str_val(), row[1].is_null()
+                                           ? Timestamp()
+                                           : row[1].ts_val());
+    }
+  }
+  std::vector<SourceRecency> out;
+  out.reserve(merged.size());
+  for (auto& [source, ts] : merged) {
+    out.push_back(SourceRecency{source, ts});
+  }
+  return out;
+}
+
+std::vector<std::string> RelevanceResult::SourceIds() const {
+  std::vector<std::string> ids;
+  ids.reserve(sources.size());
+  for (const SourceRecency& s : sources) ids.push_back(s.source);
+  return ids;
+}
+
+Result<RelevanceResult> ComputeRelevantSources(const Database& db,
+                                               const BoundQuery& user_query,
+                                               Snapshot snapshot,
+                                               const RelevanceOptions& options) {
+  TRAC_ASSIGN_OR_RETURN(RecencyQueryPlan plan,
+                        GenerateRecencyQueries(db, user_query, options));
+  TRAC_ASSIGN_OR_RETURN(std::vector<SourceRecency> sources,
+                        ExecuteRecencyQueries(db, plan, snapshot));
+  RelevanceResult result;
+  result.sources = std::move(sources);
+  result.minimal = plan.minimal;
+  result.fallback_all = plan.fallback_all;
+  result.notes = plan.notes;
+  for (const RecencyQueryPlan::Part& part : plan.parts) {
+    result.recency_sqls.push_back(part.sql);
+  }
+  return result;
+}
+
+}  // namespace trac

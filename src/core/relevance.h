@@ -1,0 +1,119 @@
+#ifndef TRAC_CORE_RELEVANCE_H_
+#define TRAC_CORE_RELEVANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/heartbeat.h"
+#include "expr/bound_expr.h"
+#include "predicate/normalize.h"
+#include "predicate/satisfiability.h"
+#include "storage/database.h"
+
+namespace trac {
+
+/// Knobs for recency-query generation.
+struct RelevanceOptions {
+  std::string heartbeat_table = std::string(HeartbeatTable::kDefaultName);
+  NormalizeOptions normalize;
+  SatOptions sat;
+};
+
+/// The generated recency queries for a user query — one per
+/// (DNF conjunct, referenced relation) pair, following Theorem 3 (single
+/// relation) and Theorem 4 (multi relation):
+///
+///   S(Q, R_i) [=|⊆] π_{c_s}( σ_{P_s' ∧ J_s' ∧ P_o}
+///                             (H × R_1 × ... R_{i-1} × R_{i+1} ... × R_n) )
+///
+/// Each part's query SELECTs DISTINCT H.source_id and H's recency
+/// timestamp so one execution yields both the relevant set and the data
+/// for the recency report. S(Q) is the union over all parts
+/// (Corollaries 1 and 4).
+struct RecencyQueryPlan {
+  struct Part {
+    BoundQuery query;
+    /// EXISTS guards: relations of the Theorem 4 cross product that are
+    /// not predicate-connected to the Heartbeat slot only matter through
+    /// non-emptiness, so each such connected component becomes a guard
+    /// query evaluated with LIMIT 1. If any guard is empty the part
+    /// contributes nothing; otherwise `query` (which keeps only H's
+    /// component) computes the sources. Semantically identical to the
+    /// full cross product, and it reproduces the cost profile the paper
+    /// describes for Q4's Routing subquery.
+    std::vector<BoundQuery> guards;
+    /// Which user-query relation this part covers (S(Q, R_i) via R_i).
+    size_t via_relation = 0;
+    size_t conjunct = 0;
+    /// Theorem 3/4 preconditions held: P_m and J_rm NULL, P_r proven
+    /// satisfiable. The part computes the exact S for its conjunct.
+    bool minimal = true;
+    std::string sql;  ///< Rendered text of `query`.
+  };
+
+  std::vector<Part> parts;
+
+  /// True when generation fell back to "all sources are relevant"
+  /// (DNF blow-up, or a query relation without a data source column in a
+  /// position that prevents analysis). The plan then holds a single part
+  /// scanning the whole Heartbeat table — complete but maximally
+  /// imprecise, equivalent to the Naive method.
+  bool fallback_all = false;
+
+  /// All parts minimal, the DNF was exact, and no conjunct was dropped
+  /// on an unproven satisfiability verdict: A(Q) == S(Q) guaranteed.
+  bool minimal = true;
+
+  /// Human-readable reasons minimality (or precision) was lost.
+  std::vector<std::string> notes;
+};
+
+/// Generates the recency queries for `user_query` (pure analysis; does
+/// not touch table data). Corresponds to the paper's "parse a user query
+/// and generate a recency query" phase, which the evaluation times
+/// separately.
+Result<RecencyQueryPlan> GenerateRecencyQueries(
+    const Database& db, const BoundQuery& user_query,
+    const RelevanceOptions& options = RelevanceOptions());
+
+/// A relevant source with its recency timestamp.
+struct SourceRecency {
+  std::string source;
+  Timestamp recency;
+
+  friend bool operator==(const SourceRecency& a, const SourceRecency& b) {
+    return a.source == b.source && a.recency == b.recency;
+  }
+};
+
+/// Executes the plan's parts against `snapshot` and unions the results;
+/// output sorted by source id.
+Result<std::vector<SourceRecency>> ExecuteRecencyQueries(
+    const Database& db, const RecencyQueryPlan& plan, Snapshot snapshot);
+
+/// The combined answer: A(Q) with its provenance.
+struct RelevanceResult {
+  std::vector<SourceRecency> sources;  ///< Sorted by source id.
+  bool minimal = true;                 ///< A(Q) == S(Q) proven.
+  bool fallback_all = false;
+  std::vector<std::string> recency_sqls;  ///< One per generated part.
+  std::vector<std::string> notes;
+
+  std::vector<std::string> SourceIds() const;
+};
+
+/// Generation + execution in one call.
+Result<RelevanceResult> ComputeRelevantSources(
+    const Database& db, const BoundQuery& user_query, Snapshot snapshot,
+    const RelevanceOptions& options = RelevanceOptions());
+
+/// The Naive method (Section 5): every source in the Heartbeat table is
+/// reported relevant. Used as the experimental baseline and as the
+/// fallback plan.
+Result<RecencyQueryPlan> GenerateNaivePlan(
+    const Database& db, const RelevanceOptions& options = RelevanceOptions());
+
+}  // namespace trac
+
+#endif  // TRAC_CORE_RELEVANCE_H_

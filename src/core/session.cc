@@ -1,0 +1,57 @@
+#include "core/session.h"
+
+#include <atomic>
+
+namespace trac {
+
+namespace {
+// Process-wide counter so temp-table names never collide across
+// sessions sharing one Database.
+std::atomic<uint64_t> g_temp_counter{0};
+}  // namespace
+
+Session::~Session() {
+  for (const std::string& name : temp_tables_) {
+    (void)db_->DropTable(name);  // Best effort; table may be materialized.
+  }
+}
+
+Result<std::string> Session::CreateTempTable(std::string_view prefix,
+                                             std::vector<ColumnDef> columns,
+                                             std::vector<Row> rows) {
+  const uint64_t n = g_temp_counter.fetch_add(1) + 1000;
+  std::string name = std::string(prefix) + std::to_string(n);
+  TableSchema schema(name, std::move(columns));
+  TRAC_ASSIGN_OR_RETURN(TableId id, db_->CreateTable(std::move(schema)));
+  TRAC_RETURN_IF_ERROR(db_->InsertMany(id, std::move(rows)));
+  temp_tables_.push_back(name);
+  return name;
+}
+
+Status Session::Materialize(std::string_view temp_name,
+                            std::string_view permanent_name) {
+  TRAC_ASSIGN_OR_RETURN(TableId src_id, db_->FindTable(temp_name));
+  const TableSchema& src_schema = db_->catalog().schema(src_id);
+  TableSchema dst_schema(std::string(permanent_name), src_schema.columns());
+  TRAC_ASSIGN_OR_RETURN(TableId dst_id,
+                        db_->CreateTable(std::move(dst_schema)));
+  std::vector<Row> rows;
+  const Table* src = db_->GetTable(src_id);
+  src->Scan(db_->LatestSnapshot(),
+            [&](size_t, const Row& row) { rows.push_back(row); });
+  TRAC_RETURN_IF_ERROR(db_->InsertMany(dst_id, std::move(rows)));
+  return DropTempTable(temp_name);
+}
+
+Status Session::DropTempTable(std::string_view name) {
+  for (auto it = temp_tables_.begin(); it != temp_tables_.end(); ++it) {
+    if (*it == name) {
+      temp_tables_.erase(it);
+      return db_->DropTable(name);
+    }
+  }
+  return Status::NotFound("no temp table named '" + std::string(name) +
+                          "' in this session");
+}
+
+}  // namespace trac

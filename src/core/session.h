@@ -1,0 +1,54 @@
+#ifndef TRAC_CORE_SESSION_H_
+#define TRAC_CORE_SESSION_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/database.h"
+
+namespace trac {
+
+/// A user session owning temporary tables. The recency reporter stores
+/// each report's relevant-source snapshots in session temp tables
+/// (sys_temp_aNNN / sys_temp_eNNN, echoing the prototype's PostgreSQL
+/// table names); they stay queryable through normal SQL until the
+/// session ends, unless the user materializes them first (Section 4.3:
+/// "the user can decide whether to copy it to a permanent table before
+/// the end of a session").
+class Session {
+ public:
+  explicit Session(Database* db) : db_(db) {}
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  Database* db() const { return db_; }
+
+  /// Creates a temp table named `<prefix><N>` with the given columns and
+  /// rows; returns the generated name.
+  Result<std::string> CreateTempTable(std::string_view prefix,
+                                      std::vector<ColumnDef> columns,
+                                      std::vector<Row> rows);
+
+  /// Renames a temp table into a permanent one (it survives the session).
+  /// Implemented as create-copy + drop, like the prototype's "copy it to
+  /// a permanent table".
+  Status Materialize(std::string_view temp_name,
+                     std::string_view permanent_name);
+
+  /// Drops one temp table now.
+  Status DropTempTable(std::string_view name);
+
+  const std::vector<std::string>& temp_tables() const { return temp_tables_; }
+
+ private:
+  Database* db_;
+  std::vector<std::string> temp_tables_;
+};
+
+}  // namespace trac
+
+#endif  // TRAC_CORE_SESSION_H_

@@ -1,0 +1,58 @@
+#ifndef TRAC_EXEC_EXECUTOR_H_
+#define TRAC_EXEC_EXECUTOR_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/planner.h"
+#include "expr/bound_expr.h"
+#include "storage/database.h"
+#include "storage/snapshot.h"
+
+namespace trac {
+
+/// A fully materialized query result.
+struct ResultSet {
+  std::vector<std::string> column_names;
+  std::vector<Row> rows;
+
+  size_t num_rows() const { return rows.size(); }
+
+  /// For COUNT(*) results: the single counter value.
+  int64_t count() const { return rows.at(0).at(0).int_val(); }
+
+  /// True if some row equals `row` (structural equality).
+  bool Contains(const Row& row) const;
+
+  /// Pipe-separated textual table, one line per row; stable ordering is
+  /// the executor's emission order.
+  std::string ToString() const;
+};
+
+/// Executes a bound query against `snapshot`. The paper's reporter runs
+/// the user query and the generated recency query through this with the
+/// *same* snapshot, which yields the consistency guarantee of
+/// Section 3.2.
+Result<ResultSet> ExecuteQuery(const Database& db, const BoundQuery& query,
+                               Snapshot snapshot);
+
+/// As above, but stops as soon as `row_limit` output rows (or counted
+/// tuples, for COUNT(*)) have been produced. Powers EXISTS-style guard
+/// evaluation in the recency analyzer.
+Result<ResultSet> ExecuteQueryWithLimit(const Database& db,
+                                        const BoundQuery& query,
+                                        Snapshot snapshot, size_t row_limit);
+
+/// True iff the query produces at least one tuple under `snapshot`;
+/// evaluation stops at the first one.
+Result<bool> QueryHasResults(const Database& db, const BoundQuery& query,
+                             Snapshot snapshot);
+
+/// Parse + bind + execute against the latest snapshot.
+Result<ResultSet> ExecuteSql(const Database& db, std::string_view sql);
+
+}  // namespace trac
+
+#endif  // TRAC_EXEC_EXECUTOR_H_

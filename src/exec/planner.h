@@ -1,0 +1,66 @@
+#ifndef TRAC_EXEC_PLANNER_H_
+#define TRAC_EXEC_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "expr/bound_expr.h"
+#include "storage/database.h"
+#include "storage/snapshot.h"
+
+namespace trac {
+
+/// One level of a left-deep join plan: how to access one relation and
+/// how to connect it to the already-bound prefix. All BoundExpr pointers
+/// reference nodes owned by the BoundQuery passed to PlanQuery; the plan
+/// must not outlive it.
+struct LevelPlan {
+  size_t relation = 0;  ///< Slot index into BoundQuery::relations.
+
+  // -- Access path.
+  bool use_local_index = false;
+  size_t index_column = 0;           ///< Valid if use_local_index.
+  std::vector<Value> index_keys;     ///< Deduplicated = / IN keys.
+  /// Predicates referencing only this relation (re-checked on each row,
+  /// including the one that supplied the index keys).
+  std::vector<const BoundExpr*> local_preds;
+
+  // -- Connection to the prefix.
+  struct EquiKey {
+    BoundColumnRef probe;  ///< Column bound by an earlier level.
+    BoundColumnRef build;  ///< Column of this level's relation.
+  };
+  std::vector<EquiKey> equi_keys;
+  /// Other predicates that become checkable at this level.
+  std::vector<const BoundExpr*> level_preds;
+
+  /// Per-probe index lookup on equi_keys[0].build instead of building a
+  /// hash table (index nested-loop join).
+  bool index_nested_loop = false;
+
+  double estimated_rows = 0;  ///< Cardinality guess used for ordering.
+};
+
+/// A full plan: constant predicates (evaluated once), then the join
+/// levels in execution order.
+struct QueryPlan {
+  /// Predicates referencing no columns (e.g. WHERE FALSE).
+  std::vector<const BoundExpr*> constant_preds;
+  std::vector<LevelPlan> levels;
+
+  /// Human-readable plan description (one line per level).
+  std::string Explain(const Database& db, const BoundQuery& query) const;
+};
+
+/// Builds a heuristic left-deep plan: index selection for =/IN
+/// predicates on indexed columns, greedy join ordering by estimated
+/// cardinality preferring equi-join-connected relations, hash joins for
+/// equi-joins, and index nested-loop joins when the prefix is small and
+/// the build side is indexed on the join column.
+Result<QueryPlan> PlanQuery(const Database& db, const BoundQuery& query,
+                            Snapshot snapshot);
+
+}  // namespace trac
+
+#endif  // TRAC_EXEC_PLANNER_H_

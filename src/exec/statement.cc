@@ -1,0 +1,231 @@
+#include "exec/statement.h"
+
+#include <functional>
+#include <memory>
+
+#include "expr/binder.h"
+#include "expr/constraints.h"
+#include "expr/evaluator.h"
+#include "sql/parser.h"
+
+namespace trac {
+
+namespace {
+
+Result<StatementResult> RunSelect(Database* db, SelectStmt stmt) {
+  TRAC_ASSIGN_OR_RETURN(BoundQuery bound, BindSelect(*db, stmt));
+  TRAC_ASSIGN_OR_RETURN(ResultSet rs,
+                        ExecuteQuery(*db, bound, db->LatestSnapshot()));
+  StatementResult out;
+  out.kind = StatementResult::Kind::kSelect;
+  out.message = "SELECT " + std::to_string(rs.num_rows());
+  out.result = std::move(rs);
+  return out;
+}
+
+Result<StatementResult> RunCreateTable(Database* db, CreateTableStmt stmt) {
+  std::vector<ColumnDef> columns;
+  std::string data_source_column;
+  for (const ColumnSpec& spec : stmt.columns) {
+    columns.emplace_back(spec.name, spec.type);
+    if (spec.is_data_source) {
+      if (!data_source_column.empty()) {
+        return Status::InvalidArgument(
+            "at most one DATA SOURCE column per table");
+      }
+      data_source_column = spec.name;
+    }
+  }
+  TableSchema schema(stmt.table, std::move(columns));
+  if (!data_source_column.empty()) {
+    TRAC_RETURN_IF_ERROR(schema.SetDataSourceColumn(data_source_column));
+  }
+  for (std::string& check : stmt.checks) {
+    schema.AddCheckConstraint(std::move(check));
+  }
+  TRAC_ASSIGN_OR_RETURN(TableId id, db->CreateTable(std::move(schema)));
+  // Validate the CHECK predicates now so a typo surfaces at CREATE time,
+  // not at the first INSERT.
+  Result<std::vector<BoundExprPtr>> bound = BindCheckConstraints(*db, id);
+  if (!bound.ok()) {
+    (void)db->DropTable(stmt.table);
+    return bound.status();
+  }
+  StatementResult out;
+  out.kind = StatementResult::Kind::kDdl;
+  out.message = "CREATE TABLE";
+  return out;
+}
+
+Result<StatementResult> RunInsert(Database* db, InsertStmt stmt) {
+  TRAC_ASSIGN_OR_RETURN(TableId id, db->FindTable(stmt.table));
+  const TableSchema& schema = db->catalog().schema(id);
+
+  // Column-name mapping (positional when the list is absent).
+  std::vector<size_t> positions;
+  if (stmt.columns.empty()) {
+    for (size_t i = 0; i < schema.num_columns(); ++i) positions.push_back(i);
+  } else {
+    for (const std::string& name : stmt.columns) {
+      std::optional<size_t> idx = schema.FindColumn(name);
+      if (!idx.has_value()) {
+        return Status::NotFound("no column '" + name + "' in table '" +
+                                stmt.table + "'");
+      }
+      positions.push_back(*idx);
+    }
+  }
+
+  int64_t inserted = 0;
+  for (const std::vector<Value>& values : stmt.rows) {
+    if (values.size() != positions.size()) {
+      return Status::InvalidArgument(
+          "VALUES arity does not match the insert target");
+    }
+    Row row(schema.num_columns());  // Unlisted columns stay NULL.
+    for (size_t i = 0; i < positions.size(); ++i) {
+      TRAC_ASSIGN_OR_RETURN(
+          row[positions[i]],
+          CoerceLiteral(values[i], schema.column(positions[i]).type));
+    }
+    TRAC_RETURN_IF_ERROR(CheckRowConstraints(*db, id, row));
+    TRAC_RETURN_IF_ERROR(db->Insert(stmt.table, std::move(row)));
+    ++inserted;
+  }
+  StatementResult out;
+  out.kind = StatementResult::Kind::kDml;
+  out.rows_affected = inserted;
+  out.message = "INSERT " + std::to_string(inserted);
+  return out;
+}
+
+/// Binds `where` (may be null) in a single-table scope and returns a
+/// row predicate closure. Evaluation errors surface through `status`.
+Result<std::function<bool(const Row&)>> MakeRowPredicate(
+    const Database& db, TableId id, const ExprPtr& where, Status* status) {
+  if (where == nullptr) {
+    return std::function<bool(const Row&)>([](const Row&) { return true; });
+  }
+  BoundQuery scope;
+  scope.relations.push_back(
+      BoundTableRef{id, db.catalog().schema(id).name()});
+  TRAC_ASSIGN_OR_RETURN(BoundExprPtr bound,
+                        BindPredicateInScope(db, scope, *where));
+  auto shared = std::shared_ptr<BoundExpr>(std::move(bound));
+  return std::function<bool(const Row&)>([shared, status](const Row& row) {
+    TupleView tuple = {&row};
+    auto v = EvalPredicate(*shared, tuple);
+    if (!v.ok()) {
+      if (status->ok()) *status = v.status();
+      return false;
+    }
+    return IsTrue(*v);
+  });
+}
+
+Result<StatementResult> RunUpdate(Database* db, UpdateStmt stmt) {
+  TRAC_ASSIGN_OR_RETURN(TableId id, db->FindTable(stmt.table));
+  const TableSchema& schema = db->catalog().schema(id);
+
+  std::vector<std::pair<size_t, Value>> assignments;
+  for (auto& [name, value] : stmt.assignments) {
+    std::optional<size_t> idx = schema.FindColumn(name);
+    if (!idx.has_value()) {
+      return Status::NotFound("no column '" + name + "' in table '" +
+                              stmt.table + "'");
+    }
+    TRAC_ASSIGN_OR_RETURN(Value coerced,
+                          CoerceLiteral(value, schema.column(*idx).type));
+    assignments.emplace_back(*idx, std::move(coerced));
+  }
+
+  Status eval_status;
+  TRAC_ASSIGN_OR_RETURN(std::function<bool(const Row&)> pred,
+                        MakeRowPredicate(*db, id, stmt.where, &eval_status));
+
+  // Constraint violations inside the mutator are collected and reported
+  // after the fact (the mutation is applied row-at-a-time under the
+  // database's write lock).
+  Status constraint_status;
+  TRAC_ASSIGN_OR_RETURN(
+      int updated,
+      db->UpdateWhere(
+          stmt.table,
+          [&](const Row& row) {
+            if (!pred(row)) return false;
+            Row candidate = row;
+            for (const auto& [col, value] : assignments) {
+              candidate[col] = value;
+            }
+            Status s = CheckRowConstraints(*db, id, candidate);
+            if (!s.ok()) {
+              if (constraint_status.ok()) constraint_status = s;
+              return false;
+            }
+            return true;
+          },
+          [&](Row* row) {
+            for (const auto& [col, value] : assignments) {
+              (*row)[col] = value;
+            }
+          }));
+  TRAC_RETURN_IF_ERROR(eval_status);
+  TRAC_RETURN_IF_ERROR(constraint_status);
+
+  StatementResult out;
+  out.kind = StatementResult::Kind::kDml;
+  out.rows_affected = updated;
+  out.message = "UPDATE " + std::to_string(updated);
+  return out;
+}
+
+Result<StatementResult> RunDelete(Database* db, DeleteStmt stmt) {
+  TRAC_ASSIGN_OR_RETURN(TableId id, db->FindTable(stmt.table));
+  Status eval_status;
+  TRAC_ASSIGN_OR_RETURN(std::function<bool(const Row&)> pred,
+                        MakeRowPredicate(*db, id, stmt.where, &eval_status));
+  TRAC_ASSIGN_OR_RETURN(int deleted, db->DeleteWhere(stmt.table, pred));
+  TRAC_RETURN_IF_ERROR(eval_status);
+  StatementResult out;
+  out.kind = StatementResult::Kind::kDml;
+  out.rows_affected = deleted;
+  out.message = "DELETE " + std::to_string(deleted);
+  return out;
+}
+
+}  // namespace
+
+Result<StatementResult> ExecuteStatement(Database* db, std::string_view sql) {
+  TRAC_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  return std::visit(
+      [db](auto&& s) -> Result<StatementResult> {
+        using T = std::decay_t<decltype(s)>;
+        if constexpr (std::is_same_v<T, SelectStmt>) {
+          return RunSelect(db, std::move(s));
+        } else if constexpr (std::is_same_v<T, CreateTableStmt>) {
+          return RunCreateTable(db, std::move(s));
+        } else if constexpr (std::is_same_v<T, InsertStmt>) {
+          return RunInsert(db, std::move(s));
+        } else if constexpr (std::is_same_v<T, UpdateStmt>) {
+          return RunUpdate(db, std::move(s));
+        } else if constexpr (std::is_same_v<T, DeleteStmt>) {
+          return RunDelete(db, std::move(s));
+        } else if constexpr (std::is_same_v<T, CreateIndexStmt>) {
+          TRAC_RETURN_IF_ERROR(db->CreateIndex(s.table, s.column));
+          StatementResult out;
+          out.kind = StatementResult::Kind::kDdl;
+          out.message = "CREATE INDEX";
+          return out;
+        } else {
+          static_assert(std::is_same_v<T, DropTableStmt>);
+          TRAC_RETURN_IF_ERROR(db->DropTable(s.table));
+          StatementResult out;
+          out.kind = StatementResult::Kind::kDdl;
+          out.message = "DROP TABLE";
+          return out;
+        }
+      },
+      std::move(stmt));
+}
+
+}  // namespace trac

@@ -1,0 +1,36 @@
+#ifndef TRAC_EXEC_STATEMENT_H_
+#define TRAC_EXEC_STATEMENT_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "exec/executor.h"
+#include "storage/database.h"
+
+namespace trac {
+
+/// Outcome of ExecuteStatement.
+struct StatementResult {
+  enum class Kind { kSelect, kDdl, kDml };
+  Kind kind = Kind::kDdl;
+  /// Populated for kSelect.
+  ResultSet result;
+  /// Rows inserted/updated/deleted for kDml.
+  int64_t rows_affected = 0;
+  /// Human-readable confirmation ("CREATE TABLE", "INSERT 3", ...).
+  std::string message;
+};
+
+/// Parses and executes one statement (see sql/parser.h ParseStatement
+/// for the grammar). SELECT runs against the latest snapshot; DML is
+/// auto-commit; CREATE TABLE honors `DATA SOURCE` column markers and
+/// CHECK constraints, and INSERT/UPDATE enforce CHECK constraints.
+///
+/// This is the surface the example shell (examples/trac_shell.cpp) and
+/// any embedding application use to drive the database with plain SQL.
+Result<StatementResult> ExecuteStatement(Database* db, std::string_view sql);
+
+}  // namespace trac
+
+#endif  // TRAC_EXEC_STATEMENT_H_

@@ -1,0 +1,295 @@
+#include "expr/binder.h"
+
+#include "common/str_util.h"
+#include "sql/parser.h"
+
+namespace trac {
+
+namespace {
+
+/// Stateless helper owning the binding context (catalog + FROM scope).
+class Binder {
+ public:
+  Binder(const Database& db, const BoundQuery& scope)
+      : db_(db), scope_(scope) {}
+
+  Result<BoundExprPtr> Bind(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kColumnRef:
+        return BindColumn(e);
+      case ExprKind::kLiteral:
+        return MakeBoundLiteral(e.literal);
+      case ExprKind::kCompare:
+        return BindCompare(e);
+      case ExprKind::kInList:
+        return BindInList(e);
+      case ExprKind::kBetween:
+        return BindBetween(e);
+      case ExprKind::kIsNull: {
+        TRAC_ASSIGN_OR_RETURN(BoundExprPtr child, Bind(*e.children[0]));
+        return MakeBoundIsNull(std::move(child), e.negated);
+      }
+      case ExprKind::kAnd:
+      case ExprKind::kOr: {
+        std::vector<BoundExprPtr> children;
+        children.reserve(e.children.size());
+        for (const auto& c : e.children) {
+          TRAC_ASSIGN_OR_RETURN(BoundExprPtr b, Bind(*c));
+          children.push_back(std::move(b));
+        }
+        return e.kind == ExprKind::kAnd ? MakeBoundAnd(std::move(children))
+                                        : MakeBoundOr(std::move(children));
+      }
+      case ExprKind::kNot: {
+        TRAC_ASSIGN_OR_RETURN(BoundExprPtr child, Bind(*e.children[0]));
+        return MakeBoundNot(std::move(child));
+      }
+    }
+    return Status::Internal("unhandled expression kind in binder");
+  }
+
+  Result<BoundColumnRef> ResolveColumn(const std::string& qualifier,
+                                       const std::string& column) const {
+    std::optional<BoundColumnRef> found;
+    for (size_t r = 0; r < scope_.relations.size(); ++r) {
+      const BoundTableRef& rel = scope_.relations[r];
+      if (!qualifier.empty() &&
+          !EqualsIgnoreCaseAscii(rel.display_name, qualifier)) {
+        continue;
+      }
+      const TableSchema& schema = db_.catalog().schema(rel.table_id);
+      std::optional<size_t> col = schema.FindColumn(column);
+      if (!col.has_value()) continue;
+      if (found.has_value()) {
+        return Status::BindError("ambiguous column reference '" + column +
+                                 "'");
+      }
+      found = BoundColumnRef{r, *col, schema.column(*col).type};
+    }
+    if (!found.has_value()) {
+      std::string name = qualifier.empty() ? column : qualifier + "." + column;
+      return Status::BindError("cannot resolve column '" + name + "'");
+    }
+    return *found;
+  }
+
+ private:
+  Result<BoundExprPtr> BindColumn(const Expr& e) {
+    TRAC_ASSIGN_OR_RETURN(BoundColumnRef ref, ResolveColumn(e.table, e.column));
+    return MakeBoundColumn(ref);
+  }
+
+  static TypeId ExprType(const BoundExpr& e) {
+    if (e.kind == ExprKind::kColumnRef) return e.column.type;
+    if (e.kind == ExprKind::kLiteral) return e.literal.type();
+    return TypeId::kBool;  // Predicates.
+  }
+
+  Result<BoundExprPtr> BindCompare(const Expr& e) {
+    TRAC_ASSIGN_OR_RETURN(BoundExprPtr lhs, Bind(*e.children[0]));
+    TRAC_ASSIGN_OR_RETURN(BoundExprPtr rhs, Bind(*e.children[1]));
+    // Literal coercion toward the column side (string -> timestamp,
+    // int -> double).
+    if (lhs->kind == ExprKind::kLiteral && rhs->kind == ExprKind::kColumnRef) {
+      TRAC_ASSIGN_OR_RETURN(lhs->literal, CoerceLiteral(std::move(lhs->literal),
+                                                        rhs->column.type));
+    } else if (rhs->kind == ExprKind::kLiteral &&
+               lhs->kind == ExprKind::kColumnRef) {
+      TRAC_ASSIGN_OR_RETURN(rhs->literal, CoerceLiteral(std::move(rhs->literal),
+                                                        lhs->column.type));
+    }
+    TypeId lt = ExprType(*lhs), rt = ExprType(*rhs);
+    bool lhs_null = lhs->kind == ExprKind::kLiteral && lhs->literal.is_null();
+    bool rhs_null = rhs->kind == ExprKind::kLiteral && rhs->literal.is_null();
+    if (!lhs_null && !rhs_null && !TypesComparable(lt, rt)) {
+      return Status::BindError(
+          "cannot compare " + std::string(TypeIdToString(lt)) + " with " +
+          std::string(TypeIdToString(rt)));
+    }
+    return MakeBoundCompare(e.op, std::move(lhs), std::move(rhs));
+  }
+
+  Result<BoundExprPtr> BindInList(const Expr& e) {
+    TRAC_ASSIGN_OR_RETURN(BoundExprPtr lhs, Bind(*e.children[0]));
+    TypeId lt = ExprType(*lhs);
+    std::vector<Value> values;
+    values.reserve(e.list.size());
+    for (const Value& v : e.list) {
+      TRAC_ASSIGN_OR_RETURN(Value coerced, CoerceLiteral(v, lt));
+      if (!coerced.is_null() && !TypesComparable(coerced.type(), lt)) {
+        return Status::BindError("IN-list value " + v.ToSqlLiteral() +
+                                 " is not comparable with " +
+                                 std::string(TypeIdToString(lt)));
+      }
+      values.push_back(std::move(coerced));
+    }
+    return MakeBoundInList(std::move(lhs), std::move(values), e.negated);
+  }
+
+  Result<BoundExprPtr> BindBetween(const Expr& e) {
+    TRAC_ASSIGN_OR_RETURN(BoundExprPtr ex, Bind(*e.children[0]));
+    TRAC_ASSIGN_OR_RETURN(BoundExprPtr lo, Bind(*e.children[1]));
+    TRAC_ASSIGN_OR_RETURN(BoundExprPtr hi, Bind(*e.children[2]));
+    TypeId t = ExprType(*ex);
+    for (BoundExprPtr* bound : {&lo, &hi}) {
+      if ((*bound)->kind == ExprKind::kLiteral) {
+        TRAC_ASSIGN_OR_RETURN((*bound)->literal,
+                              CoerceLiteral(std::move((*bound)->literal), t));
+      }
+      TypeId bt = ExprType(**bound);
+      if (!TypesComparable(t, bt) &&
+          !((*bound)->kind == ExprKind::kLiteral &&
+            (*bound)->literal.is_null())) {
+        return Status::BindError("BETWEEN bound is not comparable with " +
+                                 std::string(TypeIdToString(t)));
+      }
+    }
+    return MakeBoundBetween(std::move(ex), std::move(lo), std::move(hi),
+                            e.negated);
+  }
+
+  const Database& db_;
+  const BoundQuery& scope_;
+};
+
+}  // namespace
+
+Result<Value> CoerceLiteral(Value v, TypeId target) {
+  if (v.is_null()) return v;
+  if (v.type() == target) return v;
+  if (v.type() == TypeId::kInt64 && target == TypeId::kDouble) {
+    return Value::Double(static_cast<double>(v.int_val()));
+  }
+  if (v.type() == TypeId::kString && target == TypeId::kTimestamp) {
+    TRAC_ASSIGN_OR_RETURN(Timestamp ts, Timestamp::Parse(v.str_val()));
+    return Value::Ts(ts);
+  }
+  return v;  // Leave as-is; comparability is checked by the caller.
+}
+
+Result<BoundQuery> BindSelect(const Database& db, const SelectStmt& stmt) {
+  BoundQuery query;
+  if (stmt.from.empty()) {
+    return Status::BindError("FROM list must not be empty");
+  }
+  for (const TableRef& ref : stmt.from) {
+    TRAC_ASSIGN_OR_RETURN(TableId id, db.FindTable(ref.table));
+    const std::string& display =
+        ref.alias.empty() ? db.catalog().schema(id).name() : ref.alias;
+    for (const BoundTableRef& existing : query.relations) {
+      if (EqualsIgnoreCaseAscii(existing.display_name, display)) {
+        return Status::BindError("duplicate table name/alias '" + display +
+                                 "' in FROM list");
+      }
+    }
+    query.relations.push_back(BoundTableRef{id, display});
+  }
+  query.distinct = stmt.distinct;
+
+  Binder binder(db, query);
+
+  // Select list. Aggregates and plain columns cannot mix (no GROUP BY).
+  bool has_aggregate = false;
+  bool has_plain = false;
+  for (const SelectItem& item : stmt.items) {
+    has_aggregate |= item.agg != AggFn::kNone;
+    has_plain |= item.agg == AggFn::kNone;
+  }
+  if (has_aggregate && has_plain) {
+    return Status::Unsupported(
+        "mixing aggregates and plain columns requires GROUP BY, which is "
+        "not supported");
+  }
+  if (has_aggregate && stmt.distinct) {
+    return Status::Unsupported("DISTINCT with aggregates is not supported");
+  }
+  if (has_aggregate && !stmt.order_by.empty()) {
+    return Status::Unsupported("ORDER BY with aggregates is not supported");
+  }
+
+  for (const SelectItem& item : stmt.items) {
+    if (item.star) {
+      for (size_t r = 0; r < query.relations.size(); ++r) {
+        const TableSchema& schema =
+            db.catalog().schema(query.relations[r].table_id);
+        for (size_t c = 0; c < schema.num_columns(); ++c) {
+          query.outputs.push_back(BoundQuery::OutputColumn{
+              BoundColumnRef{r, c, schema.column(c).type},
+              schema.column(c).name});
+        }
+      }
+      continue;
+    }
+    if (item.agg != AggFn::kNone) {
+      BoundQuery::Aggregate agg;
+      agg.fn = item.agg;
+      if (item.agg == AggFn::kCountStar) {
+        agg.name = item.alias.empty() ? "count" : item.alias;
+      } else {
+        const Expr& e = *item.expr;
+        TRAC_ASSIGN_OR_RETURN(agg.arg,
+                              binder.ResolveColumn(e.table, e.column));
+        if ((item.agg == AggFn::kSum || item.agg == AggFn::kAvg) &&
+            agg.arg.type != TypeId::kInt64 &&
+            agg.arg.type != TypeId::kDouble) {
+          return Status::TypeError(
+              std::string(AggFnToString(item.agg)) +
+              " requires a numeric column");
+        }
+        agg.name = item.alias.empty()
+                       ? ToLowerAscii(AggFnToString(item.agg)) + "_" +
+                             e.column
+                       : item.alias;
+      }
+      query.aggregates.push_back(std::move(agg));
+      continue;
+    }
+    const Expr& e = *item.expr;
+    if (e.kind != ExprKind::kColumnRef) {
+      return Status::Unsupported(
+          "select-list items must be column references, * or aggregates");
+    }
+    TRAC_ASSIGN_OR_RETURN(BoundColumnRef ref,
+                          binder.ResolveColumn(e.table, e.column));
+    std::string name = item.alias.empty() ? e.column : item.alias;
+    query.outputs.push_back(BoundQuery::OutputColumn{ref, std::move(name)});
+  }
+  // The classic single-COUNT(*) query keeps its dedicated fast path.
+  if (query.aggregates.size() == 1 &&
+      query.aggregates[0].fn == AggFn::kCountStar) {
+    query.count_star = true;
+    query.aggregates.clear();
+  }
+
+  if (stmt.where != nullptr) {
+    TRAC_ASSIGN_OR_RETURN(query.where, binder.Bind(*stmt.where));
+  }
+  for (const OrderByItem& item : stmt.order_by) {
+    if (query.count_star) {
+      return Status::Unsupported("ORDER BY with COUNT(*) is meaningless");
+    }
+    if (item.expr->kind != ExprKind::kColumnRef) {
+      return Status::Unsupported("ORDER BY supports column references only");
+    }
+    TRAC_ASSIGN_OR_RETURN(
+        BoundColumnRef ref,
+        binder.ResolveColumn(item.expr->table, item.expr->column));
+    query.order_by.push_back(BoundQuery::OrderKey{ref, item.descending});
+  }
+  if (stmt.limit.has_value()) query.limit = *stmt.limit;
+  return query;
+}
+
+Result<BoundQuery> BindSql(const Database& db, std::string_view sql) {
+  TRAC_ASSIGN_OR_RETURN(SelectStmt stmt, ParseSelect(sql));
+  return BindSelect(db, stmt);
+}
+
+Result<BoundExprPtr> BindPredicateInScope(const Database& db,
+                                          const BoundQuery& scope,
+                                          const Expr& expr) {
+  Binder binder(db, scope);
+  return binder.Bind(expr);
+}
+
+}  // namespace trac

@@ -1,0 +1,34 @@
+#ifndef TRAC_EXPR_BINDER_H_
+#define TRAC_EXPR_BINDER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "expr/bound_expr.h"
+#include "sql/ast.h"
+#include "storage/database.h"
+
+namespace trac {
+
+/// Resolves a parsed SELECT against the database catalog: table and
+/// column names, select-list expansion (`*`), literal type coercion
+/// (int -> double, string -> timestamp when compared with a timestamp
+/// column), and comparison type checking.
+Result<BoundQuery> BindSelect(const Database& db, const SelectStmt& stmt);
+
+/// Convenience: parse + bind in one call.
+Result<BoundQuery> BindSql(const Database& db, std::string_view sql);
+
+/// Binds a stand-alone predicate in the scope of an existing query's
+/// FROM list (used for schema constraints and tests).
+Result<BoundExprPtr> BindPredicateInScope(const Database& db,
+                                          const BoundQuery& scope,
+                                          const Expr& expr);
+
+/// Coerces a literal to `target` where a lossless conversion exists
+/// (int64 -> double, string -> timestamp); NULL passes through.
+Result<Value> CoerceLiteral(Value v, TypeId target);
+
+}  // namespace trac
+
+#endif  // TRAC_EXPR_BINDER_H_

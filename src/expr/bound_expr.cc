@@ -1,0 +1,227 @@
+#include "expr/bound_expr.h"
+
+namespace trac {
+
+BoundExprPtr BoundExpr::Clone() const {
+  auto out = std::make_unique<BoundExpr>();
+  out->kind = kind;
+  out->column = column;
+  out->literal = literal;
+  out->op = op;
+  out->negated = negated;
+  out->list = list;
+  out->children.reserve(children.size());
+  for (const auto& c : children) out->children.push_back(c->Clone());
+  return out;
+}
+
+void BoundExpr::ForEachColumnRef(
+    const std::function<void(const BoundColumnRef&)>& fn) const {
+  if (kind == ExprKind::kColumnRef) fn(column);
+  for (const auto& c : children) c->ForEachColumnRef(fn);
+}
+
+uint64_t BoundExpr::ReferencedRelations() const {
+  uint64_t mask = 0;
+  ForEachColumnRef([&](const BoundColumnRef& ref) {
+    if (ref.rel < 64) mask |= (uint64_t{1} << ref.rel);
+  });
+  return mask;
+}
+
+void BoundExpr::RewriteColumnRefs(
+    const std::function<void(BoundColumnRef*)>& fn) {
+  if (kind == ExprKind::kColumnRef) fn(&column);
+  for (auto& c : children) c->RewriteColumnRefs(fn);
+}
+
+BoundExprPtr MakeBoundColumn(BoundColumnRef ref) {
+  auto e = std::make_unique<BoundExpr>();
+  e->kind = ExprKind::kColumnRef;
+  e->column = ref;
+  return e;
+}
+
+BoundExprPtr MakeBoundLiteral(Value v) {
+  auto e = std::make_unique<BoundExpr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+BoundExprPtr MakeBoundCompare(CompareOp op, BoundExprPtr l, BoundExprPtr r) {
+  auto e = std::make_unique<BoundExpr>();
+  e->kind = ExprKind::kCompare;
+  e->op = op;
+  e->children.push_back(std::move(l));
+  e->children.push_back(std::move(r));
+  return e;
+}
+
+BoundExprPtr MakeBoundInList(BoundExprPtr lhs, std::vector<Value> values,
+                             bool negated) {
+  auto e = std::make_unique<BoundExpr>();
+  e->kind = ExprKind::kInList;
+  e->negated = negated;
+  e->list = std::move(values);
+  e->children.push_back(std::move(lhs));
+  return e;
+}
+
+BoundExprPtr MakeBoundBetween(BoundExprPtr ex, BoundExprPtr lo, BoundExprPtr hi,
+                              bool negated) {
+  auto e = std::make_unique<BoundExpr>();
+  e->kind = ExprKind::kBetween;
+  e->negated = negated;
+  e->children.push_back(std::move(ex));
+  e->children.push_back(std::move(lo));
+  e->children.push_back(std::move(hi));
+  return e;
+}
+
+BoundExprPtr MakeBoundIsNull(BoundExprPtr ex, bool negated) {
+  auto e = std::make_unique<BoundExpr>();
+  e->kind = ExprKind::kIsNull;
+  e->negated = negated;
+  e->children.push_back(std::move(ex));
+  return e;
+}
+
+BoundExprPtr MakeBoundAnd(std::vector<BoundExprPtr> children) {
+  auto e = std::make_unique<BoundExpr>();
+  e->kind = ExprKind::kAnd;
+  e->children = std::move(children);
+  return e;
+}
+
+BoundExprPtr MakeBoundOr(std::vector<BoundExprPtr> children) {
+  auto e = std::make_unique<BoundExpr>();
+  e->kind = ExprKind::kOr;
+  e->children = std::move(children);
+  return e;
+}
+
+BoundExprPtr MakeBoundNot(BoundExprPtr child) {
+  auto e = std::make_unique<BoundExpr>();
+  e->kind = ExprKind::kNot;
+  e->children.push_back(std::move(child));
+  return e;
+}
+
+BoundQuery BoundQuery::Clone() const {
+  BoundQuery out;
+  out.relations = relations;
+  out.distinct = distinct;
+  out.count_star = count_star;
+  out.aggregates = aggregates;
+  out.outputs = outputs;
+  if (where != nullptr) out.where = where->Clone();
+  out.order_by = order_by;
+  out.limit = limit;
+  return out;
+}
+
+std::string BoundQuery::ExprToSql(const Database& db,
+                                  const BoundExpr& e) const {
+  auto col_name = [&](const BoundColumnRef& ref) {
+    const BoundTableRef& rel = relations[ref.rel];
+    const TableSchema& schema = db.catalog().schema(rel.table_id);
+    return rel.display_name + "." + schema.column(ref.col).name;
+  };
+  switch (e.kind) {
+    case ExprKind::kColumnRef:
+      return col_name(e.column);
+    case ExprKind::kLiteral:
+      return e.literal.ToSqlLiteral();
+    case ExprKind::kCompare:
+      return ExprToSql(db, *e.children[0]) + " " +
+             std::string(CompareOpToString(e.op)) + " " +
+             ExprToSql(db, *e.children[1]);
+    case ExprKind::kInList: {
+      std::string out = ExprToSql(db, *e.children[0]);
+      out += e.negated ? " NOT IN (" : " IN (";
+      for (size_t i = 0; i < e.list.size(); ++i) {
+        if (i != 0) out += ", ";
+        out += e.list[i].ToSqlLiteral();
+      }
+      out += ")";
+      return out;
+    }
+    case ExprKind::kBetween:
+      return ExprToSql(db, *e.children[0]) +
+             (e.negated ? " NOT BETWEEN " : " BETWEEN ") +
+             ExprToSql(db, *e.children[1]) + " AND " +
+             ExprToSql(db, *e.children[2]);
+    case ExprKind::kIsNull:
+      return ExprToSql(db, *e.children[0]) +
+             (e.negated ? " IS NOT NULL" : " IS NULL");
+    case ExprKind::kAnd:
+    case ExprKind::kOr: {
+      std::string sep = e.kind == ExprKind::kAnd ? " AND " : " OR ";
+      std::string out = "(";
+      for (size_t i = 0; i < e.children.size(); ++i) {
+        if (i != 0) out += sep;
+        out += ExprToSql(db, *e.children[i]);
+      }
+      out += ")";
+      return out;
+    }
+    case ExprKind::kNot:
+      return "NOT (" + ExprToSql(db, *e.children[0]) + ")";
+  }
+  return "?";
+}
+
+std::string BoundQuery::ToSql(const Database& db) const {
+  std::string out = "SELECT ";
+  if (distinct) out += "DISTINCT ";
+  if (count_star) {
+    out += "COUNT(*)";
+  } else if (!aggregates.empty()) {
+    for (size_t i = 0; i < aggregates.size(); ++i) {
+      if (i != 0) out += ", ";
+      const Aggregate& agg = aggregates[i];
+      if (agg.fn == AggFn::kCountStar) {
+        out += "COUNT(*)";
+        continue;
+      }
+      const BoundTableRef& rel = relations[agg.arg.rel];
+      const TableSchema& schema = db.catalog().schema(rel.table_id);
+      out += std::string(AggFnToString(agg.fn)) + "(" + rel.display_name +
+             "." + schema.column(agg.arg.col).name + ")";
+    }
+  } else {
+    for (size_t i = 0; i < outputs.size(); ++i) {
+      if (i != 0) out += ", ";
+      const OutputColumn& oc = outputs[i];
+      const BoundTableRef& rel = relations[oc.ref.rel];
+      const TableSchema& schema = db.catalog().schema(rel.table_id);
+      out += rel.display_name + "." + schema.column(oc.ref.col).name;
+    }
+  }
+  out += " FROM ";
+  for (size_t i = 0; i < relations.size(); ++i) {
+    if (i != 0) out += ", ";
+    const TableSchema& schema = db.catalog().schema(relations[i].table_id);
+    out += schema.name();
+    if (relations[i].display_name != schema.name()) {
+      out += " " + relations[i].display_name;
+    }
+  }
+  if (where != nullptr) out += " WHERE " + ExprToSql(db, *where);
+  if (!order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i != 0) out += ", ";
+      const OrderKey& key = order_by[i];
+      const BoundTableRef& rel = relations[key.ref.rel];
+      const TableSchema& schema = db.catalog().schema(rel.table_id);
+      out += rel.display_name + "." + schema.column(key.ref.col).name;
+      if (key.descending) out += " DESC";
+    }
+  }
+  if (limit != 0) out += " LIMIT " + std::to_string(limit);
+  return out;
+}
+
+}  // namespace trac

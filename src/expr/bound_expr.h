@@ -1,0 +1,124 @@
+#ifndef TRAC_EXPR_BOUND_EXPR_H_
+#define TRAC_EXPR_BOUND_EXPR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "sql/ast.h"
+#include "storage/database.h"
+#include "types/value.h"
+
+namespace trac {
+
+/// A name-resolved column reference: relation slot `rel` within the
+/// query's FROM list, column `col` within that relation's schema.
+struct BoundColumnRef {
+  size_t rel = 0;
+  size_t col = 0;
+  TypeId type = TypeId::kNull;
+
+  friend bool operator==(const BoundColumnRef& a, const BoundColumnRef& b) {
+    return a.rel == b.rel && a.col == b.col;
+  }
+  friend bool operator<(const BoundColumnRef& a, const BoundColumnRef& b) {
+    return a.rel != b.rel ? a.rel < b.rel : a.col < b.col;
+  }
+};
+
+/// Bound expression tree: the binder's output. Mirrors Expr but with
+/// resolved column references and type-checked comparisons.
+struct BoundExpr {
+  ExprKind kind;
+
+  BoundColumnRef column;        ///< kColumnRef
+  Value literal;                ///< kLiteral
+  CompareOp op = CompareOp::kEq;  ///< kCompare
+  bool negated = false;         ///< kInList / kBetween / kIsNull
+  std::vector<Value> list;      ///< kInList
+  std::vector<std::unique_ptr<BoundExpr>> children;
+
+  std::unique_ptr<BoundExpr> Clone() const;
+
+  /// Visits every column reference in the tree.
+  void ForEachColumnRef(
+      const std::function<void(const BoundColumnRef&)>& fn) const;
+
+  /// Bitmask of relation slots referenced (relations beyond 63 are not
+  /// supported, far beyond the SPJ queries this library targets).
+  uint64_t ReferencedRelations() const;
+
+  /// Applies `fn` to every column reference in the tree (mutating).
+  void RewriteColumnRefs(const std::function<void(BoundColumnRef*)>& fn);
+};
+
+using BoundExprPtr = std::unique_ptr<BoundExpr>;
+
+BoundExprPtr MakeBoundColumn(BoundColumnRef ref);
+BoundExprPtr MakeBoundLiteral(Value v);
+BoundExprPtr MakeBoundCompare(CompareOp op, BoundExprPtr l, BoundExprPtr r);
+BoundExprPtr MakeBoundInList(BoundExprPtr lhs, std::vector<Value> values,
+                             bool negated);
+BoundExprPtr MakeBoundBetween(BoundExprPtr e, BoundExprPtr lo, BoundExprPtr hi,
+                              bool negated);
+BoundExprPtr MakeBoundIsNull(BoundExprPtr e, bool negated);
+BoundExprPtr MakeBoundAnd(std::vector<BoundExprPtr> children);
+BoundExprPtr MakeBoundOr(std::vector<BoundExprPtr> children);
+BoundExprPtr MakeBoundNot(BoundExprPtr child);
+
+/// One FROM-list slot of a bound query.
+struct BoundTableRef {
+  TableId table_id = 0;
+  std::string display_name;  ///< Alias if given, else the table name.
+};
+
+/// A bound single-block SPJ query, ready for planning/execution and for
+/// relevance analysis.
+struct BoundQuery {
+  std::vector<BoundTableRef> relations;
+  bool distinct = false;
+  /// Legacy fast path: the select list is exactly COUNT(*). Aggregate
+  /// queries in general populate `aggregates` instead of `outputs`.
+  bool count_star = false;
+
+  struct Aggregate {
+    AggFn fn = AggFn::kCountStar;
+    BoundColumnRef arg;  ///< Unused for kCountStar.
+    std::string name;
+  };
+  /// Aggregate select list; mutually exclusive with `outputs`.
+  std::vector<Aggregate> aggregates;
+
+  struct OutputColumn {
+    BoundColumnRef ref;
+    std::string name;
+  };
+  /// Projection; empty iff count_star.
+  std::vector<OutputColumn> outputs;
+
+  BoundExprPtr where;  ///< May be null (no predicate).
+
+  struct OrderKey {
+    BoundColumnRef ref;
+    bool descending = false;
+  };
+  /// ORDER BY keys; applied to the materialized output.
+  std::vector<OrderKey> order_by;
+  /// Output row cap; 0 means unlimited.
+  size_t limit = 0;
+
+  BoundQuery Clone() const;
+
+  /// Renders back to SQL (relation slots printed as their display names,
+  /// qualified). `db` supplies schemas for column names.
+  std::string ToSql(const Database& db) const;
+
+  /// Renders a bound expression in the context of this query's FROM list.
+  std::string ExprToSql(const Database& db, const BoundExpr& e) const;
+};
+
+}  // namespace trac
+
+#endif  // TRAC_EXPR_BOUND_EXPR_H_

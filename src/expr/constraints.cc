@@ -1,0 +1,48 @@
+#include "expr/constraints.h"
+
+#include "expr/binder.h"
+#include "expr/evaluator.h"
+#include "sql/parser.h"
+
+namespace trac {
+
+Result<std::vector<BoundExprPtr>> BindCheckConstraints(const Database& db,
+                                                       TableId table) {
+  const TableSchema& schema = db.catalog().schema(table);
+  std::vector<BoundExprPtr> bound;
+  if (schema.check_constraints().empty()) return bound;
+
+  BoundQuery scope;
+  scope.relations.push_back(BoundTableRef{table, schema.name()});
+  for (const std::string& text : schema.check_constraints()) {
+    TRAC_ASSIGN_OR_RETURN(ExprPtr parsed, ParsePredicate(text));
+    Result<BoundExprPtr> expr = BindPredicateInScope(db, scope, *parsed);
+    if (!expr.ok()) {
+      return Status::InvalidArgument("constraint '" + text + "' on table '" +
+                                     schema.name() +
+                                     "': " + expr.status().ToString());
+    }
+    bound.push_back(std::move(*expr));
+  }
+  return bound;
+}
+
+Status CheckRowConstraints(const Database& db, TableId table, const Row& row) {
+  const TableSchema& schema = db.catalog().schema(table);
+  if (schema.check_constraints().empty()) return Status::OK();
+  TRAC_ASSIGN_OR_RETURN(std::vector<BoundExprPtr> constraints,
+                        BindCheckConstraints(db, table));
+  TupleView tuple = {&row};
+  for (size_t i = 0; i < constraints.size(); ++i) {
+    TRAC_ASSIGN_OR_RETURN(TriBool v, EvalPredicate(*constraints[i], tuple));
+    if (v == TriBool::kFalse) {
+      return Status::InvalidArgument(
+          "row violates CHECK constraint '" +
+          schema.check_constraints()[i] + "' on table '" + schema.name() +
+          "'");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace trac

@@ -1,0 +1,33 @@
+#ifndef TRAC_EXPR_CONSTRAINTS_H_
+#define TRAC_EXPR_CONSTRAINTS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "expr/bound_expr.h"
+#include "storage/database.h"
+
+namespace trac {
+
+/// Parses and binds a table's CHECK constraints (declared as SQL
+/// predicate text on the TableSchema) against a single-relation scope
+/// whose slot 0 is the table itself.
+///
+/// Constraints implement Section 3.4's predicate-form schema constraints:
+/// the relevance analyzer conjoins them with the user predicate
+/// (Q' = Q ∧ C), which can only *sharpen* the relevant-source set —
+/// tuples violating a constraint never occur in a legal instance, so
+/// they must not make sources relevant. The monitor layer also enforces
+/// them on shipped rows.
+Result<std::vector<BoundExprPtr>> BindCheckConstraints(const Database& db,
+                                                       TableId table);
+
+/// Evaluates every CHECK constraint of `table` against `row`. SQL CHECK
+/// semantics: a constraint is violated only when it evaluates to FALSE
+/// (NULL/Unknown passes). Returns InvalidArgument naming the violated
+/// constraint.
+Status CheckRowConstraints(const Database& db, TableId table, const Row& row);
+
+}  // namespace trac
+
+#endif  // TRAC_EXPR_CONSTRAINTS_H_

@@ -1,0 +1,127 @@
+#include "expr/evaluator.h"
+
+namespace trac {
+
+namespace {
+
+Result<TriBool> CompareValues(CompareOp op, const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return TriBool::kUnknown;
+  TRAC_ASSIGN_OR_RETURN(int cmp, Value::Compare(a, b));
+  bool result = false;
+  switch (op) {
+    case CompareOp::kEq:
+      result = cmp == 0;
+      break;
+    case CompareOp::kNe:
+      result = cmp != 0;
+      break;
+    case CompareOp::kLt:
+      result = cmp < 0;
+      break;
+    case CompareOp::kLe:
+      result = cmp <= 0;
+      break;
+    case CompareOp::kGt:
+      result = cmp > 0;
+      break;
+    case CompareOp::kGe:
+      result = cmp >= 0;
+      break;
+  }
+  return result ? TriBool::kTrue : TriBool::kFalse;
+}
+
+}  // namespace
+
+Result<Value> EvalScalar(const BoundExpr& e, const TupleView& tuple) {
+  switch (e.kind) {
+    case ExprKind::kColumnRef: {
+      const Row* row = tuple[e.column.rel];
+      if (row == nullptr) {
+        return Status::Internal("column references an unbound relation slot");
+      }
+      return (*row)[e.column.col];
+    }
+    case ExprKind::kLiteral:
+      return e.literal;
+    default:
+      return Status::Internal("EvalScalar called on a predicate node");
+  }
+}
+
+Result<TriBool> EvalPredicate(const BoundExpr& e, const TupleView& tuple) {
+  switch (e.kind) {
+    case ExprKind::kCompare: {
+      TRAC_ASSIGN_OR_RETURN(Value lhs, EvalScalar(*e.children[0], tuple));
+      TRAC_ASSIGN_OR_RETURN(Value rhs, EvalScalar(*e.children[1], tuple));
+      return CompareValues(e.op, lhs, rhs);
+    }
+    case ExprKind::kInList: {
+      TRAC_ASSIGN_OR_RETURN(Value lhs, EvalScalar(*e.children[0], tuple));
+      if (lhs.is_null()) return TriBool::kUnknown;
+      bool any_unknown = false;
+      for (const Value& v : e.list) {
+        if (v.is_null()) {
+          any_unknown = true;
+          continue;
+        }
+        TRAC_ASSIGN_OR_RETURN(TriBool eq, CompareValues(CompareOp::kEq, lhs, v));
+        if (eq == TriBool::kTrue) {
+          return e.negated ? TriBool::kFalse : TriBool::kTrue;
+        }
+        if (eq == TriBool::kUnknown) any_unknown = true;
+      }
+      if (any_unknown) return TriBool::kUnknown;
+      return e.negated ? TriBool::kTrue : TriBool::kFalse;
+    }
+    case ExprKind::kBetween: {
+      TRAC_ASSIGN_OR_RETURN(Value v, EvalScalar(*e.children[0], tuple));
+      TRAC_ASSIGN_OR_RETURN(Value lo, EvalScalar(*e.children[1], tuple));
+      TRAC_ASSIGN_OR_RETURN(Value hi, EvalScalar(*e.children[2], tuple));
+      TRAC_ASSIGN_OR_RETURN(TriBool ge, CompareValues(CompareOp::kGe, v, lo));
+      TRAC_ASSIGN_OR_RETURN(TriBool le, CompareValues(CompareOp::kLe, v, hi));
+      TriBool both = TriAnd(ge, le);
+      return e.negated ? TriNot(both) : both;
+    }
+    case ExprKind::kIsNull: {
+      TRAC_ASSIGN_OR_RETURN(Value v, EvalScalar(*e.children[0], tuple));
+      bool is_null = v.is_null();
+      return (is_null != e.negated) ? TriBool::kTrue : TriBool::kFalse;
+    }
+    case ExprKind::kAnd: {
+      TriBool acc = TriBool::kTrue;
+      for (const auto& c : e.children) {
+        TRAC_ASSIGN_OR_RETURN(TriBool v, EvalPredicate(*c, tuple));
+        acc = TriAnd(acc, v);
+        if (acc == TriBool::kFalse) return acc;  // Short circuit.
+      }
+      return acc;
+    }
+    case ExprKind::kOr: {
+      TriBool acc = TriBool::kFalse;
+      for (const auto& c : e.children) {
+        TRAC_ASSIGN_OR_RETURN(TriBool v, EvalPredicate(*c, tuple));
+        acc = TriOr(acc, v);
+        if (acc == TriBool::kTrue) return acc;  // Short circuit.
+      }
+      return acc;
+    }
+    case ExprKind::kNot: {
+      TRAC_ASSIGN_OR_RETURN(TriBool v, EvalPredicate(*e.children[0], tuple));
+      return TriNot(v);
+    }
+    case ExprKind::kLiteral: {
+      // A bare boolean literal (TRUE/FALSE/NULL) used as a predicate.
+      if (e.literal.is_null()) return TriBool::kUnknown;
+      if (e.literal.type() == TypeId::kBool) {
+        return e.literal.bool_val() ? TriBool::kTrue : TriBool::kFalse;
+      }
+      return Status::TypeError("non-boolean literal used as a predicate");
+    }
+    case ExprKind::kColumnRef:
+      return Status::TypeError("bare column reference used as a predicate");
+  }
+  return Status::Internal("unhandled expression kind in EvalPredicate");
+}
+
+}  // namespace trac

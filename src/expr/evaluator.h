@@ -1,0 +1,51 @@
+#ifndef TRAC_EXPR_EVALUATOR_H_
+#define TRAC_EXPR_EVALUATOR_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "expr/bound_expr.h"
+#include "types/value.h"
+
+namespace trac {
+
+/// SQL three-valued logic.
+enum class TriBool : uint8_t { kFalse = 0, kUnknown = 1, kTrue = 2 };
+
+inline TriBool TriNot(TriBool v) {
+  return v == TriBool::kUnknown
+             ? TriBool::kUnknown
+             : (v == TriBool::kTrue ? TriBool::kFalse : TriBool::kTrue);
+}
+inline TriBool TriAnd(TriBool a, TriBool b) {
+  if (a == TriBool::kFalse || b == TriBool::kFalse) return TriBool::kFalse;
+  if (a == TriBool::kUnknown || b == TriBool::kUnknown) {
+    return TriBool::kUnknown;
+  }
+  return TriBool::kTrue;
+}
+inline TriBool TriOr(TriBool a, TriBool b) {
+  if (a == TriBool::kTrue || b == TriBool::kTrue) return TriBool::kTrue;
+  if (a == TriBool::kUnknown || b == TriBool::kUnknown) {
+    return TriBool::kUnknown;
+  }
+  return TriBool::kFalse;
+}
+inline bool IsTrue(TriBool v) { return v == TriBool::kTrue; }
+
+/// The evaluation context: one row per relation slot of the BoundQuery.
+/// Slots not yet joined may be nullptr only if the expression does not
+/// reference them.
+using TupleView = std::vector<const Row*>;
+
+/// Evaluates a scalar (column reference or literal).
+Result<Value> EvalScalar(const BoundExpr& e, const TupleView& tuple);
+
+/// Evaluates a predicate under SQL three-valued logic: any comparison
+/// with NULL is Unknown; a WHERE clause keeps a tuple iff the result is
+/// kTrue.
+Result<TriBool> EvalPredicate(const BoundExpr& e, const TupleView& tuple);
+
+}  // namespace trac
+
+#endif  // TRAC_EXPR_EVALUATOR_H_

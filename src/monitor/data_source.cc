@@ -1,0 +1,43 @@
+#include "monitor/data_source.h"
+
+namespace trac {
+
+void DataSource::EmitInsert(Timestamp t, std::string table, Row row) {
+  LogRecord rec;
+  rec.event_time = t;
+  rec.op = LogRecord::Op::kInsert;
+  rec.table = std::move(table);
+  rec.row = std::move(row);
+  log_.Append(std::move(rec));
+}
+
+void DataSource::EmitUpsert(Timestamp t, std::string table, Row row,
+                            std::vector<size_t> key_columns) {
+  LogRecord rec;
+  rec.event_time = t;
+  rec.op = LogRecord::Op::kUpsert;
+  rec.table = std::move(table);
+  rec.row = std::move(row);
+  rec.key_columns = std::move(key_columns);
+  log_.Append(std::move(rec));
+}
+
+void DataSource::EmitDelete(Timestamp t, std::string table, Row row,
+                            std::vector<size_t> key_columns) {
+  LogRecord rec;
+  rec.event_time = t;
+  rec.op = LogRecord::Op::kDelete;
+  rec.table = std::move(table);
+  rec.row = std::move(row);
+  rec.key_columns = std::move(key_columns);
+  log_.Append(std::move(rec));
+}
+
+void DataSource::EmitHeartbeat(Timestamp t) {
+  LogRecord rec;
+  rec.event_time = t;
+  rec.op = LogRecord::Op::kHeartbeat;
+  log_.Append(std::move(rec));
+}
+
+}  // namespace trac

@@ -1,0 +1,52 @@
+#ifndef TRAC_MONITOR_DATA_SOURCE_H_
+#define TRAC_MONITOR_DATA_SOURCE_H_
+
+#include <string>
+
+#include "monitor/log_file.h"
+
+namespace trac {
+
+/// A simulated data source: the abstraction of Section 3.1 comprising
+/// the monitored application process and its status log. The process
+/// writes timestamped records to its log; it never talks to the DBMS
+/// directly — a Sniffer ships the log's content.
+class DataSource {
+ public:
+  explicit DataSource(std::string id) : id_(std::move(id)) {}
+
+  DataSource(const DataSource&) = delete;
+  DataSource& operator=(const DataSource&) = delete;
+
+  const std::string& id() const { return id_; }
+  const LogFile& log() const { return log_; }
+
+  /// Appends an insert event for `table`.
+  void EmitInsert(Timestamp t, std::string table, Row row);
+
+  /// Appends an upsert event (update rows matching `key_columns`, insert
+  /// if none match).
+  void EmitUpsert(Timestamp t, std::string table, Row row,
+                  std::vector<size_t> key_columns);
+
+  /// Appends a delete event for rows matching `key_columns` of `row`.
+  void EmitDelete(Timestamp t, std::string table, Row row,
+                  std::vector<size_t> key_columns);
+
+  /// Appends a "nothing to report" heartbeat record (Section 3.1).
+  void EmitHeartbeat(Timestamp t);
+
+  /// Timestamp of the most recent event this source has generated.
+  Timestamp last_event_time() const { return log_.last_event_time(); }
+
+ private:
+  std::string id_;
+  LogFile log_;
+
+  friend class Sniffer;  // Reads the log through its private cursor.
+  LogFile& mutable_log() { return log_; }
+};
+
+}  // namespace trac
+
+#endif  // TRAC_MONITOR_DATA_SOURCE_H_

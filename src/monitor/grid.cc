@@ -1,0 +1,123 @@
+#include "monitor/grid.h"
+
+namespace trac {
+
+Result<GridSimulator> GridSimulator::Create(Database* db,
+                                            std::string_view heartbeat_table) {
+  Result<HeartbeatTable> hb = HeartbeatTable::Open(db, heartbeat_table);
+  if (!hb.ok()) {
+    TRAC_ASSIGN_OR_RETURN(HeartbeatTable created,
+                          HeartbeatTable::Create(db, heartbeat_table));
+    return GridSimulator(db, created);
+  }
+  return GridSimulator(db, *hb);
+}
+
+Result<DataSource*> GridSimulator::AddSource(std::string id,
+                                             SnifferOptions options) {
+  if (entries_.count(id) != 0) {
+    return Status::AlreadyExists("data source '" + id + "' already exists");
+  }
+  Entry entry;
+  entry.source = std::make_unique<DataSource>(id);
+  entry.sniffer = std::make_unique<Sniffer>(entry.source.get(), db_,
+                                            heartbeat_.get(), options);
+  entry.sniffer->ScheduleNextPollAt(clock_.now() +
+                                    options.poll_interval_micros);
+  // Register the source in the Heartbeat table right away (Section 3.3
+  // assumes every contributing source has an entry). At registration the
+  // source has generated nothing yet, so "everything before now has been
+  // reported" holds vacuously.
+  TRAC_RETURN_IF_ERROR(
+      heartbeat_->ReportHeartbeat(entry.source->id(), clock_.now()));
+  DataSource* raw = entry.source.get();
+  entries_.emplace(std::move(id), std::move(entry));
+  return raw;
+}
+
+DataSource* GridSimulator::source(const std::string& id) {
+  auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : it->second.source.get();
+}
+
+Sniffer* GridSimulator::sniffer(const std::string& id) {
+  auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : it->second.sniffer.get();
+}
+
+Status GridSimulator::RunUntil(Timestamp t) {
+  while (true) {
+    // Earliest due event (sniffer poll or auto-heartbeat) at or before t.
+    Sniffer* next_sniffer = nullptr;
+    Entry* next_heartbeat = nullptr;
+    Timestamp due = t + 1;
+    for (auto& [id, entry] : entries_) {
+      Sniffer* s = entry.sniffer.get();
+      if (s->next_poll() <= t && s->next_poll() < due) {
+        due = s->next_poll();
+        next_sniffer = s;
+        next_heartbeat = nullptr;
+      }
+      if (entry.heartbeat_interval > 0 && entry.next_heartbeat <= t &&
+          entry.next_heartbeat < due) {
+        due = entry.next_heartbeat;
+        next_heartbeat = &entry;
+        next_sniffer = nullptr;
+      }
+    }
+    if (next_sniffer == nullptr && next_heartbeat == nullptr) break;
+    clock_.AdvanceTo(due);
+    if (next_heartbeat != nullptr) {
+      next_heartbeat->source->EmitHeartbeat(clock_.now());
+      next_heartbeat->next_heartbeat =
+          clock_.now() + next_heartbeat->heartbeat_interval;
+    } else {
+      TRAC_RETURN_IF_ERROR(next_sniffer->Poll(clock_.now()));
+    }
+  }
+  clock_.AdvanceTo(t);
+  return Status::OK();
+}
+
+Status GridSimulator::EnableAutoHeartbeat(const std::string& id,
+                                          int64_t interval_micros) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    return Status::NotFound("no data source '" + id + "'");
+  }
+  it->second.heartbeat_interval = interval_micros;
+  if (interval_micros > 0) {
+    it->second.next_heartbeat = clock_.now() + interval_micros;
+  }
+  return Status::OK();
+}
+
+Status GridSimulator::PollAll() {
+  for (auto& [id, entry] : entries_) {
+    TRAC_RETURN_IF_ERROR(entry.sniffer->Poll(clock_.now()));
+  }
+  return Status::OK();
+}
+
+Status GridSimulator::SetPaused(const std::string& id, bool paused) {
+  Sniffer* s = sniffer(id);
+  if (s == nullptr) {
+    return Status::NotFound("no data source '" + id + "'");
+  }
+  s->set_paused(paused);
+  return Status::OK();
+}
+
+Status GridSimulator::SetSnifferOptions(const std::string& id,
+                                        SnifferOptions options) {
+  Sniffer* s = sniffer(id);
+  if (s == nullptr) {
+    return Status::NotFound("no data source '" + id + "'");
+  }
+  s->set_options(options);
+  // Re-anchor the schedule so the new cadence takes effect immediately.
+  s->ScheduleNextPollAt(clock_.now() + options.poll_interval_micros);
+  return Status::OK();
+}
+
+}  // namespace trac

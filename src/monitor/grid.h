@@ -1,0 +1,86 @@
+#ifndef TRAC_MONITOR_GRID_H_
+#define TRAC_MONITOR_GRID_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "core/heartbeat.h"
+#include "monitor/data_source.h"
+#include "monitor/sim_clock.h"
+#include "monitor/sniffer.h"
+#include "storage/database.h"
+
+namespace trac {
+
+/// The whole monitored system in one object: a simulated clock, a set
+/// of data sources with their sniffers, the central database, and the
+/// Heartbeat table. This is the substrate standing in for the paper's
+/// Condor pool + Quill-style log shipping: it reproduces exactly the
+/// DB-side phenomenon under study — each source's state reaches the
+/// database at its own pace, so the central view is perpetually,
+/// legitimately inconsistent.
+class GridSimulator {
+ public:
+  /// Creates the simulator and its Heartbeat table.
+  static Result<GridSimulator> Create(
+      Database* db,
+      std::string_view heartbeat_table = HeartbeatTable::kDefaultName);
+
+  GridSimulator(GridSimulator&&) = default;
+  GridSimulator& operator=(GridSimulator&&) = default;
+
+  SimClock& clock() { return clock_; }
+  Database* db() { return db_; }
+  HeartbeatTable& heartbeat() { return *heartbeat_; }
+
+  /// Registers a data source with its sniffer. Fails on duplicate ids.
+  Result<DataSource*> AddSource(std::string id,
+                                SnifferOptions options = SnifferOptions());
+
+  DataSource* source(const std::string& id);
+  Sniffer* sniffer(const std::string& id);
+
+  /// Advances the clock to `t`, firing every due sniffer poll in
+  /// timestamp order along the way.
+  Status RunUntil(Timestamp t);
+
+  /// Immediately polls every sniffer at the current clock time (a
+  /// "flush": after this, everything ship-eligible is in the DB).
+  Status PollAll();
+
+  /// Pauses/resumes a source's sniffer — the "machine stopped reporting
+  /// in" failure mode.
+  Status SetPaused(const std::string& id, bool paused);
+
+  /// Re-tunes one sniffer's poll interval / ship delay.
+  Status SetSnifferOptions(const std::string& id, SnifferOptions options);
+
+  /// Enables the Section 3.1 heartbeat protocol for a source: every
+  /// `interval_micros` of simulated time the source appends a "nothing
+  /// to report" record to its log, so its recency stays honest even
+  /// when it has no data events. Pass 0 to disable.
+  Status EnableAutoHeartbeat(const std::string& id, int64_t interval_micros);
+
+ private:
+  GridSimulator(Database* db, HeartbeatTable hb)
+      : db_(db), heartbeat_(std::make_unique<HeartbeatTable>(hb)) {}
+
+  struct Entry {
+    std::unique_ptr<DataSource> source;
+    std::unique_ptr<Sniffer> sniffer;
+    int64_t heartbeat_interval = 0;  ///< 0: auto-heartbeats off.
+    Timestamp next_heartbeat;
+  };
+
+  Database* db_;
+  std::unique_ptr<HeartbeatTable> heartbeat_;
+  SimClock clock_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace trac
+
+#endif  // TRAC_MONITOR_GRID_H_

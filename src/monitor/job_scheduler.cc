@@ -1,0 +1,76 @@
+#include "monitor/job_scheduler.h"
+
+namespace trac {
+
+Result<JobSchedulerWorkload> JobSchedulerWorkload::Setup(
+    GridSimulator* grid, std::vector<std::string> machines,
+    SnifferOptions sniffer_options) {
+  Database* db = grid->db();
+
+  TableSchema s_schema(std::string(kSchedulerTable),
+                       {ColumnDef("sched_machine_id", TypeId::kString),
+                        ColumnDef("job_id", TypeId::kString),
+                        ColumnDef("remote_machine_id", TypeId::kString)});
+  TRAC_RETURN_IF_ERROR(s_schema.SetDataSourceColumn("sched_machine_id"));
+  TRAC_RETURN_IF_ERROR(db->CreateTable(std::move(s_schema)).status());
+  TRAC_RETURN_IF_ERROR(db->CreateIndex(kSchedulerTable, "sched_machine_id"));
+
+  TableSchema r_schema(std::string(kRunnerTable),
+                       {ColumnDef("running_machine_id", TypeId::kString),
+                        ColumnDef("job_id", TypeId::kString)});
+  TRAC_RETURN_IF_ERROR(r_schema.SetDataSourceColumn("running_machine_id"));
+  TRAC_RETURN_IF_ERROR(db->CreateTable(std::move(r_schema)).status());
+  TRAC_RETURN_IF_ERROR(db->CreateIndex(kRunnerTable, "running_machine_id"));
+
+  JobSchedulerWorkload workload(grid);
+  for (std::string& machine : machines) {
+    TRAC_RETURN_IF_ERROR(
+        grid->AddSource(machine, sniffer_options).status());
+    workload.machines_.push_back(std::move(machine));
+  }
+  return workload;
+}
+
+Status JobSchedulerWorkload::SubmitJob(const std::string& scheduler,
+                                       const std::string& job,
+                                       const std::string& remote,
+                                       Timestamp t) {
+  DataSource* src = grid_->source(scheduler);
+  if (src == nullptr) {
+    return Status::NotFound("no machine '" + scheduler + "'");
+  }
+  // Upsert keyed on (sched_machine_id, job_id): re-submission or
+  // reassignment overwrites the remote machine, per Section 4.2
+  // ("whenever a scheduler assigns a job to a machine, or changes the
+  // machine for a job, it updates its tuple for that job").
+  src->EmitUpsert(t, std::string(kSchedulerTable),
+                  {Value::Str(scheduler), Value::Str(job), Value::Str(remote)},
+                  /*key_columns=*/{0, 1});
+  return Status::OK();
+}
+
+Status JobSchedulerWorkload::StartJob(const std::string& runner,
+                                      const std::string& job, Timestamp t) {
+  DataSource* src = grid_->source(runner);
+  if (src == nullptr) {
+    return Status::NotFound("no machine '" + runner + "'");
+  }
+  src->EmitUpsert(t, std::string(kRunnerTable),
+                  {Value::Str(runner), Value::Str(job)},
+                  /*key_columns=*/{0, 1});
+  return Status::OK();
+}
+
+Status JobSchedulerWorkload::FinishJob(const std::string& runner,
+                                       const std::string& job, Timestamp t) {
+  DataSource* src = grid_->source(runner);
+  if (src == nullptr) {
+    return Status::NotFound("no machine '" + runner + "'");
+  }
+  src->EmitDelete(t, std::string(kRunnerTable),
+                  {Value::Str(runner), Value::Str(job)},
+                  /*key_columns=*/{0, 1});
+  return Status::OK();
+}
+
+}  // namespace trac

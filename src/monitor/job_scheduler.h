@@ -1,0 +1,60 @@
+#ifndef TRAC_MONITOR_JOB_SCHEDULER_H_
+#define TRAC_MONITOR_JOB_SCHEDULER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "monitor/grid.h"
+
+namespace trac {
+
+/// The P2P job scheduling workload of Sections 1 and 4.2, running on a
+/// GridSimulator. Two monitored tables capture the system state:
+///
+///   S(sched_machine_id, job_id, remote_machine_id)   -- what schedulers
+///       think: job_id was assigned by sched_machine_id to run on
+///       remote_machine_id. Updated (upserted) by the scheduler's source.
+///   R(running_machine_id, job_id)                    -- what running
+///       machines think: running_machine_id is executing job_id.
+///       Inserted/deleted by the running machine's source.
+///
+/// Because each machine's log ships independently, the database can show
+/// any of the four intro states for a job submitted to m1 and running on
+/// m2 (neither reported / only m1 / only m2 / both).
+class JobSchedulerWorkload {
+ public:
+  static constexpr std::string_view kSchedulerTable = "s";
+  static constexpr std::string_view kRunnerTable = "r";
+
+  /// Creates the S and R tables (with machine-id data source columns and
+  /// indexes) and registers one data source per machine.
+  static Result<JobSchedulerWorkload> Setup(
+      GridSimulator* grid, std::vector<std::string> machines,
+      SnifferOptions sniffer_options = SnifferOptions());
+
+  /// The scheduler on `scheduler` accepts `job` and assigns it to
+  /// `remote` (insert-or-update of the S tuple) at time `t`.
+  Status SubmitJob(const std::string& scheduler, const std::string& job,
+                   const std::string& remote, Timestamp t);
+
+  /// `runner` reports that it is executing `job` at time `t`.
+  Status StartJob(const std::string& runner, const std::string& job,
+                  Timestamp t);
+
+  /// `runner` reports that `job` finished (R tuple deleted) at `t`.
+  Status FinishJob(const std::string& runner, const std::string& job,
+                   Timestamp t);
+
+  const std::vector<std::string>& machines() const { return machines_; }
+
+ private:
+  explicit JobSchedulerWorkload(GridSimulator* grid) : grid_(grid) {}
+
+  GridSimulator* grid_;
+  std::vector<std::string> machines_;
+};
+
+}  // namespace trac
+
+#endif  // TRAC_MONITOR_JOB_SCHEDULER_H_

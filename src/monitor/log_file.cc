@@ -1,0 +1,2 @@
+// LogFile is header-only; this TU anchors the monitor library's list.
+#include "monitor/log_file.h"

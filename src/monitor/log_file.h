@@ -1,0 +1,56 @@
+#ifndef TRAC_MONITOR_LOG_FILE_H_
+#define TRAC_MONITOR_LOG_FILE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/timestamp.h"
+#include "types/value.h"
+
+namespace trac {
+
+/// One record in a data source's status log: an event that must be
+/// reflected in some monitored table (or a pure "nothing to report"
+/// heartbeat, Section 3.1's suggested way to keep an idle source's
+/// recency honest).
+struct LogRecord {
+  enum class Op {
+    kInsert,     ///< Append `row` to `table`.
+    kUpsert,     ///< Update rows matching `key_columns`, insert if none.
+    kDelete,     ///< Delete rows matching `key_columns`.
+    kHeartbeat,  ///< Nothing to report; only advances recency.
+  };
+
+  Timestamp event_time;  ///< When the event happened at the source.
+  Op op = Op::kHeartbeat;
+  std::string table;
+  Row row;
+  /// Columns whose equality identifies the target rows for
+  /// kUpsert/kDelete (indexes into `row`).
+  std::vector<size_t> key_columns;
+};
+
+/// An append-only simulated log file. The writing application process
+/// appends; each sniffer keeps its own read cursor (an offset), exactly
+/// like tailing a file. Records are expected in event-time order, the
+/// paper's model of how updates stream from a source.
+class LogFile {
+ public:
+  void Append(LogRecord record) { records_.push_back(std::move(record)); }
+
+  size_t size() const { return records_.size(); }
+  const LogRecord& record(size_t i) const { return records_[i]; }
+
+  /// Timestamp of the last appended record (epoch if empty).
+  Timestamp last_event_time() const {
+    return records_.empty() ? Timestamp() : records_.back().event_time;
+  }
+
+ private:
+  std::vector<LogRecord> records_;
+};
+
+}  // namespace trac
+
+#endif  // TRAC_MONITOR_LOG_FILE_H_

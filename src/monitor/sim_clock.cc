@@ -1,0 +1,2 @@
+// SimClock is header-only; this TU anchors the monitor library's list.
+#include "monitor/sim_clock.h"

@@ -1,0 +1,30 @@
+#ifndef TRAC_MONITOR_SIM_CLOCK_H_
+#define TRAC_MONITOR_SIM_CLOCK_H_
+
+#include "common/timestamp.h"
+
+namespace trac {
+
+/// A deterministic simulated clock. All monitor-layer components take
+/// their notion of "now" from one SimClock, so experiments replay
+/// identically; time only moves when the simulation advances it.
+class SimClock {
+ public:
+  explicit SimClock(Timestamp start = Timestamp()) : now_(start) {}
+
+  Timestamp now() const { return now_; }
+
+  /// Moves time forward; moving backwards is a no-op (the clock is
+  /// monotonic).
+  void AdvanceTo(Timestamp t) {
+    if (t > now_) now_ = t;
+  }
+  void AdvanceBy(int64_t micros) { now_ = now_ + micros; }
+
+ private:
+  Timestamp now_;
+};
+
+}  // namespace trac
+
+#endif  // TRAC_MONITOR_SIM_CLOCK_H_

@@ -1,0 +1,90 @@
+#include "monitor/sniffer.h"
+
+#include "expr/constraints.h"
+
+namespace trac {
+
+Status Sniffer::Poll(Timestamp now) {
+  next_poll_ = now + options_.poll_interval_micros;
+  if (paused_) return Status::OK();
+
+  const LogFile& log = source_->log();
+  Timestamp latest_shipped;
+  bool shipped_any = false;
+  while (cursor_ < log.size()) {
+    const LogRecord& record = log.record(cursor_);
+    if (record.event_time + options_.ship_delay_micros > now) break;
+    TRAC_RETURN_IF_ERROR(Apply(record));
+    latest_shipped = record.event_time;
+    shipped_any = true;
+    ++cursor_;
+  }
+  if (shipped_any) {
+    // The simple recency protocol of Section 3.1: the recency timestamp
+    // is the most recent event reported by this source. kHeartbeat
+    // records make otherwise-quiet sources advance too.
+    TRAC_RETURN_IF_ERROR(
+        heartbeat_->ReportHeartbeat(source_->id(), latest_shipped));
+  }
+  return Status::OK();
+}
+
+Status Sniffer::Apply(const LogRecord& record) {
+  if (record.op == LogRecord::Op::kHeartbeat) return Status::OK();
+
+  TRAC_ASSIGN_OR_RETURN(TableId table_id, db_->FindTable(record.table));
+  const TableSchema& schema = db_->catalog().schema(table_id);
+
+  // Enforce the schema model of Section 3.3: only updates from source s
+  // may insert or change tuples tagged with s.
+  std::optional<size_t> ds = schema.data_source_column();
+  if (ds.has_value()) {
+    const Value& tag = record.row.at(*ds);
+    if (tag.is_null() || tag.str_val() != source_->id()) {
+      return Status::InvalidArgument(
+          "source '" + source_->id() + "' emitted a row tagged '" +
+          tag.ToString() + "' for table '" + record.table + "'");
+    }
+  }
+
+  // CHECK constraints are enforced at the ingest boundary (inserted and
+  // upserted rows must be legal instances).
+  if (record.op == LogRecord::Op::kInsert ||
+      record.op == LogRecord::Op::kUpsert) {
+    TRAC_RETURN_IF_ERROR(CheckRowConstraints(*db_, table_id, record.row));
+  }
+
+  auto matches = [&](const Row& row) {
+    for (size_t k : record.key_columns) {
+      if (!(row[k] == record.row[k])) return false;
+    }
+    // Never touch another source's tuples.
+    if (ds.has_value() && !(row[*ds] == record.row[*ds])) return false;
+    return true;
+  };
+
+  switch (record.op) {
+    case LogRecord::Op::kInsert:
+      return db_->Insert(record.table, record.row);
+    case LogRecord::Op::kUpsert: {
+      Row replacement = record.row;
+      TRAC_ASSIGN_OR_RETURN(
+          int updated,
+          db_->UpdateWhere(record.table, matches,
+                           [&](Row* row) { *row = replacement; }));
+      if (updated > 0) return Status::OK();
+      return db_->Insert(record.table, record.row);
+    }
+    case LogRecord::Op::kDelete: {
+      TRAC_ASSIGN_OR_RETURN(int deleted,
+                            db_->DeleteWhere(record.table, matches));
+      (void)deleted;  // Deleting nothing is legal (idempotent logs).
+      return Status::OK();
+    }
+    case LogRecord::Op::kHeartbeat:
+      break;
+  }
+  return Status::OK();
+}
+
+}  // namespace trac

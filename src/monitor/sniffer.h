@@ -1,0 +1,75 @@
+#ifndef TRAC_MONITOR_SNIFFER_H_
+#define TRAC_MONITOR_SNIFFER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/heartbeat.h"
+#include "monitor/data_source.h"
+#include "storage/database.h"
+
+namespace trac {
+
+struct SnifferOptions {
+  /// How often the sniffer wakes up and ships new log records.
+  int64_t poll_interval_micros = 10 * Timestamp::kMicrosPerSecond;
+  /// Transport/processing delay: a record written at event time t only
+  /// becomes shippable at t + ship_delay.
+  int64_t ship_delay_micros = 0;
+};
+
+/// The monitoring process for one data source: tails the source's log
+/// and loads new records into the central database, then advances the
+/// source's entry in the Heartbeat table. The database never pulls —
+/// everything the DBMS knows arrives through a sniffer's Poll.
+///
+/// Pausing a sniffer models the paper's failure scenarios (a node that
+/// does not "report in" for a long time): events keep accumulating in
+/// the log while the DB's view of that source goes stale.
+class Sniffer {
+ public:
+  Sniffer(DataSource* source, Database* db, HeartbeatTable* heartbeat,
+          SnifferOptions options)
+      : source_(source),
+        db_(db),
+        heartbeat_(heartbeat),
+        options_(options) {}
+
+  const DataSource& source() const { return *source_; }
+  const SnifferOptions& options() const { return options_; }
+  void set_options(SnifferOptions options) { options_ = options; }
+
+  bool paused() const { return paused_; }
+  void set_paused(bool paused) { paused_ = paused; }
+
+  /// Next wall-clock time this sniffer wants to run.
+  Timestamp next_poll() const { return next_poll_; }
+
+  /// Reschedules the next poll (GridSimulator sets the first poll one
+  /// interval after registration so a freshly added source does not fire
+  /// at the epoch).
+  void ScheduleNextPollAt(Timestamp t) { next_poll_ = t; }
+
+  /// Ships every not-yet-shipped record whose event time is at most
+  /// now - ship_delay, updates the heartbeat, and schedules the next
+  /// poll. No-op while paused (the next poll is still rescheduled).
+  Status Poll(Timestamp now);
+
+  /// Number of log records shipped so far.
+  size_t records_shipped() const { return cursor_; }
+
+ private:
+  Status Apply(const LogRecord& record);
+
+  DataSource* source_;
+  Database* db_;
+  HeartbeatTable* heartbeat_;
+  SnifferOptions options_;
+  size_t cursor_ = 0;
+  bool paused_ = false;
+  Timestamp next_poll_;
+};
+
+}  // namespace trac
+
+#endif  // TRAC_MONITOR_SNIFFER_H_

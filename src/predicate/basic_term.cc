@@ -1,0 +1,86 @@
+#include "predicate/basic_term.h"
+
+#include <algorithm>
+
+namespace trac {
+
+std::string_view TermClassToString(TermClass c) {
+  switch (c) {
+    case TermClass::kPs:
+      return "Ps";
+    case TermClass::kPr:
+      return "Pr";
+    case TermClass::kPm:
+      return "Pm";
+    case TermClass::kJs:
+      return "Js";
+    case TermClass::kJrm:
+      return "Jrm";
+    case TermClass::kPo:
+      return "Po";
+  }
+  return "?";
+}
+
+BasicTerm BasicTerm::Make(BoundExprPtr e) {
+  BasicTerm term;
+  term.expr = std::move(e);
+  term.expr->ForEachColumnRef([&](const BoundColumnRef& ref) {
+    term.columns.push_back(ref);
+  });
+  std::sort(term.columns.begin(), term.columns.end());
+  term.columns.erase(std::unique(term.columns.begin(), term.columns.end()),
+                     term.columns.end());
+  for (const BoundColumnRef& ref : term.columns) {
+    if (ref.rel < 64) term.rel_mask |= uint64_t{1} << ref.rel;
+  }
+  return term;
+}
+
+BasicTerm BasicTerm::Clone() const {
+  BasicTerm out;
+  out.expr = expr->Clone();
+  out.columns = columns;
+  out.rel_mask = rel_mask;
+  return out;
+}
+
+bool IsDataSourceColumn(const Database& db, const BoundQuery& query,
+                        const BoundColumnRef& ref) {
+  const TableSchema& schema =
+      db.catalog().schema(query.relations[ref.rel].table_id);
+  return schema.IsDataSourceColumn(ref.col);
+}
+
+TermClass ClassifyTerm(const Database& db, const BoundQuery& query,
+                       const BasicTerm& term, size_t target_rel) {
+  bool touches_target = term.ReferencesRelation(target_rel);
+  if (!touches_target) return TermClass::kPo;
+
+  bool target_ds = false;       // References target's data source column.
+  bool target_regular = false;  // References a regular column of target.
+  bool other_rel = false;       // References any other relation.
+  for (const BoundColumnRef& ref : term.columns) {
+    if (ref.rel == target_rel) {
+      if (IsDataSourceColumn(db, query, ref)) {
+        target_ds = true;
+      } else {
+        target_regular = true;
+      }
+    } else {
+      other_rel = true;
+    }
+  }
+
+  if (!other_rel) {
+    // Selection predicate on the target relation.
+    if (target_ds && target_regular) return TermClass::kPm;
+    if (target_ds) return TermClass::kPs;
+    return TermClass::kPr;
+  }
+  // Join predicate involving the target relation.
+  if (target_regular) return TermClass::kJrm;
+  return TermClass::kJs;
+}
+
+}  // namespace trac

@@ -1,0 +1,62 @@
+#ifndef TRAC_PREDICATE_BASIC_TERM_H_
+#define TRAC_PREDICATE_BASIC_TERM_H_
+
+#include <string_view>
+#include <vector>
+
+#include "expr/bound_expr.h"
+
+namespace trac {
+
+/// The paper's term classes relative to a target relation R_i
+/// (Notations 4 and 6):
+///
+///  - kPs:  selection predicate referencing only R_i's data source column
+///  - kPr:  selection predicate referencing only R_i's regular columns
+///  - kPm:  "mixed" selection predicate referencing R_i's data source
+///          column AND at least one regular column of R_i
+///  - kJs:  join predicate whose only R_i column is the data source column
+///  - kJrm: join predicate referencing at least one regular R_i column
+///  - kPo:  predicate not referencing R_i at all (including constants)
+enum class TermClass { kPs, kPr, kPm, kJs, kJrm, kPo };
+
+std::string_view TermClassToString(TermClass c);
+
+/// A basic term: an atomic predicate (comparison, IN, BETWEEN, IS NULL,
+/// or a boolean literal) free of AND/OR/NOT, together with the column
+/// references it mentions. BasicTerms are the unit the DNF normalizer
+/// produces and the relevance analyzer classifies.
+struct BasicTerm {
+  BoundExprPtr expr;
+  std::vector<BoundColumnRef> columns;  ///< Deduplicated references.
+  uint64_t rel_mask = 0;                ///< Bitmask of referenced relations.
+
+  /// Builds a term from an atomic bound expression (takes ownership).
+  static BasicTerm Make(BoundExprPtr e);
+
+  BasicTerm Clone() const;
+
+  /// True iff the term references at most one relation.
+  bool IsSelection() const { return (rel_mask & (rel_mask - 1)) == 0; }
+
+  bool ReferencesRelation(size_t rel) const {
+    return rel < 64 && (rel_mask >> rel) & 1;
+  }
+};
+
+/// A conjunction of basic terms (one DNF disjunct).
+using Conjunct = std::vector<BasicTerm>;
+
+/// Classifies `term` relative to relation slot `target_rel` of `query`,
+/// per the table above. `query` supplies each relation's data source
+/// column (via the catalog in `db`).
+TermClass ClassifyTerm(const Database& db, const BoundQuery& query,
+                       const BasicTerm& term, size_t target_rel);
+
+/// True iff (rel, col) is the data source column of its relation.
+bool IsDataSourceColumn(const Database& db, const BoundQuery& query,
+                        const BoundColumnRef& ref);
+
+}  // namespace trac
+
+#endif  // TRAC_PREDICATE_BASIC_TERM_H_

@@ -1,0 +1,45 @@
+#ifndef TRAC_PREDICATE_NORMALIZE_H_
+#define TRAC_PREDICATE_NORMALIZE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "predicate/basic_term.h"
+
+namespace trac {
+
+/// Guards against exponential DNF blow-up: normalization fails with
+/// ResourceExhausted once the disjunct count would exceed the limit.
+/// Callers (the relevance analyzer) fall back to the complete-but-
+/// imprecise "all sources relevant" answer in that case.
+struct NormalizeOptions {
+  size_t max_conjuncts = 4096;
+};
+
+/// A predicate in disjunctive normal form: P = C1 OR C2 OR ... where each
+/// Ci is a conjunction of basic terms (Section 4's P1 v P2 v ... v Pk).
+struct Dnf {
+  std::vector<Conjunct> conjuncts;
+};
+
+/// Converts a bound predicate to DNF:
+///   1. negations are pushed to the leaves (comparisons negate their
+///      operator, IN/IS NULL flip their negated flag, NOT BETWEEN expands
+///      to an OR of two comparisons so every conjunct stays conjunctive);
+///   2. AND is distributed over OR.
+///
+/// The result is logically equivalent to the input under SQL three-valued
+/// logic for the purposes of relevance analysis: a tuple satisfies the
+/// input iff it satisfies some conjunct. (NOT maps Unknown to Unknown on
+/// both sides, so TRUE-sets are preserved exactly.)
+Result<Dnf> ToDnf(const BoundExpr& predicate,
+                  const NormalizeOptions& options = NormalizeOptions());
+
+/// Pushes negations to the leaves without distributing; exposed for
+/// testing and reuse. The returned tree contains no kNot nodes except
+/// directly above bare boolean literals, where negation is folded.
+BoundExprPtr ToNnf(const BoundExpr& e, bool negate);
+
+}  // namespace trac
+
+#endif  // TRAC_PREDICATE_NORMALIZE_H_

@@ -1,0 +1,558 @@
+#include "predicate/satisfiability.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+#include "expr/evaluator.h"
+
+namespace trac {
+
+std::string_view SatToString(Sat s) {
+  switch (s) {
+    case Sat::kUnsat:
+      return "Unsat";
+    case Sat::kUnknown:
+      return "Unknown";
+    case Sat::kSat:
+      return "Sat";
+  }
+  return "?";
+}
+
+namespace {
+
+using ColumnKey = std::pair<size_t, size_t>;  // (rel, col)
+
+ColumnKey KeyOf(const BoundColumnRef& ref) { return {ref.rel, ref.col}; }
+
+bool SqlEq(const Value& a, const Value& b) {
+  auto cmp = Value::Compare(a, b);
+  return cmp.ok() && *cmp == 0;
+}
+
+bool SqlLess(const Value& a, const Value& b) {
+  auto cmp = Value::Compare(a, b);
+  return cmp.ok() && *cmp < 0;
+}
+
+/// Accumulated unary constraints for one equality group of columns.
+struct GroupConstraint {
+  TypeId type = TypeId::kNull;     // Common comparison type.
+  bool type_conflict = false;      // Members with incomparable types.
+  bool finite = false;
+  std::vector<Value> candidates;   // Valid iff finite.
+  std::optional<Value> lo, hi;
+  bool lo_strict = false, hi_strict = false;
+  std::vector<Value> excluded;     // <> literals, NOT IN members.
+  bool must_null = false;
+  size_t num_columns = 0;
+};
+
+class SatChecker {
+ public:
+  SatChecker(const Database& db, const BoundQuery& query,
+             const std::vector<const BasicTerm*>& terms,
+             const SatOptions& options)
+      : db_(db), query_(query), terms_(terms), options_(options) {}
+
+  Sat Run() {
+    // Exact path: all referenced columns have small finite domains.
+    Sat exact = TryEnumerate();
+    if (exact != Sat::kUnknown) return exact;
+    return Propagate();
+  }
+
+ private:
+  const Domain& DomainOf(const BoundColumnRef& ref) const {
+    const TableSchema& schema =
+        db_.catalog().schema(query_.relations[ref.rel].table_id);
+    return schema.column(ref.col).domain;
+  }
+
+  // ---- Exact finite-domain enumeration (the brute-force idea from the
+  // ---- first paragraph of Section 4.1, bounded by max_enumeration).
+
+  Sat TryEnumerate() {
+    std::vector<BoundColumnRef> columns;
+    for (const BasicTerm* term : terms_) {
+      for (const BoundColumnRef& ref : term->columns) columns.push_back(ref);
+    }
+    std::sort(columns.begin(), columns.end());
+    columns.erase(std::unique(columns.begin(), columns.end()), columns.end());
+
+    size_t product = 1;
+    for (const BoundColumnRef& ref : columns) {
+      const Domain& d = DomainOf(ref);
+      if (!d.is_finite()) return Sat::kUnknown;
+      if (d.size() == 0) return Sat::kUnsat;  // Empty domain: no tuples.
+      if (product > options_.max_enumeration / d.size()) {
+        return Sat::kUnknown;  // Product too large; fall back.
+      }
+      product *= d.size();
+    }
+
+    // Synthetic rows: only referenced cells are filled; terms never read
+    // the others.
+    std::vector<Row> rows(query_.relations.size());
+    for (size_t r = 0; r < query_.relations.size(); ++r) {
+      rows[r].resize(
+          db_.catalog().schema(query_.relations[r].table_id).num_columns());
+    }
+    TupleView tuple(rows.size());
+    for (size_t r = 0; r < rows.size(); ++r) tuple[r] = &rows[r];
+
+    std::vector<size_t> cursor(columns.size(), 0);
+    while (true) {
+      for (size_t i = 0; i < columns.size(); ++i) {
+        rows[columns[i].rel][columns[i].col] =
+            DomainOf(columns[i]).values()[cursor[i]];
+      }
+      bool all_true = true;
+      for (const BasicTerm* term : terms_) {
+        auto v = EvalPredicate(*term->expr, tuple);
+        if (!v.ok()) return Sat::kUnknown;  // Give up on eval errors.
+        if (!IsTrue(*v)) {
+          all_true = false;
+          break;
+        }
+      }
+      if (all_true) return Sat::kSat;
+      // Advance the mixed-radix cursor.
+      size_t i = 0;
+      for (; i < columns.size(); ++i) {
+        if (++cursor[i] < DomainOf(columns[i]).size()) break;
+        cursor[i] = 0;
+      }
+      if (i == columns.size()) return Sat::kUnsat;
+    }
+  }
+
+  // ---- Constraint-propagation path.
+
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+  size_t ColumnSlot(const BoundColumnRef& ref) {
+    auto [it, inserted] = slot_of_.emplace(KeyOf(ref), slots_.size());
+    if (inserted) {
+      slots_.push_back(ref);
+      parent_.push_back(parent_.size());
+    }
+    return it->second;
+  }
+
+  // Extracts (column, literal) with the comparison oriented as
+  // `column op literal`; nullopt if the term is not of that shape.
+  struct UnaryCompare {
+    BoundColumnRef column;
+    CompareOp op;
+    Value literal;
+  };
+  static std::optional<UnaryCompare> AsUnaryCompare(const BoundExpr& e) {
+    if (e.kind != ExprKind::kCompare) return std::nullopt;
+    const BoundExpr& l = *e.children[0];
+    const BoundExpr& r = *e.children[1];
+    if (l.kind == ExprKind::kColumnRef && r.kind == ExprKind::kLiteral) {
+      return UnaryCompare{l.column, e.op, r.literal};
+    }
+    if (l.kind == ExprKind::kLiteral && r.kind == ExprKind::kColumnRef) {
+      return UnaryCompare{r.column, FlipCompareOp(e.op), l.literal};
+    }
+    return std::nullopt;
+  }
+
+  Sat Propagate() {
+    bool unknown_factor = false;
+
+    // Pass 1: build equality groups; classify terms.
+    struct PendingUnary {
+      size_t slot;
+      const BoundExpr* expr;
+    };
+    std::vector<PendingUnary> unary_terms;
+
+    for (const BasicTerm* term : terms_) {
+      const BoundExpr& e = *term->expr;
+      if (term->columns.empty()) {
+        // Constant term: must evaluate to TRUE or the conjunct is dead.
+        TupleView empty(query_.relations.size(), nullptr);
+        auto v = EvalPredicate(e, empty);
+        if (!v.ok()) {
+          unknown_factor = true;
+          continue;
+        }
+        if (!IsTrue(*v)) return Sat::kUnsat;
+        continue;
+      }
+      if (term->columns.size() == 1) {
+        unary_terms.push_back({ColumnSlot(term->columns[0]), &e});
+        continue;
+      }
+      // Multi-column term.
+      if (e.kind == ExprKind::kCompare && e.op == CompareOp::kEq &&
+          e.children[0]->kind == ExprKind::kColumnRef &&
+          e.children[1]->kind == ExprKind::kColumnRef) {
+        size_t a = ColumnSlot(e.children[0]->column);
+        size_t b = ColumnSlot(e.children[1]->column);
+        Union(a, b);
+        continue;
+      }
+      // Any other multi-column relation: we cannot prove Sat, but group
+      // emptiness can still prove Unsat. Make sure the columns exist as
+      // slots so their domains are checked.
+      for (const BoundColumnRef& ref : term->columns) ColumnSlot(ref);
+      unknown_factor = true;
+    }
+
+    // Pass 2: merge per-group domains.
+    std::map<size_t, GroupConstraint> groups;
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      GroupConstraint& g = groups[Find(i)];
+      g.num_columns += 1;
+      const BoundColumnRef& ref = slots_[i];
+      const Domain& dom = DomainOf(ref);
+      if (g.num_columns == 1) {
+        g.type = dom.type();
+        if (dom.is_finite()) {
+          g.finite = true;
+          g.candidates = dom.values();
+        }
+      } else {
+        if (!TypesComparable(g.type, dom.type())) {
+          g.type_conflict = true;
+          continue;
+        }
+        if (dom.is_finite()) {
+          if (!g.finite) {
+            g.finite = true;
+            g.candidates = dom.values();
+          } else {
+            std::vector<Value> merged;
+            for (const Value& v : g.candidates) {
+              for (const Value& w : dom.values()) {
+                if (SqlEq(v, w)) {
+                  merged.push_back(v);
+                  break;
+                }
+              }
+            }
+            g.candidates = std::move(merged);
+          }
+        }
+      }
+    }
+    for (auto& [root, g] : groups) {
+      if (g.type_conflict) return Sat::kUnsat;  // col=col over bad types.
+      if (g.finite && g.candidates.empty()) return Sat::kUnsat;
+    }
+
+    // Pass 3: apply unary terms to their groups.
+    for (const PendingUnary& u : unary_terms) {
+      GroupConstraint& g = groups[Find(u.slot)];
+      if (!ApplyUnary(*u.expr, &g, &unknown_factor)) return Sat::kUnsat;
+    }
+
+    // Pass 4: decide each group.
+    for (auto& [root, g] : groups) {
+      Sat s = DecideGroup(g);
+      if (s == Sat::kUnsat) return Sat::kUnsat;
+      if (s == Sat::kUnknown) unknown_factor = true;
+    }
+    return unknown_factor ? Sat::kUnknown : Sat::kSat;
+  }
+
+  /// Folds one single-column term into `g`. Returns false on a proven
+  /// contradiction (caller reports Unsat); sets *unknown on give-ups.
+  bool ApplyUnary(const BoundExpr& e, GroupConstraint* g, bool* unknown) {
+    switch (e.kind) {
+      case ExprKind::kCompare: {
+        std::optional<UnaryCompare> uc = AsUnaryCompare(e);
+        if (!uc.has_value()) {
+          // Same column on both sides (c op c) or column-vs-column within
+          // one slot family; handle the common c = c / c <= c cases.
+          if (e.children[0]->kind == ExprKind::kColumnRef &&
+              e.children[1]->kind == ExprKind::kColumnRef) {
+            // Identical column (single-column term): c op c.
+            switch (e.op) {
+              case CompareOp::kEq:
+              case CompareOp::kLe:
+              case CompareOp::kGe:
+                return true;  // Tautology for non-null values.
+              case CompareOp::kNe:
+              case CompareOp::kLt:
+              case CompareOp::kGt:
+                return false;  // Contradiction.
+            }
+          }
+          *unknown = true;
+          return true;
+        }
+        if (uc->literal.is_null()) return false;  // Never TRUE.
+        switch (uc->op) {
+          case CompareOp::kEq:
+            TightenLo(g, uc->literal, /*strict=*/false);
+            TightenHi(g, uc->literal, /*strict=*/false);
+            return true;
+          case CompareOp::kNe:
+            g->excluded.push_back(uc->literal);
+            return true;
+          case CompareOp::kLt:
+            TightenHi(g, uc->literal, /*strict=*/true);
+            return true;
+          case CompareOp::kLe:
+            TightenHi(g, uc->literal, /*strict=*/false);
+            return true;
+          case CompareOp::kGt:
+            TightenLo(g, uc->literal, /*strict=*/true);
+            return true;
+          case CompareOp::kGe:
+            TightenLo(g, uc->literal, /*strict=*/false);
+            return true;
+        }
+        return true;
+      }
+      case ExprKind::kInList: {
+        if (e.children[0]->kind != ExprKind::kColumnRef) {
+          *unknown = true;
+          return true;
+        }
+        std::vector<Value> nonnull;
+        for (const Value& v : e.list) {
+          if (!v.is_null()) nonnull.push_back(v);
+        }
+        if (!e.negated) {
+          if (nonnull.empty()) return false;  // IN (NULL,...) never TRUE.
+          IntersectCandidates(g, nonnull);
+          return true;
+        }
+        // NOT IN with any NULL member is never TRUE.
+        if (nonnull.size() != e.list.size()) return false;
+        for (const Value& v : nonnull) g->excluded.push_back(v);
+        return true;
+      }
+      case ExprKind::kBetween: {
+        if (e.children[0]->kind != ExprKind::kColumnRef ||
+            e.children[1]->kind != ExprKind::kLiteral ||
+            e.children[2]->kind != ExprKind::kLiteral || e.negated) {
+          *unknown = true;  // Column bounds / residual negation.
+          return true;
+        }
+        const Value& lo = e.children[1]->literal;
+        const Value& hi = e.children[2]->literal;
+        if (lo.is_null() || hi.is_null()) return false;
+        TightenLo(g, lo, /*strict=*/false);
+        TightenHi(g, hi, /*strict=*/false);
+        return true;
+      }
+      case ExprKind::kIsNull: {
+        if (!e.negated) {
+          g->must_null = true;
+        }
+        // IS NOT NULL adds nothing: witnesses are non-null anyway.
+        return true;
+      }
+      default:
+        *unknown = true;
+        return true;
+    }
+  }
+
+  static void TightenLo(GroupConstraint* g, const Value& v, bool strict) {
+    if (!g->lo.has_value() || SqlLess(*g->lo, v) ||
+        (SqlEq(*g->lo, v) && strict)) {
+      g->lo = v;
+      g->lo_strict = strict;
+    }
+  }
+  static void TightenHi(GroupConstraint* g, const Value& v, bool strict) {
+    if (!g->hi.has_value() || SqlLess(v, *g->hi) ||
+        (SqlEq(*g->hi, v) && strict)) {
+      g->hi = v;
+      g->hi_strict = strict;
+    }
+  }
+  static void IntersectCandidates(GroupConstraint* g,
+                                  const std::vector<Value>& values) {
+    if (!g->finite) {
+      g->finite = true;
+      g->candidates = values;
+      return;
+    }
+    std::vector<Value> merged;
+    for (const Value& v : g->candidates) {
+      for (const Value& w : values) {
+        if (SqlEq(v, w)) {
+          merged.push_back(v);
+          break;
+        }
+      }
+    }
+    g->candidates = std::move(merged);
+  }
+
+  static bool PassesBounds(const GroupConstraint& g, const Value& v) {
+    if (g.lo.has_value()) {
+      auto cmp = Value::Compare(v, *g.lo);
+      if (!cmp.ok()) return false;
+      if (*cmp < 0 || (*cmp == 0 && g.lo_strict)) return false;
+    }
+    if (g.hi.has_value()) {
+      auto cmp = Value::Compare(v, *g.hi);
+      if (!cmp.ok()) return false;
+      if (*cmp > 0 || (*cmp == 0 && g.hi_strict)) return false;
+    }
+    for (const Value& x : g.excluded) {
+      if (SqlEq(v, x)) return false;
+    }
+    return true;
+  }
+
+  Sat DecideGroup(const GroupConstraint& g) const {
+    const bool has_value_constraints =
+        g.finite || g.lo.has_value() || g.hi.has_value() || !g.excluded.empty();
+    if (g.must_null) {
+      // NULL never satisfies a comparison, and col=col groups need equal
+      // non-null values; a lone IS NULL column is trivially satisfiable.
+      return (has_value_constraints || g.num_columns > 1) ? Sat::kUnsat
+                                                          : Sat::kSat;
+    }
+    if (g.finite) {
+      for (const Value& v : g.candidates) {
+        if (PassesBounds(g, v)) return Sat::kSat;
+      }
+      return Sat::kUnsat;
+    }
+    // Infinite domain: decide by type.
+    if (g.lo.has_value() && g.hi.has_value()) {
+      auto cmp = Value::Compare(*g.lo, *g.hi);
+      if (!cmp.ok()) return Sat::kUnknown;
+      if (*cmp > 0) return Sat::kUnsat;
+      if (*cmp == 0) {
+        if (g.lo_strict || g.hi_strict) return Sat::kUnsat;
+        // Degenerate single-point interval: exact for every type.
+        return PassesBounds(g, *g.lo) ? Sat::kSat : Sat::kUnsat;
+      }
+    }
+    switch (g.type) {
+      case TypeId::kInt64:
+      case TypeId::kTimestamp:
+        return DecideDiscrete(g);
+      case TypeId::kBool: {
+        for (bool b : {false, true}) {
+          if (PassesBounds(g, Value::Bool(b))) return Sat::kSat;
+        }
+        return Sat::kUnsat;
+      }
+      case TypeId::kDouble:
+      case TypeId::kString:
+        return DecideDenseWitness(g);
+      default:
+        return Sat::kUnknown;
+    }
+  }
+
+  /// Exact decision for integer-like types: the interval is a finite or
+  /// half-infinite set of lattice points minus finitely many exclusions.
+  static Sat DecideDiscrete(const GroupConstraint& g) {
+    auto as_int = [&](const Value& v) {
+      return g.type == TypeId::kTimestamp ? v.ts_val().micros() : v.int_val();
+    };
+    auto make = [&](int64_t x) {
+      return g.type == TypeId::kTimestamp ? Value::Ts(Timestamp(x))
+                                          : Value::Int(x);
+    };
+    // Normalize to closed bounds, with care at the extremes.
+    std::optional<int64_t> lo, hi;
+    if (g.lo.has_value()) {
+      int64_t v = as_int(*g.lo);
+      if (g.lo_strict && v == INT64_MAX) return Sat::kUnsat;
+      lo = g.lo_strict ? v + 1 : v;
+    }
+    if (g.hi.has_value()) {
+      int64_t v = as_int(*g.hi);
+      if (g.hi_strict && v == INT64_MIN) return Sat::kUnsat;
+      hi = g.hi_strict ? v - 1 : v;
+    }
+    if (lo.has_value() && hi.has_value() && *lo > *hi) return Sat::kUnsat;
+    // Walk upward from the lower end past at most |excluded| collisions.
+    int64_t start = lo.has_value() ? *lo
+                    : hi.has_value()
+                        ? *hi - static_cast<int64_t>(g.excluded.size())
+                        : 0;
+    for (size_t step = 0; step <= g.excluded.size(); ++step) {
+      int64_t candidate = start + static_cast<int64_t>(step);
+      if (hi.has_value() && candidate > *hi) return Sat::kUnsat;
+      if (PassesBounds(g, make(candidate))) return Sat::kSat;
+    }
+    return Sat::kUnsat;
+  }
+
+  /// Witness search for dense types (double, string): never proves
+  /// Unsat beyond the interval check already done; proves Sat when a
+  /// witness is found, else Unknown.
+  static Sat DecideDenseWitness(const GroupConstraint& g) {
+    std::vector<Value> candidates;
+    if (g.type == TypeId::kDouble) {
+      double lo = g.lo.has_value() ? g.lo->AsDouble() : -1e18;
+      double hi = g.hi.has_value() ? g.hi->AsDouble() : 1e18;
+      candidates.push_back(Value::Double(lo));
+      candidates.push_back(Value::Double(hi));
+      candidates.push_back(Value::Double(lo / 2 + hi / 2));
+      for (int i = 1; i <= static_cast<int>(g.excluded.size()) + 1; ++i) {
+        candidates.push_back(Value::Double(lo / 2 + hi / 2 + i));
+        candidates.push_back(
+            Value::Double(lo + (hi - lo) * i /
+                          (static_cast<double>(g.excluded.size()) + 2)));
+      }
+    } else {  // kString
+      std::string lo = g.lo.has_value() ? g.lo->str_val() : "";
+      candidates.push_back(Value::Str(lo));
+      // Suffix-extension ladder: every lo + suffix sorts > lo.
+      std::string probe = lo;
+      for (size_t i = 0; i <= g.excluded.size() + 1; ++i) {
+        probe.push_back('\x01');
+        candidates.push_back(Value::Str(probe));
+      }
+      if (g.hi.has_value()) candidates.push_back(*g.hi);
+    }
+    for (const Value& v : candidates) {
+      if (PassesBounds(g, v)) return Sat::kSat;
+    }
+    return Sat::kUnknown;
+  }
+
+  const Database& db_;
+  const BoundQuery& query_;
+  const std::vector<const BasicTerm*>& terms_;
+  const SatOptions& options_;
+
+  std::map<ColumnKey, size_t> slot_of_;
+  std::vector<BoundColumnRef> slots_;
+  std::vector<size_t> parent_;
+};
+
+}  // namespace
+
+Sat CheckConjunctionSat(const Database& db, const BoundQuery& query,
+                        const std::vector<const BasicTerm*>& terms,
+                        const SatOptions& options) {
+  SatChecker checker(db, query, terms, options);
+  return checker.Run();
+}
+
+Sat CheckConjunctionSat(const Database& db, const BoundQuery& query,
+                        const Conjunct& conjunct, const SatOptions& options) {
+  std::vector<const BasicTerm*> terms;
+  terms.reserve(conjunct.size());
+  for (const BasicTerm& t : conjunct) terms.push_back(&t);
+  return CheckConjunctionSat(db, query, terms, options);
+}
+
+}  // namespace trac

@@ -1,0 +1,54 @@
+#ifndef TRAC_PREDICATE_SATISFIABILITY_H_
+#define TRAC_PREDICATE_SATISFIABILITY_H_
+
+#include <string_view>
+#include <vector>
+
+#include "predicate/basic_term.h"
+
+namespace trac {
+
+/// Three-way satisfiability verdict. Soundness contract:
+///  - kUnsat  => no assignment of column values (within their declared
+///               domains) makes the conjunction TRUE. Safe to prune
+///               (Corollaries 2 and 6 in the paper).
+///  - kSat    => a witness assignment provably exists. Required for the
+///               *minimality* guarantee of Theorems 3 and 4.
+///  - kUnknown => neither could be proven; the relevance analyzer keeps
+///               the conjunct (completeness) but downgrades its answer
+///               from "minimum" to "upper bound".
+enum class Sat { kUnsat = 0, kUnknown = 1, kSat = 2 };
+
+std::string_view SatToString(Sat s);
+
+/// Decides satisfiability of a conjunction of basic terms, interpreting
+/// column references against the domains declared in the schemas of
+/// `query`'s relations. Terms may reference any relations of the query;
+/// every column is treated as a free variable ranging over its domain
+/// (the paper's "potential tuple" semantics).
+///
+/// The decision procedure is deliberately incomplete (the general
+/// problem is NP-hard, Theorem 2) but sound in both directions:
+///  - per-column interval / IN-set / NOT-IN reasoning,
+///  - equality groups (col = col chains) with merged constraints and
+///    finite-domain intersection (catches the paper's disjoint-domain
+///    join example),
+///  - constant folding of literal-only terms,
+///  - small finite-domain products are decided exactly by enumeration
+///    (up to `max_enumeration` candidate assignments).
+struct SatOptions {
+  size_t max_enumeration = 100000;
+};
+
+Sat CheckConjunctionSat(const Database& db, const BoundQuery& query,
+                        const std::vector<const BasicTerm*>& terms,
+                        const SatOptions& options = SatOptions());
+
+/// Convenience overload over a full conjunct.
+Sat CheckConjunctionSat(const Database& db, const BoundQuery& query,
+                        const Conjunct& conjunct,
+                        const SatOptions& options = SatOptions());
+
+}  // namespace trac
+
+#endif  // TRAC_PREDICATE_SATISFIABILITY_H_

@@ -1,0 +1,239 @@
+#include "sql/ast.h"
+
+#include "common/str_util.h"
+
+namespace trac {
+
+std::string_view CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+CompareOp FlipCompareOp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return CompareOp::kEq;
+    case CompareOp::kNe:
+      return CompareOp::kNe;
+    case CompareOp::kLt:
+      return CompareOp::kGt;
+    case CompareOp::kLe:
+      return CompareOp::kGe;
+    case CompareOp::kGt:
+      return CompareOp::kLt;
+    case CompareOp::kGe:
+      return CompareOp::kLe;
+  }
+  return op;
+}
+
+CompareOp NegateCompareOp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return CompareOp::kNe;
+    case CompareOp::kNe:
+      return CompareOp::kEq;
+    case CompareOp::kLt:
+      return CompareOp::kGe;
+    case CompareOp::kLe:
+      return CompareOp::kGt;
+    case CompareOp::kGt:
+      return CompareOp::kLe;
+    case CompareOp::kGe:
+      return CompareOp::kLt;
+  }
+  return op;
+}
+
+ExprPtr MakeColumnRef(std::string table, std::string column) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->table = std::move(table);
+  e->column = std::move(column);
+  return e;
+}
+
+ExprPtr MakeLiteral(Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr MakeCompare(CompareOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kCompare;
+  e->op = op;
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr MakeInList(ExprPtr lhs, std::vector<Value> values, bool negated) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kInList;
+  e->negated = negated;
+  e->list = std::move(values);
+  e->children.push_back(std::move(lhs));
+  return e;
+}
+
+ExprPtr MakeBetween(ExprPtr ex, ExprPtr lo, ExprPtr hi, bool negated) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBetween;
+  e->negated = negated;
+  e->children.push_back(std::move(ex));
+  e->children.push_back(std::move(lo));
+  e->children.push_back(std::move(hi));
+  return e;
+}
+
+ExprPtr MakeIsNull(ExprPtr ex, bool negated) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kIsNull;
+  e->negated = negated;
+  e->children.push_back(std::move(ex));
+  return e;
+}
+
+ExprPtr MakeAnd(std::vector<ExprPtr> children) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kAnd;
+  e->children = std::move(children);
+  return e;
+}
+
+ExprPtr MakeOr(std::vector<ExprPtr> children) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kOr;
+  e->children = std::move(children);
+  return e;
+}
+
+ExprPtr MakeNot(ExprPtr child) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kNot;
+  e->children.push_back(std::move(child));
+  return e;
+}
+
+std::string_view AggFnToString(AggFn fn) {
+  switch (fn) {
+    case AggFn::kNone:
+      return "";
+    case AggFn::kCountStar:
+    case AggFn::kCount:
+      return "COUNT";
+    case AggFn::kSum:
+      return "SUM";
+    case AggFn::kMin:
+      return "MIN";
+    case AggFn::kMax:
+      return "MAX";
+    case AggFn::kAvg:
+      return "AVG";
+  }
+  return "?";
+}
+
+namespace {
+
+void AppendList(const std::vector<Value>& values, std::string* out) {
+  out->push_back('(');
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) *out += ", ";
+    *out += values[i].ToSqlLiteral();
+  }
+  out->push_back(')');
+}
+
+}  // namespace
+
+std::string Expr::ToSql() const {
+  switch (kind) {
+    case ExprKind::kColumnRef:
+      return table.empty() ? column : table + "." + column;
+    case ExprKind::kLiteral:
+      return literal.ToSqlLiteral();
+    case ExprKind::kCompare:
+      return children[0]->ToSql() + " " + std::string(CompareOpToString(op)) +
+             " " + children[1]->ToSql();
+    case ExprKind::kInList: {
+      std::string out = children[0]->ToSql();
+      out += negated ? " NOT IN " : " IN ";
+      AppendList(list, &out);
+      return out;
+    }
+    case ExprKind::kBetween:
+      return children[0]->ToSql() + (negated ? " NOT BETWEEN " : " BETWEEN ") +
+             children[1]->ToSql() + " AND " + children[2]->ToSql();
+    case ExprKind::kIsNull:
+      return children[0]->ToSql() + (negated ? " IS NOT NULL" : " IS NULL");
+    case ExprKind::kAnd:
+    case ExprKind::kOr: {
+      std::string sep = kind == ExprKind::kAnd ? " AND " : " OR ";
+      std::string out = "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i != 0) out += sep;
+        out += children[i]->ToSql();
+      }
+      out += ")";
+      return out;
+    }
+    case ExprKind::kNot:
+      return "NOT (" + children[0]->ToSql() + ")";
+  }
+  return "?";
+}
+
+std::string SelectStmt::ToSql() const {
+  std::string out = "SELECT ";
+  if (distinct) out += "DISTINCT ";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i != 0) out += ", ";
+    const SelectItem& item = items[i];
+    if (item.star) {
+      out += "*";
+    } else if (item.agg == AggFn::kCountStar) {
+      out += "COUNT(*)";
+    } else if (item.agg != AggFn::kNone) {
+      out += std::string(AggFnToString(item.agg)) + "(" +
+             item.expr->ToSql() + ")";
+    } else {
+      out += item.expr->ToSql();
+    }
+    if (!item.alias.empty()) out += " AS " + item.alias;
+  }
+  out += " FROM ";
+  for (size_t i = 0; i < from.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += from[i].table;
+    if (!from[i].alias.empty()) out += " " + from[i].alias;
+  }
+  if (where != nullptr) out += " WHERE " + where->ToSql();
+  if (!order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += order_by[i].expr->ToSql();
+      if (order_by[i].descending) out += " DESC";
+    }
+  }
+  if (limit.has_value()) out += " LIMIT " + std::to_string(*limit);
+  return out;
+}
+
+}  // namespace trac

@@ -1,0 +1,191 @@
+#ifndef TRAC_SQL_AST_H_
+#define TRAC_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <utility>
+#include <variant>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "types/value.h"
+
+namespace trac {
+
+/// Comparison operators of the SPJ subset.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+std::string_view CompareOpToString(CompareOp op);
+
+/// a op b  ==  b Flip(op) a.
+CompareOp FlipCompareOp(CompareOp op);
+
+/// NOT (a op b)  ==  a Negate(op) b  (two-valued; NULL handling is done
+/// by the evaluator before this matters).
+CompareOp NegateCompareOp(CompareOp op);
+
+/// Expression node kinds shared by the unbound AST and the bound tree.
+enum class ExprKind {
+  kColumnRef,  ///< [table.]column
+  kLiteral,    ///< constant Value
+  kCompare,    ///< children[0] op children[1]
+  kInList,     ///< children[0] [NOT] IN (list...)
+  kBetween,    ///< children[0] [NOT] BETWEEN children[1] AND children[2]
+  kIsNull,     ///< children[0] IS [NOT] NULL
+  kAnd,        ///< n-ary conjunction
+  kOr,         ///< n-ary disjunction
+  kNot,        ///< NOT children[0]
+};
+
+/// Unbound expression tree produced by the parser. One node type with a
+/// kind tag keeps the tree trivially walkable; only the fields relevant
+/// to a node's kind are meaningful.
+struct Expr {
+  ExprKind kind;
+
+  // kColumnRef
+  std::string table;  ///< Qualifier; empty when unqualified.
+  std::string column;
+
+  // kLiteral
+  Value literal;
+
+  // kCompare
+  CompareOp op = CompareOp::kEq;
+
+  // kInList / kBetween / kIsNull: true for the NOT form.
+  bool negated = false;
+
+  // kInList literal values.
+  std::vector<Value> list;
+
+  std::vector<std::unique_ptr<Expr>> children;
+
+  /// Re-renders this expression as SQL text.
+  std::string ToSql() const;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+ExprPtr MakeColumnRef(std::string table, std::string column);
+ExprPtr MakeLiteral(Value v);
+ExprPtr MakeCompare(CompareOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeInList(ExprPtr lhs, std::vector<Value> values, bool negated);
+ExprPtr MakeBetween(ExprPtr e, ExprPtr lo, ExprPtr hi, bool negated);
+ExprPtr MakeIsNull(ExprPtr e, bool negated);
+ExprPtr MakeAnd(std::vector<ExprPtr> children);
+ExprPtr MakeOr(std::vector<ExprPtr> children);
+ExprPtr MakeNot(ExprPtr child);
+
+/// FROM-list entry.
+struct TableRef {
+  std::string table;
+  std::string alias;  ///< Empty if none; lookups try alias then name.
+
+  const std::string& display_name() const {
+    return alias.empty() ? table : alias;
+  }
+};
+
+/// Aggregate functions usable in the select list. The paper's intro
+/// motivates SUM ("how many CPU seconds have my jobs used"); its
+/// evaluation uses COUNT(*).
+enum class AggFn {
+  kNone = 0,   ///< Plain column reference.
+  kCountStar,  ///< COUNT(*).
+  kCount,      ///< COUNT(col): non-null values.
+  kSum,
+  kMin,
+  kMax,
+  kAvg,
+};
+
+std::string_view AggFnToString(AggFn fn);
+
+/// SELECT-list entry: `*`, an aggregate, or a column reference with an
+/// optional alias.
+struct SelectItem {
+  bool star = false;
+  AggFn agg = AggFn::kNone;
+  bool count_star = false;  ///< Equivalent to agg == kCountStar.
+  ExprPtr expr;  ///< Column reference (plain or aggregate argument).
+  std::string alias;
+};
+
+/// ORDER BY entry: a column reference plus direction.
+struct OrderByItem {
+  ExprPtr expr;  ///< Column reference.
+  bool descending = false;
+};
+
+/// A parsed single-block SELECT.
+struct SelectStmt {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  ExprPtr where;  ///< May be null.
+  std::vector<OrderByItem> order_by;
+  std::optional<size_t> limit;
+
+  std::string ToSql() const;
+};
+
+// ---- DDL / DML statements (the client-tooling surface around the SPJ
+// ---- core; see sql/parser.h ParseStatement).
+
+/// Column definition inside CREATE TABLE.
+struct ColumnSpec {
+  std::string name;
+  TypeId type = TypeId::kString;
+  /// Marked with the DATA SOURCE keyword pair: this column tags each
+  /// tuple with its data source (Section 3.3's schema model).
+  bool is_data_source = false;
+};
+
+/// CREATE TABLE name (col TYPE [DATA SOURCE], ..., [CHECK (pred)], ...)
+struct CreateTableStmt {
+  std::string table;
+  std::vector<ColumnSpec> columns;
+  std::vector<std::string> checks;  ///< CHECK predicates, as SQL text.
+};
+
+/// INSERT INTO name [(columns)] VALUES (lit, ...)[, (lit, ...)]...
+struct InsertStmt {
+  std::string table;
+  std::vector<std::string> columns;  ///< Empty: positional.
+  std::vector<std::vector<Value>> rows;
+};
+
+/// UPDATE name SET col = lit[, ...] [WHERE pred]
+struct UpdateStmt {
+  std::string table;
+  std::vector<std::pair<std::string, Value>> assignments;
+  ExprPtr where;  ///< May be null (update everything).
+};
+
+/// DELETE FROM name [WHERE pred]
+struct DeleteStmt {
+  std::string table;
+  ExprPtr where;  ///< May be null (delete everything).
+};
+
+/// CREATE INDEX ON name (col)
+struct CreateIndexStmt {
+  std::string table;
+  std::string column;
+};
+
+/// DROP TABLE name
+struct DropTableStmt {
+  std::string table;
+};
+
+/// Any parsed statement.
+using Statement =
+    std::variant<SelectStmt, CreateTableStmt, InsertStmt, UpdateStmt,
+                 DeleteStmt, CreateIndexStmt, DropTableStmt>;
+
+}  // namespace trac
+
+#endif  // TRAC_SQL_AST_H_

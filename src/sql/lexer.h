@@ -1,0 +1,33 @@
+#ifndef TRAC_SQL_LEXER_H_
+#define TRAC_SQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace trac {
+
+enum class TokenKind {
+  kIdent,    ///< Identifier or keyword (keywords resolved by the parser).
+  kString,   ///< 'single quoted', '' escapes a quote.
+  kInt,      ///< Decimal integer literal.
+  kDouble,   ///< Decimal literal with a fraction or exponent.
+  kSymbol,   ///< Operator or punctuation: ( ) , . ; = <> != < <= > >= *
+  kEnd,      ///< End of input sentinel (always the last token).
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;  ///< Raw text (unquoted/unescaped for kString).
+  size_t offset;     ///< Byte offset in the input, for error messages.
+};
+
+/// Splits `sql` into tokens. Fails on unterminated strings or characters
+/// outside the supported alphabet.
+Result<std::vector<Token>> Tokenize(std::string_view sql);
+
+}  // namespace trac
+
+#endif  // TRAC_SQL_LEXER_H_

@@ -1,0 +1,508 @@
+#include "sql/parser.h"
+
+#include <cstdlib>
+
+#include "common/str_util.h"
+#include "sql/lexer.h"
+
+namespace trac {
+
+namespace {
+
+/// Recursive-descent parser over the token stream. Methods return
+/// Result<...>; the cursor only advances on successful matches except
+/// where noted.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> ParseAnyStatement() {
+    if (PeekKeyword("SELECT")) {
+      TRAC_ASSIGN_OR_RETURN(SelectStmt stmt, ParseSelectStmt());
+      return Statement(std::move(stmt));
+    }
+    if (PeekKeyword("CREATE") && PeekKeyword("TABLE", 1)) {
+      return ParseCreateTable();
+    }
+    if (PeekKeyword("CREATE") && PeekKeyword("INDEX", 1)) {
+      return ParseCreateIndex();
+    }
+    if (PeekKeyword("DROP") && PeekKeyword("TABLE", 1)) {
+      pos_ += 2;
+      TRAC_ASSIGN_OR_RETURN(std::string table, ExpectIdent("table name"));
+      TRAC_RETURN_IF_ERROR(FinishStatement());
+      return Statement(DropTableStmt{std::move(table)});
+    }
+    if (PeekKeyword("INSERT")) return ParseInsert();
+    if (PeekKeyword("UPDATE")) return ParseUpdate();
+    if (PeekKeyword("DELETE")) return ParseDelete();
+    return Error(
+        "expected SELECT, CREATE TABLE, CREATE INDEX, DROP TABLE, INSERT, "
+        "UPDATE or DELETE");
+  }
+
+  Result<SelectStmt> ParseSelectStmt() {
+    TRAC_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    SelectStmt stmt;
+    stmt.distinct = MatchKeyword("DISTINCT");
+    TRAC_RETURN_IF_ERROR(ParseSelectList(&stmt));
+    TRAC_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    TRAC_RETURN_IF_ERROR(ParseFromList(&stmt));
+    if (MatchKeyword("WHERE")) {
+      TRAC_ASSIGN_OR_RETURN(stmt.where, ParseOr());
+    }
+    if (MatchKeyword("ORDER")) {
+      TRAC_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      do {
+        OrderByItem item;
+        TRAC_ASSIGN_OR_RETURN(item.expr, ParseColumnRef());
+        if (MatchKeyword("DESC")) {
+          item.descending = true;
+        } else {
+          MatchKeyword("ASC");
+        }
+        stmt.order_by.push_back(std::move(item));
+      } while (MatchSymbol(","));
+    }
+    if (MatchKeyword("LIMIT")) {
+      if (Peek().kind != TokenKind::kInt) {
+        return Error("expected an integer after LIMIT");
+      }
+      stmt.limit = static_cast<size_t>(
+          std::strtoll(Advance().text.c_str(), nullptr, 10));
+    }
+    MatchSymbol(";");
+    TRAC_RETURN_IF_ERROR(ExpectEnd());
+    return stmt;
+  }
+
+  Status FinishStatement() {
+    MatchSymbol(";");
+    return ExpectEnd();
+  }
+
+  Result<TypeId> ParseTypeName() {
+    for (auto [name, type] : std::initializer_list<
+             std::pair<std::string_view, TypeId>>{
+             {"TEXT", TypeId::kString},     {"STRING", TypeId::kString},
+             {"VARCHAR", TypeId::kString},  {"INT", TypeId::kInt64},
+             {"INTEGER", TypeId::kInt64},   {"BIGINT", TypeId::kInt64},
+             {"DOUBLE", TypeId::kDouble},   {"FLOAT", TypeId::kDouble},
+             {"REAL", TypeId::kDouble},     {"TIMESTAMP", TypeId::kTimestamp},
+             {"BOOL", TypeId::kBool},       {"BOOLEAN", TypeId::kBool}}) {
+      if (MatchKeyword(name)) return type;
+    }
+    return Error("expected a type name");
+  }
+
+  Result<Statement> ParseCreateTable() {
+    pos_ += 2;  // CREATE TABLE.
+    CreateTableStmt stmt;
+    TRAC_ASSIGN_OR_RETURN(stmt.table, ExpectIdent("table name"));
+    TRAC_RETURN_IF_ERROR(ExpectSymbol("("));
+    do {
+      if (MatchKeyword("CHECK")) {
+        TRAC_RETURN_IF_ERROR(ExpectSymbol("("));
+        // Capture the predicate's raw token span back to SQL text by
+        // re-rendering the parsed tree.
+        TRAC_ASSIGN_OR_RETURN(ExprPtr pred, ParseOr());
+        TRAC_RETURN_IF_ERROR(ExpectSymbol(")"));
+        stmt.checks.push_back(pred->ToSql());
+        continue;
+      }
+      ColumnSpec col;
+      TRAC_ASSIGN_OR_RETURN(col.name, ExpectIdent("column name"));
+      TRAC_ASSIGN_OR_RETURN(col.type, ParseTypeName());
+      if (MatchKeyword("DATA")) {
+        TRAC_RETURN_IF_ERROR(ExpectKeyword("SOURCE"));
+        col.is_data_source = true;
+      }
+      stmt.columns.push_back(std::move(col));
+    } while (MatchSymbol(","));
+    TRAC_RETURN_IF_ERROR(ExpectSymbol(")"));
+    TRAC_RETURN_IF_ERROR(FinishStatement());
+    if (stmt.columns.empty()) return Error("table needs at least one column");
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseCreateIndex() {
+    pos_ += 2;  // CREATE INDEX.
+    TRAC_RETURN_IF_ERROR(ExpectKeyword("ON"));
+    CreateIndexStmt stmt;
+    TRAC_ASSIGN_OR_RETURN(stmt.table, ExpectIdent("table name"));
+    TRAC_RETURN_IF_ERROR(ExpectSymbol("("));
+    TRAC_ASSIGN_OR_RETURN(stmt.column, ExpectIdent("column name"));
+    TRAC_RETURN_IF_ERROR(ExpectSymbol(")"));
+    TRAC_RETURN_IF_ERROR(FinishStatement());
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseInsert() {
+    ++pos_;  // INSERT.
+    TRAC_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+    InsertStmt stmt;
+    TRAC_ASSIGN_OR_RETURN(stmt.table, ExpectIdent("table name"));
+    if (MatchSymbol("(")) {
+      do {
+        TRAC_ASSIGN_OR_RETURN(std::string col, ExpectIdent("column name"));
+        stmt.columns.push_back(std::move(col));
+      } while (MatchSymbol(","));
+      TRAC_RETURN_IF_ERROR(ExpectSymbol(")"));
+    }
+    TRAC_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
+    do {
+      TRAC_RETURN_IF_ERROR(ExpectSymbol("("));
+      std::vector<Value> row;
+      do {
+        TRAC_ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
+        row.push_back(std::move(v));
+      } while (MatchSymbol(","));
+      TRAC_RETURN_IF_ERROR(ExpectSymbol(")"));
+      if (!stmt.columns.empty() && row.size() != stmt.columns.size()) {
+        return Error("VALUES arity does not match the column list");
+      }
+      stmt.rows.push_back(std::move(row));
+    } while (MatchSymbol(","));
+    TRAC_RETURN_IF_ERROR(FinishStatement());
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseUpdate() {
+    ++pos_;  // UPDATE.
+    UpdateStmt stmt;
+    TRAC_ASSIGN_OR_RETURN(stmt.table, ExpectIdent("table name"));
+    TRAC_RETURN_IF_ERROR(ExpectKeyword("SET"));
+    do {
+      TRAC_ASSIGN_OR_RETURN(std::string col, ExpectIdent("column name"));
+      TRAC_RETURN_IF_ERROR(ExpectSymbol("="));
+      TRAC_ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
+      stmt.assignments.emplace_back(std::move(col), std::move(v));
+    } while (MatchSymbol(","));
+    if (MatchKeyword("WHERE")) {
+      TRAC_ASSIGN_OR_RETURN(stmt.where, ParseOr());
+    }
+    TRAC_RETURN_IF_ERROR(FinishStatement());
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> ParseDelete() {
+    ++pos_;  // DELETE.
+    TRAC_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    DeleteStmt stmt;
+    TRAC_ASSIGN_OR_RETURN(stmt.table, ExpectIdent("table name"));
+    if (MatchKeyword("WHERE")) {
+      TRAC_ASSIGN_OR_RETURN(stmt.where, ParseOr());
+    }
+    TRAC_RETURN_IF_ERROR(FinishStatement());
+    return Statement(std::move(stmt));
+  }
+
+  Result<ExprPtr> ParseStandalonePredicate() {
+    TRAC_ASSIGN_OR_RETURN(ExprPtr e, ParseOr());
+    MatchSymbol(";");
+    TRAC_RETURN_IF_ERROR(ExpectEnd());
+    return e;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool MatchKeyword(std::string_view kw) {
+    if (Peek().kind == TokenKind::kIdent &&
+        EqualsIgnoreCaseAscii(Peek().text, kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool PeekKeyword(std::string_view kw, size_t ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return t.kind == TokenKind::kIdent && EqualsIgnoreCaseAscii(t.text, kw);
+  }
+
+  bool MatchSymbol(std::string_view sym) {
+    if (Peek().kind == TokenKind::kSymbol && Peek().text == sym) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectKeyword(std::string_view kw) {
+    if (MatchKeyword(kw)) return Status::OK();
+    return Error(std::string("expected ") + std::string(kw));
+  }
+
+  Status ExpectSymbol(std::string_view sym) {
+    if (MatchSymbol(sym)) return Status::OK();
+    return Error(std::string("expected '") + std::string(sym) + "'");
+  }
+
+  Status ExpectEnd() {
+    if (Peek().kind == TokenKind::kEnd) return Status::OK();
+    return Error("unexpected trailing input");
+  }
+
+  Status Error(std::string msg) const {
+    const Token& t = Peek();
+    msg += " at offset " + std::to_string(t.offset);
+    if (!t.text.empty()) msg += " (near '" + t.text + "')";
+    return Status::ParseError(std::move(msg));
+  }
+
+  static bool IsReservedKeyword(std::string_view ident) {
+    static constexpr std::string_view kReserved[] = {
+        "SELECT",  "FROM",  "WHERE", "AND",      "OR",    "NOT",
+        "IN",      "BETWEEN", "IS",  "NULL",     "AS",    "DISTINCT",
+        "COUNT",   "TRUE",  "FALSE", "TIMESTAMP", "ORDER", "BY",
+        "ASC",     "DESC",  "LIMIT"};
+    for (std::string_view kw : kReserved) {
+      if (EqualsIgnoreCaseAscii(ident, kw)) return true;
+    }
+    return false;
+  }
+
+  Result<std::string> ExpectIdent(std::string_view what) {
+    if (Peek().kind != TokenKind::kIdent || IsReservedKeyword(Peek().text)) {
+      return Error("expected " + std::string(what));
+    }
+    return Advance().text;
+  }
+
+  static std::optional<AggFn> AggKeyword(const Token& t) {
+    if (t.kind != TokenKind::kIdent) return std::nullopt;
+    if (EqualsIgnoreCaseAscii(t.text, "COUNT")) return AggFn::kCount;
+    if (EqualsIgnoreCaseAscii(t.text, "SUM")) return AggFn::kSum;
+    if (EqualsIgnoreCaseAscii(t.text, "MIN")) return AggFn::kMin;
+    if (EqualsIgnoreCaseAscii(t.text, "MAX")) return AggFn::kMax;
+    if (EqualsIgnoreCaseAscii(t.text, "AVG")) return AggFn::kAvg;
+    return std::nullopt;
+  }
+
+  Status ParseSelectList(SelectStmt* stmt) {
+    do {
+      SelectItem item;
+      std::optional<AggFn> agg = AggKeyword(Peek());
+      if (MatchSymbol("*")) {
+        item.star = true;
+      } else if (agg.has_value() && Peek(1).kind == TokenKind::kSymbol &&
+                 Peek(1).text == "(") {
+        pos_ += 2;  // fn (
+        if (*agg == AggFn::kCount && MatchSymbol("*")) {
+          item.agg = AggFn::kCountStar;
+          item.count_star = true;
+        } else {
+          item.agg = *agg;
+          TRAC_ASSIGN_OR_RETURN(item.expr, ParseColumnRef());
+        }
+        TRAC_RETURN_IF_ERROR(ExpectSymbol(")"));
+      } else {
+        TRAC_ASSIGN_OR_RETURN(item.expr, ParseColumnRef());
+      }
+      if (MatchKeyword("AS")) {
+        TRAC_ASSIGN_OR_RETURN(item.alias, ExpectIdent("alias"));
+      }
+      stmt->items.push_back(std::move(item));
+    } while (MatchSymbol(","));
+    return Status::OK();
+  }
+
+  Status ParseFromList(SelectStmt* stmt) {
+    do {
+      TableRef ref;
+      TRAC_ASSIGN_OR_RETURN(ref.table, ExpectIdent("table name"));
+      if (MatchKeyword("AS")) {
+        TRAC_ASSIGN_OR_RETURN(ref.alias, ExpectIdent("table alias"));
+      } else if (Peek().kind == TokenKind::kIdent &&
+                 !IsReservedKeyword(Peek().text)) {
+        ref.alias = Advance().text;
+      }
+      stmt->from.push_back(std::move(ref));
+    } while (MatchSymbol(","));
+    return Status::OK();
+  }
+
+  Result<ExprPtr> ParseColumnRef() {
+    TRAC_ASSIGN_OR_RETURN(std::string first, ExpectIdent("column reference"));
+    if (MatchSymbol(".")) {
+      TRAC_ASSIGN_OR_RETURN(std::string second, ExpectIdent("column name"));
+      return MakeColumnRef(std::move(first), std::move(second));
+    }
+    return MakeColumnRef("", std::move(first));
+  }
+
+  // -- Predicate grammar: Or > And > Not > Predicate.
+
+  Result<ExprPtr> ParseOr() {
+    TRAC_ASSIGN_OR_RETURN(ExprPtr first, ParseAnd());
+    if (!PeekKeyword("OR")) return first;
+    std::vector<ExprPtr> children;
+    children.push_back(std::move(first));
+    while (MatchKeyword("OR")) {
+      TRAC_ASSIGN_OR_RETURN(ExprPtr next, ParseAnd());
+      children.push_back(std::move(next));
+    }
+    return MakeOr(std::move(children));
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    TRAC_ASSIGN_OR_RETURN(ExprPtr first, ParseNot());
+    if (!PeekKeyword("AND")) return first;
+    std::vector<ExprPtr> children;
+    children.push_back(std::move(first));
+    while (MatchKeyword("AND")) {
+      TRAC_ASSIGN_OR_RETURN(ExprPtr next, ParseNot());
+      children.push_back(std::move(next));
+    }
+    return MakeAnd(std::move(children));
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (MatchKeyword("NOT")) {
+      TRAC_ASSIGN_OR_RETURN(ExprPtr child, ParseNot());
+      return MakeNot(std::move(child));
+    }
+    if (MatchSymbol("(")) {
+      TRAC_ASSIGN_OR_RETURN(ExprPtr inner, ParseOr());
+      TRAC_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return inner;
+    }
+    return ParsePredicateAtom();
+  }
+
+  Result<ExprPtr> ParsePredicateAtom() {
+    TRAC_ASSIGN_OR_RETURN(ExprPtr lhs, ParseOperand());
+
+    if (MatchKeyword("IS")) {
+      bool negated = MatchKeyword("NOT");
+      TRAC_RETURN_IF_ERROR(ExpectKeyword("NULL"));
+      return MakeIsNull(std::move(lhs), negated);
+    }
+
+    bool negated = MatchKeyword("NOT");
+    if (MatchKeyword("IN")) {
+      TRAC_RETURN_IF_ERROR(ExpectSymbol("("));
+      std::vector<Value> values;
+      do {
+        TRAC_ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
+        values.push_back(std::move(v));
+      } while (MatchSymbol(","));
+      TRAC_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return MakeInList(std::move(lhs), std::move(values), negated);
+    }
+    if (MatchKeyword("BETWEEN")) {
+      TRAC_ASSIGN_OR_RETURN(ExprPtr lo, ParseOperand());
+      TRAC_RETURN_IF_ERROR(ExpectKeyword("AND"));
+      TRAC_ASSIGN_OR_RETURN(ExprPtr hi, ParseOperand());
+      return MakeBetween(std::move(lhs), std::move(lo), std::move(hi),
+                         negated);
+    }
+    if (negated) return Error("expected IN or BETWEEN after NOT");
+
+    // A bare boolean literal is a complete predicate (WHERE TRUE/FALSE/
+    // NULL) when no comparison follows.
+    if (lhs->kind == ExprKind::kLiteral &&
+        (lhs->literal.is_null() || lhs->literal.type() == TypeId::kBool)) {
+      const Token& next = Peek();
+      bool operator_follows =
+          next.kind == TokenKind::kSymbol &&
+          (next.text == "=" || next.text == "<>" || next.text == "!=" ||
+           next.text == "<" || next.text == "<=" || next.text == ">" ||
+           next.text == ">=");
+      if (!operator_follows) return lhs;
+    }
+
+    CompareOp op;
+    if (MatchSymbol("=")) {
+      op = CompareOp::kEq;
+    } else if (MatchSymbol("<>") || MatchSymbol("!=")) {
+      op = CompareOp::kNe;
+    } else if (MatchSymbol("<=")) {
+      op = CompareOp::kLe;
+    } else if (MatchSymbol("<")) {
+      op = CompareOp::kLt;
+    } else if (MatchSymbol(">=")) {
+      op = CompareOp::kGe;
+    } else if (MatchSymbol(">")) {
+      op = CompareOp::kGt;
+    } else {
+      return Error("expected a comparison operator");
+    }
+    TRAC_ASSIGN_OR_RETURN(ExprPtr rhs, ParseOperand());
+    return MakeCompare(op, std::move(lhs), std::move(rhs));
+  }
+
+  /// A comparison operand: a column reference or a literal.
+  Result<ExprPtr> ParseOperand() {
+    const Token& t = Peek();
+    if (t.kind == TokenKind::kIdent && !IsReservedKeyword(t.text)) {
+      return ParseColumnRef();
+    }
+    TRAC_ASSIGN_OR_RETURN(Value v, ParseLiteralValue());
+    return MakeLiteral(std::move(v));
+  }
+
+  Result<Value> ParseLiteralValue() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kInt: {
+        ++pos_;
+        return Value::Int(std::strtoll(t.text.c_str(), nullptr, 10));
+      }
+      case TokenKind::kDouble: {
+        ++pos_;
+        return Value::Double(std::strtod(t.text.c_str(), nullptr));
+      }
+      case TokenKind::kString: {
+        ++pos_;
+        return Value::Str(t.text);
+      }
+      case TokenKind::kIdent: {
+        if (MatchKeyword("NULL")) return Value::Null();
+        if (MatchKeyword("TRUE")) return Value::Bool(true);
+        if (MatchKeyword("FALSE")) return Value::Bool(false);
+        if (MatchKeyword("TIMESTAMP")) {
+          if (Peek().kind != TokenKind::kString) {
+            return Error("expected a string after TIMESTAMP");
+          }
+          const std::string text = Advance().text;
+          TRAC_ASSIGN_OR_RETURN(Timestamp ts, Timestamp::Parse(text));
+          return Value::Ts(ts);
+        }
+        return Error("expected a literal");
+      }
+      default:
+        return Error("expected a literal");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SelectStmt> ParseSelect(std::string_view sql) {
+  TRAC_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseSelectStmt();
+}
+
+Result<ExprPtr> ParsePredicate(std::string_view sql) {
+  TRAC_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseStandalonePredicate();
+}
+
+Result<Statement> ParseStatement(std::string_view sql) {
+  TRAC_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseAnyStatement();
+}
+
+}  // namespace trac

@@ -1,0 +1,46 @@
+#ifndef TRAC_SQL_PARSER_H_
+#define TRAC_SQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace trac {
+
+/// Parses one single-block SPJ SELECT statement:
+///
+///   SELECT [DISTINCT] { * | COUNT(*) | col [AS alias], ... }
+///   FROM table [alias] [, table [alias]]...
+///   [WHERE predicate] [;]
+///
+/// Predicates support AND / OR / NOT, parentheses, the six comparison
+/// operators, [NOT] IN (literal, ...), [NOT] BETWEEN lit AND lit,
+/// IS [NOT] NULL, and literals: numbers, 'strings',
+/// TIMESTAMP 'YYYY-MM-DD HH:MM:SS', NULL, TRUE, FALSE.
+///
+/// Anything outside this subset fails with ParseError/Unsupported; the
+/// paper's query model (Section 3.4) is single SPJ expressions.
+Result<SelectStmt> ParseSelect(std::string_view sql);
+
+/// Parses a stand-alone predicate (the WHERE grammar above). Useful for
+/// declaring schema-level predicate constraints (Section 3.4's Q' = Q ∧
+/// constraints construction).
+Result<ExprPtr> ParsePredicate(std::string_view sql);
+
+/// Parses any supported statement:
+///
+///   SELECT ...                                   (ParseSelect's grammar)
+///   CREATE TABLE name (col TYPE [DATA SOURCE], ..., [CHECK (pred)]...)
+///     with TYPE one of TEXT|STRING|VARCHAR, INT|INTEGER|BIGINT,
+///     DOUBLE|FLOAT|REAL, TIMESTAMP, BOOL|BOOLEAN
+///   CREATE INDEX ON name (col)
+///   DROP TABLE name
+///   INSERT INTO name [(col, ...)] VALUES (lit, ...)[, (lit, ...)]...
+///   UPDATE name SET col = lit[, ...] [WHERE pred]
+///   DELETE FROM name [WHERE pred]
+Result<Statement> ParseStatement(std::string_view sql);
+
+}  // namespace trac
+
+#endif  // TRAC_SQL_PARSER_H_

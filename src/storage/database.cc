@@ -1,0 +1,119 @@
+#include "storage/database.h"
+
+namespace trac {
+
+Result<TableId> Database::CreateTable(TableSchema schema) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  TRAC_ASSIGN_OR_RETURN(TableId id, catalog_.CreateTable(std::move(schema)));
+  tables_.push_back(std::make_unique<Table>(id, &catalog_.schema(id)));
+  return id;
+}
+
+Status Database::DropTable(std::string_view name) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  return catalog_.DropTable(name);
+}
+
+Status Database::PrepareRow(const TableSchema& schema, Row* row) {
+  // Normalize int64 values stored in double columns before validation so
+  // index keys and comparisons see a single representation per column.
+  if (row->size() == schema.num_columns()) {
+    for (size_t i = 0; i < row->size(); ++i) {
+      if (schema.column(i).type == TypeId::kDouble &&
+          (*row)[i].type() == TypeId::kInt64) {
+        (*row)[i] = Value::Double(static_cast<double>((*row)[i].int_val()));
+      }
+    }
+  }
+  return schema.ValidateRow(*row);
+}
+
+Status Database::Insert(std::string_view table, Row row) {
+  TRAC_ASSIGN_OR_RETURN(TableId id, FindTable(table));
+  std::lock_guard<std::mutex> lock(write_mu_);
+  Table* t = tables_[id].get();
+  TRAC_RETURN_IF_ERROR(PrepareRow(t->schema(), &row));
+  const uint64_t commit =
+      version_counter_.load(std::memory_order_relaxed) + 1;
+  t->AppendVersion(std::move(row), commit);
+  version_counter_.store(commit, std::memory_order_release);
+  return Status::OK();
+}
+
+Status Database::InsertMany(TableId table, std::vector<Row> rows) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  if (!catalog_.IsLive(table)) {
+    return Status::NotFound("table id is not live");
+  }
+  Table* t = tables_[table].get();
+  for (Row& row : rows) {
+    TRAC_RETURN_IF_ERROR(PrepareRow(t->schema(), &row));
+  }
+  const uint64_t commit =
+      version_counter_.load(std::memory_order_relaxed) + 1;
+  for (Row& row : rows) {
+    t->AppendVersion(std::move(row), commit);
+  }
+  version_counter_.store(commit, std::memory_order_release);
+  return Status::OK();
+}
+
+Result<int> Database::UpdateWhere(std::string_view table,
+                                  const std::function<bool(const Row&)>& pred,
+                                  const std::function<void(Row*)>& mutate) {
+  TRAC_ASSIGN_OR_RETURN(TableId id, FindTable(table));
+  std::lock_guard<std::mutex> lock(write_mu_);
+  Table* t = tables_[id].get();
+  const uint64_t commit =
+      version_counter_.load(std::memory_order_relaxed) + 1;
+  Snapshot snap{commit - 1};
+
+  // Collect matches first: AppendVersion invalidates nothing (deque), but
+  // we must not rescan versions we just appended.
+  std::vector<size_t> matches;
+  t->Scan(snap, [&](size_t vidx, const Row& row) {
+    if (pred(row)) matches.push_back(vidx);
+  });
+  for (size_t vidx : matches) {
+    Row updated = t->version(vidx).values;
+    mutate(&updated);
+    TRAC_RETURN_IF_ERROR(PrepareRow(t->schema(), &updated));
+    t->CloseVersion(vidx, commit);
+    t->AppendVersion(std::move(updated), commit);
+  }
+  version_counter_.store(commit, std::memory_order_release);
+  return static_cast<int>(matches.size());
+}
+
+Result<int> Database::DeleteWhere(
+    std::string_view table, const std::function<bool(const Row&)>& pred) {
+  TRAC_ASSIGN_OR_RETURN(TableId id, FindTable(table));
+  std::lock_guard<std::mutex> lock(write_mu_);
+  Table* t = tables_[id].get();
+  const uint64_t commit =
+      version_counter_.load(std::memory_order_relaxed) + 1;
+  Snapshot snap{commit - 1};
+  int deleted = 0;
+  t->Scan(snap, [&](size_t vidx, const Row& row) {
+    if (pred(row)) {
+      t->CloseVersion(vidx, commit);
+      ++deleted;
+    }
+  });
+  version_counter_.store(commit, std::memory_order_release);
+  return deleted;
+}
+
+Status Database::CreateIndex(std::string_view table, std::string_view column) {
+  TRAC_ASSIGN_OR_RETURN(TableId id, FindTable(table));
+  std::lock_guard<std::mutex> lock(write_mu_);
+  Table* t = tables_[id].get();
+  std::optional<size_t> col = t->schema().FindColumn(column);
+  if (!col.has_value()) {
+    return Status::NotFound("no column '" + std::string(column) +
+                            "' in table '" + std::string(table) + "'");
+  }
+  return t->CreateIndex(*col);
+}
+
+}  // namespace trac

@@ -1,0 +1,88 @@
+#ifndef TRAC_STORAGE_DATABASE_H_
+#define TRAC_STORAGE_DATABASE_H_
+
+#include <atomic>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string_view>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "storage/snapshot.h"
+#include "storage/table.h"
+
+namespace trac {
+
+/// The embedded database: a catalog plus MVCC tables plus a monotonically
+/// increasing commit-version counter.
+///
+/// Concurrency contract: any number of readers may hold Snapshots and
+/// scan concurrently with a single writer; writers are serialized by an
+/// internal mutex. A write becomes visible atomically when the version
+/// counter advances past its commit version — readers that captured
+/// their Snapshot earlier never observe a partially applied write.
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+
+  /// Creates a table from `schema`. AlreadyExists on name clash.
+  Result<TableId> CreateTable(TableSchema schema);
+
+  /// Drops a table by name (its storage is kept until shutdown, but it
+  /// disappears from the catalog and from name lookups).
+  Status DropTable(std::string_view name);
+
+  Result<TableId> FindTable(std::string_view name) const {
+    return catalog_.GetTableId(name);
+  }
+
+  Table* GetTable(TableId id) { return tables_[id].get(); }
+  const Table* GetTable(TableId id) const { return tables_[id].get(); }
+
+  /// Read view of everything committed so far.
+  Snapshot LatestSnapshot() const {
+    return Snapshot{version_counter_.load(std::memory_order_acquire)};
+  }
+
+  /// Inserts one row (auto-commit). The row is validated against the
+  /// schema and numerically normalized (int literals into double columns).
+  Status Insert(std::string_view table, Row row);
+
+  /// Bulk load: inserts all rows under a single commit version. Much
+  /// faster than row-at-a-time and atomically visible.
+  Status InsertMany(TableId table, std::vector<Row> rows);
+
+  /// Updates every currently visible row matching `pred` by applying
+  /// `mutate` to a copy (auto-commit). Returns the number updated.
+  Result<int> UpdateWhere(std::string_view table,
+                          const std::function<bool(const Row&)>& pred,
+                          const std::function<void(Row*)>& mutate);
+
+  /// Deletes every currently visible row matching `pred` (auto-commit).
+  /// Returns the number deleted.
+  Result<int> DeleteWhere(std::string_view table,
+                          const std::function<bool(const Row&)>& pred);
+
+  /// Creates an ordered index on `table`.`column`.
+  Status CreateIndex(std::string_view table, std::string_view column);
+
+ private:
+  /// Validates and normalizes `row` in place against `schema`.
+  static Status PrepareRow(const TableSchema& schema, Row* row);
+
+  Catalog catalog_;
+  std::deque<std::unique_ptr<Table>> tables_;  // Indexed by TableId.
+  std::atomic<uint64_t> version_counter_{0};
+  std::mutex write_mu_;
+};
+
+}  // namespace trac
+
+#endif  // TRAC_STORAGE_DATABASE_H_

@@ -1,0 +1,3 @@
+// OrderedIndex is header-only (its scans are templates); this TU anchors
+// the storage library's source list.
+#include "storage/index.h"

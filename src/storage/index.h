@@ -1,0 +1,72 @@
+#ifndef TRAC_STORAGE_INDEX_H_
+#define TRAC_STORAGE_INDEX_H_
+
+#include <cstddef>
+#include <map>
+#include <optional>
+
+#include "types/value.h"
+
+namespace trac {
+
+/// An ordered secondary index over one column of a table, mapping column
+/// values to row-version indexes. It plays the role of the B-tree indexes
+/// the paper's evaluation created on the data source columns of the
+/// Heartbeat, Activity and Routing tables.
+///
+/// The index is append-only: entries point at immutable row versions, and
+/// MVCC visibility is checked by the caller against each version, so no
+/// entry is ever removed. NULL keys are not indexed (SQL comparisons with
+/// NULL never evaluate to true, so an index scan can never need them).
+class OrderedIndex {
+ public:
+  explicit OrderedIndex(size_t column) : column_(column) {}
+
+  size_t column() const { return column_; }
+  size_t num_entries() const { return map_.size(); }
+
+  void Insert(const Value& key, size_t version_index) {
+    if (key.is_null()) return;
+    map_.emplace(key, version_index);
+  }
+
+  /// Calls fn(version_index) for every entry with key == `key`.
+  template <typename Fn>
+  void ScanEqual(const Value& key, Fn fn) const {
+    auto [lo, hi] = map_.equal_range(key);
+    for (auto it = lo; it != hi; ++it) fn(it->second);
+  }
+
+  /// Calls fn(version_index) for every entry within the (optionally
+  /// open-ended) range. Bounds are structural-order bounds; callers must
+  /// only pass keys of the column's type.
+  template <typename Fn>
+  void ScanRange(const std::optional<Value>& lo, bool lo_inclusive,
+                 const std::optional<Value>& hi, bool hi_inclusive,
+                 Fn fn) const {
+    auto it = lo.has_value()
+                  ? (lo_inclusive ? map_.lower_bound(*lo)
+                                  : map_.upper_bound(*lo))
+                  : map_.begin();
+    auto end = hi.has_value()
+                   ? (hi_inclusive ? map_.upper_bound(*hi)
+                                   : map_.lower_bound(*hi))
+                   : map_.end();
+    for (; it != end; ++it) fn(it->second);
+  }
+
+  /// Number of entries equal to `key` (visibility not considered); used
+  /// by the planner's cardinality heuristic.
+  size_t CountEqual(const Value& key) const {
+    auto [lo, hi] = map_.equal_range(key);
+    return static_cast<size_t>(std::distance(lo, hi));
+  }
+
+ private:
+  size_t column_;
+  std::multimap<Value, size_t> map_;
+};
+
+}  // namespace trac
+
+#endif  // TRAC_STORAGE_INDEX_H_

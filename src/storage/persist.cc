@@ -1,0 +1,299 @@
+#include "storage/persist.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace trac {
+
+namespace {
+
+constexpr std::string_view kMagic = "TRACDB";
+constexpr int kFormatVersion = 1;
+
+// ---- Value token encoding: a type tag, then a payload. Strings are
+// ---- length-prefixed so arbitrary bytes (newlines, quotes) round-trip.
+
+void WriteValue(std::ostream& out, const Value& v) {
+  switch (v.type()) {
+    case TypeId::kNull:
+      out << "N";
+      break;
+    case TypeId::kBool:
+      out << "B" << (v.bool_val() ? 1 : 0);
+      break;
+    case TypeId::kInt64:
+      out << "I" << v.int_val();
+      break;
+    case TypeId::kDouble: {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g", v.double_val());
+      out << "D" << buf;
+      break;
+    }
+    case TypeId::kString:
+      out << "S" << v.str_val().size() << ":" << v.str_val();
+      break;
+    case TypeId::kTimestamp:
+      out << "T" << v.ts_val().micros();
+      break;
+  }
+  out << "\n";
+}
+
+Result<Value> ReadValue(std::istream& in) {
+  auto fail = []() {
+    return Status::InvalidArgument("corrupt value token in database file");
+  };
+  int tag = in.get();
+  if (tag == EOF) return fail();
+  switch (tag) {
+    case 'N': {
+      std::string rest;
+      std::getline(in, rest);
+      return Value::Null();
+    }
+    case 'B': {
+      std::string rest;
+      std::getline(in, rest);
+      if (rest != "0" && rest != "1") return fail();
+      return Value::Bool(rest == "1");
+    }
+    case 'I': {
+      std::string rest;
+      std::getline(in, rest);
+      if (rest.empty()) return fail();
+      return Value::Int(std::strtoll(rest.c_str(), nullptr, 10));
+    }
+    case 'D': {
+      std::string rest;
+      std::getline(in, rest);
+      if (rest.empty()) return fail();
+      return Value::Double(std::strtod(rest.c_str(), nullptr));
+    }
+    case 'T': {
+      std::string rest;
+      std::getline(in, rest);
+      if (rest.empty()) return fail();
+      return Value::Ts(Timestamp(std::strtoll(rest.c_str(), nullptr, 10)));
+    }
+    case 'S': {
+      size_t len = 0;
+      int c;
+      bool any = false;
+      while ((c = in.get()) != EOF && c != ':') {
+        if (c < '0' || c > '9') return fail();
+        len = len * 10 + static_cast<size_t>(c - '0');
+        any = true;
+      }
+      if (!any || c == EOF) return fail();
+      std::string payload(len, '\0');
+      in.read(payload.data(), static_cast<std::streamsize>(len));
+      if (static_cast<size_t>(in.gcount()) != len) return fail();
+      if (in.get() != '\n') return fail();  // Terminator.
+      return Value::Str(std::move(payload));
+    }
+    default:
+      return fail();
+  }
+}
+
+std::string_view TypeToken(TypeId t) {
+  switch (t) {
+    case TypeId::kBool:
+      return "BOOL";
+    case TypeId::kInt64:
+      return "INT64";
+    case TypeId::kDouble:
+      return "DOUBLE";
+    case TypeId::kString:
+      return "STRING";
+    case TypeId::kTimestamp:
+      return "TIMESTAMP";
+    case TypeId::kNull:
+      break;
+  }
+  return "NULL";
+}
+
+Result<TypeId> TypeFromToken(std::string_view token) {
+  if (token == "BOOL") return TypeId::kBool;
+  if (token == "INT64") return TypeId::kInt64;
+  if (token == "DOUBLE") return TypeId::kDouble;
+  if (token == "STRING") return TypeId::kString;
+  if (token == "TIMESTAMP") return TypeId::kTimestamp;
+  return Status::InvalidArgument("unknown type token '" + std::string(token) +
+                                 "'");
+}
+
+}  // namespace
+
+Status SaveDatabase(const Database& db, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::InvalidArgument("cannot open '" + path + "' for writing");
+  }
+  out << kMagic << " " << kFormatVersion << "\n";
+  Snapshot snap = db.LatestSnapshot();
+
+  for (const std::string& name : db.catalog().TableNames()) {
+    TRAC_ASSIGN_OR_RETURN(TableId id, db.FindTable(name));
+    const TableSchema& schema = db.catalog().schema(id);
+    const Table* table = db.GetTable(id);
+
+    out << "TABLE\n";
+    WriteValue(out, Value::Str(schema.name()));
+    out << "COLUMNS " << schema.num_columns() << "\n";
+    for (size_t c = 0; c < schema.num_columns(); ++c) {
+      const ColumnDef& col = schema.column(c);
+      WriteValue(out, Value::Str(col.name));
+      out << TypeToken(col.type) << " "
+          << (schema.IsDataSourceColumn(c) ? 1 : 0) << " "
+          << (col.domain.is_finite() ? col.domain.size() : 0) << " "
+          << (col.domain.is_finite() ? 1 : 0) << "\n";
+      if (col.domain.is_finite()) {
+        for (const Value& v : col.domain.values()) WriteValue(out, v);
+      }
+    }
+    out << "CHECKS " << schema.check_constraints().size() << "\n";
+    for (const std::string& check : schema.check_constraints()) {
+      WriteValue(out, Value::Str(check));
+    }
+    std::vector<size_t> indexed_columns;
+    for (size_t c = 0; c < schema.num_columns(); ++c) {
+      if (table->GetIndex(c) != nullptr) indexed_columns.push_back(c);
+    }
+    out << "INDEXES " << indexed_columns.size() << "\n";
+    for (size_t c : indexed_columns) out << c << "\n";
+
+    out << "ROWS " << table->CountVisible(snap) << "\n";
+    Status row_status;
+    table->Scan(snap, [&](size_t, const Row& row) {
+      for (const Value& v : row) WriteValue(out, v);
+    });
+    TRAC_RETURN_IF_ERROR(row_status);
+  }
+  out << "END\n";
+  out.flush();
+  if (!out) {
+    return Status::InvalidArgument("write to '" + path + "' failed");
+  }
+  return Status::OK();
+}
+
+Status LoadDatabase(Database* db, const std::string& path) {
+  if (db->catalog().NumIds() != 0) {
+    return Status::InvalidArgument("LoadDatabase requires an empty database");
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  std::string magic;
+  int version = 0;
+  in >> magic >> version;
+  in.get();  // Newline.
+  if (magic != kMagic || version != kFormatVersion) {
+    return Status::InvalidArgument("'" + path +
+                                   "' is not a TRACDB v1 file");
+  }
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line == "END") return Status::OK();
+    if (line != "TABLE") {
+      return Status::InvalidArgument("expected TABLE or END, got '" + line +
+                                     "'");
+    }
+    TRAC_ASSIGN_OR_RETURN(Value name, ReadValue(in));
+
+    std::string keyword;
+    size_t ncols = 0;
+    in >> keyword >> ncols;
+    in.get();
+    if (keyword != "COLUMNS") {
+      return Status::InvalidArgument("expected COLUMNS");
+    }
+    std::vector<ColumnDef> columns;
+    std::optional<std::string> ds_column;
+    for (size_t c = 0; c < ncols; ++c) {
+      TRAC_ASSIGN_OR_RETURN(Value col_name, ReadValue(in));
+      std::string type_token;
+      int is_ds = 0;
+      size_t domain_size = 0;
+      int finite = 0;
+      in >> type_token >> is_ds >> domain_size >> finite;
+      in.get();
+      TRAC_ASSIGN_OR_RETURN(TypeId type, TypeFromToken(type_token));
+      Domain domain = Domain::Infinite(type);
+      if (finite != 0) {
+        std::vector<Value> values;
+        values.reserve(domain_size);
+        for (size_t i = 0; i < domain_size; ++i) {
+          TRAC_ASSIGN_OR_RETURN(Value v, ReadValue(in));
+          values.push_back(std::move(v));
+        }
+        domain = Domain::Finite(type, std::move(values));
+      }
+      columns.emplace_back(col_name.str_val(), type, std::move(domain));
+      if (is_ds != 0) ds_column = col_name.str_val();
+    }
+
+    TableSchema schema(name.str_val(), std::move(columns));
+    if (ds_column.has_value()) {
+      TRAC_RETURN_IF_ERROR(schema.SetDataSourceColumn(*ds_column));
+    }
+
+    size_t nchecks = 0;
+    in >> keyword >> nchecks;
+    in.get();
+    if (keyword != "CHECKS") {
+      return Status::InvalidArgument("expected CHECKS");
+    }
+    for (size_t i = 0; i < nchecks; ++i) {
+      TRAC_ASSIGN_OR_RETURN(Value check, ReadValue(in));
+      schema.AddCheckConstraint(check.str_val());
+    }
+
+    size_t nindexes = 0;
+    in >> keyword >> nindexes;
+    in.get();
+    if (keyword != "INDEXES") {
+      return Status::InvalidArgument("expected INDEXES");
+    }
+    std::vector<size_t> indexed_columns(nindexes);
+    for (size_t i = 0; i < nindexes; ++i) {
+      in >> indexed_columns[i];
+      in.get();
+    }
+
+    size_t nrows = 0;
+    in >> keyword >> nrows;
+    in.get();
+    if (keyword != "ROWS") {
+      return Status::InvalidArgument("expected ROWS");
+    }
+
+    TRAC_ASSIGN_OR_RETURN(TableId id, db->CreateTable(std::move(schema)));
+    const size_t arity = db->catalog().schema(id).num_columns();
+    std::vector<Row> rows;
+    rows.reserve(nrows);
+    for (size_t r = 0; r < nrows; ++r) {
+      Row row;
+      row.reserve(arity);
+      for (size_t c = 0; c < arity; ++c) {
+        TRAC_ASSIGN_OR_RETURN(Value v, ReadValue(in));
+        row.push_back(std::move(v));
+      }
+      rows.push_back(std::move(row));
+    }
+    TRAC_RETURN_IF_ERROR(db->InsertMany(id, std::move(rows)));
+    const std::string& table_name = db->catalog().schema(id).name();
+    for (size_t c : indexed_columns) {
+      TRAC_RETURN_IF_ERROR(db->CreateIndex(
+          table_name, db->catalog().schema(id).column(c).name));
+    }
+  }
+  return Status::InvalidArgument("unexpected end of file (missing END)");
+}
+
+}  // namespace trac

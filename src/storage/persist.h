@@ -1,0 +1,33 @@
+#ifndef TRAC_STORAGE_PERSIST_H_
+#define TRAC_STORAGE_PERSIST_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "storage/database.h"
+
+namespace trac {
+
+/// Saves a consistent snapshot of the database to `path`: every live
+/// table's schema (columns, types, finite domains, the data source
+/// column designation, CHECK constraints), its secondary indexes, and
+/// all rows visible at the latest snapshot. History (old MVCC versions)
+/// is not persisted — the file is a checkpoint, not a log.
+///
+/// Part of the "historical record" role the paper assigns the central
+/// database: a monitoring session can be checkpointed and reopened
+/// later (or elsewhere) with its recency state intact, since the
+/// Heartbeat table round-trips like any other table.
+///
+/// The format is a version-tagged, length-prefixed binary-safe text
+/// format; strings round-trip byte-exactly (including newlines).
+Status SaveDatabase(const Database& db, const std::string& path);
+
+/// Loads a file written by SaveDatabase into `db`, which must be empty
+/// (no tables ever created). Indexes are rebuilt; all rows of one table
+/// load under a single commit version.
+Status LoadDatabase(Database* db, const std::string& path);
+
+}  // namespace trac
+
+#endif  // TRAC_STORAGE_PERSIST_H_

@@ -1,0 +1,22 @@
+#ifndef TRAC_STORAGE_SNAPSHOT_H_
+#define TRAC_STORAGE_SNAPSHOT_H_
+
+#include <cstdint>
+
+namespace trac {
+
+/// A consistent read view of the database: every committed write with
+/// commit version <= `version` is visible, everything later is not.
+///
+/// Snapshots are the mechanism behind the paper's first requirement
+/// (Section 3.2): the user query and its system-generated recency query
+/// are evaluated against the *same* Snapshot, so the recency report is
+/// transactionally consistent with the query result, exactly like the
+/// MVCC behaviour the prototype leaned on in PostgreSQL.
+struct Snapshot {
+  uint64_t version = 0;
+};
+
+}  // namespace trac
+
+#endif  // TRAC_STORAGE_SNAPSHOT_H_

@@ -1,0 +1,46 @@
+#include "storage/table.h"
+
+namespace trac {
+
+size_t Table::AppendVersion(Row row, uint64_t begin_version) {
+  const size_t vidx = versions_.size();
+  versions_.push_back(RowVersion{begin_version, RowVersion::kOpenVersion,
+                                 std::move(row)});
+  const Row& stored = versions_.back().values;
+  for (auto& [col, index] : indexes_) {
+    index->Insert(stored[col], vidx);
+  }
+  return vidx;
+}
+
+size_t Table::CountVisible(Snapshot snap) const {
+  size_t count = 0;
+  for (const RowVersion& v : versions_) {
+    if (Visible(v, snap)) ++count;
+  }
+  return count;
+}
+
+Status Table::CreateIndex(size_t column) {
+  if (column >= schema_->num_columns()) {
+    return Status::InvalidArgument("index column out of range for table '" +
+                                   schema_->name() + "'");
+  }
+  if (indexes_.count(column) != 0) {
+    return Status::AlreadyExists("index already exists on column '" +
+                                 schema_->column(column).name + "'");
+  }
+  auto index = std::make_unique<OrderedIndex>(column);
+  for (size_t i = 0; i < versions_.size(); ++i) {
+    index->Insert(versions_[i].values[column], i);
+  }
+  indexes_.emplace(column, std::move(index));
+  return Status::OK();
+}
+
+const OrderedIndex* Table::GetIndex(size_t column) const {
+  auto it = indexes_.find(column);
+  return it == indexes_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace trac

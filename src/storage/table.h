@@ -1,0 +1,107 @@
+#ifndef TRAC_STORAGE_TABLE_H_
+#define TRAC_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+
+#include "catalog/catalog.h"
+#include "catalog/schema.h"
+#include "common/result.h"
+#include "storage/index.h"
+#include "storage/snapshot.h"
+#include "types/value.h"
+
+namespace trac {
+
+/// One version of one logical row. A version is visible to a snapshot s
+/// iff begin <= s.version and (end == kOpen or end > s.version).
+struct RowVersion {
+  uint64_t begin = 0;
+  uint64_t end = 0;  ///< kOpenVersion while the version is current.
+  Row values;
+
+  static constexpr uint64_t kOpenVersion = 0;
+};
+
+/// An in-memory, multi-versioned heap table.
+///
+/// Storage is an append-only deque of RowVersion (a deque so references
+/// stay valid while a writer appends concurrently with readers — the
+/// single-writer/multi-reader contract is enforced by Database). Updates
+/// close the old version and append a new one; deletes just close.
+/// Secondary OrderedIndexes are maintained on append.
+class Table {
+ public:
+  /// `schema` must outlive the table; the Database passes a pointer into
+  /// its catalog, which is the single source of truth for schemas (so
+  /// post-creation schema changes like AddCheckConstraint are seen
+  /// everywhere).
+  Table(TableId id, const TableSchema* schema) : id_(id), schema_(schema) {}
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  TableId id() const { return id_; }
+  const TableSchema& schema() const { return *schema_; }
+
+  size_t num_versions() const { return versions_.size(); }
+  const RowVersion& version(size_t i) const { return versions_[i]; }
+
+  bool Visible(const RowVersion& v, Snapshot snap) const {
+    return v.begin <= snap.version &&
+           (v.end == RowVersion::kOpenVersion || v.end > snap.version);
+  }
+
+  /// Appends a new version visible from `begin_version` on. The row must
+  /// already be validated/normalized (Database does both). Returns the
+  /// version index. Updates all indexes.
+  size_t AppendVersion(Row row, uint64_t begin_version);
+
+  /// Ends the visibility of version `vidx` at `end_version`.
+  void CloseVersion(size_t vidx, uint64_t end_version) {
+    versions_[vidx].end = end_version;
+  }
+
+  /// Calls fn(version_index, row) for every version visible in `snap`.
+  template <typename Fn>
+  void Scan(Snapshot snap, Fn fn) const {
+    const size_t n = versions_.size();
+    for (size_t i = 0; i < n; ++i) {
+      const RowVersion& v = versions_[i];
+      if (Visible(v, snap)) fn(i, v.values);
+    }
+  }
+
+  /// Like Scan, but fn returns bool; returning false stops the scan
+  /// (used for LIMIT/EXISTS evaluation).
+  template <typename Fn>
+  void ScanWhile(Snapshot snap, Fn fn) const {
+    const size_t n = versions_.size();
+    for (size_t i = 0; i < n; ++i) {
+      const RowVersion& v = versions_[i];
+      if (Visible(v, snap) && !fn(i, v.values)) return;
+    }
+  }
+
+  /// Number of visible rows in `snap` (O(versions)).
+  size_t CountVisible(Snapshot snap) const;
+
+  /// Creates an ordered index on column `column`, back-filling existing
+  /// versions. AlreadyExists if one is already defined on that column.
+  Status CreateIndex(size_t column);
+
+  /// The index on `column`, or nullptr.
+  const OrderedIndex* GetIndex(size_t column) const;
+
+ private:
+  TableId id_;
+  const TableSchema* schema_;
+  std::deque<RowVersion> versions_;
+  std::map<size_t, std::unique_ptr<OrderedIndex>> indexes_;
+};
+
+}  // namespace trac
+
+#endif  // TRAC_STORAGE_TABLE_H_

@@ -1,0 +1,53 @@
+#include "types/domain.h"
+
+#include <algorithm>
+
+namespace trac {
+
+Domain Domain::Finite(TypeId type, std::vector<Value> values) {
+  Domain d(type);
+  d.finite_ = true;
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  d.values_ = std::move(values);
+  return d;
+}
+
+bool Domain::Contains(const Value& v) const {
+  if (v.is_null()) return false;
+  if (!finite_) {
+    return v.type() == type_ ||
+           (v.type() == TypeId::kInt64 && type_ == TypeId::kDouble);
+  }
+  return std::binary_search(values_.begin(), values_.end(), v);
+}
+
+bool Domain::ProvablyDisjoint(const Domain& a, const Domain& b) {
+  if (!TypesComparable(a.type(), b.type())) return true;
+  if (!a.is_finite() || !b.is_finite()) return false;
+  if (a.type() == b.type()) {
+    // Both sorted with the same structural order: single merge pass.
+    size_t i = 0, j = 0;
+    while (i < a.values_.size() && j < b.values_.size()) {
+      if (a.values_[i] == b.values_[j]) return false;
+      if (a.values_[i] < b.values_[j]) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+    return true;
+  }
+  // Mixed numeric types: structural order differs from SQL order, so fall
+  // back to the quadratic check with SQL comparison semantics. Finite
+  // domains are small by construction.
+  for (const Value& x : a.values_) {
+    for (const Value& y : b.values_) {
+      auto cmp = Value::Compare(x, y);
+      if (cmp.ok() && *cmp == 0) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace trac

@@ -1,0 +1,55 @@
+#ifndef TRAC_TYPES_DOMAIN_H_
+#define TRAC_TYPES_DOMAIN_H_
+
+#include <vector>
+
+#include "types/value.h"
+
+namespace trac {
+
+/// The domain of a column: the set of values an update could legally put
+/// there (Section 3.4 of the paper quantifies relevance over column
+/// domains, not over current table contents).
+///
+/// A Domain is either *infinite* (any value of the column type — the
+/// common case) or *finite* (an explicit enumeration). Finite domains
+/// serve two roles:
+///   1. They make the brute-force ground-truth computation of S(Q)
+///      possible (the paper's evaluation methodology, Section 5.2).
+///   2. They sharpen satisfiability checks — e.g. two equated columns
+///      with disjoint finite domains make a join predicate unsatisfiable
+///      (the paper's Routing.neighbor / Activity.mach_id example).
+class Domain {
+ public:
+  /// Infinite domain of the given element type.
+  static Domain Infinite(TypeId type) { return Domain(type); }
+
+  /// Finite domain; duplicates are removed, values sorted structurally.
+  static Domain Finite(TypeId type, std::vector<Value> values);
+
+  TypeId type() const { return type_; }
+  bool is_finite() const { return finite_; }
+
+  /// Enumerated values; only valid for finite domains.
+  const std::vector<Value>& values() const { return values_; }
+  size_t size() const { return values_.size(); }
+
+  /// Membership test. Infinite domains contain every non-null value of
+  /// their type; finite domains contain exactly their enumeration.
+  bool Contains(const Value& v) const;
+
+  /// True if the two domains provably share no value. Only finite/finite
+  /// pairs (or mismatched types) can be proven disjoint.
+  static bool ProvablyDisjoint(const Domain& a, const Domain& b);
+
+ private:
+  explicit Domain(TypeId type) : type_(type), finite_(false) {}
+
+  TypeId type_;
+  bool finite_;
+  std::vector<Value> values_;  // Sorted, deduplicated; empty if infinite.
+};
+
+}  // namespace trac
+
+#endif  // TRAC_TYPES_DOMAIN_H_

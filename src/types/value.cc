@@ -1,0 +1,147 @@
+#include "types/value.h"
+
+#include <functional>
+
+#include "common/str_util.h"
+
+namespace trac {
+
+std::string_view TypeIdToString(TypeId t) {
+  switch (t) {
+    case TypeId::kNull:
+      return "NULL";
+    case TypeId::kBool:
+      return "BOOL";
+    case TypeId::kInt64:
+      return "INT64";
+    case TypeId::kDouble:
+      return "DOUBLE";
+    case TypeId::kString:
+      return "STRING";
+    case TypeId::kTimestamp:
+      return "TIMESTAMP";
+  }
+  return "?";
+}
+
+bool TypesComparable(TypeId a, TypeId b) {
+  if (a == b) return a != TypeId::kNull;
+  auto numeric = [](TypeId t) {
+    return t == TypeId::kInt64 || t == TypeId::kDouble;
+  };
+  return numeric(a) && numeric(b);
+}
+
+Result<int> Value::Compare(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) {
+    return Status::TypeError("cannot compare NULL values");
+  }
+  if (!TypesComparable(a.type(), b.type())) {
+    return Status::TypeError("cannot compare " +
+                             std::string(TypeIdToString(a.type())) + " with " +
+                             std::string(TypeIdToString(b.type())));
+  }
+  if (a.type() != b.type()) {
+    // Mixed int64/double: compare as double.
+    double x = a.AsDouble(), y = b.AsDouble();
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  switch (a.type()) {
+    case TypeId::kBool: {
+      int x = a.bool_val() ? 1 : 0, y = b.bool_val() ? 1 : 0;
+      return x - y;
+    }
+    case TypeId::kInt64: {
+      int64_t x = a.int_val(), y = b.int_val();
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    case TypeId::kDouble: {
+      double x = a.double_val(), y = b.double_val();
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    case TypeId::kString:
+      return a.str_val().compare(b.str_val()) < 0
+                 ? -1
+                 : (a.str_val() == b.str_val() ? 0 : 1);
+    case TypeId::kTimestamp: {
+      Timestamp x = a.ts_val(), y = b.ts_val();
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    case TypeId::kNull:
+      break;
+  }
+  return Status::Internal("unreachable type in Value::Compare");
+}
+
+size_t Value::Hash() const {
+  size_t seed = static_cast<size_t>(type()) * 0x9E3779B97F4A7C15ULL;
+  auto mix = [&](size_t h) {
+    seed ^= h + 0x9E3779B97F4A7C15ULL + (seed << 6) + (seed >> 2);
+  };
+  switch (type()) {
+    case TypeId::kNull:
+      break;
+    case TypeId::kBool:
+      mix(std::hash<bool>{}(bool_val()));
+      break;
+    case TypeId::kInt64:
+      mix(std::hash<int64_t>{}(int_val()));
+      break;
+    case TypeId::kDouble:
+      mix(std::hash<double>{}(double_val()));
+      break;
+    case TypeId::kString:
+      mix(std::hash<std::string>{}(str_val()));
+      break;
+    case TypeId::kTimestamp:
+      mix(std::hash<int64_t>{}(ts_val().micros()));
+      break;
+  }
+  return seed;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case TypeId::kNull:
+      return "NULL";
+    case TypeId::kBool:
+      return bool_val() ? "true" : "false";
+    case TypeId::kInt64:
+      return std::to_string(int_val());
+    case TypeId::kDouble:
+      return std::to_string(double_val());
+    case TypeId::kString:
+      return str_val();
+    case TypeId::kTimestamp:
+      return ts_val().ToString();
+  }
+  return "?";
+}
+
+std::string Value::ToSqlLiteral() const {
+  switch (type()) {
+    case TypeId::kNull:
+      return "NULL";
+    case TypeId::kBool:
+      return bool_val() ? "TRUE" : "FALSE";
+    case TypeId::kInt64:
+      return std::to_string(int_val());
+    case TypeId::kDouble:
+      return std::to_string(double_val());
+    case TypeId::kString:
+      return QuoteSqlString(str_val());
+    case TypeId::kTimestamp:
+      return "TIMESTAMP " + QuoteSqlString(ts_val().ToString());
+  }
+  return "?";
+}
+
+size_t HashRow(const Row& row) {
+  size_t seed = row.size();
+  for (const Value& v : row) {
+    seed ^= v.Hash() + 0x9E3779B97F4A7C15ULL + (seed << 6) + (seed >> 2);
+  }
+  return seed;
+}
+
+}  // namespace trac

@@ -1,0 +1,114 @@
+#ifndef TRAC_TYPES_VALUE_H_
+#define TRAC_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+#include "common/timestamp.h"
+
+namespace trac {
+
+/// Runtime type tags for Value. kNull is the type of the SQL NULL literal;
+/// typed columns never have type kNull but may hold null Values.
+enum class TypeId : uint8_t {
+  kNull = 0,
+  kBool,
+  kInt64,
+  kDouble,
+  kString,
+  kTimestamp,
+};
+
+std::string_view TypeIdToString(TypeId t);
+
+/// Returns true if values of `a` and `b` can be compared with each other
+/// (identical types, or the int64/double numeric pair).
+bool TypesComparable(TypeId a, TypeId b);
+
+/// A dynamically typed SQL value. Values are cheap to copy for all types
+/// except kString (which copies its payload) and are totally ordered
+/// within a comparable type family.
+class Value {
+ public:
+  /// Constructs SQL NULL.
+  Value() = default;
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool v) { return Value(Payload(v)); }
+  static Value Int(int64_t v) { return Value(Payload(v)); }
+  static Value Double(double v) { return Value(Payload(v)); }
+  static Value Str(std::string v) { return Value(Payload(std::move(v))); }
+  static Value Ts(Timestamp v) { return Value(Payload(v)); }
+
+  TypeId type() const { return static_cast<TypeId>(payload_.index()); }
+  bool is_null() const { return type() == TypeId::kNull; }
+
+  bool bool_val() const { return std::get<bool>(payload_); }
+  int64_t int_val() const { return std::get<int64_t>(payload_); }
+  double double_val() const { return std::get<double>(payload_); }
+  const std::string& str_val() const { return std::get<std::string>(payload_); }
+  Timestamp ts_val() const { return std::get<Timestamp>(payload_); }
+
+  /// Numeric value as double; valid for kInt64 and kDouble.
+  double AsDouble() const {
+    return type() == TypeId::kInt64 ? static_cast<double>(int_val())
+                                    : double_val();
+  }
+
+  /// SQL comparison: returns <0, 0, >0. Fails with TypeError for
+  /// incomparable types or if either side is NULL (callers implement
+  /// three-valued logic above this).
+  static Result<int> Compare(const Value& a, const Value& b);
+
+  /// Structural equality: same type and same payload. NULL equals NULL
+  /// here (unlike SQL); used by containers, tests, and DISTINCT.
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.payload_ == b.payload_;
+  }
+
+  /// Structural total order across all types (type tag first). Used by
+  /// ordered containers and index keys; for SQL comparisons use Compare.
+  friend bool operator<(const Value& a, const Value& b) {
+    if (a.payload_.index() != b.payload_.index()) {
+      return a.payload_.index() < b.payload_.index();
+    }
+    return a.payload_ < b.payload_;
+  }
+
+  size_t Hash() const;
+
+  /// Human-readable form ("NULL", "42", "'idle'", timestamp text).
+  std::string ToString() const;
+
+  /// SQL-literal form (strings quoted, timestamps as TIMESTAMP '...').
+  std::string ToSqlLiteral() const;
+
+ private:
+  using Payload =
+      std::variant<std::monostate, bool, int64_t, double, std::string,
+                   Timestamp>;
+  explicit Value(Payload p) : payload_(std::move(p)) {}
+
+  Payload payload_;
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+/// Row type used throughout storage and execution.
+using Row = std::vector<Value>;
+
+size_t HashRow(const Row& row);
+
+struct RowHash {
+  size_t operator()(const Row& r) const { return HashRow(r); }
+};
+
+}  // namespace trac
+
+#endif  // TRAC_TYPES_VALUE_H_

@@ -1,0 +1,181 @@
+#include "workload/eval_workload.h"
+
+#include "common/random.h"
+#include "common/str_util.h"
+#include "core/heartbeat.h"
+
+namespace trac {
+
+namespace {
+
+std::string InListOf(const std::vector<std::string>& sources) {
+  std::vector<std::string> quoted;
+  quoted.reserve(sources.size());
+  for (const std::string& s : sources) quoted.push_back(QuoteSqlString(s));
+  return Join(quoted, ", ");
+}
+
+}  // namespace
+
+std::string EvalWorkload::Q1() const {
+  return "SELECT COUNT(*) FROM activity a WHERE a.mach_id IN (" +
+         InListOf(selected_six) + ") AND a.value = 'idle'";
+}
+
+std::string EvalWorkload::Q2() const {
+  return "SELECT COUNT(*) FROM activity a WHERE a.value = 'idle'";
+}
+
+std::string EvalWorkload::Q3() const {
+  return "SELECT COUNT(*) FROM routing r, activity a WHERE r.mach_id IN (" +
+         InListOf(selected_six) +
+         ") AND r.neighbor = a.mach_id AND a.value = 'idle'";
+}
+
+std::string EvalWorkload::Q4() const {
+  return "SELECT COUNT(*) FROM routing r, activity a WHERE "
+         "r.neighbor = a.mach_id AND a.value = 'idle'";
+}
+
+std::vector<std::pair<std::string, std::string>> EvalWorkload::AllQueries()
+    const {
+  return {{"Q1", Q1()}, {"Q2", Q2()}, {"Q3", Q3()}, {"Q4", Q4()}};
+}
+
+Result<EvalWorkload> BuildEvalWorkload(Database* db,
+                                       const EvalWorkloadOptions& options) {
+  if (options.num_sources == 0 ||
+      options.total_activity_rows % options.num_sources != 0) {
+    return Status::InvalidArgument(
+        "num_sources must divide total_activity_rows");
+  }
+  EvalWorkload workload;
+  workload.options = options;
+
+  Random rng(options.seed);
+  const Timestamp base = options.base_time;
+
+  // Source names.
+  workload.sources.reserve(options.num_sources);
+  for (size_t i = 1; i <= options.num_sources; ++i) {
+    workload.sources.push_back("Tao" + std::to_string(i));
+  }
+  // Six sources spread across the id space (at least 1 apart, clamped
+  // for tiny configurations).
+  const size_t take = std::min<size_t>(6, options.num_sources);
+  for (size_t k = 0; k < take; ++k) {
+    size_t idx = options.num_sources <= 6
+                     ? k
+                     : (k * (options.num_sources - 1)) / 5;
+    workload.selected_six.push_back(workload.sources[idx]);
+  }
+
+  // Event-time values cycled through activity/routing rows.
+  std::vector<Value> event_times;
+  for (size_t i = 0; i < options.num_event_times; ++i) {
+    event_times.push_back(Value::Ts(
+        base - static_cast<int64_t>(i + 1) * Timestamp::kMicrosPerSecond));
+  }
+
+  // Domains (only materialized when requested).
+  std::vector<Value> source_domain;
+  if (options.finite_domains) {
+    source_domain.reserve(options.num_sources);
+    for (const std::string& s : workload.sources) {
+      source_domain.push_back(Value::Str(s));
+    }
+  }
+  auto mach_domain = [&]() {
+    return options.finite_domains
+               ? Domain::Finite(TypeId::kString, source_domain)
+               : Domain::Infinite(TypeId::kString);
+  };
+  auto value_domain = [&]() {
+    return options.finite_domains
+               ? Domain::Finite(TypeId::kString,
+                                {Value::Str("idle"), Value::Str("busy")})
+               : Domain::Infinite(TypeId::kString);
+  };
+  auto time_domain = [&]() {
+    return options.finite_domains
+               ? Domain::Finite(TypeId::kTimestamp, event_times)
+               : Domain::Infinite(TypeId::kTimestamp);
+  };
+
+  // -- Heartbeat.
+  TRAC_ASSIGN_OR_RETURN(HeartbeatTable hb, HeartbeatTable::Create(db));
+  {
+    std::vector<Row> rows;
+    rows.reserve(options.num_sources);
+    for (size_t i = 0; i < options.num_sources; ++i) {
+      Timestamp recency;
+      if (i < options.num_exceptional_sources) {
+        recency = base - 30 * Timestamp::kMicrosPerDay -
+                  static_cast<int64_t>(
+                      rng.Uniform(Timestamp::kMicrosPerDay));
+      } else {
+        recency = base - static_cast<int64_t>(rng.Uniform(static_cast<uint64_t>(
+                             options.heartbeat_spread_micros)));
+      }
+      rows.push_back({Value::Str(workload.sources[i]), Value::Ts(recency)});
+    }
+    TRAC_RETURN_IF_ERROR(db->InsertMany(hb.table_id(), std::move(rows)));
+  }
+
+  // -- Activity.
+  {
+    TableSchema schema("activity",
+                       {ColumnDef("mach_id", TypeId::kString, mach_domain()),
+                        ColumnDef("value", TypeId::kString, value_domain()),
+                        ColumnDef("event_time", TypeId::kTimestamp,
+                                  time_domain())});
+    TRAC_RETURN_IF_ERROR(schema.SetDataSourceColumn("mach_id"));
+    TRAC_ASSIGN_OR_RETURN(TableId id, db->CreateTable(std::move(schema)));
+    std::vector<Row> rows;
+    rows.reserve(options.total_activity_rows);
+    const Value idle = Value::Str("idle");
+    const Value busy = Value::Str("busy");
+    for (size_t i = 0; i < options.total_activity_rows; ++i) {
+      // The idle flag cycles over each source's own row sequence (its
+      // ordinal), not over the global row index — otherwise sources and
+      // values correlate whenever num_sources shares a factor with
+      // idle_period and some sources would be all-idle.
+      const size_t ordinal = i / options.num_sources;
+      const Value& value =
+          (ordinal % options.idle_period == 0) ? idle : busy;
+      rows.push_back({Value::Str(workload.sources[i % options.num_sources]),
+                      value, event_times[i % event_times.size()]});
+    }
+    TRAC_RETURN_IF_ERROR(db->InsertMany(id, std::move(rows)));
+    if (options.create_indexes) {
+      TRAC_RETURN_IF_ERROR(db->CreateIndex("activity", "mach_id"));
+    }
+  }
+
+  // -- Routing: neighbor = self, one row per source.
+  {
+    TableSchema schema("routing",
+                       {ColumnDef("mach_id", TypeId::kString, mach_domain()),
+                        ColumnDef("neighbor", TypeId::kString, mach_domain()),
+                        ColumnDef("event_time", TypeId::kTimestamp,
+                                  time_domain())});
+    TRAC_RETURN_IF_ERROR(schema.SetDataSourceColumn("mach_id"));
+    TRAC_ASSIGN_OR_RETURN(TableId id, db->CreateTable(std::move(schema)));
+    std::vector<Row> rows;
+    rows.reserve(options.num_sources);
+    for (size_t i = 0; i < options.num_sources; ++i) {
+      rows.push_back({Value::Str(workload.sources[i]),
+                      Value::Str(workload.sources[i]),
+                      event_times[i % event_times.size()]});
+    }
+    TRAC_RETURN_IF_ERROR(db->InsertMany(id, std::move(rows)));
+    if (options.create_indexes) {
+      TRAC_RETURN_IF_ERROR(db->CreateIndex("routing", "mach_id"));
+      TRAC_RETURN_IF_ERROR(db->CreateIndex("routing", "neighbor"));
+    }
+  }
+
+  return workload;
+}
+
+}  // namespace trac

@@ -1,0 +1,91 @@
+#ifndef TRAC_WORKLOAD_EVAL_WORKLOAD_H_
+#define TRAC_WORKLOAD_EVAL_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/timestamp.h"
+#include "storage/database.h"
+
+namespace trac {
+
+/// Parameters of the paper's synthetic evaluation data set (Section 5.2).
+/// The paper fixes the Activity table at 10,000,000 rows and sweeps
+/// (data ratio) x (number of sources) with a constant product; this
+/// generator does the same at a configurable scale.
+struct EvalWorkloadOptions {
+  /// Total Activity rows (the paper's 10,000,000; default scaled down).
+  size_t total_activity_rows = 1000000;
+  /// Number of data sources; data ratio = total_activity_rows / this.
+  size_t num_sources = 1000;
+  /// Every idle_period-th activity row *of each source* has value
+  /// 'idle', the rest 'busy'; 2 reproduces a non-selective value
+  /// predicate with every source contributing idle rows.
+  size_t idle_period = 2;
+  /// Create B-tree-style indexes on the data source columns of
+  /// Heartbeat, Activity and Routing (the paper's physical design).
+  bool create_indexes = true;
+  /// Declare finite domains on every column so BruteForceRelevantSources
+  /// can compute ground truth (the paper's specially designed schema).
+  bool finite_domains = false;
+  /// Number of distinct event_time values cycled through Activity rows
+  /// (kept small so the event_time domain stays enumerable).
+  size_t num_event_times = 8;
+  /// Heartbeat recency values are spread uniformly over this window
+  /// ending at base_time.
+  int64_t heartbeat_spread_micros = 20 * Timestamp::kMicrosPerMinute;
+  /// This many sources get a recency ~30 days stale (the paper's
+  /// "hard network disconnect" sources that the z-score rule should
+  /// flag as exceptional).
+  size_t num_exceptional_sources = 0;
+  uint64_t seed = 42;
+  /// All timestamps hang off this instant (the paper's March 2006 runs).
+  Timestamp base_time = Timestamp::FromSeconds(1142432405);  // 2006-03-15.
+};
+
+/// Handle to a generated workload: table names, source ids, and the four
+/// evaluation queries Q1..Q4.
+struct EvalWorkload {
+  EvalWorkloadOptions options;
+  /// "Tao1" ... "TaoN" (the paper names sources after its Tao Linux
+  /// hosts).
+  std::vector<std::string> sources;
+  /// The six sources used in Q1/Q3's IN lists, spread across the id
+  /// space like the paper's Tao1/Tao10/.../Tao100000.
+  std::vector<std::string> selected_six;
+
+  size_t data_ratio() const {
+    return options.total_activity_rows / options.num_sources;
+  }
+
+  /// The paper's test queries (Section 5.2), with the IN lists bound to
+  /// selected_six.
+  std::string Q1() const;  ///< Selective single-relation COUNT.
+  std::string Q2() const;  ///< Non-selective single-relation COUNT.
+  std::string Q3() const;  ///< Selective join COUNT.
+  std::string Q4() const;  ///< Non-selective join COUNT.
+
+  /// All four, in order (for sweeping).
+  std::vector<std::pair<std::string, std::string>> AllQueries() const;
+};
+
+/// Creates and populates heartbeat / activity / routing. Tables must not
+/// already exist in `db`.
+///
+/// Data layout:
+///  - heartbeat: one row per source; recency = base_time - U[0, spread),
+///    except the first num_exceptional_sources sources which are ~30
+///    days stale;
+///  - activity(mach_id, value, event_time): data source column mach_id,
+///    round-robin over sources (each contributes exactly data_ratio
+///    rows), value 'idle' every idle_period-th row else 'busy';
+///  - routing(mach_id, neighbor, event_time): one row per source with
+///    neighbor = the machine itself, realizing the paper's fpr
+///    assumption that Routing maps the queried machines onto themselves.
+Result<EvalWorkload> BuildEvalWorkload(Database* db,
+                                       const EvalWorkloadOptions& options);
+
+}  // namespace trac
+
+#endif  // TRAC_WORKLOAD_EVAL_WORKLOAD_H_

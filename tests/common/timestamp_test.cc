@@ -1,0 +1,95 @@
+#include "common/timestamp.h"
+
+#include <gtest/gtest.h>
+
+namespace trac {
+namespace {
+
+TEST(TimestampTest, ParseAndFormatRoundTrip) {
+  auto ts = Timestamp::Parse("2006-03-15 14:20:05");
+  ASSERT_TRUE(ts.ok());
+  EXPECT_EQ(ts->ToString(), "2006-03-15 14:20:05");
+}
+
+TEST(TimestampTest, ParseWithFraction) {
+  auto ts = Timestamp::Parse("2006-03-15 14:20:05.250000");
+  ASSERT_TRUE(ts.ok());
+  EXPECT_EQ(ts->micros() % Timestamp::kMicrosPerSecond, 250000);
+  EXPECT_EQ(ts->ToString(), "2006-03-15 14:20:05.250000");
+}
+
+TEST(TimestampTest, ParsePartialFractionScales) {
+  auto ts = Timestamp::Parse("2006-03-15 14:20:05.5");
+  ASSERT_TRUE(ts.ok());
+  EXPECT_EQ(ts->micros() % Timestamp::kMicrosPerSecond, 500000);
+}
+
+TEST(TimestampTest, EpochFormatsCorrectly) {
+  EXPECT_EQ(Timestamp().ToString(), "1970-01-01 00:00:00");
+}
+
+TEST(TimestampTest, KnownEpochSeconds) {
+  // 2006-03-15 14:20:05 UTC == 1142432405 seconds since the epoch.
+  auto ts = Timestamp::Parse("2006-03-15 14:20:05");
+  ASSERT_TRUE(ts.ok());
+  EXPECT_EQ(ts->seconds(), 1142432405);
+}
+
+TEST(TimestampTest, LeapYearFebruary29) {
+  auto ts = Timestamp::Parse("2004-02-29 00:00:00");
+  ASSERT_TRUE(ts.ok());
+  EXPECT_EQ(ts->ToString(), "2004-02-29 00:00:00");
+}
+
+TEST(TimestampTest, PreEpochDates) {
+  auto ts = Timestamp::Parse("1969-12-31 23:59:59");
+  ASSERT_TRUE(ts.ok());
+  EXPECT_EQ(ts->micros(), -Timestamp::kMicrosPerSecond);
+  EXPECT_EQ(ts->ToString(), "1969-12-31 23:59:59");
+}
+
+TEST(TimestampTest, RejectsMalformedInputs) {
+  for (const char* bad :
+       {"", "2006-03-15", "2006/03/15 14:20:05", "2006-13-15 14:20:05",
+        "2006-03-32 14:20:05", "2006-03-15 24:20:05", "2006-03-15 14:61:05",
+        "2006-03-15 14:20:05.", "2006-03-15 14:20:05.1234567",
+        "2006-03-15T14:20:05", "garbage text here!!"}) {
+    EXPECT_FALSE(Timestamp::Parse(bad).ok()) << bad;
+  }
+}
+
+TEST(TimestampTest, ComparisonAndArithmetic) {
+  Timestamp a = Timestamp::FromSeconds(100);
+  Timestamp b = Timestamp::FromSeconds(160);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(b - a, 60 * Timestamp::kMicrosPerSecond);
+  EXPECT_EQ(a + 60 * Timestamp::kMicrosPerSecond, b);
+  EXPECT_EQ(b - 60 * Timestamp::kMicrosPerSecond, a);
+}
+
+TEST(TimestampTest, RoundTripSweepAcrossDays) {
+  // Property: Parse(ToString(t)) == t over a spread of instants.
+  for (int64_t secs = -86400 * 400; secs <= 86400 * 400;
+       secs += 86400 * 13 + 3607) {
+    Timestamp t(secs * Timestamp::kMicrosPerSecond + 123456);
+    auto parsed = Timestamp::Parse(t.ToString());
+    ASSERT_TRUE(parsed.ok()) << t.ToString();
+    EXPECT_EQ(parsed->micros(), t.micros()) << t.ToString();
+  }
+}
+
+TEST(DurationFormatTest, FormatsPostgresStyle) {
+  EXPECT_EQ(FormatDurationMicros(20 * Timestamp::kMicrosPerMinute),
+            "00:20:00");
+  EXPECT_EQ(FormatDurationMicros(0), "00:00:00");
+  EXPECT_EQ(FormatDurationMicros(-90 * Timestamp::kMicrosPerSecond),
+            "-00:01:30");
+  EXPECT_EQ(FormatDurationMicros(3 * Timestamp::kMicrosPerHour +
+                                 5 * Timestamp::kMicrosPerMinute + 500000),
+            "03:05:00.500000");
+  // Durations beyond a day keep accumulating hours.
+  EXPECT_EQ(FormatDurationMicros(30 * Timestamp::kMicrosPerDay), "720:00:00");
+}
+
+}  // namespace
+}  // namespace trac

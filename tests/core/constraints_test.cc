@@ -1,0 +1,155 @@
+// Section 3.4's predicate-form schema constraints: Q' = Q ∧ C. The
+// paper's closing observation in Section 4.1.2 — "this particular
+// scenario would not occur if we had an explicit constraint on the
+// Routing table that a machine can't have itself as a neighbor" — is
+// reproduced here.
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "core/brute_force.h"
+#include "core/relevance.h"
+#include "expr/constraints.h"
+#include "monitor/grid.h"
+
+namespace trac {
+namespace {
+
+using testing_util::PaperExampleDb;
+using testing_util::Ts;
+
+TEST(ConstraintsTest, BindAndCheckRows) {
+  Database db;
+  TableSchema schema("t", {ColumnDef("a", TypeId::kInt64),
+                           ColumnDef("b", TypeId::kInt64)});
+  schema.AddCheckConstraint("a < b");
+  schema.AddCheckConstraint("a >= 0");
+  TRAC_ASSERT_OK_AND_ASSIGN(TableId id, db.CreateTable(std::move(schema)));
+
+  TRAC_ASSERT_OK_AND_ASSIGN(std::vector<BoundExprPtr> bound,
+                            BindCheckConstraints(db, id));
+  EXPECT_EQ(bound.size(), 2u);
+
+  TRAC_EXPECT_OK(CheckRowConstraints(db, id, {Value::Int(1), Value::Int(2)}));
+  EXPECT_EQ(
+      CheckRowConstraints(db, id, {Value::Int(3), Value::Int(2)}).code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      CheckRowConstraints(db, id, {Value::Int(-1), Value::Int(2)}).code(),
+      StatusCode::kInvalidArgument);
+  // SQL CHECK semantics: NULL passes.
+  TRAC_EXPECT_OK(
+      CheckRowConstraints(db, id, {Value::Null(), Value::Int(2)}));
+}
+
+TEST(ConstraintsTest, MalformedConstraintSurfacesAtBind) {
+  Database db;
+  TableSchema schema("t", {ColumnDef("a", TypeId::kInt64)});
+  schema.AddCheckConstraint("zz = 1");  // No such column.
+  TRAC_ASSERT_OK_AND_ASSIGN(TableId id, db.CreateTable(std::move(schema)));
+  EXPECT_FALSE(BindCheckConstraints(db, id).ok());
+  EXPECT_FALSE(CheckRowConstraints(db, id, {Value::Int(1)}).ok());
+}
+
+/// Fixture with the paper's no-self-neighbor constraint on Routing.
+class ConstrainedRoutingDb : public PaperExampleDb {
+ public:
+  ConstrainedRoutingDb() : PaperExampleDb(/*finite_domains=*/true) {
+    TableId routing = *db.FindTable("routing");
+    db.catalog().mutable_schema(routing).AddCheckConstraint(
+        "mach_id <> neighbor");
+  }
+};
+
+TEST(ConstraintsTest, ConstraintShrinksRelevantSet) {
+  // WHERE mach_id = neighbor contradicts the constraint: with Q' = Q ∧ C
+  // unsatisfiable, S(Q) = ∅ (Corollary 2 applied to Q').
+  ConstrainedRoutingDb fixture;
+  TRAC_ASSERT_OK_AND_ASSIGN(
+      BoundQuery q,
+      BindSql(fixture.db, "SELECT mach_id FROM routing WHERE mach_id = "
+                          "neighbor"));
+  Snapshot snap = fixture.db.LatestSnapshot();
+  TRAC_ASSERT_OK_AND_ASSIGN(RelevanceResult rel,
+                            ComputeRelevantSources(fixture.db, q, snap));
+  EXPECT_TRUE(rel.sources.empty());
+  // Brute force agrees: no legal potential tuple satisfies the query.
+  TRAC_ASSERT_OK_AND_ASSIGN(std::vector<std::string> truth,
+                            BruteForceRelevantSources(fixture.db, q, snap));
+  EXPECT_TRUE(truth.empty());
+}
+
+TEST(ConstraintsTest, UnconstrainedSameQueryReportsSources) {
+  // Control: without the constraint the same query keeps every source
+  // relevant (any machine could claim itself as neighbor).
+  PaperExampleDb fixture(/*finite_domains=*/true);
+  TRAC_ASSERT_OK_AND_ASSIGN(
+      BoundQuery q,
+      BindSql(fixture.db, "SELECT mach_id FROM routing WHERE mach_id = "
+                          "neighbor"));
+  TRAC_ASSERT_OK_AND_ASSIGN(
+      RelevanceResult rel,
+      ComputeRelevantSources(fixture.db, q, fixture.db.LatestSnapshot()));
+  EXPECT_EQ(rel.sources.size(), 11u);
+}
+
+TEST(ConstraintsTest, ConstraintDoesNotAffectUnrelatedQueries) {
+  ConstrainedRoutingDb fixture;
+  TRAC_ASSERT_OK_AND_ASSIGN(
+      BoundQuery q,
+      BindSql(fixture.db,
+              "SELECT mach_id FROM routing WHERE mach_id IN ('m1','m2')"));
+  Snapshot snap = fixture.db.LatestSnapshot();
+  TRAC_ASSERT_OK_AND_ASSIGN(RelevanceResult rel,
+                            ComputeRelevantSources(fixture.db, q, snap));
+  EXPECT_EQ(rel.SourceIds(), (std::vector<std::string>{"m1", "m2"}));
+  TRAC_ASSERT_OK_AND_ASSIGN(std::vector<std::string> truth,
+                            BruteForceRelevantSources(fixture.db, q, snap));
+  EXPECT_EQ(rel.SourceIds(), truth);
+}
+
+TEST(ConstraintsTest, CompletenessStillHoldsUnderConstraints) {
+  // The constrained Q' analysis must remain complete w.r.t. the
+  // constrained ground truth on a query where the constraint interacts
+  // with the join.
+  ConstrainedRoutingDb fixture;
+  TRAC_ASSERT_OK_AND_ASSIGN(
+      BoundQuery q,
+      BindSql(fixture.db,
+              "SELECT r.mach_id FROM routing r, activity a WHERE "
+              "r.neighbor = a.mach_id AND a.value = 'busy'"));
+  Snapshot snap = fixture.db.LatestSnapshot();
+  TRAC_ASSERT_OK_AND_ASSIGN(RelevanceResult rel,
+                            ComputeRelevantSources(fixture.db, q, snap));
+  TRAC_ASSERT_OK_AND_ASSIGN(std::vector<std::string> truth,
+                            BruteForceRelevantSources(fixture.db, q, snap));
+  std::vector<std::string> reported = rel.SourceIds();
+  for (const std::string& s : truth) {
+    EXPECT_NE(std::find(reported.begin(), reported.end(), s), reported.end())
+        << s;
+  }
+  // The constraint makes m2 (the only busy machine) unable to be its own
+  // neighbor: m2 is NOT relevant via routing any more, but every other
+  // machine is.
+  EXPECT_EQ(truth.size(), 10u);
+  EXPECT_EQ(std::find(truth.begin(), truth.end(), "m2"), truth.end());
+}
+
+TEST(ConstraintsTest, SnifferRejectsConstraintViolatingRows) {
+  Database db;
+  auto grid = GridSimulator::Create(&db);
+  ASSERT_TRUE(grid.ok());
+  grid->clock().AdvanceTo(Ts("2006-03-15 09:00:00"));
+  TableSchema schema("routing2", {ColumnDef("mach_id", TypeId::kString),
+                                  ColumnDef("neighbor", TypeId::kString)});
+  TRAC_ASSERT_OK(schema.SetDataSourceColumn("mach_id"));
+  schema.AddCheckConstraint("mach_id <> neighbor");
+  TRAC_ASSERT_OK(db.CreateTable(std::move(schema)).status());
+  TRAC_ASSERT_OK_AND_ASSIGN(DataSource * src, grid->AddSource("m1"));
+  src->EmitInsert(Ts("2006-03-15 09:00:01"), "routing2",
+                  {Value::Str("m1"), Value::Str("m1")});
+  EXPECT_FALSE(grid->RunUntil(Ts("2006-03-15 09:01:00")).ok());
+}
+
+}  // namespace
+}  // namespace trac

@@ -1,0 +1,129 @@
+#include "core/recency_stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "common/random.h"
+
+namespace trac {
+namespace {
+
+using testing_util::Ts;
+
+SourceRecency SR(const std::string& s, Timestamp t) {
+  return SourceRecency{s, t};
+}
+
+TEST(RecencyStatsTest, EmptyInput) {
+  RecencyStats stats = ComputeRecencyStats({});
+  EXPECT_TRUE(stats.normal.empty());
+  EXPECT_TRUE(stats.exceptional.empty());
+  EXPECT_FALSE(stats.least_recent.has_value());
+  EXPECT_FALSE(stats.most_recent.has_value());
+  EXPECT_EQ(stats.inconsistency_bound_micros, 0);
+}
+
+TEST(RecencyStatsTest, SingleSource) {
+  RecencyStats stats =
+      ComputeRecencyStats({SR("m1", Ts("2006-03-15 14:20:05"))});
+  ASSERT_EQ(stats.normal.size(), 1u);
+  EXPECT_TRUE(stats.exceptional.empty());
+  EXPECT_EQ(stats.least_recent->source, "m1");
+  EXPECT_EQ(stats.most_recent->source, "m1");
+  EXPECT_EQ(stats.inconsistency_bound_micros, 0);
+  EXPECT_EQ(stats.stddev_micros, 0.0);
+}
+
+TEST(RecencyStatsTest, IdenticalTimestampsNoOutliers) {
+  std::vector<SourceRecency> sources;
+  for (int i = 0; i < 10; ++i) {
+    sources.push_back(SR("m" + std::to_string(i), Ts("2006-03-15 14:20:05")));
+  }
+  RecencyStats stats = ComputeRecencyStats(std::move(sources));
+  EXPECT_EQ(stats.normal.size(), 10u);
+  EXPECT_TRUE(stats.exceptional.empty());
+  EXPECT_EQ(stats.inconsistency_bound_micros, 0);
+}
+
+TEST(RecencyStatsTest, PaperTranscriptSplit) {
+  // 10 sources within 20 minutes, one a month stale: z(m2) > 3.
+  std::vector<SourceRecency> sources;
+  Timestamp base = Ts("2006-03-15 14:20:05");
+  for (int i = 0; i < 10; ++i) {
+    sources.push_back(
+        SR("m" + std::to_string(i + 3),
+           base + i * 2 * Timestamp::kMicrosPerMinute));
+  }
+  sources.push_back(SR("m2", base - 30 * Timestamp::kMicrosPerDay));
+  RecencyStats stats = ComputeRecencyStats(std::move(sources));
+  ASSERT_EQ(stats.exceptional.size(), 1u);
+  EXPECT_EQ(stats.exceptional[0].source, "m2");
+  EXPECT_EQ(stats.normal.size(), 10u);
+  // Normal stats exclude the outlier.
+  EXPECT_EQ(stats.least_recent->recency, base);
+  EXPECT_EQ(stats.most_recent->recency,
+            base + 18 * Timestamp::kMicrosPerMinute);
+  EXPECT_EQ(stats.inconsistency_bound_micros,
+            18 * Timestamp::kMicrosPerMinute);
+}
+
+TEST(RecencyStatsTest, ThresholdIsConfigurable) {
+  std::vector<SourceRecency> sources;
+  Timestamp base = Ts("2006-03-15 14:20:05");
+  for (int i = 0; i < 20; ++i) {
+    sources.push_back(SR("a" + std::to_string(i), base));
+  }
+  sources.push_back(SR("late", base - Timestamp::kMicrosPerHour));
+  RecencyStatsOptions strict;
+  strict.zscore_threshold = 1.0;
+  RecencyStats stats = ComputeRecencyStats(sources, strict);
+  ASSERT_EQ(stats.exceptional.size(), 1u);
+  EXPECT_EQ(stats.exceptional[0].source, "late");
+
+  RecencyStatsOptions loose;
+  loose.zscore_threshold = 100.0;
+  RecencyStats none = ComputeRecencyStats(sources, loose);
+  EXPECT_TRUE(none.exceptional.empty());
+}
+
+TEST(RecencyStatsTest, ZScoreMatchesDefinition) {
+  // Hand-computed: values 0, 10, 20 -> mean 10, population stddev
+  // sqrt(200/3) ~ 8.165.
+  std::vector<SourceRecency> sources = {
+      SR("a", Timestamp(0)), SR("b", Timestamp(10)), SR("c", Timestamp(20))};
+  RecencyStats stats = ComputeRecencyStats(std::move(sources));
+  EXPECT_DOUBLE_EQ(stats.mean_micros, 10.0);
+  EXPECT_NEAR(stats.stddev_micros, std::sqrt(200.0 / 3.0), 1e-9);
+  EXPECT_TRUE(stats.exceptional.empty());  // Max |z| ~ 1.22.
+}
+
+TEST(RecencyStatsTest, ChebyshevBoundHolds) {
+  // Property (the paper's justification): at most 1/9 of any data set
+  // can have |z| > 3.
+  std::vector<SourceRecency> sources;
+  Timestamp base = Ts("2006-03-15 14:20:05");
+  Random rng(5);
+  for (int i = 0; i < 900; ++i) {
+    sources.push_back(
+        SR("s" + std::to_string(i),
+           base - static_cast<int64_t>(rng.Uniform(
+                      30 * Timestamp::kMicrosPerDay))));
+  }
+  RecencyStats stats = ComputeRecencyStats(std::move(sources));
+  EXPECT_LE(stats.exceptional.size(), 100u);  // 900/9.
+}
+
+TEST(RecencyStatsTest, OutputsSortedBySource) {
+  std::vector<SourceRecency> sources = {
+      SR("zz", Timestamp(5)), SR("aa", Timestamp(7)), SR("mm", Timestamp(6))};
+  RecencyStats stats = ComputeRecencyStats(std::move(sources));
+  ASSERT_EQ(stats.normal.size(), 3u);
+  EXPECT_EQ(stats.normal[0].source, "aa");
+  EXPECT_EQ(stats.normal[1].source, "mm");
+  EXPECT_EQ(stats.normal[2].source, "zz");
+}
+
+}  // namespace
+}  // namespace trac

@@ -1,0 +1,187 @@
+#include "core/recency_reporter.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace trac {
+namespace {
+
+using testing_util::PaperExampleDb;
+using testing_util::Ts;
+
+// Reproduces the Section 5.1 session transcript: the idle-machines query
+// over the sample Activity data with 11 registered sources, m2 a month
+// stale.
+TEST(ReporterTest, PaperTranscript) {
+  PaperExampleDb fixture;
+  Session session(&fixture.db);
+  RecencyReporter reporter(&fixture.db, &session);
+
+  TRAC_ASSERT_OK_AND_ASSIGN(
+      RecencyReport report,
+      reporter.Run("SELECT mach_id, value FROM Activity A WHERE value = "
+                   "'idle'"));
+
+  // Query result: m1 and m3 idle.
+  EXPECT_EQ(report.result.num_rows(), 2u);
+  EXPECT_TRUE(report.result.Contains({Value::Str("m1"), Value::Str("idle")}));
+  EXPECT_TRUE(report.result.Contains({Value::Str("m3"), Value::Str("idle")}));
+
+  // All 11 sources are relevant (no data-source predicate); m2 is the
+  // exceptional one.
+  EXPECT_EQ(report.relevance.sources.size(), 11u);
+  ASSERT_EQ(report.stats.exceptional.size(), 1u);
+  EXPECT_EQ(report.stats.exceptional[0].source, "m2");
+  EXPECT_EQ(report.stats.normal.size(), 10u);
+
+  // Least recent: m1 at 14:20:05; most recent: m3 at 14:40:05; bound of
+  // inconsistency: 20 minutes.
+  ASSERT_TRUE(report.stats.least_recent.has_value());
+  EXPECT_EQ(report.stats.least_recent->source, "m1");
+  EXPECT_EQ(report.stats.least_recent->recency, Ts("2006-03-15 14:20:05"));
+  EXPECT_EQ(report.stats.most_recent->source, "m3");
+  EXPECT_EQ(report.stats.most_recent->recency, Ts("2006-03-15 14:40:05"));
+  EXPECT_EQ(report.stats.inconsistency_bound_micros,
+            20 * Timestamp::kMicrosPerMinute);
+
+  // Temp tables exist and are queryable, like the transcript's
+  // sys_temp_e*/sys_temp_a* tables.
+  ASSERT_FALSE(report.normal_temp_table.empty());
+  ASSERT_FALSE(report.exceptional_temp_table.empty());
+  TRAC_ASSERT_OK_AND_ASSIGN(
+      ResultSet exceptional,
+      ExecuteSql(fixture.db,
+                 "SELECT * FROM " + report.exceptional_temp_table));
+  ASSERT_EQ(exceptional.num_rows(), 1u);
+  EXPECT_TRUE(exceptional.rows[0][0] == Value::Str("m2"));
+  TRAC_ASSERT_OK_AND_ASSIGN(
+      ResultSet normal,
+      ExecuteSql(fixture.db, "SELECT * FROM " + report.normal_temp_table));
+  EXPECT_EQ(normal.num_rows(), 10u);
+
+  // The NOTICE block mentions everything the paper prints.
+  std::string notices = report.FormatNotices();
+  EXPECT_NE(notices.find("least recent data source: m1"), std::string::npos)
+      << notices;
+  EXPECT_NE(notices.find("most recent data source: m3"), std::string::npos);
+  EXPECT_NE(notices.find("Bound of inconsistency: 00:20:00"),
+            std::string::npos)
+      << notices;
+  EXPECT_NE(notices.find(report.normal_temp_table), std::string::npos);
+  EXPECT_NE(notices.find(report.exceptional_temp_table), std::string::npos);
+}
+
+TEST(ReporterTest, FocusedSelectiveQueryReportsOnlyRelevantSources) {
+  PaperExampleDb fixture;
+  Session session(&fixture.db);
+  RecencyReporter reporter(&fixture.db, &session);
+  TRAC_ASSERT_OK_AND_ASSIGN(
+      RecencyReport report,
+      reporter.Run("SELECT mach_id FROM Activity WHERE mach_id IN "
+                   "('m1', 'm2') AND value = 'idle'"));
+  ASSERT_EQ(report.relevance.sources.size(), 2u);
+  EXPECT_EQ(report.relevance.sources[0].source, "m1");
+  EXPECT_EQ(report.relevance.sources[1].source, "m2");
+  EXPECT_TRUE(report.relevance.minimal);
+  // With only two data points no z-score can exceed 1, so even the very
+  // stale m2 is "normal" here — outlier detection needs population.
+  EXPECT_TRUE(report.stats.exceptional.empty());
+  ASSERT_TRUE(report.stats.least_recent.has_value());
+  EXPECT_EQ(report.stats.least_recent->source, "m2");
+  EXPECT_EQ(report.stats.most_recent->source, "m1");
+}
+
+TEST(ReporterTest, NaiveMethodReportsAllSources) {
+  PaperExampleDb fixture;
+  Session session(&fixture.db);
+  RecencyReporter reporter(&fixture.db, &session);
+  RecencyReportOptions options;
+  options.method = RecencyMethod::kNaive;
+  TRAC_ASSERT_OK_AND_ASSIGN(
+      RecencyReport report,
+      reporter.Run("SELECT mach_id FROM Activity WHERE mach_id IN "
+                   "('m1', 'm2') AND value = 'idle'",
+                   options));
+  EXPECT_EQ(report.relevance.sources.size(), 11u);
+  EXPECT_FALSE(report.relevance.minimal);
+}
+
+TEST(ReporterTest, HardcodedPlanSkipsGenerationCost) {
+  PaperExampleDb fixture;
+  Session session(&fixture.db);
+  RecencyReporter reporter(&fixture.db, &session);
+  TRAC_ASSERT_OK_AND_ASSIGN(
+      BoundQuery q, BindSql(fixture.db,
+                            "SELECT mach_id FROM Activity WHERE mach_id IN "
+                            "('m1', 'm2') AND value = 'idle'"));
+  TRAC_ASSERT_OK_AND_ASSIGN(RecencyQueryPlan plan,
+                            GenerateRecencyQueries(fixture.db, q));
+  TRAC_ASSERT_OK_AND_ASSIGN(RecencyReport report,
+                            reporter.RunWithPlan(q, plan));
+  EXPECT_EQ(report.parse_generate_micros, 0);
+  EXPECT_EQ(report.relevance.sources.size(), 2u);
+}
+
+TEST(ReporterTest, SnapshotConsistencyBetweenResultAndRecency) {
+  // A write racing between the user query and the recency query must be
+  // invisible to both: the reporter captures one snapshot.
+  PaperExampleDb fixture;
+  Session session(&fixture.db);
+  RecencyReporter reporter(&fixture.db, &session);
+  TRAC_ASSERT_OK_AND_ASSIGN(
+      RecencyReport before,
+      reporter.Run("SELECT mach_id FROM Activity WHERE value = 'idle'"));
+  // Now add a new source + row; a new report sees both, the old one
+  // neither.
+  TRAC_ASSERT_OK(fixture.heartbeat->SetRecency("m99",
+                                               Ts("2006-03-15 15:00:00")));
+  TRAC_ASSERT_OK(fixture.db.Insert(
+      "activity", {Value::Str("m3"), Value::Str("idle"),
+                   Value::Ts(Ts("2006-03-12 10:23:05"))}));
+  EXPECT_EQ(before.relevance.sources.size(), 11u);
+  TRAC_ASSERT_OK_AND_ASSIGN(
+      RecencyReport after,
+      reporter.Run("SELECT mach_id FROM Activity WHERE value = 'idle'"));
+  EXPECT_EQ(after.relevance.sources.size(), 12u);
+  EXPECT_EQ(after.result.num_rows(), before.result.num_rows() + 1);
+}
+
+TEST(ReporterTest, NoTempTablesWhenDisabled) {
+  PaperExampleDb fixture;
+  RecencyReporter reporter(&fixture.db, nullptr);
+  RecencyReportOptions options;
+  options.create_temp_tables = false;
+  TRAC_ASSERT_OK_AND_ASSIGN(
+      RecencyReport report,
+      reporter.Run("SELECT mach_id FROM Activity WHERE value = 'idle'",
+                   options));
+  EXPECT_TRUE(report.normal_temp_table.empty());
+  EXPECT_TRUE(report.exceptional_temp_table.empty());
+}
+
+TEST(ReporterTest, TempTablesRequestedWithoutSessionFails) {
+  PaperExampleDb fixture;
+  RecencyReporter reporter(&fixture.db, nullptr);
+  EXPECT_FALSE(
+      reporter.Run("SELECT mach_id FROM Activity WHERE value = 'idle'")
+          .ok());
+}
+
+TEST(ReporterTest, EmptyRelevantSetProducesEmptyReport) {
+  PaperExampleDb fixture;
+  Session session(&fixture.db);
+  RecencyReporter reporter(&fixture.db, &session);
+  TRAC_ASSERT_OK_AND_ASSIGN(
+      RecencyReport report,
+      reporter.Run("SELECT mach_id FROM Activity WHERE value = 'idle' AND "
+                   "value = 'busy'"));
+  EXPECT_EQ(report.result.num_rows(), 0u);
+  EXPECT_TRUE(report.relevance.sources.empty());
+  EXPECT_FALSE(report.stats.least_recent.has_value());
+  EXPECT_NE(report.FormatNotices().find("No normal relevant data sources"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace trac

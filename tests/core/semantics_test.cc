@@ -1,0 +1,132 @@
+// Section 4.2's semantics study asserted end to end: the Q3/Q4 phrasing
+// difference and the three Q4 database states (a)/(b)/(c).
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "core/recency_reporter.h"
+#include "monitor/job_scheduler.h"
+
+namespace trac {
+namespace {
+
+using testing_util::Ts;
+
+class SemanticsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto grid = GridSimulator::Create(&db_);
+    ASSERT_TRUE(grid.ok());
+    grid_ = std::make_unique<GridSimulator>(std::move(*grid));
+    grid_->clock().AdvanceTo(Ts("2006-03-15 10:00:00"));
+    auto workload = JobSchedulerWorkload::Setup(
+        &*grid_, {"sched1", "exec1", "exec2", "exec3"});
+    ASSERT_TRUE(workload.ok());
+    workload_ = std::make_unique<JobSchedulerWorkload>(std::move(*workload));
+    session_ = std::make_unique<Session>(&db_);
+    reporter_ = std::make_unique<RecencyReporter>(&db_, session_.get());
+  }
+
+  std::vector<std::string> Relevant(const std::string& sql) {
+    auto report = reporter_->Run(sql);
+    EXPECT_TRUE(report.ok()) << report.status();
+    std::vector<std::string> out;
+    if (report.ok()) {
+      for (const auto& s : report->relevance.sources) out.push_back(s.source);
+    }
+    return out;
+  }
+
+  const std::string q3_ =
+      "SELECT running_machine_id FROM r WHERE job_id = 'myjob'";
+  const std::string q4_ =
+      "SELECT r.running_machine_id FROM s, r "
+      "WHERE s.sched_machine_id = 'sched1' AND s.job_id = 'myjob' "
+      "AND r.job_id = 'myjob' AND r.running_machine_id = "
+      "s.remote_machine_id";
+
+  Database db_;
+  std::unique_ptr<GridSimulator> grid_;
+  std::unique_ptr<JobSchedulerWorkload> workload_;
+  std::unique_ptr<Session> session_;
+  std::unique_ptr<RecencyReporter> reporter_;
+};
+
+TEST_F(SemanticsTest, Q3AlwaysReportsAllMachines) {
+  EXPECT_EQ(Relevant(q3_).size(), 4u);
+  // Even after data arrives, Q3's relevant set stays everything.
+  TRAC_ASSERT_OK(workload_->StartJob("exec2", "myjob",
+                                     Ts("2006-03-15 10:00:30")));
+  TRAC_ASSERT_OK(grid_->RunUntil(Ts("2006-03-15 10:01:00")));
+  EXPECT_EQ(Relevant(q3_).size(), 4u);
+}
+
+TEST_F(SemanticsTest, Q4CaseA_OnlySchedulerRelevant) {
+  // R has a myjob tuple (the runner reported first), S has nothing: the
+  // paper's case (a) -> only myScheduler.
+  TRAC_ASSERT_OK(workload_->StartJob("exec2", "myjob",
+                                     Ts("2006-03-15 10:00:30")));
+  TRAC_ASSERT_OK(grid_->RunUntil(Ts("2006-03-15 10:01:00")));
+  EXPECT_EQ(Relevant(q4_), (std::vector<std::string>{"sched1"}));
+}
+
+TEST_F(SemanticsTest, Q4CaseB_SchedulerAndRemoteRelevant) {
+  // S has (sched1, myjob, exec3) but R's only myjob tuple is exec2's:
+  // case (b) -> myScheduler and S.remoteMachineId.
+  TRAC_ASSERT_OK(workload_->StartJob("exec2", "myjob",
+                                     Ts("2006-03-15 10:00:30")));
+  TRAC_ASSERT_OK(workload_->SubmitJob("sched1", "myjob", "exec3",
+                                      Ts("2006-03-15 10:00:40")));
+  TRAC_ASSERT_OK(grid_->RunUntil(Ts("2006-03-15 10:01:00")));
+  auto report = reporter_->Run(q4_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->result.num_rows(), 0u);  // exec2 != exec3: no join.
+  EXPECT_EQ(Relevant(q4_), (std::vector<std::string>{"exec3", "sched1"}));
+}
+
+TEST_F(SemanticsTest, Q4CaseC_SchedulerAndRunnerRelevant) {
+  TRAC_ASSERT_OK(workload_->SubmitJob("sched1", "myjob", "exec3",
+                                      Ts("2006-03-15 10:00:30")));
+  TRAC_ASSERT_OK(workload_->StartJob("exec3", "myjob",
+                                     Ts("2006-03-15 10:00:40")));
+  TRAC_ASSERT_OK(grid_->RunUntil(Ts("2006-03-15 10:01:00")));
+  auto report = reporter_->Run(q4_);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->result.num_rows(), 1u);
+  EXPECT_TRUE(report->result.Contains({Value::Str("exec3")}));
+  EXPECT_EQ(Relevant(q4_), (std::vector<std::string>{"exec3", "sched1"}));
+}
+
+TEST_F(SemanticsTest, Q4EmptyEverythingOnlySchedulerGuarded) {
+  // Nothing in S or R at all: via-R needs an existing S tuple (none) and
+  // via-S needs an existing R tuple (none): relevant set is empty, which
+  // is exact — no single update can change the (empty) answer.
+  EXPECT_TRUE(Relevant(q4_).empty());
+}
+
+// A sequence of updates from an initially irrelevant source CAN change
+// the result (the paper's two-step observation after the Q2 example).
+TEST_F(SemanticsTest, SequenceOfUpdatesFromIrrelevantSourceChangesResult) {
+  auto report = reporter_->Run(q4_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->relevance.sources.empty());
+  EXPECT_EQ(report->result.num_rows(), 0u);
+
+  // Update 1: sched1 reports the assignment (sched1 was irrelevant!).
+  TRAC_ASSERT_OK(workload_->SubmitJob("sched1", "myjob", "exec1",
+                                      Ts("2006-03-15 10:00:30")));
+  TRAC_ASSERT_OK(grid_->RunUntil(Ts("2006-03-15 10:01:00")));
+  // Now exec1 became relevant...
+  auto mid = Relevant(q4_);
+  EXPECT_NE(std::find(mid.begin(), mid.end(), "exec1"), mid.end());
+  // Update 2: exec1 reports running; the result changes.
+  TRAC_ASSERT_OK(workload_->StartJob("exec1", "myjob",
+                                     Ts("2006-03-15 10:01:30")));
+  TRAC_ASSERT_OK(grid_->RunUntil(Ts("2006-03-15 10:02:00")));
+  auto final_report = reporter_->Run(q4_);
+  ASSERT_TRUE(final_report.ok());
+  EXPECT_EQ(final_report->result.num_rows(), 1u);
+}
+
+}  // namespace
+}  // namespace trac

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "core/recency_reporter.h"
+#include "exec/statement.h"
+
+namespace trac {
+namespace {
+
+class AggregateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto s = ExecuteStatement(&db_, "CREATE TABLE t (k TEXT, v INT, d DOUBLE)");
+    ASSERT_TRUE(s.ok()) << s.status();
+    s = ExecuteStatement(&db_,
+                         "INSERT INTO t VALUES "
+                         "('a', 1, 0.5), ('b', 2, 1.5), ('c', 3, NULL), "
+                         "('d', NULL, 2.0)");
+    ASSERT_TRUE(s.ok()) << s.status();
+  }
+
+  Row One(const std::string& sql) {
+    auto rs = ExecuteSql(db_, sql);
+    EXPECT_TRUE(rs.ok()) << sql << " -> " << rs.status();
+    EXPECT_EQ(rs->num_rows(), 1u) << sql;
+    return rs.ok() && rs->num_rows() == 1 ? rs->rows[0] : Row{};
+  }
+
+  Database db_;
+};
+
+TEST_F(AggregateTest, CountVariants) {
+  EXPECT_EQ(One("SELECT COUNT(*) FROM t")[0], Value::Int(4));
+  EXPECT_EQ(One("SELECT COUNT(v) FROM t")[0], Value::Int(3));  // Skips NULL.
+  EXPECT_EQ(One("SELECT COUNT(d) FROM t")[0], Value::Int(3));
+}
+
+TEST_F(AggregateTest, SumMinMaxAvg) {
+  EXPECT_EQ(One("SELECT SUM(v) FROM t")[0], Value::Int(6));
+  EXPECT_EQ(One("SELECT MIN(v) FROM t")[0], Value::Int(1));
+  EXPECT_EQ(One("SELECT MAX(v) FROM t")[0], Value::Int(3));
+  Row avg = One("SELECT AVG(v) FROM t");
+  ASSERT_EQ(avg[0].type(), TypeId::kDouble);
+  EXPECT_DOUBLE_EQ(avg[0].double_val(), 2.0);
+  Row dsum = One("SELECT SUM(d) FROM t");
+  ASSERT_EQ(dsum[0].type(), TypeId::kDouble);
+  EXPECT_DOUBLE_EQ(dsum[0].double_val(), 4.0);
+}
+
+TEST_F(AggregateTest, MinMaxOnStringsAndTimestamps) {
+  EXPECT_EQ(One("SELECT MIN(k) FROM t")[0], Value::Str("a"));
+  EXPECT_EQ(One("SELECT MAX(k) FROM t")[0], Value::Str("d"));
+  auto s = ExecuteStatement(&db_, "CREATE TABLE ts (e TIMESTAMP)");
+  ASSERT_TRUE(s.ok());
+  s = ExecuteStatement(&db_,
+                       "INSERT INTO ts VALUES ('2006-03-15 14:20:05'), "
+                       "('2006-03-15 14:40:05')");
+  ASSERT_TRUE(s.ok());
+  Row max = One("SELECT MAX(e) FROM ts");
+  EXPECT_EQ(max[0].ts_val().ToString(), "2006-03-15 14:40:05");
+}
+
+TEST_F(AggregateTest, MultipleAggregatesInOneQuery) {
+  Row row = One("SELECT COUNT(*), SUM(v), MIN(k), MAX(d), AVG(v) FROM t");
+  ASSERT_EQ(row.size(), 5u);
+  EXPECT_EQ(row[0], Value::Int(4));
+  EXPECT_EQ(row[1], Value::Int(6));
+  EXPECT_EQ(row[2], Value::Str("a"));
+  EXPECT_EQ(row[3], Value::Double(2.0));
+  EXPECT_DOUBLE_EQ(row[4].double_val(), 2.0);
+}
+
+TEST_F(AggregateTest, EmptyInputSemantics) {
+  Row row = One(
+      "SELECT COUNT(*), COUNT(v), SUM(v), MIN(v), MAX(v), AVG(v) FROM t "
+      "WHERE k = 'zzz'");
+  EXPECT_EQ(row[0], Value::Int(0));
+  EXPECT_EQ(row[1], Value::Int(0));
+  EXPECT_TRUE(row[2].is_null());
+  EXPECT_TRUE(row[3].is_null());
+  EXPECT_TRUE(row[4].is_null());
+  EXPECT_TRUE(row[5].is_null());
+}
+
+TEST_F(AggregateTest, AggregatesWithPredicateAndJoin) {
+  auto s = ExecuteStatement(&db_, "CREATE TABLE u (k TEXT, w INT)");
+  ASSERT_TRUE(s.ok());
+  s = ExecuteStatement(&db_, "INSERT INTO u VALUES ('a', 10), ('b', 20)");
+  ASSERT_TRUE(s.ok());
+  Row row = One(
+      "SELECT SUM(u.w), COUNT(*) FROM t, u WHERE t.k = u.k AND t.v >= 1");
+  EXPECT_EQ(row[0], Value::Int(30));
+  EXPECT_EQ(row[1], Value::Int(2));
+}
+
+TEST_F(AggregateTest, ColumnNamesAndAliases) {
+  auto rs = ExecuteSql(db_, "SELECT SUM(v) AS total, COUNT(*) FROM t");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->column_names[0], "total");
+  EXPECT_EQ(rs->column_names[1], "count");
+  auto unaliased = ExecuteSql(db_, "SELECT SUM(v) FROM t");
+  ASSERT_TRUE(unaliased.ok());
+  EXPECT_EQ(unaliased->column_names[0], "sum_v");
+}
+
+TEST_F(AggregateTest, Rejections) {
+  // Mixing plain columns and aggregates (no GROUP BY support).
+  EXPECT_FALSE(ExecuteSql(db_, "SELECT k, SUM(v) FROM t").ok());
+  // SUM/AVG over non-numeric columns.
+  EXPECT_FALSE(ExecuteSql(db_, "SELECT SUM(k) FROM t").ok());
+  EXPECT_FALSE(ExecuteSql(db_, "SELECT AVG(k) FROM t").ok());
+  // DISTINCT / ORDER BY with aggregates.
+  EXPECT_FALSE(ExecuteSql(db_, "SELECT DISTINCT SUM(v) FROM t").ok());
+  EXPECT_FALSE(ExecuteSql(db_, "SELECT SUM(v) FROM t ORDER BY k").ok());
+  // Unknown argument column.
+  EXPECT_FALSE(ExecuteSql(db_, "SELECT SUM(zz) FROM t").ok());
+}
+
+TEST_F(AggregateTest, ConstantFalseShortCircuit) {
+  Row row = One("SELECT COUNT(*), SUM(v) FROM t WHERE FALSE");
+  EXPECT_EQ(row[0], Value::Int(0));
+  EXPECT_TRUE(row[1].is_null());
+}
+
+// The introduction's motivating question — "how many CPU seconds have
+// my jobs used?" — answered with a recency report: the total only
+// covers machines that have reported in, and the report says which
+// ones those are.
+TEST(AggregateReportTest, CpuSecondsWithRecencyReport) {
+  Database db;
+  auto hb = HeartbeatTable::Create(&db);
+  ASSERT_TRUE(hb.ok());
+  auto s = ExecuteStatement(
+      &db,
+      "CREATE TABLE job_stats (exec_machine TEXT DATA SOURCE, "
+      "job_id TEXT, cpu_seconds INT)");
+  ASSERT_TRUE(s.ok()) << s.status();
+  s = ExecuteStatement(&db,
+                       "INSERT INTO job_stats VALUES "
+                       "('m1', 'j1', 120), ('m1', 'j2', 30), "
+                       "('m2', 'j3', 600)");
+  ASSERT_TRUE(s.ok());
+  ASSERT_TRUE(hb->SetRecency("m1", Timestamp::FromSeconds(1000)).ok());
+  ASSERT_TRUE(hb->SetRecency("m2", Timestamp::FromSeconds(2000)).ok());
+  ASSERT_TRUE(hb->SetRecency("m3", Timestamp::FromSeconds(500)).ok());
+
+  Session session(&db);
+  RecencyReporter reporter(&db, &session);
+  auto report =
+      reporter.Run("SELECT SUM(cpu_seconds) FROM job_stats");
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->result.rows[0][0], Value::Int(750));
+  // Any machine could still contribute jobs: all three are relevant,
+  // and m3 (silent since t=500) is the one to worry about.
+  EXPECT_EQ(report->relevance.sources.size(), 3u);
+  ASSERT_TRUE(report->stats.least_recent.has_value());
+  EXPECT_EQ(report->stats.least_recent->source, "m3");
+}
+
+}  // namespace
+}  // namespace trac

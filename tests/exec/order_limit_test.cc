@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "exec/statement.h"
+#include "sql/parser.h"
+
+namespace trac {
+namespace {
+
+class OrderLimitTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto s = ExecuteStatement(&db_, "CREATE TABLE t (k TEXT, v INT)");
+    ASSERT_TRUE(s.ok()) << s.status();
+    s = ExecuteStatement(&db_,
+                         "INSERT INTO t VALUES ('c', 3), ('a', 1), "
+                         "('b', 2), ('a', 4), ('d', NULL)");
+    ASSERT_TRUE(s.ok()) << s.status();
+  }
+
+  ResultSet Select(const std::string& sql) {
+    auto rs = ExecuteSql(db_, sql);
+    EXPECT_TRUE(rs.ok()) << sql << " -> " << rs.status();
+    return rs.ok() ? std::move(*rs) : ResultSet{};
+  }
+
+  Database db_;
+};
+
+TEST_F(OrderLimitTest, OrderByAscending) {
+  ResultSet rs = Select("SELECT k FROM t WHERE v IS NOT NULL ORDER BY v");
+  ASSERT_EQ(rs.num_rows(), 4u);
+  EXPECT_EQ(rs.rows[0][0], Value::Str("a"));  // v=1.
+  EXPECT_EQ(rs.rows[1][0], Value::Str("b"));  // v=2.
+  EXPECT_EQ(rs.rows[2][0], Value::Str("c"));  // v=3.
+  EXPECT_EQ(rs.rows[3][0], Value::Str("a"));  // v=4.
+}
+
+TEST_F(OrderLimitTest, OrderByDescending) {
+  ResultSet rs = Select("SELECT v FROM t WHERE v IS NOT NULL ORDER BY v DESC");
+  ASSERT_EQ(rs.num_rows(), 4u);
+  EXPECT_EQ(rs.rows[0][0], Value::Int(4));
+  EXPECT_EQ(rs.rows[3][0], Value::Int(1));
+}
+
+TEST_F(OrderLimitTest, OrderByMultipleKeys) {
+  ResultSet rs = Select("SELECT k, v FROM t WHERE v IS NOT NULL "
+                        "ORDER BY k ASC, v DESC");
+  ASSERT_EQ(rs.num_rows(), 4u);
+  EXPECT_EQ(rs.rows[0], (Row{Value::Str("a"), Value::Int(4)}));
+  EXPECT_EQ(rs.rows[1], (Row{Value::Str("a"), Value::Int(1)}));
+  EXPECT_EQ(rs.rows[2], (Row{Value::Str("b"), Value::Int(2)}));
+  EXPECT_EQ(rs.rows[3], (Row{Value::Str("c"), Value::Int(3)}));
+}
+
+TEST_F(OrderLimitTest, NullsSortFirst) {
+  ResultSet rs = Select("SELECT k FROM t ORDER BY v");
+  ASSERT_EQ(rs.num_rows(), 5u);
+  EXPECT_EQ(rs.rows[0][0], Value::Str("d"));  // NULL first.
+}
+
+TEST_F(OrderLimitTest, OrderByNonProjectedColumn) {
+  // The sort key need not appear in the select list.
+  ResultSet rs = Select("SELECT k FROM t WHERE v IS NOT NULL ORDER BY v DESC");
+  EXPECT_EQ(rs.rows[0][0], Value::Str("a"));  // v=4 row.
+}
+
+TEST_F(OrderLimitTest, LimitWithoutOrder) {
+  ResultSet rs = Select("SELECT k FROM t LIMIT 2");
+  EXPECT_EQ(rs.num_rows(), 2u);
+  EXPECT_EQ(Select("SELECT k FROM t LIMIT 100").num_rows(), 5u);
+}
+
+TEST_F(OrderLimitTest, LimitAfterOrder) {
+  ResultSet rs = Select("SELECT v FROM t WHERE v IS NOT NULL "
+                        "ORDER BY v DESC LIMIT 2");
+  ASSERT_EQ(rs.num_rows(), 2u);
+  EXPECT_EQ(rs.rows[0][0], Value::Int(4));
+  EXPECT_EQ(rs.rows[1][0], Value::Int(3));
+}
+
+TEST_F(OrderLimitTest, LimitDoesNotTruncateCountStar) {
+  ResultSet rs = Select("SELECT COUNT(*) FROM t LIMIT 1");
+  EXPECT_EQ(rs.count(), 5);
+}
+
+TEST_F(OrderLimitTest, OrderWithDistinct) {
+  ResultSet rs = Select("SELECT DISTINCT k FROM t ORDER BY k DESC");
+  ASSERT_EQ(rs.num_rows(), 4u);
+  EXPECT_EQ(rs.rows[0][0], Value::Str("d"));
+  EXPECT_EQ(rs.rows[3][0], Value::Str("a"));
+}
+
+TEST_F(OrderLimitTest, OrderByOverJoin) {
+  auto s = ExecuteStatement(&db_, "CREATE TABLE u (k TEXT, w INT)");
+  ASSERT_TRUE(s.ok());
+  s = ExecuteStatement(&db_, "INSERT INTO u VALUES ('a', 10), ('b', 20)");
+  ASSERT_TRUE(s.ok());
+  ResultSet rs = Select(
+      "SELECT t.v, u.w FROM t, u WHERE t.k = u.k AND t.v IS NOT NULL "
+      "ORDER BY u.w DESC, t.v ASC");
+  ASSERT_EQ(rs.num_rows(), 3u);
+  EXPECT_EQ(rs.rows[0], (Row{Value::Int(2), Value::Int(20)}));
+  EXPECT_EQ(rs.rows[1], (Row{Value::Int(1), Value::Int(10)}));
+  EXPECT_EQ(rs.rows[2], (Row{Value::Int(4), Value::Int(10)}));
+}
+
+TEST_F(OrderLimitTest, GrammarRejections) {
+  EXPECT_FALSE(ExecuteSql(db_, "SELECT k FROM t ORDER BY").ok());
+  EXPECT_FALSE(ExecuteSql(db_, "SELECT k FROM t ORDER v").ok());
+  EXPECT_FALSE(ExecuteSql(db_, "SELECT k FROM t LIMIT").ok());
+  EXPECT_FALSE(ExecuteSql(db_, "SELECT k FROM t LIMIT 'x'").ok());
+  EXPECT_FALSE(ExecuteSql(db_, "SELECT k FROM t ORDER BY zz").ok());
+  EXPECT_FALSE(ExecuteSql(db_, "SELECT COUNT(*) FROM t ORDER BY k").ok());
+}
+
+TEST_F(OrderLimitTest, ToSqlRoundTripsOrderAndLimit) {
+  auto stmt = ParseSelect("SELECT k FROM t ORDER BY v DESC, k LIMIT 3");
+  ASSERT_TRUE(stmt.ok());
+  auto reparsed = ParseSelect(stmt->ToSql());
+  ASSERT_TRUE(reparsed.ok()) << stmt->ToSql();
+  EXPECT_EQ(stmt->ToSql(), reparsed->ToSql());
+}
+
+}  // namespace
+}  // namespace trac

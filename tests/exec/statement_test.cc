@@ -1,0 +1,184 @@
+#include "exec/statement.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "core/recency_reporter.h"
+
+namespace trac {
+namespace {
+
+/// Convenience: execute and assert OK.
+StatementResult Exec(Database* db, const std::string& sql) {
+  auto r = ExecuteStatement(db, sql);
+  EXPECT_TRUE(r.ok()) << sql << " -> " << r.status();
+  return r.ok() ? std::move(*r) : StatementResult{};
+}
+
+TEST(StatementTest, CreateInsertSelectRoundTrip) {
+  Database db;
+  StatementResult create = Exec(
+      &db,
+      "CREATE TABLE activity (mach_id TEXT DATA SOURCE, value TEXT, "
+      "event_time TIMESTAMP)");
+  EXPECT_EQ(create.kind, StatementResult::Kind::kDdl);
+  EXPECT_EQ(create.message, "CREATE TABLE");
+
+  // The DATA SOURCE marker designated the column.
+  const TableSchema& schema = db.catalog().schema(*db.FindTable("activity"));
+  EXPECT_EQ(schema.data_source_column(), 0u);
+  EXPECT_EQ(schema.column(2).type, TypeId::kTimestamp);
+
+  StatementResult insert = Exec(
+      &db,
+      "INSERT INTO activity VALUES "
+      "('m1', 'idle', '2006-03-11 20:37:46'), "
+      "('m2', 'busy', '2006-02-10 18:22:01')");
+  EXPECT_EQ(insert.kind, StatementResult::Kind::kDml);
+  EXPECT_EQ(insert.rows_affected, 2);
+
+  StatementResult select =
+      Exec(&db, "SELECT mach_id FROM activity WHERE value = 'idle'");
+  EXPECT_EQ(select.kind, StatementResult::Kind::kSelect);
+  ASSERT_EQ(select.result.num_rows(), 1u);
+  EXPECT_TRUE(select.result.Contains({Value::Str("m1")}));
+}
+
+TEST(StatementTest, InsertWithColumnListAndNullDefaults) {
+  Database db;
+  Exec(&db, "CREATE TABLE t (a TEXT, b INT, c DOUBLE)");
+  Exec(&db, "INSERT INTO t (b, a) VALUES (7, 'x')");
+  StatementResult select = Exec(&db, "SELECT * FROM t");
+  ASSERT_EQ(select.result.num_rows(), 1u);
+  EXPECT_EQ(select.result.rows[0][0], Value::Str("x"));
+  EXPECT_EQ(select.result.rows[0][1], Value::Int(7));
+  EXPECT_TRUE(select.result.rows[0][2].is_null());
+}
+
+TEST(StatementTest, UpdateWithWhere) {
+  Database db;
+  Exec(&db, "CREATE TABLE t (k TEXT, v INT)");
+  Exec(&db, "INSERT INTO t VALUES ('a', 1), ('b', 2), ('c', 3)");
+  StatementResult update =
+      Exec(&db, "UPDATE t SET v = 10 WHERE k <> 'b'");
+  EXPECT_EQ(update.rows_affected, 2);
+  StatementResult check = Exec(&db, "SELECT COUNT(*) FROM t WHERE v = 10");
+  EXPECT_EQ(check.result.count(), 2);
+  // Unconditional update touches everything.
+  EXPECT_EQ(Exec(&db, "UPDATE t SET v = 0").rows_affected, 3);
+}
+
+TEST(StatementTest, DeleteWithAndWithoutWhere) {
+  Database db;
+  Exec(&db, "CREATE TABLE t (k TEXT, v INT)");
+  Exec(&db, "INSERT INTO t VALUES ('a', 1), ('b', 2), ('c', 3)");
+  EXPECT_EQ(Exec(&db, "DELETE FROM t WHERE v >= 2").rows_affected, 2);
+  EXPECT_EQ(Exec(&db, "SELECT COUNT(*) FROM t").result.count(), 1);
+  EXPECT_EQ(Exec(&db, "DELETE FROM t").rows_affected, 1);
+  EXPECT_EQ(Exec(&db, "SELECT COUNT(*) FROM t").result.count(), 0);
+}
+
+TEST(StatementTest, CreateIndexAndDropTable) {
+  Database db;
+  Exec(&db, "CREATE TABLE t (k TEXT, v INT)");
+  Exec(&db, "CREATE INDEX ON t (k)");
+  EXPECT_NE(db.GetTable(*db.FindTable("t"))->GetIndex(0), nullptr);
+  Exec(&db, "DROP TABLE t");
+  EXPECT_FALSE(db.FindTable("t").ok());
+}
+
+TEST(StatementTest, CheckConstraintsEnforcedOnDml) {
+  Database db;
+  Exec(&db,
+       "CREATE TABLE routing (mach_id TEXT DATA SOURCE, neighbor TEXT, "
+       "CHECK (mach_id <> neighbor))");
+  Exec(&db, "INSERT INTO routing VALUES ('m1', 'm2')");
+  // Violating insert fails.
+  auto bad = ExecuteStatement(&db, "INSERT INTO routing VALUES ('m3','m3')");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  // Violating update fails and leaves the row unchanged.
+  auto bad_update =
+      ExecuteStatement(&db, "UPDATE routing SET neighbor = 'm1'");
+  ASSERT_FALSE(bad_update.ok());
+  EXPECT_EQ(Exec(&db, "SELECT COUNT(*) FROM routing WHERE neighbor = 'm2'")
+                .result.count(),
+            1);
+}
+
+TEST(StatementTest, CreateTableWithBadCheckFailsCleanly) {
+  Database db;
+  auto r = ExecuteStatement(
+      &db, "CREATE TABLE t (a INT, CHECK (nosuchcol = 1))");
+  ASSERT_FALSE(r.ok());
+  // The half-created table was rolled back.
+  EXPECT_FALSE(db.FindTable("t").ok());
+}
+
+TEST(StatementTest, TypeNamesAndCoercions) {
+  Database db;
+  Exec(&db,
+       "CREATE TABLE t (a VARCHAR, b BIGINT, c REAL, d BOOLEAN, "
+       "e TIMESTAMP)");
+  Exec(&db,
+       "INSERT INTO t VALUES ('x', 9, 1.5, TRUE, '2006-03-15 14:20:05')");
+  // Int literal coerced into the double column.
+  Exec(&db, "INSERT INTO t (c) VALUES (2)");
+  StatementResult select = Exec(&db, "SELECT c FROM t WHERE c = 2.0");
+  EXPECT_EQ(select.result.num_rows(), 1u);
+}
+
+TEST(StatementTest, ErrorsSurfaceCleanly) {
+  Database db;
+  Exec(&db, "CREATE TABLE t (a INT)");
+  for (const char* bad : {
+           "INSERT INTO nope VALUES (1)",
+           "INSERT INTO t (zz) VALUES (1)",
+           "INSERT INTO t VALUES (1, 2)",
+           "UPDATE t SET zz = 1",
+           "UPDATE nope SET a = 1",
+           "DELETE FROM nope",
+           "CREATE TABLE t (a INT)",  // Already exists.
+           "CREATE TABLE t2 (a INT DATA SOURCE, b TEXT DATA SOURCE)",
+           "CREATE INDEX ON t (zz)",
+           "DROP TABLE nope",
+           "UPDATE t SET a = 1 WHERE b = 2",  // No column b.
+           "not sql at all",
+       }) {
+    EXPECT_FALSE(ExecuteStatement(&db, bad).ok()) << bad;
+  }
+}
+
+TEST(StatementTest, FullTracWorkflowThroughSql) {
+  // The complete user-facing loop, SQL only: DDL, heartbeat rows via
+  // DML, then a recency report on a query.
+  Database db;
+  Exec(&db,
+       "CREATE TABLE heartbeat (source_id TEXT, recency_timestamp "
+       "TIMESTAMP)");
+  Exec(&db, "CREATE INDEX ON heartbeat (source_id)");
+  Exec(&db,
+       "CREATE TABLE activity (mach_id TEXT DATA SOURCE, value TEXT)");
+  Exec(&db, "CREATE INDEX ON activity (mach_id)");
+  Exec(&db,
+       "INSERT INTO heartbeat VALUES "
+       "('m1', '2006-03-15 14:20:05'), ('m2', '2006-02-12 17:23:00'), "
+       "('m3', '2006-03-15 14:40:05')");
+  Exec(&db, "INSERT INTO activity VALUES ('m1', 'idle'), ('m3', 'idle')");
+
+  Session session(&db);
+  RecencyReporter reporter(&db, &session);
+  auto report = reporter.Run(
+      "SELECT mach_id FROM activity WHERE mach_id IN ('m1', 'm2') AND "
+      "value = 'idle'");
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->relevance.sources.size(), 2u);
+  EXPECT_TRUE(report->relevance.minimal);
+  // And the temp tables are reachable through the statement API too.
+  StatementResult temp =
+      Exec(&db, "SELECT * FROM " + report->normal_temp_table);
+  EXPECT_EQ(temp.result.num_rows(), 2u);
+}
+
+}  // namespace
+}  // namespace trac

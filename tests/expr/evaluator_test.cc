@@ -1,0 +1,249 @@
+#include "expr/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "sql/parser.h"
+
+namespace trac {
+namespace {
+
+using testing_util::PaperExampleDb;
+
+TEST(TriBoolTest, TruthTables) {
+  using enum TriBool;
+  // NOT.
+  EXPECT_EQ(TriNot(kTrue), kFalse);
+  EXPECT_EQ(TriNot(kFalse), kTrue);
+  EXPECT_EQ(TriNot(kUnknown), kUnknown);
+  // AND.
+  EXPECT_EQ(TriAnd(kTrue, kTrue), kTrue);
+  EXPECT_EQ(TriAnd(kTrue, kFalse), kFalse);
+  EXPECT_EQ(TriAnd(kFalse, kUnknown), kFalse);
+  EXPECT_EQ(TriAnd(kTrue, kUnknown), kUnknown);
+  EXPECT_EQ(TriAnd(kUnknown, kUnknown), kUnknown);
+  // OR.
+  EXPECT_EQ(TriOr(kFalse, kFalse), kFalse);
+  EXPECT_EQ(TriOr(kTrue, kUnknown), kTrue);
+  EXPECT_EQ(TriOr(kFalse, kUnknown), kUnknown);
+  EXPECT_EQ(TriOr(kUnknown, kUnknown), kUnknown);
+  EXPECT_TRUE(IsTrue(kTrue));
+  EXPECT_FALSE(IsTrue(kUnknown));
+  EXPECT_FALSE(IsTrue(kFalse));
+}
+
+class EvaluatorTest : public ::testing::Test {
+ protected:
+  /// Evaluates `predicate` against a routing row (mach_id, neighbor,
+  /// event_time).
+  TriBool Eval(const std::string& predicate, Row row) {
+    auto scope = BindSql(fixture_.db, "SELECT mach_id FROM routing");
+    EXPECT_TRUE(scope.ok());
+    auto parsed = ParsePredicate(predicate);
+    EXPECT_TRUE(parsed.ok()) << parsed.status();
+    auto bound = BindPredicateInScope(fixture_.db, *scope, **parsed);
+    EXPECT_TRUE(bound.ok()) << bound.status();
+    TupleView tuple = {&row};
+    auto v = EvalPredicate(**bound, tuple);
+    EXPECT_TRUE(v.ok()) << v.status();
+    return v.ok() ? *v : TriBool::kUnknown;
+  }
+
+  Row R(const char* a, const char* b) {
+    return {a ? Value::Str(a) : Value::Null(),
+            b ? Value::Str(b) : Value::Null(), Value::Null()};
+  }
+
+  PaperExampleDb fixture_{/*finite_domains=*/false};
+};
+
+TEST_F(EvaluatorTest, Comparisons) {
+  EXPECT_EQ(Eval("mach_id = 'm1'", R("m1", "m3")), TriBool::kTrue);
+  EXPECT_EQ(Eval("mach_id = 'm2'", R("m1", "m3")), TriBool::kFalse);
+  EXPECT_EQ(Eval("mach_id < neighbor", R("m1", "m3")), TriBool::kTrue);
+  EXPECT_EQ(Eval("mach_id >= neighbor", R("m1", "m3")), TriBool::kFalse);
+  EXPECT_EQ(Eval("mach_id <> 'm9'", R("m1", "m3")), TriBool::kTrue);
+}
+
+TEST_F(EvaluatorTest, NullPropagatesToUnknown) {
+  EXPECT_EQ(Eval("mach_id = 'm1'", R(nullptr, "m3")), TriBool::kUnknown);
+  EXPECT_EQ(Eval("mach_id <> 'm1'", R(nullptr, "m3")), TriBool::kUnknown);
+  EXPECT_EQ(Eval("mach_id = neighbor", R("m1", nullptr)), TriBool::kUnknown);
+}
+
+TEST_F(EvaluatorTest, InListSemantics) {
+  EXPECT_EQ(Eval("mach_id IN ('m1','m2')", R("m1", "m3")), TriBool::kTrue);
+  EXPECT_EQ(Eval("mach_id IN ('m2','m3')", R("m1", "m3")), TriBool::kFalse);
+  EXPECT_EQ(Eval("mach_id IN ('m2')", R(nullptr, "m3")), TriBool::kUnknown);
+  // x IN (a, NULL): TRUE if x = a, else Unknown (never FALSE).
+  EXPECT_EQ(Eval("mach_id IN ('m1', NULL)", R("m1", "m3")), TriBool::kTrue);
+  EXPECT_EQ(Eval("mach_id IN ('m2', NULL)", R("m1", "m3")),
+            TriBool::kUnknown);
+  // NOT IN flips: x NOT IN (a, NULL) is FALSE if x = a, else Unknown.
+  EXPECT_EQ(Eval("mach_id NOT IN ('m1', NULL)", R("m1", "m3")),
+            TriBool::kFalse);
+  EXPECT_EQ(Eval("mach_id NOT IN ('m2', NULL)", R("m1", "m3")),
+            TriBool::kUnknown);
+  EXPECT_EQ(Eval("mach_id NOT IN ('m2','m3')", R("m1", "m3")),
+            TriBool::kTrue);
+}
+
+TEST_F(EvaluatorTest, BetweenSemantics) {
+  EXPECT_EQ(Eval("mach_id BETWEEN 'm1' AND 'm3'", R("m2", "x")),
+            TriBool::kTrue);
+  EXPECT_EQ(Eval("mach_id BETWEEN 'm3' AND 'm9'", R("m2", "x")),
+            TriBool::kFalse);
+  EXPECT_EQ(Eval("mach_id NOT BETWEEN 'm3' AND 'm9'", R("m2", "x")),
+            TriBool::kTrue);
+  EXPECT_EQ(Eval("mach_id BETWEEN 'm1' AND 'm3'", R(nullptr, "x")),
+            TriBool::kUnknown);
+  // v >= NULL is Unknown; Unknown AND TRUE = Unknown.
+  EXPECT_EQ(Eval("mach_id BETWEEN NULL AND 'm3'", R("m2", "x")),
+            TriBool::kUnknown);
+  // But v > hi already FALSE makes the AND FALSE regardless of NULL.
+  EXPECT_EQ(Eval("mach_id BETWEEN NULL AND 'm1'", R("m2", "x")),
+            TriBool::kFalse);
+}
+
+TEST_F(EvaluatorTest, IsNullSemantics) {
+  EXPECT_EQ(Eval("mach_id IS NULL", R(nullptr, "x")), TriBool::kTrue);
+  EXPECT_EQ(Eval("mach_id IS NULL", R("m1", "x")), TriBool::kFalse);
+  EXPECT_EQ(Eval("mach_id IS NOT NULL", R("m1", "x")), TriBool::kTrue);
+  EXPECT_EQ(Eval("mach_id IS NOT NULL", R(nullptr, "x")), TriBool::kFalse);
+}
+
+TEST_F(EvaluatorTest, LogicalConnectives) {
+  EXPECT_EQ(Eval("mach_id = 'm1' AND neighbor = 'm3'", R("m1", "m3")),
+            TriBool::kTrue);
+  EXPECT_EQ(Eval("mach_id = 'm1' AND neighbor = 'm9'", R("m1", "m3")),
+            TriBool::kFalse);
+  EXPECT_EQ(Eval("mach_id = 'm9' OR neighbor = 'm3'", R("m1", "m3")),
+            TriBool::kTrue);
+  EXPECT_EQ(Eval("NOT mach_id = 'm1'", R("m1", "m3")), TriBool::kFalse);
+  // Unknown interplay: FALSE AND Unknown = FALSE; TRUE OR Unknown = TRUE.
+  EXPECT_EQ(Eval("mach_id = 'm9' AND neighbor = 'm3'", R("m9", nullptr)),
+            TriBool::kUnknown);
+  EXPECT_EQ(Eval("mach_id = 'm1' AND neighbor = 'm3'", R("m9", nullptr)),
+            TriBool::kFalse);
+  EXPECT_EQ(Eval("mach_id = 'm9' OR neighbor = 'm3'", R("m9", nullptr)),
+            TriBool::kTrue);
+  EXPECT_EQ(Eval("mach_id = 'm1' OR neighbor = 'm3'", R("m9", nullptr)),
+            TriBool::kUnknown);
+  EXPECT_EQ(Eval("NOT neighbor = 'm3'", R("m9", nullptr)),
+            TriBool::kUnknown);
+}
+
+TEST_F(EvaluatorTest, ConstantPredicates) {
+  EXPECT_EQ(Eval("TRUE", R("m1", "m3")), TriBool::kTrue);
+  EXPECT_EQ(Eval("FALSE", R("m1", "m3")), TriBool::kFalse);
+  EXPECT_EQ(Eval("NULL", R("m1", "m3")), TriBool::kUnknown);
+  EXPECT_EQ(Eval("1 = 1", R("m1", "m3")), TriBool::kTrue);
+  EXPECT_EQ(Eval("1 = 2", R("m1", "m3")), TriBool::kFalse);
+}
+
+TEST_F(EvaluatorTest, ScalarEvaluation) {
+  auto scope = BindSql(fixture_.db, "SELECT mach_id FROM routing");
+  ASSERT_TRUE(scope.ok());
+  Row row = R("m1", "m3");
+  TupleView tuple = {&row};
+  BoundExprPtr col = MakeBoundColumn(BoundColumnRef{0, 1, TypeId::kString});
+  TRAC_ASSERT_OK_AND_ASSIGN(Value v, EvalScalar(*col, tuple));
+  EXPECT_EQ(v, Value::Str("m3"));
+  BoundExprPtr lit = MakeBoundLiteral(Value::Int(42));
+  TRAC_ASSERT_OK_AND_ASSIGN(Value l, EvalScalar(*lit, tuple));
+  EXPECT_EQ(l, Value::Int(42));
+}
+
+TEST(BinderTest, ResolvesQualifiedAndUnqualified) {
+  PaperExampleDb fixture;
+  // Unqualified unique column.
+  EXPECT_TRUE(BindSql(fixture.db, "SELECT value FROM activity").ok());
+  // Qualified with alias.
+  EXPECT_TRUE(
+      BindSql(fixture.db, "SELECT a.value FROM activity a").ok());
+  // Qualifier mismatch.
+  EXPECT_FALSE(
+      BindSql(fixture.db, "SELECT b.value FROM activity a").ok());
+  // Ambiguous across relations.
+  EXPECT_FALSE(
+      BindSql(fixture.db,
+              "SELECT mach_id FROM activity, routing").ok());
+  // Disambiguated by qualifier.
+  EXPECT_TRUE(
+      BindSql(fixture.db,
+              "SELECT a.mach_id FROM activity a, routing r").ok());
+}
+
+TEST(BinderTest, DuplicateAliasRejected) {
+  PaperExampleDb fixture;
+  EXPECT_FALSE(
+      BindSql(fixture.db, "SELECT t.value FROM activity t, routing t").ok());
+  // Same table twice needs distinct aliases (self join allowed).
+  EXPECT_TRUE(
+      BindSql(fixture.db,
+              "SELECT r1.mach_id FROM routing r1, routing r2 "
+              "WHERE r1.neighbor = r2.mach_id")
+          .ok());
+}
+
+TEST(BinderTest, LiteralCoercions) {
+  PaperExampleDb fixture;
+  // String literal against a timestamp column parses as a timestamp.
+  auto q = BindSql(fixture.db,
+                   "SELECT mach_id FROM activity WHERE event_time > "
+                   "'2006-01-01 00:00:00'");
+  ASSERT_TRUE(q.ok()) << q.status();
+  const BoundExpr& rhs = *q->where->children[1];
+  EXPECT_EQ(rhs.literal.type(), TypeId::kTimestamp);
+  // Unparsable string against a timestamp column is a bind error.
+  EXPECT_FALSE(BindSql(fixture.db,
+                       "SELECT mach_id FROM activity WHERE event_time > "
+                       "'not a time'")
+                   .ok());
+  // Int literal against a string column is a type error.
+  EXPECT_FALSE(
+      BindSql(fixture.db, "SELECT mach_id FROM activity WHERE value = 7")
+          .ok());
+}
+
+TEST(BinderTest, CountStarAndStar) {
+  PaperExampleDb fixture;
+  auto count = BindSql(fixture.db, "SELECT COUNT(*) FROM activity");
+  ASSERT_TRUE(count.ok());
+  EXPECT_TRUE(count->count_star);
+  EXPECT_TRUE(count->outputs.empty());
+
+  auto star = BindSql(fixture.db, "SELECT * FROM routing r, activity a");
+  ASSERT_TRUE(star.ok());
+  EXPECT_EQ(star->outputs.size(), 6u);
+}
+
+TEST(BinderTest, BoundQueryToSqlRoundTrips) {
+  PaperExampleDb fixture;
+  const std::string sql =
+      "SELECT a.mach_id FROM routing r, activity a WHERE r.mach_id = 'm1' "
+      "AND a.value = 'idle' AND r.neighbor = a.mach_id";
+  TRAC_ASSERT_OK_AND_ASSIGN(BoundQuery q, BindSql(fixture.db, sql));
+  std::string rendered = q.ToSql(fixture.db);
+  TRAC_ASSERT_OK_AND_ASSIGN(BoundQuery q2, BindSql(fixture.db, rendered));
+  EXPECT_EQ(rendered, q2.ToSql(fixture.db));
+}
+
+TEST(BoundExprTest, CloneAndRewrite) {
+  PaperExampleDb fixture;
+  TRAC_ASSERT_OK_AND_ASSIGN(
+      BoundQuery q,
+      BindSql(fixture.db,
+              "SELECT r.mach_id FROM routing r, activity a "
+              "WHERE r.neighbor = a.mach_id AND a.value = 'idle'"));
+  BoundExprPtr clone = q.where->Clone();
+  EXPECT_EQ(clone->ReferencedRelations(), q.where->ReferencedRelations());
+  // Rewriting the clone leaves the original untouched.
+  clone->RewriteColumnRefs([](BoundColumnRef* ref) { ref->rel += 10; });
+  EXPECT_EQ(q.where->ReferencedRelations(), 0b11u);
+  EXPECT_EQ(clone->ReferencedRelations(),
+            (uint64_t{1} << 10) | (uint64_t{1} << 11));
+}
+
+}  // namespace
+}  // namespace trac

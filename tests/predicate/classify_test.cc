@@ -1,0 +1,158 @@
+#include "predicate/basic_term.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "predicate/normalize.h"
+
+namespace trac {
+namespace {
+
+using testing_util::PaperExampleDb;
+
+/// Binds the paper's two-relation query shape and classifies every
+/// basic term against each relation.
+class ClassifyTest : public ::testing::Test {
+ protected:
+  /// Returns the classification of each top-level AND term of `sql`'s
+  /// WHERE clause, relative to relation slot `target`.
+  std::vector<TermClass> Classify(const std::string& sql, size_t target) {
+    auto bound = BindSql(fixture_.db, sql);
+    EXPECT_TRUE(bound.ok()) << bound.status();
+    query_ = std::move(*bound);
+    auto dnf = ToDnf(*query_.where);
+    EXPECT_TRUE(dnf.ok()) << dnf.status();
+    EXPECT_EQ(dnf->conjuncts.size(), 1u);
+    std::vector<TermClass> out;
+    for (const BasicTerm& term : dnf->conjuncts[0]) {
+      out.push_back(ClassifyTerm(fixture_.db, query_, term, target));
+    }
+    return out;
+  }
+
+  PaperExampleDb fixture_;
+  BoundQuery query_;
+};
+
+// The paper's Q2: R.mach_id='m1' AND A.value='idle' AND
+// R.neighbor=A.mach_id, classified per Section 4.1.2's walkthrough.
+TEST_F(ClassifyTest, PaperQ2ViaRouting) {
+  auto classes = Classify(
+      "SELECT A.mach_id FROM Routing R, Activity A "
+      "WHERE R.mach_id = 'm1' AND A.value = 'idle' "
+      "AND R.neighbor = A.mach_id",
+      /*target=*/0);  // R.
+  ASSERT_EQ(classes.size(), 3u);
+  EXPECT_EQ(classes[0], TermClass::kPs);   // R.mach_id = 'm1'.
+  EXPECT_EQ(classes[1], TermClass::kPo);   // A.value = 'idle'.
+  EXPECT_EQ(classes[2], TermClass::kJrm);  // R.neighbor = A.mach_id.
+}
+
+TEST_F(ClassifyTest, PaperQ2ViaActivity) {
+  auto classes = Classify(
+      "SELECT A.mach_id FROM Routing R, Activity A "
+      "WHERE R.mach_id = 'm1' AND A.value = 'idle' "
+      "AND R.neighbor = A.mach_id",
+      /*target=*/1);  // A.
+  ASSERT_EQ(classes.size(), 3u);
+  EXPECT_EQ(classes[0], TermClass::kPo);  // R.mach_id = 'm1'.
+  EXPECT_EQ(classes[1], TermClass::kPr);  // A.value = 'idle'.
+  // R.neighbor = A.mach_id references only c_s among A's columns -> Js.
+  EXPECT_EQ(classes[2], TermClass::kJs);
+}
+
+TEST_F(ClassifyTest, MixedSelectionPredicate) {
+  auto classes =
+      Classify("SELECT mach_id FROM Routing WHERE mach_id = neighbor", 0);
+  ASSERT_EQ(classes.size(), 1u);
+  EXPECT_EQ(classes[0], TermClass::kPm);
+}
+
+TEST_F(ClassifyTest, DataSourceOnlySelection) {
+  auto classes =
+      Classify("SELECT mach_id FROM Routing WHERE mach_id IN ('m1','m2')", 0);
+  EXPECT_EQ(classes[0], TermClass::kPs);
+}
+
+TEST_F(ClassifyTest, RegularOnlySelection) {
+  auto classes =
+      Classify("SELECT mach_id FROM Routing WHERE neighbor = 'm3'", 0);
+  EXPECT_EQ(classes[0], TermClass::kPr);
+}
+
+TEST_F(ClassifyTest, ConstantTermIsPo) {
+  auto classes = Classify("SELECT mach_id FROM Routing WHERE TRUE", 0);
+  ASSERT_EQ(classes.size(), 1u);
+  EXPECT_EQ(classes[0], TermClass::kPo);
+}
+
+TEST_F(ClassifyTest, DataSourceToDataSourceJoinIsJs) {
+  auto classes = Classify(
+      "SELECT R.mach_id FROM Routing R, Activity A "
+      "WHERE R.mach_id = A.mach_id",
+      0);
+  ASSERT_EQ(classes.size(), 1u);
+  EXPECT_EQ(classes[0], TermClass::kJs);
+  // Symmetric for the other side.
+  auto classes_a = Classify(
+      "SELECT R.mach_id FROM Routing R, Activity A "
+      "WHERE R.mach_id = A.mach_id",
+      1);
+  EXPECT_EQ(classes_a[0], TermClass::kJs);
+}
+
+TEST_F(ClassifyTest, JoinTouchingBothRegularAndSourceIsJrm) {
+  // Term referencing R's c_s AND R's regular column AND another table.
+  auto classes = Classify(
+      "SELECT R.mach_id FROM Routing R, Activity A "
+      "WHERE R.mach_id = 'm1' AND R.neighbor = A.mach_id "
+      "AND R.mach_id = A.mach_id",
+      0);
+  ASSERT_EQ(classes.size(), 3u);
+  EXPECT_EQ(classes[1], TermClass::kJrm);
+  EXPECT_EQ(classes[2], TermClass::kJs);
+}
+
+TEST(BasicTermTest, TracksColumnsAndRelations) {
+  PaperExampleDb fixture;
+  auto bound = BindSql(fixture.db,
+                       "SELECT R.mach_id FROM Routing R, Activity A "
+                       "WHERE R.neighbor = A.mach_id");
+  ASSERT_TRUE(bound.ok());
+  BasicTerm term = BasicTerm::Make(bound->where->Clone());
+  EXPECT_EQ(term.columns.size(), 2u);
+  EXPECT_EQ(term.rel_mask, 0b11u);
+  EXPECT_FALSE(term.IsSelection());
+  EXPECT_TRUE(term.ReferencesRelation(0));
+  EXPECT_TRUE(term.ReferencesRelation(1));
+  EXPECT_FALSE(term.ReferencesRelation(2));
+
+  BasicTerm copy = term.Clone();
+  EXPECT_EQ(copy.rel_mask, term.rel_mask);
+  EXPECT_EQ(copy.columns.size(), term.columns.size());
+}
+
+TEST(BasicTermTest, SelectionWithinOneRelation) {
+  PaperExampleDb fixture;
+  auto bound = BindSql(fixture.db,
+                       "SELECT mach_id FROM Routing WHERE mach_id = "
+                       "neighbor");
+  ASSERT_TRUE(bound.ok());
+  BasicTerm term = BasicTerm::Make(bound->where->Clone());
+  EXPECT_TRUE(term.IsSelection());
+  EXPECT_EQ(term.columns.size(), 2u);
+}
+
+TEST(BasicTermTest, ConstantTermHasNoRelations) {
+  PaperExampleDb fixture;
+  auto bound =
+      BindSql(fixture.db, "SELECT mach_id FROM Routing WHERE TRUE");
+  ASSERT_TRUE(bound.ok());
+  BasicTerm term = BasicTerm::Make(bound->where->Clone());
+  EXPECT_TRUE(term.columns.empty());
+  EXPECT_EQ(term.rel_mask, 0u);
+  EXPECT_TRUE(term.IsSelection());
+}
+
+}  // namespace
+}  // namespace trac

@@ -1,0 +1,213 @@
+#include "predicate/normalize.h"
+
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "common/random.h"
+#include "expr/evaluator.h"
+#include "sql/parser.h"
+
+namespace trac {
+namespace {
+
+using testing_util::PaperExampleDb;
+
+class NormalizeTest : public ::testing::Test {
+ protected:
+  BoundExprPtr Bind(const std::string& predicate) {
+    auto parsed = ParsePredicate(predicate);
+    EXPECT_TRUE(parsed.ok()) << parsed.status();
+    auto scope = BindSql(fixture_.db,
+                         "SELECT mach_id FROM routing");  // mach_id/neighbor.
+    EXPECT_TRUE(scope.ok()) << scope.status();
+    scope_ = std::move(*scope);
+    auto bound = BindPredicateInScope(fixture_.db, scope_, **parsed);
+    EXPECT_TRUE(bound.ok()) << bound.status();
+    return std::move(*bound);
+  }
+
+  PaperExampleDb fixture_{/*finite_domains=*/false};
+  BoundQuery scope_;
+};
+
+TEST_F(NormalizeTest, AtomPassesThrough) {
+  BoundExprPtr e = Bind("mach_id = 'm1'");
+  auto dnf = ToDnf(*e);
+  ASSERT_TRUE(dnf.ok());
+  ASSERT_EQ(dnf->conjuncts.size(), 1u);
+  EXPECT_EQ(dnf->conjuncts[0].size(), 1u);
+}
+
+TEST_F(NormalizeTest, ConjunctionStaysOneConjunct) {
+  BoundExprPtr e = Bind("mach_id = 'm1' AND neighbor = 'm3'");
+  auto dnf = ToDnf(*e);
+  ASSERT_TRUE(dnf.ok());
+  ASSERT_EQ(dnf->conjuncts.size(), 1u);
+  EXPECT_EQ(dnf->conjuncts[0].size(), 2u);
+}
+
+TEST_F(NormalizeTest, DisjunctionSplits) {
+  BoundExprPtr e = Bind("mach_id = 'm1' OR neighbor = 'm3'");
+  auto dnf = ToDnf(*e);
+  ASSERT_TRUE(dnf.ok());
+  EXPECT_EQ(dnf->conjuncts.size(), 2u);
+}
+
+TEST_F(NormalizeTest, DistributesAndOverOr) {
+  // (a OR b) AND (c OR d) -> 4 conjuncts of 2 terms.
+  BoundExprPtr e = Bind(
+      "(mach_id = 'm1' OR mach_id = 'm2') AND "
+      "(neighbor = 'm3' OR neighbor = 'm4')");
+  auto dnf = ToDnf(*e);
+  ASSERT_TRUE(dnf.ok());
+  ASSERT_EQ(dnf->conjuncts.size(), 4u);
+  for (const Conjunct& c : dnf->conjuncts) EXPECT_EQ(c.size(), 2u);
+}
+
+TEST_F(NormalizeTest, NotPushedIntoComparison) {
+  BoundExprPtr e = Bind("NOT mach_id = 'm1'");
+  BoundExprPtr nnf = ToNnf(*e, false);
+  EXPECT_EQ(nnf->kind, ExprKind::kCompare);
+  EXPECT_EQ(nnf->op, CompareOp::kNe);
+}
+
+TEST_F(NormalizeTest, DoubleNegationCancels) {
+  BoundExprPtr e = Bind("NOT (NOT mach_id = 'm1')");
+  BoundExprPtr nnf = ToNnf(*e, false);
+  EXPECT_EQ(nnf->kind, ExprKind::kCompare);
+  EXPECT_EQ(nnf->op, CompareOp::kEq);
+}
+
+TEST_F(NormalizeTest, DeMorganOverAnd) {
+  BoundExprPtr e = Bind("NOT (mach_id = 'm1' AND neighbor = 'm3')");
+  auto dnf = ToDnf(*e);
+  ASSERT_TRUE(dnf.ok());
+  EXPECT_EQ(dnf->conjuncts.size(), 2u);  // <> m1 OR <> m3.
+}
+
+TEST_F(NormalizeTest, NotInFlipsFlag) {
+  BoundExprPtr e = Bind("NOT mach_id IN ('m1', 'm2')");
+  BoundExprPtr nnf = ToNnf(*e, false);
+  EXPECT_EQ(nnf->kind, ExprKind::kInList);
+  EXPECT_TRUE(nnf->negated);
+}
+
+TEST_F(NormalizeTest, NotBetweenExpandsToOr) {
+  BoundExprPtr e = Bind("NOT event_time BETWEEN '2006-01-01 00:00:00' AND "
+                        "'2006-12-31 00:00:00'");
+  auto dnf = ToDnf(*e);
+  ASSERT_TRUE(dnf.ok());
+  ASSERT_EQ(dnf->conjuncts.size(), 2u);
+  EXPECT_EQ(dnf->conjuncts[0][0].expr->kind, ExprKind::kCompare);
+  EXPECT_EQ(dnf->conjuncts[0][0].expr->op, CompareOp::kLt);
+  EXPECT_EQ(dnf->conjuncts[1][0].expr->op, CompareOp::kGt);
+}
+
+TEST_F(NormalizeTest, NotIsNullFlips) {
+  BoundExprPtr e = Bind("NOT mach_id IS NULL");
+  BoundExprPtr nnf = ToNnf(*e, false);
+  EXPECT_EQ(nnf->kind, ExprKind::kIsNull);
+  EXPECT_TRUE(nnf->negated);
+}
+
+TEST_F(NormalizeTest, BlowUpGuardTrips) {
+  // 13 two-way disjunctions conjoined: 8192 conjuncts > 4096 default.
+  std::string pred;
+  for (int i = 0; i < 13; ++i) {
+    if (i) pred += " AND ";
+    pred += "(mach_id = 'a" + std::to_string(i) + "' OR neighbor = 'b" +
+            std::to_string(i) + "')";
+  }
+  BoundExprPtr e = Bind(pred);
+  auto dnf = ToDnf(*e);
+  ASSERT_FALSE(dnf.ok());
+  EXPECT_EQ(dnf.status().code(), StatusCode::kResourceExhausted);
+
+  NormalizeOptions loose;
+  loose.max_conjuncts = 10000;
+  auto big = ToDnf(*e, loose);
+  ASSERT_TRUE(big.ok());
+  EXPECT_EQ(big->conjuncts.size(), 8192u);
+}
+
+// Property: the DNF is logically equivalent to the original predicate
+// (same TRUE set) on random rows, including NULLs.
+class DnfEquivalenceTest : public NormalizeTest,
+                           public ::testing::WithParamInterface<uint64_t> {};
+
+TEST_P(DnfEquivalenceTest, RandomPredicatesPreserveTruth) {
+  Random rng(GetParam());
+  const std::vector<std::string> columns = {"mach_id", "neighbor"};
+  const std::vector<std::string> values = {"m1", "m2", "m3", "m4"};
+  const std::vector<std::string> ops = {"=", "<>", "<", "<=", ">", ">="};
+
+  // Random predicate tree as SQL text.
+  std::function<std::string(int)> gen = [&](int depth) -> std::string {
+    int pick = depth >= 3 ? 0 : static_cast<int>(rng.Uniform(5));
+    switch (pick) {
+      case 1:
+        return "(" + gen(depth + 1) + " AND " + gen(depth + 1) + ")";
+      case 2:
+        return "(" + gen(depth + 1) + " OR " + gen(depth + 1) + ")";
+      case 3:
+        return "NOT (" + gen(depth + 1) + ")";
+      case 4: {
+        std::string col = columns[rng.Uniform(columns.size())];
+        if (rng.Bernoulli(0.5)) {
+          return col + (rng.Bernoulli(0.5) ? " IN ('m1','m3')"
+                                           : " NOT IN ('m2')");
+        }
+        return col + (rng.Bernoulli(0.5) ? " IS NULL" : " IS NOT NULL");
+      }
+      default: {
+        std::string col = columns[rng.Uniform(columns.size())];
+        std::string op = ops[rng.Uniform(ops.size())];
+        return col + " " + op + " '" + values[rng.Uniform(values.size())] +
+               "'";
+      }
+    }
+  };
+
+  for (int round = 0; round < 20; ++round) {
+    BoundExprPtr original = Bind(gen(0));
+    NormalizeOptions loose;
+    loose.max_conjuncts = 100000;
+    auto dnf = ToDnf(*original, loose);
+    ASSERT_TRUE(dnf.ok());
+
+    // Evaluate both on random rows (columns may be NULL).
+    for (int trial = 0; trial < 30; ++trial) {
+      Row row(3);
+      for (size_t c = 0; c < 2; ++c) {
+        row[c] = rng.Bernoulli(0.15)
+                     ? Value::Null()
+                     : Value::Str(values[rng.Uniform(values.size())]);
+      }
+      TupleView tuple = {&row};
+      auto expect = EvalPredicate(*original, tuple);
+      ASSERT_TRUE(expect.ok());
+      bool original_true = IsTrue(*expect);
+
+      bool dnf_true = false;
+      for (const Conjunct& conjunct : dnf->conjuncts) {
+        bool all = true;
+        for (const BasicTerm& term : conjunct) {
+          auto v = EvalPredicate(*term.expr, tuple);
+          ASSERT_TRUE(v.ok());
+          all &= IsTrue(*v);
+        }
+        dnf_true |= all;
+      }
+      EXPECT_EQ(original_true, dnf_true)
+          << "seed=" << GetParam() << " round=" << round;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DnfEquivalenceTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace trac

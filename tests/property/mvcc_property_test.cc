@@ -1,0 +1,161 @@
+// Randomized MVCC model test: a sequence of inserts / updates / deletes
+// runs against the Database while a trivial std::vector model tracks the
+// expected visible contents after every commit. Every snapshot ever
+// taken must keep showing exactly its model state, no matter how much
+// later history accumulates.
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "common/random.h"
+
+namespace trac {
+namespace {
+
+using Model = std::vector<Row>;  // Visible rows, unordered.
+
+std::multiset<std::string> Fingerprint(const Model& model) {
+  std::multiset<std::string> out;
+  for (const Row& row : model) {
+    std::string key;
+    for (const Value& v : row) key += v.ToString() + "|";
+    out.insert(key);
+  }
+  return out;
+}
+
+std::multiset<std::string> TableFingerprint(const Database& db, TableId id,
+                                            Snapshot snap) {
+  std::multiset<std::string> out;
+  db.GetTable(id)->Scan(snap, [&](size_t, const Row& row) {
+    std::string key;
+    for (const Value& v : row) key += v.ToString() + "|";
+    out.insert(key);
+  });
+  return out;
+}
+
+class MvccPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MvccPropertyTest, EverySnapshotStaysFrozen) {
+  Database db;
+  TableSchema schema("t", {ColumnDef("k", TypeId::kInt64),
+                           ColumnDef("v", TypeId::kInt64)});
+  TRAC_ASSERT_OK_AND_ASSIGN(TableId id, db.CreateTable(std::move(schema)));
+
+  Random rng(GetParam());
+  Model model;
+  // Snapshot -> model fingerprint at the time it was taken.
+  std::vector<std::pair<Snapshot, std::multiset<std::string>>> history;
+
+  for (int step = 0; step < 200; ++step) {
+    const int op = static_cast<int>(rng.Uniform(10));
+    if (op < 5 || model.empty()) {
+      // Insert.
+      Row row = {Value::Int(rng.UniformInt(0, 9)),
+                 Value::Int(rng.UniformInt(0, 99))};
+      TRAC_ASSERT_OK(db.Insert("t", row));
+      model.push_back(row);
+    } else if (op < 8) {
+      // Update all rows with a random key.
+      int64_t key = rng.UniformInt(0, 9);
+      int64_t new_value = rng.UniformInt(100, 199);
+      TRAC_ASSERT_OK_AND_ASSIGN(
+          int updated,
+          db.UpdateWhere(
+              "t",
+              [&](const Row& r) { return r[0].int_val() == key; },
+              [&](Row* r) { (*r)[1] = Value::Int(new_value); }));
+      int model_updated = 0;
+      for (Row& r : model) {
+        if (r[0].int_val() == key) {
+          r[1] = Value::Int(new_value);
+          ++model_updated;
+        }
+      }
+      EXPECT_EQ(updated, model_updated);
+    } else {
+      // Delete all rows with a random key.
+      int64_t key = rng.UniformInt(0, 9);
+      TRAC_ASSERT_OK_AND_ASSIGN(
+          int deleted,
+          db.DeleteWhere("t", [&](const Row& r) {
+            return r[0].int_val() == key;
+          }));
+      int model_deleted = 0;
+      for (auto it = model.begin(); it != model.end();) {
+        if ((*it)[0].int_val() == key) {
+          it = model.erase(it);
+          ++model_deleted;
+        } else {
+          ++it;
+        }
+      }
+      EXPECT_EQ(deleted, model_deleted);
+    }
+
+    // Every ~5 steps, capture a snapshot and remember the model.
+    if (rng.Bernoulli(0.2)) {
+      history.emplace_back(db.LatestSnapshot(), Fingerprint(model));
+    }
+    // Current state always matches the model.
+    ASSERT_EQ(TableFingerprint(db, id, db.LatestSnapshot()),
+              Fingerprint(model))
+        << "diverged at step " << step;
+  }
+
+  // Time travel: every historical snapshot still shows exactly what the
+  // model showed when it was taken.
+  for (const auto& [snap, fingerprint] : history) {
+    EXPECT_EQ(TableFingerprint(db, id, snap), fingerprint);
+  }
+}
+
+TEST_P(MvccPropertyTest, IndexAgreesWithHeapScanAtEverySnapshot) {
+  Database db;
+  TableSchema schema("t", {ColumnDef("k", TypeId::kInt64),
+                           ColumnDef("v", TypeId::kInt64)});
+  TRAC_ASSERT_OK_AND_ASSIGN(TableId id, db.CreateTable(std::move(schema)));
+  TRAC_ASSERT_OK(db.CreateIndex("t", "k"));
+
+  Random rng(GetParam() + 999);
+  std::vector<Snapshot> snapshots;
+  for (int step = 0; step < 120; ++step) {
+    int64_t key = rng.UniformInt(0, 5);
+    if (rng.Bernoulli(0.6)) {
+      TRAC_ASSERT_OK(
+          db.Insert("t", {Value::Int(key), Value::Int(step)}));
+    } else {
+      TRAC_ASSERT_OK(db.DeleteWhere("t", [&](const Row& r) {
+                         return r[0].int_val() == key;
+                       }).status());
+    }
+    if (rng.Bernoulli(0.3)) snapshots.push_back(db.LatestSnapshot());
+  }
+  snapshots.push_back(db.LatestSnapshot());
+
+  const Table* table = db.GetTable(id);
+  const OrderedIndex* index = table->GetIndex(0);
+  ASSERT_NE(index, nullptr);
+  for (Snapshot snap : snapshots) {
+    for (int64_t key = 0; key <= 5; ++key) {
+      size_t via_index = 0;
+      index->ScanEqual(Value::Int(key), [&](size_t vidx) {
+        if (table->Visible(table->version(vidx), snap)) ++via_index;
+      });
+      size_t via_scan = 0;
+      table->Scan(snap, [&](size_t, const Row& row) {
+        if (row[0].int_val() == key) ++via_scan;
+      });
+      EXPECT_EQ(via_index, via_scan) << "key " << key;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MvccPropertyTest,
+                         ::testing::Values(21, 42, 63, 84));
+
+}  // namespace
+}  // namespace trac

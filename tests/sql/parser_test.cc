@@ -1,0 +1,216 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+
+namespace trac {
+namespace {
+
+TEST(LexerTest, TokenizesBasicQuery) {
+  auto tokens = Tokenize("SELECT a.b FROM t WHERE x = 'y'");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 11u);  // incl. kEnd
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kIdent);
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_EQ((*tokens)[9].kind, TokenKind::kString);
+  EXPECT_EQ((*tokens)[9].text, "y");
+  EXPECT_EQ(tokens->back().kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, EscapedQuote) {
+  auto tokens = Tokenize("'o''brien'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "o'brien");
+}
+
+TEST(LexerTest, NumbersIntAndDouble) {
+  auto tokens = Tokenize("12 3.5 1e3 7.25e-2");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kInt);
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kDouble);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kDouble);
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kDouble);
+}
+
+TEST(LexerTest, MultiCharOperators) {
+  auto tokens = Tokenize("<= >= <> != < >");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "<=");
+  EXPECT_EQ((*tokens)[1].text, ">=");
+  EXPECT_EQ((*tokens)[2].text, "<>");
+  EXPECT_EQ((*tokens)[3].text, "!=");
+  EXPECT_EQ((*tokens)[4].text, "<");
+  EXPECT_EQ((*tokens)[5].text, ">");
+}
+
+TEST(LexerTest, LineComments) {
+  auto tokens = Tokenize("SELECT -- comment\n x");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 3u);
+  EXPECT_EQ((*tokens)[1].text, "x");
+}
+
+TEST(LexerTest, RejectsUnterminatedString) {
+  EXPECT_FALSE(Tokenize("'oops").ok());
+}
+
+TEST(LexerTest, RejectsUnknownCharacter) {
+  EXPECT_FALSE(Tokenize("SELECT #").ok());
+}
+
+TEST(ParserTest, SimpleSelect) {
+  auto stmt = ParseSelect("SELECT mach_id FROM Activity WHERE value = 'idle'");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_EQ(stmt->items.size(), 1u);
+  EXPECT_EQ(stmt->from.size(), 1u);
+  EXPECT_EQ(stmt->from[0].table, "Activity");
+  ASSERT_NE(stmt->where, nullptr);
+  EXPECT_EQ(stmt->where->kind, ExprKind::kCompare);
+}
+
+TEST(ParserTest, PaperQ1) {
+  auto stmt = ParseSelect(
+      "SELECT mach_id FROM Activity "
+      "WHERE mach_id IN ('m1', 'm2') AND value = 'idle';");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  ASSERT_NE(stmt->where, nullptr);
+  EXPECT_EQ(stmt->where->kind, ExprKind::kAnd);
+  ASSERT_EQ(stmt->where->children.size(), 2u);
+  EXPECT_EQ(stmt->where->children[0]->kind, ExprKind::kInList);
+  EXPECT_EQ(stmt->where->children[0]->list.size(), 2u);
+}
+
+TEST(ParserTest, PaperQ2Join) {
+  auto stmt = ParseSelect(
+      "SELECT A.mach_id FROM Routing R, Activity A "
+      "WHERE R.mach_id = 'm1' AND A.value = 'idle' "
+      "AND R.neighbor = A.mach_id");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_EQ(stmt->from.size(), 2u);
+  EXPECT_EQ(stmt->from[0].alias, "R");
+  EXPECT_EQ(stmt->from[1].alias, "A");
+  EXPECT_EQ(stmt->where->children.size(), 3u);
+}
+
+TEST(ParserTest, CountStar) {
+  auto stmt = ParseSelect("SELECT COUNT(*) FROM activity");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  ASSERT_EQ(stmt->items.size(), 1u);
+  EXPECT_TRUE(stmt->items[0].count_star);
+}
+
+TEST(ParserTest, StarAndDistinct) {
+  auto stmt = ParseSelect("SELECT DISTINCT * FROM t");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_TRUE(stmt->distinct);
+  EXPECT_TRUE(stmt->items[0].star);
+}
+
+TEST(ParserTest, OperatorsAndPrecedence) {
+  auto stmt = ParseSelect(
+      "SELECT x FROM t WHERE a = 1 OR b < 2 AND NOT c >= 3");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  // OR binds loosest: (a=1) OR ((b<2) AND (NOT c>=3)).
+  EXPECT_EQ(stmt->where->kind, ExprKind::kOr);
+  ASSERT_EQ(stmt->where->children.size(), 2u);
+  EXPECT_EQ(stmt->where->children[1]->kind, ExprKind::kAnd);
+  EXPECT_EQ(stmt->where->children[1]->children[1]->kind, ExprKind::kNot);
+}
+
+TEST(ParserTest, Parentheses) {
+  auto stmt = ParseSelect("SELECT x FROM t WHERE (a = 1 OR b = 2) AND c = 3");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_EQ(stmt->where->kind, ExprKind::kAnd);
+  EXPECT_EQ(stmt->where->children[0]->kind, ExprKind::kOr);
+}
+
+TEST(ParserTest, BetweenAndNotBetween) {
+  auto stmt = ParseSelect(
+      "SELECT x FROM t WHERE a BETWEEN 1 AND 5 AND b NOT BETWEEN 2 AND 3");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_EQ(stmt->where->children[0]->kind, ExprKind::kBetween);
+  EXPECT_FALSE(stmt->where->children[0]->negated);
+  EXPECT_TRUE(stmt->where->children[1]->negated);
+}
+
+TEST(ParserTest, NotIn) {
+  auto stmt = ParseSelect("SELECT x FROM t WHERE a NOT IN (1, 2, 3)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_EQ(stmt->where->kind, ExprKind::kInList);
+  EXPECT_TRUE(stmt->where->negated);
+  EXPECT_EQ(stmt->where->list.size(), 3u);
+}
+
+TEST(ParserTest, IsNullForms) {
+  auto stmt =
+      ParseSelect("SELECT x FROM t WHERE a IS NULL AND b IS NOT NULL");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_EQ(stmt->where->children[0]->kind, ExprKind::kIsNull);
+  EXPECT_FALSE(stmt->where->children[0]->negated);
+  EXPECT_TRUE(stmt->where->children[1]->negated);
+}
+
+TEST(ParserTest, TimestampLiteral) {
+  auto stmt = ParseSelect(
+      "SELECT x FROM t WHERE e > TIMESTAMP '2006-03-15 14:20:05'");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  const Expr& rhs = *stmt->where->children[1];
+  EXPECT_EQ(rhs.kind, ExprKind::kLiteral);
+  EXPECT_EQ(rhs.literal.type(), TypeId::kTimestamp);
+}
+
+TEST(ParserTest, AliasesWithAndWithoutAs) {
+  auto stmt =
+      ParseSelect("SELECT a.x AS y FROM table1 AS a, table2 b WHERE a.x = b.x");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_EQ(stmt->items[0].alias, "y");
+  EXPECT_EQ(stmt->from[0].alias, "a");
+  EXPECT_EQ(stmt->from[1].alias, "b");
+}
+
+TEST(ParserTest, ToSqlRoundTrips) {
+  const char* queries[] = {
+      "SELECT mach_id FROM activity WHERE mach_id IN ('m1', 'm2') AND value "
+      "= 'idle'",
+      "SELECT COUNT(*) FROM routing r, activity a WHERE r.neighbor = "
+      "a.mach_id",
+      "SELECT x FROM t WHERE NOT (a = 1 OR b BETWEEN 2 AND 3)",
+  };
+  for (const char* q : queries) {
+    auto stmt = ParseSelect(q);
+    ASSERT_TRUE(stmt.ok()) << q;
+    auto reparsed = ParseSelect(stmt->ToSql());
+    ASSERT_TRUE(reparsed.ok()) << stmt->ToSql();
+    EXPECT_EQ(stmt->ToSql(), reparsed->ToSql());
+  }
+}
+
+TEST(ParserTest, RejectsMalformedQueries) {
+  for (const char* bad : {
+           "",
+           "SELECT",
+           "SELECT FROM t",
+           "SELECT x",
+           "SELECT x FROM",
+           "SELECT x FROM t WHERE",
+           "SELECT x FROM t WHERE a =",
+           "SELECT x FROM t WHERE a IN ()",
+           "SELECT x FROM t WHERE a BETWEEN 1",
+           "SELECT x FROM t trailing garbage here",
+           "SELECT x FROM t WHERE a NOT = 3",
+           "INSERT INTO t VALUES (1)",
+           "SELECT COUNT() FROM t",
+       }) {
+    EXPECT_FALSE(ParseSelect(bad).ok()) << bad;
+  }
+}
+
+TEST(ParsePredicateTest, StandalonePredicate) {
+  auto pred = ParsePredicate("a = 1 AND b <> 'x'");
+  ASSERT_TRUE(pred.ok()) << pred.status();
+  EXPECT_EQ((*pred)->kind, ExprKind::kAnd);
+}
+
+}  // namespace
+}  // namespace trac

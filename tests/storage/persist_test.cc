@@ -1,0 +1,186 @@
+#include "storage/persist.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "core/recency_reporter.h"
+#include "exec/statement.h"
+
+namespace trac {
+namespace {
+
+using testing_util::PaperExampleDb;
+
+/// RAII temp file path.
+class TempFile {
+ public:
+  TempFile() {
+    static int counter = 0;
+    path_ = ::testing::TempDir() + "trac_persist_" +
+            std::to_string(counter++) + ".tracdb";
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(PersistTest, RoundTripsThePaperExampleDb) {
+  PaperExampleDb fixture(/*finite_domains=*/true);
+  TempFile file;
+  TRAC_ASSERT_OK(SaveDatabase(fixture.db, file.path()));
+
+  Database loaded;
+  TRAC_ASSERT_OK(LoadDatabase(&loaded, file.path()));
+
+  // Tables, schemas and data round-trip.
+  EXPECT_EQ(loaded.catalog().TableNames(),
+            fixture.db.catalog().TableNames());
+  for (const char* table : {"activity", "routing", "heartbeat"}) {
+    auto before = ExecuteSql(fixture.db, std::string("SELECT * FROM ") + table);
+    auto after = ExecuteSql(loaded, std::string("SELECT * FROM ") + table);
+    ASSERT_TRUE(before.ok());
+    ASSERT_TRUE(after.ok());
+    auto sorted = [](ResultSet rs) {
+      std::sort(rs.rows.begin(), rs.rows.end());
+      return rs.rows;
+    };
+    EXPECT_EQ(sorted(*before), sorted(*after)) << table;
+  }
+
+  // The data source designation and finite domains round-trip.
+  const TableSchema& schema =
+      loaded.catalog().schema(*loaded.FindTable("activity"));
+  EXPECT_EQ(schema.data_source_column(), 0u);
+  EXPECT_TRUE(schema.column(0).domain.is_finite());
+  EXPECT_EQ(schema.column(0).domain.size(), 11u);
+
+  // Indexes were rebuilt.
+  EXPECT_NE(loaded.GetTable(*loaded.FindTable("activity"))->GetIndex(0),
+            nullptr);
+}
+
+TEST(PersistTest, RecencyReportingWorksOnALoadedDatabase) {
+  PaperExampleDb fixture;
+  TempFile file;
+  TRAC_ASSERT_OK(SaveDatabase(fixture.db, file.path()));
+
+  Database loaded;
+  TRAC_ASSERT_OK(LoadDatabase(&loaded, file.path()));
+  Session session(&loaded);
+  RecencyReporter reporter(&loaded, &session);
+  TRAC_ASSERT_OK_AND_ASSIGN(
+      RecencyReport report,
+      reporter.Run("SELECT mach_id FROM activity WHERE mach_id IN "
+                   "('m1','m2') AND value = 'idle'"));
+  EXPECT_EQ(report.relevance.sources.size(), 2u);
+  EXPECT_TRUE(report.relevance.minimal);
+}
+
+TEST(PersistTest, RoundTripsTrickyValues) {
+  Database db;
+  auto s = ExecuteStatement(
+      &db, "CREATE TABLE t (a TEXT, b INT, c DOUBLE, d TIMESTAMP, e BOOL)");
+  ASSERT_TRUE(s.ok());
+  // Strings with newlines/quotes, negative numbers, NULLs, precise
+  // doubles.
+  TRAC_ASSERT_OK(db.Insert(
+      "t", {Value::Str("line1\nline2\t'quoted'"), Value::Int(-42),
+            Value::Double(0.1), Value::Ts(Timestamp(-5)), Value::Bool(true)}));
+  TRAC_ASSERT_OK(db.Insert("t", {Value::Null(), Value::Null(), Value::Null(),
+                                 Value::Null(), Value::Null()}));
+  TempFile file;
+  TRAC_ASSERT_OK(SaveDatabase(db, file.path()));
+  Database loaded;
+  TRAC_ASSERT_OK(LoadDatabase(&loaded, file.path()));
+  auto before = ExecuteSql(db, "SELECT * FROM t");
+  auto after = ExecuteSql(loaded, "SELECT * FROM t");
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(before->rows, after->rows);
+}
+
+TEST(PersistTest, ChecksAndConstraintsSurviveTheRoundTrip) {
+  Database db;
+  auto s = ExecuteStatement(
+      &db,
+      "CREATE TABLE routing (mach_id TEXT DATA SOURCE, neighbor TEXT, "
+      "CHECK (mach_id <> neighbor))");
+  ASSERT_TRUE(s.ok());
+  TempFile file;
+  TRAC_ASSERT_OK(SaveDatabase(db, file.path()));
+  Database loaded;
+  TRAC_ASSERT_OK(LoadDatabase(&loaded, file.path()));
+  // The constraint is live in the loaded database.
+  auto bad =
+      ExecuteStatement(&loaded, "INSERT INTO routing VALUES ('m1','m1')");
+  EXPECT_FALSE(bad.ok());
+  auto good =
+      ExecuteStatement(&loaded, "INSERT INTO routing VALUES ('m1','m2')");
+  EXPECT_TRUE(good.ok());
+}
+
+TEST(PersistTest, SavesTheLatestSnapshotNotHistory) {
+  Database db;
+  ASSERT_TRUE(ExecuteStatement(&db, "CREATE TABLE t (v INT)").ok());
+  ASSERT_TRUE(ExecuteStatement(&db, "INSERT INTO t VALUES (1)").ok());
+  ASSERT_TRUE(ExecuteStatement(&db, "UPDATE t SET v = 2").ok());
+  TempFile file;
+  TRAC_ASSERT_OK(SaveDatabase(db, file.path()));
+  Database loaded;
+  TRAC_ASSERT_OK(LoadDatabase(&loaded, file.path()));
+  const Table* t = loaded.GetTable(*loaded.FindTable("t"));
+  EXPECT_EQ(t->num_versions(), 1u);  // History flattened.
+  auto rs = ExecuteSql(loaded, "SELECT v FROM t");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_TRUE(rs->Contains({Value::Int(2)}));
+}
+
+TEST(PersistTest, ErrorsSurfaceCleanly) {
+  Database nonempty;
+  ASSERT_TRUE(ExecuteStatement(&nonempty, "CREATE TABLE t (v INT)").ok());
+  TempFile file;
+  TRAC_ASSERT_OK(SaveDatabase(nonempty, file.path()));
+  // Loading into a non-empty database is rejected.
+  EXPECT_FALSE(LoadDatabase(&nonempty, file.path()).ok());
+  // Missing file.
+  Database fresh;
+  EXPECT_EQ(LoadDatabase(&fresh, "/no/such/dir/x.tracdb").code(),
+            StatusCode::kNotFound);
+  // Garbage file.
+  TempFile garbage;
+  {
+    std::ofstream out(garbage.path());
+    out << "not a tracdb file";
+  }
+  Database fresh2;
+  EXPECT_FALSE(LoadDatabase(&fresh2, garbage.path()).ok());
+  // Truncated file (drop the END marker and half the content).
+  TempFile truncated;
+  {
+    std::ifstream in(file.path(), std::ios::binary);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    std::ofstream out(truncated.path(), std::ios::binary);
+    out << content.substr(0, content.size() / 2);
+  }
+  Database fresh3;
+  EXPECT_FALSE(LoadDatabase(&fresh3, truncated.path()).ok());
+}
+
+TEST(PersistTest, EmptyDatabaseRoundTrips) {
+  Database db;
+  TempFile file;
+  TRAC_ASSERT_OK(SaveDatabase(db, file.path()));
+  Database loaded;
+  TRAC_ASSERT_OK(LoadDatabase(&loaded, file.path()));
+  EXPECT_TRUE(loaded.catalog().TableNames().empty());
+}
+
+}  // namespace
+}  // namespace trac

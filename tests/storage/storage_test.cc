@@ -1,0 +1,267 @@
+#include "storage/database.h"
+
+#include <atomic>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace trac {
+namespace {
+
+TableSchema KvSchema(const std::string& name) {
+  return TableSchema(name, {ColumnDef("k", TypeId::kString),
+                            ColumnDef("v", TypeId::kInt64)});
+}
+
+TEST(CatalogTest, CreateLookupDrop) {
+  Catalog catalog;
+  auto id = catalog.CreateTable(KvSchema("t1"));
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(catalog.HasTable("t1"));
+  EXPECT_TRUE(catalog.HasTable("T1"));  // Case-insensitive.
+  EXPECT_FALSE(catalog.HasTable("t2"));
+  EXPECT_EQ(catalog.schema(*id).name(), "t1");
+
+  EXPECT_EQ(catalog.CreateTable(KvSchema("t1")).status().code(),
+            StatusCode::kAlreadyExists);
+  TRAC_ASSERT_OK(catalog.DropTable("t1"));
+  EXPECT_FALSE(catalog.HasTable("t1"));
+  EXPECT_FALSE(catalog.IsLive(*id));
+  // Name can be reused; the id is fresh.
+  auto id2 = catalog.CreateTable(KvSchema("t1"));
+  ASSERT_TRUE(id2.ok());
+  EXPECT_NE(*id2, *id);
+}
+
+TEST(CatalogTest, TableNamesInCreationOrder) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable(KvSchema("a")).ok());
+  ASSERT_TRUE(catalog.CreateTable(KvSchema("b")).ok());
+  ASSERT_TRUE(catalog.CreateTable(KvSchema("c")).ok());
+  TRAC_ASSERT_OK(catalog.DropTable("b"));
+  EXPECT_EQ(catalog.TableNames(), (std::vector<std::string>{"a", "c"}));
+}
+
+TEST(SchemaTest, FindColumnCaseInsensitive) {
+  TableSchema schema = KvSchema("t");
+  EXPECT_EQ(schema.FindColumn("K"), 0u);
+  EXPECT_EQ(schema.FindColumn("v"), 1u);
+  EXPECT_FALSE(schema.FindColumn("w").has_value());
+}
+
+TEST(SchemaTest, DataSourceColumnDesignation) {
+  TableSchema schema = KvSchema("t");
+  EXPECT_FALSE(schema.data_source_column().has_value());
+  TRAC_ASSERT_OK(schema.SetDataSourceColumn("k"));
+  EXPECT_EQ(schema.data_source_column(), 0u);
+  EXPECT_TRUE(schema.IsDataSourceColumn(0));
+  EXPECT_FALSE(schema.IsDataSourceColumn(1));
+  EXPECT_EQ(schema.SetDataSourceColumn("nope").code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, ValidateRowChecksArityTypeAndDomain) {
+  TableSchema schema(
+      "t", {ColumnDef("k", TypeId::kString,
+                      Domain::Finite(TypeId::kString,
+                                     {Value::Str("a"), Value::Str("b")})),
+            ColumnDef("v", TypeId::kInt64)});
+  TRAC_EXPECT_OK(schema.ValidateRow({Value::Str("a"), Value::Int(1)}));
+  TRAC_EXPECT_OK(schema.ValidateRow({Value::Null(), Value::Null()}));
+  EXPECT_EQ(schema.ValidateRow({Value::Str("a")}).code(),
+            StatusCode::kInvalidArgument);  // Arity.
+  EXPECT_EQ(schema.ValidateRow({Value::Int(1), Value::Int(1)}).code(),
+            StatusCode::kTypeError);  // Type.
+  EXPECT_EQ(schema.ValidateRow({Value::Str("zz"), Value::Int(1)}).code(),
+            StatusCode::kInvalidArgument);  // Domain.
+}
+
+TEST(SchemaTest, IntLiteralAcceptedInDoubleColumn) {
+  Database db;
+  TableSchema schema("t", {ColumnDef("x", TypeId::kDouble)});
+  ASSERT_TRUE(db.CreateTable(std::move(schema)).ok());
+  TRAC_ASSERT_OK(db.Insert("t", {Value::Int(3)}));
+  // Normalized to double in storage.
+  const Table* t = db.GetTable(*db.FindTable("t"));
+  EXPECT_EQ(t->version(0).values[0].type(), TypeId::kDouble);
+}
+
+TEST(TableTest, MvccInsertVisibility) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable(KvSchema("t")).ok());
+  Snapshot s0 = db.LatestSnapshot();
+  TRAC_ASSERT_OK(db.Insert("t", {Value::Str("a"), Value::Int(1)}));
+  Snapshot s1 = db.LatestSnapshot();
+
+  const Table* t = db.GetTable(*db.FindTable("t"));
+  EXPECT_EQ(t->CountVisible(s0), 0u);
+  EXPECT_EQ(t->CountVisible(s1), 1u);
+}
+
+TEST(TableTest, MvccUpdatePreservesOldVersion) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable(KvSchema("t")).ok());
+  TRAC_ASSERT_OK(db.Insert("t", {Value::Str("a"), Value::Int(1)}));
+  Snapshot before = db.LatestSnapshot();
+  TRAC_ASSERT_OK_AND_ASSIGN(
+      int updated,
+      db.UpdateWhere(
+          "t", [](const Row& r) { return r[0].str_val() == "a"; },
+          [](Row* r) { (*r)[1] = Value::Int(2); }));
+  EXPECT_EQ(updated, 1);
+  Snapshot after = db.LatestSnapshot();
+
+  const Table* t = db.GetTable(*db.FindTable("t"));
+  int old_value = -1, new_value = -1;
+  t->Scan(before, [&](size_t, const Row& r) {
+    old_value = static_cast<int>(r[1].int_val());
+  });
+  t->Scan(after, [&](size_t, const Row& r) {
+    new_value = static_cast<int>(r[1].int_val());
+  });
+  EXPECT_EQ(old_value, 1);
+  EXPECT_EQ(new_value, 2);
+  EXPECT_EQ(t->CountVisible(before), 1u);
+  EXPECT_EQ(t->CountVisible(after), 1u);
+  EXPECT_EQ(t->num_versions(), 2u);
+}
+
+TEST(TableTest, MvccDelete) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable(KvSchema("t")).ok());
+  TRAC_ASSERT_OK(db.Insert("t", {Value::Str("a"), Value::Int(1)}));
+  TRAC_ASSERT_OK(db.Insert("t", {Value::Str("b"), Value::Int(2)}));
+  Snapshot before = db.LatestSnapshot();
+  TRAC_ASSERT_OK_AND_ASSIGN(
+      int deleted,
+      db.DeleteWhere("t",
+                     [](const Row& r) { return r[0].str_val() == "a"; }));
+  EXPECT_EQ(deleted, 1);
+  const Table* t = db.GetTable(*db.FindTable("t"));
+  EXPECT_EQ(t->CountVisible(before), 2u);
+  EXPECT_EQ(t->CountVisible(db.LatestSnapshot()), 1u);
+}
+
+TEST(TableTest, InsertManyIsAtomicallyVisible) {
+  Database db;
+  TRAC_ASSERT_OK_AND_ASSIGN(TableId id, db.CreateTable(KvSchema("t")));
+  Snapshot before = db.LatestSnapshot();
+  std::vector<Row> rows;
+  for (int i = 0; i < 100; ++i) {
+    rows.push_back({Value::Str("k" + std::to_string(i)), Value::Int(i)});
+  }
+  TRAC_ASSERT_OK(db.InsertMany(id, std::move(rows)));
+  const Table* t = db.GetTable(id);
+  EXPECT_EQ(t->CountVisible(before), 0u);
+  EXPECT_EQ(t->CountVisible(db.LatestSnapshot()), 100u);
+  // All rows share one commit version.
+  EXPECT_EQ(t->version(0).begin, t->version(99).begin);
+}
+
+TEST(IndexTest, EqualityAndRangeScans) {
+  OrderedIndex index(0);
+  index.Insert(Value::Int(5), 0);
+  index.Insert(Value::Int(5), 1);
+  index.Insert(Value::Int(7), 2);
+  index.Insert(Value::Null(), 3);  // Not indexed.
+  EXPECT_EQ(index.num_entries(), 3u);
+  EXPECT_EQ(index.CountEqual(Value::Int(5)), 2u);
+  EXPECT_EQ(index.CountEqual(Value::Int(6)), 0u);
+
+  std::vector<size_t> hits;
+  index.ScanEqual(Value::Int(5), [&](size_t v) { hits.push_back(v); });
+  EXPECT_EQ(hits.size(), 2u);
+
+  hits.clear();
+  index.ScanRange(Value::Int(5), /*lo_inclusive=*/false, Value::Int(7),
+                  /*hi_inclusive=*/true, [&](size_t v) { hits.push_back(v); });
+  EXPECT_EQ(hits, (std::vector<size_t>{2}));
+
+  hits.clear();
+  index.ScanRange(std::nullopt, true, std::nullopt, true,
+                  [&](size_t v) { hits.push_back(v); });
+  EXPECT_EQ(hits.size(), 3u);
+}
+
+TEST(IndexTest, IndexBackfillsAndTracksUpdates) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable(KvSchema("t")).ok());
+  TRAC_ASSERT_OK(db.Insert("t", {Value::Str("a"), Value::Int(1)}));
+  TRAC_ASSERT_OK(db.CreateIndex("t", "k"));
+  TRAC_ASSERT_OK(db.Insert("t", {Value::Str("b"), Value::Int(2)}));
+  const Table* t = db.GetTable(*db.FindTable("t"));
+  const OrderedIndex* index = t->GetIndex(0);
+  ASSERT_NE(index, nullptr);
+  EXPECT_EQ(index->CountEqual(Value::Str("a")), 1u);
+  EXPECT_EQ(index->CountEqual(Value::Str("b")), 1u);
+
+  // Updates add new versions; index entries accumulate and visibility
+  // filters them.
+  TRAC_ASSERT_OK(db.UpdateWhere(
+                       "t", [](const Row& r) { return r[0].str_val() == "a"; },
+                       [](Row* r) { (*r)[1] = Value::Int(10); })
+                     .status());
+  EXPECT_EQ(index->CountEqual(Value::Str("a")), 2u);  // Two versions.
+  Snapshot now = db.LatestSnapshot();
+  int visible = 0;
+  index->ScanEqual(Value::Str("a"), [&](size_t vidx) {
+    if (t->Visible(t->version(vidx), now)) ++visible;
+  });
+  EXPECT_EQ(visible, 1);
+
+  EXPECT_EQ(db.CreateIndex("t", "k").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(db.CreateIndex("t", "zz").code(), StatusCode::kNotFound);
+}
+
+TEST(DatabaseTest, DropTableRemovesNameLookup) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable(KvSchema("t")).ok());
+  TRAC_ASSERT_OK(db.DropTable("t"));
+  EXPECT_FALSE(db.FindTable("t").ok());
+  EXPECT_EQ(db.DropTable("t").code(), StatusCode::kNotFound);
+}
+
+TEST(DatabaseTest, InsertIntoMissingTableFails) {
+  Database db;
+  EXPECT_EQ(db.Insert("nope", {Value::Int(1)}).code(), StatusCode::kNotFound);
+}
+
+// Single writer + concurrent readers: every reader sees a consistent
+// prefix (counts only ever grow, and pair-inserts are atomic per commit).
+TEST(DatabaseTest, ConcurrentReadersSeeMonotonicConsistentSnapshots) {
+  Database db;
+  TRAC_ASSERT_OK_AND_ASSIGN(TableId id, db.CreateTable(KvSchema("t")));
+  std::atomic<bool> stop{false};
+  std::atomic<bool> failed{false};
+
+  std::thread reader([&]() {
+    size_t last_count = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      Snapshot snap = db.LatestSnapshot();
+      const Table* t = db.GetTable(id);
+      size_t count = 0;
+      t->Scan(snap, [&](size_t, const Row&) { ++count; });
+      if (count < last_count || count % 2 != 0) {
+        failed.store(true);
+        break;
+      }
+      last_count = count;
+    }
+  });
+
+  for (int i = 0; i < 500; ++i) {
+    // Two rows per commit: readers must never observe an odd count.
+    std::vector<Row> rows;
+    rows.push_back({Value::Str("a" + std::to_string(i)), Value::Int(i)});
+    rows.push_back({Value::Str("b" + std::to_string(i)), Value::Int(i)});
+    TRAC_ASSERT_OK(db.InsertMany(id, std::move(rows)));
+  }
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_FALSE(failed.load());
+}
+
+}  // namespace
+}  // namespace trac

@@ -1,0 +1,79 @@
+#include "types/domain.h"
+
+#include <gtest/gtest.h>
+
+namespace trac {
+namespace {
+
+TEST(DomainTest, InfiniteContainsEverythingOfItsType) {
+  Domain d = Domain::Infinite(TypeId::kString);
+  EXPECT_FALSE(d.is_finite());
+  EXPECT_TRUE(d.Contains(Value::Str("anything")));
+  EXPECT_FALSE(d.Contains(Value::Int(3)));
+  EXPECT_FALSE(d.Contains(Value::Null()));
+}
+
+TEST(DomainTest, InfiniteDoubleAcceptsIntValues) {
+  Domain d = Domain::Infinite(TypeId::kDouble);
+  EXPECT_TRUE(d.Contains(Value::Double(1.5)));
+  EXPECT_TRUE(d.Contains(Value::Int(2)));  // Coercible.
+}
+
+TEST(DomainTest, FiniteSortsAndDeduplicates) {
+  Domain d = Domain::Finite(
+      TypeId::kString,
+      {Value::Str("b"), Value::Str("a"), Value::Str("b"), Value::Str("c")});
+  EXPECT_TRUE(d.is_finite());
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_EQ(d.values()[0], Value::Str("a"));
+  EXPECT_EQ(d.values()[2], Value::Str("c"));
+  EXPECT_TRUE(d.Contains(Value::Str("b")));
+  EXPECT_FALSE(d.Contains(Value::Str("z")));
+  EXPECT_FALSE(d.Contains(Value::Null()));
+}
+
+TEST(DomainTest, EmptyFiniteDomainContainsNothing) {
+  Domain d = Domain::Finite(TypeId::kInt64, {});
+  EXPECT_TRUE(d.is_finite());
+  EXPECT_EQ(d.size(), 0u);
+  EXPECT_FALSE(d.Contains(Value::Int(0)));
+}
+
+TEST(DomainTest, ProvablyDisjointFiniteFinite) {
+  Domain a = Domain::Finite(TypeId::kString,
+                            {Value::Str("x"), Value::Str("y")});
+  Domain b = Domain::Finite(TypeId::kString,
+                            {Value::Str("p"), Value::Str("q")});
+  Domain c = Domain::Finite(TypeId::kString,
+                            {Value::Str("y"), Value::Str("z")});
+  EXPECT_TRUE(Domain::ProvablyDisjoint(a, b));
+  EXPECT_FALSE(Domain::ProvablyDisjoint(a, c));  // Shared 'y'.
+}
+
+TEST(DomainTest, InfiniteNeverProvablyDisjointFromSameType) {
+  Domain inf = Domain::Infinite(TypeId::kString);
+  Domain fin = Domain::Finite(TypeId::kString, {Value::Str("x")});
+  EXPECT_FALSE(Domain::ProvablyDisjoint(inf, fin));
+  EXPECT_FALSE(Domain::ProvablyDisjoint(inf, inf));
+}
+
+TEST(DomainTest, IncomparableTypesAreDisjoint) {
+  Domain s = Domain::Infinite(TypeId::kString);
+  Domain i = Domain::Infinite(TypeId::kInt64);
+  EXPECT_TRUE(Domain::ProvablyDisjoint(s, i));
+}
+
+TEST(DomainTest, MixedNumericDomainsCompareByValue) {
+  // Int and double domains share the numeric value 2 even though the
+  // structural representations differ.
+  Domain ints = Domain::Finite(TypeId::kInt64, {Value::Int(1), Value::Int(2)});
+  Domain doubles =
+      Domain::Finite(TypeId::kDouble, {Value::Double(2.0), Value::Double(3.5)});
+  EXPECT_FALSE(Domain::ProvablyDisjoint(ints, doubles));
+  Domain other =
+      Domain::Finite(TypeId::kDouble, {Value::Double(0.5), Value::Double(9.0)});
+  EXPECT_TRUE(Domain::ProvablyDisjoint(ints, other));
+}
+
+}  // namespace
+}  // namespace trac

@@ -1,0 +1,170 @@
+#include "workload/eval_workload.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "core/relevance.h"
+
+namespace trac {
+namespace {
+
+TEST(EvalWorkloadTest, BuildsPaperSchema) {
+  Database db;
+  EvalWorkloadOptions options;
+  options.total_activity_rows = 1000;
+  options.num_sources = 100;
+  TRAC_ASSERT_OK_AND_ASSIGN(EvalWorkload w, BuildEvalWorkload(&db, options));
+
+  EXPECT_EQ(w.sources.size(), 100u);
+  EXPECT_EQ(w.sources.front(), "Tao1");
+  EXPECT_EQ(w.sources.back(), "Tao100");
+  EXPECT_EQ(w.data_ratio(), 10u);
+  EXPECT_EQ(w.selected_six.size(), 6u);
+
+  TRAC_ASSERT_OK_AND_ASSIGN(ResultSet hb,
+                            ExecuteSql(db, "SELECT COUNT(*) FROM heartbeat"));
+  EXPECT_EQ(hb.count(), 100);
+  TRAC_ASSERT_OK_AND_ASSIGN(ResultSet act,
+                            ExecuteSql(db, "SELECT COUNT(*) FROM activity"));
+  EXPECT_EQ(act.count(), 1000);
+  TRAC_ASSERT_OK_AND_ASSIGN(ResultSet rt,
+                            ExecuteSql(db, "SELECT COUNT(*) FROM routing"));
+  EXPECT_EQ(rt.count(), 100);
+
+  // Data-source columns designated; indexes exist.
+  const TableSchema& schema = db.catalog().schema(*db.FindTable("activity"));
+  EXPECT_EQ(schema.data_source_column(), 0u);
+  EXPECT_NE(db.GetTable(*db.FindTable("activity"))->GetIndex(0), nullptr);
+}
+
+TEST(EvalWorkloadTest, EachSourceContributesDataRatioRows) {
+  Database db;
+  EvalWorkloadOptions options;
+  options.total_activity_rows = 500;
+  options.num_sources = 50;
+  TRAC_ASSERT_OK_AND_ASSIGN(EvalWorkload w, BuildEvalWorkload(&db, options));
+  for (const char* source : {"Tao1", "Tao25", "Tao50"}) {
+    TRAC_ASSERT_OK_AND_ASSIGN(
+        ResultSet rs,
+        ExecuteSql(db, std::string("SELECT COUNT(*) FROM activity WHERE "
+                                   "mach_id = '") +
+                           source + "'"));
+    EXPECT_EQ(rs.count(), 10) << source;
+  }
+}
+
+TEST(EvalWorkloadTest, IdlePeriodControlsSelectivity) {
+  Database db;
+  EvalWorkloadOptions options;
+  options.total_activity_rows = 1000;
+  options.num_sources = 10;
+  options.idle_period = 4;
+  TRAC_ASSERT_OK_AND_ASSIGN(EvalWorkload w, BuildEvalWorkload(&db, options));
+  TRAC_ASSERT_OK_AND_ASSIGN(ResultSet rs, ExecuteSql(db, w.Q2()));
+  EXPECT_EQ(rs.count(), 250);
+}
+
+TEST(EvalWorkloadTest, RoutingMapsMachinesOntoThemselves) {
+  Database db;
+  EvalWorkloadOptions options;
+  options.total_activity_rows = 100;
+  options.num_sources = 10;
+  TRAC_ASSERT_OK_AND_ASSIGN(EvalWorkload w, BuildEvalWorkload(&db, options));
+  TRAC_ASSERT_OK_AND_ASSIGN(
+      ResultSet rs,
+      ExecuteSql(db,
+                 "SELECT COUNT(*) FROM routing WHERE mach_id = neighbor"));
+  EXPECT_EQ(rs.count(), 10);
+}
+
+TEST(EvalWorkloadTest, QueriesHaveExpectedCounts) {
+  Database db;
+  EvalWorkloadOptions options;
+  options.total_activity_rows = 600;
+  options.num_sources = 60;
+  TRAC_ASSERT_OK_AND_ASSIGN(EvalWorkload w, BuildEvalWorkload(&db, options));
+  // Q1: 6 machines x 10 rows each x 1/2 idle.
+  TRAC_ASSERT_OK_AND_ASSIGN(ResultSet q1, ExecuteSql(db, w.Q1()));
+  EXPECT_EQ(q1.count(), 30);
+  // Q2: half of everything.
+  TRAC_ASSERT_OK_AND_ASSIGN(ResultSet q2, ExecuteSql(db, w.Q2()));
+  EXPECT_EQ(q2.count(), 300);
+  // Q3 == Q1 because neighbor = self.
+  TRAC_ASSERT_OK_AND_ASSIGN(ResultSet q3, ExecuteSql(db, w.Q3()));
+  EXPECT_EQ(q3.count(), 30);
+  // Q4 == Q2 for the same reason.
+  TRAC_ASSERT_OK_AND_ASSIGN(ResultSet q4, ExecuteSql(db, w.Q4()));
+  EXPECT_EQ(q4.count(), 300);
+}
+
+TEST(EvalWorkloadTest, SelectedSixAreRelevantSetOfQ1) {
+  Database db;
+  EvalWorkloadOptions options;
+  options.total_activity_rows = 300;
+  options.num_sources = 30;
+  TRAC_ASSERT_OK_AND_ASSIGN(EvalWorkload w, BuildEvalWorkload(&db, options));
+  TRAC_ASSERT_OK_AND_ASSIGN(BoundQuery q, BindSql(db, w.Q1()));
+  TRAC_ASSERT_OK_AND_ASSIGN(
+      RelevanceResult rel,
+      ComputeRelevantSources(db, q, db.LatestSnapshot()));
+  std::vector<std::string> expected = w.selected_six;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(rel.SourceIds(), expected);
+  EXPECT_TRUE(rel.minimal);
+}
+
+TEST(EvalWorkloadTest, ExceptionalSourcesAreStale) {
+  Database db;
+  EvalWorkloadOptions options;
+  options.total_activity_rows = 1000;
+  options.num_sources = 100;
+  options.num_exceptional_sources = 2;
+  TRAC_ASSERT_OK_AND_ASSIGN(EvalWorkload w, BuildEvalWorkload(&db, options));
+  TRAC_ASSERT_OK_AND_ASSIGN(HeartbeatTable hb, HeartbeatTable::Open(&db));
+  Snapshot snap = db.LatestSnapshot();
+  TRAC_ASSERT_OK_AND_ASSIGN(Timestamp stale, hb.Get("Tao1", snap));
+  TRAC_ASSERT_OK_AND_ASSIGN(Timestamp fresh, hb.Get("Tao50", snap));
+  EXPECT_LT(stale, fresh - 20 * Timestamp::kMicrosPerDay);
+}
+
+TEST(EvalWorkloadTest, FiniteDomainsDeclaredOnRequest) {
+  Database db;
+  EvalWorkloadOptions options;
+  options.total_activity_rows = 100;
+  options.num_sources = 10;
+  options.finite_domains = true;
+  TRAC_ASSERT_OK_AND_ASSIGN(EvalWorkload w, BuildEvalWorkload(&db, options));
+  const TableSchema& schema = db.catalog().schema(*db.FindTable("activity"));
+  EXPECT_TRUE(schema.column(0).domain.is_finite());
+  EXPECT_EQ(schema.column(0).domain.size(), 10u);
+  EXPECT_TRUE(schema.column(1).domain.is_finite());
+  EXPECT_EQ(schema.column(1).domain.size(), 2u);
+  EXPECT_TRUE(schema.column(2).domain.is_finite());
+}
+
+TEST(EvalWorkloadTest, RejectsIndivisibleConfigurations) {
+  Database db;
+  EvalWorkloadOptions options;
+  options.total_activity_rows = 100;
+  options.num_sources = 7;
+  EXPECT_FALSE(BuildEvalWorkload(&db, options).ok());
+  options.num_sources = 0;
+  EXPECT_FALSE(BuildEvalWorkload(&db, options).ok());
+}
+
+TEST(EvalWorkloadTest, DeterministicAcrossRuns) {
+  EvalWorkloadOptions options;
+  options.total_activity_rows = 200;
+  options.num_sources = 20;
+  Database db1, db2;
+  TRAC_ASSERT_OK(BuildEvalWorkload(&db1, options).status());
+  TRAC_ASSERT_OK(BuildEvalWorkload(&db2, options).status());
+  auto rs1 = ExecuteSql(db1, "SELECT * FROM heartbeat");
+  auto rs2 = ExecuteSql(db2, "SELECT * FROM heartbeat");
+  ASSERT_TRUE(rs1.ok());
+  ASSERT_TRUE(rs2.ok());
+  EXPECT_EQ(rs1->rows, rs2->rows);
+}
+
+}  // namespace
+}  // namespace trac

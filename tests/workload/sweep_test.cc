@@ -1,0 +1,86 @@
+// Parameterized sweep over evaluation-workload configurations: the
+// query counts and the relevant-source sets have closed forms for this
+// generator, so every (rows, sources) point in the sweep is checked
+// exactly — the same invariants the benchmark harness relies on when it
+// reports overheads per data ratio.
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "core/recency_stats.h"
+#include "core/relevance.h"
+#include "workload/eval_workload.h"
+
+namespace trac {
+namespace {
+
+struct SweepConfig {
+  size_t rows;
+  size_t sources;
+};
+
+class WorkloadSweepTest : public ::testing::TestWithParam<SweepConfig> {};
+
+TEST_P(WorkloadSweepTest, ClosedFormsHoldAcrossTheSweep) {
+  const auto [rows, sources] = GetParam();
+  Database db;
+  EvalWorkloadOptions options;
+  options.total_activity_rows = rows;
+  options.num_sources = sources;
+  TRAC_ASSERT_OK_AND_ASSIGN(EvalWorkload w, BuildEvalWorkload(&db, options));
+  const size_t ratio = rows / sources;
+  const size_t six = std::min<size_t>(6, sources);
+  Snapshot snap = db.LatestSnapshot();
+
+  // Counts: each selected source contributes ratio rows, half idle
+  // (ratio even in all configs here).
+  ASSERT_EQ(ratio % 2, 0u);
+  TRAC_ASSERT_OK_AND_ASSIGN(ResultSet q1, ExecuteSql(db, w.Q1()));
+  EXPECT_EQ(q1.count(), static_cast<int64_t>(six * ratio / 2));
+  TRAC_ASSERT_OK_AND_ASSIGN(ResultSet q2, ExecuteSql(db, w.Q2()));
+  EXPECT_EQ(q2.count(), static_cast<int64_t>(rows / 2));
+  TRAC_ASSERT_OK_AND_ASSIGN(ResultSet q3, ExecuteSql(db, w.Q3()));
+  EXPECT_EQ(q3.count(), q1.count());  // neighbor = self.
+  TRAC_ASSERT_OK_AND_ASSIGN(ResultSet q4, ExecuteSql(db, w.Q4()));
+  EXPECT_EQ(q4.count(), q2.count());
+
+  // Relevance: Q1/Q3 -> exactly the selected six; Q2/Q4 -> everyone.
+  auto relevant = [&](const std::string& sql) {
+    auto bound = BindSql(db, sql);
+    EXPECT_TRUE(bound.ok()) << bound.status();
+    auto rel = ComputeRelevantSources(db, *bound, snap);
+    EXPECT_TRUE(rel.ok()) << rel.status();
+    return rel.ok() ? rel->SourceIds() : std::vector<std::string>{};
+  };
+  std::vector<std::string> expected_six = w.selected_six;
+  std::sort(expected_six.begin(), expected_six.end());
+  EXPECT_EQ(relevant(w.Q1()), expected_six);
+  EXPECT_EQ(relevant(w.Q3()), expected_six);
+  EXPECT_EQ(relevant(w.Q2()).size(), sources);
+  EXPECT_EQ(relevant(w.Q4()).size(), sources);
+
+  // The heartbeat spread bounds the reported inconsistency.
+  TRAC_ASSERT_OK_AND_ASSIGN(BoundQuery q2_bound, BindSql(db, w.Q2()));
+  TRAC_ASSERT_OK_AND_ASSIGN(RelevanceResult rel,
+                            ComputeRelevantSources(db, q2_bound, snap));
+  RecencyStats stats = ComputeRecencyStats(rel.sources);
+  EXPECT_LE(stats.inconsistency_bound_micros,
+            options.heartbeat_spread_micros);
+  EXPECT_TRUE(stats.exceptional.empty());  // No stale sources configured.
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RatioSweep, WorkloadSweepTest,
+    ::testing::Values(SweepConfig{1000, 100}, SweepConfig{1000, 10},
+                      SweepConfig{2000, 500}, SweepConfig{2000, 4},
+                      SweepConfig{5000, 250}, SweepConfig{400, 2},
+                      SweepConfig{1200, 6}, SweepConfig{960, 96}),
+    [](const ::testing::TestParamInfo<SweepConfig>& info) {
+      return "rows" + std::to_string(info.param.rows) + "_sources" +
+             std::to_string(info.param.sources);
+    });
+
+}  // namespace
+}  // namespace trac
