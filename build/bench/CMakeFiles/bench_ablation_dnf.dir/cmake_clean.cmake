@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dnf.dir/bench_ablation_dnf.cc.o"
+  "CMakeFiles/bench_ablation_dnf.dir/bench_ablation_dnf.cc.o.d"
+  "bench_ablation_dnf"
+  "bench_ablation_dnf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dnf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

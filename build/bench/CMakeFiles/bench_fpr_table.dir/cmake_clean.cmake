@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fpr_table.dir/bench_fpr_table.cc.o"
+  "CMakeFiles/bench_fpr_table.dir/bench_fpr_table.cc.o.d"
+  "bench_fpr_table"
+  "bench_fpr_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fpr_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

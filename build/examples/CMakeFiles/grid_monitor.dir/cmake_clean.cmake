@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_monitor.dir/grid_monitor.cpp.o"
+  "CMakeFiles/grid_monitor.dir/grid_monitor.cpp.o.d"
+  "grid_monitor"
+  "grid_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trac_shell.dir/trac_shell.cpp.o"
+  "CMakeFiles/trac_shell.dir/trac_shell.cpp.o.d"
+  "trac_shell"
+  "trac_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trac_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

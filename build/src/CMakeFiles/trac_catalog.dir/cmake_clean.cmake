@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trac_catalog.dir/catalog/catalog.cc.o"
+  "CMakeFiles/trac_catalog.dir/catalog/catalog.cc.o.d"
+  "CMakeFiles/trac_catalog.dir/catalog/schema.cc.o"
+  "CMakeFiles/trac_catalog.dir/catalog/schema.cc.o.d"
+  "libtrac_catalog.a"
+  "libtrac_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trac_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

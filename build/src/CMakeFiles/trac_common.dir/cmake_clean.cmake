@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trac_common.dir/common/random.cc.o"
+  "CMakeFiles/trac_common.dir/common/random.cc.o.d"
+  "CMakeFiles/trac_common.dir/common/status.cc.o"
+  "CMakeFiles/trac_common.dir/common/status.cc.o.d"
+  "CMakeFiles/trac_common.dir/common/str_util.cc.o"
+  "CMakeFiles/trac_common.dir/common/str_util.cc.o.d"
+  "CMakeFiles/trac_common.dir/common/timestamp.cc.o"
+  "CMakeFiles/trac_common.dir/common/timestamp.cc.o.d"
+  "libtrac_common.a"
+  "libtrac_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trac_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/brute_force.cc" "src/CMakeFiles/trac_core.dir/core/brute_force.cc.o" "gcc" "src/CMakeFiles/trac_core.dir/core/brute_force.cc.o.d"
+  "/root/repo/src/core/heartbeat.cc" "src/CMakeFiles/trac_core.dir/core/heartbeat.cc.o" "gcc" "src/CMakeFiles/trac_core.dir/core/heartbeat.cc.o.d"
+  "/root/repo/src/core/recency_reporter.cc" "src/CMakeFiles/trac_core.dir/core/recency_reporter.cc.o" "gcc" "src/CMakeFiles/trac_core.dir/core/recency_reporter.cc.o.d"
+  "/root/repo/src/core/recency_stats.cc" "src/CMakeFiles/trac_core.dir/core/recency_stats.cc.o" "gcc" "src/CMakeFiles/trac_core.dir/core/recency_stats.cc.o.d"
+  "/root/repo/src/core/relevance.cc" "src/CMakeFiles/trac_core.dir/core/relevance.cc.o" "gcc" "src/CMakeFiles/trac_core.dir/core/relevance.cc.o.d"
+  "/root/repo/src/core/session.cc" "src/CMakeFiles/trac_core.dir/core/session.cc.o" "gcc" "src/CMakeFiles/trac_core.dir/core/session.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/trac_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trac_predicate.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trac_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trac_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trac_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trac_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trac_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trac_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

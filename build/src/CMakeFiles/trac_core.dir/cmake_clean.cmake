@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trac_core.dir/core/brute_force.cc.o"
+  "CMakeFiles/trac_core.dir/core/brute_force.cc.o.d"
+  "CMakeFiles/trac_core.dir/core/heartbeat.cc.o"
+  "CMakeFiles/trac_core.dir/core/heartbeat.cc.o.d"
+  "CMakeFiles/trac_core.dir/core/recency_reporter.cc.o"
+  "CMakeFiles/trac_core.dir/core/recency_reporter.cc.o.d"
+  "CMakeFiles/trac_core.dir/core/recency_stats.cc.o"
+  "CMakeFiles/trac_core.dir/core/recency_stats.cc.o.d"
+  "CMakeFiles/trac_core.dir/core/relevance.cc.o"
+  "CMakeFiles/trac_core.dir/core/relevance.cc.o.d"
+  "CMakeFiles/trac_core.dir/core/session.cc.o"
+  "CMakeFiles/trac_core.dir/core/session.cc.o.d"
+  "libtrac_core.a"
+  "libtrac_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trac_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trac_exec.dir/exec/executor.cc.o"
+  "CMakeFiles/trac_exec.dir/exec/executor.cc.o.d"
+  "CMakeFiles/trac_exec.dir/exec/planner.cc.o"
+  "CMakeFiles/trac_exec.dir/exec/planner.cc.o.d"
+  "CMakeFiles/trac_exec.dir/exec/statement.cc.o"
+  "CMakeFiles/trac_exec.dir/exec/statement.cc.o.d"
+  "libtrac_exec.a"
+  "libtrac_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trac_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

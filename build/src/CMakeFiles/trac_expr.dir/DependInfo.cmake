@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/expr/binder.cc" "src/CMakeFiles/trac_expr.dir/expr/binder.cc.o" "gcc" "src/CMakeFiles/trac_expr.dir/expr/binder.cc.o.d"
+  "/root/repo/src/expr/bound_expr.cc" "src/CMakeFiles/trac_expr.dir/expr/bound_expr.cc.o" "gcc" "src/CMakeFiles/trac_expr.dir/expr/bound_expr.cc.o.d"
+  "/root/repo/src/expr/constraints.cc" "src/CMakeFiles/trac_expr.dir/expr/constraints.cc.o" "gcc" "src/CMakeFiles/trac_expr.dir/expr/constraints.cc.o.d"
+  "/root/repo/src/expr/evaluator.cc" "src/CMakeFiles/trac_expr.dir/expr/evaluator.cc.o" "gcc" "src/CMakeFiles/trac_expr.dir/expr/evaluator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/trac_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trac_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trac_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trac_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trac_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trac_expr.dir/expr/binder.cc.o"
+  "CMakeFiles/trac_expr.dir/expr/binder.cc.o.d"
+  "CMakeFiles/trac_expr.dir/expr/bound_expr.cc.o"
+  "CMakeFiles/trac_expr.dir/expr/bound_expr.cc.o.d"
+  "CMakeFiles/trac_expr.dir/expr/constraints.cc.o"
+  "CMakeFiles/trac_expr.dir/expr/constraints.cc.o.d"
+  "CMakeFiles/trac_expr.dir/expr/evaluator.cc.o"
+  "CMakeFiles/trac_expr.dir/expr/evaluator.cc.o.d"
+  "libtrac_expr.a"
+  "libtrac_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trac_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

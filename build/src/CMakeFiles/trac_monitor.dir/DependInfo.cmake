@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/monitor/data_source.cc" "src/CMakeFiles/trac_monitor.dir/monitor/data_source.cc.o" "gcc" "src/CMakeFiles/trac_monitor.dir/monitor/data_source.cc.o.d"
+  "/root/repo/src/monitor/grid.cc" "src/CMakeFiles/trac_monitor.dir/monitor/grid.cc.o" "gcc" "src/CMakeFiles/trac_monitor.dir/monitor/grid.cc.o.d"
+  "/root/repo/src/monitor/job_scheduler.cc" "src/CMakeFiles/trac_monitor.dir/monitor/job_scheduler.cc.o" "gcc" "src/CMakeFiles/trac_monitor.dir/monitor/job_scheduler.cc.o.d"
+  "/root/repo/src/monitor/log_file.cc" "src/CMakeFiles/trac_monitor.dir/monitor/log_file.cc.o" "gcc" "src/CMakeFiles/trac_monitor.dir/monitor/log_file.cc.o.d"
+  "/root/repo/src/monitor/sim_clock.cc" "src/CMakeFiles/trac_monitor.dir/monitor/sim_clock.cc.o" "gcc" "src/CMakeFiles/trac_monitor.dir/monitor/sim_clock.cc.o.d"
+  "/root/repo/src/monitor/sniffer.cc" "src/CMakeFiles/trac_monitor.dir/monitor/sniffer.cc.o" "gcc" "src/CMakeFiles/trac_monitor.dir/monitor/sniffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/trac_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trac_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trac_predicate.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trac_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trac_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trac_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trac_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trac_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trac_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trac_monitor.dir/monitor/data_source.cc.o"
+  "CMakeFiles/trac_monitor.dir/monitor/data_source.cc.o.d"
+  "CMakeFiles/trac_monitor.dir/monitor/grid.cc.o"
+  "CMakeFiles/trac_monitor.dir/monitor/grid.cc.o.d"
+  "CMakeFiles/trac_monitor.dir/monitor/job_scheduler.cc.o"
+  "CMakeFiles/trac_monitor.dir/monitor/job_scheduler.cc.o.d"
+  "CMakeFiles/trac_monitor.dir/monitor/log_file.cc.o"
+  "CMakeFiles/trac_monitor.dir/monitor/log_file.cc.o.d"
+  "CMakeFiles/trac_monitor.dir/monitor/sim_clock.cc.o"
+  "CMakeFiles/trac_monitor.dir/monitor/sim_clock.cc.o.d"
+  "CMakeFiles/trac_monitor.dir/monitor/sniffer.cc.o"
+  "CMakeFiles/trac_monitor.dir/monitor/sniffer.cc.o.d"
+  "libtrac_monitor.a"
+  "libtrac_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trac_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

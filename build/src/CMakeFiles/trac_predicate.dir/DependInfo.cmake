@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predicate/basic_term.cc" "src/CMakeFiles/trac_predicate.dir/predicate/basic_term.cc.o" "gcc" "src/CMakeFiles/trac_predicate.dir/predicate/basic_term.cc.o.d"
+  "/root/repo/src/predicate/normalize.cc" "src/CMakeFiles/trac_predicate.dir/predicate/normalize.cc.o" "gcc" "src/CMakeFiles/trac_predicate.dir/predicate/normalize.cc.o.d"
+  "/root/repo/src/predicate/satisfiability.cc" "src/CMakeFiles/trac_predicate.dir/predicate/satisfiability.cc.o" "gcc" "src/CMakeFiles/trac_predicate.dir/predicate/satisfiability.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/trac_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trac_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trac_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trac_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trac_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trac_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

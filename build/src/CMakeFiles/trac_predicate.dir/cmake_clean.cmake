@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trac_predicate.dir/predicate/basic_term.cc.o"
+  "CMakeFiles/trac_predicate.dir/predicate/basic_term.cc.o.d"
+  "CMakeFiles/trac_predicate.dir/predicate/normalize.cc.o"
+  "CMakeFiles/trac_predicate.dir/predicate/normalize.cc.o.d"
+  "CMakeFiles/trac_predicate.dir/predicate/satisfiability.cc.o"
+  "CMakeFiles/trac_predicate.dir/predicate/satisfiability.cc.o.d"
+  "libtrac_predicate.a"
+  "libtrac_predicate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trac_predicate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trac_sql.dir/sql/ast.cc.o"
+  "CMakeFiles/trac_sql.dir/sql/ast.cc.o.d"
+  "CMakeFiles/trac_sql.dir/sql/lexer.cc.o"
+  "CMakeFiles/trac_sql.dir/sql/lexer.cc.o.d"
+  "CMakeFiles/trac_sql.dir/sql/parser.cc.o"
+  "CMakeFiles/trac_sql.dir/sql/parser.cc.o.d"
+  "libtrac_sql.a"
+  "libtrac_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trac_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

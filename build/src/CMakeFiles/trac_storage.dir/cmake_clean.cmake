@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trac_storage.dir/storage/database.cc.o"
+  "CMakeFiles/trac_storage.dir/storage/database.cc.o.d"
+  "CMakeFiles/trac_storage.dir/storage/index.cc.o"
+  "CMakeFiles/trac_storage.dir/storage/index.cc.o.d"
+  "CMakeFiles/trac_storage.dir/storage/persist.cc.o"
+  "CMakeFiles/trac_storage.dir/storage/persist.cc.o.d"
+  "CMakeFiles/trac_storage.dir/storage/table.cc.o"
+  "CMakeFiles/trac_storage.dir/storage/table.cc.o.d"
+  "libtrac_storage.a"
+  "libtrac_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trac_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trac_types.dir/types/domain.cc.o"
+  "CMakeFiles/trac_types.dir/types/domain.cc.o.d"
+  "CMakeFiles/trac_types.dir/types/value.cc.o"
+  "CMakeFiles/trac_types.dir/types/value.cc.o.d"
+  "libtrac_types.a"
+  "libtrac_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trac_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtrac_types.a"
+)

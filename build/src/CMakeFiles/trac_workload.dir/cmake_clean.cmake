@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trac_workload.dir/workload/eval_workload.cc.o"
+  "CMakeFiles/trac_workload.dir/workload/eval_workload.cc.o.d"
+  "libtrac_workload.a"
+  "libtrac_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trac_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_timestamp_test.dir/common/timestamp_test.cc.o"
+  "CMakeFiles/common_timestamp_test.dir/common/timestamp_test.cc.o.d"
+  "common_timestamp_test"
+  "common_timestamp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_timestamp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

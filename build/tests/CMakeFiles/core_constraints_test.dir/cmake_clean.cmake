@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_constraints_test.dir/core/constraints_test.cc.o"
+  "CMakeFiles/core_constraints_test.dir/core/constraints_test.cc.o.d"
+  "core_constraints_test"
+  "core_constraints_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_constraints_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_core_misc_test.dir/core/core_misc_test.cc.o"
+  "CMakeFiles/core_core_misc_test.dir/core/core_misc_test.cc.o.d"
+  "core_core_misc_test"
+  "core_core_misc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_core_misc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_relevance_test.dir/core/relevance_test.cc.o"
+  "CMakeFiles/core_relevance_test.dir/core/relevance_test.cc.o.d"
+  "core_relevance_test"
+  "core_relevance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_relevance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

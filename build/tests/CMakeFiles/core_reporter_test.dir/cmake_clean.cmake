@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_reporter_test.dir/core/reporter_test.cc.o"
+  "CMakeFiles/core_reporter_test.dir/core/reporter_test.cc.o.d"
+  "core_reporter_test"
+  "core_reporter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_reporter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_reporting_extras_test.dir/core/reporting_extras_test.cc.o"
+  "CMakeFiles/core_reporting_extras_test.dir/core/reporting_extras_test.cc.o.d"
+  "core_reporting_extras_test"
+  "core_reporting_extras_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_reporting_extras_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

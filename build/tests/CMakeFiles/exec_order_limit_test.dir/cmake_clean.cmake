@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_order_limit_test.dir/exec/order_limit_test.cc.o"
+  "CMakeFiles/exec_order_limit_test.dir/exec/order_limit_test.cc.o.d"
+  "exec_order_limit_test"
+  "exec_order_limit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_order_limit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

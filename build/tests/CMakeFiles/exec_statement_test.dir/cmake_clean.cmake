@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_statement_test.dir/exec/statement_test.cc.o"
+  "CMakeFiles/exec_statement_test.dir/exec/statement_test.cc.o.d"
+  "exec_statement_test"
+  "exec_statement_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_statement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expr_evaluator_test.dir/expr/evaluator_test.cc.o"
+  "CMakeFiles/expr_evaluator_test.dir/expr/evaluator_test.cc.o.d"
+  "expr_evaluator_test"
+  "expr_evaluator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expr_evaluator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_failure_test.dir/monitor/failure_test.cc.o"
+  "CMakeFiles/monitor_failure_test.dir/monitor/failure_test.cc.o.d"
+  "monitor_failure_test"
+  "monitor_failure_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_failure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

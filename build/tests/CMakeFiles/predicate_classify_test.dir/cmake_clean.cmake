@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predicate_classify_test.dir/predicate/classify_test.cc.o"
+  "CMakeFiles/predicate_classify_test.dir/predicate/classify_test.cc.o.d"
+  "predicate_classify_test"
+  "predicate_classify_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predicate_classify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predicate_normalize_test.dir/predicate/normalize_test.cc.o"
+  "CMakeFiles/predicate_normalize_test.dir/predicate/normalize_test.cc.o.d"
+  "predicate_normalize_test"
+  "predicate_normalize_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predicate_normalize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predicate_satisfiability_test.dir/predicate/satisfiability_test.cc.o"
+  "CMakeFiles/predicate_satisfiability_test.dir/predicate/satisfiability_test.cc.o.d"
+  "predicate_satisfiability_test"
+  "predicate_satisfiability_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predicate_satisfiability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

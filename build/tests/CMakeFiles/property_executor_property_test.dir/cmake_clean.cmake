@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_executor_property_test.dir/property/executor_property_test.cc.o"
+  "CMakeFiles/property_executor_property_test.dir/property/executor_property_test.cc.o.d"
+  "property_executor_property_test"
+  "property_executor_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_executor_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

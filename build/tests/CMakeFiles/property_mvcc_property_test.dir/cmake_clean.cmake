@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_mvcc_property_test.dir/property/mvcc_property_test.cc.o"
+  "CMakeFiles/property_mvcc_property_test.dir/property/mvcc_property_test.cc.o.d"
+  "property_mvcc_property_test"
+  "property_mvcc_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_mvcc_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_persist_test.dir/storage/persist_test.cc.o"
+  "CMakeFiles/storage_persist_test.dir/storage/persist_test.cc.o.d"
+  "storage_persist_test"
+  "storage_persist_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_persist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/types_domain_test.dir/types/domain_test.cc.o"
+  "CMakeFiles/types_domain_test.dir/types/domain_test.cc.o.d"
+  "types_domain_test"
+  "types_domain_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/types_domain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
