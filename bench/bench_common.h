@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <string>
@@ -16,6 +17,47 @@
 
 namespace trac {
 namespace bench {
+
+/// Thread count for parallel benchmark variants. Defaults to 4 (the
+/// acceptance configuration of bench_parallel_relevance); overridable
+/// with --threads=N on the command line (see ParseThreadsFlag) or the
+/// TRAC_BENCH_THREADS environment variable.
+inline size_t& BenchThreadsRef() {
+  static size_t threads = [] {
+    const char* env = std::getenv("TRAC_BENCH_THREADS");
+    if (env != nullptr) {
+      long long v = std::atoll(env);
+      if (v >= 1) return static_cast<size_t>(v);
+    }
+    return size_t{4};
+  }();
+  return threads;
+}
+
+inline size_t BenchThreads() { return BenchThreadsRef(); }
+
+/// Consumes a `--threads=N` (or `--threads N`) flag from argv before
+/// benchmark::Initialize sees it (the benchmark library rejects flags it
+/// does not know). Call first thing in main.
+inline void ParseThreadsFlag(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--threads=", 10) == 0) {
+      long long v = std::atoll(arg + 10);
+      if (v >= 1) BenchThreadsRef() = static_cast<size_t>(v);
+      continue;
+    }
+    if (std::strcmp(arg, "--threads") == 0 && i + 1 < *argc) {
+      long long v = std::atoll(argv[i + 1]);
+      if (v >= 1) BenchThreadsRef() = static_cast<size_t>(v);
+      ++i;
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+}
 
 /// Total Activity rows; the paper used 10,000,000. Overridable with
 /// TRAC_BENCH_ROWS (the evaluation's reported quantities are ratios, so

@@ -204,7 +204,8 @@ bench/CMakeFiles/bench_figure1.dir/bench_figure1.cc.o: \
  /usr/include/c++/12/bits/basic_ios.tcc /usr/include/c++/12/ostream \
  /usr/include/c++/12/bits/ostream.tcc \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h \
@@ -230,12 +231,12 @@ bench/CMakeFiles/bench_figure1.dir/bench_figure1.cc.o: \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
  /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/catalog/catalog.h /root/repo/src/catalog/schema.h \
- /root/repo/src/types/domain.h /root/repo/src/types/value.h \
- /usr/include/c++/12/variant /root/repo/src/storage/snapshot.h \
- /root/repo/src/storage/table.h /root/repo/src/storage/index.h \
- /root/repo/src/expr/bound_expr.h /root/repo/src/sql/ast.h \
- /root/repo/src/predicate/normalize.h \
+ /usr/include/c++/12/shared_mutex /root/repo/src/catalog/catalog.h \
+ /root/repo/src/catalog/schema.h /root/repo/src/types/domain.h \
+ /root/repo/src/types/value.h /usr/include/c++/12/variant \
+ /root/repo/src/storage/snapshot.h /root/repo/src/storage/table.h \
+ /root/repo/src/storage/index.h /root/repo/src/expr/bound_expr.h \
+ /root/repo/src/sql/ast.h /root/repo/src/predicate/normalize.h \
  /root/repo/src/predicate/basic_term.h \
  /root/repo/src/predicate/satisfiability.h /root/repo/src/core/session.h \
  /root/repo/src/exec/executor.h /root/repo/src/exec/planner.h \

@@ -160,7 +160,8 @@ bench/CMakeFiles/bench_fpr_table.dir/bench_fpr_table.cc.o: \
  /usr/include/c++/12/bits/basic_ios.tcc /usr/include/c++/12/ostream \
  /usr/include/c++/12/bits/ostream.tcc \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/ext/aligned_buffer.h \
  /usr/include/c++/12/bits/node_handle.h \
@@ -228,13 +229,13 @@ bench/CMakeFiles/bench_fpr_table.dir/bench_fpr_table.cc.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/unique_lock.h /root/repo/src/catalog/catalog.h \
- /usr/include/c++/12/cstddef /root/repo/src/catalog/schema.h \
- /root/repo/src/types/domain.h /root/repo/src/types/value.h \
- /usr/include/c++/12/variant /root/repo/src/storage/snapshot.h \
- /root/repo/src/storage/table.h /root/repo/src/storage/index.h \
- /root/repo/src/expr/bound_expr.h /root/repo/src/sql/ast.h \
- /root/repo/src/predicate/normalize.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/shared_mutex \
+ /root/repo/src/catalog/catalog.h /usr/include/c++/12/cstddef \
+ /root/repo/src/catalog/schema.h /root/repo/src/types/domain.h \
+ /root/repo/src/types/value.h /usr/include/c++/12/variant \
+ /root/repo/src/storage/snapshot.h /root/repo/src/storage/table.h \
+ /root/repo/src/storage/index.h /root/repo/src/expr/bound_expr.h \
+ /root/repo/src/sql/ast.h /root/repo/src/predicate/normalize.h \
  /root/repo/src/predicate/basic_term.h \
  /root/repo/src/predicate/satisfiability.h /root/repo/src/core/session.h \
  /root/repo/src/exec/executor.h /root/repo/src/exec/planner.h \

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parallel_relevance.dir/bench_parallel_relevance.cc.o"
+  "CMakeFiles/bench_parallel_relevance.dir/bench_parallel_relevance.cc.o.d"
+  "bench_parallel_relevance"
+  "bench_parallel_relevance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parallel_relevance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -197,20 +197,20 @@ examples/CMakeFiles/trac_shell.dir/trac_shell.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/iostream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
- /root/repo/src/core/recency_reporter.h /root/repo/src/common/result.h \
+ /root/repo/src/core/recency_reporter.h /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/bits/stl_bvector.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/result.h \
  /usr/include/c++/12/cassert /usr/include/assert.h \
  /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/common/status.h /root/repo/src/core/recency_stats.h \
- /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
- /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/relevance.h \
- /root/repo/src/core/heartbeat.h /root/repo/src/common/timestamp.h \
- /root/repo/src/storage/database.h /usr/include/c++/12/atomic \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /root/repo/src/core/relevance.h /root/repo/src/core/heartbeat.h \
+ /root/repo/src/common/timestamp.h /root/repo/src/storage/database.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/node_handle.h \
@@ -223,12 +223,13 @@ examples/CMakeFiles/trac_shell.dir/trac_shell.cpp.o: \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime \
  /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/bits/unique_lock.h /root/repo/src/catalog/catalog.h \
- /usr/include/c++/12/cstddef /root/repo/src/catalog/schema.h \
- /root/repo/src/types/domain.h /root/repo/src/types/value.h \
- /usr/include/c++/12/variant /root/repo/src/storage/snapshot.h \
- /root/repo/src/storage/table.h /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/shared_mutex \
+ /root/repo/src/catalog/catalog.h /usr/include/c++/12/cstddef \
+ /root/repo/src/catalog/schema.h /root/repo/src/types/domain.h \
+ /root/repo/src/types/value.h /usr/include/c++/12/variant \
+ /root/repo/src/storage/snapshot.h /root/repo/src/storage/table.h \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/storage/index.h \
  /root/repo/src/expr/bound_expr.h /root/repo/src/sql/ast.h \
  /root/repo/src/predicate/normalize.h \

@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/common/random.cc" "src/CMakeFiles/trac_common.dir/common/random.cc.o" "gcc" "src/CMakeFiles/trac_common.dir/common/random.cc.o.d"
   "/root/repo/src/common/status.cc" "src/CMakeFiles/trac_common.dir/common/status.cc.o" "gcc" "src/CMakeFiles/trac_common.dir/common/status.cc.o.d"
   "/root/repo/src/common/str_util.cc" "src/CMakeFiles/trac_common.dir/common/str_util.cc.o" "gcc" "src/CMakeFiles/trac_common.dir/common/str_util.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/trac_common.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/trac_common.dir/common/thread_pool.cc.o.d"
   "/root/repo/src/common/timestamp.cc" "src/CMakeFiles/trac_common.dir/common/timestamp.cc.o" "gcc" "src/CMakeFiles/trac_common.dir/common/timestamp.cc.o.d"
   )
 

@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/trac_common.dir/common/status.cc.o.d"
   "CMakeFiles/trac_common.dir/common/str_util.cc.o"
   "CMakeFiles/trac_common.dir/common/str_util.cc.o.d"
+  "CMakeFiles/trac_common.dir/common/thread_pool.cc.o"
+  "CMakeFiles/trac_common.dir/common/thread_pool.cc.o.d"
   "CMakeFiles/trac_common.dir/common/timestamp.cc.o"
   "CMakeFiles/trac_common.dir/common/timestamp.cc.o.d"
   "libtrac_common.a"

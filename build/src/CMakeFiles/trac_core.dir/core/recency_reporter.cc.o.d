@@ -118,7 +118,11 @@ src/CMakeFiles/trac_core.dir/core/recency_reporter.cc.o: \
  /usr/include/asm-generic/errno.h /usr/include/asm-generic/errno-base.h \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
- /usr/include/c++/12/bits/basic_string.tcc /root/repo/src/common/result.h \
+ /usr/include/c++/12/bits/basic_string.tcc /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_uninitialized.h \
+ /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/bits/stl_bvector.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/result.h \
  /usr/include/c++/12/cassert /usr/include/assert.h \
  /usr/include/c++/12/optional /usr/include/c++/12/exception \
  /usr/include/c++/12/bits/exception_ptr.h \
@@ -159,13 +163,9 @@ src/CMakeFiles/trac_core.dir/core/recency_reporter.cc.o: \
  /usr/include/c++/12/bits/locale_facets.tcc \
  /usr/include/c++/12/bits/basic_ios.tcc \
  /usr/include/c++/12/bits/ostream.tcc /root/repo/src/core/recency_stats.h \
- /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_uninitialized.h \
- /usr/include/c++/12/bits/stl_vector.h \
- /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/relevance.h \
- /root/repo/src/core/heartbeat.h /root/repo/src/common/timestamp.h \
- /root/repo/src/storage/database.h /usr/include/c++/12/atomic \
- /usr/include/c++/12/bits/atomic_base.h \
+ /root/repo/src/core/relevance.h /root/repo/src/core/heartbeat.h \
+ /root/repo/src/common/timestamp.h /root/repo/src/storage/database.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/atomic_base.h \
  /usr/include/c++/12/bits/atomic_lockfree_defines.h \
  /usr/include/c++/12/bits/atomic_wait.h /usr/include/c++/12/climits \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/limits.h \
@@ -221,12 +221,13 @@ src/CMakeFiles/trac_core.dir/core/recency_reporter.cc.o: \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime \
  /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/bits/unique_lock.h /root/repo/src/catalog/catalog.h \
- /usr/include/c++/12/cstddef /root/repo/src/catalog/schema.h \
- /root/repo/src/types/domain.h /root/repo/src/types/value.h \
- /usr/include/c++/12/variant /root/repo/src/storage/snapshot.h \
- /root/repo/src/storage/table.h /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/shared_mutex \
+ /root/repo/src/catalog/catalog.h /usr/include/c++/12/cstddef \
+ /root/repo/src/catalog/schema.h /root/repo/src/types/domain.h \
+ /root/repo/src/types/value.h /usr/include/c++/12/variant \
+ /root/repo/src/storage/snapshot.h /root/repo/src/storage/table.h \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/storage/index.h \
  /root/repo/src/expr/bound_expr.h /root/repo/src/sql/ast.h \
  /root/repo/src/predicate/normalize.h \

@@ -220,12 +220,13 @@ src/CMakeFiles/trac_core.dir/core/relevance.cc.o: \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime \
  /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/bits/unique_lock.h /root/repo/src/catalog/catalog.h \
- /usr/include/c++/12/cstddef /root/repo/src/catalog/schema.h \
- /root/repo/src/types/domain.h /root/repo/src/types/value.h \
- /usr/include/c++/12/variant /root/repo/src/storage/snapshot.h \
- /root/repo/src/storage/table.h /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/shared_mutex \
+ /root/repo/src/catalog/catalog.h /usr/include/c++/12/cstddef \
+ /root/repo/src/catalog/schema.h /root/repo/src/types/domain.h \
+ /root/repo/src/types/value.h /usr/include/c++/12/variant \
+ /root/repo/src/storage/snapshot.h /root/repo/src/storage/table.h \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/storage/index.h \
  /root/repo/src/expr/bound_expr.h /root/repo/src/sql/ast.h \
  /root/repo/src/predicate/normalize.h \
@@ -234,5 +235,16 @@ src/CMakeFiles/trac_core.dir/core/relevance.cc.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/common/str_util.h /root/repo/src/exec/executor.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/str_util.h \
+ /root/repo/src/common/thread_pool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/thread /root/repo/src/exec/executor.h \
  /root/repo/src/exec/planner.h /root/repo/src/expr/constraints.h

@@ -221,10 +221,11 @@ src/CMakeFiles/trac_monitor.dir/monitor/grid.cc.o: \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime \
  /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/bits/unique_lock.h /root/repo/src/catalog/catalog.h \
- /usr/include/c++/12/cstddef /root/repo/src/catalog/schema.h \
- /root/repo/src/types/domain.h /root/repo/src/types/value.h \
- /usr/include/c++/12/variant /root/repo/src/storage/snapshot.h \
- /root/repo/src/storage/table.h /root/repo/src/storage/index.h \
- /root/repo/src/monitor/data_source.h /root/repo/src/monitor/log_file.h \
- /root/repo/src/monitor/sim_clock.h /root/repo/src/monitor/sniffer.h
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/shared_mutex \
+ /root/repo/src/catalog/catalog.h /usr/include/c++/12/cstddef \
+ /root/repo/src/catalog/schema.h /root/repo/src/types/domain.h \
+ /root/repo/src/types/value.h /usr/include/c++/12/variant \
+ /root/repo/src/storage/snapshot.h /root/repo/src/storage/table.h \
+ /root/repo/src/storage/index.h /root/repo/src/monitor/data_source.h \
+ /root/repo/src/monitor/log_file.h /root/repo/src/monitor/sim_clock.h \
+ /root/repo/src/monitor/sniffer.h

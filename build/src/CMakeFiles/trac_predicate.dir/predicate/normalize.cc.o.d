@@ -217,15 +217,15 @@ src/CMakeFiles/trac_predicate.dir/predicate/normalize.cc.o: \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/catalog/catalog.h /usr/include/c++/12/cstddef \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/catalog/schema.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/shared_mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/catalog/schema.h \
  /root/repo/src/types/domain.h /root/repo/src/types/value.h \
- /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/common/timestamp.h /root/repo/src/sql/ast.h \
- /root/repo/src/storage/database.h /usr/include/c++/12/atomic \
- /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/limits \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/storage/snapshot.h /root/repo/src/storage/table.h \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/variant /root/repo/src/common/timestamp.h \
+ /root/repo/src/sql/ast.h /root/repo/src/storage/database.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/storage/snapshot.h \
+ /root/repo/src/storage/table.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/storage/index.h

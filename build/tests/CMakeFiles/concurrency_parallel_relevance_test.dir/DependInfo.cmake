@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/concurrency/parallel_relevance_test.cc" "tests/CMakeFiles/concurrency_parallel_relevance_test.dir/concurrency/parallel_relevance_test.cc.o" "gcc" "tests/CMakeFiles/concurrency_parallel_relevance_test.dir/concurrency/parallel_relevance_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/trac_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trac_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trac_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trac_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trac_predicate.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trac_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trac_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trac_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trac_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trac_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/trac_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrency_parallel_relevance_test.dir/concurrency/parallel_relevance_test.cc.o"
+  "CMakeFiles/concurrency_parallel_relevance_test.dir/concurrency/parallel_relevance_test.cc.o.d"
+  "concurrency_parallel_relevance_test"
+  "concurrency_parallel_relevance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrency_parallel_relevance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrency_snapshot_isolation_stress_test.dir/concurrency/snapshot_isolation_stress_test.cc.o"
+  "CMakeFiles/concurrency_snapshot_isolation_stress_test.dir/concurrency/snapshot_isolation_stress_test.cc.o.d"
+  "concurrency_snapshot_isolation_stress_test"
+  "concurrency_snapshot_isolation_stress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrency_snapshot_isolation_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrency_temp_table_naming_test.dir/concurrency/temp_table_naming_test.cc.o"
+  "CMakeFiles/concurrency_temp_table_naming_test.dir/concurrency/temp_table_naming_test.cc.o.d"
+  "concurrency_temp_table_naming_test"
+  "concurrency_temp_table_naming_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrency_temp_table_naming_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -299,12 +299,13 @@ tests/CMakeFiles/exec_aggregate_test.dir/exec/aggregate_test.cc.o: \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/bits/unique_lock.h /root/repo/src/catalog/catalog.h \
- /root/repo/src/catalog/schema.h /root/repo/src/types/domain.h \
- /root/repo/src/types/value.h /root/repo/src/storage/snapshot.h \
- /root/repo/src/storage/table.h /root/repo/src/storage/index.h \
- /root/repo/src/core/relevance.h /root/repo/src/expr/bound_expr.h \
- /root/repo/src/sql/ast.h /root/repo/src/predicate/normalize.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/shared_mutex \
+ /root/repo/src/catalog/catalog.h /root/repo/src/catalog/schema.h \
+ /root/repo/src/types/domain.h /root/repo/src/types/value.h \
+ /root/repo/src/storage/snapshot.h /root/repo/src/storage/table.h \
+ /root/repo/src/storage/index.h /root/repo/src/core/relevance.h \
+ /root/repo/src/expr/bound_expr.h /root/repo/src/sql/ast.h \
+ /root/repo/src/predicate/normalize.h \
  /root/repo/src/predicate/basic_term.h \
  /root/repo/src/predicate/satisfiability.h /root/repo/src/exec/executor.h \
  /root/repo/src/exec/planner.h /root/repo/src/expr/binder.h \

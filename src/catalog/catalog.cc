@@ -1,5 +1,7 @@
 #include "catalog/catalog.h"
 
+#include <mutex>
+
 #include "common/str_util.h"
 
 namespace trac {
@@ -8,7 +10,8 @@ Result<TableId> Catalog::CreateTable(TableSchema schema) {
   if (schema.name().empty()) {
     return Status::InvalidArgument("table name must be non-empty");
   }
-  if (HasTable(schema.name())) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (GetTableIdLocked(schema.name()).ok()) {
     return Status::AlreadyExists("table '" + schema.name() +
                                  "' already exists");
   }
@@ -16,22 +19,30 @@ Result<TableId> Catalog::CreateTable(TableSchema schema) {
   return entries_.size() - 1;
 }
 
-Result<TableId> Catalog::GetTableId(std::string_view name) const {
+Result<TableId> Catalog::GetTableIdLocked(std::string_view name) const {
   for (size_t i = 0; i < entries_.size(); ++i) {
-    if (entries_[i].live && EqualsIgnoreCaseAscii(entries_[i].schema.name(), name)) {
+    if (entries_[i].live &&
+        EqualsIgnoreCaseAscii(entries_[i].schema.name(), name)) {
       return i;
     }
   }
   return Status::NotFound("no table named '" + std::string(name) + "'");
 }
 
+Result<TableId> Catalog::GetTableId(std::string_view name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return GetTableIdLocked(name);
+}
+
 Status Catalog::DropTable(std::string_view name) {
-  TRAC_ASSIGN_OR_RETURN(TableId id, GetTableId(name));
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  TRAC_ASSIGN_OR_RETURN(TableId id, GetTableIdLocked(name));
   entries_[id].live = false;
   return Status::OK();
 }
 
 std::vector<std::string> Catalog::TableNames() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<std::string> names;
   for (const Entry& e : entries_) {
     if (e.live) names.push_back(e.schema.name());

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <deque>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -19,6 +20,14 @@ using TableId = size_t;
 /// Name -> schema mapping. The Catalog owns schemas only; row storage
 /// lives in storage::Table objects held by the Database, keyed by the
 /// same TableId. Lookups are case-insensitive, matching the SQL layer.
+///
+/// Concurrency: lookups (GetTableId, IsLive, schema, TableNames) may run
+/// concurrently with each other and with CreateTable/DropTable — a
+/// reader/writer lock guards the entry list, and entries live in a deque
+/// so the TableSchema& returned by schema() stays valid across later
+/// creations. Mutating a schema in place (mutable_schema, e.g. to add a
+/// CHECK constraint) is a setup-time operation: it must be quiesced
+/// against concurrent readers of that same schema.
 class Catalog {
  public:
   Catalog() = default;
@@ -35,28 +44,43 @@ class Catalog {
     return GetTableId(name).ok();
   }
 
-  /// Schema access by id. The id must be live (not dropped).
-  const TableSchema& schema(TableId id) const { return entries_[id].schema; }
-  TableSchema& mutable_schema(TableId id) { return entries_[id].schema; }
+  /// Schema access by id. The id must be live (not dropped). The
+  /// returned reference is stable for the Catalog's lifetime.
+  const TableSchema& schema(TableId id) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return entries_[id].schema;
+  }
+  TableSchema& mutable_schema(TableId id) {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return entries_[id].schema;
+  }
 
   /// Drops `name`. The TableId becomes invalid. NotFound if absent.
   Status DropTable(std::string_view name);
 
   bool IsLive(TableId id) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
     return id < entries_.size() && entries_[id].live;
   }
 
   /// Number of ids ever allocated (live + dropped); ids are < this.
-  size_t NumIds() const { return entries_.size(); }
+  size_t NumIds() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return entries_.size();
+  }
 
   /// Names of all live tables, in creation order.
   std::vector<std::string> TableNames() const;
 
  private:
+  /// Lookup without locking; callers hold mu_.
+  Result<TableId> GetTableIdLocked(std::string_view name) const;
+
   struct Entry {
     TableSchema schema;
     bool live = true;
   };
+  mutable std::shared_mutex mu_;
   // Deque: schema references stay valid across CreateTable (Table objects
   // point at their catalog schema).
   std::deque<Entry> entries_;

@@ -1,0 +1,108 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace trac {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t n = std::max<size_t>(1, num_threads);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      // Drain the queue even when stopping: destructor semantics are
+      // "finish everything already submitted, then exit".
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* shared = new ThreadPool(
+      std::max<size_t>(4, std::thread::hardware_concurrency()));
+  return *shared;
+}
+
+void RunOnPool(ThreadPool* pool, size_t parallelism,
+               const std::vector<std::function<void()>>& tasks) {
+  if (tasks.empty()) return;
+  if (pool == nullptr || parallelism <= 1 || tasks.size() == 1) {
+    for (const auto& task : tasks) task();
+    return;
+  }
+
+  // Work-stealing by shared counter: each strand claims the next
+  // unclaimed task index until none remain. The state block is
+  // heap-allocated and shared so the helpers stay valid even though the
+  // caller only returns after `done` reaches tasks.size() (it always
+  // does: every claimed index is executed).
+  struct State {
+    const std::vector<std::function<void()>>* tasks;
+    size_t n;  ///< Copied: `tasks` must not be dereferenced after the
+               ///< caller returns, but stragglers still read the count.
+    std::atomic<size_t> next{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t done = 0;
+  };
+  auto state = std::make_shared<State>();
+  state->tasks = &tasks;
+  state->n = tasks.size();
+
+  auto drain = [](const std::shared_ptr<State>& s) {
+    const size_t n = s->n;
+    size_t executed = 0;
+    for (;;) {
+      const size_t i = s->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      (*s->tasks)[i]();
+      ++executed;
+    }
+    if (executed != 0) {
+      std::lock_guard<std::mutex> lock(s->mu);
+      s->done += executed;
+      if (s->done == n) s->cv.notify_all();
+    }
+  };
+
+  const size_t helpers =
+      std::min(parallelism - 1, tasks.size() - 1);
+  for (size_t i = 0; i < helpers; ++i) {
+    pool->Submit([state, drain] { drain(state); });
+  }
+  drain(state);
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] { return state->done == state->n; });
+}
+
+}  // namespace trac

@@ -1,0 +1,72 @@
+#ifndef TRAC_COMMON_THREAD_POOL_H_
+#define TRAC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace trac {
+
+/// A fixed-size worker pool executing submitted tasks FIFO.
+///
+/// The pool exists so the relevance/reporting layer can fan the
+/// per-source recency queries of one report out across cores (they are
+/// independent reads of one MVCC Snapshot, so they parallelize without
+/// any shared mutable state — see DESIGN.md "Threading model").
+///
+/// Thread-safety: Submit may be called from any thread, including from
+/// inside a task. The destructor drains already-submitted tasks and
+/// joins the workers; it must not be called from a worker thread.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least one).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues `task` for execution by some worker. Never blocks on task
+  /// completion.
+  void Submit(std::function<void()> task);
+
+  /// The process-wide shared pool used by default when a caller asks for
+  /// parallelism without supplying its own pool. Sized to the hardware
+  /// (but at least 4 workers, so a `parallelism = 4` request exercises
+  /// real concurrency even where hardware detection reports fewer
+  /// cores). Never destroyed: it must outlive every static-duration
+  /// object that might still submit during shutdown.
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs every task in `tasks`, at most `parallelism` at a time, and
+/// blocks until all have finished. The calling thread always executes
+/// tasks itself (so progress never depends on pool capacity); up to
+/// `parallelism - 1` pool workers help. With `parallelism <= 1` or a
+/// null `pool`, the tasks simply run inline, in order — the serial path
+/// stays byte-identical to a plain loop.
+///
+/// Tasks must not throw. Tasks may use the pool themselves only via
+/// Submit (a nested RunOnPool on the same pool could deadlock if every
+/// worker is blocked waiting).
+void RunOnPool(ThreadPool* pool, size_t parallelism,
+               const std::vector<std::function<void()>>& tasks);
+
+}  // namespace trac
+
+#endif  // TRAC_COMMON_THREAD_POOL_H_

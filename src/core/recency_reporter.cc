@@ -101,11 +101,19 @@ Result<RecencyReport> RecencyReporter::Finish(
                         ExecuteQuery(*db_, user_query, snapshot));
   report.user_query_micros = NowMicros() - t;
 
-  // 2. The recency queries, on the same snapshot.
+  // 2. The recency queries, on the same snapshot, fanned out across
+  // options.relevance.parallelism strands (1 = serial).
   t = NowMicros();
-  TRAC_ASSIGN_OR_RETURN(std::vector<SourceRecency> sources,
-                        ExecuteRecencyQueries(*db_, plan, snapshot));
+  TRAC_ASSIGN_OR_RETURN(
+      RecencyExecution exec,
+      ExecuteRecencyQueriesDetailed(*db_, plan, snapshot, options.relevance));
   report.relevance_exec_micros = NowMicros() - t;
+  std::vector<SourceRecency> sources = std::move(exec.sources);
+  report.relevance_parallelism = exec.parallelism;
+  report.relevance_task_micros = std::move(exec.task_micros);
+  for (int64_t micros : report.relevance_task_micros) {
+    report.relevance_busy_micros += micros;
+  }
 
   report.relevance.sources = sources;
   report.relevance.minimal = plan.minimal;

@@ -3,6 +3,7 @@
 
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/result.h"
 #include "core/recency_stats.h"
@@ -44,9 +45,18 @@ struct RecencyReport {
   /// Timing breakdown in microseconds (the three components measured in
   /// Section 5.2, plus the user query itself).
   int64_t parse_generate_micros = 0;  ///< Parse user SQL + generate plan.
-  int64_t relevance_exec_micros = 0;  ///< Execute the recency queries.
+  int64_t relevance_exec_micros = 0;  ///< Execute the recency queries (wall).
   int64_t stats_micros = 0;           ///< Outlier detection + min/max.
   int64_t user_query_micros = 0;      ///< The user query alone.
+
+  /// Parallel-execution detail, merged from the per-task timings of
+  /// ExecuteRecencyQueriesDetailed. With parallelism 1 there is one task
+  /// per plan part and busy == wall; with fan-out, busy / wall is the
+  /// realized speedup of the relevance-execution component (what
+  /// bench_parallel_relevance reports).
+  size_t relevance_parallelism = 1;        ///< Strands requested.
+  std::vector<int64_t> relevance_task_micros;  ///< Wall time per task.
+  int64_t relevance_busy_micros = 0;       ///< Sum over tasks.
 
   /// Formats the paper's NOTICE block (exceptional table, least/most
   /// recent source, bound of inconsistency, normal table).

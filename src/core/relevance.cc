@@ -1,10 +1,12 @@
 #include "core/relevance.h"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
 #include <map>
 
 #include "common/str_util.h"
+#include "common/thread_pool.h"
 #include "exec/executor.h"
 #include "expr/constraints.h"
 #include "predicate/basic_term.h"
@@ -376,35 +378,177 @@ Result<RecencyQueryPlan> GenerateRecencyQueries(
   return plan;
 }
 
-Result<std::vector<SourceRecency>> ExecuteRecencyQueries(
-    const Database& db, const RecencyQueryPlan& plan, Snapshot snapshot) {
-  std::map<std::string, Timestamp> merged;
+namespace {
+
+int64_t ExecNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Unmerged output of one execution task: (source, recency) pairs in
+/// executor emission order, duplicates allowed (the merge dedups).
+struct RecencyTaskResult {
+  Status status = Status::OK();
+  std::vector<std::pair<std::string, Timestamp>> rows;
+  int64_t micros = 0;
+};
+
+/// Runs one plan part the same way the serial path always has: guards
+/// first (any empty guard kills the part), then the main query.
+void RunPartTask(const Database& db, const RecencyQueryPlan::Part& part,
+                 Snapshot snapshot, RecencyTaskResult* out) {
+  for (const BoundQuery& guard : part.guards) {
+    Result<bool> nonempty = QueryHasResults(db, guard, snapshot);
+    if (!nonempty.ok()) {
+      out->status = nonempty.status();
+      return;
+    }
+    if (!*nonempty) return;
+  }
+  Result<ResultSet> rs = ExecuteQuery(db, part.query, snapshot);
+  if (!rs.ok()) {
+    out->status = rs.status();
+    return;
+  }
+  out->rows.reserve(rs->rows.size());
+  for (const Row& row : rs->rows) {
+    if (row[0].is_null()) continue;
+    out->rows.emplace_back(
+        row[0].str_val(),
+        row[1].is_null() ? Timestamp() : row[1].ts_val());
+  }
+}
+
+/// A part that is nothing but `SELECT DISTINCT source, recency FROM
+/// heartbeat` — the Naive plan, and the Focused part of a conjunct with
+/// no source-column predicate. Such a part can be sharded by version
+/// range instead of being one indivisible task.
+bool IsPureHeartbeatScan(const RecencyQueryPlan::Part& part) {
+  const BoundQuery& q = part.query;
+  return part.guards.empty() && q.relations.size() == 1 &&
+         q.where == nullptr && q.outputs.size() == 2 &&
+         q.outputs[0].ref.rel == 0 && q.outputs[1].ref.rel == 0 &&
+         q.aggregates.empty() && !q.count_star && q.order_by.empty() &&
+         q.limit == 0;
+}
+
+/// One shard of a pure-heartbeat-scan part: version indexes
+/// [begin_idx, end_idx) of the heartbeat table, evaluated directly off
+/// the version log (per-source scan; no predicate, no planner).
+void RunHeartbeatShardTask(const Database& db,
+                           const RecencyQueryPlan::Part& part,
+                           Snapshot snapshot, size_t begin_idx,
+                           size_t end_idx, RecencyTaskResult* out) {
+  const Table* table = db.GetTable(part.query.relations[0].table_id);
+  const size_t src_col = part.query.outputs[0].ref.col;
+  const size_t rec_col = part.query.outputs[1].ref.col;
+  out->rows.reserve(end_idx - begin_idx);
+  table->ScanRange(snapshot, begin_idx, end_idx,
+                   [&](size_t, const Row& row) {
+                     if (row[src_col].is_null()) return;
+                     out->rows.emplace_back(row[src_col].str_val(),
+                                            row[rec_col].is_null()
+                                                ? Timestamp()
+                                                : row[rec_col].ts_val());
+                   });
+}
+
+}  // namespace
+
+Result<RecencyExecution> ExecuteRecencyQueriesDetailed(
+    const Database& db, const RecencyQueryPlan& plan, Snapshot snapshot,
+    const RelevanceOptions& options) {
+  const size_t parallelism = std::max<size_t>(1, options.parallelism);
+
+  // Build the task list. Ranges shard in ascending version order and
+  // tasks merge in list order below, so the merged row stream is a
+  // permutation-free replay of the serial one: identical results at any
+  // parallelism.
+  struct TaskSpec {
+    const RecencyQueryPlan::Part* part;
+    bool shard = false;
+    size_t begin_idx = 0, end_idx = 0;
+  };
+  std::vector<TaskSpec> specs;
   for (const RecencyQueryPlan::Part& part : plan.parts) {
-    bool guards_pass = true;
-    for (const BoundQuery& guard : part.guards) {
-      TRAC_ASSIGN_OR_RETURN(bool nonempty,
-                            QueryHasResults(db, guard, snapshot));
-      if (!nonempty) {
-        guards_pass = false;
-        break;
+    if (IsPureHeartbeatScan(part)) {
+      // Serial execution takes this path too (as a single shard), so a
+      // serial-vs-parallel comparison measures fan-out, never a change
+      // of evaluation strategy.
+      //
+      // num_versions() here covers every version visible at `snapshot`:
+      // the version log's size is release-published before the commit
+      // counter the snapshot was read from (see the Database contract).
+      const Table* table = db.GetTable(part.query.relations[0].table_id);
+      const size_t n = table->num_versions();
+      // A couple of shards per strand evens out visibility-density skew
+      // without drowning tiny tables in task overhead.
+      const size_t max_shards = std::max<size_t>(1, n / 64);
+      const size_t shards =
+          parallelism <= 1 ? 1 : std::min(parallelism * 2, max_shards);
+      const size_t chunk = (n + shards - 1) / shards;
+      for (size_t lo = 0; lo < n || lo == 0; lo += chunk) {
+        specs.push_back(TaskSpec{&part, /*shard=*/true, lo,
+                                 std::min(n, lo + chunk)});
+        if (chunk == 0) break;
       }
-    }
-    if (!guards_pass) continue;
-    TRAC_ASSIGN_OR_RETURN(ResultSet rs,
-                          ExecuteQuery(db, part.query, snapshot));
-    for (const Row& row : rs.rows) {
-      if (row[0].is_null()) continue;
-      merged.emplace(row[0].str_val(), row[1].is_null()
-                                           ? Timestamp()
-                                           : row[1].ts_val());
+    } else {
+      specs.push_back(TaskSpec{&part});
     }
   }
-  std::vector<SourceRecency> out;
-  out.reserve(merged.size());
+
+  // One result slot per task: no shared mutable state between strands —
+  // every task reads the shared immutable plan/snapshot and writes only
+  // its own slot.
+  std::vector<RecencyTaskResult> results(specs.size());
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    tasks.push_back([&db, &specs, &results, snapshot, i] {
+      const TaskSpec& spec = specs[i];
+      RecencyTaskResult* out = &results[i];
+      const int64_t t0 = ExecNowMicros();
+      if (spec.shard) {
+        RunHeartbeatShardTask(db, *spec.part, snapshot, spec.begin_idx,
+                              spec.end_idx, out);
+      } else {
+        RunPartTask(db, *spec.part, snapshot, out);
+      }
+      out->micros = ExecNowMicros() - t0;
+    });
+  }
+
+  ThreadPool* pool =
+      parallelism > 1
+          ? (options.pool != nullptr ? options.pool : &ThreadPool::Shared())
+          : nullptr;
+  RunOnPool(pool, parallelism, tasks);
+
+  RecencyExecution exec;
+  exec.parallelism = parallelism;
+  std::map<std::string, Timestamp> merged;
+  for (const RecencyTaskResult& result : results) {
+    TRAC_RETURN_IF_ERROR(result.status);
+    for (const auto& [source, ts] : result.rows) {
+      merged.emplace(source, ts);
+    }
+    exec.task_micros.push_back(result.micros);
+  }
+  exec.sources.reserve(merged.size());
   for (auto& [source, ts] : merged) {
-    out.push_back(SourceRecency{source, ts});
+    exec.sources.push_back(SourceRecency{source, ts});
   }
-  return out;
+  return exec;
+}
+
+Result<std::vector<SourceRecency>> ExecuteRecencyQueries(
+    const Database& db, const RecencyQueryPlan& plan, Snapshot snapshot,
+    const RelevanceOptions& options) {
+  TRAC_ASSIGN_OR_RETURN(
+      RecencyExecution exec,
+      ExecuteRecencyQueriesDetailed(db, plan, snapshot, options));
+  return std::move(exec.sources);
 }
 
 std::vector<std::string> RelevanceResult::SourceIds() const {
@@ -421,7 +565,7 @@ Result<RelevanceResult> ComputeRelevantSources(const Database& db,
   TRAC_ASSIGN_OR_RETURN(RecencyQueryPlan plan,
                         GenerateRecencyQueries(db, user_query, options));
   TRAC_ASSIGN_OR_RETURN(std::vector<SourceRecency> sources,
-                        ExecuteRecencyQueries(db, plan, snapshot));
+                        ExecuteRecencyQueries(db, plan, snapshot, options));
   RelevanceResult result;
   result.sources = std::move(sources);
   result.minimal = plan.minimal;

@@ -13,11 +13,25 @@
 
 namespace trac {
 
-/// Knobs for recency-query generation.
+class ThreadPool;
+
+/// Knobs for recency-query generation and execution.
 struct RelevanceOptions {
   std::string heartbeat_table = std::string(HeartbeatTable::kDefaultName);
   NormalizeOptions normalize;
   SatOptions sat;
+
+  /// Number of concurrent strands used to execute a plan's recency
+  /// queries (1 = fully serial, the default). The per-part queries are
+  /// independent reads of one Snapshot — embarrassingly parallel — so
+  /// ExecuteRecencyQueries fans them out across `parallelism` strands
+  /// (the calling thread plus pool workers) and merges the partial
+  /// results in deterministic part order: results are byte-identical to
+  /// the serial execution at any parallelism level.
+  size_t parallelism = 1;
+  /// Pool supplying the helper threads; nullptr = ThreadPool::Shared()
+  /// when parallelism > 1. Ignored when parallelism <= 1.
+  ThreadPool* pool = nullptr;
 };
 
 /// The generated recency queries for a user query — one per
@@ -88,9 +102,28 @@ struct SourceRecency {
 };
 
 /// Executes the plan's parts against `snapshot` and unions the results;
-/// output sorted by source id.
+/// output sorted by source id. With options.parallelism > 1 the parts
+/// run as pool tasks against the *same* snapshot; a part that is a pure
+/// Heartbeat scan (the Naive plan, or the recency query of a
+/// non-selective single-relation conjunct) is additionally sharded into
+/// version ranges so even single-part plans fan out. The merged result
+/// is identical to serial execution.
 Result<std::vector<SourceRecency>> ExecuteRecencyQueries(
-    const Database& db, const RecencyQueryPlan& plan, Snapshot snapshot);
+    const Database& db, const RecencyQueryPlan& plan, Snapshot snapshot,
+    const RelevanceOptions& options = RelevanceOptions());
+
+/// ExecuteRecencyQueries plus per-task timing: `task_micros[i]` is the
+/// wall time of task i (serial execution is one task per part), letting
+/// the reporter split the relevance wall time into busy time vs.
+/// fan-out win.
+struct RecencyExecution {
+  std::vector<SourceRecency> sources;
+  std::vector<int64_t> task_micros;
+  size_t parallelism = 1;  ///< Strands actually requested (clamped >= 1).
+};
+Result<RecencyExecution> ExecuteRecencyQueriesDetailed(
+    const Database& db, const RecencyQueryPlan& plan, Snapshot snapshot,
+    const RelevanceOptions& options = RelevanceOptions());
 
 /// The combined answer: A(Q) with its provenance.
 struct RelevanceResult {

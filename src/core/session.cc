@@ -1,14 +1,6 @@
 #include "core/session.h"
 
-#include <atomic>
-
 namespace trac {
-
-namespace {
-// Process-wide counter so temp-table names never collide across
-// sessions sharing one Database.
-std::atomic<uint64_t> g_temp_counter{0};
-}  // namespace
 
 Session::~Session() {
   for (const std::string& name : temp_tables_) {
@@ -19,7 +11,14 @@ Session::~Session() {
 Result<std::string> Session::CreateTempTable(std::string_view prefix,
                                              std::vector<ColumnDef> columns,
                                              std::vector<Row> rows) {
-  const uint64_t n = g_temp_counter.fetch_add(1) + 1000;
+  // The id comes from the Database, not from a process-wide global: a
+  // process hosting several Databases used to burn one shared counter
+  // for all of them, and the global survived Database teardown, making
+  // generated names depend on unrelated history. Per-Database allocation
+  // keeps the contract local: every fetch_add is observed by exactly one
+  // session, so concurrent reporters can never produce the same
+  // sys_temp_a*/sys_temp_e* name on one Database.
+  const uint64_t n = db_->NextTempTableId();
   std::string name = std::string(prefix) + std::to_string(n);
   TableSchema schema(name, std::move(columns));
   TRAC_ASSIGN_OR_RETURN(TableId id, db_->CreateTable(std::move(schema)));

@@ -17,6 +17,15 @@ namespace trac {
 /// session ends, unless the user materializes them first (Section 4.3:
 /// "the user can decide whether to copy it to a permanent table before
 /// the end of a session").
+///
+/// Temp-table naming contract: the numeric suffix is drawn from the
+/// owning Database's atomic allocator (Database::NextTempTableId), so
+/// names are unique across ALL sessions of that Database — two sessions
+/// reporting concurrently from different threads can never collide on a
+/// sys_temp_a*/sys_temp_e* name (regression-tested in
+/// tests/concurrency/temp_table_naming_test.cc). A Session object itself
+/// is confined to one thread at a time: concurrency comes from one
+/// session per thread, all sharing the Database.
 class Session {
  public:
   explicit Session(Database* db) : db_(db) {}

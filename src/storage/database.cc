@@ -5,7 +5,10 @@ namespace trac {
 Result<TableId> Database::CreateTable(TableSchema schema) {
   std::lock_guard<std::mutex> lock(write_mu_);
   TRAC_ASSIGN_OR_RETURN(TableId id, catalog_.CreateTable(std::move(schema)));
-  tables_.push_back(std::make_unique<Table>(id, &catalog_.schema(id)));
+  {
+    std::unique_lock<std::shared_mutex> tables_lock(tables_mu_);
+    tables_.push_back(std::make_unique<Table>(id, &catalog_.schema(id)));
+  }
   return id;
 }
 

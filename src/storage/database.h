@@ -6,6 +6,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string_view>
 
 #include "catalog/catalog.h"
@@ -18,11 +19,47 @@ namespace trac {
 /// The embedded database: a catalog plus MVCC tables plus a monotonically
 /// increasing commit-version counter.
 ///
-/// Concurrency contract: any number of readers may hold Snapshots and
-/// scan concurrently with a single writer; writers are serialized by an
-/// internal mutex. A write becomes visible atomically when the version
-/// counter advances past its commit version — readers that captured
-/// their Snapshot earlier never observe a partially applied write.
+/// ## Concurrency contract (reader/writer memory ordering)
+///
+/// Any number of reader threads may take Snapshots and evaluate queries
+/// concurrently with each other and with writers. Writers (Insert,
+/// InsertMany, UpdateWhere, DeleteWhere, CreateTable, DropTable,
+/// CreateIndex) are serialized by `write_mu_`; there is never more than
+/// one mutation in flight.
+///
+/// Snapshot isolation hangs off a single release/acquire edge on
+/// `version_counter_`:
+///
+///  1. The writer fully applies a commit — constructs row versions,
+///     closes superseded ones (atomic RowVersion::end), updates
+///     secondary indexes — all tagged with commit version c, while the
+///     counter still reads c - 1.
+///  2. It then publishes with `version_counter_.store(c, release)`.
+///  3. A reader's `LatestSnapshot()` does `load(acquire)`. If it reads
+///     >= c, the release/acquire pair makes every write of step 1
+///     visible to that reader; if it reads < c, MVCC visibility checks
+///     (`begin <= snap < end`) reject the half-ordered commit's versions
+///     even when some of its stores happen to be visible early (the
+///     version log publishes row storage with its own release edge, and
+///     RowVersion::end is atomic — see table.h).
+///
+/// Consequences readers may rely on:
+///  - A Snapshot is frozen: scanning it yields the same rows no matter
+///    how much later history accumulates (torn reads are impossible —
+///    rows are immutable after publication).
+///  - Commits are atomic: a snapshot sees all of commit c or none of it.
+///  - Commit order is the counter order, so per-writer program order is
+///    observed as a prefix: if a thread's k-th write is visible, so are
+///    its first k-1.
+///
+/// Out of contract: dropping or re-creating a table concurrently with
+/// readers that still resolve it by name (name lookup and row access are
+/// separate steps; the storage stays alive, but name-based lookups may
+/// spuriously fail mid-drop), and in-place schema mutation (CHECK
+/// constraints) concurrent with binding. Both are setup-time operations.
+/// Creating *new* tables (e.g. session temp tables) concurrently with
+/// readers is supported: the catalog and the table registry are guarded
+/// by reader/writer locks.
 class Database {
  public:
   Database() = default;
@@ -43,8 +80,14 @@ class Database {
     return catalog_.GetTableId(name);
   }
 
-  Table* GetTable(TableId id) { return tables_[id].get(); }
-  const Table* GetTable(TableId id) const { return tables_[id].get(); }
+  Table* GetTable(TableId id) {
+    std::shared_lock<std::shared_mutex> lock(tables_mu_);
+    return tables_[id].get();
+  }
+  const Table* GetTable(TableId id) const {
+    std::shared_lock<std::shared_mutex> lock(tables_mu_);
+    return tables_[id].get();
+  }
 
   /// Read view of everything committed so far.
   Snapshot LatestSnapshot() const {
@@ -70,16 +113,29 @@ class Database {
   Result<int> DeleteWhere(std::string_view table,
                           const std::function<bool(const Row&)>& pred);
 
-  /// Creates an ordered index on `table`.`column`.
+  /// Creates an ordered index on `table`.`column`. Setup-time: must not
+  /// run concurrently with readers of the same table (see table.h).
   Status CreateIndex(std::string_view table, std::string_view column);
+
+  /// Allocates the next id for session temp-table names. Monotonic and
+  /// unique per Database (every allocation is observed by exactly one
+  /// caller), so concurrently reporting sessions never collide — the
+  /// naming contract Session::CreateTempTable documents.
+  uint64_t NextTempTableId() {
+    return temp_name_counter_.fetch_add(1, std::memory_order_relaxed);
+  }
 
  private:
   /// Validates and normalizes `row` in place against `schema`.
   static Status PrepareRow(const TableSchema& schema, Row* row);
 
   Catalog catalog_;
+  /// Guards growth of tables_ (CreateTable) against concurrent GetTable.
+  /// Table pointers themselves are stable for the Database's lifetime.
+  mutable std::shared_mutex tables_mu_;
   std::deque<std::unique_ptr<Table>> tables_;  // Indexed by TableId.
   std::atomic<uint64_t> version_counter_{0};
+  std::atomic<uint64_t> temp_name_counter_{1000};
   std::mutex write_mu_;
 };
 

@@ -3,7 +3,10 @@
 
 #include <cstddef>
 #include <map>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
+#include <vector>
 
 #include "types/value.h"
 
@@ -18,23 +21,48 @@ namespace trac {
 /// MVCC visibility is checked by the caller against each version, so no
 /// entry is ever removed. NULL keys are not indexed (SQL comparisons with
 /// NULL never evaluate to true, so an index scan can never need them).
+///
+/// Concurrency: unlike the version log (whose publication point is the
+/// Database version counter), a freshly inserted index entry is reachable
+/// to concurrent readers immediately, so the underlying map is guarded by
+/// a reader/writer lock — one shared acquisition per scan, one exclusive
+/// acquisition per insert (writers are already serialized by Database).
+/// An entry can therefore be observed before its commit version is
+/// published; the caller's MVCC visibility check then rejects it, which
+/// is the same verdict a pre-insert reader would reach.
+///
+/// Scans capture the matching entry set under the shared lock and invoke
+/// the callback only after releasing it. Entries are never removed, so a
+/// captured version index stays valid forever; holding no lock during
+/// callbacks lets them freely scan tables, other indexes, or re-enter
+/// this one (the executor's nested-loop joins do exactly that), with no
+/// lock-order constraints between indexes.
 class OrderedIndex {
  public:
   explicit OrderedIndex(size_t column) : column_(column) {}
 
   size_t column() const { return column_; }
-  size_t num_entries() const { return map_.size(); }
+  size_t num_entries() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return map_.size();
+  }
 
   void Insert(const Value& key, size_t version_index) {
     if (key.is_null()) return;
+    std::unique_lock<std::shared_mutex> lock(mu_);
     map_.emplace(key, version_index);
   }
 
   /// Calls fn(version_index) for every entry with key == `key`.
   template <typename Fn>
   void ScanEqual(const Value& key, Fn fn) const {
-    auto [lo, hi] = map_.equal_range(key);
-    for (auto it = lo; it != hi; ++it) fn(it->second);
+    std::vector<size_t> matches;
+    {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      auto [lo, hi] = map_.equal_range(key);
+      for (auto it = lo; it != hi; ++it) matches.push_back(it->second);
+    }
+    for (size_t vidx : matches) fn(vidx);
   }
 
   /// Calls fn(version_index) for every entry within the (optionally
@@ -44,26 +72,33 @@ class OrderedIndex {
   void ScanRange(const std::optional<Value>& lo, bool lo_inclusive,
                  const std::optional<Value>& hi, bool hi_inclusive,
                  Fn fn) const {
-    auto it = lo.has_value()
-                  ? (lo_inclusive ? map_.lower_bound(*lo)
-                                  : map_.upper_bound(*lo))
-                  : map_.begin();
-    auto end = hi.has_value()
-                   ? (hi_inclusive ? map_.upper_bound(*hi)
-                                   : map_.lower_bound(*hi))
-                   : map_.end();
-    for (; it != end; ++it) fn(it->second);
+    std::vector<size_t> matches;
+    {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      auto it = lo.has_value()
+                    ? (lo_inclusive ? map_.lower_bound(*lo)
+                                    : map_.upper_bound(*lo))
+                    : map_.begin();
+      auto end = hi.has_value()
+                     ? (hi_inclusive ? map_.upper_bound(*hi)
+                                     : map_.lower_bound(*hi))
+                     : map_.end();
+      for (; it != end; ++it) matches.push_back(it->second);
+    }
+    for (size_t vidx : matches) fn(vidx);
   }
 
   /// Number of entries equal to `key` (visibility not considered); used
   /// by the planner's cardinality heuristic.
   size_t CountEqual(const Value& key) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
     auto [lo, hi] = map_.equal_range(key);
     return static_cast<size_t>(std::distance(lo, hi));
   }
 
  private:
   size_t column_;
+  mutable std::shared_mutex mu_;
   std::multimap<Value, size_t> map_;
 };
 

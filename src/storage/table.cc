@@ -2,22 +2,38 @@
 
 namespace trac {
 
-size_t Table::AppendVersion(Row row, uint64_t begin_version) {
-  const size_t vidx = versions_.size();
-  versions_.push_back(RowVersion{begin_version, RowVersion::kOpenVersion,
-                                 std::move(row)});
-  const Row& stored = versions_.back().values;
-  for (auto& [col, index] : indexes_) {
-    index->Insert(stored[col], vidx);
+Table::~Table() {
+  for (auto& shelf : shelves_) {
+    delete[] shelf.load(std::memory_order_relaxed);
   }
+}
+
+size_t Table::AppendVersion(Row row, uint64_t begin_version) {
+  const size_t vidx = append_size_;
+  const size_t q = (vidx >> kBaseShelfBits) + 1;
+  const size_t shelf = std::bit_width(q) - 1;
+  if (shelves_[shelf].load(std::memory_order_relaxed) == nullptr) {
+    // First version landing on this shelf: allocate it. The store may be
+    // relaxed — readers cannot reach this shelf until published_size_
+    // (released below) covers it.
+    shelves_[shelf].store(new RowVersion[kBaseShelfSize << shelf],
+                          std::memory_order_relaxed);
+  }
+  RowVersion* v = Locate(vidx);
+  v->begin = begin_version;
+  v->end.store(RowVersion::kOpenVersion, std::memory_order_relaxed);
+  v->values = std::move(row);
+  for (auto& [col, index] : indexes_) {
+    index->Insert(v->values[col], vidx);
+  }
+  append_size_ = vidx + 1;
+  published_size_.store(append_size_, std::memory_order_release);
   return vidx;
 }
 
 size_t Table::CountVisible(Snapshot snap) const {
   size_t count = 0;
-  for (const RowVersion& v : versions_) {
-    if (Visible(v, snap)) ++count;
-  }
+  Scan(snap, [&](size_t, const Row&) { ++count; });
   return count;
 }
 
@@ -31,8 +47,9 @@ Status Table::CreateIndex(size_t column) {
                                  schema_->column(column).name + "'");
   }
   auto index = std::make_unique<OrderedIndex>(column);
-  for (size_t i = 0; i < versions_.size(); ++i) {
-    index->Insert(versions_[i].values[column], i);
+  const size_t n = num_versions();
+  for (size_t i = 0; i < n; ++i) {
+    index->Insert(version(i).values[column], i);
   }
   indexes_.emplace(column, std::move(index));
   return Status::OK();

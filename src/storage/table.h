@@ -1,8 +1,10 @@
 #ifndef TRAC_STORAGE_TABLE_H_
 #define TRAC_STORAGE_TABLE_H_
 
+#include <array>
+#include <atomic>
+#include <bit>
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <memory>
 
@@ -17,21 +19,52 @@ namespace trac {
 
 /// One version of one logical row. A version is visible to a snapshot s
 /// iff begin <= s.version and (end == kOpen or end > s.version).
+///
+/// Concurrency: `begin` and `values` are immutable once the version is
+/// published (they are written before the version becomes reachable, see
+/// Table below). `end` is the only field mutated after publication —
+/// updates/deletes close a version long after readers may hold a
+/// reference to it — so it is atomic. A racing reader sees either
+/// kOpenVersion or the closing commit version c; both classify the same
+/// way for every snapshot older than c, and snapshots at or after c
+/// observe the close through the Database version-counter release/acquire
+/// edge (see the Database contract).
 struct RowVersion {
-  uint64_t begin = 0;
-  uint64_t end = 0;  ///< kOpenVersion while the version is current.
-  Row values;
-
   static constexpr uint64_t kOpenVersion = 0;
+
+  uint64_t begin = 0;
+  std::atomic<uint64_t> end{kOpenVersion};
+  Row values;
 };
 
 /// An in-memory, multi-versioned heap table.
 ///
-/// Storage is an append-only deque of RowVersion (a deque so references
-/// stay valid while a writer appends concurrently with readers — the
-/// single-writer/multi-reader contract is enforced by Database). Updates
-/// close the old version and append a new one; deletes just close.
-/// Secondary OrderedIndexes are maintained on append.
+/// Storage is an append-only version log laid out in geometrically
+/// growing shelves (512, 1024, 2048, ... versions). Shelves are never
+/// moved or freed while the table lives, so a published RowVersion has a
+/// stable address forever — readers can hold references across writer
+/// appends, and no append ever relocates existing versions (the property
+/// the previous std::deque gave us, now with race-free growth metadata).
+///
+/// Reader/writer contract (enforced together with Database):
+///  - Exactly one writer at a time (Database serializes all mutations
+///    behind its write mutex).
+///  - The writer fully constructs a version (begin, end, values) and
+///    only then publishes it with a release store of `published_size_`;
+///    readers load `published_size_` with acquire before touching any
+///    version, so they never observe a partially built row.
+///  - Index maintenance happens before publication of the Database
+///    version counter; OrderedIndex additionally guards its internal map
+///    (see index.h) because index entries become reachable to concurrent
+///    readers as soon as they are inserted.
+///  - Updates close the old version via the atomic RowVersion::end.
+/// Under this contract every Scan over a fixed Snapshot is repeatable:
+/// the visible set is fully determined by the snapshot version.
+///
+/// CreateIndex is a schema-changing operation: like table creation it
+/// must be quiesced against concurrent readers of the same table (it
+/// back-fills a fresh index structure readers could otherwise observe
+/// half-built). Runtime appends into existing indexes are safe.
 class Table {
  public:
   /// `schema` must outlive the table; the Database passes a pointer into
@@ -39,6 +72,7 @@ class Table {
   /// post-creation schema changes like AddCheckConstraint are seen
   /// everywhere).
   Table(TableId id, const TableSchema* schema) : id_(id), schema_(schema) {}
+  ~Table();
 
   Table(const Table&) = delete;
   Table& operator=(const Table&) = delete;
@@ -46,30 +80,47 @@ class Table {
   TableId id() const { return id_; }
   const TableSchema& schema() const { return *schema_; }
 
-  size_t num_versions() const { return versions_.size(); }
-  const RowVersion& version(size_t i) const { return versions_[i]; }
+  /// Number of published versions. Acquire-load: every version with
+  /// index < num_versions() is fully constructed and safe to read.
+  size_t num_versions() const {
+    return published_size_.load(std::memory_order_acquire);
+  }
+  const RowVersion& version(size_t i) const { return *Locate(i); }
 
   bool Visible(const RowVersion& v, Snapshot snap) const {
+    const uint64_t end = v.end.load(std::memory_order_acquire);
     return v.begin <= snap.version &&
-           (v.end == RowVersion::kOpenVersion || v.end > snap.version);
+           (end == RowVersion::kOpenVersion || end > snap.version);
   }
 
   /// Appends a new version visible from `begin_version` on. The row must
   /// already be validated/normalized (Database does both). Returns the
-  /// version index. Updates all indexes.
+  /// version index. Updates all indexes. Writer-only (Database mutex).
   size_t AppendVersion(Row row, uint64_t begin_version);
 
   /// Ends the visibility of version `vidx` at `end_version`.
+  /// Writer-only (Database mutex).
   void CloseVersion(size_t vidx, uint64_t end_version) {
-    versions_[vidx].end = end_version;
+    Locate(vidx)->end.store(end_version, std::memory_order_release);
   }
 
   /// Calls fn(version_index, row) for every version visible in `snap`.
   template <typename Fn>
   void Scan(Snapshot snap, Fn fn) const {
-    const size_t n = versions_.size();
-    for (size_t i = 0; i < n; ++i) {
-      const RowVersion& v = versions_[i];
+    ScanRange(snap, 0, num_versions(), fn);
+  }
+
+  /// Scan restricted to version indexes in [begin_idx, end_idx): the
+  /// partitioning hook for parallel readers — disjoint ranges cover
+  /// disjoint versions, and the union over a cover of [0, num_versions())
+  /// equals a full Scan at the same snapshot. `end_idx` is clamped to
+  /// the published size.
+  template <typename Fn>
+  void ScanRange(Snapshot snap, size_t begin_idx, size_t end_idx,
+                 Fn fn) const {
+    const size_t n = std::min(end_idx, num_versions());
+    for (size_t i = begin_idx; i < n; ++i) {
+      const RowVersion& v = *Locate(i);
       if (Visible(v, snap)) fn(i, v.values);
     }
   }
@@ -78,9 +129,9 @@ class Table {
   /// (used for LIMIT/EXISTS evaluation).
   template <typename Fn>
   void ScanWhile(Snapshot snap, Fn fn) const {
-    const size_t n = versions_.size();
+    const size_t n = num_versions();
     for (size_t i = 0; i < n; ++i) {
-      const RowVersion& v = versions_[i];
+      const RowVersion& v = *Locate(i);
       if (Visible(v, snap) && !fn(i, v.values)) return;
     }
   }
@@ -96,9 +147,34 @@ class Table {
   const OrderedIndex* GetIndex(size_t column) const;
 
  private:
+  /// Shelf layout: shelf s holds kBaseShelfSize << s versions, so the
+  /// log grows without ever reallocating. 40 shelves cover > 5 * 10^14
+  /// versions.
+  static constexpr size_t kBaseShelfBits = 9;
+  static constexpr size_t kBaseShelfSize = size_t{1} << kBaseShelfBits;
+  static constexpr size_t kNumShelves = 40;
+
+  /// Maps a version index to its (shelf, offset) slot. Reads the shelf
+  /// pointer with a relaxed load: the pointer store is sequenced before
+  /// the release store of published_size_ that made index `i` valid, so
+  /// the acquire load in num_versions() already ordered it.
+  RowVersion* Locate(size_t i) const {
+    const size_t q = (i >> kBaseShelfBits) + 1;
+    const size_t shelf = std::bit_width(q) - 1;
+    const size_t offset = i - (kBaseShelfSize << shelf) + kBaseShelfSize;
+    return shelves_[shelf].load(std::memory_order_relaxed) + offset;
+  }
+
   TableId id_;
   const TableSchema* schema_;
-  std::deque<RowVersion> versions_;
+
+  std::array<std::atomic<RowVersion*>, kNumShelves> shelves_{};
+  /// Count of fully constructed versions (readers' bound), release-
+  /// published by the single writer after each append.
+  std::atomic<size_t> published_size_{0};
+  /// Writer-private mirror of published_size_ (avoids reloading).
+  size_t append_size_ = 0;
+
   std::map<size_t, std::unique_ptr<OrderedIndex>> indexes_;
 };
 

@@ -1,0 +1,132 @@
+// Regression test for the temp-table naming contract (core/session.h):
+// the sys_temp_a* / sys_temp_e* suffix is allocated from the owning
+// Database's atomic counter, so sessions on different threads reporting
+// concurrently never collide. The original implementation used a
+// process-wide counter — unique too, but shared across unrelated
+// Databases and never reset; the per-Database allocator keeps names
+// unique where it matters and makes the contract testable.
+
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "core/recency_reporter.h"
+#include "core/session.h"
+
+namespace trac {
+namespace {
+
+TEST(TempTableNamingTest, ConcurrentSessionsNeverCollide) {
+  Database db;
+  TableSchema schema("d", {ColumnDef("x", TypeId::kInt64)});
+  TRAC_ASSERT_OK(db.CreateTable(std::move(schema)).status());
+
+  constexpr int kThreads = 8;
+  constexpr int kTablesPerThread = 50;
+
+  std::mutex mu;
+  std::vector<std::string> all_names;
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      Session session(&db);
+      std::vector<std::string> names;
+      for (int i = 0; i < kTablesPerThread; ++i) {
+        auto name = session.CreateTempTable(
+            i % 2 == 0 ? "sys_temp_a" : "sys_temp_e",
+            {ColumnDef("source_id", TypeId::kString)},
+            {{Value::Str("m1")}});
+        if (!name.ok()) {
+          ADD_FAILURE() << name.status().ToString();
+          return;
+        }
+        names.push_back(*name);
+        // The created table must be immediately resolvable and readable
+        // from this thread.
+        auto id = db.FindTable(*name);
+        if (!id.ok()) {
+          ADD_FAILURE() << "created table not resolvable: " << *name;
+          return;
+        }
+        EXPECT_EQ(db.GetTable(*id)->CountVisible(db.LatestSnapshot()), 1u);
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      all_names.insert(all_names.end(), names.begin(), names.end());
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  ASSERT_EQ(all_names.size(),
+            static_cast<size_t>(kThreads) * kTablesPerThread);
+  std::set<std::string> unique(all_names.begin(), all_names.end());
+  EXPECT_EQ(unique.size(), all_names.size())
+      << "temp-table name collision across concurrent sessions";
+}
+
+TEST(TempTableNamingTest, ConcurrentReportersGetDistinctTempTables) {
+  // The user-facing version of the same property: full recency reports
+  // with create_temp_tables on, one session per thread, sharing one
+  // PaperExampleDb. Every report's pair of temp tables is distinct from
+  // every other report's.
+  testing_util::PaperExampleDb env;
+
+  constexpr int kThreads = 4;
+  constexpr int kReportsPerThread = 5;
+
+  std::mutex mu;
+  std::vector<std::string> all_names;
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      Session session(&env.db);
+      RecencyReporter reporter(&env.db, &session);
+      for (int i = 0; i < kReportsPerThread; ++i) {
+        auto report = reporter.Run(
+            "SELECT a.mach_id FROM activity a WHERE a.value = 'idle'");
+        if (!report.ok()) {
+          ADD_FAILURE() << report.status().ToString();
+          return;
+        }
+        EXPECT_FALSE(report->normal_temp_table.empty());
+        EXPECT_FALSE(report->exceptional_temp_table.empty());
+        std::lock_guard<std::mutex> lock(mu);
+        all_names.push_back(report->normal_temp_table);
+        all_names.push_back(report->exceptional_temp_table);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  ASSERT_EQ(all_names.size(),
+            static_cast<size_t>(kThreads) * kReportsPerThread * 2);
+  std::set<std::string> unique(all_names.begin(), all_names.end());
+  EXPECT_EQ(unique.size(), all_names.size());
+}
+
+TEST(TempTableNamingTest, SeparateDatabasesAllocateIndependently) {
+  // With the per-Database allocator, a fresh Database always starts its
+  // suffixes at the same point — names are deterministic per Database,
+  // not dependent on how many temp tables other Databases in the process
+  // made (the failure mode of the old process-global counter).
+  Database db1, db2;
+  Session s1(&db1), s2(&db2);
+  TRAC_ASSERT_OK_AND_ASSIGN(
+      std::string n1,
+      s1.CreateTempTable("sys_temp_a",
+                         {ColumnDef("source_id", TypeId::kString)}, {}));
+  TRAC_ASSERT_OK_AND_ASSIGN(
+      std::string n2,
+      s2.CreateTempTable("sys_temp_a",
+                         {ColumnDef("source_id", TypeId::kString)}, {}));
+  EXPECT_EQ(n1, n2) << "fresh Databases must allocate identically";
+}
+
+}  // namespace
+}  // namespace trac
