@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Runs the full correctness gauntlet (DESIGN.md section 4c):
+#
+#   1. configure + build the default preset,
+#   2. run trac_lint over src/,
+#   3. run the whole ctest suite (which re-runs the linter and its
+#      self-test as test cases),
+#   4. if clang++ is available, build the `tsa` preset so Clang's
+#      thread-safety analysis runs with -Werror=thread-safety.
+#
+# Exits non-zero on the first failure. Run from anywhere.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> configure + build (default preset)"
+cmake --preset default
+cmake --build --preset default -j"$(nproc)"
+
+echo "==> trac_lint src/"
+./build/tools/trac_lint src
+
+echo "==> ctest (default preset)"
+ctest --preset default -j"$(nproc)" --output-on-failure
+
+if command -v clang++ >/dev/null 2>&1; then
+  echo "==> thread-safety analysis build (tsa preset, clang++)"
+  cmake --preset tsa
+  cmake --build --preset tsa -j"$(nproc)"
+else
+  echo "==> clang++ not found; skipping the thread-safety analysis build"
+fi
+
+echo "==> all checks passed"

@@ -1,7 +1,5 @@
 #include "catalog/catalog.h"
 
-#include <mutex>
-
 #include "common/str_util.h"
 
 namespace trac {
@@ -10,7 +8,7 @@ Result<TableId> Catalog::CreateTable(TableSchema schema) {
   if (schema.name().empty()) {
     return Status::InvalidArgument("table name must be non-empty");
   }
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(&mu_);
   if (GetTableIdLocked(schema.name()).ok()) {
     return Status::AlreadyExists("table '" + schema.name() +
                                  "' already exists");
@@ -30,19 +28,19 @@ Result<TableId> Catalog::GetTableIdLocked(std::string_view name) const {
 }
 
 Result<TableId> Catalog::GetTableId(std::string_view name) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   return GetTableIdLocked(name);
 }
 
 Status Catalog::DropTable(std::string_view name) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(&mu_);
   TRAC_ASSIGN_OR_RETURN(TableId id, GetTableIdLocked(name));
   entries_[id].live = false;
   return Status::OK();
 }
 
 std::vector<std::string> Catalog::TableNames() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(&mu_);
   std::vector<std::string> names;
   for (const Entry& e : entries_) {
     if (e.live) names.push_back(e.schema.name());

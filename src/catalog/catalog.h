@@ -3,13 +3,14 @@
 
 #include <cstddef>
 #include <deque>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "catalog/schema.h"
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 
 namespace trac {
 
@@ -35,37 +36,39 @@ class Catalog {
   Catalog& operator=(const Catalog&) = delete;
 
   /// Registers a new table. Fails with AlreadyExists on a name clash.
-  Result<TableId> CreateTable(TableSchema schema);
+  [[nodiscard]] Result<TableId> CreateTable(TableSchema schema);
 
   /// Id for `name`; NotFound if absent or dropped.
-  Result<TableId> GetTableId(std::string_view name) const;
+  [[nodiscard]] Result<TableId> GetTableId(std::string_view name) const;
 
   bool HasTable(std::string_view name) const {
     return GetTableId(name).ok();
   }
 
   /// Schema access by id. The id must be live (not dropped). The
-  /// returned reference is stable for the Catalog's lifetime.
+  /// returned reference is stable for the Catalog's lifetime (entries
+  /// live in a deque and are never erased), which is why handing it out
+  /// past the lock is sound.
   const TableSchema& schema(TableId id) const {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderMutexLock lock(&mu_);
     return entries_[id].schema;
   }
   TableSchema& mutable_schema(TableId id) {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderMutexLock lock(&mu_);
     return entries_[id].schema;
   }
 
   /// Drops `name`. The TableId becomes invalid. NotFound if absent.
-  Status DropTable(std::string_view name);
+  [[nodiscard]] Status DropTable(std::string_view name);
 
   bool IsLive(TableId id) const {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderMutexLock lock(&mu_);
     return id < entries_.size() && entries_[id].live;
   }
 
   /// Number of ids ever allocated (live + dropped); ids are < this.
   size_t NumIds() const {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderMutexLock lock(&mu_);
     return entries_.size();
   }
 
@@ -73,17 +76,18 @@ class Catalog {
   std::vector<std::string> TableNames() const;
 
  private:
-  /// Lookup without locking; callers hold mu_.
-  Result<TableId> GetTableIdLocked(std::string_view name) const;
+  /// Lookup without locking; callers hold mu_ (at least shared).
+  [[nodiscard]] Result<TableId> GetTableIdLocked(std::string_view name) const
+      TRAC_REQUIRES_SHARED(mu_);
 
   struct Entry {
     TableSchema schema;
     bool live = true;
   };
-  mutable std::shared_mutex mu_;
+  mutable SharedMutex mu_{lock_rank::kCatalog, "Catalog::mu_"};
   // Deque: schema references stay valid across CreateTable (Table objects
   // point at their catalog schema).
-  std::deque<Entry> entries_;
+  std::deque<Entry> entries_ TRAC_GUARDED_BY(mu_);
 };
 
 }  // namespace trac

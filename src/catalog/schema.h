@@ -46,7 +46,7 @@ class TableSchema {
 
   /// Designates `column_name` as the data source column. Fails if the
   /// column does not exist.
-  Status SetDataSourceColumn(std::string_view column_name);
+  [[nodiscard]] Status SetDataSourceColumn(std::string_view column_name);
 
   /// Index of the data source column, or nullopt for unmonitored tables.
   std::optional<size_t> data_source_column() const {
@@ -60,7 +60,7 @@ class TableSchema {
 
   /// Validates a row against this schema: arity, per-column type (NULL is
   /// always accepted), and finite-domain membership if declared.
-  Status ValidateRow(const Row& row) const;
+  [[nodiscard]] Status ValidateRow(const Row& row) const;
 
   /// Declares a CHECK-style predicate constraint over this table's
   /// columns, as SQL predicate text (e.g. "mach_id <> neighbor" — the

@@ -1,0 +1,30 @@
+#ifndef TRAC_COMMON_DCHECK_H_
+#define TRAC_COMMON_DCHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Debug invariant checks, compiled in only under TRAC_DEBUG_INVARIANTS
+/// (a CMake option / per-target define; see DESIGN.md "Correctness
+/// tooling"). Unlike assert(), the flag is independent of NDEBUG so a
+/// release-optimized build can still run with invariants armed — the
+/// storage validators in storage/invariants.h are built on this macro.
+///
+/// In disabled builds the condition is parsed but never evaluated (an
+/// unevaluated sizeof), so checks cost nothing yet cannot bit-rot and
+/// variables referenced only by checks do not trigger -Wunused warnings.
+
+#if defined(TRAC_DEBUG_INVARIANTS)
+#define TRAC_DCHECK(cond, msg)                                          \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::fprintf(stderr, "TRAC_DCHECK failed at %s:%d: %s\n  %s\n",   \
+                   __FILE__, __LINE__, #cond, msg);                     \
+      std::abort();                                                     \
+    }                                                                   \
+  } while (false)
+#else
+#define TRAC_DCHECK(cond, msg) ((void)sizeof((cond) ? 1 : 0))
+#endif
+
+#endif  // TRAC_COMMON_DCHECK_H_

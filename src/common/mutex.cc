@@ -1,0 +1,59 @@
+#include "common/mutex.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace trac {
+namespace internal {
+
+namespace {
+
+struct HeldLock {
+  int rank;
+  const char* name;
+};
+
+/// Per-thread stack of ranked locks currently held, in acquisition order.
+/// Function-local so first use from any thread initializes it lazily.
+std::vector<HeldLock>& HeldStack() {
+  thread_local std::vector<HeldLock> held;
+  return held;
+}
+
+}  // namespace
+
+void LockRankAcquired(int rank, const char* name) {
+  if (rank == lock_rank::kUnranked) return;
+  std::vector<HeldLock>& held = HeldStack();
+  for (const HeldLock& h : held) {
+    if (h.rank >= rank) {
+      std::fprintf(
+          stderr,
+          "TRAC lock-order inversion: acquiring '%s' (rank %d) while "
+          "holding '%s' (rank %d); the global order in common/mutex.h "
+          "requires strictly increasing ranks\n",
+          name, rank, h.name, h.rank);
+      std::abort();
+    }
+  }
+  held.push_back(HeldLock{rank, name});
+}
+
+void LockRankReleased(int rank) {
+  if (rank == lock_rank::kUnranked) return;
+  std::vector<HeldLock>& held = HeldStack();
+  // Locks release LIFO under RAII, but tolerate out-of-order release by
+  // removing the most recent matching rank.
+  for (auto it = held.rbegin(); it != held.rend(); ++it) {
+    if (it->rank == rank) {
+      held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+int LockRankHeldDepth() { return static_cast<int>(HeldStack().size()); }
+
+}  // namespace internal
+}  // namespace trac

@@ -42,32 +42,32 @@ class Status {
   Status(Status&&) noexcept = default;
   Status& operator=(Status&&) noexcept = default;
 
-  static Status OK() { return Status(); }
-  static Status InvalidArgument(std::string msg) {
+  [[nodiscard]] static Status OK() { return Status(); }
+  [[nodiscard]] static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status NotFound(std::string msg) {
+  [[nodiscard]] static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
-  static Status AlreadyExists(std::string msg) {
+  [[nodiscard]] static Status AlreadyExists(std::string msg) {
     return Status(StatusCode::kAlreadyExists, std::move(msg));
   }
-  static Status ParseError(std::string msg) {
+  [[nodiscard]] static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
   }
-  static Status BindError(std::string msg) {
+  [[nodiscard]] static Status BindError(std::string msg) {
     return Status(StatusCode::kBindError, std::move(msg));
   }
-  static Status TypeError(std::string msg) {
+  [[nodiscard]] static Status TypeError(std::string msg) {
     return Status(StatusCode::kTypeError, std::move(msg));
   }
-  static Status Unsupported(std::string msg) {
+  [[nodiscard]] static Status Unsupported(std::string msg) {
     return Status(StatusCode::kUnsupported, std::move(msg));
   }
-  static Status ResourceExhausted(std::string msg) {
+  [[nodiscard]] static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
-  static Status Internal(std::string msg) {
+  [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
 

@@ -1,0 +1,87 @@
+#ifndef TRAC_COMMON_THREAD_ANNOTATIONS_H_
+#define TRAC_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis annotations (Abseil-style).
+///
+/// These macros attach compile-time locking contracts to mutexes, guarded
+/// fields and locking functions. Under Clang the `tsa` CMake preset turns
+/// the analysis into hard errors (`-Werror=thread-safety`), so the
+/// reader/writer discipline documented in storage/database.h is checked on
+/// every build instead of living only in comments and TSan runs. Under
+/// GCC (and any compiler without the attribute) every macro expands to
+/// nothing, so the default build is unaffected.
+///
+/// Usage conventions in this codebase:
+///  - Mutex members are trac::Mutex / trac::SharedMutex (common/mutex.h),
+///    never raw std::mutex / std::shared_mutex — enforced by trac_lint.
+///  - Data members protected by a mutex carry TRAC_GUARDED_BY(mu_).
+///  - Private *Locked() helpers carry TRAC_REQUIRES(mu_) (exclusive) or
+///    TRAC_REQUIRES_SHARED(mu_).
+///  - Public writer entry points carry TRAC_EXCLUDES(mu_) where
+///    re-entrant acquisition would self-deadlock.
+
+#if defined(__clang__) && !defined(SWIG)
+#define TRAC_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define TRAC_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+/// Marks a class as a lockable capability ("mutex" / "shared_mutex").
+#define TRAC_CAPABILITY(x) TRAC_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases
+/// a capability.
+#define TRAC_SCOPED_CAPABILITY TRAC_THREAD_ANNOTATION_(scoped_lockable)
+
+/// The annotated data member may only be accessed while holding `x`.
+#define TRAC_GUARDED_BY(x) TRAC_THREAD_ANNOTATION_(guarded_by(x))
+
+/// The annotated pointer member may be read freely, but the pointed-to
+/// data may only be accessed while holding `x`.
+#define TRAC_PT_GUARDED_BY(x) TRAC_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Callers must hold the listed capabilities exclusively (not acquired by
+/// the function itself).
+#define TRAC_REQUIRES(...) \
+  TRAC_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Callers must hold the listed capabilities at least in shared mode.
+#define TRAC_REQUIRES_SHARED(...) \
+  TRAC_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the listed capabilities exclusively and does not
+/// release them before returning.
+#define TRAC_ACQUIRE(...) \
+  TRAC_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Shared-mode variant of TRAC_ACQUIRE.
+#define TRAC_ACQUIRE_SHARED(...) \
+  TRAC_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases the listed capabilities (exclusive or shared).
+#define TRAC_RELEASE(...) \
+  TRAC_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Shared-mode variant of TRAC_RELEASE.
+#define TRAC_RELEASE_SHARED(...) \
+  TRAC_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns `val`.
+#define TRAC_TRY_ACQUIRE(val, ...) \
+  TRAC_THREAD_ANNOTATION_(try_acquire_capability(val, __VA_ARGS__))
+
+/// Callers must NOT hold the listed capabilities (anti-deadlock: the
+/// function acquires them itself).
+#define TRAC_EXCLUDES(...) \
+  TRAC_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// The function returns a reference to the named capability.
+#define TRAC_RETURN_CAPABILITY(x) \
+  TRAC_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: disables analysis for one function. Use only where the
+/// locking pattern is provably safe but inexpressible (and say why).
+#define TRAC_NO_THREAD_SAFETY_ANALYSIS \
+  TRAC_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // TRAC_COMMON_THREAD_ANNOTATIONS_H_

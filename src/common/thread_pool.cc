@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 
 namespace trac {
 
@@ -15,27 +16,27 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!stop_ && queue_.empty()) cv_.Wait(mu_);
       // Drain the queue even when stopping: destructor semantics are
       // "finish everything already submitted, then exit".
       if (queue_.empty()) return;
@@ -70,9 +71,11 @@ void RunOnPool(ThreadPool* pool, size_t parallelism,
     size_t n;  ///< Copied: `tasks` must not be dereferenced after the
                ///< caller returns, but stragglers still read the count.
     std::atomic<size_t> next{0};
-    std::mutex mu;
-    std::condition_variable cv;
-    size_t done = 0;
+    // Unranked leaf lock: held only for the done-counter update, never
+    // while a task runs or another lock is taken.
+    Mutex mu;
+    CondVar cv;
+    size_t done TRAC_GUARDED_BY(mu) = 0;
   };
   auto state = std::make_shared<State>();
   state->tasks = &tasks;
@@ -88,9 +91,9 @@ void RunOnPool(ThreadPool* pool, size_t parallelism,
       ++executed;
     }
     if (executed != 0) {
-      std::lock_guard<std::mutex> lock(s->mu);
+      MutexLock lock(&s->mu);
       s->done += executed;
-      if (s->done == n) s->cv.notify_all();
+      if (s->done == n) s->cv.NotifyAll();
     }
   };
 
@@ -101,8 +104,8 @@ void RunOnPool(ThreadPool* pool, size_t parallelism,
   }
   drain(state);
 
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->cv.wait(lock, [&] { return state->done == state->n; });
+  MutexLock lock(&state->mu);
+  while (state->done != state->n) state->cv.Wait(state->mu);
 }
 
 }  // namespace trac

@@ -1,13 +1,14 @@
 #ifndef TRAC_COMMON_THREAD_POOL_H_
 #define TRAC_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace trac {
 
@@ -21,6 +22,8 @@ namespace trac {
 /// Thread-safety: Submit may be called from any thread, including from
 /// inside a task. The destructor drains already-submitted tasks and
 /// joins the workers; it must not be called from a worker thread.
+/// `mu_` is a leaf lock (lock_rank::kThreadPool): it is never held while
+/// a task runs, so tasks may freely take storage/catalog locks.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (at least one).
@@ -34,7 +37,7 @@ class ThreadPool {
 
   /// Enqueues `task` for execution by some worker. Never blocks on task
   /// completion.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) TRAC_EXCLUDES(mu_);
 
   /// The process-wide shared pool used by default when a caller asks for
   /// parallelism without supplying its own pool. Sized to the hardware
@@ -45,12 +48,12 @@ class ThreadPool {
   static ThreadPool& Shared();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() TRAC_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
+  Mutex mu_{lock_rank::kThreadPool, "ThreadPool::mu_"};
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ TRAC_GUARDED_BY(mu_);
+  bool stop_ TRAC_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -29,7 +29,7 @@ class Timestamp {
 
   /// Parses "YYYY-MM-DD HH:MM:SS" with an optional ".ffffff" fractional
   /// part. The input is interpreted as UTC.
-  static Result<Timestamp> Parse(std::string_view text);
+  [[nodiscard]] static Result<Timestamp> Parse(std::string_view text);
 
   constexpr int64_t micros() const { return micros_; }
   constexpr int64_t seconds() const { return micros_ / kMicrosPerSecond; }

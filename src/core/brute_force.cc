@@ -37,7 +37,7 @@ bool ForEachCombination(
 
 }  // namespace
 
-Result<std::vector<std::string>> BruteForceRelevantSources(
+[[nodiscard]] Result<std::vector<std::string>> BruteForceRelevantSources(
     const Database& db, const BoundQuery& query, Snapshot snapshot,
     const BruteForceOptions& options) {
   const size_t num_rels = query.relations.size();

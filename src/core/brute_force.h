@@ -30,7 +30,7 @@ struct BruteForceOptions {
 /// schema); fails with Unsupported otherwise.
 ///
 /// Returns the sorted set of relevant source ids.
-Result<std::vector<std::string>> BruteForceRelevantSources(
+[[nodiscard]] Result<std::vector<std::string>> BruteForceRelevantSources(
     const Database& db, const BoundQuery& query, Snapshot snapshot,
     const BruteForceOptions& options = BruteForceOptions());
 

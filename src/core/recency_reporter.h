@@ -75,23 +75,23 @@ class RecencyReporter {
       : db_(db), session_(session) {}
 
   /// Parse + bind + report.
-  Result<RecencyReport> Run(
+  [[nodiscard]] Result<RecencyReport> Run(
       std::string_view user_sql,
       const RecencyReportOptions& options = RecencyReportOptions());
 
   /// Report for an already-bound user query (no parse cost).
-  Result<RecencyReport> RunBound(
+  [[nodiscard]] Result<RecencyReport> RunBound(
       const BoundQuery& user_query,
       const RecencyReportOptions& options = RecencyReportOptions());
 
   /// The hardcoded-recency-query configuration: the caller supplies a
   /// pre-generated plan, so the report pays no parse/generate cost.
-  Result<RecencyReport> RunWithPlan(
+  [[nodiscard]] Result<RecencyReport> RunWithPlan(
       const BoundQuery& user_query, const RecencyQueryPlan& plan,
       const RecencyReportOptions& options = RecencyReportOptions());
 
  private:
-  Result<RecencyReport> Finish(const BoundQuery& user_query,
+  [[nodiscard]] Result<RecencyReport> Finish(const BoundQuery& user_query,
                                const RecencyQueryPlan& plan,
                                Snapshot snapshot,
                                const RecencyReportOptions& options,

@@ -22,7 +22,7 @@ struct HeartbeatInfo {
   std::string name;
 };
 
-Result<HeartbeatInfo> ResolveHeartbeat(const Database& db,
+[[nodiscard]] Result<HeartbeatInfo> ResolveHeartbeat(const Database& db,
                                        const RelevanceOptions& options) {
   TRAC_ASSIGN_OR_RETURN(TableId id, db.FindTable(options.heartbeat_table));
   const TableSchema& schema = db.catalog().schema(id);
@@ -174,7 +174,7 @@ void SplitPartIntoGuards(const Database& db, RecencyQueryPlan::Part* part,
 
 }  // namespace
 
-Result<RecencyQueryPlan> GenerateNaivePlan(const Database& db,
+[[nodiscard]] Result<RecencyQueryPlan> GenerateNaivePlan(const Database& db,
                                            const RelevanceOptions& options) {
   TRAC_ASSIGN_OR_RETURN(HeartbeatInfo hb, ResolveHeartbeat(db, options));
   RecencyQueryPlan plan;
@@ -188,7 +188,7 @@ Result<RecencyQueryPlan> GenerateNaivePlan(const Database& db,
   return plan;
 }
 
-Result<RecencyQueryPlan> GenerateRecencyQueries(
+[[nodiscard]] Result<RecencyQueryPlan> GenerateRecencyQueries(
     const Database& db, const BoundQuery& user_query,
     const RelevanceOptions& options) {
   TRAC_ASSIGN_OR_RETURN(HeartbeatInfo hb, ResolveHeartbeat(db, options));
@@ -456,7 +456,7 @@ void RunHeartbeatShardTask(const Database& db,
 
 }  // namespace
 
-Result<RecencyExecution> ExecuteRecencyQueriesDetailed(
+[[nodiscard]] Result<RecencyExecution> ExecuteRecencyQueriesDetailed(
     const Database& db, const RecencyQueryPlan& plan, Snapshot snapshot,
     const RelevanceOptions& options) {
   const size_t parallelism = std::max<size_t>(1, options.parallelism);
@@ -542,7 +542,7 @@ Result<RecencyExecution> ExecuteRecencyQueriesDetailed(
   return exec;
 }
 
-Result<std::vector<SourceRecency>> ExecuteRecencyQueries(
+[[nodiscard]] Result<std::vector<SourceRecency>> ExecuteRecencyQueries(
     const Database& db, const RecencyQueryPlan& plan, Snapshot snapshot,
     const RelevanceOptions& options) {
   TRAC_ASSIGN_OR_RETURN(
@@ -558,7 +558,7 @@ std::vector<std::string> RelevanceResult::SourceIds() const {
   return ids;
 }
 
-Result<RelevanceResult> ComputeRelevantSources(const Database& db,
+[[nodiscard]] Result<RelevanceResult> ComputeRelevantSources(const Database& db,
                                                const BoundQuery& user_query,
                                                Snapshot snapshot,
                                                const RelevanceOptions& options) {

@@ -87,7 +87,7 @@ struct RecencyQueryPlan {
 /// not touch table data). Corresponds to the paper's "parse a user query
 /// and generate a recency query" phase, which the evaluation times
 /// separately.
-Result<RecencyQueryPlan> GenerateRecencyQueries(
+[[nodiscard]] Result<RecencyQueryPlan> GenerateRecencyQueries(
     const Database& db, const BoundQuery& user_query,
     const RelevanceOptions& options = RelevanceOptions());
 
@@ -108,7 +108,7 @@ struct SourceRecency {
 /// non-selective single-relation conjunct) is additionally sharded into
 /// version ranges so even single-part plans fan out. The merged result
 /// is identical to serial execution.
-Result<std::vector<SourceRecency>> ExecuteRecencyQueries(
+[[nodiscard]] Result<std::vector<SourceRecency>> ExecuteRecencyQueries(
     const Database& db, const RecencyQueryPlan& plan, Snapshot snapshot,
     const RelevanceOptions& options = RelevanceOptions());
 
@@ -121,7 +121,7 @@ struct RecencyExecution {
   std::vector<int64_t> task_micros;
   size_t parallelism = 1;  ///< Strands actually requested (clamped >= 1).
 };
-Result<RecencyExecution> ExecuteRecencyQueriesDetailed(
+[[nodiscard]] Result<RecencyExecution> ExecuteRecencyQueriesDetailed(
     const Database& db, const RecencyQueryPlan& plan, Snapshot snapshot,
     const RelevanceOptions& options = RelevanceOptions());
 
@@ -137,14 +137,14 @@ struct RelevanceResult {
 };
 
 /// Generation + execution in one call.
-Result<RelevanceResult> ComputeRelevantSources(
+[[nodiscard]] Result<RelevanceResult> ComputeRelevantSources(
     const Database& db, const BoundQuery& user_query, Snapshot snapshot,
     const RelevanceOptions& options = RelevanceOptions());
 
 /// The Naive method (Section 5): every source in the Heartbeat table is
 /// reported relevant. Used as the experimental baseline and as the
 /// fallback plan.
-Result<RecencyQueryPlan> GenerateNaivePlan(
+[[nodiscard]] Result<RecencyQueryPlan> GenerateNaivePlan(
     const Database& db, const RelevanceOptions& options = RelevanceOptions());
 
 }  // namespace trac

@@ -1,8 +1,10 @@
 #ifndef TRAC_CORE_SESSION_H_
 #define TRAC_CORE_SESSION_H_
 
+#include <atomic>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "common/result.h"
@@ -25,7 +27,11 @@ namespace trac {
 /// sys_temp_a*/sys_temp_e* name (regression-tested in
 /// tests/concurrency/temp_table_naming_test.cc). A Session object itself
 /// is confined to one thread at a time: concurrency comes from one
-/// session per thread, all sharing the Database.
+/// session per thread, all sharing the Database. The confinement
+/// contract is deliberately lock-free — a Session carries no mutex — so
+/// under TRAC_DEBUG_INVARIANTS every mutating entry point asserts that
+/// no other call is in flight (see session.cc), turning accidental
+/// cross-thread sharing into a deterministic abort instead of a race.
 class Session {
  public:
   explicit Session(Database* db) : db_(db) {}
@@ -38,24 +44,33 @@ class Session {
 
   /// Creates a temp table named `<prefix><N>` with the given columns and
   /// rows; returns the generated name.
-  Result<std::string> CreateTempTable(std::string_view prefix,
+  [[nodiscard]] Result<std::string> CreateTempTable(std::string_view prefix,
                                       std::vector<ColumnDef> columns,
                                       std::vector<Row> rows);
 
   /// Renames a temp table into a permanent one (it survives the session).
   /// Implemented as create-copy + drop, like the prototype's "copy it to
   /// a permanent table".
-  Status Materialize(std::string_view temp_name,
+  [[nodiscard]] Status Materialize(std::string_view temp_name,
                      std::string_view permanent_name);
 
   /// Drops one temp table now.
-  Status DropTempTable(std::string_view name);
+  [[nodiscard]] Status DropTempTable(std::string_view name);
 
   const std::vector<std::string>& temp_tables() const { return temp_tables_; }
 
  private:
+  friend class SessionConfinementWitness;
+
   Database* db_;
   std::vector<std::string> temp_tables_;
+  /// Confinement witness state: count of Session calls currently
+  /// executing and the thread owning the outermost one. Same-thread
+  /// reentrancy (Materialize -> DropTempTable) is allowed; overlap from
+  /// a second thread aborts under TRAC_DEBUG_INVARIANTS. Always present
+  /// so the layout does not depend on the flag.
+  mutable std::atomic<int> active_calls_{0};
+  mutable std::atomic<std::thread::id> owner_{};
 };
 
 }  // namespace trac

@@ -58,7 +58,7 @@ class Execution {
         plan_(plan),
         row_limit_(row_limit) {}
 
-  Result<ResultSet> Run() {
+  [[nodiscard]] Result<ResultSet> Run() {
     ResultSet result;
     if (query_.count_star) {
       result.column_names.push_back("count");
@@ -177,7 +177,7 @@ class Execution {
     return seed;
   }
 
-  Result<bool> PassesPreds(const std::vector<const BoundExpr*>& preds) {
+  [[nodiscard]] Result<bool> PassesPreds(const std::vector<const BoundExpr*>& preds) {
     for (const BoundExpr* e : preds) {
       TRAC_ASSIGN_OR_RETURN(TriBool v, EvalPredicate(*e, tuple_));
       if (!IsTrue(v)) return false;
@@ -186,7 +186,7 @@ class Execution {
   }
 
   /// Prepares the candidate row list (and hash table) of level `i`.
-  Status PrepareLevel(size_t i) {
+  [[nodiscard]] Status PrepareLevel(size_t i) {
     LevelState& state = levels_[i];
     const LevelPlan& lp = *state.plan;
     const size_t rel = lp.relation;
@@ -237,7 +237,7 @@ class Execution {
     return Status::OK();
   }
 
-  Status RunLevel(size_t depth) {
+  [[nodiscard]] Status RunLevel(size_t depth) {
     if (done_) return Status::OK();
     if (depth == plan_.levels.size()) return Emit();
     LevelState& state = levels_[depth];
@@ -359,7 +359,7 @@ class Execution {
     return Status::OK();
   }
 
-  Status Emit() {
+  [[nodiscard]] Status Emit() {
     if (query_.count_star) {
       ++count_;
       if (row_limit_ != 0 && static_cast<size_t>(count_) >= row_limit_) {
@@ -500,12 +500,12 @@ class Execution {
 
 }  // namespace
 
-Result<ResultSet> ExecuteQuery(const Database& db, const BoundQuery& query,
+[[nodiscard]] Result<ResultSet> ExecuteQuery(const Database& db, const BoundQuery& query,
                                Snapshot snapshot) {
   return ExecuteQueryWithLimit(db, query, snapshot, /*row_limit=*/0);
 }
 
-Result<ResultSet> ExecuteQueryWithLimit(const Database& db,
+[[nodiscard]] Result<ResultSet> ExecuteQueryWithLimit(const Database& db,
                                         const BoundQuery& query,
                                         Snapshot snapshot, size_t row_limit) {
   TRAC_ASSIGN_OR_RETURN(QueryPlan plan, PlanQuery(db, query, snapshot));
@@ -513,7 +513,7 @@ Result<ResultSet> ExecuteQueryWithLimit(const Database& db,
   return exec.Run();
 }
 
-Result<bool> QueryHasResults(const Database& db, const BoundQuery& query,
+[[nodiscard]] Result<bool> QueryHasResults(const Database& db, const BoundQuery& query,
                              Snapshot snapshot) {
   TRAC_ASSIGN_OR_RETURN(ResultSet rs,
                         ExecuteQueryWithLimit(db, query, snapshot, 1));
@@ -521,7 +521,7 @@ Result<bool> QueryHasResults(const Database& db, const BoundQuery& query,
   return rs.num_rows() > 0;
 }
 
-Result<ResultSet> ExecuteSql(const Database& db, std::string_view sql) {
+[[nodiscard]] Result<ResultSet> ExecuteSql(const Database& db, std::string_view sql) {
   TRAC_ASSIGN_OR_RETURN(BoundQuery query, BindSql(db, sql));
   return ExecuteQuery(db, query, db.LatestSnapshot());
 }

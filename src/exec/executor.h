@@ -35,23 +35,23 @@ struct ResultSet {
 /// the user query and the generated recency query through this with the
 /// *same* snapshot, which yields the consistency guarantee of
 /// Section 3.2.
-Result<ResultSet> ExecuteQuery(const Database& db, const BoundQuery& query,
+[[nodiscard]] Result<ResultSet> ExecuteQuery(const Database& db, const BoundQuery& query,
                                Snapshot snapshot);
 
 /// As above, but stops as soon as `row_limit` output rows (or counted
 /// tuples, for COUNT(*)) have been produced. Powers EXISTS-style guard
 /// evaluation in the recency analyzer.
-Result<ResultSet> ExecuteQueryWithLimit(const Database& db,
+[[nodiscard]] Result<ResultSet> ExecuteQueryWithLimit(const Database& db,
                                         const BoundQuery& query,
                                         Snapshot snapshot, size_t row_limit);
 
 /// True iff the query produces at least one tuple under `snapshot`;
 /// evaluation stops at the first one.
-Result<bool> QueryHasResults(const Database& db, const BoundQuery& query,
+[[nodiscard]] Result<bool> QueryHasResults(const Database& db, const BoundQuery& query,
                              Snapshot snapshot);
 
 /// Parse + bind + execute against the latest snapshot.
-Result<ResultSet> ExecuteSql(const Database& db, std::string_view sql);
+[[nodiscard]] Result<ResultSet> ExecuteSql(const Database& db, std::string_view sql);
 
 }  // namespace trac
 

@@ -58,7 +58,7 @@ bool IsColumnLiteralEq(const BoundExpr& e, size_t rel,
 
 }  // namespace
 
-Result<QueryPlan> PlanQuery(const Database& db, const BoundQuery& query,
+[[nodiscard]] Result<QueryPlan> PlanQuery(const Database& db, const BoundQuery& query,
                             Snapshot snapshot) {
   (void)snapshot;
   QueryPlan plan;

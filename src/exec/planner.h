@@ -58,7 +58,7 @@ struct QueryPlan {
 /// cardinality preferring equi-join-connected relations, hash joins for
 /// equi-joins, and index nested-loop joins when the prefix is small and
 /// the build side is indexed on the join column.
-Result<QueryPlan> PlanQuery(const Database& db, const BoundQuery& query,
+[[nodiscard]] Result<QueryPlan> PlanQuery(const Database& db, const BoundQuery& query,
                             Snapshot snapshot);
 
 }  // namespace trac

@@ -12,7 +12,7 @@ namespace trac {
 
 namespace {
 
-Result<StatementResult> RunSelect(Database* db, SelectStmt stmt) {
+[[nodiscard]] Result<StatementResult> RunSelect(Database* db, SelectStmt stmt) {
   TRAC_ASSIGN_OR_RETURN(BoundQuery bound, BindSelect(*db, stmt));
   TRAC_ASSIGN_OR_RETURN(ResultSet rs,
                         ExecuteQuery(*db, bound, db->LatestSnapshot()));
@@ -23,7 +23,7 @@ Result<StatementResult> RunSelect(Database* db, SelectStmt stmt) {
   return out;
 }
 
-Result<StatementResult> RunCreateTable(Database* db, CreateTableStmt stmt) {
+[[nodiscard]] Result<StatementResult> RunCreateTable(Database* db, CreateTableStmt stmt) {
   std::vector<ColumnDef> columns;
   std::string data_source_column;
   for (const ColumnSpec& spec : stmt.columns) {
@@ -57,7 +57,7 @@ Result<StatementResult> RunCreateTable(Database* db, CreateTableStmt stmt) {
   return out;
 }
 
-Result<StatementResult> RunInsert(Database* db, InsertStmt stmt) {
+[[nodiscard]] Result<StatementResult> RunInsert(Database* db, InsertStmt stmt) {
   TRAC_ASSIGN_OR_RETURN(TableId id, db->FindTable(stmt.table));
   const TableSchema& schema = db->catalog().schema(id);
 
@@ -101,7 +101,7 @@ Result<StatementResult> RunInsert(Database* db, InsertStmt stmt) {
 
 /// Binds `where` (may be null) in a single-table scope and returns a
 /// row predicate closure. Evaluation errors surface through `status`.
-Result<std::function<bool(const Row&)>> MakeRowPredicate(
+[[nodiscard]] Result<std::function<bool(const Row&)>> MakeRowPredicate(
     const Database& db, TableId id, const ExprPtr& where, Status* status) {
   if (where == nullptr) {
     return std::function<bool(const Row&)>([](const Row&) { return true; });
@@ -123,7 +123,7 @@ Result<std::function<bool(const Row&)>> MakeRowPredicate(
   });
 }
 
-Result<StatementResult> RunUpdate(Database* db, UpdateStmt stmt) {
+[[nodiscard]] Result<StatementResult> RunUpdate(Database* db, UpdateStmt stmt) {
   TRAC_ASSIGN_OR_RETURN(TableId id, db->FindTable(stmt.table));
   const TableSchema& schema = db->catalog().schema(id);
 
@@ -179,7 +179,7 @@ Result<StatementResult> RunUpdate(Database* db, UpdateStmt stmt) {
   return out;
 }
 
-Result<StatementResult> RunDelete(Database* db, DeleteStmt stmt) {
+[[nodiscard]] Result<StatementResult> RunDelete(Database* db, DeleteStmt stmt) {
   TRAC_ASSIGN_OR_RETURN(TableId id, db->FindTable(stmt.table));
   Status eval_status;
   TRAC_ASSIGN_OR_RETURN(std::function<bool(const Row&)> pred,
@@ -195,7 +195,7 @@ Result<StatementResult> RunDelete(Database* db, DeleteStmt stmt) {
 
 }  // namespace
 
-Result<StatementResult> ExecuteStatement(Database* db, std::string_view sql) {
+[[nodiscard]] Result<StatementResult> ExecuteStatement(Database* db, std::string_view sql) {
   TRAC_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
   return std::visit(
       [db](auto&& s) -> Result<StatementResult> {

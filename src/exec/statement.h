@@ -29,7 +29,7 @@ struct StatementResult {
 ///
 /// This is the surface the example shell (examples/trac_shell.cpp) and
 /// any embedding application use to drive the database with plain SQL.
-Result<StatementResult> ExecuteStatement(Database* db, std::string_view sql);
+[[nodiscard]] Result<StatementResult> ExecuteStatement(Database* db, std::string_view sql);
 
 }  // namespace trac
 

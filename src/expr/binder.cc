@@ -13,7 +13,7 @@ class Binder {
   Binder(const Database& db, const BoundQuery& scope)
       : db_(db), scope_(scope) {}
 
-  Result<BoundExprPtr> Bind(const Expr& e) {
+  [[nodiscard]] Result<BoundExprPtr> Bind(const Expr& e) {
     switch (e.kind) {
       case ExprKind::kColumnRef:
         return BindColumn(e);
@@ -48,7 +48,7 @@ class Binder {
     return Status::Internal("unhandled expression kind in binder");
   }
 
-  Result<BoundColumnRef> ResolveColumn(const std::string& qualifier,
+  [[nodiscard]] Result<BoundColumnRef> ResolveColumn(const std::string& qualifier,
                                        const std::string& column) const {
     std::optional<BoundColumnRef> found;
     for (size_t r = 0; r < scope_.relations.size(); ++r) {
@@ -74,7 +74,7 @@ class Binder {
   }
 
  private:
-  Result<BoundExprPtr> BindColumn(const Expr& e) {
+  [[nodiscard]] Result<BoundExprPtr> BindColumn(const Expr& e) {
     TRAC_ASSIGN_OR_RETURN(BoundColumnRef ref, ResolveColumn(e.table, e.column));
     return MakeBoundColumn(ref);
   }
@@ -85,7 +85,7 @@ class Binder {
     return TypeId::kBool;  // Predicates.
   }
 
-  Result<BoundExprPtr> BindCompare(const Expr& e) {
+  [[nodiscard]] Result<BoundExprPtr> BindCompare(const Expr& e) {
     TRAC_ASSIGN_OR_RETURN(BoundExprPtr lhs, Bind(*e.children[0]));
     TRAC_ASSIGN_OR_RETURN(BoundExprPtr rhs, Bind(*e.children[1]));
     // Literal coercion toward the column side (string -> timestamp,
@@ -109,7 +109,7 @@ class Binder {
     return MakeBoundCompare(e.op, std::move(lhs), std::move(rhs));
   }
 
-  Result<BoundExprPtr> BindInList(const Expr& e) {
+  [[nodiscard]] Result<BoundExprPtr> BindInList(const Expr& e) {
     TRAC_ASSIGN_OR_RETURN(BoundExprPtr lhs, Bind(*e.children[0]));
     TypeId lt = ExprType(*lhs);
     std::vector<Value> values;
@@ -126,7 +126,7 @@ class Binder {
     return MakeBoundInList(std::move(lhs), std::move(values), e.negated);
   }
 
-  Result<BoundExprPtr> BindBetween(const Expr& e) {
+  [[nodiscard]] Result<BoundExprPtr> BindBetween(const Expr& e) {
     TRAC_ASSIGN_OR_RETURN(BoundExprPtr ex, Bind(*e.children[0]));
     TRAC_ASSIGN_OR_RETURN(BoundExprPtr lo, Bind(*e.children[1]));
     TRAC_ASSIGN_OR_RETURN(BoundExprPtr hi, Bind(*e.children[2]));
@@ -154,7 +154,7 @@ class Binder {
 
 }  // namespace
 
-Result<Value> CoerceLiteral(Value v, TypeId target) {
+[[nodiscard]] Result<Value> CoerceLiteral(Value v, TypeId target) {
   if (v.is_null()) return v;
   if (v.type() == target) return v;
   if (v.type() == TypeId::kInt64 && target == TypeId::kDouble) {
@@ -167,7 +167,7 @@ Result<Value> CoerceLiteral(Value v, TypeId target) {
   return v;  // Leave as-is; comparability is checked by the caller.
 }
 
-Result<BoundQuery> BindSelect(const Database& db, const SelectStmt& stmt) {
+[[nodiscard]] Result<BoundQuery> BindSelect(const Database& db, const SelectStmt& stmt) {
   BoundQuery query;
   if (stmt.from.empty()) {
     return Status::BindError("FROM list must not be empty");
@@ -280,12 +280,12 @@ Result<BoundQuery> BindSelect(const Database& db, const SelectStmt& stmt) {
   return query;
 }
 
-Result<BoundQuery> BindSql(const Database& db, std::string_view sql) {
+[[nodiscard]] Result<BoundQuery> BindSql(const Database& db, std::string_view sql) {
   TRAC_ASSIGN_OR_RETURN(SelectStmt stmt, ParseSelect(sql));
   return BindSelect(db, stmt);
 }
 
-Result<BoundExprPtr> BindPredicateInScope(const Database& db,
+[[nodiscard]] Result<BoundExprPtr> BindPredicateInScope(const Database& db,
                                           const BoundQuery& scope,
                                           const Expr& expr) {
   Binder binder(db, scope);

@@ -14,20 +14,20 @@ namespace trac {
 /// column names, select-list expansion (`*`), literal type coercion
 /// (int -> double, string -> timestamp when compared with a timestamp
 /// column), and comparison type checking.
-Result<BoundQuery> BindSelect(const Database& db, const SelectStmt& stmt);
+[[nodiscard]] Result<BoundQuery> BindSelect(const Database& db, const SelectStmt& stmt);
 
 /// Convenience: parse + bind in one call.
-Result<BoundQuery> BindSql(const Database& db, std::string_view sql);
+[[nodiscard]] Result<BoundQuery> BindSql(const Database& db, std::string_view sql);
 
 /// Binds a stand-alone predicate in the scope of an existing query's
 /// FROM list (used for schema constraints and tests).
-Result<BoundExprPtr> BindPredicateInScope(const Database& db,
+[[nodiscard]] Result<BoundExprPtr> BindPredicateInScope(const Database& db,
                                           const BoundQuery& scope,
                                           const Expr& expr);
 
 /// Coerces a literal to `target` where a lossless conversion exists
 /// (int64 -> double, string -> timestamp); NULL passes through.
-Result<Value> CoerceLiteral(Value v, TypeId target);
+[[nodiscard]] Result<Value> CoerceLiteral(Value v, TypeId target);
 
 }  // namespace trac
 

@@ -6,7 +6,7 @@
 
 namespace trac {
 
-Result<std::vector<BoundExprPtr>> BindCheckConstraints(const Database& db,
+[[nodiscard]] Result<std::vector<BoundExprPtr>> BindCheckConstraints(const Database& db,
                                                        TableId table) {
   const TableSchema& schema = db.catalog().schema(table);
   std::vector<BoundExprPtr> bound;
@@ -27,7 +27,7 @@ Result<std::vector<BoundExprPtr>> BindCheckConstraints(const Database& db,
   return bound;
 }
 
-Status CheckRowConstraints(const Database& db, TableId table, const Row& row) {
+[[nodiscard]] Status CheckRowConstraints(const Database& db, TableId table, const Row& row) {
   const TableSchema& schema = db.catalog().schema(table);
   if (schema.check_constraints().empty()) return Status::OK();
   TRAC_ASSIGN_OR_RETURN(std::vector<BoundExprPtr> constraints,

@@ -19,14 +19,14 @@ namespace trac {
 /// tuples violating a constraint never occur in a legal instance, so
 /// they must not make sources relevant. The monitor layer also enforces
 /// them on shipped rows.
-Result<std::vector<BoundExprPtr>> BindCheckConstraints(const Database& db,
+[[nodiscard]] Result<std::vector<BoundExprPtr>> BindCheckConstraints(const Database& db,
                                                        TableId table);
 
 /// Evaluates every CHECK constraint of `table` against `row`. SQL CHECK
 /// semantics: a constraint is violated only when it evaluates to FALSE
 /// (NULL/Unknown passes). Returns InvalidArgument naming the violated
 /// constraint.
-Status CheckRowConstraints(const Database& db, TableId table, const Row& row);
+[[nodiscard]] Status CheckRowConstraints(const Database& db, TableId table, const Row& row);
 
 }  // namespace trac
 

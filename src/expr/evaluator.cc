@@ -4,7 +4,7 @@ namespace trac {
 
 namespace {
 
-Result<TriBool> CompareValues(CompareOp op, const Value& a, const Value& b) {
+[[nodiscard]] Result<TriBool> CompareValues(CompareOp op, const Value& a, const Value& b) {
   if (a.is_null() || b.is_null()) return TriBool::kUnknown;
   TRAC_ASSIGN_OR_RETURN(int cmp, Value::Compare(a, b));
   bool result = false;
@@ -33,7 +33,7 @@ Result<TriBool> CompareValues(CompareOp op, const Value& a, const Value& b) {
 
 }  // namespace
 
-Result<Value> EvalScalar(const BoundExpr& e, const TupleView& tuple) {
+[[nodiscard]] Result<Value> EvalScalar(const BoundExpr& e, const TupleView& tuple) {
   switch (e.kind) {
     case ExprKind::kColumnRef: {
       const Row* row = tuple[e.column.rel];
@@ -49,7 +49,7 @@ Result<Value> EvalScalar(const BoundExpr& e, const TupleView& tuple) {
   }
 }
 
-Result<TriBool> EvalPredicate(const BoundExpr& e, const TupleView& tuple) {
+[[nodiscard]] Result<TriBool> EvalPredicate(const BoundExpr& e, const TupleView& tuple) {
   switch (e.kind) {
     case ExprKind::kCompare: {
       TRAC_ASSIGN_OR_RETURN(Value lhs, EvalScalar(*e.children[0], tuple));

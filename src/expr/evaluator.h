@@ -39,12 +39,12 @@ inline bool IsTrue(TriBool v) { return v == TriBool::kTrue; }
 using TupleView = std::vector<const Row*>;
 
 /// Evaluates a scalar (column reference or literal).
-Result<Value> EvalScalar(const BoundExpr& e, const TupleView& tuple);
+[[nodiscard]] Result<Value> EvalScalar(const BoundExpr& e, const TupleView& tuple);
 
 /// Evaluates a predicate under SQL three-valued logic: any comparison
 /// with NULL is Unknown; a WHERE clause keeps a tuple iff the result is
 /// kTrue.
-Result<TriBool> EvalPredicate(const BoundExpr& e, const TupleView& tuple);
+[[nodiscard]] Result<TriBool> EvalPredicate(const BoundExpr& e, const TupleView& tuple);
 
 }  // namespace trac
 

@@ -25,7 +25,7 @@ namespace trac {
 class GridSimulator {
  public:
   /// Creates the simulator and its Heartbeat table.
-  static Result<GridSimulator> Create(
+  [[nodiscard]] static Result<GridSimulator> Create(
       Database* db,
       std::string_view heartbeat_table = HeartbeatTable::kDefaultName);
 
@@ -37,7 +37,7 @@ class GridSimulator {
   HeartbeatTable& heartbeat() { return *heartbeat_; }
 
   /// Registers a data source with its sniffer. Fails on duplicate ids.
-  Result<DataSource*> AddSource(std::string id,
+  [[nodiscard]] Result<DataSource*> AddSource(std::string id,
                                 SnifferOptions options = SnifferOptions());
 
   DataSource* source(const std::string& id);
@@ -45,24 +45,24 @@ class GridSimulator {
 
   /// Advances the clock to `t`, firing every due sniffer poll in
   /// timestamp order along the way.
-  Status RunUntil(Timestamp t);
+  [[nodiscard]] Status RunUntil(Timestamp t);
 
   /// Immediately polls every sniffer at the current clock time (a
   /// "flush": after this, everything ship-eligible is in the DB).
-  Status PollAll();
+  [[nodiscard]] Status PollAll();
 
   /// Pauses/resumes a source's sniffer — the "machine stopped reporting
   /// in" failure mode.
-  Status SetPaused(const std::string& id, bool paused);
+  [[nodiscard]] Status SetPaused(const std::string& id, bool paused);
 
   /// Re-tunes one sniffer's poll interval / ship delay.
-  Status SetSnifferOptions(const std::string& id, SnifferOptions options);
+  [[nodiscard]] Status SetSnifferOptions(const std::string& id, SnifferOptions options);
 
   /// Enables the Section 3.1 heartbeat protocol for a source: every
   /// `interval_micros` of simulated time the source appends a "nothing
   /// to report" record to its log, so its recency stays honest even
   /// when it has no data events. Pass 0 to disable.
-  Status EnableAutoHeartbeat(const std::string& id, int64_t interval_micros);
+  [[nodiscard]] Status EnableAutoHeartbeat(const std::string& id, int64_t interval_micros);
 
  private:
   GridSimulator(Database* db, HeartbeatTable hb)

@@ -29,21 +29,21 @@ class JobSchedulerWorkload {
 
   /// Creates the S and R tables (with machine-id data source columns and
   /// indexes) and registers one data source per machine.
-  static Result<JobSchedulerWorkload> Setup(
+  [[nodiscard]] static Result<JobSchedulerWorkload> Setup(
       GridSimulator* grid, std::vector<std::string> machines,
       SnifferOptions sniffer_options = SnifferOptions());
 
   /// The scheduler on `scheduler` accepts `job` and assigns it to
   /// `remote` (insert-or-update of the S tuple) at time `t`.
-  Status SubmitJob(const std::string& scheduler, const std::string& job,
+  [[nodiscard]] Status SubmitJob(const std::string& scheduler, const std::string& job,
                    const std::string& remote, Timestamp t);
 
   /// `runner` reports that it is executing `job` at time `t`.
-  Status StartJob(const std::string& runner, const std::string& job,
+  [[nodiscard]] Status StartJob(const std::string& runner, const std::string& job,
                   Timestamp t);
 
   /// `runner` reports that `job` finished (R tuple deleted) at `t`.
-  Status FinishJob(const std::string& runner, const std::string& job,
+  [[nodiscard]] Status FinishJob(const std::string& runner, const std::string& job,
                    Timestamp t);
 
   const std::vector<std::string>& machines() const { return machines_; }

@@ -53,13 +53,13 @@ class Sniffer {
   /// Ships every not-yet-shipped record whose event time is at most
   /// now - ship_delay, updates the heartbeat, and schedules the next
   /// poll. No-op while paused (the next poll is still rescheduled).
-  Status Poll(Timestamp now);
+  [[nodiscard]] Status Poll(Timestamp now);
 
   /// Number of log records shipped so far.
   size_t records_shipped() const { return cursor_; }
 
  private:
-  Status Apply(const LogRecord& record);
+  [[nodiscard]] Status Apply(const LogRecord& record);
 
   DataSource* source_;
   Database* db_;

@@ -72,7 +72,7 @@ std::vector<BoundExprPtr> CloneTermList(const std::vector<BoundExprPtr>& v) {
   return out;
 }
 
-Result<RawDnf> Distribute(const BoundExpr& e, size_t max_conjuncts) {
+[[nodiscard]] Result<RawDnf> Distribute(const BoundExpr& e, size_t max_conjuncts) {
   switch (e.kind) {
     case ExprKind::kOr: {
       RawDnf out;
@@ -117,7 +117,7 @@ Result<RawDnf> Distribute(const BoundExpr& e, size_t max_conjuncts) {
 
 }  // namespace
 
-Result<Dnf> ToDnf(const BoundExpr& predicate, const NormalizeOptions& options) {
+[[nodiscard]] Result<Dnf> ToDnf(const BoundExpr& predicate, const NormalizeOptions& options) {
   BoundExprPtr nnf = ToNnf(predicate, /*negate=*/false);
   TRAC_ASSIGN_OR_RETURN(RawDnf raw, Distribute(*nnf, options.max_conjuncts));
   Dnf dnf;

@@ -32,7 +32,7 @@ struct Dnf {
 /// logic for the purposes of relevance analysis: a tuple satisfies the
 /// input iff it satisfies some conjunct. (NOT maps Unknown to Unknown on
 /// both sides, so TRUE-sets are preserved exactly.)
-Result<Dnf> ToDnf(const BoundExpr& predicate,
+[[nodiscard]] Result<Dnf> ToDnf(const BoundExpr& predicate,
                   const NormalizeOptions& options = NormalizeOptions());
 
 /// Pushes negations to the leaves without distributing; exposed for

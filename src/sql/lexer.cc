@@ -15,7 +15,7 @@ bool IsSpace(char c) {
 
 }  // namespace
 
-Result<std::vector<Token>> Tokenize(std::string_view sql) {
+[[nodiscard]] Result<std::vector<Token>> Tokenize(std::string_view sql) {
   std::vector<Token> tokens;
   size_t i = 0;
   const size_t n = sql.size();

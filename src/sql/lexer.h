@@ -26,7 +26,7 @@ struct Token {
 
 /// Splits `sql` into tokens. Fails on unterminated strings or characters
 /// outside the supported alphabet.
-Result<std::vector<Token>> Tokenize(std::string_view sql);
+[[nodiscard]] Result<std::vector<Token>> Tokenize(std::string_view sql);
 
 }  // namespace trac
 

@@ -16,7 +16,7 @@ class Parser {
  public:
   explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
 
-  Result<Statement> ParseAnyStatement() {
+  [[nodiscard]] Result<Statement> ParseAnyStatement() {
     if (PeekKeyword("SELECT")) {
       TRAC_ASSIGN_OR_RETURN(SelectStmt stmt, ParseSelectStmt());
       return Statement(std::move(stmt));
@@ -41,7 +41,7 @@ class Parser {
         "UPDATE or DELETE");
   }
 
-  Result<SelectStmt> ParseSelectStmt() {
+  [[nodiscard]] Result<SelectStmt> ParseSelectStmt() {
     TRAC_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
     SelectStmt stmt;
     stmt.distinct = MatchKeyword("DISTINCT");
@@ -76,12 +76,12 @@ class Parser {
     return stmt;
   }
 
-  Status FinishStatement() {
+  [[nodiscard]] Status FinishStatement() {
     MatchSymbol(";");
     return ExpectEnd();
   }
 
-  Result<TypeId> ParseTypeName() {
+  [[nodiscard]] Result<TypeId> ParseTypeName() {
     for (auto [name, type] : std::initializer_list<
              std::pair<std::string_view, TypeId>>{
              {"TEXT", TypeId::kString},     {"STRING", TypeId::kString},
@@ -95,7 +95,7 @@ class Parser {
     return Error("expected a type name");
   }
 
-  Result<Statement> ParseCreateTable() {
+  [[nodiscard]] Result<Statement> ParseCreateTable() {
     pos_ += 2;  // CREATE TABLE.
     CreateTableStmt stmt;
     TRAC_ASSIGN_OR_RETURN(stmt.table, ExpectIdent("table name"));
@@ -125,7 +125,7 @@ class Parser {
     return Statement(std::move(stmt));
   }
 
-  Result<Statement> ParseCreateIndex() {
+  [[nodiscard]] Result<Statement> ParseCreateIndex() {
     pos_ += 2;  // CREATE INDEX.
     TRAC_RETURN_IF_ERROR(ExpectKeyword("ON"));
     CreateIndexStmt stmt;
@@ -137,7 +137,7 @@ class Parser {
     return Statement(std::move(stmt));
   }
 
-  Result<Statement> ParseInsert() {
+  [[nodiscard]] Result<Statement> ParseInsert() {
     ++pos_;  // INSERT.
     TRAC_RETURN_IF_ERROR(ExpectKeyword("INTO"));
     InsertStmt stmt;
@@ -167,7 +167,7 @@ class Parser {
     return Statement(std::move(stmt));
   }
 
-  Result<Statement> ParseUpdate() {
+  [[nodiscard]] Result<Statement> ParseUpdate() {
     ++pos_;  // UPDATE.
     UpdateStmt stmt;
     TRAC_ASSIGN_OR_RETURN(stmt.table, ExpectIdent("table name"));
@@ -185,7 +185,7 @@ class Parser {
     return Statement(std::move(stmt));
   }
 
-  Result<Statement> ParseDelete() {
+  [[nodiscard]] Result<Statement> ParseDelete() {
     ++pos_;  // DELETE.
     TRAC_RETURN_IF_ERROR(ExpectKeyword("FROM"));
     DeleteStmt stmt;
@@ -197,7 +197,7 @@ class Parser {
     return Statement(std::move(stmt));
   }
 
-  Result<ExprPtr> ParseStandalonePredicate() {
+  [[nodiscard]] Result<ExprPtr> ParseStandalonePredicate() {
     TRAC_ASSIGN_OR_RETURN(ExprPtr e, ParseOr());
     MatchSymbol(";");
     TRAC_RETURN_IF_ERROR(ExpectEnd());
@@ -233,22 +233,22 @@ class Parser {
     return false;
   }
 
-  Status ExpectKeyword(std::string_view kw) {
+  [[nodiscard]] Status ExpectKeyword(std::string_view kw) {
     if (MatchKeyword(kw)) return Status::OK();
     return Error(std::string("expected ") + std::string(kw));
   }
 
-  Status ExpectSymbol(std::string_view sym) {
+  [[nodiscard]] Status ExpectSymbol(std::string_view sym) {
     if (MatchSymbol(sym)) return Status::OK();
     return Error(std::string("expected '") + std::string(sym) + "'");
   }
 
-  Status ExpectEnd() {
+  [[nodiscard]] Status ExpectEnd() {
     if (Peek().kind == TokenKind::kEnd) return Status::OK();
     return Error("unexpected trailing input");
   }
 
-  Status Error(std::string msg) const {
+  [[nodiscard]] Status Error(std::string msg) const {
     const Token& t = Peek();
     msg += " at offset " + std::to_string(t.offset);
     if (!t.text.empty()) msg += " (near '" + t.text + "')";
@@ -267,7 +267,7 @@ class Parser {
     return false;
   }
 
-  Result<std::string> ExpectIdent(std::string_view what) {
+  [[nodiscard]] Result<std::string> ExpectIdent(std::string_view what) {
     if (Peek().kind != TokenKind::kIdent || IsReservedKeyword(Peek().text)) {
       return Error("expected " + std::string(what));
     }
@@ -284,7 +284,7 @@ class Parser {
     return std::nullopt;
   }
 
-  Status ParseSelectList(SelectStmt* stmt) {
+  [[nodiscard]] Status ParseSelectList(SelectStmt* stmt) {
     do {
       SelectItem item;
       std::optional<AggFn> agg = AggKeyword(Peek());
@@ -312,7 +312,7 @@ class Parser {
     return Status::OK();
   }
 
-  Status ParseFromList(SelectStmt* stmt) {
+  [[nodiscard]] Status ParseFromList(SelectStmt* stmt) {
     do {
       TableRef ref;
       TRAC_ASSIGN_OR_RETURN(ref.table, ExpectIdent("table name"));
@@ -327,7 +327,7 @@ class Parser {
     return Status::OK();
   }
 
-  Result<ExprPtr> ParseColumnRef() {
+  [[nodiscard]] Result<ExprPtr> ParseColumnRef() {
     TRAC_ASSIGN_OR_RETURN(std::string first, ExpectIdent("column reference"));
     if (MatchSymbol(".")) {
       TRAC_ASSIGN_OR_RETURN(std::string second, ExpectIdent("column name"));
@@ -338,7 +338,7 @@ class Parser {
 
   // -- Predicate grammar: Or > And > Not > Predicate.
 
-  Result<ExprPtr> ParseOr() {
+  [[nodiscard]] Result<ExprPtr> ParseOr() {
     TRAC_ASSIGN_OR_RETURN(ExprPtr first, ParseAnd());
     if (!PeekKeyword("OR")) return first;
     std::vector<ExprPtr> children;
@@ -350,7 +350,7 @@ class Parser {
     return MakeOr(std::move(children));
   }
 
-  Result<ExprPtr> ParseAnd() {
+  [[nodiscard]] Result<ExprPtr> ParseAnd() {
     TRAC_ASSIGN_OR_RETURN(ExprPtr first, ParseNot());
     if (!PeekKeyword("AND")) return first;
     std::vector<ExprPtr> children;
@@ -362,7 +362,7 @@ class Parser {
     return MakeAnd(std::move(children));
   }
 
-  Result<ExprPtr> ParseNot() {
+  [[nodiscard]] Result<ExprPtr> ParseNot() {
     if (MatchKeyword("NOT")) {
       TRAC_ASSIGN_OR_RETURN(ExprPtr child, ParseNot());
       return MakeNot(std::move(child));
@@ -375,7 +375,7 @@ class Parser {
     return ParsePredicateAtom();
   }
 
-  Result<ExprPtr> ParsePredicateAtom() {
+  [[nodiscard]] Result<ExprPtr> ParsePredicateAtom() {
     TRAC_ASSIGN_OR_RETURN(ExprPtr lhs, ParseOperand());
 
     if (MatchKeyword("IS")) {
@@ -438,7 +438,7 @@ class Parser {
   }
 
   /// A comparison operand: a column reference or a literal.
-  Result<ExprPtr> ParseOperand() {
+  [[nodiscard]] Result<ExprPtr> ParseOperand() {
     const Token& t = Peek();
     if (t.kind == TokenKind::kIdent && !IsReservedKeyword(t.text)) {
       return ParseColumnRef();
@@ -447,7 +447,7 @@ class Parser {
     return MakeLiteral(std::move(v));
   }
 
-  Result<Value> ParseLiteralValue() {
+  [[nodiscard]] Result<Value> ParseLiteralValue() {
     const Token& t = Peek();
     switch (t.kind) {
       case TokenKind::kInt: {
@@ -487,19 +487,19 @@ class Parser {
 
 }  // namespace
 
-Result<SelectStmt> ParseSelect(std::string_view sql) {
+[[nodiscard]] Result<SelectStmt> ParseSelect(std::string_view sql) {
   TRAC_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
   Parser parser(std::move(tokens));
   return parser.ParseSelectStmt();
 }
 
-Result<ExprPtr> ParsePredicate(std::string_view sql) {
+[[nodiscard]] Result<ExprPtr> ParsePredicate(std::string_view sql) {
   TRAC_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
   Parser parser(std::move(tokens));
   return parser.ParseStandalonePredicate();
 }
 
-Result<Statement> ParseStatement(std::string_view sql) {
+[[nodiscard]] Result<Statement> ParseStatement(std::string_view sql) {
   TRAC_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
   Parser parser(std::move(tokens));
   return parser.ParseAnyStatement();

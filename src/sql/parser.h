@@ -21,12 +21,12 @@ namespace trac {
 ///
 /// Anything outside this subset fails with ParseError/Unsupported; the
 /// paper's query model (Section 3.4) is single SPJ expressions.
-Result<SelectStmt> ParseSelect(std::string_view sql);
+[[nodiscard]] Result<SelectStmt> ParseSelect(std::string_view sql);
 
 /// Parses a stand-alone predicate (the WHERE grammar above). Useful for
 /// declaring schema-level predicate constraints (Section 3.4's Q' = Q ∧
 /// constraints construction).
-Result<ExprPtr> ParsePredicate(std::string_view sql);
+[[nodiscard]] Result<ExprPtr> ParsePredicate(std::string_view sql);
 
 /// Parses any supported statement:
 ///
@@ -39,7 +39,7 @@ Result<ExprPtr> ParsePredicate(std::string_view sql);
 ///   INSERT INTO name [(col, ...)] VALUES (lit, ...)[, (lit, ...)]...
 ///   UPDATE name SET col = lit[, ...] [WHERE pred]
 ///   DELETE FROM name [WHERE pred]
-Result<Statement> ParseStatement(std::string_view sql);
+[[nodiscard]] Result<Statement> ParseStatement(std::string_view sql);
 
 }  // namespace trac
 

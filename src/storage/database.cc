@@ -3,17 +3,21 @@
 namespace trac {
 
 Result<TableId> Database::CreateTable(TableSchema schema) {
-  std::lock_guard<std::mutex> lock(write_mu_);
+  MutexLock lock(&write_mu_);
   TRAC_ASSIGN_OR_RETURN(TableId id, catalog_.CreateTable(std::move(schema)));
+  // Resolve the catalog schema pointer before taking tables_mu_: the
+  // global lock order is catalog (kCatalog) before the table registry
+  // (kTableRegistry), never the reverse.
+  const TableSchema* table_schema = &catalog_.schema(id);
   {
-    std::unique_lock<std::shared_mutex> tables_lock(tables_mu_);
-    tables_.push_back(std::make_unique<Table>(id, &catalog_.schema(id)));
+    WriterMutexLock tables_lock(&tables_mu_);
+    tables_.push_back(std::make_unique<Table>(id, table_schema));
   }
   return id;
 }
 
 Status Database::DropTable(std::string_view name) {
-  std::lock_guard<std::mutex> lock(write_mu_);
+  MutexLock lock(&write_mu_);
   return catalog_.DropTable(name);
 }
 
@@ -33,8 +37,8 @@ Status Database::PrepareRow(const TableSchema& schema, Row* row) {
 
 Status Database::Insert(std::string_view table, Row row) {
   TRAC_ASSIGN_OR_RETURN(TableId id, FindTable(table));
-  std::lock_guard<std::mutex> lock(write_mu_);
-  Table* t = tables_[id].get();
+  MutexLock lock(&write_mu_);
+  Table* t = GetTable(id);
   TRAC_RETURN_IF_ERROR(PrepareRow(t->schema(), &row));
   const uint64_t commit =
       version_counter_.load(std::memory_order_relaxed) + 1;
@@ -44,11 +48,11 @@ Status Database::Insert(std::string_view table, Row row) {
 }
 
 Status Database::InsertMany(TableId table, std::vector<Row> rows) {
-  std::lock_guard<std::mutex> lock(write_mu_);
+  MutexLock lock(&write_mu_);
   if (!catalog_.IsLive(table)) {
     return Status::NotFound("table id is not live");
   }
-  Table* t = tables_[table].get();
+  Table* t = GetTable(table);
   for (Row& row : rows) {
     TRAC_RETURN_IF_ERROR(PrepareRow(t->schema(), &row));
   }
@@ -65,14 +69,14 @@ Result<int> Database::UpdateWhere(std::string_view table,
                                   const std::function<bool(const Row&)>& pred,
                                   const std::function<void(Row*)>& mutate) {
   TRAC_ASSIGN_OR_RETURN(TableId id, FindTable(table));
-  std::lock_guard<std::mutex> lock(write_mu_);
-  Table* t = tables_[id].get();
+  MutexLock lock(&write_mu_);
+  Table* t = GetTable(id);
   const uint64_t commit =
       version_counter_.load(std::memory_order_relaxed) + 1;
   Snapshot snap{commit - 1};
 
-  // Collect matches first: AppendVersion invalidates nothing (deque), but
-  // we must not rescan versions we just appended.
+  // Collect matches first: AppendVersion invalidates nothing (shelves are
+  // stable), but we must not rescan versions we just appended.
   std::vector<size_t> matches;
   t->Scan(snap, [&](size_t vidx, const Row& row) {
     if (pred(row)) matches.push_back(vidx);
@@ -91,8 +95,8 @@ Result<int> Database::UpdateWhere(std::string_view table,
 Result<int> Database::DeleteWhere(
     std::string_view table, const std::function<bool(const Row&)>& pred) {
   TRAC_ASSIGN_OR_RETURN(TableId id, FindTable(table));
-  std::lock_guard<std::mutex> lock(write_mu_);
-  Table* t = tables_[id].get();
+  MutexLock lock(&write_mu_);
+  Table* t = GetTable(id);
   const uint64_t commit =
       version_counter_.load(std::memory_order_relaxed) + 1;
   Snapshot snap{commit - 1};
@@ -109,8 +113,8 @@ Result<int> Database::DeleteWhere(
 
 Status Database::CreateIndex(std::string_view table, std::string_view column) {
   TRAC_ASSIGN_OR_RETURN(TableId id, FindTable(table));
-  std::lock_guard<std::mutex> lock(write_mu_);
-  Table* t = tables_[id].get();
+  MutexLock lock(&write_mu_);
+  Table* t = GetTable(id);
   std::optional<size_t> col = t->schema().FindColumn(column);
   if (!col.has_value()) {
     return Status::NotFound("no column '" + std::string(column) +

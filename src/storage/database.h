@@ -5,12 +5,12 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string_view>
 
 #include "catalog/catalog.h"
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "storage/snapshot.h"
 #include "storage/table.h"
 
@@ -70,22 +70,25 @@ class Database {
   const Catalog& catalog() const { return catalog_; }
 
   /// Creates a table from `schema`. AlreadyExists on name clash.
-  Result<TableId> CreateTable(TableSchema schema);
+  [[nodiscard]] Result<TableId> CreateTable(TableSchema schema)
+      TRAC_EXCLUDES(write_mu_, tables_mu_);
 
   /// Drops a table by name (its storage is kept until shutdown, but it
   /// disappears from the catalog and from name lookups).
-  Status DropTable(std::string_view name);
+  [[nodiscard]] Status DropTable(std::string_view name) TRAC_EXCLUDES(write_mu_);
 
-  Result<TableId> FindTable(std::string_view name) const {
+  [[nodiscard]] Result<TableId> FindTable(std::string_view name) const {
     return catalog_.GetTableId(name);
   }
 
-  Table* GetTable(TableId id) {
-    std::shared_lock<std::shared_mutex> lock(tables_mu_);
+  /// Table storage by id. The returned pointer is stable for the
+  /// Database's lifetime (dropped tables keep their storage).
+  Table* GetTable(TableId id) TRAC_EXCLUDES(tables_mu_) {
+    ReaderMutexLock lock(&tables_mu_);
     return tables_[id].get();
   }
-  const Table* GetTable(TableId id) const {
-    std::shared_lock<std::shared_mutex> lock(tables_mu_);
+  const Table* GetTable(TableId id) const TRAC_EXCLUDES(tables_mu_) {
+    ReaderMutexLock lock(&tables_mu_);
     return tables_[id].get();
   }
 
@@ -96,26 +99,30 @@ class Database {
 
   /// Inserts one row (auto-commit). The row is validated against the
   /// schema and numerically normalized (int literals into double columns).
-  Status Insert(std::string_view table, Row row);
+  [[nodiscard]] Status Insert(std::string_view table, Row row) TRAC_EXCLUDES(write_mu_);
 
   /// Bulk load: inserts all rows under a single commit version. Much
   /// faster than row-at-a-time and atomically visible.
-  Status InsertMany(TableId table, std::vector<Row> rows);
+  [[nodiscard]] Status InsertMany(TableId table, std::vector<Row> rows)
+      TRAC_EXCLUDES(write_mu_);
 
   /// Updates every currently visible row matching `pred` by applying
   /// `mutate` to a copy (auto-commit). Returns the number updated.
-  Result<int> UpdateWhere(std::string_view table,
+  [[nodiscard]] Result<int> UpdateWhere(std::string_view table,
                           const std::function<bool(const Row&)>& pred,
-                          const std::function<void(Row*)>& mutate);
+                          const std::function<void(Row*)>& mutate)
+      TRAC_EXCLUDES(write_mu_);
 
   /// Deletes every currently visible row matching `pred` (auto-commit).
   /// Returns the number deleted.
-  Result<int> DeleteWhere(std::string_view table,
-                          const std::function<bool(const Row&)>& pred);
+  [[nodiscard]] Result<int> DeleteWhere(std::string_view table,
+                          const std::function<bool(const Row&)>& pred)
+      TRAC_EXCLUDES(write_mu_);
 
   /// Creates an ordered index on `table`.`column`. Setup-time: must not
   /// run concurrently with readers of the same table (see table.h).
-  Status CreateIndex(std::string_view table, std::string_view column);
+  [[nodiscard]] Status CreateIndex(std::string_view table, std::string_view column)
+      TRAC_EXCLUDES(write_mu_);
 
   /// Allocates the next id for session temp-table names. Monotonic and
   /// unique per Database (every allocation is observed by exactly one
@@ -127,16 +134,19 @@ class Database {
 
  private:
   /// Validates and normalizes `row` in place against `schema`.
-  static Status PrepareRow(const TableSchema& schema, Row* row);
+  [[nodiscard]] static Status PrepareRow(const TableSchema& schema, Row* row);
 
   Catalog catalog_;
   /// Guards growth of tables_ (CreateTable) against concurrent GetTable.
   /// Table pointers themselves are stable for the Database's lifetime.
-  mutable std::shared_mutex tables_mu_;
-  std::deque<std::unique_ptr<Table>> tables_;  // Indexed by TableId.
+  mutable SharedMutex tables_mu_{lock_rank::kTableRegistry,
+                                 "Database::tables_mu_"};
+  /// Indexed by TableId.
+  std::deque<std::unique_ptr<Table>> tables_ TRAC_GUARDED_BY(tables_mu_);
   std::atomic<uint64_t> version_counter_{0};
   std::atomic<uint64_t> temp_name_counter_{1000};
-  std::mutex write_mu_;
+  /// Serializes all mutations; outermost in the global lock order.
+  Mutex write_mu_{lock_rank::kDatabaseWrite, "Database::write_mu_"};
 };
 
 }  // namespace trac

@@ -3,11 +3,11 @@
 
 #include <cstddef>
 #include <map>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "types/value.h"
 
 namespace trac {
@@ -36,20 +36,22 @@ namespace trac {
 /// captured version index stays valid forever; holding no lock during
 /// callbacks lets them freely scan tables, other indexes, or re-enter
 /// this one (the executor's nested-loop joins do exactly that), with no
-/// lock-order constraints between indexes.
+/// lock-order constraints between indexes. `mu_` is the innermost
+/// storage rank (lock_rank::kOrderedIndex), and because callbacks run
+/// lock-free the rank is never held across foreign code.
 class OrderedIndex {
  public:
   explicit OrderedIndex(size_t column) : column_(column) {}
 
   size_t column() const { return column_; }
   size_t num_entries() const {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderMutexLock lock(&mu_);
     return map_.size();
   }
 
   void Insert(const Value& key, size_t version_index) {
     if (key.is_null()) return;
-    std::unique_lock<std::shared_mutex> lock(mu_);
+    WriterMutexLock lock(&mu_);
     map_.emplace(key, version_index);
   }
 
@@ -58,7 +60,7 @@ class OrderedIndex {
   void ScanEqual(const Value& key, Fn fn) const {
     std::vector<size_t> matches;
     {
-      std::shared_lock<std::shared_mutex> lock(mu_);
+      ReaderMutexLock lock(&mu_);
       auto [lo, hi] = map_.equal_range(key);
       for (auto it = lo; it != hi; ++it) matches.push_back(it->second);
     }
@@ -74,7 +76,7 @@ class OrderedIndex {
                  Fn fn) const {
     std::vector<size_t> matches;
     {
-      std::shared_lock<std::shared_mutex> lock(mu_);
+      ReaderMutexLock lock(&mu_);
       auto it = lo.has_value()
                     ? (lo_inclusive ? map_.lower_bound(*lo)
                                     : map_.upper_bound(*lo))
@@ -91,15 +93,15 @@ class OrderedIndex {
   /// Number of entries equal to `key` (visibility not considered); used
   /// by the planner's cardinality heuristic.
   size_t CountEqual(const Value& key) const {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderMutexLock lock(&mu_);
     auto [lo, hi] = map_.equal_range(key);
     return static_cast<size_t>(std::distance(lo, hi));
   }
 
  private:
   size_t column_;
-  mutable std::shared_mutex mu_;
-  std::multimap<Value, size_t> map_;
+  mutable SharedMutex mu_{lock_rank::kOrderedIndex, "OrderedIndex::mu_"};
+  std::multimap<Value, size_t> map_ TRAC_GUARDED_BY(mu_);
 };
 
 }  // namespace trac

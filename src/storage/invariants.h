@@ -1,0 +1,73 @@
+#ifndef TRAC_STORAGE_INVARIANTS_H_
+#define TRAC_STORAGE_INVARIANTS_H_
+
+#include "common/dcheck.h"
+#include "common/mutex.h"
+#include "common/status.h"
+#include "storage/database.h"
+#include "storage/snapshot.h"
+#include "storage/table.h"
+
+namespace trac {
+
+/// Runtime validators for the storage layer's concurrency contract
+/// (storage/database.h "Concurrency contract", storage/table.h).
+///
+/// Two tiers:
+///  - Cheap O(1) checks are inlined at the point of mutation and armed by
+///    the TRAC_DEBUG_INVARIANTS build flag (TRAC_DCHECK in
+///    Table::AppendVersion, the lock-order registry inside trac::Mutex,
+///    the Session confinement witness). They cost nothing when the flag
+///    is off.
+///  - The heavyweight validators below are *always* compiled and return
+///    Status, so tests can call them in any build; DCheckInvariants()
+///    wraps them in TRAC_DCHECK for debug-build assertions.
+
+/// Verifies shelf-log monotonicity: version begins never decrease along
+/// the log (commit versions only grow and the log is append-only), and
+/// every published version is within the snapshot horizon of the log.
+/// Safe to call concurrently with writers: it only examines the prefix
+/// published at entry.
+[[nodiscard]] Status CheckShelfLogMonotonic(const Table& table);
+
+/// Verifies snapshot immutability: scanning `snap` twice yields the same
+/// visible set (frozen snapshots are repeatable), and no visible version
+/// has `begin` exceeding the snapshot version or a closed `end` at or
+/// below it. Safe to call concurrently with writers — that is the point:
+/// later commits must not perturb the frozen view.
+[[nodiscard]] Status CheckSnapshotImmutable(const Table& table, Snapshot snap);
+
+/// Runs both checks over every live table of `db` at its latest
+/// snapshot. Intended as a test/debug sweep, not a hot-path call: cost
+/// is O(total versions).
+[[nodiscard]] Status CheckDatabaseInvariants(const Database& db);
+
+/// TRAC_DCHECKs CheckDatabaseInvariants. No-op unless built with
+/// TRAC_DEBUG_INVARIANTS.
+void DCheckDatabaseInvariants(const Database& db);
+
+/// The debug lock-order registry. Every ranked trac::Mutex /
+/// trac::SharedMutex (see the lock_rank table in common/mutex.h)
+/// registers acquisitions here when TRAC_DEBUG_INVARIANTS is on; an
+/// acquisition whose rank is not strictly greater than every rank the
+/// thread already holds aborts the process with a diagnostic naming both
+/// locks. This turns a latent deadlock (needs the right interleaving)
+/// into a deterministic failure on first occurrence.
+class LockOrderRegistry {
+ public:
+  /// Number of ranked locks the calling thread holds right now. Exposed
+  /// for tests asserting balanced acquire/release.
+  static int HeldDepth() { return internal::LockRankHeldDepth(); }
+
+  /// Manual registration, for code that synchronizes with primitives the
+  /// wrappers cannot cover (e.g. external libraries). Prefer ranked
+  /// trac::Mutex members, which call these automatically.
+  static void Acquired(int rank, const char* name) {
+    internal::LockRankAcquired(rank, name);
+  }
+  static void Released(int rank) { internal::LockRankReleased(rank); }
+};
+
+}  // namespace trac
+
+#endif  // TRAC_STORAGE_INVARIANTS_H_

@@ -40,7 +40,7 @@ void WriteValue(std::ostream& out, const Value& v) {
   out << "\n";
 }
 
-Result<Value> ReadValue(std::istream& in) {
+[[nodiscard]] Result<Value> ReadValue(std::istream& in) {
   auto fail = []() {
     return Status::InvalidArgument("corrupt value token in database file");
   };
@@ -115,7 +115,7 @@ std::string_view TypeToken(TypeId t) {
   return "NULL";
 }
 
-Result<TypeId> TypeFromToken(std::string_view token) {
+[[nodiscard]] Result<TypeId> TypeFromToken(std::string_view token) {
   if (token == "BOOL") return TypeId::kBool;
   if (token == "INT64") return TypeId::kInt64;
   if (token == "DOUBLE") return TypeId::kDouble;
@@ -127,7 +127,7 @@ Result<TypeId> TypeFromToken(std::string_view token) {
 
 }  // namespace
 
-Status SaveDatabase(const Database& db, const std::string& path) {
+[[nodiscard]] Status SaveDatabase(const Database& db, const std::string& path) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) {
     return Status::InvalidArgument("cannot open '" + path + "' for writing");
@@ -180,7 +180,7 @@ Status SaveDatabase(const Database& db, const std::string& path) {
   return Status::OK();
 }
 
-Status LoadDatabase(Database* db, const std::string& path) {
+[[nodiscard]] Status LoadDatabase(Database* db, const std::string& path) {
   if (db->catalog().NumIds() != 0) {
     return Status::InvalidArgument("LoadDatabase requires an empty database");
   }

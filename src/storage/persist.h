@@ -21,12 +21,12 @@ namespace trac {
 ///
 /// The format is a version-tagged, length-prefixed binary-safe text
 /// format; strings round-trip byte-exactly (including newlines).
-Status SaveDatabase(const Database& db, const std::string& path);
+[[nodiscard]] Status SaveDatabase(const Database& db, const std::string& path);
 
 /// Loads a file written by SaveDatabase into `db`, which must be empty
 /// (no tables ever created). Indexes are rebuilt; all rows of one table
 /// load under a single commit version.
-Status LoadDatabase(Database* db, const std::string& path);
+[[nodiscard]] Status LoadDatabase(Database* db, const std::string& path);
 
 }  // namespace trac
 

@@ -1,5 +1,7 @@
 #include "storage/table.h"
 
+#include "common/dcheck.h"
+
 namespace trac {
 
 Table::~Table() {
@@ -10,6 +12,9 @@ Table::~Table() {
 
 size_t Table::AppendVersion(Row row, uint64_t begin_version) {
   const size_t vidx = append_size_;
+  TRAC_DCHECK(vidx == 0 || Locate(vidx - 1)->begin <= begin_version,
+              "shelf log must be begin-monotonic: commit versions only "
+              "grow, so a new version may never predate its predecessor");
   const size_t q = (vidx >> kBaseShelfBits) + 1;
   const size_t shelf = std::bit_width(q) - 1;
   if (shelves_[shelf].load(std::memory_order_relaxed) == nullptr) {
@@ -23,8 +28,11 @@ size_t Table::AppendVersion(Row row, uint64_t begin_version) {
   v->begin = begin_version;
   v->end.store(RowVersion::kOpenVersion, std::memory_order_relaxed);
   v->values = std::move(row);
-  for (auto& [col, index] : indexes_) {
-    index->Insert(v->values[col], vidx);
+  {
+    ReaderMutexLock lock(&indexes_mu_);
+    for (auto& [col, index] : indexes_) {
+      index->Insert(v->values[col], vidx);
+    }
   }
   append_size_ = vidx + 1;
   published_size_.store(append_size_, std::memory_order_release);
@@ -42,20 +50,31 @@ Status Table::CreateIndex(size_t column) {
     return Status::InvalidArgument("index column out of range for table '" +
                                    schema_->name() + "'");
   }
-  if (indexes_.count(column) != 0) {
-    return Status::AlreadyExists("index already exists on column '" +
-                                 schema_->column(column).name + "'");
+  {
+    ReaderMutexLock lock(&indexes_mu_);
+    if (indexes_.count(column) != 0) {
+      return Status::AlreadyExists("index already exists on column '" +
+                                   schema_->column(column).name + "'");
+    }
   }
+  // Back-fill off to the side: no registry lock held, so concurrent
+  // GetIndex callers are never blocked behind the O(versions) build.
+  // The Database write mutex keeps the version log frozen meanwhile.
   auto index = std::make_unique<OrderedIndex>(column);
   const size_t n = num_versions();
   for (size_t i = 0; i < n; ++i) {
     index->Insert(version(i).values[column], i);
   }
-  indexes_.emplace(column, std::move(index));
+  WriterMutexLock lock(&indexes_mu_);
+  if (!indexes_.emplace(column, std::move(index)).second) {
+    return Status::AlreadyExists("index already exists on column '" +
+                                 schema_->column(column).name + "'");
+  }
   return Status::OK();
 }
 
 const OrderedIndex* Table::GetIndex(size_t column) const {
+  ReaderMutexLock lock(&indexes_mu_);
   auto it = indexes_.find(column);
   return it == indexes_.end() ? nullptr : it->second.get();
 }

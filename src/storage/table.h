@@ -10,7 +10,9 @@
 
 #include "catalog/catalog.h"
 #include "catalog/schema.h"
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "storage/index.h"
 #include "storage/snapshot.h"
 #include "types/value.h"
@@ -61,10 +63,13 @@ struct RowVersion {
 /// Under this contract every Scan over a fixed Snapshot is repeatable:
 /// the visible set is fully determined by the snapshot version.
 ///
-/// CreateIndex is a schema-changing operation: like table creation it
-/// must be quiesced against concurrent readers of the same table (it
-/// back-fills a fresh index structure readers could otherwise observe
-/// half-built). Runtime appends into existing indexes are safe.
+/// CreateIndex back-fills a fresh index structure off to the side and
+/// only then registers it under `indexes_mu_` (reader/writer lock), so
+/// concurrent GetIndex callers see either no index or a fully built one.
+/// Versions appended during the back-fill race are the writer's own
+/// problem: CreateIndex runs under the Database write mutex, so no
+/// versions can be appended concurrently. Runtime appends into existing
+/// indexes are safe (OrderedIndex guards its map).
 class Table {
  public:
   /// `schema` must outlive the table; the Database passes a pointer into
@@ -141,10 +146,13 @@ class Table {
 
   /// Creates an ordered index on column `column`, back-filling existing
   /// versions. AlreadyExists if one is already defined on that column.
-  Status CreateIndex(size_t column);
+  /// Writer-only (Database mutex).
+  [[nodiscard]] Status CreateIndex(size_t column) TRAC_EXCLUDES(indexes_mu_);
 
-  /// The index on `column`, or nullptr.
-  const OrderedIndex* GetIndex(size_t column) const;
+  /// The index on `column`, or nullptr. The returned pointer is stable
+  /// for the table's lifetime (indexes are never dropped).
+  const OrderedIndex* GetIndex(size_t column) const
+      TRAC_EXCLUDES(indexes_mu_);
 
  private:
   /// Shelf layout: shelf s holds kBaseShelfSize << s versions, so the
@@ -173,9 +181,17 @@ class Table {
   /// published by the single writer after each append.
   std::atomic<size_t> published_size_{0};
   /// Writer-private mirror of published_size_ (avoids reloading).
+  /// Accessed only under the Database write mutex, which the analysis
+  /// cannot see from here; the single-writer contract covers it.
   size_t append_size_ = 0;
 
-  std::map<size_t, std::unique_ptr<OrderedIndex>> indexes_;
+  /// Guards the registry of secondary indexes: GetIndex (readers, any
+  /// thread) vs CreateIndex registration (writer). The OrderedIndex
+  /// objects themselves are internally synchronized and never removed.
+  mutable SharedMutex indexes_mu_{lock_rank::kTableIndexes,
+                                  "Table::indexes_mu_"};
+  std::map<size_t, std::unique_ptr<OrderedIndex>> indexes_
+      TRAC_GUARDED_BY(indexes_mu_);
 };
 
 }  // namespace trac

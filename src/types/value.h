@@ -62,7 +62,7 @@ class Value {
   /// SQL comparison: returns <0, 0, >0. Fails with TypeError for
   /// incomparable types or if either side is NULL (callers implement
   /// three-valued logic above this).
-  static Result<int> Compare(const Value& a, const Value& b);
+  [[nodiscard]] static Result<int> Compare(const Value& a, const Value& b);
 
   /// Structural equality: same type and same payload. NULL equals NULL
   /// here (unlike SQL); used by containers, tests, and DISTINCT.

@@ -42,7 +42,7 @@ std::vector<std::pair<std::string, std::string>> EvalWorkload::AllQueries()
   return {{"Q1", Q1()}, {"Q2", Q2()}, {"Q3", Q3()}, {"Q4", Q4()}};
 }
 
-Result<EvalWorkload> BuildEvalWorkload(Database* db,
+[[nodiscard]] Result<EvalWorkload> BuildEvalWorkload(Database* db,
                                        const EvalWorkloadOptions& options) {
   if (options.num_sources == 0 ||
       options.total_activity_rows % options.num_sources != 0) {

@@ -83,7 +83,7 @@ struct EvalWorkload {
 ///  - routing(mach_id, neighbor, event_time): one row per source with
 ///    neighbor = the machine itself, realizing the paper's fpr
 ///    assumption that Routing maps the queried machines onto themselves.
-Result<EvalWorkload> BuildEvalWorkload(Database* db,
+[[nodiscard]] Result<EvalWorkload> BuildEvalWorkload(Database* db,
                                        const EvalWorkloadOptions& options);
 
 }  // namespace trac

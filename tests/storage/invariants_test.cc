@@ -1,0 +1,260 @@
+// Tests for the storage invariant layer (storage/invariants.h):
+//
+//  - the debug lock-order registry turns a lock-rank inversion into a
+//    deterministic abort (death tests);
+//  - CheckShelfLogMonotonic accepts real histories and rejects a
+//    deliberately corrupted one (a version closed before it begins);
+//  - CheckSnapshotImmutable holds for a frozen snapshot while and after
+//    concurrent writers append, update and delete;
+//  - CheckDatabaseInvariants sweeps every live table.
+//
+// This target is compiled with TRAC_DEBUG_INVARIANTS=1 (per-target, see
+// tests/CMakeLists.txt), which arms the rank registration inside the
+// inline trac::Mutex methods instantiated HERE. The trac library itself
+// keeps whatever flag state the build chose; these tests only rely on
+// mutexes constructed in this translation unit.
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "common/mutex.h"
+#include "storage/invariants.h"
+
+namespace trac {
+namespace {
+
+using testing_util::Ts;
+
+// ---------------------------------------------------------------------
+// Lock-order registry.
+
+#if GTEST_HAS_DEATH_TEST
+
+TEST(LockOrderRegistryDeathTest, InvertedAcquisitionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // kOrderedIndex (50) is held; acquiring kDatabaseWrite (10) on top is
+  // the classic latent deadlock. The registry must abort immediately,
+  // with a diagnostic naming both locks.
+  EXPECT_DEATH(
+      {
+        Mutex index_mu(lock_rank::kOrderedIndex, "test::index_mu");
+        Mutex write_mu(lock_rank::kDatabaseWrite, "test::write_mu");
+        index_mu.Lock();
+        write_mu.Lock();
+      },
+      "lock-order inversion.*test::write_mu.*test::index_mu");
+}
+
+TEST(LockOrderRegistryDeathTest, SameRankAcquisitionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // Ranks must be STRICTLY increasing: two locks of equal rank have no
+  // defined order, so holding both is an inversion waiting to happen.
+  EXPECT_DEATH(
+      {
+        Mutex a(lock_rank::kCatalog, "test::catalog_a");
+        Mutex b(lock_rank::kCatalog, "test::catalog_b");
+        a.Lock();
+        b.Lock();
+      },
+      "lock-order inversion");
+}
+
+TEST(LockOrderRegistryDeathTest, SharedMutexParticipatesInOrder) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // Shared (reader) acquisitions are ordered too: reader/reader
+  // inversions still deadlock against a writer in the middle.
+  EXPECT_DEATH(
+      {
+        SharedMutex tables_mu(lock_rank::kTableRegistry, "test::tables_mu");
+        SharedMutex catalog_mu(lock_rank::kCatalog, "test::catalog_mu");
+        tables_mu.LockShared();
+        catalog_mu.LockShared();
+      },
+      "lock-order inversion");
+}
+
+#endif  // GTEST_HAS_DEATH_TEST
+
+TEST(LockOrderRegistryTest, OrderedAcquisitionIsBalanced) {
+  ASSERT_EQ(LockOrderRegistry::HeldDepth(), 0);
+  Mutex write_mu(lock_rank::kDatabaseWrite, "test::write_mu");
+  SharedMutex catalog_mu(lock_rank::kCatalog, "test::catalog_mu");
+  Mutex pool_mu(lock_rank::kThreadPool, "test::pool_mu");
+
+  write_mu.Lock();
+  EXPECT_EQ(LockOrderRegistry::HeldDepth(), 1);
+  {
+    ReaderMutexLock catalog_lock(&catalog_mu);
+    EXPECT_EQ(LockOrderRegistry::HeldDepth(), 2);
+    pool_mu.Lock();
+    EXPECT_EQ(LockOrderRegistry::HeldDepth(), 3);
+    pool_mu.Unlock();
+    EXPECT_EQ(LockOrderRegistry::HeldDepth(), 2);
+  }
+  EXPECT_EQ(LockOrderRegistry::HeldDepth(), 1);
+  write_mu.Unlock();
+  EXPECT_EQ(LockOrderRegistry::HeldDepth(), 0);
+}
+
+TEST(LockOrderRegistryTest, UnrankedLocksAreExemptAndUntracked) {
+  // Rank 0 opts out: it may be taken in any order and never appears in
+  // the held set (so it cannot block later ranked acquisitions either).
+  Mutex ranked(lock_rank::kOrderedIndex, "test::ranked");
+  Mutex leaf_a;  // kUnranked
+  Mutex leaf_b;  // kUnranked
+
+  ranked.Lock();
+  leaf_a.Lock();
+  EXPECT_EQ(LockOrderRegistry::HeldDepth(), 1);
+  leaf_b.Lock();
+  leaf_b.Unlock();
+  leaf_a.Unlock();
+  ranked.Unlock();
+  EXPECT_EQ(LockOrderRegistry::HeldDepth(), 0);
+}
+
+TEST(LockOrderRegistryTest, ReleaseUnblocksLowerRank) {
+  // Sequential (non-nested) acquisitions in any rank order are fine:
+  // order constrains only what is held simultaneously.
+  Mutex high(lock_rank::kThreadPool, "test::high");
+  Mutex low(lock_rank::kDatabaseWrite, "test::low");
+  high.Lock();
+  high.Unlock();
+  low.Lock();
+  low.Unlock();
+  EXPECT_EQ(LockOrderRegistry::HeldDepth(), 0);
+}
+
+TEST(LockOrderRegistryTest, DepthIsPerThread) {
+  Mutex mu(lock_rank::kCatalog, "test::per_thread");
+  MutexLock lock(&mu);
+  ASSERT_EQ(LockOrderRegistry::HeldDepth(), 1);
+  int other_thread_depth = -1;
+  std::thread t(
+      [&] { other_thread_depth = LockOrderRegistry::HeldDepth(); });
+  t.join();
+  EXPECT_EQ(other_thread_depth, 0);
+}
+
+// ---------------------------------------------------------------------
+// Shelf-log monotonicity.
+
+TEST(ShelfLogMonotonicTest, AcceptsRealHistory) {
+  Database db;
+  TableSchema schema("t", {ColumnDef("x", TypeId::kInt64)});
+  TRAC_ASSERT_OK_AND_ASSIGN(TableId id, db.CreateTable(std::move(schema)));
+  for (int i = 0; i < 100; ++i) {
+    TRAC_ASSERT_OK(db.Insert("t", {Value::Int(i)}));
+  }
+  // Updates close old versions and append new ones — still monotonic.
+  TRAC_ASSERT_OK(db.UpdateWhere(
+                       "t", [](const Row& r) { return r[0].int_val() < 10; },
+                       [](Row* r) { (*r)[0] = Value::Int(-1); })
+                     .status());
+  TRAC_ASSERT_OK(
+      db.DeleteWhere("t", [](const Row& r) { return r[0].int_val() > 90; })
+          .status());
+  TRAC_EXPECT_OK(CheckShelfLogMonotonic(*db.GetTable(id)));
+}
+
+TEST(ShelfLogMonotonicTest, DetectsVersionClosedBeforeItBegins) {
+  Database db;
+  TableSchema schema("t", {ColumnDef("x", TypeId::kInt64)});
+  TRAC_ASSERT_OK_AND_ASSIGN(TableId id, db.CreateTable(std::move(schema)));
+  TRAC_ASSERT_OK(db.Insert("t", {Value::Int(1)}));
+  TRAC_ASSERT_OK(db.Insert("t", {Value::Int(2)}));
+  TRAC_ASSERT_OK(db.Insert("t", {Value::Int(3)}));
+
+  // Corrupt the log through the raw writer-side interface: close the
+  // last version (begin == 3) at an earlier commit version. A correct
+  // writer can never do this — ends come from later commits.
+  Table* table = db.GetTable(id);
+  table->CloseVersion(2, /*end_version=*/1);
+
+  const Status status = CheckShelfLogMonotonic(*table);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("before it begins"), std::string::npos)
+      << status.ToString();
+}
+
+// ---------------------------------------------------------------------
+// Snapshot immutability.
+
+TEST(SnapshotImmutableTest, HoldsDuringAndAfterConcurrentWrites) {
+  Database db;
+  TableSchema schema("t", {ColumnDef("x", TypeId::kInt64)});
+  TRAC_ASSERT_OK_AND_ASSIGN(TableId id, db.CreateTable(std::move(schema)));
+  for (int i = 0; i < 50; ++i) {
+    TRAC_ASSERT_OK(db.Insert("t", {Value::Int(i)}));
+  }
+
+  // Freeze a view, then churn the table from writer threads: later
+  // inserts, updates (which CLOSE versions the snapshot can see — the
+  // atomic end must still classify them as visible here) and deletes.
+  const Snapshot frozen = db.LatestSnapshot();
+  const Table* table = db.GetTable(id);
+
+  std::atomic<bool> stop{false};
+  std::thread updater([&] {
+    for (int round = 0; round < 40; ++round) {
+      auto updated = db.UpdateWhere(
+          "t", [&](const Row& r) { return r[0].int_val() % 7 == round % 7; },
+          [](Row* r) { (*r)[0] = Value::Int(r->at(0).int_val() + 1000); });
+      if (!updated.ok()) {
+        ADD_FAILURE() << updated.status().ToString();
+        break;
+      }
+    }
+    stop.store(true);
+  });
+  std::thread inserter([&] {
+    for (int i = 0; i < 200 && !stop.load(); ++i) {
+      Status s = db.Insert("t", {Value::Int(10000 + i)});
+      if (!s.ok()) {
+        ADD_FAILURE() << s.ToString();
+        break;
+      }
+    }
+  });
+
+  // Validate the frozen snapshot repeatedly WHILE the writers run.
+  while (!stop.load()) {
+    TRAC_EXPECT_OK(CheckSnapshotImmutable(*table, frozen));
+  }
+  updater.join();
+  inserter.join();
+
+  // And after the dust settles: the frozen view still shows exactly the
+  // original 50 rows, none of the churn.
+  TRAC_EXPECT_OK(CheckSnapshotImmutable(*table, frozen));
+  EXPECT_EQ(table->CountVisible(frozen), 50u);
+  TRAC_EXPECT_OK(CheckSnapshotImmutable(*table, db.LatestSnapshot()));
+}
+
+// ---------------------------------------------------------------------
+// Whole-database sweep.
+
+TEST(DatabaseInvariantsTest, SweepsEveryLiveTable) {
+  testing_util::PaperExampleDb example(/*finite_domains=*/false);
+  TRAC_EXPECT_OK(CheckDatabaseInvariants(example.db));
+
+  // Still OK after more history, including a dropped-and-ignored table.
+  TRAC_ASSERT_OK(example.db.Insert(
+      "activity", {Value::Str("m4"), Value::Str("busy"),
+                   Value::Ts(Ts("2006-03-15 14:25:05"))}));
+  TableSchema doomed("doomed", {ColumnDef("x", TypeId::kInt64)});
+  TRAC_ASSERT_OK(example.db.CreateTable(std::move(doomed)).status());
+  TRAC_ASSERT_OK(example.db.Insert("doomed", {Value::Int(1)}));
+  TRAC_ASSERT_OK(example.db.DropTable("doomed"));
+  TRAC_EXPECT_OK(CheckDatabaseInvariants(example.db));
+
+  // DCheck wrapper must be callable in any build (no-op or pass).
+  DCheckDatabaseInvariants(example.db);
+}
+
+}  // namespace
+}  // namespace trac

@@ -1,0 +1,28 @@
+// Seeded trac_lint violations for the self-test (tools/CMakeLists.txt):
+// this header is lint *testdata*, never compiled. Expected findings:
+//   include-guard  — no #ifndef/#define pair and no #pragma once
+//   naked-mutex    — raw std::mutex / std::shared_mutex members
+//   nodiscard      — Status/Result declarations without [[nodiscard]]
+
+#include <mutex>
+#include <shared_mutex>
+
+namespace bad {
+
+class Status;
+template <typename T>
+class Result;
+
+class LeakyLocks {
+ public:
+  Status Flush();
+  Result<int> Count() const;
+
+  [[nodiscard]] Status AnnotatedProperly();  // not a finding
+
+ private:
+  std::mutex mu_;
+  std::shared_mutex registry_mu_;
+};
+
+}  // namespace bad

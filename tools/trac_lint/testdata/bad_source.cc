@@ -1,0 +1,25 @@
+// Seeded trac_lint violations for the self-test: never compiled.
+// Expected findings:
+//   include-cc         — #include of a .cc file
+//   naked-mutex        — std::lock_guard over a raw mutex
+//   no-localtime-rand  — direct rand()/localtime() calls
+
+#include <ctime>
+#include <mutex>
+
+#include "bad_header.cc"
+
+namespace bad {
+
+int UnseededDice() { return rand() % 6; }
+
+void LogWallClock(std::time_t t) {
+  std::tm* local = std::localtime(&t);
+  (void)local;
+}
+
+void TouchUnderRawGuard(std::mutex& mu) {
+  std::lock_guard<std::mutex> lock(mu);
+}
+
+}  // namespace bad

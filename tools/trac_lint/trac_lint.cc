@@ -1,0 +1,303 @@
+// trac_lint: project-specific lint rules the compiler cannot enforce.
+//
+// Usage: trac_lint <dir-or-file>...
+//
+// Walks the given directories for .h/.cc files and checks:
+//   nodiscard          every unqualified Status/Result<T>-returning
+//                      declaration carries [[nodiscard]]
+//   naked-mutex        no std::mutex / std::shared_mutex / std lock RAII
+//                      outside common/mutex.h (use trac::Mutex et al so
+//                      Clang thread-safety analysis sees acquisitions)
+//   include-cc         no #include of .cc files
+//   include-guard      every header has an include guard or #pragma once
+//   no-localtime-rand  no direct localtime/rand/srand calls (use
+//                      common/timestamp.h / common/random.h)
+//
+// A line ending in a NOLINT(trac-<rule>) comment is exempt from <rule>.
+// Exit status is non-zero iff any violation was found; runs as a CTest
+// test so the rules gate every merge (see tools/CMakeLists.txt).
+//
+// Deliberately self-contained (std library only, line-oriented): it
+// needs no compilation database and finishes in milliseconds, which is
+// what keeps it in the inner loop instead of becoming a nightly job.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Violation {
+  std::string file;
+  size_t line;
+  std::string rule;
+  std::string message;
+};
+
+std::vector<Violation> violations;
+
+void Report(const std::string& file, size_t line, const std::string& rule,
+            const std::string& message) {
+  violations.push_back(Violation{file, line, rule, message});
+}
+
+std::string Trim(const std::string& s) {
+  const size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  const size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+bool IsCommentLine(const std::string& trimmed) {
+  return trimmed.rfind("//", 0) == 0 || trimmed.rfind("*", 0) == 0 ||
+         trimmed.rfind("/*", 0) == 0;
+}
+
+bool HasNolint(const std::string& line, const std::string& rule) {
+  return line.find("NOLINT(trac-" + rule + ")") != std::string::npos;
+}
+
+/// True when `path` (generic form) names the annotated-mutex wrapper
+/// header, the only place allowed to touch raw standard mutexes.
+bool IsMutexWrapperHeader(const std::string& path) {
+  return path.size() >= 14 &&
+         path.compare(path.size() - 14, 14, "common/mutex.h") == 0;
+}
+
+bool IsTimeOrRandomWrapper(const std::string& path) {
+  for (const char* allowed :
+       {"common/timestamp.h", "common/timestamp.cc", "common/random.h",
+        "common/random.cc"}) {
+    const std::string suffix(allowed);
+    if (path.size() >= suffix.size() &&
+        path.compare(path.size() - suffix.size(), suffix.size(), suffix) ==
+            0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// --- Rule: nodiscard -------------------------------------------------------
+
+const std::regex kStatusDeclRe(
+    R"(^(?:(?:static|virtual|inline|constexpr|friend|explicit)\s+)*(Status|Result<.*>)\s+([A-Za-z_][A-Za-z0-9_]*)\s*\()");
+
+void CheckNodiscard(const std::string& path,
+                    const std::vector<std::string>& lines) {
+  std::string prev_nonblank;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string& raw = lines[i];
+    const std::string trimmed = Trim(raw);
+    if (trimmed.empty()) continue;
+    if (IsCommentLine(trimmed) || trimmed[0] == '#') {
+      // Comments and preprocessor lines never declare functions, and do
+      // not interrupt a [[nodiscard]] on the preceding line.
+      continue;
+    }
+    std::smatch m;
+    std::string candidate = trimmed;
+    bool marked_inline = false;
+    const std::string kMark = "[[nodiscard]]";
+    if (candidate.rfind(kMark, 0) == 0) {
+      marked_inline = true;
+      candidate = Trim(candidate.substr(kMark.size()));
+    }
+    if (std::regex_search(candidate, m, kStatusDeclRe) &&
+        !HasNolint(raw, "nodiscard")) {
+      const bool marked_prev =
+          prev_nonblank.size() >= kMark.size() &&
+          prev_nonblank.compare(prev_nonblank.size() - kMark.size(),
+                                kMark.size(), kMark) == 0;
+      if (!marked_inline && !marked_prev) {
+        Report(path, i + 1, "nodiscard",
+               "declaration of '" + m[2].str() + "' returns " + m[1].str() +
+                   " but is not [[nodiscard]]");
+      }
+    }
+    prev_nonblank = trimmed;
+  }
+}
+
+// --- Rule: naked-mutex -----------------------------------------------------
+
+const char* const kBannedSyncTokens[] = {
+    "std::mutex",       "std::shared_mutex",       "std::recursive_mutex",
+    "std::timed_mutex", "std::condition_variable", "std::lock_guard",
+    "std::unique_lock", "std::shared_lock",        "std::scoped_lock",
+};
+const char* const kBannedSyncIncludes[] = {
+    "#include <mutex>",
+    "#include <shared_mutex>",
+    "#include <condition_variable>",
+};
+
+void CheckNakedMutex(const std::string& path,
+                     const std::vector<std::string>& lines) {
+  if (IsMutexWrapperHeader(path)) return;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string trimmed = Trim(lines[i]);
+    if (IsCommentLine(trimmed) || HasNolint(lines[i], "naked-mutex")) {
+      continue;
+    }
+    for (const char* token : kBannedSyncTokens) {
+      if (trimmed.find(token) != std::string::npos) {
+        Report(path, i + 1, "naked-mutex",
+               std::string(token) +
+                   " outside common/mutex.h; use trac::Mutex / "
+                   "trac::SharedMutex and their RAII guards so the "
+                   "thread-safety analysis sees the acquisition");
+      }
+    }
+    for (const char* inc : kBannedSyncIncludes) {
+      if (trimmed.rfind(inc, 0) == 0) {
+        Report(path, i + 1, "naked-mutex",
+               std::string(inc) + " outside common/mutex.h");
+      }
+    }
+  }
+}
+
+// --- Rule: include-cc ------------------------------------------------------
+
+const std::regex kIncludeCcRe(R"(^\s*#\s*include\s*[<"][^>"]*\.cc[>"])");
+
+void CheckIncludeCc(const std::string& path,
+                    const std::vector<std::string>& lines) {
+  for (size_t i = 0; i < lines.size(); ++i) {
+    if (std::regex_search(lines[i], kIncludeCcRe) &&
+        !HasNolint(lines[i], "include-cc")) {
+      Report(path, i + 1, "include-cc",
+             "#include of a .cc file; give the code a header or add it "
+             "to the library's source list");
+    }
+  }
+}
+
+// --- Rule: include-guard ---------------------------------------------------
+
+void CheckIncludeGuard(const std::string& path,
+                       const std::vector<std::string>& lines) {
+  bool has_pragma_once = false;
+  bool has_ifndef = false;
+  bool has_define = false;
+  const size_t horizon = std::min<size_t>(lines.size(), 64);
+  for (size_t i = 0; i < horizon; ++i) {
+    const std::string trimmed = Trim(lines[i]);
+    if (trimmed.rfind("#pragma once", 0) == 0) has_pragma_once = true;
+    if (trimmed.rfind("#ifndef", 0) == 0) has_ifndef = true;
+    if (has_ifndef && trimmed.rfind("#define", 0) == 0) has_define = true;
+  }
+  if (!has_pragma_once && !(has_ifndef && has_define)) {
+    Report(path, 1, "include-guard",
+           "header lacks an include guard (#ifndef/#define) and has no "
+           "#pragma once");
+  }
+}
+
+// --- Rule: no-localtime-rand ----------------------------------------------
+
+const std::regex kTimeRandRe(
+    R"((^|[^A-Za-z0-9_:])((std::)?(localtime(_r|_s)?|rand|srand))\s*\()");
+
+void CheckLocaltimeRand(const std::string& path,
+                        const std::vector<std::string>& lines) {
+  if (IsTimeOrRandomWrapper(path)) return;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string trimmed = Trim(lines[i]);
+    if (IsCommentLine(trimmed) ||
+        HasNolint(lines[i], "no-localtime-rand")) {
+      continue;
+    }
+    std::smatch m;
+    if (std::regex_search(lines[i], m, kTimeRandRe)) {
+      Report(path, i + 1, "no-localtime-rand",
+             "direct call to " + m[2].str() +
+                 "(); use common/timestamp.h (UTC, injectable clocks) or "
+                 "common/random.h (seeded, reproducible) instead");
+    }
+  }
+}
+
+// --- Driver ----------------------------------------------------------------
+
+std::vector<std::string> ReadLines(const fs::path& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+void LintFile(const fs::path& file) {
+  const std::string path = file.generic_string();
+  const std::string ext = file.extension().string();
+  const std::vector<std::string> lines = ReadLines(file);
+  CheckNodiscard(path, lines);
+  CheckNakedMutex(path, lines);
+  CheckIncludeCc(path, lines);
+  if (ext == ".h") CheckIncludeGuard(path, lines);
+  CheckLocaltimeRand(path, lines);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <dir-or-file>...\n", argv[0]);
+    return 2;
+  }
+  size_t files = 0;
+  for (int i = 1; i < argc; ++i) {
+    const fs::path root(argv[i]);
+    std::error_code ec;
+    if (fs::is_regular_file(root, ec)) {
+      LintFile(root);
+      ++files;
+      continue;
+    }
+    if (!fs::is_directory(root, ec)) {
+      std::fprintf(stderr, "trac_lint: no such file or directory: %s\n",
+                   argv[i]);
+      return 2;
+    }
+    std::vector<fs::path> paths;
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext == ".h" || ext == ".cc") paths.push_back(entry.path());
+    }
+    // Deterministic order regardless of directory enumeration.
+    std::sort(paths.begin(), paths.end());
+    for (const fs::path& p : paths) {
+      LintFile(p);
+      ++files;
+    }
+  }
+
+  for (const Violation& v : violations) {
+    std::printf("%s:%zu: [%s] %s\n", v.file.c_str(), v.line, v.rule.c_str(),
+                v.message.c_str());
+  }
+  if (violations.empty()) {
+    std::printf("trac_lint: OK (%zu files)\n", files);
+    return 0;
+  }
+  std::set<std::string> rules;
+  for (const Violation& v : violations) rules.insert(v.rule);
+  std::string rule_list;
+  for (const std::string& r : rules) {
+    if (!rule_list.empty()) rule_list += ", ";
+    rule_list += r;
+  }
+  std::printf("trac_lint: %zu violation(s) across %zu file(s) (rules: %s)\n",
+              violations.size(), files, rule_list.c_str());
+  return 1;
+}
