@@ -1,0 +1,6 @@
+-- DNF blow-up: 13 binary disjunctions multiply to 8192 worst-case
+-- conjuncts, past the 4096 limit. The analyzer degrades to the
+-- complete upper bound instead of erroring. Expected: UPPER_BOUND
+-- with TRAC-W004.
+SELECT mach_id FROM activity
+WHERE (value = 'v0' OR value = 'w0') AND (value = 'v1' OR value = 'w1') AND (value = 'v2' OR value = 'w2') AND (value = 'v3' OR value = 'w3') AND (value = 'v4' OR value = 'w4') AND (value = 'v5' OR value = 'w5') AND (value = 'v6' OR value = 'w6') AND (value = 'v7' OR value = 'w7') AND (value = 'v8' OR value = 'w8') AND (value = 'v9' OR value = 'w9') AND (value = 'v10' OR value = 'w10') AND (value = 'v11' OR value = 'w11') AND (value = 'v12' OR value = 'w12');

@@ -1,0 +1,6 @@
+-- Join over regular columns: neither side's relevant set can be
+-- narrowed exactly (Corollary 5). Expected: UPPER_BOUND with TRAC-W002
+-- against both relations.
+SELECT a.value
+FROM activity a, routing r
+WHERE a.value = r.neighbor;

@@ -1,0 +1,4 @@
+-- Mixed predicate: relates activity's data source column to one of its
+-- regular columns, so the generated relevant set is only an upper bound
+-- (Corollary 3). Expected: UPPER_BOUND with TRAC-W001.
+SELECT value FROM activity WHERE mach_id = value;

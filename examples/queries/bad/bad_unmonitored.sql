@@ -1,0 +1,3 @@
+-- No monitored relation: config has no data source column, so nothing
+-- can be relevant via it. Expected: EMPTY_SET with TRAC-E002.
+SELECT name FROM config WHERE name = 'interval';

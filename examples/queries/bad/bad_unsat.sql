@@ -1,0 +1,4 @@
+-- Contradictory selection: every DNF conjunct is unsatisfiable, so
+-- S(Q) = 0 and no source needs to be current (Corollary 2). Expected:
+-- EMPTY_SET with TRAC-E001.
+SELECT value FROM activity WHERE value = 'idle' AND value = 'busy';

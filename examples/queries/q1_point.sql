@@ -1,0 +1,2 @@
+-- Point lookup on the data source column: P_s only (Theorem 3).
+SELECT value FROM activity WHERE mach_id = 'm1';

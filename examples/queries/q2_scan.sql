@@ -1,0 +1,3 @@
+-- Unrestricted scan: every source is genuinely relevant, and that is
+-- still the exact minimum (Theorem 3 with an empty predicate).
+SELECT mach_id, value FROM activity;

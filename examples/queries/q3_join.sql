@@ -1,0 +1,5 @@
+-- Source-column equijoin plus a satisfiable regular-column selection:
+-- the Theorem 4 preconditions hold for both relations.
+SELECT a.value
+FROM activity a, routing r
+WHERE a.mach_id = r.mach_id AND r.neighbor = 'm7';

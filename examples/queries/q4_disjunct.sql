@@ -1,0 +1,4 @@
+-- Disjunction: the DNF walk analyzes each conjunct separately; the
+-- conjunct contradicting activity's CHECK constraint is dropped without
+-- costing exactness (Corollary 2).
+SELECT mach_id FROM activity WHERE value = 'idle' OR mach_id = 'm3';

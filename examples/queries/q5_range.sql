@@ -1,0 +1,4 @@
+-- Range predicate over a regular column: satisfiable, so the exact
+-- minimum is kept (Theorem 3).
+SELECT mach_id FROM activity
+WHERE event_time >= '2006-03-11 00:00:00';

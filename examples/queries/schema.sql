@@ -1,0 +1,26 @@
+-- Grid-monitoring schema for the trac_analyze corpus, modeled on the
+-- paper's running example (Section 2): machine activity and routing
+-- streams, each tagged with the reporting machine as its data source,
+-- plus an unmonitored configuration table.
+--
+-- The CHECK constraint participates in analysis as Section 3.4's
+-- Q' = Q AND C: every query over activity is analyzed with the value
+-- domain conjoined.
+
+CREATE TABLE activity (
+  mach_id TEXT DATA SOURCE,
+  value TEXT,
+  event_time TIMESTAMP,
+  CHECK (value = 'idle' OR value = 'busy')
+);
+
+CREATE TABLE routing (
+  mach_id TEXT DATA SOURCE,
+  neighbor TEXT,
+  event_time TIMESTAMP
+);
+
+CREATE TABLE config (
+  name TEXT,
+  setting TEXT
+);

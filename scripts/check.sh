@@ -3,13 +3,26 @@
 #
 #   1. configure + build the default preset,
 #   2. run trac_lint over src/,
-#   3. run the whole ctest suite (which re-runs the linter and its
-#      self-test as test cases),
-#   4. if clang++ is available, build the `tsa` preset so Clang's
+#   3. run trac_analyze over the examples/queries corpus (clean corpus
+#      must stay EXACT_MINIMUM and match its goldens; the seeded-bad
+#      corpus must match its degraded-verdict goldens),
+#   4. run the whole ctest suite (which re-runs the linters and their
+#      self-tests as test cases),
+#   5. with --tidy, run clang-tidy (.clang-tidy profile) over src/ —
+#      skipped with a message when clang-tidy is not installed,
+#   6. if clang++ is available, build the `tsa` preset so Clang's
 #      thread-safety analysis runs with -Werror=thread-safety.
 #
 # Exits non-zero on the first failure. Run from anywhere.
 set -euo pipefail
+
+run_tidy=0
+for arg in "$@"; do
+  case "$arg" in
+    --tidy) run_tidy=1 ;;
+    *) echo "usage: $0 [--tidy]" >&2; exit 2 ;;
+  esac
+done
 
 cd "$(dirname "$0")/.."
 
@@ -20,8 +33,24 @@ cmake --build --preset default -j"$(nproc)"
 echo "==> trac_lint src/"
 ./build/tools/trac_lint src
 
+echo "==> trac_analyze examples/queries/"
+./build/tools/trac_analyze --schema examples/queries/schema.sql \
+  --golden examples/queries/golden --require-exact examples/queries/q*.sql
+./build/tools/trac_analyze --schema examples/queries/schema.sql \
+  --golden examples/queries/golden/bad examples/queries/bad/bad_*.sql
+
 echo "==> ctest (default preset)"
 ctest --preset default -j"$(nproc)" --output-on-failure
+
+if [[ "$run_tidy" -eq 1 ]]; then
+  if command -v clang-tidy >/dev/null 2>&1; then
+    echo "==> clang-tidy src/ (.clang-tidy profile)"
+    mapfile -t tidy_sources < <(find src -name '*.cc' | sort)
+    clang-tidy -p build --quiet "${tidy_sources[@]}"
+  else
+    echo "==> clang-tidy not found; skipping the tidy pass"
+  fi
+fi
 
 if command -v clang++ >/dev/null 2>&1; then
   echo "==> thread-safety analysis build (tsa preset, clang++)"

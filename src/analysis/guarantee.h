@@ -1,0 +1,169 @@
+#ifndef TRAC_ANALYSIS_GUARANTEE_H_
+#define TRAC_ANALYSIS_GUARANTEE_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "expr/bound_expr.h"
+#include "predicate/basic_term.h"
+#include "predicate/normalize.h"
+#include "predicate/satisfiability.h"
+#include "storage/database.h"
+
+namespace trac {
+
+/// The recency guarantee a query's generated relevant set earns, decided
+/// *statically* — before any recency query is executed. The paper's
+/// theorem table, as a three-way verdict:
+///
+///  - kExactMinimum: every (conjunct, relation) part satisfies the
+///    preconditions of Theorem 3 (single relation) / Theorem 4 (multi
+///    relation): no mixed predicate, no join over a regular column, and
+///    the regular-column predicates proven satisfiable. A(Q) == S(Q).
+///  - kUpperBound: some part lost a precondition (Corollaries 3 and 5),
+///    the DNF conversion was abandoned on blow-up, or the Naive plan was
+///    requested. A(Q) ⊇ S(Q) still holds (Theorem 1, completeness).
+///  - kEmptySet: the predicate is unsatisfiable over the declared column
+///    domains in every DNF conjunct (Corollaries 2 and 6), or no
+///    referenced relation is monitored. S(Q) = ∅ and A(Q) = ∅.
+enum class RecencyGuarantee { kExactMinimum = 0, kUpperBound = 1, kEmptySet = 2 };
+
+std::string_view GuaranteeToString(RecencyGuarantee g);
+
+/// Machine-checkable diagnostic codes. The letter encodes the effect on
+/// the verdict: W (warning) downgrades to kUpperBound, E (empty) forces
+/// kEmptySet, I (info) records a precision-preserving event.
+enum class AnalysisCode {
+  kMixedPredicate = 0,        ///< TRAC-W001: P_m term (Corollary 3/5).
+  kRegularColumnJoin,         ///< TRAC-W002: J_rm term (Corollary 3/5).
+  kUnprovenSatisfiability,    ///< TRAC-W003: P_r not proven Sat (Theorem 3/4
+                              ///  precondition unmet).
+  kDnfBlowUp,                 ///< TRAC-W004: ToDnf exceeded the conjunct
+                              ///  limit; degraded to the complete answer.
+  kNaiveAllSources,           ///< TRAC-W005: Naive plan (all sources).
+  kUnsatisfiableConjunct,     ///< TRAC-I001: conjunct dropped, exactness
+                              ///  kept (Corollary 2/6).
+  kRelationSelectionUnsat,    ///< TRAC-I002: S(C, R_i) = ∅, part dropped.
+  kUnmonitoredRelation,       ///< TRAC-I003: relation has no data source
+                              ///  column; nothing is relevant via it.
+  kUnsatisfiableQuery,        ///< TRAC-E001: every conjunct unsatisfiable.
+  kNoMonitoredRelation,       ///< TRAC-E002: no relation is monitored.
+};
+
+/// Stable identifier, e.g. "TRAC-W001".
+std::string_view AnalysisCodeId(AnalysisCode code);
+
+/// The theorem/corollary backing `code`'s claim, e.g. "Corollary 5".
+/// `multi_relation` selects between the single- and multi-relation forms
+/// of the paper's results.
+std::string_view AnalysisCodeCitation(AnalysisCode code, bool multi_relation);
+
+/// One source-anchored finding of the static analysis.
+struct AnalysisDiagnostic {
+  AnalysisCode code = AnalysisCode::kMixedPredicate;
+  /// 1-based DNF conjunct the finding anchors to; 0 = the whole query.
+  size_t conjunct = 0;
+  /// Display name of the relation concerned; empty = the whole query.
+  std::string relation;
+  /// Rendered SQL of the offending basic term; empty when the finding is
+  /// not term-anchored.
+  std::string term_sql;
+  /// Citation string, e.g. "Theorem 3", "Corollary 5".
+  std::string citation;
+  std::string message;
+
+  /// "[TRAC-W001] conjunct 2, relation r: mixed predicate '...' (Corollary 5)".
+  std::string Format() const;
+};
+
+/// The analyzer's result: the verdict plus everything needed to explain
+/// it (structured diagnostics, DNF size accounting, headline citation).
+struct GuaranteeReport {
+  RecencyGuarantee verdict = RecencyGuarantee::kExactMinimum;
+  /// Headline citation for the verdict, e.g. "Theorem 4".
+  std::string citation;
+  /// Worst-case conjunct count of the DNF conversion, computed without
+  /// materializing it (saturates at NormalizeOptions::max_conjuncts + 1).
+  size_t estimated_dnf_conjuncts = 0;
+  /// Conjuncts actually produced (0 when the conversion overflowed).
+  size_t dnf_conjuncts = 0;
+  bool dnf_overflow = false;
+  /// Conjuncts that survived the satisfiability check.
+  size_t live_conjuncts = 0;
+  std::vector<AnalysisDiagnostic> diagnostics;
+
+  /// "EXACT_MINIMUM (Theorem 3)".
+  std::string Summary() const;
+  /// Multi-line lint-style block: verdict, citation, DNF accounting, one
+  /// line per diagnostic.
+  std::string Format() const;
+};
+
+struct GuaranteeOptions {
+  NormalizeOptions normalize;
+  SatOptions sat;
+};
+
+/// Per-(live conjunct, monitored relation) classification of the
+/// conjunct's terms relative to relation slot `relation` (Notation 6).
+/// Term pointers reference the owning QueryAnalysis's DNF.
+struct ConjunctRelationView {
+  size_t relation = 0;
+  /// Satisfiability of the selection terms (P_s ∧ P_r ∧ P_m) alone; when
+  /// kUnsat, no potential tuple of R_i exists and the part is dropped.
+  Sat selection_sat = Sat::kUnknown;
+  /// Satisfiability of P_r alone — the Theorem 3/4 precondition. Only
+  /// decided when `has_mixed` and `has_regular_join` are both false.
+  Sat regular_sat = Sat::kUnknown;
+  bool has_mixed = false;         ///< Some P_m term present.
+  bool has_regular_join = false;  ///< Some J_rm term present.
+  /// The part computes the exact S(C, R_i) (Theorem 3/4 preconditions).
+  bool minimal = false;
+  std::vector<const BasicTerm*> ps, pr, pm, js, jrm, po;
+};
+
+/// Analysis of one DNF conjunct.
+struct ConjunctAnalysis {
+  Sat sat = Sat::kUnknown;  ///< Whole-conjunct satisfiability.
+  /// One view per *monitored* relation (relations with a data source
+  /// column); populated only when `sat` != kUnsat.
+  std::vector<ConjunctRelationView> relations;
+};
+
+/// Full output of the static walk: the verdict report plus the DNF and
+/// per-conjunct classifications the recency-plan generator consumes, so
+/// plan generation and verdict can never disagree.
+struct QueryAnalysis {
+  Dnf dnf;  ///< Owns the basic terms the views point into.
+  /// Parallel to dnf.conjuncts; empty when the conversion overflowed.
+  std::vector<ConjunctAnalysis> conjuncts;
+  /// Data source column per user relation slot (nullopt: unmonitored).
+  std::vector<std::optional<size_t>> ds_col;
+  GuaranteeReport report;
+};
+
+/// Statically classifies `query`'s recency guarantee without executing
+/// anything: conjoins CHECK constraints (Section 3.4's Q' = Q ∧ C),
+/// DNF-normalizes, classifies every term per relation, and decides
+/// per-conjunct satisfiability. Never fails on DNF blow-up — that
+/// degrades to kUpperBound with a TRAC-W004 diagnostic.
+[[nodiscard]] Result<QueryAnalysis> AnalyzeQuery(
+    const Database& db, const BoundQuery& query,
+    const GuaranteeOptions& options = GuaranteeOptions());
+
+/// Convenience wrapper returning only the report.
+[[nodiscard]] Result<GuaranteeReport> AnalyzeRecencyGuarantee(
+    const Database& db, const BoundQuery& query,
+    const GuaranteeOptions& options = GuaranteeOptions());
+
+/// Worst-case DNF conjunct count of `predicate` (after negation
+/// push-down), computed without materializing the DNF: leaves count 1,
+/// OR sums, AND multiplies. Saturates at `cap`.
+size_t EstimateDnfConjuncts(const BoundExpr& predicate, size_t cap);
+
+}  // namespace trac
+
+#endif  // TRAC_ANALYSIS_GUARANTEE_H_

@@ -34,7 +34,7 @@ void LockRankAcquired(int rank, const char* name) {
           "holding '%s' (rank %d); the global order in common/mutex.h "
           "requires strictly increasing ranks\n",
           name, rank, h.name, h.rank);
-      std::abort();
+      std::abort();  // NOLINT(trac-no-throw-abort): debug-only deadlock trap
     }
   }
   held.push_back(HeldLock{rank, name});

@@ -36,6 +36,7 @@ std::string RecencyReport::FormatNotices() const {
   } else {
     out += "NOTICE: No normal relevant data sources\n";
   }
+  out += "NOTICE: Recency guarantee: " + relevance.analysis.Summary() + "\n";
   if (!normal_temp_table.empty()) {
     out +=
         "NOTICE: All \"normal\" relevant data sources and timestamps are "
@@ -95,10 +96,14 @@ Result<RecencyReport> RecencyReporter::Finish(
     int64_t parse_generate_micros) {
   RecencyReport report;
   report.parse_generate_micros = parse_generate_micros;
-  // 1. The user query, on the shared snapshot.
+  // 1. The user query, on the shared snapshot. The plan's guarantee
+  // analysis rides along as a planner hint: a statically
+  // proven-unsatisfiable predicate short-circuits to an empty result.
+  PlanningHints hints;
+  hints.guarantee = &plan.analysis;
   int64_t t = NowMicros();
   TRAC_ASSIGN_OR_RETURN(report.result,
-                        ExecuteQuery(*db_, user_query, snapshot));
+                        ExecuteQuery(*db_, user_query, snapshot, hints));
   report.user_query_micros = NowMicros() - t;
 
   // 2. The recency queries, on the same snapshot, fanned out across
@@ -118,6 +123,7 @@ Result<RecencyReport> RecencyReporter::Finish(
   report.relevance.sources = sources;
   report.relevance.minimal = plan.minimal;
   report.relevance.fallback_all = plan.fallback_all;
+  report.relevance.analysis = plan.analysis;
   report.relevance.notes = plan.notes;
   for (const RecencyQueryPlan::Part& part : plan.parts) {
     report.relevance.recency_sqls.push_back(part.sql);

@@ -8,7 +8,6 @@
 #include "common/str_util.h"
 #include "common/thread_pool.h"
 #include "exec/executor.h"
-#include "expr/constraints.h"
 #include "predicate/basic_term.h"
 
 namespace trac {
@@ -180,6 +179,18 @@ void SplitPartIntoGuards(const Database& db, RecencyQueryPlan::Part* part,
   RecencyQueryPlan plan;
   plan.fallback_all = true;
   plan.minimal = false;
+  plan.analysis.verdict = RecencyGuarantee::kUpperBound;
+  plan.analysis.citation = std::string(
+      AnalysisCodeCitation(AnalysisCode::kNaiveAllSources, false));
+  {
+    AnalysisDiagnostic d;
+    d.code = AnalysisCode::kNaiveAllSources;
+    d.citation = plan.analysis.citation;
+    d.message =
+        "Naive method: every heartbeat source reported relevant (complete "
+        "upper bound)";
+    plan.analysis.diagnostics.push_back(std::move(d));
+  }
   RecencyQueryPlan::Part part;
   part.query = MakeRecencyScaffold(hb, hb.name);
   part.minimal = false;
@@ -193,146 +204,51 @@ void SplitPartIntoGuards(const Database& db, RecencyQueryPlan::Part* part,
     const RelevanceOptions& options) {
   TRAC_ASSIGN_OR_RETURN(HeartbeatInfo hb, ResolveHeartbeat(db, options));
   const std::string hb_alias = UniqueHeartbeatAlias(user_query);
-
-  // Data source column of each user relation (nullopt: unmonitored).
   const size_t num_rels = user_query.relations.size();
-  std::vector<std::optional<size_t>> ds_col(num_rels);
-  for (size_t r = 0; r < num_rels; ++r) {
-    ds_col[r] = db.catalog()
-                    .schema(user_query.relations[r].table_id)
-                    .data_source_column();
+
+  // The static walk (Section 3.4's Q' = Q ∧ C, DNF normalization,
+  // Notation 6 term classes, per-conjunct satisfiability) lives in the
+  // analyzer; plan generation consumes the same per-conjunct views the
+  // verdict is derived from, so plan and verdict cannot disagree.
+  GuaranteeOptions gopts;
+  gopts.normalize = options.normalize;
+  gopts.sat = options.sat;
+  TRAC_ASSIGN_OR_RETURN(QueryAnalysis analysis,
+                        AnalyzeQuery(db, user_query, gopts));
+
+  // DNF blow-up falls back to the complete Naive answer (never an
+  // error: completeness first). The analyzer's report — kUpperBound
+  // with the TRAC-W004 diagnostic — replaces the Naive plan's own.
+  if (analysis.report.dnf_overflow) {
+    RecencyQueryPlan plan;
+    TRAC_ASSIGN_OR_RETURN(plan, GenerateNaivePlan(db, options));
+    plan.analysis = analysis.report;
+    plan.notes.push_back(
+        "DNF conjunct limit exceeded; reporting all sources (complete "
+        "upper bound)");
+    return plan;
   }
 
   RecencyQueryPlan plan;
+  plan.analysis = analysis.report;
 
-  // Section 3.4's Q' = Q ∧ C: conjoin every FROM relation's CHECK
-  // constraints (remapped into the query's slot space) with the user
-  // predicate. Constraints restrict which potential tuples are legal,
-  // so they can only sharpen the relevant set; their terms classify
-  // like any other (a mixed constraint costs the minimality guarantee,
-  // exactly as the paper's definitions imply for Q').
-  BoundExprPtr effective_where;
-  {
-    std::vector<BoundExprPtr> terms;
-    if (user_query.where != nullptr) {
-      terms.push_back(user_query.where->Clone());
-    }
-    for (size_t r = 0; r < num_rels; ++r) {
-      TRAC_ASSIGN_OR_RETURN(
-          std::vector<BoundExprPtr> constraints,
-          BindCheckConstraints(db, user_query.relations[r].table_id));
-      for (BoundExprPtr& cexpr : constraints) {
-        cexpr->RewriteColumnRefs(
-            [r](BoundColumnRef* ref) { ref->rel = r; });
-        terms.push_back(std::move(cexpr));
-      }
-    }
-    if (terms.size() == 1) {
-      effective_where = std::move(terms[0]);
-    } else if (!terms.empty()) {
-      effective_where = MakeBoundAnd(std::move(terms));
-    }
-  }
-
-  // DNF-normalize the predicate; a blow-up falls back to the complete
-  // Naive answer (never an error: completeness first).
-  Dnf dnf;
-  if (effective_where != nullptr) {
-    Result<Dnf> normalized = ToDnf(*effective_where, options.normalize);
-    if (!normalized.ok()) {
-      if (normalized.status().code() == StatusCode::kResourceExhausted) {
-        TRAC_ASSIGN_OR_RETURN(plan, GenerateNaivePlan(db, options));
-        plan.notes.push_back(
-            "DNF conjunct limit exceeded; reporting all sources (complete "
-            "upper bound)");
-        return plan;
-      }
-      return normalized.status();
-    }
-    dnf = std::move(*normalized);
-  } else {
-    dnf.conjuncts.push_back(Conjunct{});  // TRUE: one empty conjunct.
-  }
-
-  for (size_t ci = 0; ci < dnf.conjuncts.size(); ++ci) {
-    const Conjunct& conjunct = dnf.conjuncts[ci];
-
+  for (size_t ci = 0; ci < analysis.conjuncts.size(); ++ci) {
+    const ConjunctAnalysis& ca = analysis.conjuncts[ci];
     // Corollaries 2 / 6: a conjunct whose predicates are unsatisfiable
     // over the column domains contributes nothing.
-    Sat conj_sat = CheckConjunctionSat(db, user_query, conjunct, options.sat);
-    if (conj_sat == Sat::kUnsat) continue;
+    if (ca.sat == Sat::kUnsat) continue;
 
-    for (size_t ri = 0; ri < num_rels; ++ri) {
-      if (!ds_col[ri].has_value()) {
-        // A relation with untagged tuples: no update stream exists for
-        // it, so nothing can be relevant *via* it (its rows still join
-        // inside the other relations' parts).
-        continue;
-      }
-
-      // Classify the conjunct's terms relative to R_i (Notation 6).
-      std::vector<const BasicTerm*> ps, pr, pm, js, jrm, po, sel;
-      for (const BasicTerm& term : conjunct) {
-        switch (ClassifyTerm(db, user_query, term, ri)) {
-          case TermClass::kPs:
-            ps.push_back(&term);
-            sel.push_back(&term);
-            break;
-          case TermClass::kPr:
-            pr.push_back(&term);
-            sel.push_back(&term);
-            break;
-          case TermClass::kPm:
-            pm.push_back(&term);
-            sel.push_back(&term);
-            break;
-          case TermClass::kJs:
-            js.push_back(&term);
-            break;
-          case TermClass::kJrm:
-            jrm.push_back(&term);
-            break;
-          case TermClass::kPo:
-            po.push_back(&term);
-            break;
-        }
-      }
-
-      // If the selection predicates on R_i alone are unsatisfiable over
-      // the domains, no potential tuple of R_i exists: S(C, R_i) = ∅.
-      Sat sel_sat = CheckConjunctionSat(db, user_query, sel, options.sat);
-      if (sel_sat == Sat::kUnsat) continue;
-
-      // Theorem 3/4 preconditions.
-      bool part_minimal = pm.empty() && jrm.empty();
-      std::string note;
-      if (!pm.empty()) {
-        note = "mixed predicate on " +
-               user_query.relations[ri].display_name;
-      } else if (!jrm.empty()) {
-        note = "join predicate over a regular column of " +
-               user_query.relations[ri].display_name;
-      }
-      if (part_minimal) {
-        Sat pr_sat = CheckConjunctionSat(db, user_query, pr, options.sat);
-        if (pr_sat != Sat::kSat) {
-          part_minimal = false;
-          note = "satisfiability of the regular-column predicates on " +
-                 user_query.relations[ri].display_name +
-                 " could not be proven";
-        }
-      }
-      if (!part_minimal && !note.empty()) {
-        plan.notes.push_back("conjunct " + std::to_string(ci + 1) + ": " +
-                             note + " (upper bound; Corollary " +
-                             (num_rels == 1 ? "3" : "5") + ")");
-      }
+    for (const ConjunctRelationView& view : ca.relations) {
+      // S(C, R_i) = ∅ when the selection predicates on R_i alone are
+      // unsatisfiable over the domains.
+      if (view.selection_sat == Sat::kUnsat) continue;
+      const size_t ri = view.relation;
 
       // Build the part: H × R_j (j != i) with P_s' ∧ J_s' ∧ P_o.
       RecencyQueryPlan::Part part;
       part.via_relation = ri;
       part.conjunct = ci;
-      part.minimal = part_minimal;
+      part.minimal = view.minimal;
       part.query = MakeRecencyScaffold(hb, hb_alias);
 
       // Relation remapping: user slot j -> recency slot.
@@ -343,7 +259,6 @@ void SplitPartIntoGuards(const Database& db, RecencyQueryPlan::Part* part,
         part.query.relations.push_back(user_query.relations[j]);
       }
 
-      const size_t ds = *ds_col[ri];
       auto rewrite = [&](BoundColumnRef* ref) {
         if (ref->rel == ri) {
           // Only the data source column of R_i may appear here (terms in
@@ -352,14 +267,14 @@ void SplitPartIntoGuards(const Database& db, RecencyQueryPlan::Part* part,
           ref->rel = 0;
           ref->col = hb.source_col;
           ref->type = TypeId::kString;
-          (void)ds;
         } else {
           ref->rel = remap[ref->rel];
         }
       };
 
       std::vector<BoundExprPtr> where_terms;
-      for (const std::vector<const BasicTerm*>* group : {&ps, &js, &po}) {
+      for (const std::vector<const BasicTerm*>* group :
+           {&view.ps, &view.js, &view.po}) {
         for (const BasicTerm* term : *group) {
           BoundExprPtr cloned = term->expr->Clone();
           cloned->RewriteColumnRefs(rewrite);
@@ -371,10 +286,22 @@ void SplitPartIntoGuards(const Database& db, RecencyQueryPlan::Part* part,
     }
   }
 
-  plan.minimal = true;
-  for (const RecencyQueryPlan::Part& part : plan.parts) {
-    plan.minimal = plan.minimal && part.minimal;
+  // Surface the verdict-downgrading findings as human-readable notes.
+  for (const AnalysisDiagnostic& d : plan.analysis.diagnostics) {
+    switch (d.code) {
+      case AnalysisCode::kMixedPredicate:
+      case AnalysisCode::kRegularColumnJoin:
+      case AnalysisCode::kUnprovenSatisfiability:
+      case AnalysisCode::kDnfBlowUp:
+      case AnalysisCode::kNaiveAllSources:
+        plan.notes.push_back(d.Format());
+        break;
+      default:
+        break;
+    }
   }
+
+  plan.minimal = plan.analysis.verdict != RecencyGuarantee::kUpperBound;
   return plan;
 }
 
@@ -570,6 +497,7 @@ std::vector<std::string> RelevanceResult::SourceIds() const {
   result.sources = std::move(sources);
   result.minimal = plan.minimal;
   result.fallback_all = plan.fallback_all;
+  result.analysis = plan.analysis;
   result.notes = plan.notes;
   for (const RecencyQueryPlan::Part& part : plan.parts) {
     result.recency_sqls.push_back(part.sql);

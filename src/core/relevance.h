@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/guarantee.h"
 #include "common/result.h"
 #include "core/heartbeat.h"
 #include "expr/bound_expr.h"
@@ -77,7 +78,15 @@ struct RecencyQueryPlan {
 
   /// All parts minimal, the DNF was exact, and no conjunct was dropped
   /// on an unproven satisfiability verdict: A(Q) == S(Q) guaranteed.
+  /// Always equal to (analysis.verdict != kUpperBound).
   bool minimal = true;
+
+  /// The static guarantee analysis the plan was generated from: the
+  /// three-way verdict (EXACT_MINIMUM / UPPER_BOUND / EMPTY_SET) with
+  /// source-anchored diagnostics and per-theorem citations. Plan
+  /// generation consumes the same per-conjunct classification the
+  /// verdict is derived from, so the two cannot disagree.
+  GuaranteeReport analysis;
 
   /// Human-readable reasons minimality (or precision) was lost.
   std::vector<std::string> notes;
@@ -130,6 +139,8 @@ struct RelevanceResult {
   std::vector<SourceRecency> sources;  ///< Sorted by source id.
   bool minimal = true;                 ///< A(Q) == S(Q) proven.
   bool fallback_all = false;
+  /// The plan's static guarantee analysis (verdict + diagnostics).
+  GuaranteeReport analysis;
   std::vector<std::string> recency_sqls;  ///< One per generated part.
   std::vector<std::string> notes;
 

@@ -73,6 +73,18 @@ class Execution {
       }
     }
 
+    // A statically proven-empty plan (guarantee analysis, TRAC-E001)
+    // produces its zero-row / zero-count result without touching
+    // storage, exactly like a constant-FALSE predicate.
+    if (plan_.provably_empty) {
+      if (query_.count_star) {
+        result.rows.push_back({Value::Int(0)});
+      } else if (!query_.aggregates.empty()) {
+        result.rows.push_back(FinishAggregates());
+      }
+      return result;
+    }
+
     // Constant predicates (e.g. WHERE FALSE) decide everything upfront.
     TupleView empty(query_.relations.size(), nullptr);
     for (const BoundExpr* e : plan_.constant_preds) {
@@ -501,14 +513,16 @@ class Execution {
 }  // namespace
 
 [[nodiscard]] Result<ResultSet> ExecuteQuery(const Database& db, const BoundQuery& query,
-                               Snapshot snapshot) {
-  return ExecuteQueryWithLimit(db, query, snapshot, /*row_limit=*/0);
+                               Snapshot snapshot,
+                               const PlanningHints& hints) {
+  return ExecuteQueryWithLimit(db, query, snapshot, /*row_limit=*/0, hints);
 }
 
 [[nodiscard]] Result<ResultSet> ExecuteQueryWithLimit(const Database& db,
                                         const BoundQuery& query,
-                                        Snapshot snapshot, size_t row_limit) {
-  TRAC_ASSIGN_OR_RETURN(QueryPlan plan, PlanQuery(db, query, snapshot));
+                                        Snapshot snapshot, size_t row_limit,
+                                        const PlanningHints& hints) {
+  TRAC_ASSIGN_OR_RETURN(QueryPlan plan, PlanQuery(db, query, snapshot, hints));
   Execution exec(db, query, snapshot, plan, row_limit);
   return exec.Run();
 }

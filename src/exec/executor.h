@@ -34,16 +34,20 @@ struct ResultSet {
 /// Executes a bound query against `snapshot`. The paper's reporter runs
 /// the user query and the generated recency query through this with the
 /// *same* snapshot, which yields the consistency guarantee of
-/// Section 3.2.
+/// Section 3.2. `hints` forwards static-analysis results to the planner
+/// (a proven-unsatisfiable predicate short-circuits to an empty result).
 [[nodiscard]] Result<ResultSet> ExecuteQuery(const Database& db, const BoundQuery& query,
-                               Snapshot snapshot);
+                               Snapshot snapshot,
+                               const PlanningHints& hints = PlanningHints());
 
 /// As above, but stops as soon as `row_limit` output rows (or counted
 /// tuples, for COUNT(*)) have been produced. Powers EXISTS-style guard
 /// evaluation in the recency analyzer.
 [[nodiscard]] Result<ResultSet> ExecuteQueryWithLimit(const Database& db,
                                         const BoundQuery& query,
-                                        Snapshot snapshot, size_t row_limit);
+                                        Snapshot snapshot, size_t row_limit,
+                                        const PlanningHints& hints =
+                                            PlanningHints());
 
 /// True iff the query produces at least one tuple under `snapshot`;
 /// evaluation stops at the first one.

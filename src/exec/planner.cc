@@ -59,12 +59,26 @@ bool IsColumnLiteralEq(const BoundExpr& e, size_t rel,
 }  // namespace
 
 [[nodiscard]] Result<QueryPlan> PlanQuery(const Database& db, const BoundQuery& query,
-                            Snapshot snapshot) {
+                            Snapshot snapshot, const PlanningHints& hints) {
   (void)snapshot;
   QueryPlan plan;
   const size_t num_rels = query.relations.size();
   if (num_rels > 63) {
     return Status::Unsupported("queries limited to 63 relations");
+  }
+
+  // A statically proven-unsatisfiable predicate (TRAC-E001) lets the
+  // executor skip every scan. Only the unsatisfiable-query finding is
+  // consulted: other kEmptySet causes (e.g. no monitored relation) speak
+  // about the relevant set, not about this query's result.
+  if (hints.guarantee != nullptr &&
+      hints.guarantee->verdict == RecencyGuarantee::kEmptySet) {
+    for (const AnalysisDiagnostic& d : hints.guarantee->diagnostics) {
+      if (d.code == AnalysisCode::kUnsatisfiableQuery) {
+        plan.provably_empty = true;
+        break;
+      }
+    }
   }
 
   // Split the WHERE clause into top-level AND units.
@@ -235,6 +249,10 @@ bool IsColumnLiteralEq(const BoundExpr& e, size_t rel,
 std::string QueryPlan::Explain(const Database& db,
                                const BoundQuery& query) const {
   std::string out;
+  if (provably_empty) {
+    out += "empty result: predicate statically unsatisfiable over the "
+           "declared domains (guarantee analysis)\n";
+  }
   for (size_t i = 0; i < levels.size(); ++i) {
     const LevelPlan& level = levels[i];
     const BoundTableRef& rel = query.relations[level.relation];

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/guarantee.h"
 #include "common/result.h"
 #include "expr/bound_expr.h"
 #include "storage/database.h"
@@ -49,8 +50,23 @@ struct QueryPlan {
   std::vector<const BoundExpr*> constant_preds;
   std::vector<LevelPlan> levels;
 
+  /// The static guarantee analysis proved the predicate unsatisfiable
+  /// over the declared column domains (TRAC-E001). Because inserts
+  /// enforce finite domains and CHECK constraints, no stored tuple
+  /// combination can satisfy it: execution emits zero rows without
+  /// touching storage.
+  bool provably_empty = false;
+
   /// Human-readable plan description (one line per level).
   std::string Explain(const Database& db, const BoundQuery& query) const;
+};
+
+/// Optional static-analysis input to planning.
+struct PlanningHints {
+  /// Guarantee analysis of the query being planned, when the caller ran
+  /// it (the recency reporter always does). A kEmptySet verdict caused
+  /// by an unsatisfiable predicate marks the plan provably empty.
+  const GuaranteeReport* guarantee = nullptr;
 };
 
 /// Builds a heuristic left-deep plan: index selection for =/IN
@@ -59,7 +75,8 @@ struct QueryPlan {
 /// equi-joins, and index nested-loop joins when the prefix is small and
 /// the build side is indexed on the join column.
 [[nodiscard]] Result<QueryPlan> PlanQuery(const Database& db, const BoundQuery& query,
-                            Snapshot snapshot);
+                            Snapshot snapshot,
+                            const PlanningHints& hints = PlanningHints());
 
 }  // namespace trac
 

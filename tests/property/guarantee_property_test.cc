@@ -1,0 +1,176 @@
+// Randomized agreement between the static guarantee analyzer and
+// brute-force ground truth over finite domains: for every generated
+// query the verdict's claim must hold on the actual instance.
+//
+//   EXACT_MINIMUM  ⇒ A(Q) == S(Q)   (Theorems 3 and 4)
+//   UPPER_BOUND    ⇒ A(Q) ⊇ S(Q)    (Theorem 1, completeness)
+//   EMPTY_SET      ⇒ S(Q) == ∅ == A(Q)  (Corollaries 2 and 6)
+//
+// 8 seeds × 25 rounds = 200 randomized queries; zero disagreements
+// allowed. The standalone analyzer and the plan generator must also
+// report the same verdict (they consume the same classification).
+
+#include <algorithm>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "analysis/guarantee.h"
+#include "common/random.h"
+#include "core/brute_force.h"
+#include "core/relevance.h"
+
+namespace trac {
+namespace {
+
+using testing_util::PaperExampleDb;
+
+/// Random SPJ query generator over the paper schema, biased to produce
+/// all three verdicts: mixed predicates, contradictions, regular joins,
+/// and plain source selections all occur.
+class GuaranteeQueryGenerator {
+ public:
+  explicit GuaranteeQueryGenerator(uint64_t seed) : rng_(seed) {}
+
+  std::string Generate() {
+    if (rng_.Bernoulli(0.4)) {
+      return "SELECT r.mach_id FROM routing r, activity a WHERE " +
+             Predicate(/*join=*/true);
+    }
+    return rng_.Bernoulli(0.5)
+               ? "SELECT mach_id FROM activity WHERE " +
+                     Predicate(false, "activity")
+               : "SELECT mach_id FROM routing WHERE " +
+                     Predicate(false, "routing");
+  }
+
+ private:
+  std::string Machine() {
+    return "'m" + std::to_string(1 + rng_.Uniform(11)) + "'";
+  }
+  std::string ValueLit() { return rng_.Bernoulli(0.5) ? "'idle'" : "'busy'"; }
+
+  std::string Atom(bool join, const std::string& table) {
+    if (join) {
+      switch (rng_.Uniform(7)) {
+        case 0:
+          return "r.mach_id = " + Machine();
+        case 1:
+          return "a.value = " + ValueLit();
+        case 2:
+          return "r.neighbor = a.mach_id";
+        case 3:
+          return "r.mach_id = a.mach_id";
+        case 4:
+          // Regular-column join (J_rm); the timestamp domains coincide,
+          // so the join is live (unlike neighbor = value, whose disjoint
+          // domains the satisfiability check would refute).
+          return "r.event_time = a.event_time";
+        case 5:
+          return "a.mach_id IN (" + Machine() + ", " + Machine() + ")";
+        default:
+          return "r.neighbor = " + Machine();
+      }
+    }
+    if (table == "activity") {
+      switch (rng_.Uniform(5)) {
+        case 0:
+          return "mach_id = " + Machine();
+        case 1:
+          return "value = " + ValueLit();
+        case 2:
+          return "mach_id <> " + Machine();
+        case 3:
+          return "value = 'offline'";  // Outside the finite domain.
+        default:
+          return "mach_id > " + Machine();
+      }
+    }
+    switch (rng_.Uniform(5)) {
+      case 0:
+        return "mach_id = " + Machine();
+      case 1:
+        return "neighbor = " + Machine();
+      case 2:
+        return "mach_id = neighbor";  // Mixed predicate (P_m).
+      case 3:
+        return "neighbor IN (" + Machine() + ", " + Machine() + ")";
+      default:
+        return "mach_id <> " + Machine();
+    }
+  }
+
+  std::string Predicate(bool join, const std::string& table = "") {
+    std::function<std::string(int)> gen = [&](int depth) -> std::string {
+      int pick = depth >= 2 ? 0 : static_cast<int>(rng_.Uniform(4));
+      switch (pick) {
+        case 1:
+          return "(" + gen(depth + 1) + " AND " + gen(depth + 1) + ")";
+        case 2:
+          return "(" + gen(depth + 1) + " OR " + gen(depth + 1) + ")";
+        case 3:
+          return "NOT (" + gen(depth + 1) + ")";
+        default:
+          return Atom(join, table);
+      }
+    };
+    return gen(0);
+  }
+
+  Random rng_;
+};
+
+class GuaranteePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GuaranteePropertyTest, VerdictsAgreeWithBruteForceGroundTruth) {
+  PaperExampleDb fixture(/*finite_domains=*/true);
+  GuaranteeQueryGenerator gen(GetParam());
+  Snapshot snap = fixture.db.LatestSnapshot();
+
+  for (int round = 0; round < 25; ++round) {
+    std::string sql = gen.Generate();
+    SCOPED_TRACE("seed=" + std::to_string(GetParam()) + " sql=" + sql);
+    auto bound = BindSql(fixture.db, sql);
+    ASSERT_TRUE(bound.ok()) << bound.status();
+
+    auto report = AnalyzeRecencyGuarantee(fixture.db, *bound);
+    ASSERT_TRUE(report.ok()) << report.status();
+
+    auto focused = ComputeRelevantSources(fixture.db, *bound, snap);
+    ASSERT_TRUE(focused.ok()) << focused.status();
+    // The standalone analyzer and the plan path derive the verdict from
+    // the same classification; they must never disagree.
+    ASSERT_EQ(focused->analysis.verdict, report->verdict);
+
+    auto truth = BruteForceRelevantSources(fixture.db, *bound, snap);
+    ASSERT_TRUE(truth.ok()) << truth.status();
+    std::vector<std::string> reported = focused->SourceIds();
+
+    switch (report->verdict) {
+      case RecencyGuarantee::kExactMinimum:
+        EXPECT_EQ(reported, *truth) << report->Format();
+        break;
+      case RecencyGuarantee::kUpperBound:
+        for (const std::string& s : *truth) {
+          EXPECT_NE(std::find(reported.begin(), reported.end(), s),
+                    reported.end())
+              << "missing relevant source " << s << "\n"
+              << report->Format();
+        }
+        break;
+      case RecencyGuarantee::kEmptySet:
+        EXPECT_TRUE(truth->empty()) << report->Format();
+        EXPECT_TRUE(reported.empty()) << report->Format();
+        break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GuaranteePropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+}  // namespace
+}  // namespace trac

@@ -1,0 +1,227 @@
+// trac_analyze: offline recency-guarantee linter for query corpora.
+//
+// Usage:
+//   trac_analyze --schema <schema.sql> [--golden <dir>] [--update]
+//                [--require-exact] <query.sql>...
+//
+// Loads the schema (CREATE TABLE statements with DATA SOURCE markers and
+// CHECK constraints), binds each query file, and runs the static
+// guarantee analyzer (src/analysis/guarantee.h) — no query is ever
+// executed. Per query it prints the canonical bound SQL and the
+// analyzer's report: the three-way verdict (EXACT_MINIMUM / UPPER_BOUND
+// / EMPTY_SET), the backing theorem citation, DNF size accounting, and
+// every source-anchored diagnostic.
+//
+//   --golden <dir>    compare each query's report against <dir>/<stem>.txt
+//                     and fail (exit 1) on any mismatch — the regression
+//                     gate CTest runs over examples/queries/
+//   --update          rewrite the golden files instead of comparing
+//   --require-exact   fail (exit 1) when any query's verdict is below
+//                     EXACT_MINIMUM — lint mode for corpora that must
+//                     keep the Theorem 3/4 guarantee
+//
+// Exit status: 0 clean, 1 findings/regressions, 2 usage or I/O errors.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/guarantee.h"
+#include "exec/statement.h"
+#include "expr/binder.h"
+#include "storage/database.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Whole file as a string; nullopt-style failure via the bool flag.
+bool ReadFile(const fs::path& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+/// Drops full-line `-- comment` lines so corpus files can be annotated.
+std::string StripSqlComments(const std::string& text) {
+  std::istringstream in(text);
+  std::string out;
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t b = line.find_first_not_of(" \t\r");
+    if (b != std::string::npos && line.compare(b, 2, "--") == 0) continue;
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+/// Splits on ';' outside single-quoted strings; empty pieces dropped.
+std::vector<std::string> SplitStatements(const std::string& text) {
+  std::vector<std::string> stmts;
+  std::string current;
+  bool in_string = false;
+  for (char c : text) {
+    if (c == '\'') in_string = !in_string;
+    if (c == ';' && !in_string) {
+      stmts.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  stmts.push_back(current);
+  std::vector<std::string> nonempty;
+  for (std::string& s : stmts) {
+    if (s.find_first_not_of(" \t\r\n") != std::string::npos) {
+      nonempty.push_back(std::move(s));
+    }
+  }
+  return nonempty;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --schema <schema.sql> [--golden <dir>] [--update] "
+               "[--require-exact] <query.sql>...\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string schema_path;
+  std::string golden_dir;
+  bool update = false;
+  bool require_exact = false;
+  std::vector<std::string> query_files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--schema" && i + 1 < argc) {
+      schema_path = argv[++i];
+    } else if (arg == "--golden" && i + 1 < argc) {
+      golden_dir = argv[++i];
+    } else if (arg == "--update") {
+      update = true;
+    } else if (arg == "--require-exact") {
+      require_exact = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage(argv[0]);
+    } else {
+      query_files.push_back(arg);
+    }
+  }
+  if (schema_path.empty() || query_files.empty()) return Usage(argv[0]);
+  if (update && golden_dir.empty()) {
+    std::fprintf(stderr, "trac_analyze: --update requires --golden\n");
+    return 2;
+  }
+
+  // Load the schema.
+  trac::Database db;
+  {
+    std::string schema_sql;
+    if (!ReadFile(schema_path, &schema_sql)) {
+      std::fprintf(stderr, "trac_analyze: cannot read schema: %s\n",
+                   schema_path.c_str());
+      return 2;
+    }
+    for (const std::string& stmt :
+         SplitStatements(StripSqlComments(schema_sql))) {
+      auto result = trac::ExecuteStatement(&db, stmt);
+      if (!result.ok()) {
+        std::fprintf(stderr, "trac_analyze: schema statement failed: %s\n",
+                     result.status().ToString().c_str());
+        return 2;
+      }
+    }
+  }
+
+  int exit_code = 0;
+  for (const std::string& query_file : query_files) {
+    const fs::path qpath(query_file);
+    const std::string name = qpath.filename().string();
+    std::string sql;
+    if (!ReadFile(qpath, &sql)) {
+      std::fprintf(stderr, "trac_analyze: cannot read query: %s\n",
+                   query_file.c_str());
+      return 2;
+    }
+    const std::vector<std::string> stmts =
+        SplitStatements(StripSqlComments(sql));
+    if (stmts.size() != 1) {
+      std::fprintf(stderr,
+                   "trac_analyze: %s: expected exactly one statement, got "
+                   "%zu\n",
+                   query_file.c_str(), stmts.size());
+      return 2;
+    }
+
+    auto bound = trac::BindSql(db, stmts[0]);
+    if (!bound.ok()) {
+      std::fprintf(stderr, "trac_analyze: %s: bind failed: %s\n",
+                   query_file.c_str(), bound.status().ToString().c_str());
+      return 2;
+    }
+    auto report = trac::AnalyzeRecencyGuarantee(db, *bound);
+    if (!report.ok()) {
+      std::fprintf(stderr, "trac_analyze: %s: analysis failed: %s\n",
+                   query_file.c_str(), report.status().ToString().c_str());
+      return 2;
+    }
+
+    const std::string block =
+        "query: " + bound->ToSql(db) + "\n" + report->Format();
+    std::printf("== %s\n%s", name.c_str(), block.c_str());
+
+    if (require_exact &&
+        report->verdict != trac::RecencyGuarantee::kExactMinimum) {
+      std::printf("FAIL %s: verdict %s below EXACT_MINIMUM\n", name.c_str(),
+                  std::string(trac::GuaranteeToString(report->verdict))
+                      .c_str());
+      exit_code = 1;
+    }
+
+    if (!golden_dir.empty()) {
+      const fs::path golden =
+          fs::path(golden_dir) / (qpath.stem().string() + ".txt");
+      if (update) {
+        std::error_code ec;
+        fs::create_directories(golden.parent_path(), ec);
+        std::ofstream out(golden);
+        if (!out) {
+          std::fprintf(stderr, "trac_analyze: cannot write golden: %s\n",
+                       golden.string().c_str());
+          return 2;
+        }
+        out << block;
+        std::printf("updated %s\n", golden.string().c_str());
+      } else {
+        std::string expected;
+        if (!ReadFile(golden, &expected)) {
+          std::printf("FAIL %s: missing golden %s (run with --update)\n",
+                      name.c_str(), golden.string().c_str());
+          exit_code = 1;
+        } else if (expected != block) {
+          std::printf("FAIL %s: report differs from golden %s\n",
+                      name.c_str(), golden.string().c_str());
+          std::printf("--- expected\n%s--- actual\n%s", expected.c_str(),
+                      block.c_str());
+          exit_code = 1;
+        }
+      }
+    }
+  }
+  if (exit_code == 0) {
+    std::printf("trac_analyze: OK (%zu quer%s)\n", query_files.size(),
+                query_files.size() == 1 ? "y" : "ies");
+  }
+  return exit_code;
+}

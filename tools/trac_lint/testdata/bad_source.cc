@@ -3,8 +3,11 @@
 //   include-cc         — #include of a .cc file
 //   naked-mutex        — std::lock_guard over a raw mutex
 //   no-localtime-rand  — direct rand()/localtime() calls
+//   no-throw-abort     — throw and std::abort() outside common/dcheck.h
+//   no-iostream        — std::cerr in library code
 
 #include <ctime>
+#include <iostream>
 #include <mutex>
 
 #include "bad_header.cc"
@@ -12,6 +15,14 @@
 namespace bad {
 
 int UnseededDice() { return rand() % 6; }
+
+void CrashOnNegative(int x) {
+  if (x < 0) {
+    std::cerr << "negative input\n";
+    std::abort();
+  }
+  if (x > 100) throw x;
+}
 
 void LogWallClock(std::time_t t) {
   std::tm* local = std::localtime(&t);

@@ -12,6 +12,12 @@
 //   include-guard      every header has an include guard or #pragma once
 //   no-localtime-rand  no direct localtime/rand/srand calls (use
 //                      common/timestamp.h / common/random.h)
+//   no-throw-abort     no throw / abort() outside common/dcheck.h (the
+//                      library reports failures through Status/Result;
+//                      death lives behind TRAC_DCHECK only)
+//   no-iostream        no std::cout / std::cerr outside tools/,
+//                      examples/, bench/ (the library never writes to
+//                      the process's console)
 //
 // A line ending in a NOLINT(trac-<rule>) comment is exempt from <rule>.
 // Exit status is non-zero iff any violation was found; runs as a CTest
@@ -69,6 +75,29 @@ bool HasNolint(const std::string& line, const std::string& rule) {
 bool IsMutexWrapperHeader(const std::string& path) {
   return path.size() >= 14 &&
          path.compare(path.size() - 14, 14, "common/mutex.h") == 0;
+}
+
+/// True when `path` names the TRAC_DCHECK header, the only library code
+/// allowed to terminate the process.
+bool IsDcheckHeader(const std::string& path) {
+  const std::string suffix = "common/dcheck.h";
+  return path.size() >= suffix.size() &&
+         path.compare(path.size() - suffix.size(), suffix.size(), suffix) ==
+             0;
+}
+
+/// Executables own their console; library code does not. The seeded
+/// violation corpus (testdata) stays lintable so the self-test can prove
+/// the rule still fires.
+bool IsConsoleOwningPath(const std::string& path) {
+  if (path.find("testdata") != std::string::npos) return false;
+  for (const char* prefix : {"tools/", "examples/", "bench/"}) {
+    if (path.rfind(prefix, 0) == 0 ||
+        path.find(std::string("/") + prefix) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
 }
 
 bool IsTimeOrRandomWrapper(const std::string& path) {
@@ -226,6 +255,54 @@ void CheckLocaltimeRand(const std::string& path,
   }
 }
 
+// --- Rule: no-throw-abort --------------------------------------------------
+
+const std::regex kThrowAbortRe(
+    R"((^|[^A-Za-z0-9_])(throw\b|(std::)?abort\s*\())");
+
+void CheckThrowAbort(const std::string& path,
+                     const std::vector<std::string>& lines) {
+  if (IsDcheckHeader(path) || IsConsoleOwningPath(path)) return;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string trimmed = Trim(lines[i]);
+    if (IsCommentLine(trimmed) || HasNolint(lines[i], "no-throw-abort")) {
+      continue;
+    }
+    if (std::regex_search(lines[i], kThrowAbortRe)) {
+      Report(path, i + 1, "no-throw-abort",
+             "throw/abort() outside common/dcheck.h; report failures "
+             "through Status/Result (terminate only via TRAC_DCHECK)");
+    }
+  }
+}
+
+// --- Rule: no-iostream -----------------------------------------------------
+
+const char* const kBannedConsoleTokens[] = {
+    "std::cout",
+    "std::cerr",
+    "std::clog",
+};
+
+void CheckIostream(const std::string& path,
+                   const std::vector<std::string>& lines) {
+  if (IsConsoleOwningPath(path)) return;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string trimmed = Trim(lines[i]);
+    if (IsCommentLine(trimmed) || HasNolint(lines[i], "no-iostream")) {
+      continue;
+    }
+    for (const char* token : kBannedConsoleTokens) {
+      if (trimmed.find(token) != std::string::npos) {
+        Report(path, i + 1, "no-iostream",
+               std::string(token) +
+                   " in library code; only tools/, examples/ and bench/ "
+                   "own the console (return data, or take an ostream&)");
+      }
+    }
+  }
+}
+
 // --- Driver ----------------------------------------------------------------
 
 std::vector<std::string> ReadLines(const fs::path& path) {
@@ -245,6 +322,8 @@ void LintFile(const fs::path& file) {
   CheckIncludeCc(path, lines);
   if (ext == ".h") CheckIncludeGuard(path, lines);
   CheckLocaltimeRand(path, lines);
+  CheckThrowAbort(path, lines);
+  CheckIostream(path, lines);
 }
 
 }  // namespace
