@@ -3,7 +3,8 @@
 #
 #   1. configure + build the default preset,
 #   2. run trac_lint over src/,
-#   3. run trac_analyze over the examples/queries corpus (clean corpus
+#   3. run trac_analyze over the examples/queries corpus and trac_verify
+#      over the examples/plans corpus (clean corpus
 #      must stay EXACT_MINIMUM and match its goldens; the seeded-bad
 #      corpus must match its degraded-verdict goldens),
 #   4. run the whole ctest suite (which re-runs the linters and their
@@ -38,6 +39,15 @@ echo "==> trac_analyze examples/queries/"
   --golden examples/queries/golden --require-exact examples/queries/q*.sql
 ./build/tools/trac_analyze --schema examples/queries/schema.sql \
   --golden examples/queries/golden/bad examples/queries/bad/bad_*.sql
+
+echo "==> trac_verify examples/plans/ + examples/queries/"
+./build/tools/trac_verify --schema examples/plans/schema.sql \
+  --golden examples/plans/golden --dump-ir examples/queries/q*.sql
+./build/tools/trac_verify --schema examples/plans/schema.sql \
+  --golden examples/plans/golden/par4 --dump-ir --parallelism 4 \
+  examples/queries/q*.sql
+./build/tools/trac_verify --golden examples/plans/golden/bad \
+  --dump-ir --expect-findings examples/plans/bad/bad_*.ir
 
 echo "==> ctest (default preset)"
 ctest --preset default -j"$(nproc)" --output-on-failure

@@ -19,6 +19,13 @@ std::string Join(const std::vector<std::string>& parts, std::string_view sep);
 /// Wraps `s` in single quotes, doubling embedded quotes (SQL literal style).
 std::string QuoteSqlString(std::string_view s);
 
+/// Renders `s` as a double-quoted JSON string literal: quotes and
+/// backslashes escaped, control characters as \uXXXX. Used by the
+/// tools' --json output; covers exactly the JSON string grammar, no
+/// more (non-ASCII bytes pass through untouched, which is valid UTF-8
+/// passthrough for JSON).
+std::string JsonEscape(std::string_view s);
+
 }  // namespace trac
 
 #endif  // TRAC_COMMON_STR_UTIL_H_

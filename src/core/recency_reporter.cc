@@ -2,7 +2,9 @@
 
 #include <chrono>
 
+#include "common/dcheck.h"
 #include "expr/binder.h"
+#include "verify/verifier.h"
 
 namespace trac {
 
@@ -12,6 +14,66 @@ int64_t NowMicros() {
   return std::chrono::duration_cast<std::chrono::microseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+/// Lowers everything this report session is about to execute — the user
+/// plan, every recency part (with its guard queries and the shard
+/// fan-out the executor will actually use), the merge, and the temp
+/// writes — into one IR and gates it on the verifier. Per-plan
+/// verification inside PlanQuery cannot see cross-plan properties (the
+/// single-snapshot rule, session confinement, the rejoin discipline);
+/// this session-level pass can.
+[[nodiscard]] Status VerifyFinishSession(const Database& db,
+                                         const Session* session,
+                                         const BoundQuery& user_query,
+                                         const RecencyQueryPlan& plan,
+                                         Snapshot snapshot,
+                                         const RecencyReportOptions& options,
+                                         const PlanningHints& hints) {
+  TRAC_ASSIGN_OR_RETURN(QueryPlan user_plan,
+                        PlanQuery(db, user_query, snapshot, hints));
+  // Plan storage is sized up front so the pointers taken below stay
+  // stable (no reallocation once an address is handed to `input`).
+  std::vector<QueryPlan> part_plans(plan.parts.size());
+  std::vector<std::vector<QueryPlan>> guard_plans(plan.parts.size());
+  const size_t parallelism = std::max<size_t>(1, options.relevance.parallelism);
+
+  ReportSessionInput input;
+  input.user_query = &user_query;
+  input.user_plan = &user_plan;
+  input.snapshot = snapshot;
+  for (size_t i = 0; i < plan.parts.size(); ++i) {
+    const RecencyQueryPlan::Part& part = plan.parts[i];
+    SessionPartInput in;
+    in.query = &part.query;
+    in.shards = PlannedHeartbeatShards(db, part, parallelism);
+    if (in.shards == 1) {
+      // Sharded parts bypass the planner (direct version-range scans),
+      // so only unsharded parts carry plans.
+      TRAC_ASSIGN_OR_RETURN(part_plans[i],
+                            PlanQuery(db, part.query, snapshot));
+      in.plan = &part_plans[i];
+      guard_plans[i].resize(part.guards.size());
+      for (size_t g = 0; g < part.guards.size(); ++g) {
+        TRAC_ASSIGN_OR_RETURN(guard_plans[i][g],
+                              PlanQuery(db, part.guards[g], snapshot));
+        in.guard_queries.push_back(&part.guards[g]);
+        in.guard_plans.push_back(&guard_plans[i][g]);
+      }
+    }
+    input.parts.push_back(std::move(in));
+  }
+  if (options.create_temp_tables && session != nullptr) {
+    // The numeric suffixes are allocated at creation time; the prefix
+    // names stand in for them (still sys_temp_* names to the verifier).
+    input.temp_writes = {"sys_temp_a", "sys_temp_e"};
+    input.session = session->id();
+  }
+  LowerOptions lower;
+  lower.heartbeat_table = options.relevance.heartbeat_table;
+  const Status verified = VerifyReportSession(db, input, lower);
+  TRAC_DCHECK(verified.ok(), verified.message().c_str());
+  return verified;
 }
 
 }  // namespace
@@ -101,6 +163,12 @@ Result<RecencyReport> RecencyReporter::Finish(
   // proven-unsatisfiable predicate short-circuits to an empty result.
   PlanningHints hints;
   hints.guarantee = &plan.analysis;
+
+  // Gate the whole session on the static verifier before anything runs:
+  // hard error with invariants armed, Status in release.
+  TRAC_RETURN_IF_ERROR(VerifyFinishSession(*db_, session_, user_query, plan,
+                                           snapshot, options, hints));
+
   int64_t t = NowMicros();
   TRAC_ASSIGN_OR_RETURN(report.result,
                         ExecuteQuery(*db_, user_query, snapshot, hints));

@@ -347,19 +347,6 @@ void RunPartTask(const Database& db, const RecencyQueryPlan::Part& part,
   }
 }
 
-/// A part that is nothing but `SELECT DISTINCT source, recency FROM
-/// heartbeat` — the Naive plan, and the Focused part of a conjunct with
-/// no source-column predicate. Such a part can be sharded by version
-/// range instead of being one indivisible task.
-bool IsPureHeartbeatScan(const RecencyQueryPlan::Part& part) {
-  const BoundQuery& q = part.query;
-  return part.guards.empty() && q.relations.size() == 1 &&
-         q.where == nullptr && q.outputs.size() == 2 &&
-         q.outputs[0].ref.rel == 0 && q.outputs[1].ref.rel == 0 &&
-         q.aggregates.empty() && !q.count_star && q.order_by.empty() &&
-         q.limit == 0;
-}
-
 /// One shard of a pure-heartbeat-scan part: version indexes
 /// [begin_idx, end_idx) of the heartbeat table, evaluated directly off
 /// the version log (per-source scan; no predicate, no planner).
@@ -382,6 +369,27 @@ void RunHeartbeatShardTask(const Database& db,
 }
 
 }  // namespace
+
+bool IsPureHeartbeatScan(const RecencyQueryPlan::Part& part) {
+  const BoundQuery& q = part.query;
+  return part.guards.empty() && q.relations.size() == 1 &&
+         q.where == nullptr && q.outputs.size() == 2 &&
+         q.outputs[0].ref.rel == 0 && q.outputs[1].ref.rel == 0 &&
+         q.aggregates.empty() && !q.count_star && q.order_by.empty() &&
+         q.limit == 0;
+}
+
+size_t PlannedHeartbeatShards(const Database& db,
+                              const RecencyQueryPlan::Part& part,
+                              size_t parallelism) {
+  if (parallelism <= 1 || !IsPureHeartbeatScan(part)) return 1;
+  const Table* table = db.GetTable(part.query.relations[0].table_id);
+  const size_t n = table->num_versions();
+  // A couple of shards per strand evens out visibility-density skew
+  // without drowning tiny tables in task overhead.
+  const size_t max_shards = std::max<size_t>(1, n / 64);
+  return std::min(parallelism * 2, max_shards);
+}
 
 [[nodiscard]] Result<RecencyExecution> ExecuteRecencyQueriesDetailed(
     const Database& db, const RecencyQueryPlan& plan, Snapshot snapshot,
@@ -409,11 +417,7 @@ void RunHeartbeatShardTask(const Database& db,
       // counter the snapshot was read from (see the Database contract).
       const Table* table = db.GetTable(part.query.relations[0].table_id);
       const size_t n = table->num_versions();
-      // A couple of shards per strand evens out visibility-density skew
-      // without drowning tiny tables in task overhead.
-      const size_t max_shards = std::max<size_t>(1, n / 64);
-      const size_t shards =
-          parallelism <= 1 ? 1 : std::min(parallelism * 2, max_shards);
+      const size_t shards = PlannedHeartbeatShards(db, part, parallelism);
       const size_t chunk = (n + shards - 1) / shards;
       for (size_t lo = 0; lo < n || lo == 0; lo += chunk) {
         specs.push_back(TaskSpec{&part, /*shard=*/true, lo,

@@ -134,6 +134,21 @@ struct RecencyExecution {
     const Database& db, const RecencyQueryPlan& plan, Snapshot snapshot,
     const RelevanceOptions& options = RelevanceOptions());
 
+/// A part that is nothing but `SELECT DISTINCT source, recency FROM
+/// heartbeat` — the Naive plan, and the Focused part of a conjunct with
+/// no source-column predicate. Such a part can be sharded by version
+/// range instead of being one indivisible task.
+bool IsPureHeartbeatScan(const RecencyQueryPlan::Part& part);
+
+/// Version-range fan-out ExecuteRecencyQueriesDetailed will use for
+/// `part` at `parallelism` strands: 1 unless the part is a pure
+/// Heartbeat scan and parallelism > 1. Exposed so the plan verifier
+/// models exactly the sharding the executor performs (one source of
+/// truth for the shard-count formula).
+size_t PlannedHeartbeatShards(const Database& db,
+                              const RecencyQueryPlan::Part& part,
+                              size_t parallelism);
+
 /// The combined answer: A(Q) with its provenance.
 struct RelevanceResult {
   std::vector<SourceRecency> sources;  ///< Sorted by source id.

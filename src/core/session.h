@@ -34,13 +34,17 @@ namespace trac {
 /// cross-thread sharing into a deterministic abort instead of a race.
 class Session {
  public:
-  explicit Session(Database* db) : db_(db) {}
+  explicit Session(Database* db) : db_(db), id_(db->NextSessionId()) {}
   ~Session();
 
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
 
   Database* db() const { return db_; }
+
+  /// Nonzero id unique among this Database's sessions; the plan
+  /// verifier's session-confinement rule (TRAC-V002) keys on it.
+  uint64_t id() const { return id_; }
 
   /// Creates a temp table named `<prefix><N>` with the given columns and
   /// rows; returns the generated name.
@@ -63,6 +67,7 @@ class Session {
   friend class SessionConfinementWitness;
 
   Database* db_;
+  const uint64_t id_;
   std::vector<std::string> temp_tables_;
   /// Confinement witness state: count of Session calls currently
   /// executing and the thread owning the outermost one. Same-thread

@@ -4,8 +4,10 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/dcheck.h"
 #include "expr/binder.h"
 #include "expr/evaluator.h"
+#include "verify/verifier.h"
 
 namespace trac {
 
@@ -523,6 +525,13 @@ class Execution {
                                         Snapshot snapshot, size_t row_limit,
                                         const PlanningHints& hints) {
   TRAC_ASSIGN_OR_RETURN(QueryPlan plan, PlanQuery(db, query, snapshot, hints));
+#if defined(TRAC_DEBUG_INVARIANTS)
+  // PlanQuery already gated the plan; with invariants armed, re-verify
+  // at the execution boundary so a plan mutated (or hand-built) between
+  // planning and execution cannot slip through.
+  const Status reverified = VerifyPlan(db, query, plan, snapshot);
+  TRAC_DCHECK(reverified.ok(), reverified.message().c_str());
+#endif
   Execution exec(db, query, snapshot, plan, row_limit);
   return exec.Run();
 }

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/dcheck.h"
+#include "verify/verifier.h"
+
 namespace trac {
 
 namespace {
@@ -243,6 +246,13 @@ bool IsColumnLiteralEq(const BoundExpr& e, size_t rel,
       return Status::Internal("planner failed to place a predicate");
     }
   }
+
+  // Gate the finished plan behind the static verifier: a plan that
+  // fails a TRAC-V rule is a planner bug and must not reach execution.
+  // Hard error with invariants armed; Status otherwise.
+  const Status verified = VerifyPlan(db, query, plan, snapshot);
+  TRAC_DCHECK(verified.ok(), verified.message().c_str());
+  if (!verified.ok()) return verified;
   return plan;
 }
 

@@ -1,0 +1,270 @@
+#include "ir/lower.h"
+
+#include "common/str_util.h"
+
+namespace trac {
+
+namespace {
+
+std::string AggFnName(AggFn fn) {
+  switch (fn) {
+    case AggFn::kNone:
+      return "none";
+    case AggFn::kCountStar:
+      return "count*";
+    case AggFn::kCount:
+      return "count";
+    case AggFn::kSum:
+      return "sum";
+    case AggFn::kMin:
+      return "min";
+    case AggFn::kMax:
+      return "max";
+    case AggFn::kAvg:
+      return "avg";
+  }
+  return "?";
+}
+
+/// Provenance of column `col` of the relation backing `table_id`:
+/// declared data-source columns, plus the Heartbeat table's source-id
+/// column (the source registry's key carries source identity too).
+/// The source registry's key: the Heartbeat table's source-id column.
+bool IsRegistryColumn(const Database& db, TableId table_id, size_t col,
+                      const LowerOptions& options) {
+  const TableSchema& schema = db.catalog().schema(table_id);
+  return !options.heartbeat_table.empty() &&
+         EqualsIgnoreCaseAscii(schema.name(), options.heartbeat_table) &&
+         EqualsIgnoreCaseAscii(schema.column(col).name, "source_id");
+}
+
+ColumnProvenance ProvenanceOf(const Database& db, TableId table_id, size_t col,
+                              const LowerOptions& options) {
+  const TableSchema& schema = db.catalog().schema(table_id);
+  if (schema.IsDataSourceColumn(col)) return ColumnProvenance::kDataSource;
+  if (IsRegistryColumn(db, table_id, col, options)) {
+    return ColumnProvenance::kDataSource;
+  }
+  return ColumnProvenance::kRegular;
+}
+
+/// Lowers one planned query into `ir` and returns the root node id.
+/// `generated` marks every emitted node as recency machinery.
+size_t LowerQueryInto(PlanIr* ir, const Database& db, const BoundQuery& query,
+                      const QueryPlan& plan, Snapshot snapshot,
+                      const LowerOptions& options, bool generated) {
+  size_t top = 0;
+  std::vector<IrColumn> top_cols;
+  for (size_t i = 0; i < plan.levels.size(); ++i) {
+    const LevelPlan& level = plan.levels[i];
+    const BoundTableRef& rel = query.relations[level.relation];
+    const TableSchema& schema = db.catalog().schema(rel.table_id);
+
+    IrNode& scan = ir->Add(IrNodeKind::kScan);
+    scan.generated = generated;
+    scan.table = schema.name();
+    scan.snapshot = snapshot.version;
+    if (IsTempTableName(schema.name())) {
+      // The table resolved at bind time, so its definition predates this
+      // plan; in-session defs are modeled by LowerReportSession instead.
+      scan.preexisting_temp = true;
+    }
+    for (size_t c = 0; c < schema.num_columns(); ++c) {
+      scan.columns.push_back(
+          IrColumn{rel.display_name + "." + schema.column(c).name,
+                   ProvenanceOf(db, rel.table_id, c, options)});
+    }
+    size_t level_top = scan.id;
+    std::vector<IrColumn> level_cols = scan.columns;
+
+    if (level.use_local_index || !level.local_preds.empty()) {
+      IrNode& filter = ir->Add(IrNodeKind::kFilter);
+      filter.generated = generated;
+      filter.inputs.push_back(level_top);
+      filter.columns = level_cols;
+      level_top = filter.id;
+    }
+
+    if (i == 0) {
+      top = level_top;
+      top_cols = std::move(level_cols);
+      continue;
+    }
+    IrNode& join = ir->Add(IrNodeKind::kJoin);
+    join.generated = generated;
+    join.inputs = {top, level_top};
+    for (const LevelPlan::EquiKey& key : level.equi_keys) {
+      IrNode::JoinKey jk;
+      jk.probe = ProvenanceOf(db, query.relations[key.probe.rel].table_id,
+                              key.probe.col, options);
+      jk.build = ProvenanceOf(db, query.relations[key.build.rel].table_id,
+                              key.build.col, options);
+      jk.relevance =
+          IsRegistryColumn(db, query.relations[key.probe.rel].table_id,
+                           key.probe.col, options) ||
+          IsRegistryColumn(db, query.relations[key.build.rel].table_id,
+                           key.build.col, options);
+      join.keys.push_back(jk);
+    }
+    top_cols.insert(top_cols.end(), level_cols.begin(), level_cols.end());
+    join.columns = top_cols;
+    top = join.id;
+    if (!level.level_preds.empty()) {
+      IrNode& filter = ir->Add(IrNodeKind::kFilter);
+      filter.generated = generated;
+      filter.inputs.push_back(top);
+      filter.columns = top_cols;
+      top = filter.id;
+    }
+  }
+
+  if (!plan.constant_preds.empty() || plan.provably_empty) {
+    IrNode& filter = ir->Add(IrNodeKind::kFilter);
+    filter.generated = generated;
+    if (!ir->nodes.empty() && !plan.levels.empty()) {
+      filter.inputs.push_back(top);
+    }
+    filter.columns = top_cols;
+    top = filter.id;
+  }
+
+  if (query.count_star || !query.aggregates.empty()) {
+    IrNode& agg = ir->Add(IrNodeKind::kAggregate);
+    agg.generated = generated;
+    agg.inputs.push_back(top);
+    if (query.count_star) {
+      agg.aggs.push_back(IrNode::Agg{"count*", ColumnProvenance::kRegular});
+      agg.columns.push_back(IrColumn{"count", ColumnProvenance::kRegular});
+    }
+    for (const BoundQuery::Aggregate& a : query.aggregates) {
+      ColumnProvenance arg = ColumnProvenance::kRegular;
+      if (a.fn != AggFn::kCountStar) {
+        arg = ProvenanceOf(db, query.relations[a.arg.rel].table_id, a.arg.col,
+                           options);
+      }
+      agg.aggs.push_back(IrNode::Agg{AggFnName(a.fn), arg});
+      agg.columns.push_back(IrColumn{a.name, ColumnProvenance::kRegular});
+    }
+    top = agg.id;
+  }
+  return top;
+}
+
+}  // namespace
+
+PlanIr LowerQueryPlan(const Database& db, const BoundQuery& query,
+                      const QueryPlan& plan, Snapshot snapshot,
+                      const LowerOptions& options) {
+  PlanIr ir;
+  ir.label = "query";
+  LowerQueryInto(&ir, db, query, plan, snapshot, options, /*generated=*/false);
+  return ir;
+}
+
+PlanIr LowerReportSession(const Database& db, const ReportSessionInput& input,
+                          const LowerOptions& options) {
+  PlanIr ir;
+  ir.label = "report_session";
+
+  // 1. The user query (not generated machinery).
+  const size_t user_top =
+      LowerQueryInto(&ir, db, *input.user_query, *input.user_plan,
+                     input.snapshot, options, /*generated=*/false);
+
+  // 2. Every recency part: sharded heartbeat scans, or the part's plan
+  // subgraph, gated by its guard subgraphs.
+  std::vector<size_t> part_tops;
+  std::vector<IrColumn> source_cols;
+  for (const SessionPartInput& part : input.parts) {
+    const BoundQuery& q = *part.query;
+    if (source_cols.empty()) {
+      for (const BoundQuery::OutputColumn& out : q.outputs) {
+        source_cols.push_back(IrColumn{
+            out.name, ProvenanceOf(db, q.relations[out.ref.rel].table_id,
+                                   out.ref.col, options)});
+      }
+    }
+    if (part.shards > 1) {
+      // Pure heartbeat scan fanned out into version-range shards; the
+      // shards rejoin only through the session merge below.
+      const TableSchema& schema =
+          db.catalog().schema(q.relations[0].table_id);
+      for (size_t s = 0; s < part.shards; ++s) {
+        IrNode& scan = ir.Add(IrNodeKind::kScan);
+        scan.generated = true;
+        scan.table = schema.name();
+        scan.snapshot = input.snapshot.version;
+        scan.shard = s;
+        scan.num_shards = part.shards;
+        for (size_t c = 0; c < schema.num_columns(); ++c) {
+          scan.columns.push_back(
+              IrColumn{q.relations[0].display_name + "." +
+                           schema.column(c).name,
+                       ProvenanceOf(db, q.relations[0].table_id, c, options)});
+        }
+        part_tops.push_back(scan.id);
+      }
+      continue;
+    }
+    // EXISTS guards execute before the part's main query, so they lower
+    // first (IR node order is execution order).
+    std::vector<size_t> guard_tops;
+    for (size_t g = 0; g < part.guard_queries.size(); ++g) {
+      guard_tops.push_back(
+          LowerQueryInto(&ir, db, *part.guard_queries[g], *part.guard_plans[g],
+                         input.snapshot, options, /*generated=*/true));
+    }
+    size_t part_top = LowerQueryInto(&ir, db, q, *part.plan, input.snapshot,
+                                     options, /*generated=*/true);
+    if (!guard_tops.empty()) {
+      // The part's rows flow only if every guard is non-empty, modeled
+      // as a gating filter fed by the part and the guard roots.
+      const std::vector<IrColumn> cols = ir.nodes[part_top].columns;
+      IrNode& gate = ir.Add(IrNodeKind::kFilter);
+      gate.generated = true;
+      gate.inputs.push_back(part_top);
+      for (size_t g : guard_tops) gate.inputs.push_back(g);
+      gate.columns = cols;
+      part_top = gate.id;
+    }
+    part_tops.push_back(part_top);
+  }
+
+  // 3. The deterministic rejoin: an order-insensitive set merge keyed on
+  // the source id, with sorted output (the union of Corollaries 1/4).
+  IrNode& merge = ir.Add(IrNodeKind::kMerge);
+  merge.generated = true;
+  merge.inputs = part_tops;
+  merge.set_merge = true;
+  merge.sorted = true;
+  if (source_cols.empty()) {
+    // No parts (S(Q) = ∅): the merge of nothing still carries the
+    // source-anchored shape the temp writes and report consume.
+    source_cols.push_back(IrColumn{"source_id", ColumnProvenance::kDataSource});
+    source_cols.push_back(
+        IrColumn{"recency_timestamp", ColumnProvenance::kRegular});
+  }
+  merge.columns = source_cols;
+  const size_t merge_id = merge.id;
+
+  // 4. Temp-table writes (sys_temp_a*/sys_temp_e*).
+  std::vector<size_t> report_inputs = {user_top};
+  for (const std::string& name : input.temp_writes) {
+    IrNode& write = ir.Add(IrNodeKind::kTempWrite);
+    write.generated = true;
+    write.inputs.push_back(merge_id);
+    write.table = name;
+    write.session = input.session;
+    write.columns = ir.nodes[merge_id].columns;
+    report_inputs.push_back(write.id);
+  }
+  if (input.temp_writes.empty()) report_inputs.push_back(merge_id);
+
+  // 5. The report consumes the user result and the relevant sources.
+  IrNode& report = ir.Add(IrNodeKind::kReport);
+  report.generated = true;
+  report.inputs = std::move(report_inputs);
+  return ir;
+}
+
+}  // namespace trac

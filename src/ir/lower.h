@@ -1,0 +1,69 @@
+#ifndef TRAC_IR_LOWER_H_
+#define TRAC_IR_LOWER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "exec/planner.h"
+#include "expr/bound_expr.h"
+#include "ir/plan_ir.h"
+#include "storage/database.h"
+#include "storage/snapshot.h"
+
+namespace trac {
+
+/// Lowering from physical plans into the dataflow IR (ir/plan_ir.h).
+/// Lowering is pure bookkeeping — it never touches table data — and is
+/// deliberately cheap enough to run on every planned query.
+
+struct LowerOptions {
+  /// Name of the Heartbeat table. A scan of this table marks its
+  /// source-id column as data-source provenance even though the table
+  /// itself has no declared data-source column (it *is* the source
+  /// registry). Empty: only declared data-source columns are marked.
+  std::string heartbeat_table;
+};
+
+/// Lowers one planned query: per level a scan (pinned to `snapshot`),
+/// an optional filter, and a join connecting it to the prefix; then the
+/// constant-predicate filter and the aggregate fold, if any.
+PlanIr LowerQueryPlan(const Database& db, const BoundQuery& query,
+                      const QueryPlan& plan, Snapshot snapshot,
+                      const LowerOptions& options = LowerOptions());
+
+/// One recency part of a report session, pre-planned by the caller.
+struct SessionPartInput {
+  const BoundQuery* query = nullptr;
+  const QueryPlan* plan = nullptr;
+  /// EXISTS guards gating the part, pre-planned like the main query.
+  std::vector<const BoundQuery*> guard_queries;
+  std::vector<const QueryPlan*> guard_plans;
+  /// Fan-out of a pure-Heartbeat-scan part: >1 lowers to `shards`
+  /// version-range scan nodes instead of the part's plan.
+  size_t shards = 1;
+};
+
+/// Everything a report session executes, for session-level lowering.
+struct ReportSessionInput {
+  const BoundQuery* user_query = nullptr;
+  const QueryPlan* user_plan = nullptr;
+  std::vector<SessionPartInput> parts;
+  /// Temp tables the session writes the merged sources into
+  /// (sys_temp_a*/sys_temp_e*), in write order.
+  std::vector<std::string> temp_writes;
+  uint64_t session = 0;   ///< Owning session id; 0 = no session.
+  Snapshot snapshot;      ///< The one snapshot every read is pinned to.
+};
+
+/// Lowers a full report session: the user query subgraph, every recency
+/// part (sharded scans or its plan subgraph, guards as gating filters),
+/// the deterministic set merge of all parts, the temp-table writes, and
+/// the final report node consuming the user result and the sources.
+/// Recency-side nodes are marked `generated`.
+PlanIr LowerReportSession(const Database& db, const ReportSessionInput& input,
+                          const LowerOptions& options = LowerOptions());
+
+}  // namespace trac
+
+#endif  // TRAC_IR_LOWER_H_

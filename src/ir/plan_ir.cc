@@ -1,0 +1,286 @@
+#include "ir/plan_ir.h"
+
+#include <cstdint>
+
+namespace trac {
+
+namespace {
+
+constexpr std::string_view kTempPrefix = "sys_temp_";
+
+char ProvenanceChar(ColumnProvenance p) {
+  return p == ColumnProvenance::kDataSource ? 'd' : 'r';
+}
+
+[[nodiscard]] Result<ColumnProvenance> ParseProvenance(std::string_view s) {
+  if (s == "d") return ColumnProvenance::kDataSource;
+  if (s == "r") return ColumnProvenance::kRegular;
+  return Status::ParseError("bad provenance class '" + std::string(s) +
+                            "' (want 'r' or 'd')");
+}
+
+/// Splits `s` on `sep`, keeping empty pieces (a trailing sep would be a
+/// syntax error surfaced by the piece parser).
+std::vector<std::string> SplitOn(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  std::string current;
+  for (char c : s) {
+    if (c == sep) {
+      out.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  out.push_back(current);
+  return out;
+}
+
+[[nodiscard]] Result<uint64_t> ParseU64(std::string_view s) {
+  if (s.empty()) return Status::ParseError("empty number");
+  uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      return Status::ParseError("bad number '" + std::string(s) + "'");
+    }
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string_view IrNodeKindToString(IrNodeKind kind) {
+  switch (kind) {
+    case IrNodeKind::kScan:
+      return "scan";
+    case IrNodeKind::kFilter:
+      return "filter";
+    case IrNodeKind::kJoin:
+      return "join";
+    case IrNodeKind::kAggregate:
+      return "agg";
+    case IrNodeKind::kMerge:
+      return "merge";
+    case IrNodeKind::kTempWrite:
+      return "tempwrite";
+    case IrNodeKind::kReport:
+      return "report";
+  }
+  return "?";
+}
+
+bool IsTempTableName(std::string_view name) {
+  return name.size() > kTempPrefix.size() &&
+         name.compare(0, kTempPrefix.size(), kTempPrefix) == 0;
+}
+
+IrNode& PlanIr::Add(IrNodeKind kind) {
+  IrNode node;
+  node.id = nodes.size();
+  node.kind = kind;
+  nodes.push_back(std::move(node));
+  return nodes.back();
+}
+
+std::string PlanIr::Dump() const {
+  std::string out = "ir " + label + "\n";
+  for (const IrNode& n : nodes) {
+    out += "node " + std::to_string(n.id) + " " +
+           std::string(IrNodeKindToString(n.kind));
+    if (!n.inputs.empty()) {
+      out += " in=";
+      for (size_t i = 0; i < n.inputs.size(); ++i) {
+        if (i != 0) out += ',';
+        out += std::to_string(n.inputs[i]);
+      }
+    }
+    if (!n.table.empty()) out += " table=" + n.table;
+    if (n.kind == IrNodeKind::kScan) {
+      out += " snap=" + std::to_string(n.snapshot);
+      if (n.num_shards != 1) {
+        out += " shard=" + std::to_string(n.shard) + "/" +
+               std::to_string(n.num_shards);
+      }
+      if (n.preexisting_temp) out += " pre";
+    }
+    if (!n.keys.empty()) {
+      out += " key=";
+      for (size_t i = 0; i < n.keys.size(); ++i) {
+        if (i != 0) out += ',';
+        out += ProvenanceChar(n.keys[i].probe);
+        out += '-';
+        out += ProvenanceChar(n.keys[i].build);
+        if (n.keys[i].relevance) out += '*';
+      }
+    }
+    if (!n.aggs.empty()) {
+      out += " fns=";
+      for (size_t i = 0; i < n.aggs.size(); ++i) {
+        if (i != 0) out += ',';
+        out += n.aggs[i].fn;
+        out += ':';
+        out += ProvenanceChar(n.aggs[i].arg);
+      }
+    }
+    if (n.set_merge) out += " set";
+    if (n.sorted) out += " sorted";
+    if (n.session != 0) out += " session=" + std::to_string(n.session);
+    if (n.generated) out += " gen";
+    if (!n.columns.empty()) {
+      out += " cols=";
+      for (size_t i = 0; i < n.columns.size(); ++i) {
+        if (i != 0) out += ',';
+        out += n.columns[i].name;
+        out += ':';
+        out += ProvenanceChar(n.columns[i].provenance);
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+[[nodiscard]] Result<PlanIr> ParsePlanIr(std::string_view text) {
+  PlanIr ir;
+  bool saw_header = false;
+  size_t line_no = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    const size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? text.size() - pos : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+    // Trim trailing CR and surrounding spaces.
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.remove_suffix(1);
+    }
+    while (!line.empty() && line.front() == ' ') line.remove_prefix(1);
+    if (line.empty() || line.front() == '#') continue;
+
+    auto err = [&](const std::string& msg) {
+      return Status::ParseError("plan IR line " + std::to_string(line_no) +
+                                ": " + msg);
+    };
+
+    std::vector<std::string> tokens;
+    {
+      std::string current;
+      for (char c : line) {
+        if (c == ' ' || c == '\t') {
+          if (!current.empty()) tokens.push_back(std::move(current));
+          current.clear();
+        } else {
+          current += c;
+        }
+      }
+      if (!current.empty()) tokens.push_back(std::move(current));
+    }
+
+    if (!saw_header) {
+      if (tokens.size() != 2 || tokens[0] != "ir") {
+        return err("expected header 'ir <label>'");
+      }
+      ir.label = tokens[1];
+      saw_header = true;
+      continue;
+    }
+    if (tokens.size() < 3 || tokens[0] != "node") {
+      return err("expected 'node <id> <kind> ...'");
+    }
+    TRAC_ASSIGN_OR_RETURN(uint64_t id, ParseU64(tokens[1]));
+    if (id != ir.nodes.size()) {
+      return err("node ids must be dense and ascending (got " + tokens[1] +
+                 ", want " + std::to_string(ir.nodes.size()) + ")");
+    }
+    IrNode node;
+    node.id = id;
+    bool kind_ok = false;
+    for (IrNodeKind k :
+         {IrNodeKind::kScan, IrNodeKind::kFilter, IrNodeKind::kJoin,
+          IrNodeKind::kAggregate, IrNodeKind::kMerge, IrNodeKind::kTempWrite,
+          IrNodeKind::kReport}) {
+      if (tokens[2] == IrNodeKindToString(k)) {
+        node.kind = k;
+        kind_ok = true;
+        break;
+      }
+    }
+    if (!kind_ok) return err("unknown node kind '" + tokens[2] + "'");
+
+    for (size_t t = 3; t < tokens.size(); ++t) {
+      const std::string& tok = tokens[t];
+      const size_t eq = tok.find('=');
+      const std::string key = eq == std::string::npos ? tok : tok.substr(0, eq);
+      const std::string value =
+          eq == std::string::npos ? std::string() : tok.substr(eq + 1);
+      if (key == "in") {
+        for (const std::string& piece : SplitOn(value, ',')) {
+          TRAC_ASSIGN_OR_RETURN(uint64_t in, ParseU64(piece));
+          node.inputs.push_back(in);
+        }
+      } else if (key == "table") {
+        node.table = value;
+      } else if (key == "snap") {
+        TRAC_ASSIGN_OR_RETURN(node.snapshot, ParseU64(value));
+      } else if (key == "shard") {
+        const std::vector<std::string> parts = SplitOn(value, '/');
+        if (parts.size() != 2) return err("want shard=<k>/<n>");
+        TRAC_ASSIGN_OR_RETURN(uint64_t k, ParseU64(parts[0]));
+        TRAC_ASSIGN_OR_RETURN(uint64_t n, ParseU64(parts[1]));
+        node.shard = k;
+        node.num_shards = n;
+      } else if (key == "pre") {
+        node.preexisting_temp = true;
+      } else if (key == "key") {
+        for (std::string piece : SplitOn(value, ',')) {
+          IrNode::JoinKey jk;
+          if (!piece.empty() && piece.back() == '*') {
+            jk.relevance = true;
+            piece.pop_back();
+          }
+          const std::vector<std::string> sides = SplitOn(piece, '-');
+          if (sides.size() != 2) return err("want key=<p>-<b>[*],...");
+          TRAC_ASSIGN_OR_RETURN(jk.probe, ParseProvenance(sides[0]));
+          TRAC_ASSIGN_OR_RETURN(jk.build, ParseProvenance(sides[1]));
+          node.keys.push_back(jk);
+        }
+      } else if (key == "fns") {
+        for (const std::string& piece : SplitOn(value, ',')) {
+          const std::vector<std::string> parts = SplitOn(piece, ':');
+          if (parts.size() != 2) return err("want fns=<fn>:<p>,...");
+          IrNode::Agg agg;
+          agg.fn = parts[0];
+          TRAC_ASSIGN_OR_RETURN(agg.arg, ParseProvenance(parts[1]));
+          node.aggs.push_back(std::move(agg));
+        }
+      } else if (key == "set") {
+        node.set_merge = true;
+      } else if (key == "sorted") {
+        node.sorted = true;
+      } else if (key == "session") {
+        TRAC_ASSIGN_OR_RETURN(node.session, ParseU64(value));
+      } else if (key == "gen") {
+        node.generated = true;
+      } else if (key == "cols") {
+        for (const std::string& piece : SplitOn(value, ',')) {
+          const size_t colon = piece.rfind(':');
+          if (colon == std::string::npos) return err("want cols=<name>:<p>,...");
+          IrColumn col;
+          col.name = piece.substr(0, colon);
+          TRAC_ASSIGN_OR_RETURN(col.provenance,
+                                ParseProvenance(piece.substr(colon + 1)));
+          node.columns.push_back(std::move(col));
+        }
+      } else {
+        return err("unknown attribute '" + key + "'");
+      }
+    }
+    ir.nodes.push_back(std::move(node));
+  }
+  if (!saw_header) return Status::ParseError("plan IR: missing 'ir <label>' header");
+  return ir;
+}
+
+}  // namespace trac

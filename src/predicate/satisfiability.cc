@@ -86,10 +86,15 @@ class SatChecker {
       const Domain& d = DomainOf(ref);
       if (!d.is_finite()) return Sat::kUnknown;
       if (d.size() == 0) return Sat::kUnsat;  // Empty domain: no tuples.
-      if (product > options_.max_enumeration / d.size()) {
+      // Overflow-checked multiply: the cardinality product of enough
+      // finite domains wraps size_t long before the loop below could
+      // ever finish, and a wrapped product can slip under
+      // max_enumeration (16 columns of 16-value domains give 2^64 = 0).
+      // Treat both wrap and budget excess as "too large to enumerate".
+      if (__builtin_mul_overflow(product, d.size(), &product) ||
+          product > options_.max_enumeration) {
         return Sat::kUnknown;  // Product too large; fall back.
       }
-      product *= d.size();
     }
 
     // Synthetic rows: only referenced cells are filled; terms never read

@@ -132,6 +132,14 @@ class Database {
     return temp_name_counter_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// Allocates the next session id (nonzero, unique per Database). The
+  /// plan verifier's session-confinement rule (TRAC-V002) identifies a
+  /// report session's temp nodes by this id; 0 is reserved for "no
+  /// session".
+  uint64_t NextSessionId() {
+    return session_counter_.fetch_add(1, std::memory_order_relaxed);
+  }
+
  private:
   /// Validates and normalizes `row` in place against `schema`.
   [[nodiscard]] static Status PrepareRow(const TableSchema& schema, Row* row);
@@ -145,6 +153,7 @@ class Database {
   std::deque<std::unique_ptr<Table>> tables_ TRAC_GUARDED_BY(tables_mu_);
   std::atomic<uint64_t> version_counter_{0};
   std::atomic<uint64_t> temp_name_counter_{1000};
+  std::atomic<uint64_t> session_counter_{1};
   /// Serializes all mutations; outermost in the global lock order.
   Mutex write_mu_{lock_rank::kDatabaseWrite, "Database::write_mu_"};
 };

@@ -1,0 +1,93 @@
+#ifndef TRAC_VERIFY_VERIFIER_H_
+#define TRAC_VERIFY_VERIFIER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "ir/lower.h"
+#include "ir/plan_ir.h"
+
+namespace trac {
+
+/// Static verifier over the plan dataflow IR (ir/plan_ir.h), run before
+/// a plan executes — the way LLVM/HLO verifiers gate a compiler
+/// pipeline. Each rule turns one clause of the reporting layer's
+/// correctness contract into a machine check:
+///
+///   TRAC-V000  well-formed graph: every input edge references an
+///              earlier node (node order is execution order, so forward
+///              edges are impossible and cycles cannot form).
+///   TRAC-V001  single-snapshot rule (Section 3.2): every scan in the
+///              plan reads the same snapshot epoch.
+///   TRAC-V002  temp tables: defined before use, and every temp node is
+///              confined to one owning session.
+///   TRAC-V003  deterministic merge: rows from sharded scans reach the
+///              report/temp-write/aggregate boundary only through an
+///              order-insensitive (set) or explicitly sorted merge.
+///   TRAC-V004  provenance hygiene (Definition 2): relevant-source temp
+///              writes carry a data-source column; order-sensitive
+///              aggregates (sum/avg) never fold a data-source column;
+///              generated plans never join a data-source column against
+///              a regular column.
+enum class VerifyCode {
+  kMalformedGraph = 0,     ///< TRAC-V000
+  kSnapshotMismatch,       ///< TRAC-V001
+  kTempUseBeforeDef,       ///< TRAC-V002
+  kTempSessionEscape,      ///< TRAC-V002
+  kNondeterministicMerge,  ///< TRAC-V003
+  kProvenanceLeak,         ///< TRAC-V004
+};
+
+/// Stable identifier, e.g. "TRAC-V001".
+std::string_view VerifyCodeId(VerifyCode code);
+
+/// One finding of the static verifier, anchored to an IR node.
+struct VerifyDiagnostic {
+  VerifyCode code = VerifyCode::kMalformedGraph;
+  /// Id of the node the finding anchors to.
+  size_t node = 0;
+  /// Kind of that node, for self-contained rendering.
+  IrNodeKind kind = IrNodeKind::kScan;
+  std::string message;
+
+  /// "[TRAC-V001] node 3 (scan): ...".
+  std::string Format() const;
+};
+
+/// The verifier's result: pass/fail plus every finding.
+struct VerifyReport {
+  std::vector<VerifyDiagnostic> diagnostics;
+
+  bool ok() const { return diagnostics.empty(); }
+  /// Multi-line lint-style block: header then one line per finding;
+  /// "plan IR verified: N nodes, 0 diagnostics" when clean.
+  std::string Format(const PlanIr& ir) const;
+};
+
+/// Runs the full pass pipeline over `ir`. A TRAC-V000 finding
+/// short-circuits the remaining passes (they assume a well-formed
+/// graph). Never fails as a function — failures are diagnostics.
+VerifyReport VerifyIr(const PlanIr& ir);
+
+/// Convenience gate: verifies and folds any findings into a single
+/// kInternal Status (a rejected plan is a library bug, not user error).
+[[nodiscard]] Status VerifyIrStatus(const PlanIr& ir);
+
+/// The planner/executor gate: lowers one planned query (ir/lower.h) and
+/// verifies the result. Callers escalate to a hard error under
+/// TRAC_DEBUG_INVARIANTS and propagate the Status in release builds.
+[[nodiscard]] Status VerifyPlan(const Database& db, const BoundQuery& query,
+                                const QueryPlan& plan, Snapshot snapshot,
+                                const LowerOptions& options = LowerOptions());
+
+/// Session-level gate over everything a recency report executes.
+[[nodiscard]] Status VerifyReportSession(const Database& db,
+                                         const ReportSessionInput& input,
+                                         const LowerOptions& options =
+                                             LowerOptions());
+
+}  // namespace trac
+
+#endif  // TRAC_VERIFY_VERIFIER_H_

@@ -1,0 +1,126 @@
+#include "ir/plan_ir.h"
+
+#include <gtest/gtest.h>
+
+namespace trac {
+namespace {
+
+/// The canonical Dump() text of a small but fully featured plan: every
+/// node kind, shard fan-out, a relevance-marked join key, aggregate
+/// functions, session ownership, and the generated flag.
+const char kFullDump[] =
+    "ir full_example\n"
+    "node 0 scan table=activity snap=12 cols=a.mach_id:d,a.value:r\n"
+    "node 1 filter in=0 cols=a.mach_id:d,a.value:r\n"
+    "node 2 scan table=heartbeat snap=12 shard=0/2 gen "
+    "cols=h.source_id:d,h.recency_timestamp:r\n"
+    "node 3 scan table=heartbeat snap=12 shard=1/2 gen "
+    "cols=h.source_id:d,h.recency_timestamp:r\n"
+    "node 4 merge in=2,3 set sorted gen "
+    "cols=source_id:d,recency_timestamp:r\n"
+    "node 5 join in=1,4 key=d-d*,r-r cols=a.mach_id:d,source_id:d\n"
+    "node 6 agg in=5 fns=count:r,max:r cols=n:r\n"
+    "node 7 tempwrite in=4 table=sys_temp_a1 session=3 gen "
+    "cols=source_id:d\n"
+    "node 8 scan table=sys_temp_a1 snap=12 cols=source_id:d\n"
+    "node 9 report in=6,7,8 gen\n";
+
+TEST(PlanIrTest, DumpParseRoundTripIsByteExact) {
+  auto parsed = ParsePlanIr(kFullDump);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->label, "full_example");
+  ASSERT_EQ(parsed->nodes.size(), 10u);
+  // Byte-exact round trip: Dump(Parse(text)) == text.
+  EXPECT_EQ(parsed->Dump(), kFullDump);
+  // And a second round trip is a fixed point.
+  auto again = ParsePlanIr(parsed->Dump());
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_EQ(again->Dump(), kFullDump);
+}
+
+TEST(PlanIrTest, ParsedFieldsMatch) {
+  auto parsed = ParsePlanIr(kFullDump);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const PlanIr& ir = *parsed;
+
+  EXPECT_EQ(ir.nodes[0].kind, IrNodeKind::kScan);
+  EXPECT_EQ(ir.nodes[0].table, "activity");
+  EXPECT_EQ(ir.nodes[0].snapshot, 12u);
+  ASSERT_EQ(ir.nodes[0].columns.size(), 2u);
+  EXPECT_EQ(ir.nodes[0].columns[0].name, "a.mach_id");
+  EXPECT_EQ(ir.nodes[0].columns[0].provenance, ColumnProvenance::kDataSource);
+  EXPECT_EQ(ir.nodes[0].columns[1].provenance, ColumnProvenance::kRegular);
+
+  EXPECT_EQ(ir.nodes[2].shard, 0u);
+  EXPECT_EQ(ir.nodes[2].num_shards, 2u);
+  EXPECT_TRUE(ir.nodes[2].generated);
+
+  EXPECT_EQ(ir.nodes[4].kind, IrNodeKind::kMerge);
+  EXPECT_TRUE(ir.nodes[4].set_merge);
+  EXPECT_TRUE(ir.nodes[4].sorted);
+  EXPECT_EQ(ir.nodes[4].inputs, (std::vector<size_t>{2, 3}));
+
+  ASSERT_EQ(ir.nodes[5].keys.size(), 2u);
+  EXPECT_TRUE(ir.nodes[5].keys[0].relevance);
+  EXPECT_EQ(ir.nodes[5].keys[0].probe, ColumnProvenance::kDataSource);
+  EXPECT_FALSE(ir.nodes[5].keys[1].relevance);
+  EXPECT_EQ(ir.nodes[5].keys[1].build, ColumnProvenance::kRegular);
+
+  ASSERT_EQ(ir.nodes[6].aggs.size(), 2u);
+  EXPECT_EQ(ir.nodes[6].aggs[0].fn, "count");
+
+  EXPECT_EQ(ir.nodes[7].session, 3u);
+  EXPECT_EQ(ir.nodes[7].table, "sys_temp_a1");
+}
+
+TEST(PlanIrTest, CommentsAndBlankLinesAreSkipped) {
+  auto parsed = ParsePlanIr(
+      "# a seeded-bad corpus file may carry commentary\n"
+      "\n"
+      "ir commented\n"
+      "  # indented comment\n"
+      "node 0 scan table=t snap=1 cols=x:r\n"
+      "\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->nodes.size(), 1u);
+}
+
+TEST(PlanIrTest, ParseErrors) {
+  // Missing header.
+  EXPECT_FALSE(ParsePlanIr("node 0 scan snap=1\n").ok());
+  // Non-dense node ids.
+  EXPECT_FALSE(ParsePlanIr("ir x\nnode 1 scan snap=1\n").ok());
+  // Unknown node kind.
+  EXPECT_FALSE(ParsePlanIr("ir x\nnode 0 shuffle\n").ok());
+  // Unknown attribute.
+  EXPECT_FALSE(ParsePlanIr("ir x\nnode 0 scan wat=1\n").ok());
+  // Bad provenance class.
+  EXPECT_FALSE(ParsePlanIr("ir x\nnode 0 scan cols=a:z\n").ok());
+  // Malformed join key.
+  EXPECT_FALSE(ParsePlanIr("ir x\nnode 0 join key=d\n").ok());
+  // Malformed shard spec.
+  EXPECT_FALSE(ParsePlanIr("ir x\nnode 0 scan shard=3\n").ok());
+}
+
+TEST(PlanIrTest, TempTableNameClassifier) {
+  EXPECT_TRUE(IsTempTableName("sys_temp_a1"));
+  EXPECT_TRUE(IsTempTableName("sys_temp_e42"));
+  EXPECT_FALSE(IsTempTableName("sys_temp_"));  // Prefix alone: no id.
+  EXPECT_FALSE(IsTempTableName("activity"));
+  EXPECT_FALSE(IsTempTableName("heartbeat"));
+}
+
+TEST(PlanIrTest, AddAssignsDenseIds) {
+  PlanIr ir;
+  ir.label = "built";
+  ir.Add(IrNodeKind::kScan);
+  ir.Add(IrNodeKind::kFilter);
+  ir.Add(IrNodeKind::kReport);
+  ASSERT_EQ(ir.nodes.size(), 3u);
+  EXPECT_EQ(ir.nodes[0].id, 0u);
+  EXPECT_EQ(ir.nodes[1].id, 1u);
+  EXPECT_EQ(ir.nodes[2].id, 2u);
+}
+
+}  // namespace
+}  // namespace trac

@@ -1,6 +1,7 @@
 #include "predicate/satisfiability.h"
 
 #include <functional>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -253,6 +254,60 @@ TEST_P(SatPropertyTest, SoundOnRandomConjunctions) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SatPropertyTest,
                          ::testing::Values(11, 22, 33, 44, 55, 66));
+
+// Regression: the enumeration sizing must not wrap size_t. Sixteen
+// columns with 16-value domains have a cardinality product of exactly
+// 2^64; a naive running product wraps to 0, slips under any budget
+// (including max_enumeration = SIZE_MAX), and the enumeration loop
+// then never terminates. The checker must detect the overflow and fall
+// back to propagation instead.
+TEST(SatOverflowTest, DomainProductOverflowFallsBack) {
+  Database db;
+  std::vector<Value> dom_values;
+  for (int v = 0; v < 16; ++v) {
+    dom_values.push_back(Value::Str("x" + std::to_string(v)));
+  }
+  std::vector<ColumnDef> cols;
+  for (int c = 0; c < 16; ++c) {
+    cols.push_back(ColumnDef("c" + std::to_string(c), TypeId::kString,
+                             Domain::Finite(TypeId::kString, dom_values)));
+  }
+  ASSERT_TRUE(db.CreateTable(TableSchema("wide", std::move(cols))).ok());
+
+  auto scope = BindSql(db, "SELECT c0 FROM wide");
+  ASSERT_TRUE(scope.ok()) << scope.status();
+
+  auto check = [&](const std::string& pred, size_t budget) {
+    auto parsed = ParsePredicate(pred);
+    EXPECT_TRUE(parsed.ok()) << parsed.status();
+    auto bound = BindPredicateInScope(db, *scope, **parsed);
+    EXPECT_TRUE(bound.ok()) << bound.status();
+    auto dnf = ToDnf(**bound);
+    EXPECT_TRUE(dnf.ok()) << dnf.status();
+    EXPECT_EQ(dnf->conjuncts.size(), 1u) << pred;
+    SatOptions options;
+    options.max_enumeration = budget;
+    return CheckConjunctionSat(db, *scope, dnf->conjuncts[0], options);
+  };
+
+  // Pairwise disequalities over all 16 columns: the exact product is
+  // 2^64, which the overflow-checked sizing rejects; the propagation
+  // fallback cannot decide cross-column disequalities, so the verdict
+  // degrades to kUnknown — in bounded time.
+  std::string wide_pred;
+  for (int c = 0; c < 16; c += 2) {
+    if (!wide_pred.empty()) wide_pred += " AND ";
+    wide_pred += "c" + std::to_string(c) + " <> c" + std::to_string(c + 1);
+  }
+  EXPECT_EQ(check(wide_pred, std::numeric_limits<size_t>::max()),
+            Sat::kUnknown);
+
+  // The same shape over two columns (product 256) still enumerates
+  // exactly: 16 > 1 distinct values, so a witness exists.
+  EXPECT_EQ(check("c0 <> c1", 100000), Sat::kSat);
+  // And a finite budget below the two-column product falls back too.
+  EXPECT_EQ(check("c0 <> c1", 255), Sat::kUnknown);
+}
 
 }  // namespace
 }  // namespace trac

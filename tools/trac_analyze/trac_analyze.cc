@@ -2,7 +2,7 @@
 //
 // Usage:
 //   trac_analyze --schema <schema.sql> [--golden <dir>] [--update]
-//                [--require-exact] <query.sql>...
+//                [--require-exact] [--json] <query.sql>...
 //
 // Loads the schema (CREATE TABLE statements with DATA SOURCE markers and
 // CHECK constraints), binds each query file, and runs the static
@@ -19,6 +19,10 @@
 //   --require-exact   fail (exit 1) when any query's verdict is below
 //                     EXACT_MINIMUM — lint mode for corpora that must
 //                     keep the Theorem 3/4 guarantee
+//   --json            machine-readable output: a JSON array with one
+//                     object per query (verdict, DNF accounting, every
+//                     diagnostic) instead of the text blocks; exit
+//                     codes are unchanged so CI can gate on them
 //
 // Exit status: 0 clean, 1 findings/regressions, 2 usage or I/O errors.
 
@@ -30,6 +34,7 @@
 #include <vector>
 
 #include "analysis/guarantee.h"
+#include "common/str_util.h"
 #include "exec/statement.h"
 #include "expr/binder.h"
 #include "storage/database.h"
@@ -89,9 +94,36 @@ std::vector<std::string> SplitStatements(const std::string& text) {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --schema <schema.sql> [--golden <dir>] [--update] "
-               "[--require-exact] <query.sql>...\n",
+               "[--require-exact] [--json] <query.sql>...\n",
                argv0);
   return 2;
+}
+
+std::string JsonForQuery(const std::string& name, const std::string& sql,
+                         const trac::GuaranteeReport& report) {
+  std::string out =
+      "  {\"file\": " + trac::JsonEscape(name) +
+      ", \"query\": " + trac::JsonEscape(sql) + ", \"verdict\": " +
+      trac::JsonEscape(trac::GuaranteeToString(report.verdict)) +
+      ", \"citation\": " + trac::JsonEscape(report.citation) +
+      ", \"dnf\": {\"estimated\": " +
+      std::to_string(report.estimated_dnf_conjuncts) +
+      ", \"conjuncts\": " + std::to_string(report.dnf_conjuncts) +
+      ", \"overflow\": " + (report.dnf_overflow ? "true" : "false") +
+      ", \"live\": " + std::to_string(report.live_conjuncts) +
+      "}, \"diagnostics\": [";
+  for (size_t i = 0; i < report.diagnostics.size(); ++i) {
+    const trac::AnalysisDiagnostic& d = report.diagnostics[i];
+    if (i != 0) out += ", ";
+    out += "{\"code\": " + trac::JsonEscape(trac::AnalysisCodeId(d.code)) +
+           ", \"conjunct\": " + std::to_string(d.conjunct) +
+           ", \"relation\": " + trac::JsonEscape(d.relation) +
+           ", \"term_sql\": " + trac::JsonEscape(d.term_sql) +
+           ", \"citation\": " + trac::JsonEscape(d.citation) +
+           ", \"message\": " + trac::JsonEscape(d.message) + "}";
+  }
+  out += "]}";
+  return out;
 }
 
 }  // namespace
@@ -101,6 +133,7 @@ int main(int argc, char** argv) {
   std::string golden_dir;
   bool update = false;
   bool require_exact = false;
+  bool json = false;
   std::vector<std::string> query_files;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -112,6 +145,8 @@ int main(int argc, char** argv) {
       update = true;
     } else if (arg == "--require-exact") {
       require_exact = true;
+    } else if (arg == "--json") {
+      json = true;
     } else if (!arg.empty() && arg[0] == '-') {
       return Usage(argv[0]);
     } else {
@@ -145,6 +180,8 @@ int main(int argc, char** argv) {
   }
 
   int exit_code = 0;
+  std::string json_out = "[\n";
+  bool json_first = true;
   for (const std::string& query_file : query_files) {
     const fs::path qpath(query_file);
     const std::string name = qpath.filename().string();
@@ -179,7 +216,13 @@ int main(int argc, char** argv) {
 
     const std::string block =
         "query: " + bound->ToSql(db) + "\n" + report->Format();
-    std::printf("== %s\n%s", name.c_str(), block.c_str());
+    if (json) {
+      if (!json_first) json_out += ",\n";
+      json_first = false;
+      json_out += JsonForQuery(name, bound->ToSql(db), *report);
+    } else {
+      std::printf("== %s\n%s", name.c_str(), block.c_str());
+    }
 
     if (require_exact &&
         report->verdict != trac::RecencyGuarantee::kExactMinimum) {
@@ -219,7 +262,10 @@ int main(int argc, char** argv) {
       }
     }
   }
-  if (exit_code == 0) {
+  if (json) {
+    json_out += "\n]\n";
+    std::printf("%s", json_out.c_str());
+  } else if (exit_code == 0) {
     std::printf("trac_analyze: OK (%zu quer%s)\n", query_files.size(),
                 query_files.size() == 1 ? "y" : "ies");
   }

@@ -5,6 +5,7 @@
 //   no-localtime-rand  — direct rand()/localtime() calls
 //   no-throw-abort     — throw and std::abort() outside common/dcheck.h
 //   no-iostream        — std::cerr in library code
+//   snapshot-acquire   — raw Snapshot{...} outside storage//session.cc
 
 #include <ctime>
 #include <iostream>
@@ -32,5 +33,11 @@ void LogWallClock(std::time_t t) {
 void TouchUnderRawGuard(std::mutex& mu) {
   std::lock_guard<std::mutex> lock(mu);
 }
+
+struct Snapshot {
+  unsigned long version;
+};
+
+Snapshot MintFutureEpoch() { return Snapshot{~0ul}; }
 
 }  // namespace bad

@@ -18,6 +18,11 @@
 //   no-iostream        no std::cout / std::cerr outside tools/,
 //                      examples/, bench/ (the library never writes to
 //                      the process's console)
+//   snapshot-acquire   no raw Snapshot{...} construction outside
+//                      storage/ and core/session.cc (a fabricated epoch
+//                      bypasses the acquire-ordered counter; take
+//                      Database::LatestSnapshot() or thread an existing
+//                      Snapshot through)
 //
 // A line ending in a NOLINT(trac-<rule>) comment is exempt from <rule>.
 // Exit status is non-zero iff any violation was found; runs as a CTest
@@ -303,6 +308,45 @@ void CheckIostream(const std::string& path,
   }
 }
 
+// --- Rule: snapshot-acquire ------------------------------------------------
+
+/// Matches brace-construction of a Snapshot (`Snapshot{...}`), i.e.
+/// minting an epoch out of thin air. Reads like `db.LatestSnapshot()`
+/// and pass-through parameters (`Snapshot snap`) do not match.
+const std::regex kSnapshotBraceRe(R"((^|[^A-Za-z0-9_])Snapshot\s*\{)");
+
+/// True when `path` may legitimately construct a Snapshot: the storage
+/// layer (which owns the version counter) and the session layer (which
+/// pins an epoch for its lifetime).
+bool IsSnapshotAcquireSite(const std::string& path) {
+  if (path.rfind("storage/", 0) == 0 ||
+      path.find("/storage/") != std::string::npos) {
+    return true;
+  }
+  const std::string suffix = "core/session.cc";
+  return path.size() >= suffix.size() &&
+         path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+void CheckSnapshotAcquire(const std::string& path,
+                          const std::vector<std::string>& lines) {
+  if (IsSnapshotAcquireSite(path)) return;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string trimmed = Trim(lines[i]);
+    if (IsCommentLine(trimmed) || HasNolint(lines[i], "snapshot-acquire")) {
+      continue;
+    }
+    if (std::regex_search(lines[i], kSnapshotBraceRe)) {
+      Report(path, i + 1, "snapshot-acquire",
+             "raw Snapshot{...} construction outside storage/ and "
+             "core/session.cc; a fabricated epoch bypasses the "
+             "acquire-ordered version counter — use "
+             "Database::LatestSnapshot() or thread an existing Snapshot "
+             "through");
+    }
+  }
+}
+
 // --- Driver ----------------------------------------------------------------
 
 std::vector<std::string> ReadLines(const fs::path& path) {
@@ -324,6 +368,7 @@ void LintFile(const fs::path& file) {
   CheckLocaltimeRand(path, lines);
   CheckThrowAbort(path, lines);
   CheckIostream(path, lines);
+  CheckSnapshotAcquire(path, lines);
 }
 
 }  // namespace

@@ -1,0 +1,353 @@
+// trac_verify: offline plan-IR verifier for query and plan corpora.
+//
+// Usage:
+//   trac_verify --schema <schema.sql> [--golden <dir>] [--update]
+//               [--dump-ir] [--json] [--parallelism N] <file>...
+//
+// Two input kinds, told apart by extension:
+//
+//   *.sql  one SELECT statement. The query is bound against the schema,
+//          its recency queries are generated (src/core/relevance.h), the
+//          whole report session — user plan, every part with guards and
+//          the shard fan-out --parallelism would produce, the merge, the
+//          temp writes — is lowered into the plan IR (src/ir/lower.h)
+//          and the static verifier pass pipeline runs over it.
+//   *.ir   a plan IR file in the Dump() text format (src/ir/plan_ir.h),
+//          parsed and verified as-is. This is the seeded-bad corpus
+//          format: examples/plans/bad/*.ir pin one TRAC-V diagnostic
+//          each.
+//
+//   --dump-ir         print the lowered/parsed IR before the report
+//   --json            machine-readable output: a JSON array with one
+//                     object per input file (diagnostics, ok flag)
+//   --golden <dir>    compare each file's text block against
+//                     <dir>/<stem>.txt and fail (exit 1) on mismatch
+//   --update          rewrite the golden files instead of comparing
+//   --parallelism N   model the executor's heartbeat-scan sharding at
+//                     N strands (default 1 = serial, no fan-out)
+//   --expect-findings invert the findings gate: every input must yield
+//                     at least one diagnostic (the seeded-bad corpus
+//                     mode; golden mismatches still fail)
+//
+// Exit status: 0 clean, 1 diagnostics/regressions, 2 usage or I/O
+// errors. Mirrors tools/trac_analyze.
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/str_util.h"
+#include "core/relevance.h"
+#include "exec/planner.h"
+#include "exec/statement.h"
+#include "expr/binder.h"
+#include "storage/database.h"
+#include "verify/verifier.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Whole file as a string; nullopt-style failure via the bool flag.
+bool ReadFile(const fs::path& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+/// Drops full-line `-- comment` lines so corpus files can be annotated.
+std::string StripSqlComments(const std::string& text) {
+  std::istringstream in(text);
+  std::string out;
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t b = line.find_first_not_of(" \t\r");
+    if (b != std::string::npos && line.compare(b, 2, "--") == 0) continue;
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+/// Splits on ';' outside single-quoted strings; empty pieces dropped.
+std::vector<std::string> SplitStatements(const std::string& text) {
+  std::vector<std::string> stmts;
+  std::string current;
+  bool in_string = false;
+  for (char c : text) {
+    if (c == '\'') in_string = !in_string;
+    if (c == ';' && !in_string) {
+      stmts.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  stmts.push_back(current);
+  std::vector<std::string> nonempty;
+  for (std::string& s : stmts) {
+    if (s.find_first_not_of(" \t\r\n") != std::string::npos) {
+      nonempty.push_back(std::move(s));
+    }
+  }
+  return nonempty;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --schema <schema.sql> [--golden <dir>] [--update] "
+               "[--dump-ir] [--json] [--parallelism N] [--expect-findings] "
+               "<file.sql|file.ir>...\n",
+               argv0);
+  return 2;
+}
+
+/// Lowers the full report session a query would execute. The session id
+/// and temp-write names are stand-ins (the corpus has no live session);
+/// the IR shape is identical to what RecencyReporter verifies online.
+trac::Result<trac::PlanIr> LowerSqlFile(const trac::Database& db,
+                                        const trac::BoundQuery& query,
+                                        size_t parallelism) {
+  TRAC_ASSIGN_OR_RETURN(trac::RecencyQueryPlan plan,
+                        trac::GenerateRecencyQueries(db, query));
+  const trac::Snapshot snapshot = db.LatestSnapshot();
+  trac::PlanningHints hints;
+  hints.guarantee = &plan.analysis;
+  TRAC_ASSIGN_OR_RETURN(trac::QueryPlan user_plan,
+                        trac::PlanQuery(db, query, snapshot, hints));
+
+  std::vector<trac::QueryPlan> part_plans(plan.parts.size());
+  std::vector<std::vector<trac::QueryPlan>> guard_plans(plan.parts.size());
+  trac::ReportSessionInput input;
+  input.user_query = &query;
+  input.user_plan = &user_plan;
+  input.snapshot = snapshot;
+  input.session = 1;
+  input.temp_writes = {"sys_temp_a", "sys_temp_e"};
+  for (size_t i = 0; i < plan.parts.size(); ++i) {
+    const trac::RecencyQueryPlan::Part& part = plan.parts[i];
+    trac::SessionPartInput in;
+    in.query = &part.query;
+    in.shards = trac::PlannedHeartbeatShards(db, part, parallelism);
+    if (in.shards == 1) {
+      TRAC_ASSIGN_OR_RETURN(part_plans[i],
+                            trac::PlanQuery(db, part.query, snapshot));
+      in.plan = &part_plans[i];
+      guard_plans[i].resize(part.guards.size());
+      for (size_t g = 0; g < part.guards.size(); ++g) {
+        TRAC_ASSIGN_OR_RETURN(guard_plans[i][g],
+                              trac::PlanQuery(db, part.guards[g], snapshot));
+        in.guard_queries.push_back(&part.guards[g]);
+        in.guard_plans.push_back(&guard_plans[i][g]);
+      }
+    }
+    input.parts.push_back(std::move(in));
+  }
+  trac::LowerOptions lower;
+  lower.heartbeat_table = trac::HeartbeatTable::kDefaultName;
+  return trac::LowerReportSession(db, input, lower);
+}
+
+std::string JsonForFile(const std::string& name, const trac::PlanIr& ir,
+                        const trac::VerifyReport& report) {
+  std::string out = "  {\"file\": " + trac::JsonEscape(name) +
+                    ", \"label\": " + trac::JsonEscape(ir.label) +
+                    ", \"nodes\": " + std::to_string(ir.nodes.size()) +
+                    ", \"ok\": " + (report.ok() ? "true" : "false") +
+                    ", \"diagnostics\": [";
+  for (size_t i = 0; i < report.diagnostics.size(); ++i) {
+    const trac::VerifyDiagnostic& d = report.diagnostics[i];
+    if (i != 0) out += ", ";
+    out += "{\"code\": " +
+           trac::JsonEscape(trac::VerifyCodeId(d.code)) +
+           ", \"node\": " + std::to_string(d.node) + ", \"kind\": " +
+           trac::JsonEscape(trac::IrNodeKindToString(d.kind)) +
+           ", \"message\": " + trac::JsonEscape(d.message) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string schema_path;
+  std::string golden_dir;
+  bool update = false;
+  bool dump_ir = false;
+  bool json = false;
+  bool expect_findings = false;
+  size_t parallelism = 1;
+  std::vector<std::string> input_files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--schema" && i + 1 < argc) {
+      schema_path = argv[++i];
+    } else if (arg == "--golden" && i + 1 < argc) {
+      golden_dir = argv[++i];
+    } else if (arg == "--update") {
+      update = true;
+    } else if (arg == "--dump-ir") {
+      dump_ir = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--expect-findings") {
+      expect_findings = true;
+    } else if (arg == "--parallelism" && i + 1 < argc) {
+      parallelism = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
+      if (parallelism == 0) parallelism = 1;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage(argv[0]);
+    } else {
+      input_files.push_back(arg);
+    }
+  }
+  if (input_files.empty()) return Usage(argv[0]);
+  if (update && golden_dir.empty()) {
+    std::fprintf(stderr, "trac_verify: --update requires --golden\n");
+    return 2;
+  }
+
+  // Load the schema when given (required for .sql inputs; .ir files are
+  // self-contained).
+  trac::Database db;
+  bool have_schema = false;
+  if (!schema_path.empty()) {
+    std::string schema_sql;
+    if (!ReadFile(schema_path, &schema_sql)) {
+      std::fprintf(stderr, "trac_verify: cannot read schema: %s\n",
+                   schema_path.c_str());
+      return 2;
+    }
+    for (const std::string& stmt :
+         SplitStatements(StripSqlComments(schema_sql))) {
+      auto result = trac::ExecuteStatement(&db, stmt);
+      if (!result.ok()) {
+        std::fprintf(stderr, "trac_verify: schema statement failed: %s\n",
+                     result.status().ToString().c_str());
+        return 2;
+      }
+    }
+    have_schema = true;
+  }
+
+  int exit_code = 0;
+  std::string json_out = "[\n";
+  bool json_first = true;
+  for (const std::string& input_file : input_files) {
+    const fs::path ipath(input_file);
+    const std::string name = ipath.filename().string();
+    std::string text;
+    if (!ReadFile(ipath, &text)) {
+      std::fprintf(stderr, "trac_verify: cannot read input: %s\n",
+                   input_file.c_str());
+      return 2;
+    }
+
+    trac::PlanIr ir;
+    if (ipath.extension() == ".ir") {
+      auto parsed = trac::ParsePlanIr(text);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "trac_verify: %s: %s\n", input_file.c_str(),
+                     parsed.status().ToString().c_str());
+        return 2;
+      }
+      ir = std::move(*parsed);
+    } else {
+      if (!have_schema) {
+        std::fprintf(stderr,
+                     "trac_verify: %s: .sql inputs require --schema\n",
+                     input_file.c_str());
+        return 2;
+      }
+      const std::vector<std::string> stmts =
+          SplitStatements(StripSqlComments(text));
+      if (stmts.size() != 1) {
+        std::fprintf(stderr,
+                     "trac_verify: %s: expected exactly one statement, got "
+                     "%zu\n",
+                     input_file.c_str(), stmts.size());
+        return 2;
+      }
+      auto bound = trac::BindSql(db, stmts[0]);
+      if (!bound.ok()) {
+        std::fprintf(stderr, "trac_verify: %s: bind failed: %s\n",
+                     input_file.c_str(), bound.status().ToString().c_str());
+        return 2;
+      }
+      auto lowered = LowerSqlFile(db, *bound, parallelism);
+      if (!lowered.ok()) {
+        std::fprintf(stderr, "trac_verify: %s: lowering failed: %s\n",
+                     input_file.c_str(), lowered.status().ToString().c_str());
+        return 2;
+      }
+      ir = std::move(*lowered);
+    }
+
+    const trac::VerifyReport report = trac::VerifyIr(ir);
+    if (expect_findings ? report.ok() : !report.ok()) {
+      if (expect_findings) {
+        std::printf("FAIL %s: expected findings, got a clean report\n",
+                    name.c_str());
+      }
+      exit_code = 1;
+    }
+
+    std::string block;
+    if (dump_ir) block += ir.Dump();
+    block += report.Format(ir);
+
+    if (json) {
+      if (!json_first) json_out += ",\n";
+      json_first = false;
+      json_out += JsonForFile(name, ir, report);
+    } else {
+      std::printf("== %s\n%s", name.c_str(), block.c_str());
+    }
+
+    if (!golden_dir.empty()) {
+      const fs::path golden =
+          fs::path(golden_dir) / (ipath.stem().string() + ".txt");
+      if (update) {
+        std::error_code ec;
+        fs::create_directories(golden.parent_path(), ec);
+        std::ofstream out(golden);
+        if (!out) {
+          std::fprintf(stderr, "trac_verify: cannot write golden: %s\n",
+                       golden.string().c_str());
+          return 2;
+        }
+        out << block;
+        std::printf("updated %s\n", golden.string().c_str());
+      } else {
+        std::string expected;
+        if (!ReadFile(golden, &expected)) {
+          std::printf("FAIL %s: missing golden %s (run with --update)\n",
+                      name.c_str(), golden.string().c_str());
+          exit_code = 1;
+        } else if (expected != block) {
+          std::printf("FAIL %s: report differs from golden %s\n",
+                      name.c_str(), golden.string().c_str());
+          std::printf("--- expected\n%s--- actual\n%s", expected.c_str(),
+                      block.c_str());
+          exit_code = 1;
+        }
+      }
+    }
+  }
+  if (json) {
+    json_out += "\n]\n";
+    std::printf("%s", json_out.c_str());
+  } else if (exit_code == 0) {
+    std::printf("trac_verify: OK (%zu file%s)\n", input_files.size(),
+                input_files.size() == 1 ? "" : "s");
+  }
+  return exit_code;
+}
