@@ -100,7 +100,8 @@ Result<ProtocolOutcome> Simulate(bool heartbeats_enabled) {
 }  // namespace bench
 }  // namespace trac
 
-int main() {
+int main(int argc, char** argv) {
+  trac::bench::ParseJsonFlag(&argc, argv, "ablation_heartbeat");
   std::printf(
       "=== Ablation: recency protocol (50 sources, event periods 10s..3h, "
       "6 simulated hours) ===\n");
@@ -112,6 +113,15 @@ int main() {
       std::fprintf(stderr, "%s\n", outcome.status().ToString().c_str());
       return 1;
     }
+    const std::string protocol =
+        heartbeats ? "heartbeats_60s" : "last_event_only";
+    auto& reg = trac::bench::ResultRegistry::Instance();
+    reg.Record(protocol + "/inconsistency_bound_us",
+               static_cast<double>(outcome->inconsistency_bound_micros));
+    reg.Record(protocol + "/exceptional",
+               static_cast<double>(outcome->exceptional));
+    reg.Record(protocol + "/relevant",
+               static_cast<double>(outcome->relevant));
     std::printf("%28s %24s %14zu %10zu\n",
                 heartbeats ? "heartbeats (60s)" : "last-event-only",
                 trac::FormatDurationMicros(outcome->inconsistency_bound_micros)
@@ -123,5 +133,6 @@ int main() {
       "low-rate sources drag the bound of inconsistency toward their "
       "event period; with them, the bound collapses to transport lag "
       "and healthy-but-quiet machines stop looking dead.\n");
+  trac::bench::WriteBenchJsonIfRequested("ablation_heartbeat");
   return 0;
 }

@@ -63,6 +63,7 @@ void PrintTable(size_t ratio) {
 int main(int argc, char** argv) {
   using trac::bench::RunOne;
 
+  trac::bench::ParseJsonFlag(&argc, argv, "ablation_index");
   benchmark::Initialize(&argc, argv);
   const size_t ratio = 100;  // Mid-sweep: many sources, modest per-source.
   // Index-state-major registration so the data set is built twice only.
@@ -79,8 +80,10 @@ int main(int argc, char** argv) {
           ->MinTime(0.2);
     }
   }
-  benchmark::RunSpecifiedBenchmarks();
+  trac::bench::RegistryReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
   trac::bench::PrintTable(ratio);
+  trac::bench::WriteBenchJsonIfRequested("ablation_index");
   return 0;
 }

@@ -73,4 +73,15 @@ BENCHMARK(BM_NaiveReportTail)->Unit(benchmark::kMicrosecond);
 }  // namespace bench
 }  // namespace trac
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN so the run can strip --json and mirror
+// results into the ResultRegistry for the machine-readable record.
+int main(int argc, char** argv) {
+  trac::bench::ParseJsonFlag(&argc, argv, "ablation_stats");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  trac::bench::RegistryReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  trac::bench::WriteBenchJsonIfRequested("ablation_stats");
+  return 0;
+}

@@ -1,15 +1,19 @@
 #ifndef TRAC_BENCH_BENCH_COMMON_H_
 #define TRAC_BENCH_BENCH_COMMON_H_
 
-#include <chrono>
+#include <benchmark/benchmark.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
+#include "common/str_util.h"
 #include "core/recency_reporter.h"
 #include "exec/executor.h"
 #include "expr/binder.h"
@@ -149,11 +153,7 @@ struct BenchEnv {
   }
 };
 
-inline int64_t NowMicros() {
-  return std::chrono::duration_cast<std::chrono::microseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
+inline int64_t NowMicros() { return MonotonicMicros(); }
 
 /// Cross-benchmark mean-latency registry, so derived tables (overhead %)
 /// can be printed after all benchmarks ran.
@@ -172,9 +172,82 @@ class ResultRegistry {
     auto it = results_.find(key);
     return it == results_.end() ? 0.0 : it->second;
   }
+  /// Every recorded (key, mean µs) pair, sorted by key (map order) —
+  /// the payload of the BENCH_*.json records.
+  const std::map<std::string, double>& All() const { return results_; }
 
  private:
   std::map<std::string, double> results_;
+};
+
+/// Path for the machine-readable result record; empty = --json not
+/// requested. Set by ParseJsonFlag, consumed by WriteBenchJsonIfRequested.
+inline std::string& BenchJsonPathRef() {
+  static std::string path;
+  return path;
+}
+
+/// Consumes a `--json[=path]` flag from argv before benchmark::Initialize
+/// sees it. Bare `--json` writes BENCH_<bench>.json in the working
+/// directory. Call alongside ParseThreadsFlag, first thing in main.
+inline void ParseJsonFlag(int* argc, char** argv,
+                          const std::string& bench_name) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--json") == 0) {
+      BenchJsonPathRef() = "BENCH_" + bench_name + ".json";
+      continue;
+    }
+    if (std::strncmp(arg, "--json=", 7) == 0) {
+      BenchJsonPathRef() = arg + 7;
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+}
+
+/// Dumps every ResultRegistry entry as one JSON record (bench name, run
+/// configuration, key -> mean µs) when --json was passed. Call at the
+/// end of main, after the human-readable tables printed.
+inline void WriteBenchJsonIfRequested(const std::string& bench_name) {
+  const std::string& path = BenchJsonPathRef();
+  if (path.empty()) return;
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return;
+  }
+  out << "{\n  \"bench\": " << JsonEscape(bench_name)
+      << ",\n  \"threads\": " << BenchThreads()
+      << ",\n  \"total_rows\": " << TotalRows() << ",\n  \"results\": {";
+  bool first = true;
+  char buf[64];
+  for (const auto& [key, mean_us] : ResultRegistry::Instance().All()) {
+    if (!first) out << ",";
+    first = false;
+    std::snprintf(buf, sizeof(buf), "%.3f", mean_us);
+    out << "\n    " << JsonEscape(key) << ": " << buf;
+  }
+  out << "\n  }\n}\n";
+  std::printf("wrote %s\n", path.c_str());
+}
+
+/// ConsoleReporter that mirrors every finished benchmark-library run
+/// into the ResultRegistry (key = benchmark name, value = mean wall µs
+/// per iteration), so --json captures them without per-bench plumbing.
+/// Pass to benchmark::RunSpecifiedBenchmarks in place of the default.
+class RegistryReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      ResultRegistry::Instance().Record(run.benchmark_name(),
+                                        run.GetAdjustedRealTime());
+    }
+    benchmark::ConsoleReporter::ReportRuns(reports);
+  }
 };
 
 /// The report options every measured configuration uses: no temp-table

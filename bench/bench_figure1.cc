@@ -138,6 +138,7 @@ int main(int argc, char** argv) {
   using trac::bench::RunOne;
   using trac::bench::Variant;
 
+  trac::bench::ParseJsonFlag(&argc, argv, "figure1");
   benchmark::Initialize(&argc, argv);
   // Ratio-major registration so the cached data set is reused across
   // queries and variants.
@@ -158,8 +159,10 @@ int main(int argc, char** argv) {
       }
     }
   }
-  benchmark::RunSpecifiedBenchmarks();
+  trac::bench::RegistryReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
   trac::bench::PrintFigure1();
+  trac::bench::WriteBenchJsonIfRequested("figure1");
   return 0;
 }

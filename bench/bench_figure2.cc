@@ -76,6 +76,7 @@ int main(int argc, char** argv) {
   using trac::bench::RatioSweep;
   using trac::bench::RunOne;
 
+  trac::bench::ParseJsonFlag(&argc, argv, "figure2");
   benchmark::Initialize(&argc, argv);
   for (size_t ratio : RatioSweep()) {
     for (size_t query : {size_t{0}, size_t{2}}) {  // Q1 and Q3.
@@ -93,8 +94,10 @@ int main(int argc, char** argv) {
       }
     }
   }
-  benchmark::RunSpecifiedBenchmarks();
+  trac::bench::RegistryReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
   trac::bench::PrintFigure2();
+  trac::bench::WriteBenchJsonIfRequested("figure2");
   return 0;
 }

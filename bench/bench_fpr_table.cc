@@ -70,11 +70,15 @@ int RunExactSmallScale() {
       }
     }
     const size_t naive = options.num_sources;
+    const double fpr_focused = Fpr(focused->sources.size(), truth->size());
+    const double fpr_naive = Fpr(naive, truth->size());
+    ResultRegistry::Instance().Record("fpr_exact/" + name + "/focused",
+                                      fpr_focused);
+    ResultRegistry::Instance().Record("fpr_exact/" + name + "/naive",
+                                      fpr_naive);
     std::printf("%4s %10zu %10zu %12.5f %12.1f %14s\n", name.c_str(),
-                truth->size(), focused->sources.size(),
-                Fpr(focused->sources.size(), truth->size()),
-                Fpr(naive, truth->size()),
-                focused->minimal ? "yes" : "upper-bound");
+                truth->size(), focused->sources.size(), fpr_focused,
+                fpr_naive, focused->minimal ? "yes" : "upper-bound");
   }
   return 0;
 }
@@ -109,8 +113,12 @@ int RunBenchmarkScale() {
       // Non-selective queries: every source is relevant, fpr_naive = 0.
       std::snprintf(formula, sizeof(formula), "(100000-100000)/100000 = 0");
     }
+    const double fpr_naive = Fpr(num_sources, s);
+    ResultRegistry::Instance().Record("fpr_scale/" + q.name + "/focused", 0.0);
+    ResultRegistry::Instance().Record("fpr_scale/" + q.name + "/naive",
+                                      fpr_naive);
     std::printf("%4s %10zu %12.5f %14.5f %40s\n", q.name.c_str(), s,
-                0.0, Fpr(num_sources, s), formula);
+                0.0, fpr_naive, formula);
   }
   std::printf(
       "\nPaper shape check: Focused fpr is 0 on every query; Naive fpr "
@@ -123,8 +131,12 @@ int RunBenchmarkScale() {
 }  // namespace bench
 }  // namespace trac
 
-int main() {
+int main(int argc, char** argv) {
+  trac::bench::ParseJsonFlag(&argc, argv, "fpr_table");
   int rc = trac::bench::RunExactSmallScale();
   if (rc != 0) return rc;
-  return trac::bench::RunBenchmarkScale();
+  rc = trac::bench::RunBenchmarkScale();
+  if (rc != 0) return rc;
+  trac::bench::WriteBenchJsonIfRequested("fpr_table");
+  return 0;
 }

@@ -154,6 +154,7 @@ int main(int argc, char** argv) {
   using trac::bench::RunOne;
 
   trac::bench::ParseThreadsFlag(&argc, argv);
+  trac::bench::ParseJsonFlag(&argc, argv, "parallel_relevance");
   benchmark::Initialize(&argc, argv);
   const size_t threads = BenchThreads();
   ParallelEnv& env = ParallelEnv::Get();
@@ -169,8 +170,10 @@ int main(int argc, char** argv) {
           ->MinTime(0.2);
     }
   }
-  benchmark::RunSpecifiedBenchmarks();
+  trac::bench::RegistryReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
   trac::bench::PrintSpeedups();
+  trac::bench::WriteBenchJsonIfRequested("parallel_relevance");
   return 0;
 }

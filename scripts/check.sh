@@ -7,11 +7,14 @@
 #      over the examples/plans corpus (clean corpus
 #      must stay EXACT_MINIMUM and match its goldens; the seeded-bad
 #      corpus must match its degraded-verdict goldens),
-#   4. run the whole ctest suite (which re-runs the linters and their
+#   4. run trac_top against its golden dashboard (deterministic clock)
+#      and a bench --json smoke run that leaves BENCH_*.json records
+#      in bench-json/ for CI to archive,
+#   5. run the whole ctest suite (which re-runs the linters and their
 #      self-tests as test cases),
-#   5. with --tidy, run clang-tidy (.clang-tidy profile) over src/ —
+#   6. with --tidy, run clang-tidy (.clang-tidy profile) over src/ —
 #      skipped with a message when clang-tidy is not installed,
-#   6. if clang++ is available, build the `tsa` preset so Clang's
+#   7. if clang++ is available, build the `tsa` preset so Clang's
 #      thread-safety analysis runs with -Werror=thread-safety.
 #
 # Exits non-zero on the first failure. Run from anywhere.
@@ -48,6 +51,22 @@ echo "==> trac_verify examples/plans/ + examples/queries/"
   examples/queries/q*.sql
 ./build/tools/trac_verify --golden examples/plans/golden/bad \
   --dump-ir --expect-findings examples/plans/bad/bad_*.ir
+
+echo "==> trac_top examples/telemetry/ (golden dashboard)"
+./build/tools/trac_top --golden examples/telemetry/trac_top.txt
+
+echo "==> bench --json smoke (small rows; records land in bench-json/)"
+mkdir -p bench-json
+(
+  cd bench-json
+  TRAC_BENCH_ROWS=2000 ../build/bench/bench_parallel_relevance \
+    --threads=2 --json >/dev/null
+  TRAC_BENCH_ROWS=2000 ../build/bench/bench_fpr_table --json >/dev/null
+)
+for f in bench-json/BENCH_parallel_relevance.json \
+         bench-json/BENCH_fpr_table.json; do
+  [[ -s "$f" ]] || { echo "missing bench record $f" >&2; exit 1; }
+done
 
 echo "==> ctest (default preset)"
 ctest --preset default -j"$(nproc)" --output-on-failure

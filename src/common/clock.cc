@@ -1,0 +1,13 @@
+#include "common/clock.h"
+
+#include <chrono>
+
+namespace trac {
+
+int64_t MonotonicMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace trac

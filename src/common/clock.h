@@ -1,0 +1,22 @@
+#ifndef TRAC_COMMON_CLOCK_H_
+#define TRAC_COMMON_CLOCK_H_
+
+#include <cstdint>
+
+namespace trac {
+
+/// A monotonic-microseconds source. Telemetry (and anything else that
+/// needs wall-ish durations) takes one of these instead of calling
+/// std::chrono directly so tests can substitute a deterministic clock
+/// and traces stay byte-stable (enforced by trac_lint's no-raw-clock
+/// rule: raw steady_clock/system_clock calls are confined to common/
+/// and monitor/sim_clock).
+using ClockFn = int64_t (*)();
+
+/// Microseconds on an arbitrary-epoch monotonic clock. The single
+/// process-wide raw steady_clock call site.
+[[nodiscard]] int64_t MonotonicMicros();
+
+}  // namespace trac
+
+#endif  // TRAC_COMMON_CLOCK_H_

@@ -42,6 +42,10 @@ constexpr int kTableIndexes = 40;
 constexpr int kOrderedIndex = 50;
 /// ThreadPool::mu_ — task-queue leaf lock; tasks never run under it.
 constexpr int kThreadPool = 90;
+/// MetricRegistry::mu_ / Tracer::mu_ — telemetry leaf locks: metric
+/// lookup and span recording may happen under any storage/core lock, so
+/// these must rank after everything they can nest inside.
+constexpr int kTelemetry = 95;
 }  // namespace lock_rank
 
 #if defined(TRAC_DEBUG_INVARIANTS)

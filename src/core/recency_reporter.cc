@@ -1,7 +1,5 @@
 #include "core/recency_reporter.h"
 
-#include <chrono>
-
 #include "common/dcheck.h"
 #include "expr/binder.h"
 #include "verify/verifier.h"
@@ -9,12 +7,6 @@
 namespace trac {
 
 namespace {
-
-int64_t NowMicros() {
-  return std::chrono::duration_cast<std::chrono::microseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
 
 /// Lowers everything this report session is about to execute — the user
 /// plan, every recency part (with its guard queries and the shard
@@ -115,8 +107,14 @@ std::string RecencyReport::FormatNotices() const {
 
 Result<RecencyReport> RecencyReporter::Run(
     std::string_view user_sql, const RecencyReportOptions& options) {
-  const int64_t t0 = NowMicros();
+  const Telemetry& tel = ResolveTelemetry(options.telemetry);
+  const uint64_t trace_id = tel.tracer->NextTraceId();
+  TraceSpan root(tel.tracer, tel.clock, "report", trace_id);
+  const int64_t t0 = tel.clock();
+  TraceSpan parse_span(tel.tracer, tel.clock, "parse", trace_id, root.id());
   TRAC_ASSIGN_OR_RETURN(BoundQuery user_query, BindSql(*db_, user_sql));
+  parse_span.End();
+  TraceSpan plan_span(tel.tracer, tel.clock, "plan", trace_id, root.id());
   RecencyQueryPlan plan;
   if (options.method == RecencyMethod::kNaive) {
     TRAC_ASSIGN_OR_RETURN(plan, GenerateNaivePlan(*db_, options.relevance));
@@ -126,13 +124,19 @@ Result<RecencyReport> RecencyReporter::Run(
     TRAC_ASSIGN_OR_RETURN(
         plan, GenerateRecencyQueries(*db_, user_query, options.relevance));
   }
+  plan_span.End();
   Snapshot snapshot = db_->LatestSnapshot();
-  return Finish(user_query, plan, snapshot, options, NowMicros() - t0);
+  return Finish(user_query, plan, snapshot, options, tel.clock() - t0,
+                std::move(root));
 }
 
 Result<RecencyReport> RecencyReporter::RunBound(
     const BoundQuery& user_query, const RecencyReportOptions& options) {
-  const int64_t t0 = NowMicros();
+  const Telemetry& tel = ResolveTelemetry(options.telemetry);
+  const uint64_t trace_id = tel.tracer->NextTraceId();
+  TraceSpan root(tel.tracer, tel.clock, "report", trace_id);
+  const int64_t t0 = tel.clock();
+  TraceSpan plan_span(tel.tracer, tel.clock, "plan", trace_id, root.id());
   RecencyQueryPlan plan;
   if (options.method == RecencyMethod::kNaive) {
     TRAC_ASSIGN_OR_RETURN(plan, GenerateNaivePlan(*db_, options.relevance));
@@ -140,23 +144,34 @@ Result<RecencyReport> RecencyReporter::RunBound(
     TRAC_ASSIGN_OR_RETURN(
         plan, GenerateRecencyQueries(*db_, user_query, options.relevance));
   }
+  plan_span.End();
   Snapshot snapshot = db_->LatestSnapshot();
-  return Finish(user_query, plan, snapshot, options, NowMicros() - t0);
+  return Finish(user_query, plan, snapshot, options, tel.clock() - t0,
+                std::move(root));
 }
 
 Result<RecencyReport> RecencyReporter::RunWithPlan(
     const BoundQuery& user_query, const RecencyQueryPlan& plan,
     const RecencyReportOptions& options) {
+  const Telemetry& tel = ResolveTelemetry(options.telemetry);
+  TraceSpan root(tel.tracer, tel.clock, "report", tel.tracer->NextTraceId());
   // No generation cost: the plan is hardcoded.
   Snapshot snapshot = db_->LatestSnapshot();
-  return Finish(user_query, plan, snapshot, options, /*parse_generate=*/0);
+  return Finish(user_query, plan, snapshot, options, /*parse_generate=*/0,
+                std::move(root));
 }
 
 Result<RecencyReport> RecencyReporter::Finish(
     const BoundQuery& user_query, const RecencyQueryPlan& plan,
     Snapshot snapshot, const RecencyReportOptions& options,
-    int64_t parse_generate_micros) {
+    int64_t parse_generate_micros, TraceSpan root) {
+  const Telemetry& tel = ResolveTelemetry(options.telemetry);
+  const uint64_t trace_id = root.trace_id();
+  root.set_snapshot_epoch(snapshot.version);
+  if (session_ != nullptr) root.set_session_id(session_->id());
+
   RecencyReport report;
+  report.trace_id = trace_id;
   report.parse_generate_micros = parse_generate_micros;
   // 1. The user query, on the shared snapshot. The plan's guarantee
   // analysis rides along as a planner hint: a statically
@@ -166,21 +181,43 @@ Result<RecencyReport> RecencyReporter::Finish(
 
   // Gate the whole session on the static verifier before anything runs:
   // hard error with invariants armed, Status in release.
-  TRAC_RETURN_IF_ERROR(VerifyFinishSession(*db_, session_, user_query, plan,
-                                           snapshot, options, hints));
+  TraceSpan verify_span(tel.tracer, tel.clock, "verify", trace_id, root.id());
+  const Status verified = VerifyFinishSession(*db_, session_, user_query,
+                                              plan, snapshot, options, hints);
+  verify_span.End();
+  tel.metrics
+      ->GetCounter("trac_verify_sessions_total",
+                   "Report sessions gated by the static plan-IR verifier",
+                   {{"outcome", verified.ok() ? "ok" : "reject"}})
+      ->Increment();
+  TRAC_RETURN_IF_ERROR(verified);
 
-  int64_t t = NowMicros();
+  TraceSpan user_span(tel.tracer, tel.clock, "user-query", trace_id,
+                      root.id());
+  int64_t t = tel.clock();
   TRAC_ASSIGN_OR_RETURN(report.result,
                         ExecuteQuery(*db_, user_query, snapshot, hints));
-  report.user_query_micros = NowMicros() - t;
+  report.user_query_micros = tel.clock() - t;
+  user_span.End();
 
   // 2. The recency queries, on the same snapshot, fanned out across
-  // options.relevance.parallelism strands (1 = serial).
-  t = NowMicros();
+  // options.relevance.parallelism strands (1 = serial). The execution
+  // tasks hang their "relevance-task" spans off this span.
+  TraceSpan relevance_span(tel.tracer, tel.clock, "relevance", trace_id,
+                           root.id());
+  RelevanceOptions relevance_options = options.relevance;
+  relevance_options.telemetry = options.telemetry;
+  relevance_options.trace_id = trace_id;
+  relevance_options.parent_span_id = relevance_span.id();
+  t = tel.clock();
   TRAC_ASSIGN_OR_RETURN(
       RecencyExecution exec,
-      ExecuteRecencyQueriesDetailed(*db_, plan, snapshot, options.relevance));
-  report.relevance_exec_micros = NowMicros() - t;
+      ExecuteRecencyQueriesDetailed(*db_, plan, snapshot, relevance_options));
+  report.relevance_exec_micros = tel.clock() - t;
+  relevance_span.set_relevant_sources(
+      static_cast<int64_t>(exec.sources.size()));
+  relevance_span.End();
+  root.set_relevant_sources(static_cast<int64_t>(exec.sources.size()));
   std::vector<SourceRecency> sources = std::move(exec.sources);
   report.relevance_parallelism = exec.parallelism;
   report.relevance_task_micros = std::move(exec.task_micros);
@@ -198,9 +235,41 @@ Result<RecencyReport> RecencyReporter::Finish(
   }
 
   // 3. Exceptional-source detection + descriptive statistics.
-  t = NowMicros();
+  TraceSpan stats_span(tel.tracer, tel.clock, "stats", trace_id, root.id());
+  t = tel.clock();
   report.stats = ComputeRecencyStats(std::move(sources), options.stats);
-  report.stats_micros = NowMicros() - t;
+  report.stats_micros = tel.clock() - t;
+  stats_span.End();
+
+  // PR 1's ad-hoc timing fields stay on the struct (benches read them),
+  // but the canonical record is now the phase histograms below.
+  auto phase = [&tel](const char* name) {
+    return tel.metrics->GetHistogram(
+        "trac_report_phase_micros",
+        "Wall time of one recency-report phase", {{"phase", name}});
+  };
+  phase("parse_generate")->Observe(report.parse_generate_micros);
+  phase("user_query")->Observe(report.user_query_micros);
+  phase("relevance")->Observe(report.relevance_exec_micros);
+  phase("stats")->Observe(report.stats_micros);
+  tel.metrics
+      ->GetHistogram("trac_relevance_busy_micros",
+                     "Summed task busy time per report (vs. the relevance "
+                     "phase wall time: busy/wall = realized speedup)")
+      ->Observe(report.relevance_busy_micros);
+  tel.metrics
+      ->GetCounter("trac_reports_total", "Recency reports completed")
+      ->Increment();
+  tel.metrics
+      ->GetCounter("trac_report_exceptional_sources_total",
+                   "Exceptional (z-score outlier) sources across reports")
+      ->Add(static_cast<int64_t>(report.stats.exceptional.size()));
+  if (report.stats.least_recent.has_value()) {
+    tel.metrics
+        ->GetHistogram("trac_report_inconsistency_bound_micros",
+                       "Bound of inconsistency over normal sources")
+        ->Observe(report.stats.inconsistency_bound_micros);
+  }
 
   if (options.create_temp_tables) {
     if (session_ == nullptr) {

@@ -10,6 +10,7 @@
 #include "core/relevance.h"
 #include "core/session.h"
 #include "exec/executor.h"
+#include "telemetry/telemetry.h"
 
 namespace trac {
 
@@ -30,6 +31,11 @@ struct RecencyReportOptions {
   /// timings matter... the paper's function always creates them, so the
   /// default is on.
   bool create_temp_tables = true;
+  /// Telemetry sinks and clock; nullptr = the process defaults. Every
+  /// report records a span tree (report > parse/plan/verify/user-query/
+  /// relevance/stats) under RecencyReport::trace_id and feeds the
+  /// trac_report_* histograms.
+  const Telemetry* telemetry = nullptr;
 };
 
 /// Everything the paper's recencyReport() table function returns: the
@@ -57,6 +63,10 @@ struct RecencyReport {
   size_t relevance_parallelism = 1;        ///< Strands requested.
   std::vector<int64_t> relevance_task_micros;  ///< Wall time per task.
   int64_t relevance_busy_micros = 0;       ///< Sum over tasks.
+
+  /// The report's span tree in the tracer
+  /// (Tracer::DumpTraceJson(trace_id) renders it).
+  uint64_t trace_id = 0;
 
   /// Formats the paper's NOTICE block (exceptional table, least/most
   /// recent source, bound of inconsistency, normal table).
@@ -91,11 +101,14 @@ class RecencyReporter {
       const RecencyReportOptions& options = RecencyReportOptions());
 
  private:
+  /// `root` is the report session's root trace span; Finish hangs the
+  /// lifecycle child spans off it and ends it when the report is built.
   [[nodiscard]] Result<RecencyReport> Finish(const BoundQuery& user_query,
                                const RecencyQueryPlan& plan,
                                Snapshot snapshot,
                                const RecencyReportOptions& options,
-                               int64_t parse_generate_micros);
+                               int64_t parse_generate_micros,
+                               TraceSpan root);
 
   Database* db_;
   Session* session_;

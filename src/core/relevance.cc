@@ -1,12 +1,12 @@
 #include "core/relevance.h"
 
 #include <algorithm>
-#include <chrono>
 #include <functional>
 #include <map>
 
 #include "common/str_util.h"
 #include "common/thread_pool.h"
+#include "telemetry/telemetry.h"
 #include "exec/executor.h"
 #include "predicate/basic_term.h"
 
@@ -307,12 +307,6 @@ void SplitPartIntoGuards(const Database& db, RecencyQueryPlan::Part* part,
 
 namespace {
 
-int64_t ExecNowMicros() {
-  return std::chrono::duration_cast<std::chrono::microseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
 /// Unmerged output of one execution task: (source, recency) pairs in
 /// executor emission order, duplicates allowed (the merge dedups).
 struct RecencyTaskResult {
@@ -429,6 +423,18 @@ size_t PlannedHeartbeatShards(const Database& db,
     }
   }
 
+  // Telemetry is resolved once per call; the task histogram pointer and
+  // trace linkage are shared read-only across strands (Observe/Record
+  // are thread-safe).
+  const Telemetry& tel = ResolveTelemetry(options.telemetry);
+  const ClockFn clock = tel.clock;
+  Histogram* task_histogram = tel.metrics->GetHistogram(
+      "trac_relevance_task_micros",
+      "Wall time of one relevance execution task (part or shard)");
+  Tracer* tracer = options.trace_id != 0 ? tel.tracer : nullptr;
+  const uint64_t trace_id = options.trace_id;
+  const uint64_t parent_span_id = options.parent_span_id;
+
   // One result slot per task: no shared mutable state between strands —
   // every task reads the shared immutable plan/snapshot and writes only
   // its own slot.
@@ -436,17 +442,32 @@ size_t PlannedHeartbeatShards(const Database& db,
   std::vector<std::function<void()>> tasks;
   tasks.reserve(specs.size());
   for (size_t i = 0; i < specs.size(); ++i) {
-    tasks.push_back([&db, &specs, &results, snapshot, i] {
+    tasks.push_back([&db, &specs, &results, snapshot, i, clock,
+                     task_histogram, tracer, trace_id, parent_span_id] {
       const TaskSpec& spec = specs[i];
       RecencyTaskResult* out = &results[i];
-      const int64_t t0 = ExecNowMicros();
+      const int64_t t0 = clock();
       if (spec.shard) {
         RunHeartbeatShardTask(db, *spec.part, snapshot, spec.begin_idx,
                               spec.end_idx, out);
       } else {
         RunPartTask(db, *spec.part, snapshot, out);
       }
-      out->micros = ExecNowMicros() - t0;
+      const int64_t t1 = clock();
+      out->micros = t1 - t0;
+      task_histogram->Observe(out->micros);
+      if (tracer != nullptr) {
+        // Built from the same t0/t1 as out->micros, so the span durations
+        // sum to exactly the busy time the report publishes.
+        SpanRecord span;
+        span.trace_id = trace_id;
+        span.span_id = tracer->NextSpanId();
+        span.parent_id = parent_span_id;
+        span.name = "relevance-task";
+        span.start_micros = t0;
+        span.end_micros = t1;
+        tracer->Record(std::move(span));
+      }
     });
   }
 

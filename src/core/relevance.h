@@ -15,12 +15,22 @@
 namespace trac {
 
 class ThreadPool;
+struct Telemetry;
 
 /// Knobs for recency-query generation and execution.
 struct RelevanceOptions {
   std::string heartbeat_table = std::string(HeartbeatTable::kDefaultName);
   NormalizeOptions normalize;
   SatOptions sat;
+
+  /// Telemetry sinks and clock; nullptr = the process defaults. Task
+  /// wall times go to the `trac_relevance_task_micros` histogram.
+  const Telemetry* telemetry = nullptr;
+  /// Trace linkage: with trace_id != 0, every execution task records a
+  /// "relevance-task" span under `parent_span_id` — same trace tree as
+  /// the report session that issued the queries.
+  uint64_t trace_id = 0;
+  uint64_t parent_span_id = 0;
 
   /// Number of concurrent strands used to execute a plan's recency
   /// queries (1 = fully serial, the default). The per-part queries are

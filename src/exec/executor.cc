@@ -7,6 +7,7 @@
 #include "common/dcheck.h"
 #include "expr/binder.h"
 #include "expr/evaluator.h"
+#include "telemetry/metrics.h"
 #include "verify/verifier.h"
 
 namespace trac {
@@ -524,6 +525,10 @@ class Execution {
                                         const BoundQuery& query,
                                         Snapshot snapshot, size_t row_limit,
                                         const PlanningHints& hints) {
+  static Counter* queries_executed = MetricRegistry::Default().GetCounter(
+      "trac_queries_executed_total",
+      "Bound queries executed (user, recency, and guard queries)");
+  queries_executed->Increment();
   TRAC_ASSIGN_OR_RETURN(QueryPlan plan, PlanQuery(db, query, snapshot, hints));
 #if defined(TRAC_DEBUG_INVARIANTS)
   // PlanQuery already gated the plan; with invariants armed, re-verify

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/dcheck.h"
+#include "telemetry/metrics.h"
 #include "verify/verifier.h"
 
 namespace trac {
@@ -251,6 +252,15 @@ bool IsColumnLiteralEq(const BoundExpr& e, size_t rel,
   // fails a TRAC-V rule is a planner bug and must not reach execution.
   // Hard error with invariants armed; Status otherwise.
   const Status verified = VerifyPlan(db, query, plan, snapshot);
+  // Outcome counters resolved once: metric lookup stays off the per-plan
+  // path after the first call.
+  static Counter* verify_ok = MetricRegistry::Default().GetCounter(
+      "trac_plan_verify_total", "Plan-IR verifier outcomes at plan time",
+      {{"outcome", "ok"}});
+  static Counter* verify_reject = MetricRegistry::Default().GetCounter(
+      "trac_plan_verify_total", "Plan-IR verifier outcomes at plan time",
+      {{"outcome", "reject"}});
+  (verified.ok() ? verify_ok : verify_reject)->Increment();
   TRAC_DCHECK(verified.ok(), verified.message().c_str());
   if (!verified.ok()) return verified;
   return plan;

@@ -1,5 +1,8 @@
 #include "monitor/grid.h"
 
+#include "monitor/staleness.h"
+#include "telemetry/metrics.h"
+
 namespace trac {
 
 Result<GridSimulator> GridSimulator::Create(Database* db,
@@ -76,7 +79,12 @@ Status GridSimulator::RunUntil(Timestamp t) {
     }
   }
   clock_.AdvanceTo(t);
-  return Status::OK();
+  return UpdateStalenessGauges();
+}
+
+Status GridSimulator::UpdateStalenessGauges() {
+  return UpdateSourceStaleness(db_, heartbeat_->name(), clock_.now(),
+                               &MetricRegistry::Default());
 }
 
 Status GridSimulator::EnableAutoHeartbeat(const std::string& id,
@@ -96,7 +104,7 @@ Status GridSimulator::PollAll() {
   for (auto& [id, entry] : entries_) {
     TRAC_RETURN_IF_ERROR(entry.sniffer->Poll(clock_.now()));
   }
-  return Status::OK();
+  return UpdateStalenessGauges();
 }
 
 Status GridSimulator::SetPaused(const std::string& id, bool paused) {

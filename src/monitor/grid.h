@@ -51,6 +51,12 @@ class GridSimulator {
   /// "flush": after this, everything ship-eligible is in the DB).
   [[nodiscard]] Status PollAll();
 
+  /// Refreshes the per-source staleness gauges
+  /// (`trac_source_staleness_micros{source=...}`) against the simulated
+  /// clock. RunUntil and PollAll call this automatically; exposed so a
+  /// caller that only advanced the clock can also re-publish.
+  [[nodiscard]] Status UpdateStalenessGauges();
+
   /// Pauses/resumes a source's sniffer — the "machine stopped reporting
   /// in" failure mode.
   [[nodiscard]] Status SetPaused(const std::string& id, bool paused);

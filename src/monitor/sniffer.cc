@@ -4,12 +4,42 @@
 
 namespace trac {
 
+void Sniffer::EnsureMetrics() {
+  if (metric_polls_ != nullptr) return;
+  MetricRegistry& registry = MetricRegistry::Default();
+  const LabelSet labels = {{"source", source_->id()}};
+  metric_polls_ = registry.GetCounter(
+      "trac_sniffer_polls_total", "Sniffer poll cycles (including paused)",
+      labels);
+  metric_shipped_ = registry.GetCounter(
+      "trac_sniffer_records_shipped_total",
+      "Log records shipped into the database by this source's sniffer",
+      labels);
+  metric_backlog_ = registry.GetGauge(
+      "trac_sniffer_backlog_records",
+      "Log records written by the source but not yet shipped", labels);
+  metric_lag_ = registry.GetGauge(
+      "trac_sniffer_lag_micros",
+      "Sniffer lag: poll time minus event time of the newest shipped record",
+      labels);
+}
+
 Status Sniffer::Poll(Timestamp now) {
   next_poll_ = now + options_.poll_interval_micros;
+  EnsureMetrics();
+  metric_polls_->Increment();
+  // Backlog and lag are published even while paused: a paused sniffer is
+  // exactly the failure the dashboard must surface (backlog grows, lag
+  // stretches while the DB's view of the source goes stale).
+  metric_backlog_->Set(
+      static_cast<int64_t>(source_->log().size() - cursor_));
+  if (shipped_anything_)
+    metric_lag_->Set(now.micros() - last_shipped_event_.micros());
   if (paused_) return Status::OK();
 
   const LogFile& log = source_->log();
   Timestamp latest_shipped;
+  int64_t shipped_this_poll = 0;
   bool shipped_any = false;
   while (cursor_ < log.size()) {
     const LogRecord& record = log.record(cursor_);
@@ -17,9 +47,15 @@ Status Sniffer::Poll(Timestamp now) {
     TRAC_RETURN_IF_ERROR(Apply(record));
     latest_shipped = record.event_time;
     shipped_any = true;
+    ++shipped_this_poll;
     ++cursor_;
   }
   if (shipped_any) {
+    metric_shipped_->Add(shipped_this_poll);
+    last_shipped_event_ = latest_shipped;
+    shipped_anything_ = true;
+    metric_backlog_->Set(static_cast<int64_t>(log.size() - cursor_));
+    metric_lag_->Set(now.micros() - latest_shipped.micros());
     // The simple recency protocol of Section 3.1: the recency timestamp
     // is the most recent event reported by this source. kHeartbeat
     // records make otherwise-quiet sources advance too.

@@ -7,6 +7,7 @@
 #include "core/heartbeat.h"
 #include "monitor/data_source.h"
 #include "storage/database.h"
+#include "telemetry/metrics.h"
 
 namespace trac {
 
@@ -61,6 +62,10 @@ class Sniffer {
  private:
   [[nodiscard]] Status Apply(const LogRecord& record);
 
+  /// Lazily resolves this sniffer's per-source metric series (labelled
+  /// with the source id) from the process-default registry.
+  void EnsureMetrics();
+
   DataSource* source_;
   Database* db_;
   HeartbeatTable* heartbeat_;
@@ -68,6 +73,15 @@ class Sniffer {
   size_t cursor_ = 0;
   bool paused_ = false;
   Timestamp next_poll_;
+
+  // Per-source telemetry (registry-owned; resolved on first Poll).
+  Counter* metric_polls_ = nullptr;
+  Counter* metric_shipped_ = nullptr;
+  Gauge* metric_backlog_ = nullptr;
+  Gauge* metric_lag_ = nullptr;
+  /// Event time of the most recent record shipped (drives the lag gauge).
+  Timestamp last_shipped_event_;
+  bool shipped_anything_ = false;
 };
 
 }  // namespace trac

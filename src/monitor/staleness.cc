@@ -1,0 +1,33 @@
+#include "monitor/staleness.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/heartbeat.h"
+
+namespace trac {
+
+[[nodiscard]] Status UpdateSourceStaleness(Database* db,
+                                           std::string_view heartbeat_table,
+                                           Timestamp now,
+                                           MetricRegistry* metrics) {
+  TRAC_ASSIGN_OR_RETURN(HeartbeatTable heartbeat,
+                        HeartbeatTable::Open(db, heartbeat_table));
+  const std::vector<std::pair<std::string, Timestamp>> sources =
+      heartbeat.GetAll(db->LatestSnapshot());
+  for (const auto& [source, recency] : sources) {
+    metrics
+        ->GetGauge("trac_source_staleness_micros",
+                   "Per-source staleness: now - Heartbeat recency timestamp",
+                   {{"source", source}})
+        ->Set(now.micros() - recency.micros());
+  }
+  metrics
+      ->GetGauge("trac_monitor_sources",
+                 "Data sources registered in the Heartbeat table")
+      ->Set(static_cast<int64_t>(sources.size()));
+  return Status::OK();
+}
+
+}  // namespace trac

@@ -1,0 +1,28 @@
+#ifndef TRAC_MONITOR_STALENESS_H_
+#define TRAC_MONITOR_STALENESS_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "common/timestamp.h"
+#include "storage/database.h"
+#include "telemetry/metrics.h"
+
+namespace trac {
+
+/// Publishes per-source staleness gauges from the Heartbeat table:
+/// `trac_source_staleness_micros{source=...}` = now - recency_timestamp
+/// for every source visible in the latest snapshot, plus
+/// `trac_monitor_sources` (how many sources reported). `now` comes from
+/// the caller (the grid's SimClock in simulation, wall time in a live
+/// deployment), so the gauges are deterministic under test.
+///
+/// NotFound if `heartbeat_table` does not exist.
+[[nodiscard]] Status UpdateSourceStaleness(Database* db,
+                                           std::string_view heartbeat_table,
+                                           Timestamp now,
+                                           MetricRegistry* metrics);
+
+}  // namespace trac
+
+#endif  // TRAC_MONITOR_STALENESS_H_

@@ -1,9 +1,28 @@
 #include "storage/database.h"
 
+#include "telemetry/metrics.h"
+
 namespace trac {
+
+Database::Database()
+    : metric_commits_(MetricRegistry::Default().GetCounter(
+          "trac_storage_commits_total",
+          "Committed mutations (auto-commit statements)")),
+      metric_row_versions_(MetricRegistry::Default().GetCounter(
+          "trac_storage_row_versions_total",
+          "Row versions appended to shelf logs (MVCC log growth)")),
+      metric_temp_tables_(MetricRegistry::Default().GetCounter(
+          "trac_storage_temp_tables_created_total",
+          "Session temp tables (sys_temp_*) created by report sessions")),
+      metric_snapshot_epoch_(MetricRegistry::Default().GetGauge(
+          "trac_storage_snapshot_epoch",
+          "Latest committed snapshot version (commit counter)")),
+      metric_tables_(MetricRegistry::Default().GetGauge(
+          "trac_storage_tables", "Live tables in the catalog")) {}
 
 Result<TableId> Database::CreateTable(TableSchema schema) {
   MutexLock lock(&write_mu_);
+  const bool is_temp = schema.name().rfind("sys_temp_", 0) == 0;
   TRAC_ASSIGN_OR_RETURN(TableId id, catalog_.CreateTable(std::move(schema)));
   // Resolve the catalog schema pointer before taking tables_mu_: the
   // global lock order is catalog (kCatalog) before the table registry
@@ -13,12 +32,16 @@ Result<TableId> Database::CreateTable(TableSchema schema) {
     WriterMutexLock tables_lock(&tables_mu_);
     tables_.push_back(std::make_unique<Table>(id, table_schema));
   }
+  metric_tables_->Add(1);
+  if (is_temp) metric_temp_tables_->Increment();
   return id;
 }
 
 Status Database::DropTable(std::string_view name) {
   MutexLock lock(&write_mu_);
-  return catalog_.DropTable(name);
+  const Status status = catalog_.DropTable(name);
+  if (status.ok()) metric_tables_->Add(-1);
+  return status;
 }
 
 Status Database::PrepareRow(const TableSchema& schema, Row* row) {
@@ -44,6 +67,9 @@ Status Database::Insert(std::string_view table, Row row) {
       version_counter_.load(std::memory_order_relaxed) + 1;
   t->AppendVersion(std::move(row), commit);
   version_counter_.store(commit, std::memory_order_release);
+  metric_commits_->Increment();
+  metric_row_versions_->Increment();
+  metric_snapshot_epoch_->Set(static_cast<int64_t>(commit));
   return Status::OK();
 }
 
@@ -62,6 +88,9 @@ Status Database::InsertMany(TableId table, std::vector<Row> rows) {
     t->AppendVersion(std::move(row), commit);
   }
   version_counter_.store(commit, std::memory_order_release);
+  metric_commits_->Increment();
+  metric_row_versions_->Add(static_cast<int64_t>(rows.size()));
+  metric_snapshot_epoch_->Set(static_cast<int64_t>(commit));
   return Status::OK();
 }
 
@@ -89,6 +118,9 @@ Result<int> Database::UpdateWhere(std::string_view table,
     t->AppendVersion(std::move(updated), commit);
   }
   version_counter_.store(commit, std::memory_order_release);
+  metric_commits_->Increment();
+  metric_row_versions_->Add(static_cast<int64_t>(matches.size()));
+  metric_snapshot_epoch_->Set(static_cast<int64_t>(commit));
   return static_cast<int>(matches.size());
 }
 
@@ -108,6 +140,8 @@ Result<int> Database::DeleteWhere(
     }
   });
   version_counter_.store(commit, std::memory_order_release);
+  metric_commits_->Increment();
+  metric_snapshot_epoch_->Set(static_cast<int64_t>(commit));
   return deleted;
 }
 

@@ -16,6 +16,9 @@
 
 namespace trac {
 
+class Counter;
+class Gauge;
+
 /// The embedded database: a catalog plus MVCC tables plus a monotonically
 /// increasing commit-version counter.
 ///
@@ -62,7 +65,7 @@ namespace trac {
 /// by reader/writer locks.
 class Database {
  public:
-  Database() = default;
+  Database();
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
@@ -156,6 +159,15 @@ class Database {
   std::atomic<uint64_t> session_counter_{1};
   /// Serializes all mutations; outermost in the global lock order.
   Mutex write_mu_{lock_rank::kDatabaseWrite, "Database::write_mu_"};
+
+  /// Storage-layer telemetry, resolved once at construction from the
+  /// process-default registry (registry-owned; never null). Updated only
+  /// under write_mu_, scraped lock-free.
+  Counter* metric_commits_;
+  Counter* metric_row_versions_;
+  Counter* metric_temp_tables_;
+  Gauge* metric_snapshot_epoch_;
+  Gauge* metric_tables_;
 };
 
 }  // namespace trac

@@ -1,0 +1,314 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <string>
+
+#include "common/str_util.h"
+
+namespace trac {
+namespace telemetry_internal {
+
+size_t CellIndex() {
+  static std::atomic<size_t> next_thread{0};
+  thread_local const size_t index =
+      next_thread.fetch_add(1, std::memory_order_relaxed) & (kCells - 1);
+  return index;
+}
+
+}  // namespace telemetry_internal
+
+namespace {
+
+// Prometheus label-value escaping: backslash, double quote, newline.
+std::string EscapeLabelValue(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+// Sorted copy of `labels`, so {a,b} and {b,a} name the same series.
+LabelSet Normalize(const LabelSet& labels) {
+  LabelSet sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+// The map key for one series: its rendered label block ("" when bare).
+std::string LabelSignature(const LabelSet& sorted) {
+  if (sorted.empty()) return "";
+  std::string out = "{";
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) out += ",";
+    out += sorted[i].first;
+    out += "=\"";
+    out += EscapeLabelValue(sorted[i].second);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+// Label block with one extra pair appended (histogram `le`).
+std::string LabelSignatureWith(const LabelSet& sorted, std::string_view key,
+                               std::string_view value) {
+  std::string out = "{";
+  for (const auto& [k, v] : sorted) {
+    out += k;
+    out += "=\"";
+    out += EscapeLabelValue(v);
+    out += "\",";
+  }
+  out += key;
+  out += "=\"";
+  out += value;
+  out += "\"}";
+  return out;
+}
+
+}  // namespace
+
+void Histogram::Observe(int64_t v) {
+  BucketRow& row = rows_[telemetry_internal::CellIndex()];
+  row.counts[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+  row.sum.fetch_add(v, std::memory_order_relaxed);
+  row.total.fetch_add(1, std::memory_order_relaxed);
+}
+
+size_t Histogram::BucketIndex(int64_t v) {
+  if (v <= 1) return 0;
+  const size_t bits = std::bit_width(static_cast<uint64_t>(v - 1));
+  return bits < kNumFiniteBuckets ? bits : kNumFiniteBuckets;
+}
+
+int64_t Histogram::Count() const {
+  int64_t total = 0;
+  for (const auto& row : rows_) total += row.total.load(std::memory_order_relaxed);
+  return total;
+}
+
+int64_t Histogram::Sum() const {
+  int64_t total = 0;
+  for (const auto& row : rows_) total += row.sum.load(std::memory_order_relaxed);
+  return total;
+}
+
+int64_t Histogram::BucketCount(size_t i) const {
+  int64_t total = 0;
+  for (const auto& row : rows_)
+    total += row.counts[i].load(std::memory_order_relaxed);
+  return total;
+}
+
+MetricRegistry& MetricRegistry::Default() {
+  // Leaked so late scrapes/increments during static destruction stay safe.
+  static MetricRegistry* registry = new MetricRegistry();
+  return *registry;
+}
+
+MetricRegistry::Series* MetricRegistry::GetSeries(std::string_view name,
+                                                  std::string_view help,
+                                                  Type type,
+                                                  const LabelSet& labels) {
+  const LabelSet sorted = Normalize(labels);
+  const std::string signature = LabelSignature(sorted);
+  MutexLock lock(&mu_);
+  auto [family_it, family_inserted] =
+      families_.try_emplace(std::string(name));
+  Family& family = family_it->second;
+  if (family_inserted) {
+    family.help = std::string(help);
+    family.type = type;
+  } else if (family.type != type) {
+    // Re-registration under a different type: hand back the sink below.
+    return nullptr;
+  }
+  Series& series = family.series[signature];
+  if (series.labels.empty() && !sorted.empty()) series.labels = sorted;
+  switch (type) {
+    case Type::kCounter:
+      if (!series.counter) series.counter = std::make_unique<Counter>();
+      break;
+    case Type::kGauge:
+      if (!series.gauge) series.gauge = std::make_unique<Gauge>();
+      break;
+    case Type::kHistogram:
+      if (!series.histogram) series.histogram = std::make_unique<Histogram>();
+      break;
+  }
+  return &series;
+}
+
+Counter* MetricRegistry::GetCounter(std::string_view name,
+                                    std::string_view help,
+                                    const LabelSet& labels) {
+  Series* series = GetSeries(name, help, Type::kCounter, labels);
+  if (series != nullptr) return series->counter.get();
+  static Counter* sink = new Counter();  // type-mismatch sink, never scraped
+  return sink;
+}
+
+Gauge* MetricRegistry::GetGauge(std::string_view name, std::string_view help,
+                                const LabelSet& labels) {
+  Series* series = GetSeries(name, help, Type::kGauge, labels);
+  if (series != nullptr) return series->gauge.get();
+  static Gauge* sink = new Gauge();
+  return sink;
+}
+
+Histogram* MetricRegistry::GetHistogram(std::string_view name,
+                                        std::string_view help,
+                                        const LabelSet& labels) {
+  Series* series = GetSeries(name, help, Type::kHistogram, labels);
+  if (series != nullptr) return series->histogram.get();
+  static Histogram* sink = new Histogram();
+  return sink;
+}
+
+std::string MetricRegistry::ScrapeText() const {
+  MutexLock lock(&mu_);
+  std::string out;
+  for (const auto& [name, family] : families_) {
+    out += "# HELP " + name + " " + family.help + "\n";
+    out += "# TYPE " + name + " ";
+    switch (family.type) {
+      case Type::kCounter:
+        out += "counter\n";
+        break;
+      case Type::kGauge:
+        out += "gauge\n";
+        break;
+      case Type::kHistogram:
+        out += "histogram\n";
+        break;
+    }
+    for (const auto& [signature, series] : family.series) {
+      switch (family.type) {
+        case Type::kCounter:
+          out += name + signature + " " +
+                 std::to_string(series.counter->Value()) + "\n";
+          break;
+        case Type::kGauge:
+          out += name + signature + " " +
+                 std::to_string(series.gauge->Value()) + "\n";
+          break;
+        case Type::kHistogram: {
+          const Histogram& h = *series.histogram;
+          int64_t cumulative = 0;
+          for (size_t i = 0; i < Histogram::kNumFiniteBuckets; ++i) {
+            cumulative += h.BucketCount(i);
+            out += name + "_bucket" +
+                   LabelSignatureWith(
+                       series.labels, "le",
+                       std::to_string(Histogram::BucketUpperBound(i))) +
+                   " " + std::to_string(cumulative) + "\n";
+          }
+          out += name + "_bucket" +
+                 LabelSignatureWith(series.labels, "le", "+Inf") + " " +
+                 std::to_string(h.Count()) + "\n";
+          out += name + "_sum" + signature + " " + std::to_string(h.Sum()) +
+                 "\n";
+          out += name + "_count" + signature + " " +
+                 std::to_string(h.Count()) + "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricRegistry::ScrapeJson() const {
+  MutexLock lock(&mu_);
+  std::string out = "{";
+  bool first_family = true;
+  for (const auto& [name, family] : families_) {
+    if (!first_family) out += ",";
+    first_family = false;
+    out += "\n  " + JsonEscape(name) + ": {\"help\": " +
+           JsonEscape(family.help) + ", \"type\": \"";
+    switch (family.type) {
+      case Type::kCounter:
+        out += "counter";
+        break;
+      case Type::kGauge:
+        out += "gauge";
+        break;
+      case Type::kHistogram:
+        out += "histogram";
+        break;
+    }
+    out += "\", \"series\": [";
+    bool first_series = true;
+    for (const auto& [signature, series] : family.series) {
+      if (!first_series) out += ",";
+      first_series = false;
+      out += "\n    {\"labels\": {";
+      bool first_label = true;
+      for (const auto& [k, v] : series.labels) {
+        if (!first_label) out += ", ";
+        first_label = false;
+        out += JsonEscape(k) + ": " + JsonEscape(v);
+      }
+      out += "}";
+      switch (family.type) {
+        case Type::kCounter:
+          out += ", \"value\": " + std::to_string(series.counter->Value());
+          break;
+        case Type::kGauge:
+          out += ", \"value\": " + std::to_string(series.gauge->Value());
+          break;
+        case Type::kHistogram: {
+          const Histogram& h = *series.histogram;
+          out += ", \"count\": " + std::to_string(h.Count()) +
+                 ", \"sum\": " + std::to_string(h.Sum()) + ", \"buckets\": [";
+          int64_t cumulative = 0;
+          for (size_t i = 0; i < Histogram::kNumFiniteBuckets; ++i) {
+            cumulative += h.BucketCount(i);
+            if (i > 0) out += ", ";
+            out += "{\"le\": " +
+                   std::to_string(Histogram::BucketUpperBound(i)) +
+                   ", \"count\": " + std::to_string(cumulative) + "}";
+          }
+          out += ", {\"le\": \"+Inf\", \"count\": " +
+                 std::to_string(h.Count()) + "}]";
+          break;
+        }
+      }
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += "\n}\n";
+  return out;
+}
+
+std::vector<GaugeSample> MetricRegistry::GaugeSamples() const {
+  MutexLock lock(&mu_);
+  std::vector<GaugeSample> samples;
+  for (const auto& [name, family] : families_) {
+    if (family.type != Type::kGauge) continue;
+    for (const auto& [signature, series] : family.series) {
+      samples.push_back(
+          GaugeSample{name, series.labels, series.gauge->Value()});
+    }
+  }
+  return samples;
+}
+
+}  // namespace trac

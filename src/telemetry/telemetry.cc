@@ -1,0 +1,11 @@
+#include "telemetry/telemetry.h"
+
+namespace trac {
+
+const Telemetry& Telemetry::Default() {
+  static const Telemetry kDefault{&MetricRegistry::Default(),
+                                  &Tracer::Default(), &MonotonicMicros};
+  return kDefault;
+}
+
+}  // namespace trac

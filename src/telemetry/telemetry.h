@@ -1,0 +1,33 @@
+#ifndef TRAC_TELEMETRY_TELEMETRY_H_
+#define TRAC_TELEMETRY_TELEMETRY_H_
+
+#include "common/clock.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace trac {
+
+/// The bundle a layer needs to self-report: where metrics go, where
+/// spans go, and what time it is. Passed by pointer through options
+/// structs; a null pointer means "use the process defaults" (resolve
+/// with ResolveTelemetry). Tests hand in their own registry/tracer and
+/// a fake clock so traces are isolated and byte-deterministic.
+struct Telemetry {
+  MetricRegistry* metrics = nullptr;
+  Tracer* tracer = nullptr;
+  ClockFn clock = nullptr;
+
+  /// The process-wide default bundle (Default registry + tracer,
+  /// monotonic clock).
+  [[nodiscard]] static const Telemetry& Default();
+};
+
+/// `telemetry` if non-null, else the process default. Never null.
+[[nodiscard]] inline const Telemetry& ResolveTelemetry(
+    const Telemetry* telemetry) {
+  return telemetry != nullptr ? *telemetry : Telemetry::Default();
+}
+
+}  // namespace trac
+
+#endif  // TRAC_TELEMETRY_TELEMETRY_H_

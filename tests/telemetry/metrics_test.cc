@@ -1,0 +1,158 @@
+// Unit tests for the metrics registry: counter/gauge/histogram
+// semantics, label normalization, the type-mismatch sink, and the two
+// scrape formats (Prometheus text exposition and JSON).
+
+#include "telemetry/metrics.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace trac {
+namespace {
+
+TEST(CounterTest, IncrementAndAdd) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0);
+  c.Increment();
+  c.Increment();
+  c.Add(40);
+  EXPECT_EQ(c.Value(), 42);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  EXPECT_EQ(g.Value(), 0);
+  g.Set(7);
+  EXPECT_EQ(g.Value(), 7);
+  g.Add(-3);
+  EXPECT_EQ(g.Value(), 4);
+  g.Set(100);  // Last write wins over accumulated adds.
+  EXPECT_EQ(g.Value(), 100);
+}
+
+TEST(HistogramTest, BucketIndexBoundaries) {
+  // Bucket i holds values in (2^(i-1), 2^i]; non-positive values land
+  // in bucket 0.
+  EXPECT_EQ(Histogram::BucketIndex(-5), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(5), 3u);
+  const int64_t last = Histogram::BucketUpperBound(
+      Histogram::kNumFiniteBuckets - 1);  // 2^26.
+  EXPECT_EQ(Histogram::BucketIndex(last), Histogram::kNumFiniteBuckets - 1);
+  // One past the largest finite bound overflows into +Inf.
+  EXPECT_EQ(Histogram::BucketIndex(last + 1), Histogram::kNumFiniteBuckets);
+}
+
+TEST(HistogramTest, ObserveAggregates) {
+  Histogram h;
+  h.Observe(1);
+  h.Observe(2);
+  h.Observe(1000);
+  EXPECT_EQ(h.Count(), 3);
+  EXPECT_EQ(h.Sum(), 1003);
+  EXPECT_EQ(h.BucketCount(0), 1);
+  EXPECT_EQ(h.BucketCount(1), 1);
+  EXPECT_EQ(h.BucketCount(Histogram::BucketIndex(1000)), 1);
+  int64_t total = 0;
+  for (size_t i = 0; i < Histogram::kNumBuckets; ++i)
+    total += h.BucketCount(i);
+  EXPECT_EQ(total, h.Count());
+}
+
+TEST(MetricRegistryTest, SameSeriesSamePointer) {
+  MetricRegistry reg;
+  Counter* a = reg.GetCounter("requests_total", "help");
+  Counter* b = reg.GetCounter("requests_total", "help");
+  EXPECT_EQ(a, b);
+  // Label order is normalized: {a,b} and {b,a} name the same series.
+  Counter* l1 = reg.GetCounter("labeled_total", "help",
+                               {{"a", "1"}, {"b", "2"}});
+  Counter* l2 = reg.GetCounter("labeled_total", "help",
+                               {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(l1, l2);
+  // Different label values are different series.
+  Counter* l3 = reg.GetCounter("labeled_total", "help",
+                               {{"a", "1"}, {"b", "3"}});
+  EXPECT_NE(l1, l3);
+}
+
+TEST(MetricRegistryTest, TypeMismatchReturnsSink) {
+  MetricRegistry reg;
+  Counter* c = reg.GetCounter("mixed", "help");
+  c->Increment();
+  // The name is already a counter family; asking for a gauge must not
+  // abort, must not alias the counter, and must not pollute the scrape.
+  Gauge* sink = reg.GetGauge("mixed", "help");
+  ASSERT_NE(sink, nullptr);
+  sink->Set(999);
+  EXPECT_EQ(c->Value(), 1);
+  const std::string text = reg.ScrapeText();
+  EXPECT_NE(text.find("mixed 1\n"), std::string::npos);
+  EXPECT_EQ(text.find("999"), std::string::npos);
+}
+
+TEST(MetricRegistryTest, ScrapeTextExposition) {
+  MetricRegistry reg;
+  reg.GetCounter("trac_reports_total", "Reports produced")->Add(3);
+  reg.GetGauge("trac_tables", "Live tables")->Set(5);
+  Histogram* h = reg.GetHistogram("trac_latency_micros", "Latency",
+                                  {{"phase", "stats"}});
+  h->Observe(1);
+  h->Observe(3);
+
+  const std::string text = reg.ScrapeText();
+  EXPECT_NE(text.find("# HELP trac_reports_total Reports produced"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE trac_reports_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("trac_reports_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE trac_tables gauge"), std::string::npos);
+  EXPECT_NE(text.find("trac_tables 5\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE trac_latency_micros histogram"),
+            std::string::npos);
+  // Cumulative buckets: le="1" sees one observation, le="4" both, and
+  // +Inf equals _count.
+  EXPECT_NE(text.find("trac_latency_micros_bucket{phase=\"stats\",le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("trac_latency_micros_bucket{phase=\"stats\",le=\"4\"} 2"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("trac_latency_micros_bucket{phase=\"stats\",le=\"+Inf\"} 2"),
+      std::string::npos);
+  EXPECT_NE(text.find("trac_latency_micros_sum{phase=\"stats\"} 4"),
+            std::string::npos);
+  EXPECT_NE(text.find("trac_latency_micros_count{phase=\"stats\"} 2"),
+            std::string::npos);
+}
+
+TEST(MetricRegistryTest, ScrapeJsonShape) {
+  MetricRegistry reg;
+  reg.GetCounter("hits_total", "Hits", {{"kind", "a\"b"}})->Increment();
+  const std::string json = reg.ScrapeJson();
+  EXPECT_NE(json.find("\"hits_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\": \"counter\""), std::string::npos);
+  // The label value's quote is escaped.
+  EXPECT_NE(json.find("a\\\"b"), std::string::npos);
+}
+
+TEST(MetricRegistryTest, GaugeSamplesListsOnlyGauges) {
+  MetricRegistry reg;
+  reg.GetCounter("not_a_gauge_total", "c")->Increment();
+  reg.GetGauge("staleness", "g", {{"source", "m1"}})->Set(10);
+  reg.GetGauge("staleness", "g", {{"source", "m2"}})->Set(20);
+  auto samples = reg.GaugeSamples();
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0].name, "staleness");
+  ASSERT_EQ(samples[0].labels.size(), 1u);
+  EXPECT_EQ(samples[0].labels[0].second, "m1");
+  EXPECT_EQ(samples[0].value, 10);
+  EXPECT_EQ(samples[1].value, 20);
+}
+
+}  // namespace
+}  // namespace trac

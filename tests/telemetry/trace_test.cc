@@ -1,0 +1,124 @@
+// Unit tests for the query-lifecycle tracer: ring-buffer eviction, span
+// collection order, RAII/move semantics of TraceSpan, and the nested
+// JSON rendering (including orphaned spans after partial eviction).
+
+#include "telemetry/trace.h"
+
+#include <atomic>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace trac {
+namespace {
+
+// Deterministic step clock: each call is 1000µs after the previous one.
+std::atomic<int64_t> g_ticks{0};
+int64_t StepClock() {
+  return 1000 * (1 + g_ticks.fetch_add(1, std::memory_order_relaxed));
+}
+
+SpanRecord MakeSpan(uint64_t trace_id, uint64_t span_id, uint64_t parent_id,
+                    std::string name, int64_t start, int64_t end) {
+  SpanRecord s;
+  s.trace_id = trace_id;
+  s.span_id = span_id;
+  s.parent_id = parent_id;
+  s.name = std::move(name);
+  s.start_micros = start;
+  s.end_micros = end;
+  return s;
+}
+
+TEST(TracerTest, RingEvictsOldest) {
+  Tracer tracer(/*capacity=*/3);
+  EXPECT_EQ(tracer.capacity(), 3u);
+  for (uint64_t i = 1; i <= 5; ++i) {
+    tracer.Record(MakeSpan(7, i, 0, "s" + std::to_string(i),
+                           static_cast<int64_t>(i) * 10,
+                           static_cast<int64_t>(i) * 10 + 1));
+  }
+  EXPECT_EQ(tracer.size(), 3u);
+  auto spans = tracer.CollectTrace(7);
+  ASSERT_EQ(spans.size(), 3u);
+  // The two oldest spans were evicted.
+  EXPECT_EQ(spans[0].name, "s3");
+  EXPECT_EQ(spans[2].name, "s5");
+}
+
+TEST(TracerTest, CollectSortsByStartThenId) {
+  Tracer tracer;
+  tracer.Record(MakeSpan(1, 5, 0, "later", 200, 300));
+  tracer.Record(MakeSpan(1, 9, 0, "tie_hi", 100, 150));
+  tracer.Record(MakeSpan(1, 2, 0, "tie_lo", 100, 140));
+  tracer.Record(MakeSpan(2, 3, 0, "other_trace", 50, 60));
+  auto spans = tracer.CollectTrace(1);
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].name, "tie_lo");
+  EXPECT_EQ(spans[1].name, "tie_hi");
+  EXPECT_EQ(spans[2].name, "later");
+}
+
+TEST(TraceSpanTest, RaiiRecordsOnDestruction) {
+  Tracer tracer;
+  const uint64_t trace_id = tracer.NextTraceId();
+  {
+    TraceSpan span(&tracer, &StepClock, "work", trace_id);
+    span.set_session_id(4);
+    span.set_snapshot_epoch(9);
+    span.set_relevant_sources(11);
+  }
+  auto spans = tracer.CollectTrace(trace_id);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "work");
+  EXPECT_GT(spans[0].end_micros, spans[0].start_micros);
+  EXPECT_EQ(spans[0].session_id, 4u);
+  EXPECT_EQ(spans[0].snapshot_epoch, 9u);
+  EXPECT_EQ(spans[0].relevant_sources, 11);
+}
+
+TEST(TraceSpanTest, EndIsIdempotentAndMoveTransfersOwnership) {
+  Tracer tracer;
+  const uint64_t trace_id = tracer.NextTraceId();
+  TraceSpan a(&tracer, &StepClock, "moved", trace_id);
+  TraceSpan b = std::move(a);
+  a.End();  // Moved-from span is inert: no double record.
+  b.End();
+  b.End();  // Idempotent.
+  EXPECT_EQ(tracer.CollectTrace(trace_id).size(), 1u);
+
+  TraceSpan inert;  // Default-constructed: records nothing.
+  inert.End();
+  EXPECT_EQ(tracer.CollectTrace(trace_id).size(), 1u);
+}
+
+TEST(TracerTest, DumpTraceJsonNestsChildren) {
+  Tracer tracer;
+  tracer.Record(MakeSpan(3, 1, 0, "report", 100, 900));
+  tracer.Record(MakeSpan(3, 2, 1, "parse", 110, 200));
+  tracer.Record(MakeSpan(3, 3, 1, "relevance", 210, 800));
+  tracer.Record(MakeSpan(3, 4, 3, "relevance-task", 220, 500));
+  const std::string json = tracer.DumpTraceJson(3);
+  EXPECT_NE(json.find("\"trace_id\": 3"), std::string::npos);
+  // Nesting: the task appears after (inside) relevance's children array.
+  const size_t relevance = json.find("\"relevance\"");
+  const size_t task = json.find("\"relevance-task\"");
+  ASSERT_NE(relevance, std::string::npos);
+  ASSERT_NE(task, std::string::npos);
+  EXPECT_LT(relevance, task);
+  EXPECT_NE(json.find("\"duration_micros\": 800"), std::string::npos);
+}
+
+TEST(TracerTest, OrphanedSpanRendersAsRoot) {
+  // Capacity 1: recording the child evicts the parent; the dump must
+  // still render the child instead of dropping the whole trace.
+  Tracer tracer(/*capacity=*/1);
+  tracer.Record(MakeSpan(4, 1, 0, "parent", 10, 100));
+  tracer.Record(MakeSpan(4, 2, 1, "child", 20, 30));
+  const std::string json = tracer.DumpTraceJson(4);
+  EXPECT_EQ(json.find("\"parent\""), std::string::npos);
+  EXPECT_NE(json.find("\"child\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace trac

@@ -3,10 +3,12 @@
 //   include-cc         — #include of a .cc file
 //   naked-mutex        — std::lock_guard over a raw mutex
 //   no-localtime-rand  — direct rand()/localtime() calls
+//   no-raw-clock       — raw steady_clock::now() outside common/
 //   no-throw-abort     — throw and std::abort() outside common/dcheck.h
 //   no-iostream        — std::cerr in library code
 //   snapshot-acquire   — raw Snapshot{...} outside storage//session.cc
 
+#include <chrono>
 #include <ctime>
 #include <iostream>
 #include <mutex>
@@ -28,6 +30,10 @@ void CrashOnNegative(int x) {
 void LogWallClock(std::time_t t) {
   std::tm* local = std::localtime(&t);
   (void)local;
+}
+
+long long UninjectableTimer() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
 }
 
 void TouchUnderRawGuard(std::mutex& mu) {

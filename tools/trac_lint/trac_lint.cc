@@ -12,6 +12,11 @@
 //   include-guard      every header has an include guard or #pragma once
 //   no-localtime-rand  no direct localtime/rand/srand calls (use
 //                      common/timestamp.h / common/random.h)
+//   no-raw-clock       no raw std::chrono steady_clock/system_clock/
+//                      high_resolution_clock ::now() outside common/
+//                      and monitor/sim_clock — telemetry and timing
+//                      take the injected ClockFn (common/clock.h) so
+//                      traces are deterministic in tests
 //   no-throw-abort     no throw / abort() outside common/dcheck.h (the
 //                      library reports failures through Status/Result;
 //                      death lives behind TRAC_DCHECK only)
@@ -260,6 +265,37 @@ void CheckLocaltimeRand(const std::string& path,
   }
 }
 
+// --- Rule: no-raw-clock ----------------------------------------------------
+
+const std::regex kRawClockRe(
+    R"((steady_clock|system_clock|high_resolution_clock)\s*::\s*now\s*\()");
+
+/// common/ owns the one raw steady_clock call site (common/clock.cc) and
+/// its wrappers; monitor/sim_clock is the simulated-time source.
+bool IsClockOwningPath(const std::string& path) {
+  return path.find("common/") != std::string::npos ||
+         path.find("monitor/sim_clock") != std::string::npos;
+}
+
+void CheckRawClock(const std::string& path,
+                   const std::vector<std::string>& lines) {
+  if (IsClockOwningPath(path)) return;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string trimmed = Trim(lines[i]);
+    if (IsCommentLine(trimmed) || HasNolint(lines[i], "no-raw-clock")) {
+      continue;
+    }
+    std::smatch m;
+    if (std::regex_search(lines[i], m, kRawClockRe)) {
+      Report(path, i + 1, "no-raw-clock",
+             "raw " + m[1].str() +
+                 "::now(); take a trac::ClockFn (common/clock.h) or use "
+                 "the SimClock so timings stay injectable and traces "
+                 "deterministic");
+    }
+  }
+}
+
 // --- Rule: no-throw-abort --------------------------------------------------
 
 const std::regex kThrowAbortRe(
@@ -366,6 +402,7 @@ void LintFile(const fs::path& file) {
   CheckIncludeCc(path, lines);
   if (ext == ".h") CheckIncludeGuard(path, lines);
   CheckLocaltimeRand(path, lines);
+  CheckRawClock(path, lines);
   CheckThrowAbort(path, lines);
   CheckIostream(path, lines);
   CheckSnapshotAcquire(path, lines);
