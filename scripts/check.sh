@@ -55,6 +55,14 @@ echo "==> trac_verify examples/plans/ + examples/queries/"
 echo "==> trac_top examples/telemetry/ (golden dashboard)"
 ./build/tools/trac_top --golden examples/telemetry/trac_top.txt
 
+echo "==> trac_scenario examples/scenarios/ (golden hostile-grid replays)"
+./build/tools/trac_scenario \
+  --replay examples/scenarios/correlated-rack-failure.scenario \
+  --golden examples/scenarios/golden/correlated-rack-failure.txt
+./build/tools/trac_scenario \
+  --replay examples/scenarios/backlog-storm.scenario \
+  --golden examples/scenarios/golden/backlog-storm.txt
+
 echo "==> bench --json smoke (small rows; records land in bench-json/)"
 mkdir -p bench-json
 (
@@ -70,6 +78,26 @@ done
 
 echo "==> ctest (default preset)"
 ctest --preset default -j"$(nproc)" --output-on-failure
+
+echo "==> hostile-grid scenario suite under TSan (1000-source grids)"
+# The scenario property test under ThreadSanitizer, with every generated
+# grid forced to the full thousand-source scale and a reduced script
+# count (TSan is ~10x slower; 12 hostile scripts at max scale beats 200
+# at mixed scale for race coverage). A failing script is shrunk and
+# dumped into scenario-repro/ as a replayable .scenario file — CI
+# uploads that directory as an artifact.
+cmake --preset tsan
+cmake --build --preset tsan -j"$(nproc)" \
+  --target scenario_scenario_property_test scenario_scenario_test \
+  --target telemetry_fault_telemetry_test monitor_failure_test
+mkdir -p scenario-repro
+TRAC_SCENARIO_SCRIPTS=12 \
+TRAC_SCENARIO_MIN_SOURCES=1000 \
+TRAC_SCENARIO_SOURCES=1000 \
+TRAC_SCENARIO_REPRO_DIR="$PWD/scenario-repro" \
+ctest --preset tsan -R \
+  'scenario_scenario_property_test|scenario_scenario_test|telemetry_fault_telemetry_test|monitor_failure_test' \
+  --output-on-failure
 
 if [[ "$run_tidy" -eq 1 ]]; then
   if command -v clang-tidy >/dev/null 2>&1; then

@@ -36,6 +36,13 @@ class DataSource {
   /// Appends a "nothing to report" heartbeat record (Section 3.1).
   void EmitHeartbeat(Timestamp t);
 
+  /// Drops every log record at index >= `keep` — the crash-with-data-loss
+  /// failure mode (the tail of the status log never hit disk). Records a
+  /// sniffer already shipped are gone from the log either way; callers
+  /// (the fault injector) clamp `keep` to the sniffer's cursor so only
+  /// unshipped records are lost.
+  void TruncateLog(size_t keep) { log_.TruncateTo(keep); }
+
   /// Timestamp of the most recent event this source has generated.
   Timestamp last_event_time() const { return log_.last_event_time(); }
 

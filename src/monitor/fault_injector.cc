@@ -1,0 +1,95 @@
+#include "monitor/fault_injector.h"
+
+namespace trac {
+
+Status FaultInjector::FailGroup(const std::vector<std::string>& ids) {
+  for (const std::string& id : ids) {
+    TRAC_RETURN_IF_ERROR(grid_->SetPaused(id, true));
+  }
+  return Status::OK();
+}
+
+Status FaultInjector::RecoverGroup(const std::vector<std::string>& ids) {
+  for (const std::string& id : ids) {
+    TRAC_RETURN_IF_ERROR(grid_->SetPaused(id, false));
+  }
+  return Status::OK();
+}
+
+Status FaultInjector::SetClockSkew(const std::string& id,
+                                   int64_t offset_micros, int64_t drift_ppm,
+                                   Timestamp anchor) {
+  if (grid_->source(id) == nullptr) {
+    return Status::NotFound("no data source '" + id + "'");
+  }
+  if (drift_ppm <= -1000000) {
+    return Status::InvalidArgument(
+        "drift of " + std::to_string(drift_ppm) +
+        "ppm would run source time backwards (needs > -1000000)");
+  }
+  skews_[id] = Skew{offset_micros, drift_ppm, anchor};
+  return Status::OK();
+}
+
+Timestamp FaultInjector::SourceTime(const std::string& id,
+                                    Timestamp true_now) const {
+  auto it = skews_.find(id);
+  if (it == skews_.end()) return true_now;
+  const Skew& s = it->second;
+  const int64_t elapsed = true_now - s.anchor;
+  return true_now + s.offset_micros + elapsed * s.drift_ppm / 1000000;
+}
+
+Status FaultInjector::AddShipDelay(const std::string& id,
+                                   int64_t extra_micros) {
+  Sniffer* sniffer = grid_->sniffer(id);
+  if (sniffer == nullptr) {
+    return Status::NotFound("no data source '" + id + "'");
+  }
+  SnifferOptions options = sniffer->options();
+  options.ship_delay_micros += extra_micros;
+  if (options.ship_delay_micros < 0) options.ship_delay_micros = 0;
+  // Set directly (not through GridSimulator::SetSnifferOptions): a storm
+  // must not re-anchor the poll schedule, or a flapping delay could
+  // postpone polls forever.
+  sniffer->set_options(options);
+  return Status::OK();
+}
+
+Result<size_t> FaultInjector::TruncateLog(const std::string& id, size_t drop) {
+  DataSource* source = grid_->source(id);
+  Sniffer* sniffer = grid_->sniffer(id);
+  if (source == nullptr || sniffer == nullptr) {
+    return Status::NotFound("no data source '" + id + "'");
+  }
+  const size_t size = source->log().size();
+  const size_t shipped = sniffer->records_shipped();
+  const size_t unshipped = size - shipped;
+  const size_t lost = drop < unshipped ? drop : unshipped;
+  if (lost > 0) {
+    source->TruncateLog(size - lost);
+    lossy_[id] = true;
+  }
+  return lost;
+}
+
+bool FaultInjector::IsLossy(const std::string& id) const {
+  auto it = lossy_.find(id);
+  return it != lossy_.end() && it->second;
+}
+
+Result<Timestamp> FaultInjector::TrueFrontier(const std::string& id,
+                                              Timestamp true_now) const {
+  const Sniffer* sniffer = grid_->sniffer(id);
+  DataSource* source = grid_->source(id);
+  if (sniffer == nullptr || source == nullptr) {
+    return Status::NotFound("no data source '" + id + "'");
+  }
+  const size_t cursor = sniffer->records_shipped();
+  if (cursor < source->log().size()) {
+    return source->log().record(cursor).event_time;
+  }
+  return SourceTime(id, true_now);
+}
+
+}  // namespace trac

@@ -1,0 +1,111 @@
+#ifndef TRAC_MONITOR_FAULT_INJECTOR_H_
+#define TRAC_MONITOR_FAULT_INJECTOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "monitor/grid.h"
+
+namespace trac {
+
+/// Deterministic fault primitives over a GridSimulator — the hostile-grid
+/// failure surface the R-GMA monitoring literature documents for
+/// production grids: machines dying in correlated groups (a rack's power
+/// feed), sniffers flapping on duty cycles, per-machine clock skew and
+/// drift, sustained shipping-backlog storms, and logs losing their
+/// unsynced tail. Everything is driven by the grid's SimClock; nothing
+/// here reads wall time or an unseeded RNG, so a scenario replays
+/// byte-identically.
+///
+/// The injector is also the keeper of *ground truth* the database cannot
+/// see: each source's true shipping frontier (the earliest event time not
+/// yet in the DB) and which sources have lost data outright. The
+/// soundness oracles compare every recency report against this truth.
+class FaultInjector {
+ public:
+  explicit FaultInjector(GridSimulator* grid) : grid_(grid) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+  FaultInjector(FaultInjector&&) = default;
+  FaultInjector& operator=(FaultInjector&&) = default;
+
+  GridSimulator* grid() { return grid_; }
+
+  // --- Correlated failures --------------------------------------------
+
+  /// Pauses every listed source's sniffer at once (a rack or failure
+  /// domain going dark together). Unknown ids are NotFound.
+  [[nodiscard]] Status FailGroup(const std::vector<std::string>& ids);
+
+  /// Resumes every listed source's sniffer.
+  [[nodiscard]] Status RecoverGroup(const std::vector<std::string>& ids);
+
+  // --- Clock skew / drift ---------------------------------------------
+
+  /// Declares that `id`'s machine clock reads
+  ///   true_time + offset + drift_ppm * (true_time - anchor) / 1e6.
+  /// Every event the scenario layer emits for the source is stamped with
+  /// SourceTime, so the DB sees the skewed timeline while the oracles
+  /// keep the true one. |drift_ppm| must stay above -1,000,000 so source
+  /// time remains monotone in true time (a clock that runs backwards
+  /// would break the paper's in-order shipping model, which is modeled
+  /// separately by TruncateLog's lossy flag).
+  [[nodiscard]] Status SetClockSkew(const std::string& id,
+                                    int64_t offset_micros, int64_t drift_ppm,
+                                    Timestamp anchor);
+
+  /// `true_now` mapped through `id`'s skew model (identity when no skew
+  /// was declared).
+  [[nodiscard]] Timestamp SourceTime(const std::string& id,
+                                     Timestamp true_now) const;
+
+  // --- Backlog storms --------------------------------------------------
+
+  /// Adds `extra_micros` of shipping delay to the source (a congested
+  /// transfer path: records keep accumulating, nothing becomes
+  /// ship-eligible until the delay elapses). Delta-based so overlapping
+  /// storms compose; pass a negative delta to end a storm.
+  [[nodiscard]] Status AddShipDelay(const std::string& id, int64_t extra_micros);
+
+  // --- Log truncation ---------------------------------------------------
+
+  /// Drops up to `drop` records from the tail of `id`'s log, never going
+  /// below the sniffer's shipped cursor (shipped data cannot be
+  /// un-shipped). If any record is actually lost the source is marked
+  /// *lossy*: its heartbeat claim can silently overclaim from then on,
+  /// so the frontier oracle exempts it (and counts the exemption).
+  /// Returns the number of records dropped.
+  [[nodiscard]] Result<size_t> TruncateLog(const std::string& id, size_t drop);
+
+  /// True if TruncateLog ever lost a record of this source.
+  [[nodiscard]] bool IsLossy(const std::string& id) const;
+
+  // --- Ground truth -----------------------------------------------------
+
+  /// The true shipping frontier of `id` at `true_now`: every event the
+  /// source generated with an event time before the returned value has
+  /// reached the database. With unshipped records this is the earliest
+  /// unshipped event time (per-source logs are event-time monotone);
+  /// with an empty backlog it is the source-clock "now" (the next event
+  /// cannot be stamped earlier). Meaningless for lossy sources.
+  [[nodiscard]] Result<Timestamp> TrueFrontier(const std::string& id,
+                                               Timestamp true_now) const;
+
+ private:
+  struct Skew {
+    int64_t offset_micros = 0;
+    int64_t drift_ppm = 0;
+    Timestamp anchor;
+  };
+
+  GridSimulator* grid_;
+  std::map<std::string, Skew> skews_;
+  std::map<std::string, bool> lossy_;
+};
+
+}  // namespace trac
+
+#endif  // TRAC_MONITOR_FAULT_INJECTOR_H_

@@ -23,6 +23,7 @@ Result<DataSource*> GridSimulator::AddSource(std::string id,
   }
   Entry entry;
   entry.source = std::make_unique<DataSource>(id);
+  if (options.metrics == nullptr) options.metrics = metrics_;
   entry.sniffer = std::make_unique<Sniffer>(entry.source.get(), db_,
                                             heartbeat_.get(), options);
   entry.sniffer->ScheduleNextPollAt(clock_.now() +
@@ -44,6 +45,16 @@ DataSource* GridSimulator::source(const std::string& id) {
 }
 
 Sniffer* GridSimulator::sniffer(const std::string& id) {
+  auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : it->second.sniffer.get();
+}
+
+const DataSource* GridSimulator::source(const std::string& id) const {
+  auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : it->second.source.get();
+}
+
+const Sniffer* GridSimulator::sniffer(const std::string& id) const {
   auto it = entries_.find(id);
   return it == entries_.end() ? nullptr : it->second.sniffer.get();
 }
@@ -83,8 +94,10 @@ Status GridSimulator::RunUntil(Timestamp t) {
 }
 
 Status GridSimulator::UpdateStalenessGauges() {
+  MetricRegistry* registry =
+      metrics_ != nullptr ? metrics_ : &MetricRegistry::Default();
   return UpdateSourceStaleness(db_, heartbeat_->name(), clock_.now(),
-                               &MetricRegistry::Default());
+                               registry);
 }
 
 Status GridSimulator::EnableAutoHeartbeat(const std::string& id,
@@ -122,6 +135,7 @@ Status GridSimulator::SetSnifferOptions(const std::string& id,
   if (s == nullptr) {
     return Status::NotFound("no data source '" + id + "'");
   }
+  if (options.metrics == nullptr) options.metrics = metrics_;
   s->set_options(options);
   // Re-anchor the schedule so the new cadence takes effect immediately.
   s->ScheduleNextPollAt(clock_.now() + options.poll_interval_micros);

@@ -33,15 +33,27 @@ class GridSimulator {
   GridSimulator& operator=(GridSimulator&&) = default;
 
   SimClock& clock() { return clock_; }
+  const SimClock& clock() const { return clock_; }
   Database* db() { return db_; }
   HeartbeatTable& heartbeat() { return *heartbeat_; }
+  const HeartbeatTable& heartbeat() const { return *heartbeat_; }
+
+  /// Registry the staleness gauges are published into (also the default
+  /// for sniffers registered after the call); nullptr = process default.
+  void set_metrics(MetricRegistry* metrics) { metrics_ = metrics; }
+  MetricRegistry* metrics() const { return metrics_; }
 
   /// Registers a data source with its sniffer. Fails on duplicate ids.
   [[nodiscard]] Result<DataSource*> AddSource(std::string id,
                                 SnifferOptions options = SnifferOptions());
 
   DataSource* source(const std::string& id);
+  const DataSource* source(const std::string& id) const;
   Sniffer* sniffer(const std::string& id);
+  const Sniffer* sniffer(const std::string& id) const;
+
+  /// Number of registered sources.
+  size_t num_sources() const { return entries_.size(); }
 
   /// Advances the clock to `t`, firing every due sniffer poll in
   /// timestamp order along the way.
@@ -84,6 +96,7 @@ class GridSimulator {
   Database* db_;
   std::unique_ptr<HeartbeatTable> heartbeat_;
   SimClock clock_;
+  MetricRegistry* metrics_ = nullptr;
   std::map<std::string, Entry> entries_;
 };
 

@@ -39,6 +39,14 @@ class LogFile {
  public:
   void Append(LogRecord record) { records_.push_back(std::move(record)); }
 
+  /// Drops every record at index >= `new_size` (a crash that loses the
+  /// unsynced tail of the file). Growing is a no-op: truncation only
+  /// ever discards. Callers that model fault injection must not drop
+  /// below a sniffer's shipped cursor — those records already left.
+  void TruncateTo(size_t new_size) {
+    if (new_size < records_.size()) records_.resize(new_size);
+  }
+
   size_t size() const { return records_.size(); }
   const LogRecord& record(size_t i) const { return records_[i]; }
 

@@ -1,0 +1,808 @@
+#include "monitor/scenario.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <utility>
+
+#include "catalog/schema.h"
+#include "common/str_util.h"
+#include "types/value.h"
+
+namespace trac {
+namespace {
+
+// Scenario time zero: the same era the paper's measurements come from.
+// A fixed epoch (2006-03-15 00:00:00 UTC) keeps every replay identical.
+constexpr Timestamp kScenarioEpoch = Timestamp::FromSeconds(1142380800);
+
+// States the synthetic workload cycles through; all values live in the
+// `state` column's finite domain so brute-force relevance stays usable.
+constexpr const char* kStates[] = {"busy", "idle", "down"};
+
+/// SplitMix64-style combiner: decorrelates per-source / per-step streams
+/// from one script seed without std::seed_seq (determinism across
+/// platforms matters more than statistical polish here).
+uint64_t MixSeed(uint64_t a, uint64_t b) {
+  uint64_t x = a ^ (b * 0x9E3779B97F4A7C15ULL + 0x6A09E667F3BCC909ULL);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Canonical duration rendering: the largest of s/ms/us that divides the
+/// value evenly, so ToText stays a fixpoint of Parse.
+std::string FormatTimeValue(int64_t micros) {
+  char buf[40];
+  if (micros % Timestamp::kMicrosPerSecond == 0) {
+    std::snprintf(buf, sizeof(buf), "%llds",
+                  static_cast<long long>(micros / Timestamp::kMicrosPerSecond));
+  } else if (micros % 1000 == 0) {
+    std::snprintf(buf, sizeof(buf), "%lldms",
+                  static_cast<long long>(micros / 1000));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldus", static_cast<long long>(micros));
+  }
+  return buf;
+}
+
+bool ParseTimeValue(std::string_view token, int64_t* out) {
+  int64_t scale = 0;
+  std::string_view digits;
+  if (token.size() > 2 && token.substr(token.size() - 2) == "us") {
+    scale = 1;
+    digits = token.substr(0, token.size() - 2);
+  } else if (token.size() > 2 && token.substr(token.size() - 2) == "ms") {
+    scale = 1000;
+    digits = token.substr(0, token.size() - 2);
+  } else if (token.size() > 1 && token.back() == 's') {
+    scale = Timestamp::kMicrosPerSecond;
+    digits = token.substr(0, token.size() - 1);
+  } else if (token.size() > 1 && token.back() == 'm') {
+    scale = Timestamp::kMicrosPerMinute;
+    digits = token.substr(0, token.size() - 1);
+  } else {
+    return false;
+  }
+  std::string text(digits);
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || text.empty()) return false;
+  *out = static_cast<int64_t>(v) * scale;
+  return true;
+}
+
+/// Doubles in scripts are always multiples of 1/1000 (Generate quantizes,
+/// "%.6f" renders); strtod of such a literal round-trips exactly.
+std::string FormatDoubleValue(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+bool ParseDoubleValue(std::string_view token, double* out) {
+  std::string text(token);
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == nullptr || *end != '\0' || text.empty()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseUint(std::string_view token, uint64_t* out) {
+  std::string text(token);
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || text.empty()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseInt(std::string_view token, int64_t* out) {
+  std::string text(token);
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || text.empty()) return false;
+  *out = v;
+  return true;
+}
+
+std::string FormatIndexList(const std::vector<size_t>& indices) {
+  std::vector<std::string> parts;
+  parts.reserve(indices.size());
+  for (size_t i : indices) parts.push_back(std::to_string(i));
+  return Join(parts, ",");
+}
+
+bool ParseIndexList(std::string_view token, std::vector<size_t>* out) {
+  out->clear();
+  size_t begin = 0;
+  while (begin <= token.size()) {
+    size_t comma = token.find(',', begin);
+    if (comma == std::string_view::npos) comma = token.size();
+    uint64_t v = 0;
+    if (!ParseUint(token.substr(begin, comma - begin), &v)) return false;
+    out->push_back(static_cast<size_t>(v));
+    begin = comma + 1;
+  }
+  return !out->empty();
+}
+
+const char* KindName(FaultSpec::Kind kind) {
+  switch (kind) {
+    case FaultSpec::Kind::kRackOutage:
+      return "rack-outage";
+    case FaultSpec::Kind::kFlap:
+      return "flap";
+    case FaultSpec::Kind::kClockSkew:
+      return "skew";
+    case FaultSpec::Kind::kStorm:
+      return "storm";
+    case FaultSpec::Kind::kTruncate:
+      return "truncate";
+  }
+  return "?";
+}
+
+bool KindFromName(std::string_view name, FaultSpec::Kind* out) {
+  if (name == "rack-outage") {
+    *out = FaultSpec::Kind::kRackOutage;
+  } else if (name == "flap") {
+    *out = FaultSpec::Kind::kFlap;
+  } else if (name == "skew") {
+    *out = FaultSpec::Kind::kClockSkew;
+  } else if (name == "storm") {
+    *out = FaultSpec::Kind::kStorm;
+  } else if (name == "truncate") {
+    *out = FaultSpec::Kind::kTruncate;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::vector<std::string> SplitWhitespace(std::string_view line) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    size_t begin = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    if (i > begin) tokens.emplace_back(line.substr(begin, i - begin));
+  }
+  return tokens;
+}
+
+[[nodiscard]] Status LineError(size_t line_no, const std::string& msg) {
+  return Status::ParseError("scenario line " + std::to_string(line_no) + ": " +
+                            msg);
+}
+
+bool Contains(const std::vector<size_t>& v, size_t x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+/// `count` distinct indices in [0, n), ascending.
+std::vector<size_t> PickDistinct(Random& rng, size_t count, size_t n) {
+  if (count > n) count = n;
+  std::set<size_t> picked;
+  while (picked.size() < count) {
+    picked.insert(static_cast<size_t>(rng.Uniform(n)));
+  }
+  return std::vector<size_t>(picked.begin(), picked.end());
+}
+
+}  // namespace
+
+std::string ScenarioScript::SourceId(size_t i) const {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "src%04zu", i);
+  return buf;
+}
+
+Status ScenarioScript::Validate() const {
+  // 4-digit ids keep lexicographic order == index order, which the
+  // focused-query oracle relies on.
+  if (num_sources < 1 || num_sources > 9999) {
+    return Status::InvalidArgument("sources must be in [1, 9999]");
+  }
+  if (num_racks < 1 || num_racks > num_sources) {
+    return Status::InvalidArgument("racks must be in [1, sources]");
+  }
+  if (step_micros <= 0) return Status::InvalidArgument("step must be > 0");
+  if (duration_micros < step_micros) {
+    return Status::InvalidArgument("duration must be >= step");
+  }
+  if (poll_micros <= 0) return Status::InvalidArgument("poll must be > 0");
+  if (ship_delay_micros < 0) {
+    return Status::InvalidArgument("ship-delay must be >= 0");
+  }
+  if (heartbeat_micros <= 0) {
+    return Status::InvalidArgument("heartbeat must be > 0");
+  }
+  if (!(event_rate >= 0.0 && event_rate <= 1.0)) {
+    return Status::InvalidArgument("event-rate must be in [0, 1]");
+  }
+  if (focus < 1 || focus > num_sources) {
+    return Status::InvalidArgument("focus must be in [1, sources]");
+  }
+  for (size_t f = 0; f < faults.size(); ++f) {
+    const FaultSpec& fault = faults[f];
+    const std::string where = "fault #" + std::to_string(f) + " (" +
+                              KindName(fault.kind) + "): ";
+    const bool windowed = fault.kind == FaultSpec::Kind::kRackOutage ||
+                          fault.kind == FaultSpec::Kind::kFlap ||
+                          fault.kind == FaultSpec::Kind::kStorm;
+    if (windowed) {
+      if (fault.start_micros < 0 || fault.duration_micros <= 0) {
+        return Status::InvalidArgument(where + "needs start >= 0, duration > 0");
+      }
+    }
+    if (fault.kind == FaultSpec::Kind::kRackOutage) {
+      if (fault.racks.empty()) {
+        return Status::InvalidArgument(where + "needs a racks list");
+      }
+      for (size_t r : fault.racks) {
+        if (r >= num_racks) {
+          return Status::InvalidArgument(where + "rack index out of range");
+        }
+      }
+    } else {
+      if (fault.sources.empty()) {
+        return Status::InvalidArgument(where + "needs a sources list");
+      }
+      for (size_t i : fault.sources) {
+        if (i >= num_sources) {
+          return Status::InvalidArgument(where + "source index out of range");
+        }
+      }
+    }
+    switch (fault.kind) {
+      case FaultSpec::Kind::kFlap:
+        if (fault.period_micros <= 0) {
+          return Status::InvalidArgument(where + "needs period > 0");
+        }
+        if (!(fault.duty > 0.0 && fault.duty < 1.0)) {
+          return Status::InvalidArgument(where + "needs duty in (0, 1)");
+        }
+        break;
+      case FaultSpec::Kind::kClockSkew:
+        if (fault.drift_ppm <= -1000000) {
+          return Status::InvalidArgument(where +
+                                         "drift-ppm must be > -1000000");
+        }
+        break;
+      case FaultSpec::Kind::kStorm:
+        if (fault.delay_micros <= 0) {
+          return Status::InvalidArgument(where + "needs delay > 0");
+        }
+        break;
+      case FaultSpec::Kind::kTruncate:
+        if (fault.start_micros < 0) {
+          return Status::InvalidArgument(where + "needs start >= 0");
+        }
+        if (fault.drop == 0) {
+          return Status::InvalidArgument(where + "needs drop > 0");
+        }
+        break;
+      case FaultSpec::Kind::kRackOutage:
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+std::string ScenarioScript::ToText() const {
+  std::string out = "scenario v1\n";
+  out += "seed " + std::to_string(seed) + "\n";
+  out += "sources " + std::to_string(num_sources) + "\n";
+  out += "racks " + std::to_string(num_racks) + "\n";
+  out += "duration " + FormatTimeValue(duration_micros) + "\n";
+  out += "step " + FormatTimeValue(step_micros) + "\n";
+  out += "poll " + FormatTimeValue(poll_micros) + "\n";
+  out += "ship-delay " + FormatTimeValue(ship_delay_micros) + "\n";
+  out += "heartbeat " + FormatTimeValue(heartbeat_micros) + "\n";
+  out += "event-rate " + FormatDoubleValue(event_rate) + "\n";
+  out += "focus " + std::to_string(focus) + "\n";
+  for (const FaultSpec& fault : faults) {
+    out += "fault ";
+    out += KindName(fault.kind);
+    switch (fault.kind) {
+      case FaultSpec::Kind::kRackOutage:
+        out += " start=" + FormatTimeValue(fault.start_micros);
+        out += " duration=" + FormatTimeValue(fault.duration_micros);
+        out += " racks=" + FormatIndexList(fault.racks);
+        break;
+      case FaultSpec::Kind::kFlap:
+        out += " start=" + FormatTimeValue(fault.start_micros);
+        out += " duration=" + FormatTimeValue(fault.duration_micros);
+        out += " period=" + FormatTimeValue(fault.period_micros);
+        out += " duty=" + FormatDoubleValue(fault.duty);
+        out += " sources=" + FormatIndexList(fault.sources);
+        break;
+      case FaultSpec::Kind::kClockSkew:
+        out += " offset=" + FormatTimeValue(fault.offset_micros);
+        out += " drift-ppm=" + std::to_string(fault.drift_ppm);
+        out += " sources=" + FormatIndexList(fault.sources);
+        break;
+      case FaultSpec::Kind::kStorm:
+        out += " start=" + FormatTimeValue(fault.start_micros);
+        out += " duration=" + FormatTimeValue(fault.duration_micros);
+        out += " delay=" + FormatTimeValue(fault.delay_micros);
+        out += " sources=" + FormatIndexList(fault.sources);
+        break;
+      case FaultSpec::Kind::kTruncate:
+        out += " start=" + FormatTimeValue(fault.start_micros);
+        out += " drop=" + std::to_string(fault.drop);
+        out += " sources=" + FormatIndexList(fault.sources);
+        break;
+    }
+    out += "\n";
+  }
+  out += "end\n";
+  return out;
+}
+
+Result<ScenarioScript> ScenarioScript::Parse(std::string_view text) {
+  ScenarioScript script;
+  script.faults.clear();
+  bool saw_header = false;
+  bool saw_end = false;
+  size_t line_no = 0;
+  size_t begin = 0;
+  while (begin <= text.size() && !saw_end) {
+    size_t eol = text.find('\n', begin);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view line = text.substr(begin, eol - begin);
+    begin = eol + 1;
+    ++line_no;
+    const size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    const std::vector<std::string> tokens = SplitWhitespace(line);
+    if (tokens.empty()) continue;
+    if (!saw_header) {
+      if (tokens.size() != 2 || tokens[0] != "scenario" || tokens[1] != "v1") {
+        return LineError(line_no, "expected header 'scenario v1'");
+      }
+      saw_header = true;
+      continue;
+    }
+    if (tokens[0] == "end") {
+      if (tokens.size() != 1) return LineError(line_no, "junk after 'end'");
+      saw_end = true;
+      continue;
+    }
+    if (tokens[0] == "fault") {
+      if (tokens.size() < 2) return LineError(line_no, "fault needs a kind");
+      FaultSpec fault;
+      if (!KindFromName(tokens[1], &fault.kind)) {
+        return LineError(line_no, "unknown fault kind '" + tokens[1] + "'");
+      }
+      for (size_t t = 2; t < tokens.size(); ++t) {
+        const std::string& token = tokens[t];
+        const size_t eq = token.find('=');
+        if (eq == std::string::npos) {
+          return LineError(line_no, "expected key=value, got '" + token + "'");
+        }
+        const std::string key = token.substr(0, eq);
+        const std::string value = token.substr(eq + 1);
+        bool ok = false;
+        if (key == "start") {
+          ok = ParseTimeValue(value, &fault.start_micros);
+        } else if (key == "duration") {
+          ok = ParseTimeValue(value, &fault.duration_micros);
+        } else if (key == "period") {
+          ok = ParseTimeValue(value, &fault.period_micros);
+        } else if (key == "duty") {
+          ok = ParseDoubleValue(value, &fault.duty);
+        } else if (key == "offset") {
+          ok = ParseTimeValue(value, &fault.offset_micros);
+        } else if (key == "drift-ppm") {
+          ok = ParseInt(value, &fault.drift_ppm);
+        } else if (key == "delay") {
+          ok = ParseTimeValue(value, &fault.delay_micros);
+        } else if (key == "drop") {
+          uint64_t v = 0;
+          ok = ParseUint(value, &v);
+          fault.drop = static_cast<size_t>(v);
+        } else if (key == "racks") {
+          ok = ParseIndexList(value, &fault.racks);
+        } else if (key == "sources") {
+          ok = ParseIndexList(value, &fault.sources);
+        } else {
+          return LineError(line_no, "unknown fault key '" + key + "'");
+        }
+        if (!ok) {
+          return LineError(line_no, "bad value for '" + key + "'");
+        }
+      }
+      script.faults.push_back(std::move(fault));
+      continue;
+    }
+    if (tokens.size() != 2) {
+      return LineError(line_no, "expected 'key value'");
+    }
+    const std::string& key = tokens[0];
+    const std::string& value = tokens[1];
+    bool ok = false;
+    if (key == "seed") {
+      ok = ParseUint(value, &script.seed);
+    } else if (key == "sources") {
+      uint64_t v = 0;
+      ok = ParseUint(value, &v);
+      script.num_sources = static_cast<size_t>(v);
+    } else if (key == "racks") {
+      uint64_t v = 0;
+      ok = ParseUint(value, &v);
+      script.num_racks = static_cast<size_t>(v);
+    } else if (key == "duration") {
+      ok = ParseTimeValue(value, &script.duration_micros);
+    } else if (key == "step") {
+      ok = ParseTimeValue(value, &script.step_micros);
+    } else if (key == "poll") {
+      ok = ParseTimeValue(value, &script.poll_micros);
+    } else if (key == "ship-delay") {
+      ok = ParseTimeValue(value, &script.ship_delay_micros);
+    } else if (key == "heartbeat") {
+      ok = ParseTimeValue(value, &script.heartbeat_micros);
+    } else if (key == "event-rate") {
+      ok = ParseDoubleValue(value, &script.event_rate);
+    } else if (key == "focus") {
+      uint64_t v = 0;
+      ok = ParseUint(value, &v);
+      script.focus = static_cast<size_t>(v);
+    } else {
+      return LineError(line_no, "unknown key '" + key + "'");
+    }
+    if (!ok) return LineError(line_no, "bad value for '" + key + "'");
+  }
+  if (!saw_header) return Status::ParseError("scenario: missing header");
+  if (!saw_end) return Status::ParseError("scenario: missing 'end'");
+  TRAC_RETURN_IF_ERROR(script.Validate());
+  return script;
+}
+
+ScenarioScript ScenarioScript::Generate(uint64_t seed,
+                                        const ScenarioGenOptions& options) {
+  ScenarioScript script;
+  script.seed = seed;
+  Random rng(MixSeed(seed, 0x5CE7A610ULL));
+
+  size_t lo = options.min_sources < 1 ? 1 : options.min_sources;
+  size_t hi = options.max_sources > 9999 ? 9999 : options.max_sources;
+  if (hi < lo) hi = lo;
+  // Log-uniform-ish grid size via doubling levels — integer arithmetic
+  // only, so every platform draws the same sizes. Small grids stay
+  // common (they shake out logic bugs fast) while thousand-source grids
+  // still appear regularly.
+  size_t levels = 0;
+  while ((lo << (levels + 1)) <= hi) ++levels;
+  const size_t level = static_cast<size_t>(rng.Uniform(levels + 1));
+  size_t bucket_lo = lo << level;
+  size_t bucket_hi = (lo << (level + 1)) - 1;
+  if (bucket_lo > hi) bucket_lo = hi;
+  if (bucket_hi > hi) bucket_hi = hi;
+  script.num_sources = static_cast<size_t>(
+      rng.UniformInt(static_cast<int64_t>(bucket_lo),
+                     static_cast<int64_t>(bucket_hi)));
+
+  const size_t max_racks = script.num_sources < 32 ? script.num_sources : 32;
+  const size_t min_racks = script.num_sources < 2 ? 1 : 2;
+  script.num_racks = static_cast<size_t>(rng.UniformInt(
+      static_cast<int64_t>(min_racks), static_cast<int64_t>(max_racks)));
+
+  const int64_t step_seconds = rng.UniformInt(2, 10);
+  const int64_t num_steps = rng.UniformInt(12, 40);
+  script.step_micros = step_seconds * Timestamp::kMicrosPerSecond;
+  script.duration_micros = script.step_micros * num_steps;
+  script.poll_micros = rng.UniformInt(3, 25) * Timestamp::kMicrosPerSecond;
+  script.ship_delay_micros =
+      rng.UniformInt(0, 3) * Timestamp::kMicrosPerSecond;
+  script.heartbeat_micros =
+      rng.UniformInt(15, 90) * Timestamp::kMicrosPerSecond;
+  // Quantized to 1/1000 so the "%.6f" rendering round-trips exactly.
+  script.event_rate = static_cast<double>(rng.UniformInt(20, 600)) / 1000.0;
+  const size_t max_focus = script.num_sources < 12 ? script.num_sources : 12;
+  const size_t min_focus = script.num_sources < 2 ? script.num_sources : 2;
+  script.focus = static_cast<size_t>(rng.UniformInt(
+      static_cast<int64_t>(min_focus), static_cast<int64_t>(max_focus)));
+
+  const int64_t total_seconds = step_seconds * num_steps;
+  const size_t max_faults = options.max_faults < 1 ? 1 : options.max_faults;
+  const size_t num_faults =
+      static_cast<size_t>(rng.UniformInt(1, static_cast<int64_t>(max_faults)));
+  for (size_t f = 0; f < num_faults; ++f) {
+    FaultSpec fault;
+    fault.kind = static_cast<FaultSpec::Kind>(rng.Uniform(5));
+    // Windowed faults start in the first three quarters so most have
+    // time to bite (and recoveries are observable before the run ends).
+    const int64_t start_seconds = rng.UniformInt(0, total_seconds * 3 / 4);
+    int64_t max_len = total_seconds - start_seconds;
+    if (max_len < step_seconds) max_len = step_seconds;
+    const int64_t len_seconds = rng.UniformInt(step_seconds, max_len);
+    fault.start_micros = start_seconds * Timestamp::kMicrosPerSecond;
+    fault.duration_micros = len_seconds * Timestamp::kMicrosPerSecond;
+    switch (fault.kind) {
+      case FaultSpec::Kind::kRackOutage: {
+        const size_t max_pick = script.num_racks < 3 ? script.num_racks : 3;
+        fault.racks = PickDistinct(
+            rng, static_cast<size_t>(rng.UniformInt(1, static_cast<int64_t>(max_pick))),
+            script.num_racks);
+        break;
+      }
+      case FaultSpec::Kind::kFlap:
+        fault.period_micros =
+            rng.UniformInt(2, 6) * script.step_micros;
+        fault.duty = static_cast<double>(rng.UniformInt(250, 750)) / 1000.0;
+        fault.sources = PickDistinct(
+            rng, static_cast<size_t>(rng.UniformInt(1, 4)), script.num_sources);
+        break;
+      case FaultSpec::Kind::kClockSkew:
+        fault.offset_micros =
+            rng.UniformInt(-120, 120) * Timestamp::kMicrosPerSecond;
+        fault.drift_ppm = rng.UniformInt(-50, 200) * 1000;
+        fault.sources = PickDistinct(
+            rng, static_cast<size_t>(rng.UniformInt(1, 3)), script.num_sources);
+        break;
+      case FaultSpec::Kind::kStorm:
+        fault.delay_micros =
+            rng.UniformInt(10, 120) * Timestamp::kMicrosPerSecond;
+        fault.sources = PickDistinct(
+            rng, static_cast<size_t>(rng.UniformInt(1, 5)), script.num_sources);
+        break;
+      case FaultSpec::Kind::kTruncate:
+        fault.drop = static_cast<size_t>(rng.UniformInt(1, 12));
+        fault.sources = PickDistinct(
+            rng, static_cast<size_t>(rng.UniformInt(1, 2)), script.num_sources);
+        break;
+    }
+    // Zero the window fields the kind ignores, so a generated script
+    // equals its own parse structurally (ToText omits unused fields).
+    if (fault.kind == FaultSpec::Kind::kClockSkew) {
+      fault.start_micros = 0;
+      fault.duration_micros = 0;
+    } else if (fault.kind == FaultSpec::Kind::kTruncate) {
+      fault.duration_micros = 0;
+    }
+    script.faults.push_back(std::move(fault));
+  }
+  return script;
+}
+
+Result<std::unique_ptr<ScenarioRunner>> ScenarioRunner::Create(
+    Database* db, ScenarioScript script, ScenarioRunnerOptions options) {
+  if (db == nullptr) return Status::InvalidArgument("null database");
+  TRAC_RETURN_IF_ERROR(script.Validate());
+  std::unique_ptr<ScenarioRunner> runner(
+      new ScenarioRunner(db, std::move(script), options));
+  TRAC_RETURN_IF_ERROR(runner->Init());
+  return runner;
+}
+
+Status ScenarioRunner::Init() {
+  start_ = kScenarioEpoch;
+  TRAC_ASSIGN_OR_RETURN(GridSimulator grid, GridSimulator::Create(db_));
+  grid_ = std::make_unique<GridSimulator>(std::move(grid));
+  grid_->set_metrics(options_.metrics);
+  grid_->clock().AdvanceTo(start_);
+  injector_ = std::make_unique<FaultInjector>(grid_.get());
+
+  const size_t n = script_.num_sources;
+  source_ids_.reserve(n);
+  for (size_t i = 0; i < n; ++i) source_ids_.push_back(script_.SourceId(i));
+
+  // The monitored table. Every column carries a finite domain so the
+  // paper's brute-force relevance test stays applicable to scenario
+  // databases (domain size = sources x states, well within its budget).
+  std::vector<Value> src_domain;
+  src_domain.reserve(n);
+  for (const std::string& id : source_ids_) {
+    src_domain.push_back(Value::Str(id));
+  }
+  std::vector<Value> state_domain;
+  for (const char* state : kStates) state_domain.push_back(Value::Str(state));
+  TableSchema schema(
+      std::string(kEventsTable),
+      {ColumnDef("src", TypeId::kString,
+                 Domain::Finite(TypeId::kString, std::move(src_domain))),
+       ColumnDef("state", TypeId::kString,
+                 Domain::Finite(TypeId::kString, std::move(state_domain)))});
+  TRAC_RETURN_IF_ERROR(schema.SetDataSourceColumn("src"));
+  TRAC_RETURN_IF_ERROR(db_->CreateTable(std::move(schema)).status());
+  TRAC_RETURN_IF_ERROR(db_->CreateIndex(kEventsTable, "src"));
+
+  SnifferOptions sniffer_options;
+  sniffer_options.poll_interval_micros = script_.poll_micros;
+  sniffer_options.ship_delay_micros = script_.ship_delay_micros;
+  next_heartbeat_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    TRAC_RETURN_IF_ERROR(
+        grid_->AddSource(source_ids_[i], sniffer_options).status());
+    // Stagger polls and heartbeats so a thousand sniffers don't fire as
+    // one synchronized burst (real grids never do).
+    Random rng(MixSeed(script_.seed, i));
+    grid_->sniffer(source_ids_[i])
+        ->ScheduleNextPollAt(
+            start_ + 1 +
+            static_cast<int64_t>(
+                rng.Uniform(static_cast<uint64_t>(script_.poll_micros))));
+    next_heartbeat_.push_back(
+        start_ + 1 +
+        static_cast<int64_t>(
+            rng.Uniform(static_cast<uint64_t>(script_.heartbeat_micros))));
+  }
+
+  // Clock skew is a property of the machine, so it applies from t=0.
+  for (const FaultSpec& fault : script_.faults) {
+    if (fault.kind != FaultSpec::Kind::kClockSkew) continue;
+    for (size_t i : fault.sources) {
+      TRAC_RETURN_IF_ERROR(injector_->SetClockSkew(
+          source_ids_[i], fault.offset_micros, fault.drift_ppm, start_));
+    }
+  }
+  // Each machine registers with its *own* clock's reading, exactly as a
+  // real skewed host would — without this, a negatively skewed source's
+  // registration recency would overclaim against its future events.
+  for (const std::string& id : source_ids_) {
+    TRAC_RETURN_IF_ERROR(
+        grid_->heartbeat().SetRecency(id, injector_->SourceTime(id, start_)));
+  }
+
+  // The focused query's targets. std::set iteration is ascending and ids
+  // are fixed-width, so the list comes out sorted.
+  Random focus_rng(MixSeed(script_.seed, 0xF0C05ULL + n));
+  for (size_t i : PickDistinct(focus_rng, script_.focus, n)) {
+    focused_ids_.push_back(source_ids_[i]);
+  }
+
+  seq_.assign(n, 0);
+  shadow_paused_.assign(n, false);
+  shadow_delay_.assign(n, script_.ship_delay_micros);
+  truncate_done_.assign(script_.faults.size(), false);
+  return Status::OK();
+}
+
+std::string ScenarioRunner::FocusedSql() const {
+  std::vector<std::string> quoted;
+  quoted.reserve(focused_ids_.size());
+  for (const std::string& id : focused_ids_) {
+    quoted.push_back(QuoteSqlString(id));
+  }
+  return "SELECT COUNT(*) FROM events WHERE src IN (" + Join(quoted, ", ") +
+         ")";
+}
+
+std::string ScenarioRunner::EmptySql() const {
+  // 'nowhere' is outside src's finite domain, so the predicate is
+  // statically unsatisfiable: S(Q) = {} and the verdict is EMPTY_SET.
+  return "SELECT COUNT(*) FROM events WHERE src = 'nowhere'";
+}
+
+bool ScenarioRunner::WantPaused(size_t i, Timestamp t) const {
+  const int64_t rel = t - start_;
+  for (const FaultSpec& fault : script_.faults) {
+    const bool active = rel >= fault.start_micros &&
+                        rel < fault.start_micros + fault.duration_micros;
+    if (!active) continue;
+    switch (fault.kind) {
+      case FaultSpec::Kind::kRackOutage:
+        if (Contains(fault.racks, script_.RackOf(i))) return true;
+        break;
+      case FaultSpec::Kind::kFlap: {
+        if (!Contains(fault.sources, i)) break;
+        const int64_t phase = (rel - fault.start_micros) % fault.period_micros;
+        const int64_t up_span = static_cast<int64_t>(
+            fault.duty * static_cast<double>(fault.period_micros));
+        if (phase >= up_span) return true;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return false;
+}
+
+int64_t ScenarioRunner::WantExtraDelay(size_t i, Timestamp t) const {
+  const int64_t rel = t - start_;
+  int64_t extra = 0;
+  for (const FaultSpec& fault : script_.faults) {
+    if (fault.kind != FaultSpec::Kind::kStorm) continue;
+    if (rel < fault.start_micros ||
+        rel >= fault.start_micros + fault.duration_micros) {
+      continue;
+    }
+    if (Contains(fault.sources, i)) extra += fault.delay_micros;
+  }
+  return extra;
+}
+
+Status ScenarioRunner::ReconcileFaults(Timestamp step_begin,
+                                       Timestamp step_end) {
+  for (size_t i = 0; i < source_ids_.size(); ++i) {
+    const bool want = WantPaused(i, step_begin);
+    if (want != static_cast<bool>(shadow_paused_[i])) {
+      TRAC_RETURN_IF_ERROR(grid_->SetPaused(source_ids_[i], want));
+      shadow_paused_[i] = want;
+    }
+    const int64_t want_delay =
+        script_.ship_delay_micros + WantExtraDelay(i, step_begin);
+    if (want_delay != shadow_delay_[i]) {
+      TRAC_RETURN_IF_ERROR(injector_->AddShipDelay(
+          source_ids_[i], want_delay - shadow_delay_[i]));
+      shadow_delay_[i] = want_delay;
+    }
+  }
+  for (size_t f = 0; f < script_.faults.size(); ++f) {
+    const FaultSpec& fault = script_.faults[f];
+    if (fault.kind != FaultSpec::Kind::kTruncate || truncate_done_[f]) {
+      continue;
+    }
+    const Timestamp at = start_ + fault.start_micros;
+    if (at < step_begin || at >= step_end) continue;
+    truncate_done_[f] = true;
+    for (size_t i : fault.sources) {
+      TRAC_RETURN_IF_ERROR(
+          injector_->TruncateLog(source_ids_[i], fault.drop).status());
+    }
+  }
+  return Status::OK();
+}
+
+Status ScenarioRunner::EmitWorkload(Timestamp step_begin, Timestamp step_end) {
+  for (size_t i = 0; i < source_ids_.size(); ++i) {
+    const std::string& id = source_ids_[i];
+    DataSource* source = grid_->source(id);
+    // Gather this step's emissions in true time, then emit in order: the
+    // per-source log must stay event-time monotone, and SourceTime is
+    // monotone in true time by the injector's drift bound.
+    std::vector<std::pair<Timestamp, bool>> due;  // (true time, is_event)
+    while (next_heartbeat_[i] < step_end) {
+      if (next_heartbeat_[i] >= step_begin) {
+        due.emplace_back(next_heartbeat_[i], false);
+      }
+      next_heartbeat_[i] = next_heartbeat_[i] + script_.heartbeat_micros;
+    }
+    Random rng(MixSeed(MixSeed(script_.seed, 0xE7E27ULL + steps_done_), i));
+    if (rng.Bernoulli(script_.event_rate)) {
+      due.emplace_back(
+          step_begin + static_cast<int64_t>(rng.Uniform(
+                           static_cast<uint64_t>(script_.step_micros))),
+          true);
+    }
+    std::sort(due.begin(), due.end());
+    for (const auto& [true_time, is_event] : due) {
+      const Timestamp stamped = injector_->SourceTime(id, true_time);
+      if (is_event) {
+        source->EmitInsert(stamped, std::string(kEventsTable),
+                           Row{Value::Str(id),
+                               Value::Str(kStates[seq_[i] % 3])});
+        ++seq_[i];
+        ++events_emitted_;
+      } else {
+        source->EmitHeartbeat(stamped);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status ScenarioRunner::Step() {
+  if (done()) {
+    return Status::InvalidArgument("scenario already ran to completion");
+  }
+  const Timestamp step_begin =
+      start_ + static_cast<int64_t>(steps_done_) * script_.step_micros;
+  const Timestamp step_end = step_begin + script_.step_micros;
+  TRAC_RETURN_IF_ERROR(ReconcileFaults(step_begin, step_end));
+  TRAC_RETURN_IF_ERROR(EmitWorkload(step_begin, step_end));
+  TRAC_RETURN_IF_ERROR(grid_->RunUntil(step_end));
+  ++steps_done_;
+  return Status::OK();
+}
+
+}  // namespace trac

@@ -1,0 +1,202 @@
+#ifndef TRAC_MONITOR_SCENARIO_H_
+#define TRAC_MONITOR_SCENARIO_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "monitor/fault_injector.h"
+#include "monitor/grid.h"
+#include "storage/database.h"
+#include "telemetry/metrics.h"
+
+namespace trac {
+
+/// One fault primitive inside a scenario script. Which fields are
+/// meaningful depends on `kind`; Validate() rejects out-of-range values.
+struct FaultSpec {
+  enum class Kind {
+    kRackOutage,  ///< Every source in `racks` pauses for the window.
+    kFlap,        ///< `sources` duty-cycle between up and down.
+    kClockSkew,   ///< `sources` stamp events with offset + drift.
+    kStorm,       ///< `sources` gain `delay` of shipping latency.
+    kTruncate,    ///< `sources` lose up to `drop` unshipped records.
+  };
+
+  Kind kind = Kind::kRackOutage;
+  /// Window faults (outage/flap/storm) are active on steps whose start
+  /// lies in [start, start + duration). Truncate fires once, on the step
+  /// containing `start`. Skew is a property of the whole run (applied at
+  /// initialization; `start`/`duration` unused).
+  int64_t start_micros = 0;
+  int64_t duration_micros = 0;
+
+  std::vector<size_t> racks;    ///< Rack indices (rack-outage).
+  std::vector<size_t> sources;  ///< Source indices (other kinds).
+
+  int64_t period_micros = 0;  ///< Flap: full up+down cycle length.
+  double duty = 0.5;          ///< Flap: fraction of the period spent up.
+  int64_t offset_micros = 0;  ///< Skew: constant clock offset.
+  int64_t drift_ppm = 0;      ///< Skew: parts-per-million drift rate.
+  int64_t delay_micros = 0;   ///< Storm: extra shipping delay.
+  size_t drop = 0;            ///< Truncate: records lost from the tail.
+};
+
+/// Knobs for random script generation (the property test's fuzzer).
+struct ScenarioGenOptions {
+  size_t min_sources = 12;
+  size_t max_sources = 1000;
+  size_t max_faults = 8;
+};
+
+/// A complete, deterministic description of one hostile-grid run: the
+/// grid shape, the workload cadence, and a list of fault primitives.
+/// Scripts serialize to a canonical line-based text format (`.scenario`
+/// files) and replay byte-identically: ToText() of a parsed script
+/// re-serializes to the same bytes, and running the same script twice
+/// produces the same reports, gauges, and oracle outcomes.
+struct ScenarioScript {
+  uint64_t seed = 1;
+  size_t num_sources = 100;
+  size_t num_racks = 8;
+  int64_t duration_micros = 240 * Timestamp::kMicrosPerSecond;
+  int64_t step_micros = 6 * Timestamp::kMicrosPerSecond;
+  int64_t poll_micros = 10 * Timestamp::kMicrosPerSecond;
+  int64_t ship_delay_micros = 0;
+  int64_t heartbeat_micros = 30 * Timestamp::kMicrosPerSecond;
+  /// Per-source probability of emitting one data event per step.
+  double event_rate = 0.25;
+  /// How many sources the focused user query targets (its IN list).
+  size_t focus = 5;
+  std::vector<FaultSpec> faults;
+
+  /// Canonical id of source `i` ("src0000"...). Deterministic, so the
+  /// same script always builds the same grid.
+  std::string SourceId(size_t i) const;
+  /// Rack of source `i` (sources are striped across racks).
+  size_t RackOf(size_t i) const { return num_racks == 0 ? 0 : i % num_racks; }
+  size_t steps() const {
+    return step_micros <= 0
+               ? 0
+               : static_cast<size_t>(duration_micros / step_micros);
+  }
+
+  /// Structural validity (used by Parse and the runner).
+  [[nodiscard]] Status Validate() const;
+
+  /// Canonical serialization; Parse(ToText()) round-trips byte-for-byte.
+  std::string ToText() const;
+
+  /// Parses the `.scenario` text format. Accepts '#' comments, blank
+  /// lines, and time values with us/ms/s/m suffixes; the canonical form
+  /// ToText() emits is a fixpoint of Parse+ToText.
+  [[nodiscard]] static Result<ScenarioScript> Parse(std::string_view text);
+
+  /// A seeded random script: grid size log-uniform in
+  /// [min_sources, max_sources], coherent cadences, and 1..max_faults
+  /// random fault primitives. Identical across platforms for a given
+  /// seed (integer arithmetic only).
+  static ScenarioScript Generate(uint64_t seed,
+                                 const ScenarioGenOptions& options);
+};
+
+struct ScenarioRunnerOptions {
+  /// Registry the grid's staleness and sniffer gauges land in; nullptr =
+  /// the process default. Tests pass their own so a thousand-source run
+  /// neither pollutes nor reads stale series from the global registry.
+  MetricRegistry* metrics = nullptr;
+};
+
+/// Executes a ScenarioScript against a database: builds the grid (one
+/// monitored `events` table with finite column domains, one source per
+/// script index, staggered sniffer polls), then steps simulated time in
+/// `step` increments. Each step reconciles fault state, emits the
+/// workload (data events and Section 3.1 heartbeats, both stamped via
+/// the injector's per-source clock model), and advances the grid so
+/// every due sniffer poll fires in timestamp order.
+///
+/// The runner never runs reports itself — tests and tools run the
+/// reporter at whatever checkpoints they like and hand each report to
+/// the oracles together with this runner (the ground truth).
+class ScenarioRunner {
+ public:
+  [[nodiscard]] static Result<std::unique_ptr<ScenarioRunner>> Create(
+      Database* db, ScenarioScript script,
+      ScenarioRunnerOptions options = ScenarioRunnerOptions());
+
+  ScenarioRunner(const ScenarioRunner&) = delete;
+  ScenarioRunner& operator=(const ScenarioRunner&) = delete;
+
+  const ScenarioScript& script() const { return script_; }
+  GridSimulator& grid() { return *grid_; }
+  const GridSimulator& grid() const { return *grid_; }
+  FaultInjector& injector() { return *injector_; }
+  const FaultInjector& injector() const { return *injector_; }
+  Database* db() const { return db_; }
+
+  Timestamp start() const { return start_; }
+  Timestamp now() const { return grid_->clock().now(); }
+  size_t steps_done() const { return steps_done_; }
+  bool done() const { return steps_done_ >= script_.steps(); }
+
+  /// All source ids, in index order.
+  const std::vector<std::string>& source_ids() const { return source_ids_; }
+  /// The focused query's targets, sorted — by construction the exact
+  /// S(Q) of FocusedSql() (every id is registered in the Heartbeat and
+  /// lies in the src column's finite domain).
+  const std::vector<std::string>& focused_ids() const { return focused_ids_; }
+
+  /// `SELECT COUNT(*) FROM events WHERE src IN (...)` over the focused
+  /// ids — statically EXACT_MINIMUM.
+  std::string FocusedSql() const;
+  /// A query whose predicate is unsatisfiable over the src domain —
+  /// statically EMPTY_SET.
+  std::string EmptySql() const;
+
+  /// Total data events emitted so far (excludes heartbeats).
+  int64_t events_emitted() const { return events_emitted_; }
+
+  /// Advances one step. FailedPrecondition once done().
+  [[nodiscard]] Status Step();
+
+  /// The name of the monitored table the workload writes.
+  static constexpr std::string_view kEventsTable = "events";
+
+ private:
+  ScenarioRunner(Database* db, ScenarioScript script,
+                 ScenarioRunnerOptions options)
+      : db_(db), script_(std::move(script)), options_(options) {}
+
+  [[nodiscard]] Status Init();
+  [[nodiscard]] Status ReconcileFaults(Timestamp step_begin, Timestamp step_end);
+  [[nodiscard]] Status EmitWorkload(Timestamp step_begin, Timestamp step_end);
+
+  /// Desired fault state of source `i` for the step starting at `t`.
+  bool WantPaused(size_t i, Timestamp t) const;
+  int64_t WantExtraDelay(size_t i, Timestamp t) const;
+
+  Database* db_;
+  ScenarioScript script_;
+  ScenarioRunnerOptions options_;
+  std::unique_ptr<GridSimulator> grid_;
+  std::unique_ptr<FaultInjector> injector_;
+
+  Timestamp start_;
+  size_t steps_done_ = 0;
+  int64_t events_emitted_ = 0;
+
+  std::vector<std::string> source_ids_;
+  std::vector<std::string> focused_ids_;
+  std::vector<Timestamp> next_heartbeat_;
+  std::vector<int64_t> seq_;         ///< Per-source event sequence numbers.
+  std::vector<bool> shadow_paused_;  ///< Last state applied to the grid.
+  std::vector<int64_t> shadow_delay_;
+  std::vector<bool> truncate_done_;  ///< One flag per truncate fault.
+};
+
+}  // namespace trac
+
+#endif  // TRAC_MONITOR_SCENARIO_H_

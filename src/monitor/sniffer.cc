@@ -6,7 +6,9 @@ namespace trac {
 
 void Sniffer::EnsureMetrics() {
   if (metric_polls_ != nullptr) return;
-  MetricRegistry& registry = MetricRegistry::Default();
+  MetricRegistry& registry = options_.metrics != nullptr
+                                 ? *options_.metrics
+                                 : MetricRegistry::Default();
   const LabelSet labels = {{"source", source_->id()}};
   metric_polls_ = registry.GetCounter(
       "trac_sniffer_polls_total", "Sniffer poll cycles (including paused)",
@@ -26,6 +28,11 @@ void Sniffer::EnsureMetrics() {
 
 Status Sniffer::Poll(Timestamp now) {
   next_poll_ = now + options_.poll_interval_micros;
+  last_poll_ = now;
+  ++polls_;
+  // A log truncated below the cursor lost only already-shipped records;
+  // clamp so the backlog arithmetic below stays well defined.
+  if (cursor_ > source_->log().size()) cursor_ = source_->log().size();
   EnsureMetrics();
   metric_polls_->Increment();
   // Backlog and lag are published even while paused: a paused sniffer is

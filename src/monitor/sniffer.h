@@ -17,6 +17,11 @@ struct SnifferOptions {
   /// Transport/processing delay: a record written at event time t only
   /// becomes shippable at t + ship_delay.
   int64_t ship_delay_micros = 0;
+  /// Registry the per-source series are resolved from; nullptr = the
+  /// process default. Scenario tests hand in their own registry so a
+  /// thousand-source run does not pollute (or read stale series from)
+  /// the global one.
+  MetricRegistry* metrics = nullptr;
 };
 
 /// The monitoring process for one data source: tails the source's log
@@ -59,6 +64,21 @@ class Sniffer {
   /// Number of log records shipped so far.
   size_t records_shipped() const { return cursor_; }
 
+  /// Poll cycles so far (including polls while paused). The telemetry
+  /// oracles key on this: gauges published at poll time are only
+  /// meaningful once at least one poll has happened.
+  size_t polls() const { return polls_; }
+
+  /// Time of the most recent Poll (epoch if never polled) — the instant
+  /// the backlog/lag gauges were last published.
+  Timestamp last_poll() const { return last_poll_; }
+
+  /// Whether any record has shipped, and the event time of the newest
+  /// shipped record (drives the lag gauge). Exposed so soundness oracles
+  /// can recompute the published lag exactly.
+  bool has_shipped() const { return shipped_anything_; }
+  Timestamp last_shipped_event() const { return last_shipped_event_; }
+
  private:
   [[nodiscard]] Status Apply(const LogRecord& record);
 
@@ -71,8 +91,10 @@ class Sniffer {
   HeartbeatTable* heartbeat_;
   SnifferOptions options_;
   size_t cursor_ = 0;
+  size_t polls_ = 0;
   bool paused_ = false;
   Timestamp next_poll_;
+  Timestamp last_poll_;
 
   // Per-source telemetry (registry-owned; resolved on first Poll).
   Counter* metric_polls_ = nullptr;

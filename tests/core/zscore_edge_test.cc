@@ -1,0 +1,120 @@
+// Regression pins for the z-score outlier split's edge cases (Section
+// 4.3). These are exactly the degenerate populations the hostile-grid
+// scenarios generate constantly (fresh grids where every source is
+// equally stale, single-source relevant sets, two-source sets where no
+// z-score can exceed 1), so their behavior is pinned here once instead
+// of being rediscovered by every scenario failure.
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "core/recency_stats.h"
+
+namespace trac {
+namespace {
+
+SourceRecency SR(const std::string& id, int64_t seconds) {
+  return SourceRecency{id, Timestamp::FromSeconds(seconds)};
+}
+
+TEST(ZscoreEdgeTest, EmptyRelevantSetYieldsEmptyStats) {
+  const RecencyStats stats = ComputeRecencyStats({});
+  EXPECT_TRUE(stats.normal.empty());
+  EXPECT_TRUE(stats.exceptional.empty());
+  EXPECT_FALSE(stats.least_recent.has_value());
+  EXPECT_FALSE(stats.most_recent.has_value());
+  EXPECT_EQ(stats.inconsistency_bound_micros, 0);
+  EXPECT_EQ(stats.mean_micros, 0.0);
+  EXPECT_EQ(stats.stddev_micros, 0.0);
+}
+
+TEST(ZscoreEdgeTest, SingleSourceIsNormalWithZeroBound) {
+  const RecencyStats stats = ComputeRecencyStats({SR("m1", 1000)});
+  ASSERT_EQ(stats.normal.size(), 1u);
+  EXPECT_TRUE(stats.exceptional.empty());
+  EXPECT_EQ(stats.normal[0].source, "m1");
+  // One source: it is its own least and most recent, and the bound of
+  // inconsistency collapses to zero (the view of one source is always
+  // self-consistent).
+  ASSERT_TRUE(stats.least_recent.has_value());
+  ASSERT_TRUE(stats.most_recent.has_value());
+  EXPECT_EQ(stats.least_recent->source, "m1");
+  EXPECT_EQ(stats.most_recent->source, "m1");
+  EXPECT_EQ(stats.inconsistency_bound_micros, 0);
+  EXPECT_EQ(stats.stddev_micros, 0.0);
+}
+
+TEST(ZscoreEdgeTest, ZeroVarianceNeverMarksExceptional) {
+  // All sources equally stale: stddev is 0, the z-score is undefined,
+  // and *nothing* may be classified exceptional — a division-by-zero
+  // regression here would void the whole outlier split.
+  std::vector<SourceRecency> relevant;
+  for (int i = 0; i < 8; ++i) {
+    relevant.push_back(SR("m" + std::to_string(i), 5000));
+  }
+  const RecencyStats stats = ComputeRecencyStats(relevant);
+  EXPECT_EQ(stats.normal.size(), 8u);
+  EXPECT_TRUE(stats.exceptional.empty());
+  EXPECT_EQ(stats.inconsistency_bound_micros, 0);
+  EXPECT_DOUBLE_EQ(stats.mean_micros,
+                   static_cast<double>(Timestamp::FromSeconds(5000).micros()));
+}
+
+TEST(ZscoreEdgeTest, TwoSourcesCanNeverBeExceptional) {
+  // With n = 2 each |z| is exactly 1 regardless of the gap — even a
+  // month of divergence stays "normal" and lands in the bound instead.
+  const RecencyStats stats = ComputeRecencyStats(
+      {SR("m1", 0), SR("m2", 30 * 24 * 3600)});
+  EXPECT_EQ(stats.normal.size(), 2u);
+  EXPECT_TRUE(stats.exceptional.empty());
+  EXPECT_EQ(stats.inconsistency_bound_micros,
+            30 * 24 * 3600 * Timestamp::kMicrosPerSecond);
+}
+
+TEST(ZscoreEdgeTest, ThresholdIsStrictlyGreaterThan) {
+  // Nine sources at 0, one at d: z of the outlier is 3 exactly when
+  // n = 10 (z = (d - d/10) / (d * 3/10) = 3). Strict ">" keeps it
+  // normal; only crossing the threshold flips it.
+  std::vector<SourceRecency> relevant;
+  for (int i = 0; i < 9; ++i) {
+    relevant.push_back(SR("m" + std::to_string(i), 0));
+  }
+  relevant.push_back(SR("m9", 1000));
+  const RecencyStats at_threshold = ComputeRecencyStats(relevant);
+  EXPECT_EQ(at_threshold.normal.size(), 10u)
+      << "|z| == threshold must stay normal (strict comparison)";
+  EXPECT_TRUE(at_threshold.exceptional.empty());
+
+  // Lowering the threshold just below 3 flips exactly the outlier.
+  RecencyStatsOptions options;
+  options.zscore_threshold = 2.999;
+  const RecencyStats crossed = ComputeRecencyStats(relevant, options);
+  EXPECT_EQ(crossed.normal.size(), 9u);
+  ASSERT_EQ(crossed.exceptional.size(), 1u);
+  EXPECT_EQ(crossed.exceptional[0].source, "m9");
+  // The bound is computed over the remaining normal sources only.
+  EXPECT_EQ(crossed.inconsistency_bound_micros, 0);
+}
+
+TEST(ZscoreEdgeTest, AllEquallyStaleButOneFreshPair) {
+  // A grid after a long outage: most sources pinned at one old
+  // timestamp, two that kept reporting. The fresh pair must not drag
+  // the stale majority into "exceptional" (they ARE the population).
+  std::vector<SourceRecency> relevant;
+  for (int i = 0; i < 20; ++i) {
+    relevant.push_back(SR("stale" + std::to_string(i), 1000));
+  }
+  relevant.push_back(SR("fresh_a", 4000));
+  relevant.push_back(SR("fresh_b", 4100));
+  const RecencyStats stats = ComputeRecencyStats(relevant);
+  for (const SourceRecency& sr : stats.exceptional) {
+    EXPECT_NE(sr.source.substr(0, 5), "stale")
+        << "the majority population can never be the outlier";
+  }
+  // The bound always spans the normal set's true extremes.
+  ASSERT_TRUE(stats.least_recent.has_value());
+  EXPECT_EQ(stats.least_recent->recency, Timestamp::FromSeconds(1000));
+}
+
+}  // namespace
+}  // namespace trac

@@ -75,10 +75,14 @@ TEST_F(FailureTest, LongOutageThenRecoveryShowsInTheReport) {
     TRAC_ASSERT_OK(grid_->EnableAutoHeartbeat(
         id, 2 * Timestamp::kMicrosPerMinute));
   }
-  // s1 goes dark after 10 minutes; the others stay healthy for 2 days.
+  // s1 goes dark after 10 minutes; the others stay healthy for two more
+  // hours. Entirely simulated time: the outage length only needs to
+  // dwarf the 2-minute heartbeat cadence (with 12-at-fresh + 1-stale the
+  // outlier's |z| converges to sqrt(12) ~ 3.46 once the outage dominates
+  // the healthy jitter), so the test is identical under TSan or load.
   TRAC_ASSERT_OK(grid_->RunUntil(Ts("2006-03-15 09:10:00")));
   TRAC_ASSERT_OK(grid_->SetPaused("s1", true));
-  TRAC_ASSERT_OK(grid_->RunUntil(Ts("2006-03-17 09:00:00")));
+  TRAC_ASSERT_OK(grid_->RunUntil(Ts("2006-03-15 11:00:00")));
 
   Session session(&db_);
   RecencyReporter reporter(&db_, &session);
@@ -94,7 +98,7 @@ TEST_F(FailureTest, LongOutageThenRecoveryShowsInTheReport) {
   // Recovery: the backlogged heartbeats ship and s1 rejoins the normal
   // set.
   TRAC_ASSERT_OK(grid_->SetPaused("s1", false));
-  TRAC_ASSERT_OK(grid_->RunUntil(Ts("2006-03-17 09:10:00")));
+  TRAC_ASSERT_OK(grid_->RunUntil(Ts("2006-03-15 11:10:00")));
   TRAC_ASSERT_OK_AND_ASSIGN(RecencyReport after,
                             reporter.Run("SELECT COUNT(*) FROM events"));
   EXPECT_TRUE(after.stats.exceptional.empty());
@@ -106,34 +110,56 @@ TEST(ConcurrencyTest, ReportsStayConsistentUnderConcurrentWrites) {
   RecencyReportOptions options;
   options.create_temp_tables = false;
 
-  std::atomic<bool> stop{false};
+  // Bounded writer: a fixed number of committed inserts, so the test's
+  // length is set by work done, not by wall-clock time — TSan can slow
+  // both threads arbitrarily and the interleaving stays interesting
+  // while termination stays deterministic.
+  constexpr int kWrites = 1500;
+  // event_time carries a finite domain in the fixture, so the writer
+  // must stay inside it or every insert is silently rejected (which
+  // would turn this test into a no-op — it happened once).
+  const Timestamp domain_times[] = {
+      Ts("2006-03-11 20:37:46"), Ts("2006-02-10 18:22:01"),
+      Ts("2006-03-12 10:23:05"), Ts("2006-03-12 23:20:06"),
+      Ts("2006-02-10 03:34:21")};
+  std::atomic<int> written{0};
+  std::atomic<int> insert_failures{0};
   std::thread writer([&]() {
-    int i = 0;
-    while (!stop.load(std::memory_order_acquire)) {
-      // Keep adding idle rows for m1; each is a separate commit.
-      (void)fixture.db.Insert(
-          "activity",
-          {Value::Str("m1"), Value::Str("idle"),
-           Value::Ts(Timestamp::FromSeconds(1142432405 + (i++ % 5)))});
+    for (int i = 0; i < kWrites; ++i) {
+      // Each idle row for m1 is a separate commit.
+      if (!fixture.db
+               .Insert("activity", {Value::Str("m1"), Value::Str("idle"),
+                                    Value::Ts(domain_times[i % 5])})
+               .ok()) {
+        insert_failures.fetch_add(1, std::memory_order_relaxed);
+      }
+      written.fetch_add(1, std::memory_order_release);
     }
   });
 
-  for (int round = 0; round < 200; ++round) {
-    auto report = reporter.Run(
-        "SELECT COUNT(*) FROM activity WHERE mach_id IN ('m1','m2') AND "
-        "value = 'idle'",
-        options);
+  const char* kSql =
+      "SELECT COUNT(*) FROM activity WHERE mach_id IN ('m1','m2') AND "
+      "value = 'idle'";
+  int64_t last = 0;
+  // Race reports against the writer until it finishes (at least once).
+  do {
+    auto report = reporter.Run(kSql, options);
     ASSERT_TRUE(report.ok()) << report.status();
     // The relevant set is predicate-determined, immune to the writes.
     ASSERT_EQ(report->relevance.sources.size(), 2u);
     // The count only ever grows between reports (snapshots are
     // monotone), and both report pieces came from one snapshot.
-    static int64_t last = 0;
     EXPECT_GE(report->result.count(), last);
     last = report->result.count();
-  }
-  stop.store(true, std::memory_order_release);
+  } while (written.load(std::memory_order_acquire) < kWrites);
   writer.join();
+  EXPECT_EQ(insert_failures.load(std::memory_order_relaxed), 0);
+
+  // With the writer joined, one more report must see every commit.
+  auto final_report = reporter.Run(kSql, options);
+  ASSERT_TRUE(final_report.ok()) << final_report.status();
+  EXPECT_GE(final_report->result.count(), last);
+  EXPECT_GE(final_report->result.count(), kWrites);
 }
 
 }  // namespace
