@@ -6,7 +6,9 @@
 #   3. run trac_analyze over the examples/queries corpus and trac_verify
 #      over the examples/plans corpus (clean corpus
 #      must stay EXACT_MINIMUM and match its goldens; the seeded-bad
-#      corpus must match its degraded-verdict goldens),
+#      corpus must match its degraded-verdict goldens), including the
+#      --absint goldens, and leave machine-readable findings in
+#      findings/ for CI to archive,
 #   4. run trac_top against its golden dashboard (deterministic clock)
 #      and a bench --json smoke run that leaves BENCH_*.json records
 #      in bench-json/ for CI to archive,
@@ -51,6 +53,19 @@ echo "==> trac_verify examples/plans/ + examples/queries/"
   examples/queries/q*.sql
 ./build/tools/trac_verify --golden examples/plans/golden/bad \
   --dump-ir --expect-findings examples/plans/bad/bad_*.ir
+
+echo "==> trac_verify --absint (abstract-interpretation goldens)"
+./build/tools/trac_verify --schema examples/plans/schema.sql \
+  --golden examples/plans/golden/absint --dump-absint \
+  examples/queries/q*.sql
+./build/tools/trac_verify --golden examples/plans/golden/bad/absint \
+  --dump-ir --absint --expect-findings examples/plans/bad/absint/bad_*.ir
+# Machine-readable findings over both seeded-bad corpora; CI uploads
+# the file as an artifact.
+mkdir -p findings
+./build/tools/trac_verify --json --absint --expect-findings \
+  examples/plans/bad/bad_*.ir examples/plans/bad/absint/bad_*.ir \
+  > findings/trac_verify_findings.json
 
 echo "==> trac_top examples/telemetry/ (golden dashboard)"
 ./build/tools/trac_top --golden examples/telemetry/trac_top.txt
@@ -97,6 +112,18 @@ TRAC_SCENARIO_SOURCES=1000 \
 TRAC_SCENARIO_REPRO_DIR="$PWD/scenario-repro" \
 ctest --preset tsan -R \
   'scenario_scenario_property_test|scenario_scenario_test|telemetry_fault_telemetry_test|monitor_failure_test' \
+  --output-on-failure
+
+echo "==> absint unit + property suites under UBSan"
+# The abstract interpreter's interval arithmetic is exactly the kind of
+# code UB hides in (saturating adds/muls near the uint64 edge); run its
+# suites with -fno-sanitize-recover so any overflow fails loudly.
+cmake --preset ubsan
+cmake --build --preset ubsan -j"$(nproc)" \
+  --target absint_absint_test property_absint_property_test \
+  --target verify_verifier_determinism_test
+ctest --preset ubsan -R \
+  'absint_absint_test|property_absint_property_test|verify_verifier_determinism_test' \
   --output-on-failure
 
 if [[ "$run_tidy" -eq 1 ]]; then

@@ -1,5 +1,6 @@
 #include "core/recency_reporter.h"
 
+#include "absint/absint.h"
 #include "common/dcheck.h"
 #include "expr/binder.h"
 #include "verify/verifier.h"
@@ -7,6 +8,40 @@
 namespace trac {
 
 namespace {
+
+/// Static bounds read off the session IR's fixpoint facts: the
+/// staleness hull at the report node and the source-cardinality
+/// interval at the session merge. `computed` stays false when the
+/// fixpoint carries no age facts (nothing sound to promise).
+struct StaticBounds {
+  bool computed = false;
+  int64_t staleness_width_micros = 0;
+  uint64_t sources_lo = 0;
+  uint64_t sources_hi = 0;
+  bool sources_unbounded = false;
+};
+
+void ReadStaticBounds(const PlanIr& ir, StaticBounds* bounds) {
+  const absint::AbsintResult res = absint::AnalyzeIr(ir);
+  if (!res.converged) return;
+  const IrNode* merge = nullptr;
+  const IrNode* report = nullptr;
+  for (const IrNode& n : ir.nodes) {
+    if (n.kind == IrNodeKind::kMerge) merge = &n;
+    if (n.kind == IrNodeKind::kReport) report = &n;
+  }
+  if (report == nullptr || res.facts[report->id].staleness.bottom) return;
+  bounds->computed = true;
+  bounds->staleness_width_micros = res.facts[report->id].staleness.Width();
+  if (merge != nullptr) {
+    const absint::CardInterval& card = res.facts[merge->id].card;
+    bounds->sources_lo = card.lo;
+    bounds->sources_hi = card.hi;
+    bounds->sources_unbounded = card.unbounded;
+  } else {
+    bounds->sources_unbounded = true;
+  }
+}
 
 /// Lowers everything this report session is about to execute — the user
 /// plan, every recency part (with its guard queries and the shard
@@ -21,7 +56,8 @@ namespace {
                                          const RecencyQueryPlan& plan,
                                          Snapshot snapshot,
                                          const RecencyReportOptions& options,
-                                         const PlanningHints& hints) {
+                                         const PlanningHints& hints,
+                                         StaticBounds* bounds) {
   TRAC_ASSIGN_OR_RETURN(QueryPlan user_plan,
                         PlanQuery(db, user_query, snapshot, hints));
   // Plan storage is sized up front so the pointers taken below stay
@@ -63,8 +99,10 @@ namespace {
   }
   LowerOptions lower;
   lower.heartbeat_table = options.relevance.heartbeat_table;
-  const Status verified = VerifyReportSession(db, input, lower);
+  const PlanIr ir = LowerReportSession(db, input, lower);
+  const Status verified = VerifyIrStatus(ir);
   TRAC_DCHECK(verified.ok(), verified.message().c_str());
+  if (verified.ok() && bounds != nullptr) ReadStaticBounds(ir, bounds);
   return verified;
 }
 
@@ -182,9 +220,16 @@ Result<RecencyReport> RecencyReporter::Finish(
   // Gate the whole session on the static verifier before anything runs:
   // hard error with invariants armed, Status in release.
   TraceSpan verify_span(tel.tracer, tel.clock, "verify", trace_id, root.id());
-  const Status verified = VerifyFinishSession(*db_, session_, user_query,
-                                              plan, snapshot, options, hints);
+  StaticBounds static_bounds;
+  const Status verified =
+      VerifyFinishSession(*db_, session_, user_query, plan, snapshot, options,
+                          hints, &static_bounds);
   verify_span.End();
+  report.static_bounds_computed = static_bounds.computed;
+  report.static_staleness_width_micros = static_bounds.staleness_width_micros;
+  report.static_sources_lo = static_bounds.sources_lo;
+  report.static_sources_hi = static_bounds.sources_hi;
+  report.static_sources_unbounded = static_bounds.sources_unbounded;
   tel.metrics
       ->GetCounter("trac_verify_sessions_total",
                    "Report sessions gated by the static plan-IR verifier",

@@ -64,6 +64,20 @@ struct RecencyReport {
   std::vector<int64_t> relevance_task_micros;  ///< Wall time per task.
   int64_t relevance_busy_micros = 0;       ///< Sum over tasks.
 
+  /// Static bounds from the abstract interpretation of the session IR
+  /// (absint/absint.h), filled by the verify gate before anything runs.
+  /// When computed, they are sound over-approximations of the runtime
+  /// report: the static staleness width dominates the observed bound of
+  /// inconsistency, and the static source-cardinality interval contains
+  /// the relevant-source count (the scenario-harness oracle asserts
+  /// both). Not computed when the fixpoint lacked age facts (e.g. an
+  /// empty registry) — check `static_bounds_computed` first.
+  bool static_bounds_computed = false;
+  int64_t static_staleness_width_micros = 0;
+  uint64_t static_sources_lo = 0;
+  uint64_t static_sources_hi = 0;
+  bool static_sources_unbounded = false;
+
   /// The report's span tree in the tracer
   /// (Tracer::DumpTraceJson(trace_id) renders it).
   uint64_t trace_id = 0;

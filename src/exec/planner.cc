@@ -84,6 +84,13 @@ bool IsColumnLiteralEq(const BoundExpr& e, size_t rel,
       }
     }
   }
+  // Dead-subplan short-circuit from the abstract interpreter: a
+  // provably-empty static cardinality interval (computed at this same
+  // snapshot — see the PlanningHints contract) means no scan can
+  // contribute a row, so execution can skip storage entirely.
+  if (hints.static_card != nullptr && hints.static_card->DefinitelyEmpty()) {
+    plan.provably_empty = true;
+  }
 
   // Split the WHERE clause into top-level AND units.
   std::vector<PredUnit> units;

@@ -1,5 +1,7 @@
 #include "ir/lower.h"
 
+#include <algorithm>
+
 #include "common/str_util.h"
 
 namespace trac {
@@ -48,11 +50,134 @@ ColumnProvenance ProvenanceOf(const Database& db, TableId table_id, size_t col,
   return ColumnProvenance::kRegular;
 }
 
+/// The Heartbeat registry's visible recency range at one snapshot: the
+/// catalog-declared source ages every monitored read inherits. Computed
+/// once per lowering (a single registry scan) and stamped onto scans as
+/// the `age=` annotation seeding the staleness interval domain.
+struct AgeRange {
+  bool known = false;
+  int64_t lo = 0;
+  int64_t hi = 0;
+};
+
+AgeRange HeartbeatAgeRange(const Database& db, Snapshot snapshot,
+                           const LowerOptions& options) {
+  AgeRange r;
+  if (options.heartbeat_table.empty()) return r;
+  Result<TableId> id = db.catalog().GetTableId(options.heartbeat_table);
+  if (!id.ok()) return r;
+  const TableSchema& schema = db.catalog().schema(*id);
+  size_t recency_col = schema.num_columns();
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    if (EqualsIgnoreCaseAscii(schema.column(c).name, "recency_timestamp")) {
+      recency_col = c;
+      break;
+    }
+  }
+  if (recency_col == schema.num_columns()) return r;
+  const Table* table = db.GetTable(*id);
+  if (table == nullptr) return r;
+  table->Scan(snapshot, [&](size_t, const Row& row) {
+    const Value& v = row[recency_col];
+    if (v.is_null() || v.type() != TypeId::kTimestamp) return;
+    const int64_t us = v.ts_val().micros();
+    if (!r.known) {
+      r.known = true;
+      r.lo = r.hi = us;
+      return;
+    }
+    r.lo = std::min(r.lo, us);
+    r.hi = std::max(r.hi, us);
+  });
+  return r;
+}
+
+/// True when a scan of `table_id` inherits the registry's age range:
+/// the registry itself, or any relation with a declared data-source
+/// column (its tuples are attributed to registered sources).
+bool ScanCarriesAge(const Database& db, TableId table_id,
+                    const LowerOptions& options) {
+  const TableSchema& schema = db.catalog().schema(table_id);
+  if (!options.heartbeat_table.empty() &&
+      EqualsIgnoreCaseAscii(schema.name(), options.heartbeat_table)) {
+    return true;
+  }
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    if (schema.IsDataSourceColumn(c)) return true;
+  }
+  return false;
+}
+
+void AnnotateScan(IrNode* scan, const Database& db, TableId table_id,
+                  const AgeRange& age, const LowerOptions& options) {
+  if (const Table* table = db.GetTable(table_id); table != nullptr) {
+    scan->has_rows = true;
+    scan->rows = table->num_versions();
+  }
+  if (age.known && ScanCarriesAge(db, table_id, options)) {
+    scan->has_age = true;
+    scan->age_lo = age.lo;
+    scan->age_hi = age.hi;
+  }
+}
+
+/// FNV-1a 64 over the canonical SQL renderings of a predicate
+/// conjunction, sorted and joined with " AND " so that conjunct order
+/// never changes the identity (TRAC-V007 compares these fingerprints).
+uint64_t PredFingerprint(const Database& db, const BoundQuery& query,
+                         const std::vector<const BoundExpr*>& preds) {
+  std::vector<std::string> terms;
+  terms.reserve(preds.size());
+  for (const BoundExpr* p : preds) {
+    if (p != nullptr) terms.push_back(query.ExprToSql(db, *p));
+  }
+  std::sort(terms.begin(), terms.end());
+  std::string joined;
+  for (size_t i = 0; i < terms.size(); ++i) {
+    if (i != 0) joined += " AND ";
+    joined += terms[i];
+  }
+  uint64_t h = 14695981039346656037ull;
+  for (char c : joined) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void AnnotateFilter(IrNode* filter, const Database& db,
+                    const BoundQuery& query,
+                    const std::vector<const BoundExpr*>& preds) {
+  if (preds.empty()) return;
+  filter->has_pred = true;
+  filter->pred_fingerprint = PredFingerprint(db, query, preds);
+}
+
+/// The declared data-source universe of a relevant-source temp: the
+/// registry plus every relation with a data-source column (including
+/// earlier session temps, whose source columns are re-consumed), sorted.
+/// TRAC-V008 checks the temp write's inferred provenance against it.
+std::vector<std::string> DeclaredSourceUniverse(const Database& db,
+                                                const LowerOptions& options) {
+  std::vector<std::string> out;
+  for (const std::string& name : db.catalog().TableNames()) {
+    Result<TableId> id = db.catalog().GetTableId(name);
+    if (!id.ok()) continue;
+    if (ScanCarriesAge(db, *id, options)) {
+      out.push_back(db.catalog().schema(*id).name());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
 /// Lowers one planned query into `ir` and returns the root node id.
 /// `generated` marks every emitted node as recency machinery.
 size_t LowerQueryInto(PlanIr* ir, const Database& db, const BoundQuery& query,
                       const QueryPlan& plan, Snapshot snapshot,
-                      const LowerOptions& options, bool generated) {
+                      const LowerOptions& options, bool generated,
+                      const AgeRange& age) {
   size_t top = 0;
   std::vector<IrColumn> top_cols;
   for (size_t i = 0; i < plan.levels.size(); ++i) {
@@ -69,6 +194,7 @@ size_t LowerQueryInto(PlanIr* ir, const Database& db, const BoundQuery& query,
       // plan; in-session defs are modeled by LowerReportSession instead.
       scan.preexisting_temp = true;
     }
+    AnnotateScan(&scan, db, rel.table_id, age, options);
     for (size_t c = 0; c < schema.num_columns(); ++c) {
       scan.columns.push_back(
           IrColumn{rel.display_name + "." + schema.column(c).name,
@@ -82,6 +208,7 @@ size_t LowerQueryInto(PlanIr* ir, const Database& db, const BoundQuery& query,
       filter.generated = generated;
       filter.inputs.push_back(level_top);
       filter.columns = level_cols;
+      AnnotateFilter(&filter, db, query, level.local_preds);
       level_top = filter.id;
     }
 
@@ -114,6 +241,7 @@ size_t LowerQueryInto(PlanIr* ir, const Database& db, const BoundQuery& query,
       filter.generated = generated;
       filter.inputs.push_back(top);
       filter.columns = top_cols;
+      AnnotateFilter(&filter, db, query, level.level_preds);
       top = filter.id;
     }
   }
@@ -125,6 +253,11 @@ size_t LowerQueryInto(PlanIr* ir, const Database& db, const BoundQuery& query,
       filter.inputs.push_back(top);
     }
     filter.columns = top_cols;
+    // The guarantee analyzer refuted the predicate over the declared
+    // domains (TRAC-E001): selectivity is statically zero, which is
+    // what seeds the dead-subplan propagation (TRAC-V006).
+    filter.sel_zero = plan.provably_empty;
+    AnnotateFilter(&filter, db, query, plan.constant_preds);
     top = filter.id;
   }
 
@@ -157,7 +290,9 @@ PlanIr LowerQueryPlan(const Database& db, const BoundQuery& query,
                       const LowerOptions& options) {
   PlanIr ir;
   ir.label = "query";
-  LowerQueryInto(&ir, db, query, plan, snapshot, options, /*generated=*/false);
+  const AgeRange age = HeartbeatAgeRange(db, snapshot, options);
+  LowerQueryInto(&ir, db, query, plan, snapshot, options, /*generated=*/false,
+                 age);
   return ir;
 }
 
@@ -165,11 +300,12 @@ PlanIr LowerReportSession(const Database& db, const ReportSessionInput& input,
                           const LowerOptions& options) {
   PlanIr ir;
   ir.label = "report_session";
+  const AgeRange age = HeartbeatAgeRange(db, input.snapshot, options);
 
   // 1. The user query (not generated machinery).
   const size_t user_top =
       LowerQueryInto(&ir, db, *input.user_query, *input.user_plan,
-                     input.snapshot, options, /*generated=*/false);
+                     input.snapshot, options, /*generated=*/false, age);
 
   // 2. Every recency part: sharded heartbeat scans, or the part's plan
   // subgraph, gated by its guard subgraphs.
@@ -202,6 +338,7 @@ PlanIr LowerReportSession(const Database& db, const ReportSessionInput& input,
                            schema.column(c).name,
                        ProvenanceOf(db, q.relations[0].table_id, c, options)});
         }
+        AnnotateScan(&scan, db, q.relations[0].table_id, age, options);
         part_tops.push_back(scan.id);
       }
       continue;
@@ -210,12 +347,12 @@ PlanIr LowerReportSession(const Database& db, const ReportSessionInput& input,
     // first (IR node order is execution order).
     std::vector<size_t> guard_tops;
     for (size_t g = 0; g < part.guard_queries.size(); ++g) {
-      guard_tops.push_back(
-          LowerQueryInto(&ir, db, *part.guard_queries[g], *part.guard_plans[g],
-                         input.snapshot, options, /*generated=*/true));
+      guard_tops.push_back(LowerQueryInto(
+          &ir, db, *part.guard_queries[g], *part.guard_plans[g],
+          input.snapshot, options, /*generated=*/true, age));
     }
     size_t part_top = LowerQueryInto(&ir, db, q, *part.plan, input.snapshot,
-                                     options, /*generated=*/true);
+                                     options, /*generated=*/true, age);
     if (!guard_tops.empty()) {
       // The part's rows flow only if every guard is non-empty, modeled
       // as a gating filter fed by the part and the guard roots.
@@ -248,6 +385,7 @@ PlanIr LowerReportSession(const Database& db, const ReportSessionInput& input,
   const size_t merge_id = merge.id;
 
   // 4. Temp-table writes (sys_temp_a*/sys_temp_e*).
+  const std::vector<std::string> declared = DeclaredSourceUniverse(db, options);
   std::vector<size_t> report_inputs = {user_top};
   for (const std::string& name : input.temp_writes) {
     IrNode& write = ir.Add(IrNodeKind::kTempWrite);
@@ -256,6 +394,7 @@ PlanIr LowerReportSession(const Database& db, const ReportSessionInput& input,
     write.table = name;
     write.session = input.session;
     write.columns = ir.nodes[merge_id].columns;
+    write.declared_sources = declared;
     report_inputs.push_back(write.id);
   }
   if (input.temp_writes.empty()) report_inputs.push_back(merge_id);
@@ -264,6 +403,13 @@ PlanIr LowerReportSession(const Database& db, const ReportSessionInput& input,
   IrNode& report = ir.Add(IrNodeKind::kReport);
   report.generated = true;
   report.inputs = std::move(report_inputs);
+  if (age.known) {
+    // The NOTICE promise: the bound of inconsistency cannot exceed the
+    // registry's full recency spread at this snapshot. The static
+    // staleness hull reaching this node must fit inside it (TRAC-V005).
+    report.has_bound = true;
+    report.notice_bound_micros = age.hi - age.lo;
+  }
   return ir;
 }
 

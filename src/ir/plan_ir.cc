@@ -48,6 +48,34 @@ std::vector<std::string> SplitOn(std::string_view s, char sep) {
   return v;
 }
 
+std::string HexU64(uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (size_t i = 0; i < 16; ++i) {
+    out[15 - i] = digits[(v >> (i * 4)) & 0xF];
+  }
+  return out;
+}
+
+[[nodiscard]] Result<uint64_t> ParseHex64(std::string_view s) {
+  if (s.empty() || s.size() > 16) {
+    return Status::ParseError("bad hex number '" + std::string(s) + "'");
+  }
+  uint64_t v = 0;
+  for (char c : s) {
+    uint64_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<uint64_t>(c - 'a') + 10;
+    } else {
+      return Status::ParseError("bad hex number '" + std::string(s) + "'");
+    }
+    v = (v << 4) | digit;
+  }
+  return v;
+}
+
 }  // namespace
 
 std::string_view IrNodeKindToString(IrNodeKind kind) {
@@ -103,6 +131,15 @@ std::string PlanIr::Dump() const {
                std::to_string(n.num_shards);
       }
       if (n.preexisting_temp) out += " pre";
+      if (n.has_rows) out += " rows=" + std::to_string(n.rows);
+      if (n.has_age) {
+        out += " age=" + std::to_string(n.age_lo) + ".." +
+               std::to_string(n.age_hi);
+      }
+    }
+    if (n.kind == IrNodeKind::kFilter) {
+      if (n.sel_zero) out += " sel=zero";
+      if (n.has_pred) out += " pred=" + HexU64(n.pred_fingerprint);
     }
     if (!n.keys.empty()) {
       out += " key=";
@@ -123,9 +160,19 @@ std::string PlanIr::Dump() const {
         out += ProvenanceChar(n.aggs[i].arg);
       }
     }
+    if (!n.declared_sources.empty()) {
+      out += " src=";
+      for (size_t i = 0; i < n.declared_sources.size(); ++i) {
+        if (i != 0) out += ',';
+        out += n.declared_sources[i];
+      }
+    }
     if (n.set_merge) out += " set";
     if (n.sorted) out += " sorted";
     if (n.session != 0) out += " session=" + std::to_string(n.session);
+    if (n.has_bound) {
+      out += " bound=" + std::to_string(n.notice_bound_micros);
+    }
     if (n.generated) out += " gen";
     if (!n.columns.empty()) {
       out += " cols=";
@@ -233,6 +280,34 @@ std::string PlanIr::Dump() const {
         node.num_shards = n;
       } else if (key == "pre") {
         node.preexisting_temp = true;
+      } else if (key == "rows") {
+        TRAC_ASSIGN_OR_RETURN(node.rows, ParseU64(value));
+        node.has_rows = true;
+      } else if (key == "age") {
+        const size_t dots = value.find("..");
+        if (dots == std::string::npos) return err("want age=<lo>..<hi>");
+        TRAC_ASSIGN_OR_RETURN(uint64_t lo,
+                              ParseU64(value.substr(0, dots)));
+        TRAC_ASSIGN_OR_RETURN(uint64_t hi, ParseU64(value.substr(dots + 2)));
+        if (lo > hi) return err("age interval has lo > hi");
+        node.age_lo = static_cast<int64_t>(lo);
+        node.age_hi = static_cast<int64_t>(hi);
+        node.has_age = true;
+      } else if (key == "sel") {
+        if (value != "zero") return err("want sel=zero");
+        node.sel_zero = true;
+      } else if (key == "pred") {
+        TRAC_ASSIGN_OR_RETURN(node.pred_fingerprint, ParseHex64(value));
+        node.has_pred = true;
+      } else if (key == "src") {
+        for (std::string& piece : SplitOn(value, ',')) {
+          if (piece.empty()) return err("want src=<table>,...");
+          node.declared_sources.push_back(std::move(piece));
+        }
+      } else if (key == "bound") {
+        TRAC_ASSIGN_OR_RETURN(uint64_t bound, ParseU64(value));
+        node.notice_bound_micros = static_cast<int64_t>(bound);
+        node.has_bound = true;
       } else if (key == "key") {
         for (std::string piece : SplitOn(value, ',')) {
           IrNode::JoinKey jk;

@@ -67,6 +67,29 @@ struct IrNode {
   /// table already existed when the plan was lowered); exempt from the
   /// in-plan def-before-use rule.
   bool preexisting_temp = false;
+  /// kScan: published row-version count of the table at lowering time —
+  /// an upper bound on the rows any snapshot read can see (MVCC versions
+  /// only grow). Absent (`has_rows` false) = unknown cardinality.
+  bool has_rows = false;
+  uint64_t rows = 0;
+  /// kScan: catalog-declared source-age interval of the data this scan
+  /// can produce, in recency-timestamp microseconds [age_lo, age_hi]
+  /// (from the Heartbeat registry at lowering time). Absent = unknown;
+  /// the staleness domain treats it as bottom.
+  bool has_age = false;
+  int64_t age_lo = 0;
+  int64_t age_hi = 0;
+
+  // -- kFilter: static selectivity/identity annotations.
+  /// The predicate was statically proven unsatisfiable (TRAC-E001):
+  /// selectivity is exactly zero and the subplan below is dead.
+  bool sel_zero = false;
+  /// 64-bit fingerprint of the filter's rendered predicate conjunction
+  /// (FNV-1a over the sorted canonical SQL terms); 0 + `has_pred` false
+  /// = no predicate annotation. Equal fingerprints on one dataflow path
+  /// mean the same predicate is applied twice (TRAC-V007).
+  bool has_pred = false;
+  uint64_t pred_fingerprint = 0;
 
   // -- kJoin: provenance classes of each equi-key pair.
   struct JoinKey {
@@ -99,6 +122,18 @@ struct IrNode {
 
   // -- kScan (temp) / kTempWrite: owning session id; 0 = no session.
   uint64_t session = 0;
+
+  /// kTempWrite: the declared data-source universe of a relevant-source
+  /// temp (the monitored tables plus the Heartbeat registry, sorted).
+  /// The abstract interpreter checks the write's inferred column
+  /// provenance against this set (TRAC-V008); empty = undeclared.
+  std::vector<std::string> declared_sources;
+
+  /// kReport: the bound-of-inconsistency width (microseconds) the
+  /// guarantee NOTICE promises. The static staleness interval reaching
+  /// the report must fit inside it (TRAC-V005); absent = no promise.
+  bool has_bound = false;
+  int64_t notice_bound_micros = 0;
 
   /// Node belongs to machine-generated recency machinery (a generated
   /// recency part, its merge, temp writes, the report node) rather than

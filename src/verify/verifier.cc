@@ -1,6 +1,9 @@
 #include "verify/verifier.h"
 
+#include <algorithm>
 #include <map>
+
+#include "absint/absint.h"
 
 namespace trac {
 
@@ -196,6 +199,138 @@ void CheckProvenance(const PlanIr& ir, VerifyReport* report) {
   }
 }
 
+std::string HexFingerprint(uint64_t v) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (size_t i = 0; i < 16; ++i) {
+    out[15 - i] = kHex[(v >> (i * 4)) & 0xf];
+  }
+  return out;
+}
+
+/// TRAC-V005..V008: the semantic rules over the abstract interpreter's
+/// fixpoint facts (absint/absint.h). Only annotated IRs can trip them —
+/// un-annotated corpus files analyze to bottom everywhere and stay
+/// clean, which keeps the rules backward-compatible by construction.
+void CheckAbsint(const PlanIr& ir, VerifyReport* report) {
+  const absint::AbsintResult res = absint::AnalyzeIr(ir);
+  if (!res.converged) return;  // Facts are not a fixpoint; stay silent.
+  for (const IrNode& n : ir.nodes) {
+    const absint::NodeFacts& f = res.facts[n.id];
+
+    // TRAC-V005: the staleness hull reaching the report must fit inside
+    // the NOTICE's promised bound of inconsistency.
+    if (n.kind == IrNodeKind::kReport && n.has_bound &&
+        !f.staleness.bottom && f.staleness.Width() > n.notice_bound_micros) {
+      Report(report, VerifyCode::kNoticeBoundExceeded, n,
+             "static staleness interval " + f.staleness.ToString() +
+                 " has width " + std::to_string(f.staleness.Width()) +
+                 "us, wider than the " +
+                 std::to_string(n.notice_bound_micros) +
+                 "us bound of inconsistency the NOTICE promises");
+    }
+
+    // TRAC-V006: a merge strand gated by a statically refuted predicate
+    // can never contribute rows. Keyed on the dead flag, NOT on an
+    // empty cardinality interval: an empty table is a property of one
+    // snapshot's data, a refuted predicate is a property of the plan.
+    if (n.kind == IrNodeKind::kMerge) {
+      for (size_t in : n.inputs) {
+        if (in < res.facts.size() && res.facts[in].dead) {
+          Report(report, VerifyCode::kDeadMergeInput, n,
+                 "merge input node " + std::to_string(in) +
+                     " is a dead subplan (statically unsatisfiable "
+                     "predicate upstream); the strand can never "
+                     "contribute rows");
+        }
+      }
+    }
+
+    // TRAC-V007: the filter's predicate was already applied on this
+    // dataflow path, on the same provenance set — i.e. against rows of
+    // the same source universe, so the reapplication is a no-op.
+    if (n.kind == IrNodeKind::kFilter && n.has_pred && !n.inputs.empty() &&
+        n.inputs[0] < res.facts.size()) {
+      const absint::NodeFacts& in0 = res.facts[n.inputs[0]];
+      auto it = in0.applied_preds.find(n.pred_fingerprint);
+      if (it != in0.applied_preds.end() && it->second == in0.sources) {
+        Report(report, VerifyCode::kRedundantFilter, n,
+               "predicate " + HexFingerprint(n.pred_fingerprint) +
+                   " was already applied upstream on the same provenance "
+                   "set " + it->second.ToString() +
+                   "; the filter is redundant");
+      }
+    }
+
+    // TRAC-V008: a relevant-source temp write whose inferred provenance
+    // escapes its declared source universe. Anchored at the widening
+    // join when one exists on the path: a join whose output provenance
+    // escapes the universe although one of its inputs still fit.
+    if (n.kind == IrNodeKind::kTempWrite && !n.declared_sources.empty()) {
+      absint::SourceSet declared;
+      for (const std::string& s : n.declared_sources) declared.Insert(s);
+      if (!f.sources.SubsetOf(declared)) {
+        const IrNode* anchor = &n;
+        std::vector<bool> seen(ir.nodes.size(), false);
+        std::vector<size_t> stack(n.inputs.begin(), n.inputs.end());
+        while (!stack.empty()) {
+          const size_t id = stack.back();
+          stack.pop_back();
+          if (id >= ir.nodes.size() || seen[id]) continue;
+          seen[id] = true;
+          const IrNode& a = ir.nodes[id];
+          if (a.kind == IrNodeKind::kJoin &&
+              !res.facts[id].sources.SubsetOf(declared)) {
+            bool some_input_fit = false;
+            for (size_t in : a.inputs) {
+              some_input_fit =
+                  some_input_fit || (in < res.facts.size() &&
+                                     res.facts[in].sources.SubsetOf(declared));
+            }
+            if (some_input_fit && (anchor == &n || id < anchor->id)) {
+              anchor = &a;
+            }
+          }
+          stack.insert(stack.end(), a.inputs.begin(), a.inputs.end());
+        }
+        const std::string widened = f.sources.ToString();
+        if (anchor->kind == IrNodeKind::kJoin) {
+          Report(report, VerifyCode::kProvenanceWidening, *anchor,
+                 "join widens the temp write's column provenance to " +
+                     widened + ", beyond the declared source universe " +
+                     declared.ToString() + " of '" + n.table + "'");
+        } else {
+          Report(report, VerifyCode::kProvenanceWidening, n,
+                 "temp write to '" + n.table + "' infers provenance " +
+                     widened + " beyond its declared source universe " +
+                     declared.ToString());
+        }
+      }
+    }
+  }
+}
+
+/// Canonicalizes the finding list: dedupe by (code, node) keeping the
+/// first (most specific) message, then stable-sort by (node, code).
+/// This makes renderings and --json byte-identical regardless of which
+/// pass found what first or what parallelism the plan was built for.
+void CanonicalizeDiagnostics(VerifyReport* report) {
+  std::map<std::pair<size_t, VerifyCode>, size_t> first;
+  std::vector<VerifyDiagnostic> kept;
+  kept.reserve(report->diagnostics.size());
+  for (VerifyDiagnostic& d : report->diagnostics) {
+    if (first.emplace(std::make_pair(d.node, d.code), kept.size()).second) {
+      kept.push_back(std::move(d));
+    }
+  }
+  std::stable_sort(kept.begin(), kept.end(),
+                   [](const VerifyDiagnostic& a, const VerifyDiagnostic& b) {
+                     if (a.node != b.node) return a.node < b.node;
+                     return a.code < b.code;
+                   });
+  report->diagnostics = std::move(kept);
+}
+
 }  // namespace
 
 std::string_view VerifyCodeId(VerifyCode code) {
@@ -211,6 +346,14 @@ std::string_view VerifyCodeId(VerifyCode code) {
       return "TRAC-V003";
     case VerifyCode::kProvenanceLeak:
       return "TRAC-V004";
+    case VerifyCode::kNoticeBoundExceeded:
+      return "TRAC-V005";
+    case VerifyCode::kDeadMergeInput:
+      return "TRAC-V006";
+    case VerifyCode::kRedundantFilter:
+      return "TRAC-V007";
+    case VerifyCode::kProvenanceWidening:
+      return "TRAC-V008";
   }
   return "TRAC-V???";
 }
@@ -235,13 +378,18 @@ std::string VerifyReport::Format(const PlanIr& ir) const {
   return out;
 }
 
-VerifyReport VerifyIr(const PlanIr& ir) {
+VerifyReport VerifyIr(const PlanIr& ir, const VerifyOptions& options) {
   VerifyReport report;
-  if (!CheckStructure(ir, &report)) return report;
+  if (!CheckStructure(ir, &report)) {
+    CanonicalizeDiagnostics(&report);
+    return report;
+  }
   CheckSingleSnapshot(ir, &report);
   CheckTempTables(ir, &report);
   CheckDeterministicMerge(ir, &report);
   CheckProvenance(ir, &report);
+  if (options.absint) CheckAbsint(ir, &report);
+  CanonicalizeDiagnostics(&report);
   return report;
 }
 

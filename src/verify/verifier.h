@@ -31,6 +31,26 @@ namespace trac {
 ///              aggregates (sum/avg) never fold a data-source column;
 ///              generated plans never join a data-source column against
 ///              a regular column.
+///
+/// Rules V005..V008 are semantic: they consume the abstract
+/// interpreter's fixpoint facts (absint/absint.h) instead of the node
+/// structure alone, and fire only on IRs carrying the static
+/// annotations (rows=/age=/sel=/pred=/src=/bound=) the lowering emits:
+///
+///   TRAC-V005  static staleness interval at the report node must fit
+///              inside the bound-of-inconsistency the guarantee NOTICE
+///              promises (`bound=`): a wider hull means the report
+///              would promise more recency than the plan can deliver.
+///   TRAC-V006  dead subplan feeding a merge: a strand gated by a
+///              statically unsatisfiable predicate (`sel=zero`) can
+///              never contribute rows to the rejoin.
+///   TRAC-V007  redundant filter: a predicate fingerprint reapplied on
+///              a dataflow path that already applied it on the same
+///              provenance set.
+///   TRAC-V008  provenance widening: a relevant-source temp write whose
+///              inferred column provenance exceeds its declared source
+///              universe (`src=`), anchored at the widening join when
+///              one is found.
 enum class VerifyCode {
   kMalformedGraph = 0,     ///< TRAC-V000
   kSnapshotMismatch,       ///< TRAC-V001
@@ -38,6 +58,10 @@ enum class VerifyCode {
   kTempSessionEscape,      ///< TRAC-V002
   kNondeterministicMerge,  ///< TRAC-V003
   kProvenanceLeak,         ///< TRAC-V004
+  kNoticeBoundExceeded,    ///< TRAC-V005
+  kDeadMergeInput,         ///< TRAC-V006
+  kRedundantFilter,        ///< TRAC-V007
+  kProvenanceWidening,     ///< TRAC-V008
 };
 
 /// Stable identifier, e.g. "TRAC-V001".
@@ -56,7 +80,10 @@ struct VerifyDiagnostic {
   std::string Format() const;
 };
 
-/// The verifier's result: pass/fail plus every finding.
+/// The verifier's result: pass/fail plus every finding. The diagnostic
+/// list is canonical: deduplicated by (code, node) and stable-sorted by
+/// (node, code), so renderings and --json output are byte-identical
+/// regardless of pass order or the parallelism the plan was built for.
 struct VerifyReport {
   std::vector<VerifyDiagnostic> diagnostics;
 
@@ -66,10 +93,19 @@ struct VerifyReport {
   std::string Format(const PlanIr& ir) const;
 };
 
+struct VerifyOptions {
+  /// Run the abstract interpreter and the semantic rules V005..V008 it
+  /// feeds. On by default so the library gates (VerifyPlan,
+  /// VerifyReportSession) get full checking; trac_verify exposes it as
+  /// the opt-in --absint flag to keep the structural view separable.
+  bool absint = true;
+};
+
 /// Runs the full pass pipeline over `ir`. A TRAC-V000 finding
 /// short-circuits the remaining passes (they assume a well-formed
 /// graph). Never fails as a function — failures are diagnostics.
-VerifyReport VerifyIr(const PlanIr& ir);
+VerifyReport VerifyIr(const PlanIr& ir,
+                      const VerifyOptions& options = VerifyOptions());
 
 /// Convenience gate: verifies and folds any findings into a single
 /// kInternal Status (a rejected plan is a library bug, not user error).

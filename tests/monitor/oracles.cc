@@ -417,6 +417,44 @@ OracleOutcome CheckTrace(const Tracer& tracer, const RecencyReport& report) {
   return out;
 }
 
+OracleOutcome CheckStaticBounds(const RecencyReport& report) {
+  OracleOutcome out;
+  if (!report.static_bounds_computed) {
+    // No age facts reached the fixpoint (e.g. empty registry): there is
+    // nothing sound to compare against, which is itself legitimate.
+    ++out.exemptions;
+    return out;
+  }
+  ++out.checks;
+  if (report.stats.inconsistency_bound_micros >
+      report.static_staleness_width_micros) {
+    Violation(&out,
+              "observed bound of inconsistency " +
+                  std::to_string(report.stats.inconsistency_bound_micros) +
+                  "us exceeds the static staleness width " +
+                  std::to_string(report.static_staleness_width_micros) +
+                  "us; the fixpoint under-approximated");
+  }
+  const uint64_t observed = report.relevance.sources.size();
+  ++out.checks;
+  if (observed < report.static_sources_lo) {
+    Violation(&out, "observed " + std::to_string(observed) +
+                        " relevant sources, below the static minimum " +
+                        std::to_string(report.static_sources_lo));
+  }
+  if (report.static_sources_unbounded) {
+    ++out.exemptions;  // No upper bound to check against.
+  } else {
+    ++out.checks;
+    if (observed > report.static_sources_hi) {
+      Violation(&out, "observed " + std::to_string(observed) +
+                          " relevant sources, above the static maximum " +
+                          std::to_string(report.static_sources_hi));
+    }
+  }
+  return out;
+}
+
 OracleOutcome CheckReport(const ScenarioRunner& runner,
                           const RecencyReport& report,
                           const std::vector<std::string>& true_sources) {
@@ -424,6 +462,7 @@ OracleOutcome CheckReport(const ScenarioRunner& runner,
   out.Merge(CheckBoundDominance(runner, report));
   out.Merge(CheckZscoreAgreement(report.stats));
   out.Merge(CheckGuarantee(report, true_sources));
+  out.Merge(CheckStaticBounds(report));
   return out;
 }
 

@@ -74,8 +74,17 @@ OracleOutcome CheckTelemetry(const ScenarioRunner& runner,
 /// "relevance-task" span parented under the relevance span.
 OracleOutcome CheckTrace(const Tracer& tracer, const RecencyReport& report);
 
-/// Composite: oracles 1-3 for one report (`true_sources` as in
-/// CheckGuarantee).
+/// Oracle — static bounds dominate the runtime report. The abstract
+/// interpreter's facts (computed by the verify gate before anything
+/// ran) must over-approximate what execution then observed: the static
+/// staleness width dominates the reported bound of inconsistency, and
+/// the static source-cardinality interval contains the relevant-source
+/// count. Reports without computed bounds (no age facts reached the
+/// fixpoint, e.g. an empty registry) are counted exempt.
+OracleOutcome CheckStaticBounds(const RecencyReport& report);
+
+/// Composite: oracles 1-3 plus the static-bounds oracle for one report
+/// (`true_sources` as in CheckGuarantee).
 OracleOutcome CheckReport(const ScenarioRunner& runner,
                           const RecencyReport& report,
                           const std::vector<std::string>& true_sources);

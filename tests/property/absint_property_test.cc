@@ -1,0 +1,214 @@
+// Property: the abstract interpreter reaches a fixpoint on every plan
+// we can produce — every checked-in .ir file under examples/plans
+// (including the seeded-bad corpora) and every report-session IR the
+// planner builds for examples/queries at parallelism 1 and 4. On the
+// clean corpus the semantic rules stay silent (no TRAC-V005..V008), and
+// the V005 dominance property holds against the guarantee analyzer's
+// verdict: the static staleness hull at the report node never exceeds
+// the bound-of-inconsistency the NOTICE promises.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "absint/absint.h"
+#include "analysis/guarantee.h"
+#include "core/relevance.h"
+#include "exec/planner.h"
+#include "exec/statement.h"
+#include "expr/binder.h"
+#include "storage/database.h"
+#include "verify/verifier.h"
+
+namespace trac {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string ReadFileOrDie(const fs::path& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Strips full-line `-- comments` and splits on ';' outside strings.
+std::vector<std::string> SqlStatements(const std::string& text) {
+  std::istringstream lines(text);
+  std::string stripped;
+  std::string line;
+  while (std::getline(lines, line)) {
+    const size_t b = line.find_first_not_of(" \t\r");
+    if (b != std::string::npos && line.compare(b, 2, "--") == 0) continue;
+    stripped += line;
+    stripped += '\n';
+  }
+  std::vector<std::string> stmts;
+  std::string current;
+  bool in_string = false;
+  for (char c : stripped) {
+    if (c == '\'') in_string = !in_string;
+    if (c == ';' && !in_string) {
+      stmts.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  stmts.push_back(current);
+  std::vector<std::string> nonempty;
+  for (std::string& s : stmts) {
+    if (s.find_first_not_of(" \t\r\n") != std::string::npos) {
+      nonempty.push_back(std::move(s));
+    }
+  }
+  return nonempty;
+}
+
+bool IsSemanticRule(VerifyCode code) {
+  return code == VerifyCode::kNoticeBoundExceeded ||
+         code == VerifyCode::kDeadMergeInput ||
+         code == VerifyCode::kRedundantFilter ||
+         code == VerifyCode::kProvenanceWidening;
+}
+
+// Every checked-in IR — clean or seeded-bad — must reach a fixpoint;
+// the bad corpora violate rules, not convergence.
+TEST(AbsintCorpusTest, EveryCheckedInPlanIrConverges) {
+  const fs::path root = fs::path(TRAC_EXAMPLES_DIR) / "plans";
+  size_t seen = 0;
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    const fs::path& p = entry.path();
+    if (p.extension() != ".ir") continue;
+    SCOPED_TRACE(p.string());
+    auto ir = ParsePlanIr(ReadFileOrDie(p));
+    ASSERT_TRUE(ir.ok()) << ir.status();
+    const absint::AbsintResult result = absint::AnalyzeIr(*ir);
+    EXPECT_TRUE(result.converged) << result.Dump(*ir);
+    ++seen;
+  }
+  EXPECT_GE(seen, 13u) << "the seeded-bad corpora went missing?";
+}
+
+class AbsintPropertyTest : public ::testing::TestWithParam<size_t> {
+ protected:
+  void SetUp() override {
+    const fs::path schema =
+        fs::path(TRAC_EXAMPLES_DIR) / "plans" / "schema.sql";
+    for (const std::string& stmt : SqlStatements(ReadFileOrDie(schema))) {
+      auto result = ExecuteStatement(&db_, stmt);
+      ASSERT_TRUE(result.ok()) << result.status() << "\n" << stmt;
+    }
+  }
+
+  std::vector<fs::path> CorpusQueries() {
+    std::vector<fs::path> out;
+    const fs::path dir = fs::path(TRAC_EXAMPLES_DIR) / "queries";
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      const fs::path& p = entry.path();
+      if (p.extension() == ".sql" && p.filename().string()[0] == 'q') {
+        out.push_back(p);
+      }
+    }
+    std::sort(out.begin(), out.end());
+    EXPECT_GE(out.size(), 5u) << "corpus went missing?";
+    return out;
+  }
+
+  Database db_;
+};
+
+TEST_P(AbsintPropertyTest, FixpointDominanceAndCleanlinessOnCorpus) {
+  const size_t parallelism = GetParam();
+  for (const fs::path& qpath : CorpusQueries()) {
+    SCOPED_TRACE(qpath.filename().string());
+    const std::vector<std::string> stmts =
+        SqlStatements(ReadFileOrDie(qpath));
+    ASSERT_EQ(stmts.size(), 1u);
+    auto query = BindSql(db_, stmts[0]);
+    ASSERT_TRUE(query.ok()) << query.status();
+
+    auto plan = GenerateRecencyQueries(db_, *query);
+    ASSERT_TRUE(plan.ok()) << plan.status();
+    const Snapshot snapshot = db_.LatestSnapshot();
+    PlanningHints hints;
+    hints.guarantee = &plan->analysis;
+    auto user_plan = PlanQuery(db_, *query, snapshot, hints);
+    ASSERT_TRUE(user_plan.ok()) << user_plan.status();
+
+    std::vector<QueryPlan> part_plans(plan->parts.size());
+    std::vector<std::vector<QueryPlan>> guard_plans(plan->parts.size());
+    ReportSessionInput input;
+    input.user_query = &*query;
+    input.user_plan = &*user_plan;
+    input.snapshot = snapshot;
+    input.session = 1;
+    input.temp_writes = {"sys_temp_a1", "sys_temp_e1"};
+    for (size_t i = 0; i < plan->parts.size(); ++i) {
+      const RecencyQueryPlan::Part& part = plan->parts[i];
+      SessionPartInput in;
+      in.query = &part.query;
+      in.shards = PlannedHeartbeatShards(db_, part, parallelism);
+      if (in.shards == 1) {
+        auto pp = PlanQuery(db_, part.query, snapshot);
+        ASSERT_TRUE(pp.ok()) << pp.status();
+        part_plans[i] = std::move(*pp);
+        in.plan = &part_plans[i];
+        guard_plans[i].resize(part.guards.size());
+        for (size_t g = 0; g < part.guards.size(); ++g) {
+          auto gp = PlanQuery(db_, part.guards[g], snapshot);
+          ASSERT_TRUE(gp.ok()) << gp.status();
+          guard_plans[i][g] = std::move(*gp);
+          in.guard_queries.push_back(&part.guards[g]);
+          in.guard_plans.push_back(&guard_plans[i][g]);
+        }
+      }
+      input.parts.push_back(std::move(in));
+    }
+    LowerOptions lower;
+    lower.heartbeat_table = std::string(HeartbeatTable::kDefaultName);
+    const PlanIr ir = LowerReportSession(db_, input, lower);
+
+    // 1. The fixpoint engine converges on the full session graph.
+    const absint::AbsintResult result = absint::AnalyzeIr(ir);
+    ASSERT_TRUE(result.converged) << ir.Dump();
+
+    // 2. No clean plan trips a semantic rule.
+    const VerifyReport report = VerifyIr(ir);
+    for (const VerifyDiagnostic& d : report.diagnostics) {
+      EXPECT_FALSE(IsSemanticRule(d.code)) << d.Format() << "\n" << ir.Dump();
+    }
+    EXPECT_TRUE(report.ok()) << report.Format(ir);
+
+    // 3. V005 dominance against the guarantee verdict: the corpus
+    // queries all earn EXACT_MINIMUM, the lowering therefore promises a
+    // NOTICE bound, and the static staleness hull reaching the report
+    // node must fit inside it.
+    EXPECT_EQ(plan->analysis.verdict, RecencyGuarantee::kExactMinimum);
+    bool saw_report = false;
+    for (const IrNode& n : ir.nodes) {
+      if (n.kind != IrNodeKind::kReport) continue;
+      saw_report = true;
+      ASSERT_TRUE(n.has_bound)
+          << "registry ages are known, the report must promise a bound";
+      const absint::StalenessInterval& hull = result.facts[n.id].staleness;
+      EXPECT_FALSE(hull.bottom) << "report unreachable from any aged scan?";
+      EXPECT_LE(hull.Width(), n.notice_bound_micros) << ir.Dump();
+    }
+    EXPECT_TRUE(saw_report);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SerialAndParallel, AbsintPropertyTest,
+                         ::testing::Values(1, 4));
+
+}  // namespace
+}  // namespace trac

@@ -1,0 +1,154 @@
+#ifndef TRAC_TOOLS_COMMON_CLI_GOLDEN_H_
+#define TRAC_TOOLS_COMMON_CLI_GOLDEN_H_
+
+// The CLI contract shared by trac_analyze, trac_verify, and
+// trac_scenario: exit codes (0 clean / 1 findings or golden regressions
+// / 2 usage, parse, or I/O errors), corpus-file reading, and the
+// --golden/--update gates. Header-only so the tools stay single-file
+// binaries; included relatively ("../common/cli_golden.h") because
+// tools/ is deliberately not on the include path (a "common/..."
+// include must keep meaning src/common/).
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace trac {
+namespace cli {
+
+/// Everything ran and every gate held.
+constexpr int kExitClean = 0;
+/// Findings, oracle violations, or golden regressions.
+constexpr int kExitFindings = 1;
+/// Usage, parse, or I/O errors.
+constexpr int kExitUsage = 2;
+
+/// Whole file as a string; nullopt-style failure via the bool flag.
+inline bool ReadFile(const std::filesystem::path& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+/// Drops full-line `-- comment` lines so corpus files can be annotated.
+inline std::string StripSqlComments(const std::string& text) {
+  std::istringstream in(text);
+  std::string out;
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t b = line.find_first_not_of(" \t\r");
+    if (b != std::string::npos && line.compare(b, 2, "--") == 0) continue;
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+/// Splits on ';' outside single-quoted strings; empty pieces dropped.
+inline std::vector<std::string> SplitStatements(const std::string& text) {
+  std::vector<std::string> stmts;
+  std::string current;
+  bool in_string = false;
+  for (char c : text) {
+    if (c == '\'') in_string = !in_string;
+    if (c == ';' && !in_string) {
+      stmts.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  stmts.push_back(current);
+  std::vector<std::string> nonempty;
+  for (std::string& s : stmts) {
+    if (s.find_first_not_of(" \t\r\n") != std::string::npos) {
+      nonempty.push_back(std::move(s));
+    }
+  }
+  return nonempty;
+}
+
+/// The per-stem golden gate (trac_analyze/trac_verify style): one
+/// golden file <golden_dir>/<input stem>.txt per corpus file. With
+/// `update` the golden is rewritten; otherwise a missing or differing
+/// golden prints the FAIL diff and downgrades *exit_code to
+/// kExitFindings. Returns false only on a write error (the caller
+/// returns kExitUsage).
+inline bool GateGoldenDir(const char* tool, const std::string& golden_dir,
+                          const std::filesystem::path& input,
+                          const std::string& block, bool update,
+                          int* exit_code) {
+  const std::string name = input.filename().string();
+  const std::filesystem::path golden =
+      std::filesystem::path(golden_dir) / (input.stem().string() + ".txt");
+  if (update) {
+    std::error_code ec;
+    std::filesystem::create_directories(golden.parent_path(), ec);
+    std::ofstream out(golden);
+    if (!out) {
+      std::fprintf(stderr, "%s: cannot write golden: %s\n", tool,
+                   golden.string().c_str());
+      return false;
+    }
+    out << block;
+    std::printf("updated %s\n", golden.string().c_str());
+    return true;
+  }
+  std::string expected;
+  if (!ReadFile(golden, &expected)) {
+    std::printf("FAIL %s: missing golden %s (run with --update)\n",
+                name.c_str(), golden.string().c_str());
+    *exit_code = kExitFindings;
+  } else if (expected != block) {
+    std::printf("FAIL %s: report differs from golden %s\n", name.c_str(),
+                golden.string().c_str());
+    std::printf("--- expected\n%s--- actual\n%s", expected.c_str(),
+                block.c_str());
+    *exit_code = kExitFindings;
+  }
+  return true;
+}
+
+/// The whole-run golden gate (trac_scenario style): the tool's full
+/// output against one file, byte for byte. Returns the exit code to
+/// propagate: kExitClean on match/update, kExitFindings on drift
+/// (echoing the actual output), kExitUsage on I/O errors.
+inline int GateGoldenFile(const char* tool, const std::string& golden_path,
+                          const std::string& out, bool update) {
+  if (update) {
+    std::ofstream f(golden_path, std::ios::binary);
+    if (!f) {
+      std::fprintf(stderr, "%s: cannot write %s\n", tool,
+                   golden_path.c_str());
+      return kExitUsage;
+    }
+    f << out;
+    return kExitClean;
+  }
+  std::string want;
+  if (!ReadFile(golden_path, &want)) {
+    std::fprintf(stderr, "%s: cannot read golden %s\n", tool,
+                 golden_path.c_str());
+    return kExitUsage;
+  }
+  if (want != out) {
+    std::fprintf(stderr,
+                 "%s: output drifted from %s (%zu vs %zu bytes); "
+                 "regenerate with --update\n",
+                 tool, golden_path.c_str(), out.size(), want.size());
+    std::fwrite(out.data(), 1, out.size(), stdout);
+    return kExitFindings;
+  }
+  return kExitClean;
+}
+
+}  // namespace cli
+}  // namespace trac
+
+#endif  // TRAC_TOOLS_COMMON_CLI_GOLDEN_H_

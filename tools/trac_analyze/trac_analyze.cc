@@ -24,15 +24,15 @@
 //                     diagnostic) instead of the text blocks; exit
 //                     codes are unchanged so CI can gate on them
 //
-// Exit status: 0 clean, 1 findings/regressions, 2 usage or I/O errors.
+// Exit status: 0 clean, 1 findings/regressions, 2 usage or I/O errors
+// (the shared contract in tools/common/cli_golden.h).
 
 #include <cstdio>
 #include <filesystem>
-#include <fstream>
-#include <sstream>
 #include <string>
 #include <vector>
 
+#include "../common/cli_golden.h"
 #include "analysis/guarantee.h"
 #include "common/str_util.h"
 #include "exec/statement.h"
@@ -43,60 +43,16 @@ namespace {
 
 namespace fs = std::filesystem;
 
-/// Whole file as a string; nullopt-style failure via the bool flag.
-bool ReadFile(const fs::path& path, std::string* out) {
-  std::ifstream in(path);
-  if (!in) return false;
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  *out = ss.str();
-  return true;
-}
-
-/// Drops full-line `-- comment` lines so corpus files can be annotated.
-std::string StripSqlComments(const std::string& text) {
-  std::istringstream in(text);
-  std::string out;
-  std::string line;
-  while (std::getline(in, line)) {
-    const size_t b = line.find_first_not_of(" \t\r");
-    if (b != std::string::npos && line.compare(b, 2, "--") == 0) continue;
-    out += line;
-    out += '\n';
-  }
-  return out;
-}
-
-/// Splits on ';' outside single-quoted strings; empty pieces dropped.
-std::vector<std::string> SplitStatements(const std::string& text) {
-  std::vector<std::string> stmts;
-  std::string current;
-  bool in_string = false;
-  for (char c : text) {
-    if (c == '\'') in_string = !in_string;
-    if (c == ';' && !in_string) {
-      stmts.push_back(current);
-      current.clear();
-    } else {
-      current += c;
-    }
-  }
-  stmts.push_back(current);
-  std::vector<std::string> nonempty;
-  for (std::string& s : stmts) {
-    if (s.find_first_not_of(" \t\r\n") != std::string::npos) {
-      nonempty.push_back(std::move(s));
-    }
-  }
-  return nonempty;
-}
+using trac::cli::ReadFile;
+using trac::cli::SplitStatements;
+using trac::cli::StripSqlComments;
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --schema <schema.sql> [--golden <dir>] [--update] "
                "[--require-exact] [--json] <query.sql>...\n",
                argv0);
-  return 2;
+  return trac::cli::kExitUsage;
 }
 
 std::string JsonForQuery(const std::string& name, const std::string& sql,
@@ -229,37 +185,13 @@ int main(int argc, char** argv) {
       std::printf("FAIL %s: verdict %s below EXACT_MINIMUM\n", name.c_str(),
                   std::string(trac::GuaranteeToString(report->verdict))
                       .c_str());
-      exit_code = 1;
+      exit_code = trac::cli::kExitFindings;
     }
 
-    if (!golden_dir.empty()) {
-      const fs::path golden =
-          fs::path(golden_dir) / (qpath.stem().string() + ".txt");
-      if (update) {
-        std::error_code ec;
-        fs::create_directories(golden.parent_path(), ec);
-        std::ofstream out(golden);
-        if (!out) {
-          std::fprintf(stderr, "trac_analyze: cannot write golden: %s\n",
-                       golden.string().c_str());
-          return 2;
-        }
-        out << block;
-        std::printf("updated %s\n", golden.string().c_str());
-      } else {
-        std::string expected;
-        if (!ReadFile(golden, &expected)) {
-          std::printf("FAIL %s: missing golden %s (run with --update)\n",
-                      name.c_str(), golden.string().c_str());
-          exit_code = 1;
-        } else if (expected != block) {
-          std::printf("FAIL %s: report differs from golden %s\n",
-                      name.c_str(), golden.string().c_str());
-          std::printf("--- expected\n%s--- actual\n%s", expected.c_str(),
-                      block.c_str());
-          exit_code = 1;
-        }
-      }
+    if (!golden_dir.empty() &&
+        !trac::cli::GateGoldenDir("trac_analyze", golden_dir, qpath, block,
+                                  update, &exit_code)) {
+      return trac::cli::kExitUsage;
     }
   }
   if (json) {

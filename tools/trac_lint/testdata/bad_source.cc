@@ -7,6 +7,7 @@
 //   no-throw-abort     — throw and std::abort() outside common/dcheck.h
 //   no-iostream        — std::cerr in library code
 //   snapshot-acquire   — raw Snapshot{...} outside storage//session.cc
+//   doc-drift          — TRAC-V999 emitted but absent from DESIGN.md
 
 #include <chrono>
 #include <ctime>
@@ -45,5 +46,7 @@ struct Snapshot {
 };
 
 Snapshot MintFutureEpoch() { return Snapshot{~0ul}; }
+
+const char* UndocumentedDiagnosticCode() { return "TRAC-V999"; }
 
 }  // namespace bad

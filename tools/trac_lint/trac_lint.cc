@@ -28,6 +28,11 @@
 //                      bypasses the acquire-ordered counter; take
 //                      Database::LatestSnapshot() or thread an existing
 //                      Snapshot through)
+//   doc-drift          every TRAC-V###/TRAC-W### diagnostic code emitted
+//                      on a code line must appear in the DESIGN.md rule
+//                      tables (found by walking up from the first lint
+//                      root) — a code the docs do not know is a rule
+//                      nobody can look up
 //
 // A line ending in a NOLINT(trac-<rule>) comment is exempt from <rule>.
 // Exit status is non-zero iff any violation was found; runs as a CTest
@@ -41,8 +46,10 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <regex>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -383,6 +390,72 @@ void CheckSnapshotAcquire(const std::string& path,
   }
 }
 
+// --- Rule: doc-drift -------------------------------------------------------
+
+/// A verifier/analyzer diagnostic identifier ("TRAC-V005", "TRAC-W002").
+/// Deliberately three digits: the "TRAC-V???" fallback string and prose
+/// mentions of rule families never match.
+const std::regex kDiagCodeRe(R"(TRAC-[VW][0-9]{3})");
+
+struct CodeSite {
+  std::string file;
+  size_t line;
+};
+
+/// Every diagnostic code found on a code line, keyed to its first
+/// emission site (deterministic: files are linted in sorted order).
+std::map<std::string, CodeSite> emitted_codes;
+
+void CollectDiagCodes(const std::string& path,
+                      const std::vector<std::string>& lines) {
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string trimmed = Trim(lines[i]);
+    if (IsCommentLine(trimmed) || HasNolint(lines[i], "doc-drift")) {
+      continue;
+    }
+    for (auto it = std::sregex_iterator(lines[i].begin(), lines[i].end(),
+                                        kDiagCodeRe);
+         it != std::sregex_iterator(); ++it) {
+      emitted_codes.emplace(it->str(), CodeSite{path, i + 1});
+    }
+  }
+}
+
+/// Checks every collected code against the DESIGN.md rule tables. The
+/// doc is found by walking up from `first_root`; when no DESIGN.md
+/// exists above the lint roots there is nothing to drift from.
+void CheckDocDrift(const fs::path& first_root) {
+  if (emitted_codes.empty()) return;
+  std::error_code ec;
+  fs::path dir = fs::absolute(first_root, ec);
+  if (ec) return;
+  if (!fs::is_directory(dir, ec)) dir = dir.parent_path();
+  std::string design;
+  for (int depth = 0; depth < 16; ++depth) {
+    const fs::path candidate = dir / "DESIGN.md";
+    if (fs::is_regular_file(candidate, ec)) {
+      std::ifstream in(candidate);
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      design = ss.str();
+      break;
+    }
+    const fs::path parent = dir.parent_path();
+    if (parent == dir) break;
+    dir = parent;
+  }
+  if (design.empty()) return;
+  for (const auto& [code, site] : emitted_codes) {
+    if (design.find(code) == std::string::npos) {
+      Report(site.file, site.line, "doc-drift",
+             "diagnostic code " + code +
+                 " is emitted here but does not appear in the DESIGN.md "
+                 "rule tables; document the rule where readers will look "
+                 "it up");
+    }
+  }
+}
+
 // --- Driver ----------------------------------------------------------------
 
 std::vector<std::string> ReadLines(const fs::path& path) {
@@ -406,6 +479,7 @@ void LintFile(const fs::path& file) {
   CheckThrowAbort(path, lines);
   CheckIostream(path, lines);
   CheckSnapshotAcquire(path, lines);
+  CollectDiagCodes(path, lines);
 }
 
 }  // namespace
@@ -442,6 +516,7 @@ int main(int argc, char** argv) {
       ++files;
     }
   }
+  CheckDocDrift(fs::path(argv[1]));
 
   for (const Violation& v : violations) {
     std::printf("%s:%zu: [%s] %s\n", v.file.c_str(), v.line, v.rule.c_str(),

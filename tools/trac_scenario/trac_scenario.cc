@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "../common/cli_golden.h"
 #include "analysis/guarantee.h"
 #include "core/recency_reporter.h"
 #include "core/session.h"
@@ -48,12 +49,7 @@ namespace {
 using trac::oracle::OracleOutcome;
 
 bool ReadFile(const std::string& path, std::string* out) {
-  std::ifstream in(path);
-  if (!in) return false;
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  *out = ss.str();
-  return true;
+  return trac::cli::ReadFile(std::filesystem::path(path), out);
 }
 
 int Usage(const char* argv0) {
@@ -253,30 +249,9 @@ int main(int argc, char** argv) {
   }
 
   if (!flags.golden.empty()) {
-    if (flags.update) {
-      std::ofstream f(flags.golden, std::ios::binary);
-      if (!f) {
-        std::fprintf(stderr, "trac_scenario: cannot write %s\n",
-                     flags.golden.c_str());
-        return 2;
-      }
-      f << out;
-    } else {
-      std::string want;
-      if (!ReadFile(flags.golden, &want)) {
-        std::fprintf(stderr, "trac_scenario: cannot read golden %s\n",
-                     flags.golden.c_str());
-        return 2;
-      }
-      if (want != out) {
-        std::fprintf(stderr,
-                     "trac_scenario: output drifted from %s (%zu vs %zu "
-                     "bytes); regenerate with --update\n",
-                     flags.golden.c_str(), out.size(), want.size());
-        std::fwrite(out.data(), 1, out.size(), stdout);
-        return 1;
-      }
-    }
+    const int golden_exit = trac::cli::GateGoldenFile(
+        "trac_scenario", flags.golden, out, flags.update);
+    if (golden_exit != trac::cli::kExitClean) return golden_exit;
   }
 
   if (!total.ok()) {

@@ -18,6 +18,12 @@
 //          each.
 //
 //   --dump-ir         print the lowered/parsed IR before the report
+//   --absint          also run the abstract interpreter and the
+//                     semantic rules TRAC-V005..V008 it feeds (the
+//                     library gates always run them; the CLI default
+//                     keeps the structural view separable)
+//   --dump-absint     append the per-node fixpoint fact table (implies
+//                     --absint)
 //   --json            machine-readable output: a JSON array with one
 //                     object per input file (diagnostics, ok flag)
 //   --golden <dir>    compare each file's text block against
@@ -30,16 +36,16 @@
 //                     mode; golden mismatches still fail)
 //
 // Exit status: 0 clean, 1 diagnostics/regressions, 2 usage or I/O
-// errors. Mirrors tools/trac_analyze.
+// errors (tools/common/cli_golden.h). Mirrors tools/trac_analyze.
 
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
-#include <fstream>
-#include <sstream>
 #include <string>
 #include <vector>
 
+#include "../common/cli_golden.h"
+#include "absint/absint.h"
 #include "common/str_util.h"
 #include "core/relevance.h"
 #include "exec/planner.h"
@@ -52,61 +58,18 @@ namespace {
 
 namespace fs = std::filesystem;
 
-/// Whole file as a string; nullopt-style failure via the bool flag.
-bool ReadFile(const fs::path& path, std::string* out) {
-  std::ifstream in(path);
-  if (!in) return false;
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  *out = ss.str();
-  return true;
-}
-
-/// Drops full-line `-- comment` lines so corpus files can be annotated.
-std::string StripSqlComments(const std::string& text) {
-  std::istringstream in(text);
-  std::string out;
-  std::string line;
-  while (std::getline(in, line)) {
-    const size_t b = line.find_first_not_of(" \t\r");
-    if (b != std::string::npos && line.compare(b, 2, "--") == 0) continue;
-    out += line;
-    out += '\n';
-  }
-  return out;
-}
-
-/// Splits on ';' outside single-quoted strings; empty pieces dropped.
-std::vector<std::string> SplitStatements(const std::string& text) {
-  std::vector<std::string> stmts;
-  std::string current;
-  bool in_string = false;
-  for (char c : text) {
-    if (c == '\'') in_string = !in_string;
-    if (c == ';' && !in_string) {
-      stmts.push_back(current);
-      current.clear();
-    } else {
-      current += c;
-    }
-  }
-  stmts.push_back(current);
-  std::vector<std::string> nonempty;
-  for (std::string& s : stmts) {
-    if (s.find_first_not_of(" \t\r\n") != std::string::npos) {
-      nonempty.push_back(std::move(s));
-    }
-  }
-  return nonempty;
-}
+using trac::cli::ReadFile;
+using trac::cli::SplitStatements;
+using trac::cli::StripSqlComments;
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --schema <schema.sql> [--golden <dir>] [--update] "
-               "[--dump-ir] [--json] [--parallelism N] [--expect-findings] "
+               "[--dump-ir] [--absint] [--dump-absint] [--json] "
+               "[--parallelism N] [--expect-findings] "
                "<file.sql|file.ir>...\n",
                argv0);
-  return 2;
+  return trac::cli::kExitUsage;
 }
 
 /// Lowers the full report session a query would execute. The session id
@@ -182,6 +145,8 @@ int main(int argc, char** argv) {
   std::string golden_dir;
   bool update = false;
   bool dump_ir = false;
+  bool absint = false;
+  bool dump_absint = false;
   bool json = false;
   bool expect_findings = false;
   size_t parallelism = 1;
@@ -196,6 +161,11 @@ int main(int argc, char** argv) {
       update = true;
     } else if (arg == "--dump-ir") {
       dump_ir = true;
+    } else if (arg == "--absint") {
+      absint = true;
+    } else if (arg == "--dump-absint") {
+      absint = true;
+      dump_absint = true;
     } else if (arg == "--json") {
       json = true;
     } else if (arg == "--expect-findings") {
@@ -212,7 +182,7 @@ int main(int argc, char** argv) {
   if (input_files.empty()) return Usage(argv[0]);
   if (update && golden_dir.empty()) {
     std::fprintf(stderr, "trac_verify: --update requires --golden\n");
-    return 2;
+    return trac::cli::kExitUsage;
   }
 
   // Load the schema when given (required for .sql inputs; .ir files are
@@ -291,18 +261,21 @@ int main(int argc, char** argv) {
       ir = std::move(*lowered);
     }
 
-    const trac::VerifyReport report = trac::VerifyIr(ir);
+    trac::VerifyOptions verify_options;
+    verify_options.absint = absint;
+    const trac::VerifyReport report = trac::VerifyIr(ir, verify_options);
     if (expect_findings ? report.ok() : !report.ok()) {
       if (expect_findings) {
         std::printf("FAIL %s: expected findings, got a clean report\n",
                     name.c_str());
       }
-      exit_code = 1;
+      exit_code = trac::cli::kExitFindings;
     }
 
     std::string block;
     if (dump_ir) block += ir.Dump();
     block += report.Format(ir);
+    if (dump_absint) block += trac::absint::AnalyzeIr(ir).Dump(ir);
 
     if (json) {
       if (!json_first) json_out += ",\n";
@@ -312,34 +285,10 @@ int main(int argc, char** argv) {
       std::printf("== %s\n%s", name.c_str(), block.c_str());
     }
 
-    if (!golden_dir.empty()) {
-      const fs::path golden =
-          fs::path(golden_dir) / (ipath.stem().string() + ".txt");
-      if (update) {
-        std::error_code ec;
-        fs::create_directories(golden.parent_path(), ec);
-        std::ofstream out(golden);
-        if (!out) {
-          std::fprintf(stderr, "trac_verify: cannot write golden: %s\n",
-                       golden.string().c_str());
-          return 2;
-        }
-        out << block;
-        std::printf("updated %s\n", golden.string().c_str());
-      } else {
-        std::string expected;
-        if (!ReadFile(golden, &expected)) {
-          std::printf("FAIL %s: missing golden %s (run with --update)\n",
-                      name.c_str(), golden.string().c_str());
-          exit_code = 1;
-        } else if (expected != block) {
-          std::printf("FAIL %s: report differs from golden %s\n",
-                      name.c_str(), golden.string().c_str());
-          std::printf("--- expected\n%s--- actual\n%s", expected.c_str(),
-                      block.c_str());
-          exit_code = 1;
-        }
-      }
+    if (!golden_dir.empty() &&
+        !trac::cli::GateGoldenDir("trac_verify", golden_dir, ipath, block,
+                                  update, &exit_code)) {
+      return trac::cli::kExitUsage;
     }
   }
   if (json) {
