@@ -15,7 +15,8 @@
 #   5. run the whole ctest suite (which re-runs the linters and their
 #      self-tests as test cases),
 #   6. with --tidy, run clang-tidy (.clang-tidy profile) over src/ —
-#      skipped with a message when clang-tidy is not installed,
+#      a hard failure when clang-tidy is not installed (the tidy CI job
+#      gates on it; use --tidy-only to run just this step),
 #   7. if clang++ is available, build the `tsa` preset so Clang's
 #      thread-safety analysis runs with -Werror=thread-safety.
 #
@@ -23,14 +24,34 @@
 set -euo pipefail
 
 run_tidy=0
+tidy_only=0
 for arg in "$@"; do
   case "$arg" in
     --tidy) run_tidy=1 ;;
-    *) echo "usage: $0 [--tidy]" >&2; exit 2 ;;
+    --tidy-only) run_tidy=1; tidy_only=1 ;;
+    *) echo "usage: $0 [--tidy|--tidy-only]" >&2; exit 2 ;;
   esac
 done
 
 cd "$(dirname "$0")/.."
+
+run_tidy_pass() {
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "error: --tidy requested but clang-tidy is not installed" >&2
+    exit 1
+  fi
+  echo "==> clang-tidy src/ (.clang-tidy profile)"
+  mapfile -t tidy_sources < <(find src -name '*.cc' | sort)
+  clang-tidy -p build --quiet "${tidy_sources[@]}"
+}
+
+if [[ "$tidy_only" -eq 1 ]]; then
+  # The tidy pass needs only the configure step (compile_commands.json).
+  cmake --preset default
+  run_tidy_pass
+  echo "==> tidy pass passed"
+  exit 0
+fi
 
 echo "==> configure + build (default preset)"
 cmake --preset default
@@ -60,6 +81,29 @@ echo "==> trac_verify --absint (abstract-interpretation goldens)"
   examples/queries/q*.sql
 ./build/tools/trac_verify --golden examples/plans/golden/bad/absint \
   --dump-ir --absint --expect-findings examples/plans/bad/absint/bad_*.ir
+
+echo "==> trac_verify --equiv (translation-validation witness goldens)"
+# Clean witnesses must discharge TRAC-V009..V012; each seeded-bad pair
+# must pin exactly the diagnostic its golden records. Order matters:
+# before precedes after within a pair.
+equiv_clean=()
+for pair in pushdown redundant_elim dead_prune reorder; do
+  equiv_clean+=("examples/plans/rewrites/${pair}_before.ir"
+                "examples/plans/rewrites/${pair}_after.ir")
+done
+./build/tools/trac_verify --equiv --golden examples/plans/golden/rewrites \
+  "${equiv_clean[@]}"
+equiv_bad=()
+for pair in bad_residue bad_provenance bad_snapshot bad_bound; do
+  equiv_bad+=("examples/plans/bad/rewrites/${pair}_before.ir"
+              "examples/plans/bad/rewrites/${pair}_after.ir")
+done
+./build/tools/trac_verify --equiv --expect-findings \
+  --golden examples/plans/golden/bad/rewrites "${equiv_bad[@]}"
+# The optimizer's decision trail over the clean corpus must stay empty
+# (no corpus query is aggregate-only, so no order-changing rule fires).
+./build/tools/trac_verify --schema examples/plans/schema.sql \
+  --dump-rewrites examples/queries/q*.sql | grep -q "rewrites: none"
 # Machine-readable findings over both seeded-bad corpora; CI uploads
 # the file as an artifact.
 mkdir -p findings
@@ -85,9 +129,11 @@ mkdir -p bench-json
   TRAC_BENCH_ROWS=2000 ../build/bench/bench_parallel_relevance \
     --threads=2 --json >/dev/null
   TRAC_BENCH_ROWS=2000 ../build/bench/bench_fpr_table --json >/dev/null
+  TRAC_BENCH_ROWS=2000 ../build/bench/bench_optimizer --json >/dev/null
 )
 for f in bench-json/BENCH_parallel_relevance.json \
-         bench-json/BENCH_fpr_table.json; do
+         bench-json/BENCH_fpr_table.json \
+         bench-json/BENCH_optimizer.json; do
   [[ -s "$f" ]] || { echo "missing bench record $f" >&2; exit 1; }
 done
 
@@ -127,13 +173,7 @@ ctest --preset ubsan -R \
   --output-on-failure
 
 if [[ "$run_tidy" -eq 1 ]]; then
-  if command -v clang-tidy >/dev/null 2>&1; then
-    echo "==> clang-tidy src/ (.clang-tidy profile)"
-    mapfile -t tidy_sources < <(find src -name '*.cc' | sort)
-    clang-tidy -p build --quiet "${tidy_sources[@]}"
-  else
-    echo "==> clang-tidy not found; skipping the tidy pass"
-  fi
+  run_tidy_pass
 fi
 
 if command -v clang++ >/dev/null 2>&1; then

@@ -3,11 +3,13 @@
 
 #include <cstddef>
 #include <deque>
+#include <map>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "catalog/schema.h"
+#include "catalog/stats.h"
 #include "common/mutex.h"
 #include "common/result.h"
 #include "common/thread_annotations.h"
@@ -75,6 +77,29 @@ class Catalog {
   /// Names of all live tables, in creation order.
   std::vector<std::string> TableNames() const;
 
+  /// Caches collected optimizer statistics for a table (advisory; see
+  /// catalog/stats.h). Overwrites any previous entry. Const: the stats
+  /// cache is metadata about storage contents, not catalog identity, so
+  /// read-only planning paths may populate it.
+  void SetTableStats(TableId id, TableStats stats) const {
+    WriterMutexLock lock(&mu_);
+    stats_[id] = std::move(stats);
+  }
+
+  /// Cached stats for `id`, if any were collected. `valid_row_count`
+  /// screens staleness: a cached entry collected at a different
+  /// row-version count is reported as absent so the caller recollects.
+  bool GetTableStats(TableId id, uint64_t valid_row_count,
+                     TableStats* out) const {
+    ReaderMutexLock lock(&mu_);
+    auto it = stats_.find(id);
+    if (it == stats_.end() || it->second.row_count != valid_row_count) {
+      return false;
+    }
+    *out = it->second;
+    return true;
+  }
+
  private:
   /// Lookup without locking; callers hold mu_ (at least shared).
   [[nodiscard]] Result<TableId> GetTableIdLocked(std::string_view name) const
@@ -88,6 +113,9 @@ class Catalog {
   // Deque: schema references stay valid across CreateTable (Table objects
   // point at their catalog schema).
   std::deque<Entry> entries_ TRAC_GUARDED_BY(mu_);
+  /// Optimizer statistics cache, keyed by table id (catalog/stats.h).
+  /// Mutable: populated from read-only planning paths.
+  mutable std::map<TableId, TableStats> stats_ TRAC_GUARDED_BY(mu_);
 };
 
 }  // namespace trac

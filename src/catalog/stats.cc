@@ -1,0 +1,25 @@
+#include "catalog/stats.h"
+
+namespace trac {
+
+namespace {
+constexpr double kDefaultEqSelectivity = 0.1;
+constexpr double kDefaultRangeSelectivity = 1.0 / 3.0;
+}  // namespace
+
+uint64_t TableStats::NdvFor(size_t column) const {
+  for (const ColumnStats& c : columns) {
+    if (c.column == column) return c.ndv;
+  }
+  return 0;
+}
+
+double EqualitySelectivity(const TableStats& stats, size_t column) {
+  const uint64_t ndv = stats.NdvFor(column);
+  if (ndv == 0) return kDefaultEqSelectivity;
+  return 1.0 / static_cast<double>(ndv);
+}
+
+double RangeSelectivity() { return kDefaultRangeSelectivity; }
+
+}  // namespace trac

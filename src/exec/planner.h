@@ -1,6 +1,7 @@
 #ifndef TRAC_EXEC_PLANNER_H_
 #define TRAC_EXEC_PLANNER_H_
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -22,8 +23,18 @@ struct LevelPlan {
 
   // -- Access path.
   bool use_local_index = false;
-  size_t index_column = 0;           ///< Valid if use_local_index.
+  size_t index_column = 0;  ///< Valid if use_local_index/use_range_index.
   std::vector<Value> index_keys;     ///< Deduplicated = / IN keys.
+  /// Range scan over `index_column`'s ordered index between the optional
+  /// bounds (optimizer's convert-to-range-scan rule). Mutually exclusive
+  /// with use_local_index; the predicate that supplied the bounds stays
+  /// in local_preds and is re-checked on every row, so the access path
+  /// choice is invisible in the lowered IR.
+  bool use_range_index = false;
+  std::optional<Value> range_lo;
+  std::optional<Value> range_hi;
+  bool range_lo_inclusive = false;
+  bool range_hi_inclusive = false;
   /// Predicates referencing only this relation (re-checked on each row,
   /// including the one that supplied the index keys).
   std::vector<const BoundExpr*> local_preds;
@@ -44,12 +55,30 @@ struct LevelPlan {
   double estimated_rows = 0;  ///< Cardinality guess used for ordering.
 };
 
+/// One optimizer rule application attempt, recorded on the plan so
+/// tools can replay the decision trail (trac_verify --dump-rewrites).
+/// Every attempt was translation-validated (verify/equiv.h); `applied`
+/// is true only for witnesses that verified clean AND beat the
+/// incumbent's cost.
+struct PlanRewrite {
+  std::string rule;     ///< e.g. "join-reorder", "convert-to-range-scan".
+  std::string detail;   ///< Deterministic rule-specific description.
+  std::string verdict;  ///< "applied" / "rejected TRAC-Vnnn" / "verified, not cheaper".
+  double cost_before = 0;
+  double cost_after = 0;
+  bool applied = false;
+};
+
 /// A full plan: constant predicates (evaluated once), then the join
 /// levels in execution order.
 struct QueryPlan {
   /// Predicates referencing no columns (e.g. WHERE FALSE).
   std::vector<const BoundExpr*> constant_preds;
   std::vector<LevelPlan> levels;
+
+  /// Optimizer decision trail, in rule application order. Empty when the
+  /// optimizer is disabled or found nothing to try.
+  std::vector<PlanRewrite> rewrites;
 
   /// The static guarantee analysis proved the predicate unsatisfiable
   /// over the declared column domains (TRAC-E001). Because inserts

@@ -122,8 +122,11 @@ void AnnotateScan(IrNode* scan, const Database& db, TableId table_id,
 }
 
 /// FNV-1a 64 over the canonical SQL renderings of a predicate
-/// conjunction, sorted and joined with " AND " so that conjunct order
-/// never changes the identity (TRAC-V007 compares these fingerprints).
+/// conjunction, sorted, deduplicated, and joined with " AND " so that
+/// neither conjunct order nor a literally repeated conjunct changes the
+/// identity (TRAC-V007 and the TRAC-V009 equivalence residue compare
+/// these fingerprints; p AND p ≡ p, so dropping the duplicate must not
+/// change the filter's identity either).
 uint64_t PredFingerprint(const Database& db, const BoundQuery& query,
                          const std::vector<const BoundExpr*>& preds) {
   std::vector<std::string> terms;
@@ -132,6 +135,7 @@ uint64_t PredFingerprint(const Database& db, const BoundQuery& query,
     if (p != nullptr) terms.push_back(query.ExprToSql(db, *p));
   }
   std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
   std::string joined;
   for (size_t i = 0; i < terms.size(); ++i) {
     if (i != 0) joined += " AND ";

@@ -210,6 +210,36 @@ std::string PlanIr::Dump() const {
       return Status::ParseError("plan IR line " + std::to_string(line_no) +
                                 ": " + msg);
     };
+    // Value-parse helpers that re-anchor the inner parser's message at
+    // this line, so every malformed attribute reports uniformly as
+    // "plan IR line N: bad <attr> ...".
+    auto parse_u64 = [&](const char* what,
+                         std::string_view s) -> Result<uint64_t> {
+      Result<uint64_t> v = ParseU64(s);
+      if (!v.ok()) {
+        return err(std::string(what) + ": " +
+                   std::string(v.status().message()));
+      }
+      return v;
+    };
+    auto parse_hex64 = [&](const char* what,
+                           std::string_view s) -> Result<uint64_t> {
+      Result<uint64_t> v = ParseHex64(s);
+      if (!v.ok()) {
+        return err(std::string(what) + ": " +
+                   std::string(v.status().message()));
+      }
+      return v;
+    };
+    auto parse_prov = [&](const char* what,
+                          std::string_view s) -> Result<ColumnProvenance> {
+      Result<ColumnProvenance> v = ParseProvenance(s);
+      if (!v.ok()) {
+        return err(std::string(what) + ": " +
+                   std::string(v.status().message()));
+      }
+      return v;
+    };
 
     std::vector<std::string> tokens;
     {
@@ -236,7 +266,7 @@ std::string PlanIr::Dump() const {
     if (tokens.size() < 3 || tokens[0] != "node") {
       return err("expected 'node <id> <kind> ...'");
     }
-    TRAC_ASSIGN_OR_RETURN(uint64_t id, ParseU64(tokens[1]));
+    TRAC_ASSIGN_OR_RETURN(uint64_t id, parse_u64("node id", tokens[1]));
     if (id != ir.nodes.size()) {
       return err("node ids must be dense and ascending (got " + tokens[1] +
                  ", want " + std::to_string(ir.nodes.size()) + ")");
@@ -264,31 +294,32 @@ std::string PlanIr::Dump() const {
           eq == std::string::npos ? std::string() : tok.substr(eq + 1);
       if (key == "in") {
         for (const std::string& piece : SplitOn(value, ',')) {
-          TRAC_ASSIGN_OR_RETURN(uint64_t in, ParseU64(piece));
+          TRAC_ASSIGN_OR_RETURN(uint64_t in, parse_u64("in", piece));
           node.inputs.push_back(in);
         }
       } else if (key == "table") {
         node.table = value;
       } else if (key == "snap") {
-        TRAC_ASSIGN_OR_RETURN(node.snapshot, ParseU64(value));
+        TRAC_ASSIGN_OR_RETURN(node.snapshot, parse_u64("snap", value));
       } else if (key == "shard") {
         const std::vector<std::string> parts = SplitOn(value, '/');
         if (parts.size() != 2) return err("want shard=<k>/<n>");
-        TRAC_ASSIGN_OR_RETURN(uint64_t k, ParseU64(parts[0]));
-        TRAC_ASSIGN_OR_RETURN(uint64_t n, ParseU64(parts[1]));
+        TRAC_ASSIGN_OR_RETURN(uint64_t k, parse_u64("shard", parts[0]));
+        TRAC_ASSIGN_OR_RETURN(uint64_t n, parse_u64("shard", parts[1]));
         node.shard = k;
         node.num_shards = n;
       } else if (key == "pre") {
         node.preexisting_temp = true;
       } else if (key == "rows") {
-        TRAC_ASSIGN_OR_RETURN(node.rows, ParseU64(value));
+        TRAC_ASSIGN_OR_RETURN(node.rows, parse_u64("rows", value));
         node.has_rows = true;
       } else if (key == "age") {
         const size_t dots = value.find("..");
         if (dots == std::string::npos) return err("want age=<lo>..<hi>");
         TRAC_ASSIGN_OR_RETURN(uint64_t lo,
-                              ParseU64(value.substr(0, dots)));
-        TRAC_ASSIGN_OR_RETURN(uint64_t hi, ParseU64(value.substr(dots + 2)));
+                              parse_u64("age", value.substr(0, dots)));
+        TRAC_ASSIGN_OR_RETURN(uint64_t hi,
+                              parse_u64("age", value.substr(dots + 2)));
         if (lo > hi) return err("age interval has lo > hi");
         node.age_lo = static_cast<int64_t>(lo);
         node.age_hi = static_cast<int64_t>(hi);
@@ -297,7 +328,8 @@ std::string PlanIr::Dump() const {
         if (value != "zero") return err("want sel=zero");
         node.sel_zero = true;
       } else if (key == "pred") {
-        TRAC_ASSIGN_OR_RETURN(node.pred_fingerprint, ParseHex64(value));
+        TRAC_ASSIGN_OR_RETURN(node.pred_fingerprint,
+                              parse_hex64("pred", value));
         node.has_pred = true;
       } else if (key == "src") {
         for (std::string& piece : SplitOn(value, ',')) {
@@ -305,7 +337,7 @@ std::string PlanIr::Dump() const {
           node.declared_sources.push_back(std::move(piece));
         }
       } else if (key == "bound") {
-        TRAC_ASSIGN_OR_RETURN(uint64_t bound, ParseU64(value));
+        TRAC_ASSIGN_OR_RETURN(uint64_t bound, parse_u64("bound", value));
         node.notice_bound_micros = static_cast<int64_t>(bound);
         node.has_bound = true;
       } else if (key == "key") {
@@ -317,8 +349,8 @@ std::string PlanIr::Dump() const {
           }
           const std::vector<std::string> sides = SplitOn(piece, '-');
           if (sides.size() != 2) return err("want key=<p>-<b>[*],...");
-          TRAC_ASSIGN_OR_RETURN(jk.probe, ParseProvenance(sides[0]));
-          TRAC_ASSIGN_OR_RETURN(jk.build, ParseProvenance(sides[1]));
+          TRAC_ASSIGN_OR_RETURN(jk.probe, parse_prov("key", sides[0]));
+          TRAC_ASSIGN_OR_RETURN(jk.build, parse_prov("key", sides[1]));
           node.keys.push_back(jk);
         }
       } else if (key == "fns") {
@@ -327,7 +359,7 @@ std::string PlanIr::Dump() const {
           if (parts.size() != 2) return err("want fns=<fn>:<p>,...");
           IrNode::Agg agg;
           agg.fn = parts[0];
-          TRAC_ASSIGN_OR_RETURN(agg.arg, ParseProvenance(parts[1]));
+          TRAC_ASSIGN_OR_RETURN(agg.arg, parse_prov("fns", parts[1]));
           node.aggs.push_back(std::move(agg));
         }
       } else if (key == "set") {
@@ -335,7 +367,7 @@ std::string PlanIr::Dump() const {
       } else if (key == "sorted") {
         node.sorted = true;
       } else if (key == "session") {
-        TRAC_ASSIGN_OR_RETURN(node.session, ParseU64(value));
+        TRAC_ASSIGN_OR_RETURN(node.session, parse_u64("session", value));
       } else if (key == "gen") {
         node.generated = true;
       } else if (key == "cols") {
@@ -345,7 +377,7 @@ std::string PlanIr::Dump() const {
           IrColumn col;
           col.name = piece.substr(0, colon);
           TRAC_ASSIGN_OR_RETURN(col.provenance,
-                                ParseProvenance(piece.substr(colon + 1)));
+                                parse_prov("cols", piece.substr(colon + 1)));
           node.columns.push_back(std::move(col));
         }
       } else {

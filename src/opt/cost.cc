@@ -1,0 +1,79 @@
+#include "opt/cost.h"
+
+#include <algorithm>
+
+namespace trac {
+namespace opt {
+
+TableStats CollectTableStats(const Database& db, TableId id) {
+  const Table* table = db.GetTable(id);
+  const uint64_t rows = table->num_versions();
+  TableStats stats;
+  if (db.catalog().GetTableStats(id, rows, &stats)) return stats;
+  stats.row_count = rows;
+  for (size_t col : table->IndexedColumns()) {
+    const OrderedIndex* index = table->GetIndex(col);
+    ColumnStats cs;
+    cs.column = col;
+    cs.ndv = static_cast<uint64_t>(index->NumDistinctKeys());
+    stats.columns.push_back(cs);
+  }
+  db.catalog().SetTableStats(id, stats);
+  return stats;
+}
+
+double PlanCost(const Database& db, const BoundQuery& query,
+                const QueryPlan& plan) {
+  // A provably-empty plan touches no storage at all.
+  if (plan.provably_empty) return 0.0;
+
+  double cost = 0.0;
+  double prefix = 1.0;
+  for (size_t i = 0; i < plan.levels.size(); ++i) {
+    const LevelPlan& level = plan.levels[i];
+    const TableStats stats =
+        CollectTableStats(db, query.relations[level.relation].table_id);
+    const double base = static_cast<double>(stats.row_count);
+
+    // Rows the access path touches per visit of this level.
+    double access = base;
+    if (level.use_local_index) {
+      access = std::min(
+          base, base * EqualitySelectivity(stats, level.index_column) *
+                    static_cast<double>(level.index_keys.size()));
+    } else if (level.use_range_index) {
+      access = base * RangeSelectivity();
+    }
+    // Non-index local predicates shrink the level's output but not the
+    // rows touched; fold the planner's classic 10% per level.
+    double out = access;
+    if (!level.local_preds.empty() && !level.use_local_index &&
+        !level.use_range_index) {
+      out = std::max(1.0, access * 0.1);
+    }
+
+    if (i == 0) {
+      cost += access;
+    } else if (level.index_nested_loop && !level.equi_keys.empty()) {
+      // Per-probe index lookup on the build column.
+      cost += prefix *
+              std::max(1.0, base * EqualitySelectivity(
+                                       stats, level.equi_keys[0].build.col));
+    } else {
+      // Hash (or nested-loop) join: build/scan this side once, probe
+      // once per prefix row.
+      cost += access + prefix;
+    }
+
+    // Join output estimate: equi keys pick 1/NDV of the build side.
+    double joined = prefix * out;
+    for (const LevelPlan::EquiKey& k : level.equi_keys) {
+      joined *= EqualitySelectivity(stats, k.build.col);
+    }
+    prefix = std::max(1.0, joined);
+  }
+  return cost;
+}
+
+}  // namespace opt
+}  // namespace trac

@@ -1,0 +1,67 @@
+#ifndef TRAC_OPT_PLAN_BUILD_H_
+#define TRAC_OPT_PLAN_BUILD_H_
+
+#include <vector>
+
+#include "exec/planner.h"
+#include "expr/bound_expr.h"
+#include "storage/database.h"
+
+namespace trac {
+namespace opt {
+
+/// Plan-construction primitives shared by the planner's greedy pass
+/// (exec/planner.cc) and the optimizer's join-reorder rule
+/// (opt/rewrite.cc), which rebuilds the same left-deep structure for a
+/// forced relation order. One implementation keeps the predicate
+/// placement discipline — and therefore the lowered IR — identical
+/// between the two callers.
+
+/// One top-level AND unit of the WHERE clause.
+struct PredUnit {
+  const BoundExpr* expr;
+  uint64_t rel_mask;
+  bool consumed = false;
+};
+
+/// Splits the WHERE clause into top-level AND units. Constant units
+/// (rel_mask == 0) are moved into plan->constant_preds and marked
+/// consumed.
+std::vector<PredUnit> SplitWhereUnits(const BoundQuery& query,
+                                      QueryPlan* plan);
+
+/// Matches `col = literal` / `col IN (literals)` on relation `rel`;
+/// fills the column and the deduplicated, sorted key list.
+bool IsColumnLiteralEq(const BoundExpr& e, size_t rel, size_t* column,
+                       std::vector<Value>* keys);
+
+/// Per-relation access-path candidate and cardinality estimate.
+struct RelAccess {
+  double base_rows = 0;
+  double est_rows = 0;
+  bool has_local_pred = false;
+  bool use_index = false;
+  size_t index_column = 0;
+  std::vector<Value> index_keys;
+};
+
+std::vector<RelAccess> ComputeRelAccess(const Database& db,
+                                        const BoundQuery& query,
+                                        const std::vector<PredUnit>& units);
+
+/// Appends one level per relation to plan->levels: greedy join ordering
+/// when `forced_order` is null (connected relations first, then smallest
+/// estimate), the given order otherwise. Consumes every unit at the
+/// earliest level where it becomes checkable; Internal error if any unit
+/// is left unplaced.
+[[nodiscard]] Status BuildJoinLevels(const Database& db,
+                                     const BoundQuery& query,
+                                     const std::vector<RelAccess>& info,
+                                     std::vector<PredUnit> units,
+                                     const std::vector<size_t>* forced_order,
+                                     QueryPlan* plan);
+
+}  // namespace opt
+}  // namespace trac
+
+#endif  // TRAC_OPT_PLAN_BUILD_H_

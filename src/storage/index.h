@@ -98,6 +98,19 @@ class OrderedIndex {
     return static_cast<size_t>(std::distance(lo, hi));
   }
 
+  /// Number of distinct keys (visibility not considered): the NDV the
+  /// optimizer's catalog statistics record for this column. One ordered
+  /// walk; callers cache the result (catalog/stats.h).
+  size_t NumDistinctKeys() const {
+    ReaderMutexLock lock(&mu_);
+    size_t distinct = 0;
+    for (auto it = map_.begin(); it != map_.end();
+         it = map_.upper_bound(it->first)) {
+      ++distinct;
+    }
+    return distinct;
+  }
+
  private:
   size_t column_;
   mutable SharedMutex mu_{lock_rank::kOrderedIndex, "OrderedIndex::mu_"};

@@ -79,4 +79,12 @@ const OrderedIndex* Table::GetIndex(size_t column) const {
   return it == indexes_.end() ? nullptr : it->second.get();
 }
 
+std::vector<size_t> Table::IndexedColumns() const {
+  ReaderMutexLock lock(&indexes_mu_);
+  std::vector<size_t> columns;
+  columns.reserve(indexes_.size());
+  for (const auto& [column, index] : indexes_) columns.push_back(column);
+  return columns;
+}
+
 }  // namespace trac

@@ -154,6 +154,10 @@ class Table {
   const OrderedIndex* GetIndex(size_t column) const
       TRAC_EXCLUDES(indexes_mu_);
 
+  /// Columns with an ordered index, ascending; the profile set for the
+  /// optimizer's catalog statistics (catalog/stats.h).
+  std::vector<size_t> IndexedColumns() const TRAC_EXCLUDES(indexes_mu_);
+
  private:
   /// Shelf layout: shelf s holds kBaseShelfSize << s versions, so the
   /// log grows without ever reallocating. 40 shelves cover > 5 * 10^14

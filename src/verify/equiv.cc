@@ -1,0 +1,421 @@
+#include "verify/equiv.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+
+#include "absint/absint.h"
+
+namespace trac {
+
+namespace {
+
+std::string HexFingerprint(uint64_t fp) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fp));
+  return std::string(buf);
+}
+
+char ProvenanceChar(ColumnProvenance p) {
+  return p == ColumnProvenance::kDataSource ? 'd' : 'r';
+}
+
+/// Dense ids and strictly-backward input edges — the property TRAC-V000
+/// enforces and everything here relies on (node order is execution
+/// order, so a well-formed IR is a DAG by construction).
+bool WellFormed(const PlanIr& ir, size_t* bad_node) {
+  for (size_t i = 0; i < ir.nodes.size(); ++i) {
+    if (ir.nodes[i].id != i) {
+      *bad_node = i;
+      return false;
+    }
+    for (size_t in : ir.nodes[i].inputs) {
+      if (in >= i) {
+        *bad_node = i;
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// Structural signature used only as a deterministic tie-break between
+/// simultaneously-ready nodes during normalization. Covers every
+/// semantic attribute except the id and the input edge targets (the
+/// topology itself already constrains those).
+std::string NodeSignature(const IrNode& n) {
+  std::string s(IrNodeKindToString(n.kind));
+  s += '|';
+  s += std::to_string(n.inputs.size());
+  s += '|';
+  s += n.table;
+  s += '|';
+  s += std::to_string(n.snapshot) + '/' + std::to_string(n.shard) + '/' +
+       std::to_string(n.num_shards);
+  s += n.preexisting_temp ? "|pre" : "|";
+  if (n.has_rows) s += "|rows=" + std::to_string(n.rows);
+  if (n.has_age) {
+    s += "|age=" + std::to_string(n.age_lo) + ".." + std::to_string(n.age_hi);
+  }
+  if (n.sel_zero) s += "|sel0";
+  if (n.has_pred) s += "|pred=" + HexFingerprint(n.pred_fingerprint);
+  for (const IrNode::JoinKey& k : n.keys) {
+    s += '|';
+    s += ProvenanceChar(k.probe);
+    s += ProvenanceChar(k.build);
+    if (k.relevance) s += '*';
+  }
+  for (const IrNode::Agg& a : n.aggs) {
+    s += '|' + a.fn + ':';
+    s += ProvenanceChar(a.arg);
+  }
+  if (n.set_merge) s += "|set";
+  if (n.sorted) s += "|sorted";
+  if (n.session != 0) s += "|session=" + std::to_string(n.session);
+  std::vector<std::string> srcs = n.declared_sources;
+  std::sort(srcs.begin(), srcs.end());
+  for (const std::string& src : srcs) s += "|src=" + src;
+  if (n.has_bound) s += "|bound=" + std::to_string(n.notice_bound_micros);
+  if (n.generated) s += "|gen";
+  for (const IrColumn& c : n.columns) {
+    s += '|' + c.name + ':';
+    s += ProvenanceChar(c.provenance);
+  }
+  return s;
+}
+
+/// Same dedupe/sort discipline the verifier applies: stable-sort by
+/// (node, code), drop duplicate (code, node) pairs.
+void Canonicalize(VerifyReport* report) {
+  std::stable_sort(report->diagnostics.begin(), report->diagnostics.end(),
+                   [](const VerifyDiagnostic& a, const VerifyDiagnostic& b) {
+                     if (a.node != b.node) return a.node < b.node;
+                     return a.code < b.code;
+                   });
+  std::set<std::pair<VerifyCode, size_t>> seen;
+  std::vector<VerifyDiagnostic> kept;
+  for (VerifyDiagnostic& d : report->diagnostics) {
+    if (seen.insert({d.code, d.node}).second) kept.push_back(std::move(d));
+  }
+  report->diagnostics = std::move(kept);
+}
+
+void Report(VerifyReport* report, const PlanIr& ir, VerifyCode code,
+            size_t node, std::string message) {
+  VerifyDiagnostic d;
+  d.code = code;
+  d.node = node;
+  d.kind = node < ir.nodes.size() ? ir.nodes[node].kind : IrNodeKind::kScan;
+  d.message = std::move(message);
+  report->diagnostics.push_back(std::move(d));
+}
+
+/// The node whose output leaves the plan: by the execution-order
+/// convention that is the last node.
+size_t SinkId(const PlanIr& ir) { return ir.nodes.size() - 1; }
+
+std::set<uint64_t> PredResidue(const PlanIr& ir) {
+  std::set<uint64_t> residue;
+  for (const IrNode& n : ir.nodes) {
+    if (n.kind == IrNodeKind::kFilter && n.has_pred) {
+      residue.insert(n.pred_fingerprint);
+    }
+  }
+  return residue;
+}
+
+std::set<uint64_t> ScanEpochs(const PlanIr& ir) {
+  std::set<uint64_t> epochs;
+  for (const IrNode& n : ir.nodes) {
+    if (n.kind == IrNodeKind::kScan) epochs.insert(n.snapshot);
+  }
+  return epochs;
+}
+
+std::string EpochSetToString(const std::set<uint64_t>& s) {
+  std::string out = "{";
+  for (auto it = s.begin(); it != s.end(); ++it) {
+    if (it != s.begin()) out += ',';
+    out += std::to_string(*it);
+  }
+  return out + "}";
+}
+
+/// Multiset of merge determinism contracts, rendered for the message.
+std::multiset<std::string> MergeContracts(const PlanIr& ir) {
+  std::multiset<std::string> contracts;
+  for (const IrNode& n : ir.nodes) {
+    if (n.kind != IrNodeKind::kMerge) continue;
+    std::string c = n.set_merge ? "set" : "bag";
+    if (n.sorted) c += "+sorted";
+    contracts.insert(c);
+  }
+  return contracts;
+}
+
+/// The sink's column frame with the absint-inferred per-column source
+/// sets folded in: name -> (provenance class, joined source set).
+std::map<std::string, std::pair<ColumnProvenance, absint::SourceSet>>
+SinkFrame(const PlanIr& ir, const absint::AbsintResult& analysis) {
+  std::map<std::string, std::pair<ColumnProvenance, absint::SourceSet>> frame;
+  const IrNode& sink = ir.nodes[SinkId(ir)];
+  const absint::NodeFacts& facts = analysis.facts[sink.id];
+  for (size_t c = 0; c < sink.columns.size(); ++c) {
+    auto& slot = frame[sink.columns[c].name];
+    slot.first = sink.columns[c].provenance;
+    if (analysis.converged && c < facts.column_sources.size()) {
+      slot.second.JoinWith(facts.column_sources[c]);
+    }
+  }
+  return frame;
+}
+
+/// Last report node carrying a NOTICE bound, if any.
+const IrNode* BoundPromise(const PlanIr& ir) {
+  const IrNode* promise = nullptr;
+  for (const IrNode& n : ir.nodes) {
+    if (n.kind == IrNodeKind::kReport && n.has_bound) promise = &n;
+  }
+  return promise;
+}
+
+}  // namespace
+
+PlanIr NormalizeIr(const PlanIr& ir) {
+  std::vector<size_t> unused;
+  return NormalizeIr(ir, &unused);
+}
+
+PlanIr NormalizeIr(const PlanIr& ir, std::vector<size_t>* original_id) {
+  original_id->resize(ir.nodes.size());
+  for (size_t i = 0; i < ir.nodes.size(); ++i) (*original_id)[i] = i;
+  size_t bad = 0;
+  if (!WellFormed(ir, &bad)) return ir;
+
+  const size_t n = ir.nodes.size();
+  std::vector<std::string> sig(n);
+  for (size_t i = 0; i < n; ++i) sig[i] = NodeSignature(ir.nodes[i]);
+
+  // Kahn's algorithm with a total tie-break over the ready set:
+  // (signature, original id). Duplicate input edges count once per
+  // occurrence so the in-degree bookkeeping stays exact.
+  std::vector<size_t> indegree(n, 0);
+  std::vector<std::vector<size_t>> consumers(n);
+  for (size_t i = 0; i < n; ++i) {
+    indegree[i] = ir.nodes[i].inputs.size();
+    for (size_t in : ir.nodes[i].inputs) consumers[in].push_back(i);
+  }
+  std::vector<bool> placed(n, false);
+  std::vector<size_t> order;
+  order.reserve(n);
+  for (size_t step = 0; step < n; ++step) {
+    size_t best = n;
+    for (size_t i = 0; i < n; ++i) {
+      if (placed[i] || indegree[i] != 0) continue;
+      if (best == n || sig[i] < sig[best] ||
+          (sig[i] == sig[best] && i < best)) {
+        best = i;
+      }
+    }
+    // Well-formedness guarantees acyclicity, so a ready node exists.
+    placed[best] = true;
+    order.push_back(best);
+    for (size_t c : consumers[best]) --indegree[c];
+  }
+
+  std::vector<size_t> new_id(n, 0);
+  for (size_t k = 0; k < n; ++k) new_id[order[k]] = k;
+
+  PlanIr out;
+  out.label = ir.label;
+  out.nodes.reserve(n);
+  for (size_t k = 0; k < n; ++k) {
+    IrNode node = ir.nodes[order[k]];
+    node.id = k;
+    for (size_t& in : node.inputs) in = new_id[in];
+    // A set merge is order-insensitive by contract, so its input order
+    // is non-semantic: sort it into the canonical form.
+    if (node.kind == IrNodeKind::kMerge && node.set_merge) {
+      std::sort(node.inputs.begin(), node.inputs.end());
+    }
+    std::sort(node.declared_sources.begin(), node.declared_sources.end());
+    node.declared_sources.erase(
+        std::unique(node.declared_sources.begin(),
+                    node.declared_sources.end()),
+        node.declared_sources.end());
+    out.nodes.push_back(std::move(node));
+    (*original_id)[k] = order[k];
+  }
+  return out;
+}
+
+VerifyReport CheckIrEquivalence(const PlanIr& before, const PlanIr& after) {
+  VerifyReport report;
+  size_t bad = 0;
+  if (before.nodes.empty() || !WellFormed(before, &bad)) {
+    Report(&report, after, VerifyCode::kMalformedGraph, 0,
+           "equivalence witness rejected: the original IR is malformed");
+    Canonicalize(&report);
+    return report;
+  }
+  if (after.nodes.empty() || !WellFormed(after, &bad)) {
+    Report(&report, after, VerifyCode::kMalformedGraph,
+           after.nodes.empty() ? 0 : bad,
+           "equivalence witness rejected: the rewritten IR is malformed");
+    Canonicalize(&report);
+    return report;
+  }
+
+  // Fast path: a rewrite that only changed non-semantic order (node
+  // numbering, set-merge input order) normalizes to the byte-identical
+  // IR, and access-path-only rewrites do not change the IR at all.
+  {
+    PlanIr nb = NormalizeIr(before);
+    PlanIr na = NormalizeIr(after);
+    nb.label = na.label;
+    if (nb.Dump() == na.Dump()) return report;
+  }
+
+  const absint::AbsintResult before_facts = absint::AnalyzeIr(before);
+  const absint::AbsintResult after_facts = absint::AnalyzeIr(after);
+  const size_t sink = SinkId(after);
+
+  // -- TRAC-V009: predicate residue preserved modulo placement. The
+  // residue is the *set* of filter fingerprints, so re-placing a
+  // conjunct group or dropping a literally duplicated filter is legal;
+  // inventing or losing a conjunct group is not.
+  const std::set<uint64_t> res_before = PredResidue(before);
+  const std::set<uint64_t> res_after = PredResidue(after);
+  for (uint64_t fp : res_after) {
+    if (res_before.count(fp) != 0) continue;
+    size_t anchor = sink;
+    for (const IrNode& n : after.nodes) {
+      if (n.kind == IrNodeKind::kFilter && n.has_pred &&
+          n.pred_fingerprint == fp) {
+        anchor = n.id;
+        break;
+      }
+    }
+    Report(&report, after, VerifyCode::kPredicateResidueMismatch, anchor,
+           "filter applies predicate fingerprint " + HexFingerprint(fp) +
+               " that the original plan never applies");
+  }
+  for (uint64_t fp : res_before) {
+    if (res_after.count(fp) != 0) continue;
+    Report(&report, after, VerifyCode::kPredicateResidueMismatch, sink,
+           "predicate fingerprint " + HexFingerprint(fp) +
+               " applied by the original plan is missing from the rewrite");
+  }
+
+  // -- TRAC-V010: provenance preserved at every output column
+  // (Definition 2): same column names, same provenance classes, and —
+  // when the abstract interpretation of both sides converged — the same
+  // inferred data-source set per column. The frame is compared as a
+  // name-keyed set: column order is presentation, not provenance.
+  const auto frame_before = SinkFrame(before, before_facts);
+  const auto frame_after = SinkFrame(after, after_facts);
+  const bool sources_comparable =
+      before_facts.converged && after_facts.converged;
+  for (const auto& [name, slot] : frame_before) {
+    auto it = frame_after.find(name);
+    if (it == frame_after.end()) {
+      Report(&report, after, VerifyCode::kProvenanceNotPreserved, sink,
+             "output column '" + name +
+                 "' of the original plan is missing from the rewrite");
+    } else if (it->second.first != slot.first) {
+      Report(&report, after, VerifyCode::kProvenanceNotPreserved, sink,
+             "output column '" + name + "' changed provenance class " +
+                 ProvenanceChar(slot.first) + std::string(" -> ") +
+                 ProvenanceChar(it->second.first));
+    } else if (sources_comparable && it->second.second != slot.second) {
+      Report(&report, after, VerifyCode::kProvenanceNotPreserved, sink,
+             "output column '" + name +
+                 "' changed its inferred data-source set " +
+                 slot.second.ToString() + " -> " +
+                 it->second.second.ToString());
+    }
+  }
+  for (const auto& [name, slot] : frame_after) {
+    (void)slot;
+    if (frame_before.count(name) == 0) {
+      Report(&report, after, VerifyCode::kProvenanceNotPreserved, sink,
+             "output column '" + name +
+                 "' does not exist in the original plan");
+    }
+  }
+
+  // -- TRAC-V011: snapshot-epoch set and merge determinism contracts
+  // unchanged. The single-snapshot rule (TRAC-V001) is checked per IR;
+  // here the obligation is that the rewrite did not *move* the plan to
+  // different epochs or relax how parallel strands rejoin.
+  const std::set<uint64_t> epochs_before = ScanEpochs(before);
+  const std::set<uint64_t> epochs_after = ScanEpochs(after);
+  if (epochs_before != epochs_after) {
+    size_t anchor = sink;
+    for (const IrNode& n : after.nodes) {
+      if (n.kind == IrNodeKind::kScan && epochs_before.count(n.snapshot) == 0) {
+        anchor = n.id;
+        break;
+      }
+    }
+    Report(&report, after, VerifyCode::kSnapshotContractChanged, anchor,
+           "scan snapshot-epoch set changed " +
+               EpochSetToString(epochs_before) + " -> " +
+               EpochSetToString(epochs_after));
+  }
+  const std::multiset<std::string> merges_before = MergeContracts(before);
+  const std::multiset<std::string> merges_after = MergeContracts(after);
+  if (merges_before != merges_after) {
+    size_t anchor = sink;
+    for (const IrNode& n : after.nodes) {
+      if (n.kind == IrNodeKind::kMerge) {
+        anchor = n.id;
+        break;
+      }
+    }
+    Report(&report, after, VerifyCode::kSnapshotContractChanged, anchor,
+           "merge determinism contract changed across the rewrite");
+  }
+
+  // -- TRAC-V012: the static staleness/NOTICE story must not weaken. A
+  // rewrite may tighten the promise, never loosen or drop it, and the
+  // staleness hull the abstract interpreter derives at the sink must
+  // not widen.
+  const IrNode* bound_before = BoundPromise(before);
+  const IrNode* bound_after = BoundPromise(after);
+  if (bound_before != nullptr) {
+    if (bound_after == nullptr) {
+      Report(&report, after, VerifyCode::kStalenessBoundWeakened, sink,
+             "the NOTICE bound promise (" +
+                 std::to_string(bound_before->notice_bound_micros) +
+                 "us) was dropped by the rewrite");
+    } else if (bound_after->notice_bound_micros >
+               bound_before->notice_bound_micros) {
+      Report(&report, after, VerifyCode::kStalenessBoundWeakened,
+             bound_after->id,
+             "NOTICE bound weakened " +
+                 std::to_string(bound_before->notice_bound_micros) + "us -> " +
+                 std::to_string(bound_after->notice_bound_micros) + "us");
+    }
+  }
+  if (sources_comparable) {
+    const absint::StalenessInterval& stale_before =
+        before_facts.facts[SinkId(before)].staleness;
+    const absint::StalenessInterval& stale_after =
+        after_facts.facts[sink].staleness;
+    if (!stale_before.bottom && !stale_after.bottom &&
+        stale_after.Width() > stale_before.Width()) {
+      Report(&report, after, VerifyCode::kStalenessBoundWeakened, sink,
+             "static staleness hull widened " + stale_before.ToString() +
+                 " -> " + stale_after.ToString());
+    }
+  }
+
+  Canonicalize(&report);
+  return report;
+}
+
+}  // namespace trac

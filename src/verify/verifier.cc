@@ -354,6 +354,14 @@ std::string_view VerifyCodeId(VerifyCode code) {
       return "TRAC-V007";
     case VerifyCode::kProvenanceWidening:
       return "TRAC-V008";
+    case VerifyCode::kPredicateResidueMismatch:
+      return "TRAC-V009";
+    case VerifyCode::kProvenanceNotPreserved:
+      return "TRAC-V010";
+    case VerifyCode::kSnapshotContractChanged:
+      return "TRAC-V011";
+    case VerifyCode::kStalenessBoundWeakened:
+      return "TRAC-V012";
   }
   return "TRAC-V???";
 }

@@ -51,6 +51,26 @@ namespace trac {
 ///              inferred column provenance exceeds its declared source
 ///              universe (`src=`), anchored at the widening join when
 ///              one is found.
+///
+/// Rules V009..V012 are pairwise: they are the proof obligations the
+/// translation-validating equivalence checker (verify/equiv.h)
+/// discharges over a (before, after) rewrite witness. They never fire
+/// from the single-IR pipeline, but they share the diagnostic codespace
+/// so goldens, --json output, and the doc-drift lint treat them
+/// uniformly:
+///
+///   TRAC-V009  predicate-residue mismatch: the set of predicate
+///              fingerprints applied by filters changed — a conjunct was
+///              dropped or invented rather than merely re-placed.
+///   TRAC-V010  provenance not preserved (Definition 2): the rewritten
+///              plan's output frame differs at some column — name,
+///              provenance class, or inferred data-source set.
+///   TRAC-V011  snapshot or merge contract changed: the rewrite reads a
+///              different snapshot-epoch set or altered a merge's
+///              determinism contract (set/sorted flags).
+///   TRAC-V012  static staleness/NOTICE bound weakened: the rewritten
+///              plan promises less recency than the original (larger
+///              report bound, dropped promise, or wider staleness hull).
 enum class VerifyCode {
   kMalformedGraph = 0,     ///< TRAC-V000
   kSnapshotMismatch,       ///< TRAC-V001
@@ -62,6 +82,10 @@ enum class VerifyCode {
   kDeadMergeInput,         ///< TRAC-V006
   kRedundantFilter,        ///< TRAC-V007
   kProvenanceWidening,     ///< TRAC-V008
+  kPredicateResidueMismatch,  ///< TRAC-V009 (equivalence witness)
+  kProvenanceNotPreserved,    ///< TRAC-V010 (equivalence witness)
+  kSnapshotContractChanged,   ///< TRAC-V011 (equivalence witness)
+  kStalenessBoundWeakened,    ///< TRAC-V012 (equivalence witness)
 };
 
 /// Stable identifier, e.g. "TRAC-V001".

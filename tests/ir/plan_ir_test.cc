@@ -1,5 +1,7 @@
 #include "ir/plan_ir.h"
 
+#include <string>
+
 #include <gtest/gtest.h>
 
 namespace trac {
@@ -100,6 +102,63 @@ TEST(PlanIrTest, ParseErrors) {
   EXPECT_FALSE(ParsePlanIr("ir x\nnode 0 join key=d\n").ok());
   // Malformed shard spec.
   EXPECT_FALSE(ParsePlanIr("ir x\nnode 0 scan shard=3\n").ok());
+}
+
+// Every malformed attribute value reports uniformly as
+// "plan IR line N: <attr>: <what>" — the line anchor is what lets a
+// user fix a hand-edited witness file without bisecting it.
+TEST(PlanIrTest, ParseErrorsAreLineAnchored) {
+  struct Case {
+    const char* name;
+    const char* text;
+    const char* want;  ///< Substring of the error message.
+  };
+  const Case kCases[] = {
+      {"rows not a number", "ir x\nnode 0 scan rows=abc\n",
+       "line 2: rows: bad number 'abc'"},
+      {"rows empty", "ir x\nnode 0 scan rows=\n",
+       "line 2: rows: empty number"},
+      {"pred not hex", "ir x\nnode 0 filter in=0 pred=xyz\n",
+       "line 2: pred: bad hex number 'xyz'"},
+      {"pred too wide", "ir x\nnode 0 filter pred=00000000000000000\n",
+       "line 2: pred: bad hex number"},
+      {"src empty element", "ir x\nnode 0 merge src=\n",
+       "line 2: want src=<table>,..."},
+      {"src trailing comma", "ir x\nnode 0 merge src=a,\n",
+       "line 2: want src=<table>,..."},
+      {"snap not a number", "ir x\nnode 0 scan snap=5x\n",
+       "line 2: snap: bad number '5x'"},
+      {"bound not a number", "ir x\nnode 0 report in=0 bound=1s\n",
+       "line 2: bound: bad number '1s'"},
+      {"shard not a number", "ir x\nnode 0 scan shard=a/2\n",
+       "line 2: shard: bad number 'a'"},
+      {"session not a number", "ir x\nnode 0 tempwrite session=one\n",
+       "line 2: session: bad number 'one'"},
+      {"age bad piece", "ir x\nnode 0 scan age=1..b\n",
+       "line 2: age: bad number 'b'"},
+      {"in bad piece", "ir x\nnode 0 join in=0,x\n",
+       "line 2: in: bad number 'x'"},
+      {"cols bad class", "ir x\nnode 0 scan cols=a:z\n",
+       "line 2: cols: bad provenance class 'z'"},
+      {"key bad class", "ir x\nnode 0 join key=d-q\n",
+       "line 2: key: bad provenance class 'q'"},
+      {"fns bad class", "ir x\nnode 0 agg fns=count:x\n",
+       "line 2: fns: bad provenance class 'x'"},
+      {"node id not a number", "ir x\nnode zero scan\n",
+       "line 2: node id: bad number 'zero'"},
+      {"anchor survives comments",
+       "# leading commentary\n\nir x\n# more\nnode 0 scan rows=?\n",
+       "line 5: rows: bad number '?'"},
+  };
+  for (const Case& c : kCases) {
+    SCOPED_TRACE(c.name);
+    auto parsed = ParsePlanIr(c.text);
+    ASSERT_FALSE(parsed.ok());
+    const std::string msg(parsed.status().message());
+    EXPECT_NE(msg.find(c.want), std::string::npos)
+        << "got: " << msg << "\nwant substring: " << c.want;
+    EXPECT_NE(msg.find("plan IR line "), std::string::npos) << msg;
+  }
 }
 
 TEST(PlanIrTest, TempTableNameClassifier) {

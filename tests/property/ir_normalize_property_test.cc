@@ -1,0 +1,131 @@
+// Property: NormalizeIr (verify/equiv.h) is idempotent, and
+// Dump -> ParsePlanIr -> NormalizeIr is a fixpoint of it — over every
+// .ir fixture checked in under examples/plans/ (clean, seeded-bad, and
+// rewrite witnesses alike) and over every plan the planner produces for
+// the examples/queries/ corpus. These are the two identities the
+// equivalence checker's fast path leans on: if normalization ever
+// reordered an already-normal graph, byte-comparing normalized dumps
+// would stop being a sound equality test.
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/planner.h"
+#include "exec/statement.h"
+#include "expr/binder.h"
+#include "ir/lower.h"
+#include "ir/plan_ir.h"
+#include "storage/database.h"
+#include "verify/equiv.h"
+
+namespace trac {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string ReadFileOrDie(const fs::path& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Strips full-line `-- comments` and splits on ';' outside strings.
+std::vector<std::string> SqlStatements(const std::string& text) {
+  std::istringstream lines(text);
+  std::string stripped;
+  std::string line;
+  while (std::getline(lines, line)) {
+    const size_t b = line.find_first_not_of(" \t\r");
+    if (b != std::string::npos && line.compare(b, 2, "--") == 0) continue;
+    stripped += line;
+    stripped += '\n';
+  }
+  std::vector<std::string> stmts;
+  std::string current;
+  bool in_string = false;
+  for (char c : stripped) {
+    if (c == '\'') in_string = !in_string;
+    if (c == ';' && !in_string) {
+      stmts.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  stmts.push_back(current);
+  std::vector<std::string> nonempty;
+  for (std::string& s : stmts) {
+    if (s.find_first_not_of(" \t\r\n") != std::string::npos) {
+      nonempty.push_back(std::move(s));
+    }
+  }
+  return nonempty;
+}
+
+/// The two identities under test, for one IR.
+void CheckNormalizeFixpoint(const PlanIr& ir, const std::string& context) {
+  SCOPED_TRACE(context);
+  const PlanIr once = NormalizeIr(ir);
+  // Idempotence: a second normalization is a no-op.
+  EXPECT_EQ(NormalizeIr(once).Dump(), once.Dump());
+  // Dump/Parse round-trip of a normalized IR re-normalizes to itself.
+  auto reparsed = ParsePlanIr(once.Dump());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(NormalizeIr(*reparsed).Dump(), once.Dump());
+}
+
+TEST(IrNormalizeProperty, EveryCheckedInIrIsAFixpoint) {
+  const fs::path root = fs::path(TRAC_EXAMPLES_DIR) / "plans";
+  size_t checked = 0;
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".ir") {
+      continue;
+    }
+    auto ir = ParsePlanIr(ReadFileOrDie(entry.path()));
+    ASSERT_TRUE(ir.ok()) << entry.path() << ": " << ir.status();
+    CheckNormalizeFixpoint(*ir, entry.path().filename().string());
+    ++checked;
+  }
+  // The clean, seeded-bad, absint, and rewrite-witness corpora together.
+  EXPECT_GE(checked, 20u) << "fixture corpus went missing?";
+}
+
+TEST(IrNormalizeProperty, EveryPlannerProducedPlanIsAFixpoint) {
+  Database db;
+  const fs::path schema = fs::path(TRAC_EXAMPLES_DIR) / "plans" / "schema.sql";
+  for (const std::string& stmt : SqlStatements(ReadFileOrDie(schema))) {
+    auto result = ExecuteStatement(&db, stmt);
+    ASSERT_TRUE(result.ok()) << result.status() << "\n" << stmt;
+  }
+  const fs::path dir = fs::path(TRAC_EXAMPLES_DIR) / "queries";
+  std::vector<fs::path> queries;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".sql" &&
+        entry.path().filename().string()[0] == 'q') {
+      queries.push_back(entry.path());
+    }
+  }
+  std::sort(queries.begin(), queries.end());
+  EXPECT_GE(queries.size(), 5u) << "corpus went missing?";
+  for (const fs::path& qpath : queries) {
+    const std::vector<std::string> stmts = SqlStatements(ReadFileOrDie(qpath));
+    ASSERT_EQ(stmts.size(), 1u);
+    auto query = BindSql(db, stmts[0]);
+    ASSERT_TRUE(query.ok()) << query.status();
+    const Snapshot snapshot = db.LatestSnapshot();
+    auto plan = PlanQuery(db, *query, snapshot);
+    ASSERT_TRUE(plan.ok()) << plan.status();
+    const PlanIr ir = LowerQueryPlan(db, *query, *plan, snapshot);
+    CheckNormalizeFixpoint(ir, qpath.filename().string());
+  }
+}
+
+}  // namespace
+}  // namespace trac

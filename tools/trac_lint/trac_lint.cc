@@ -33,6 +33,12 @@
 //                      tables (found by walking up from the first lint
 //                      root) — a code the docs do not know is a rule
 //                      nobody can look up
+//   corpus-drift       every fixture under examples/plans/bad/ (found by
+//                      walking up from the first lint root) must be
+//                      referenced — literally or via a glob/${VAR}
+//                      pattern — from a CMakeLists.txt/*.cmake/*.sh
+//                      build file, so a seeded-bad plan cannot silently
+//                      drop out of the CTest gates
 //
 // A line ending in a NOLINT(trac-<rule>) comment is exempt from <rule>.
 // Exit status is non-zero iff any violation was found; runs as a CTest
@@ -456,6 +462,124 @@ void CheckDocDrift(const fs::path& first_root) {
   }
 }
 
+// --- Rule: corpus-drift ----------------------------------------------------
+
+/// Converts one build-file token naming a .ir path — possibly with glob
+/// stars and ${VAR} references — into a regex matched against the tail
+/// of a fixture's generic path. Returns "" for tokens that cannot be
+/// turned into a pattern (unterminated ${).
+std::string IrTokenToRegex(const std::string& token) {
+  static const std::string kMeta = R"(\^$.|?+()[]{})";
+  std::string re;
+  for (size_t i = 0; i < token.size(); ++i) {
+    const char c = token[i];
+    if (c == '$' && i + 1 < token.size() && token[i + 1] == '{') {
+      const size_t close = token.find('}', i);
+      if (close == std::string::npos) return "";
+      re += ".*";
+      i = close;
+    } else if (c == '*') {
+      re += "[^/]*";
+    } else if (kMeta.find(c) != std::string::npos) {
+      re += '\\';
+      re += c;
+    } else {
+      re += c;
+    }
+  }
+  re += '$';
+  return re;
+}
+
+/// Directories never holding hand-written build files: generated trees
+/// would echo expanded globs and make every fixture look referenced.
+bool IsGeneratedTreeDir(const std::string& name) {
+  return name.empty() || name[0] == '.' || name.rfind("build", 0) == 0 ||
+         name == "scenario-repro";
+}
+
+/// Walks up from `first_root` to the nearest directory containing an
+/// examples/plans/bad corpus, then checks that every fixture file under
+/// it is matched by some .ir-naming token in a build file below that
+/// same directory. A fixture no build file can produce a reference to
+/// is a test that silently stopped running.
+void CheckCorpusDrift(const fs::path& first_root) {
+  std::error_code ec;
+  fs::path dir = fs::absolute(first_root, ec);
+  if (ec) return;
+  if (!fs::is_directory(dir, ec)) dir = dir.parent_path();
+  fs::path corpus;
+  for (int depth = 0; depth < 16; ++depth) {
+    const fs::path candidate = dir / "examples" / "plans" / "bad";
+    if (fs::is_directory(candidate, ec)) {
+      corpus = candidate;
+      break;
+    }
+    const fs::path parent = dir.parent_path();
+    if (parent == dir) break;
+    dir = parent;
+  }
+  if (corpus.empty()) return;
+
+  std::vector<fs::path> fixtures;
+  for (fs::recursive_directory_iterator it(corpus, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    if (it->is_regular_file(ec)) fixtures.push_back(it->path());
+  }
+  std::sort(fixtures.begin(), fixtures.end());
+  if (fixtures.empty()) return;
+
+  // Collect every .ir-naming token from the hand-written build files.
+  std::vector<std::regex> patterns;
+  fs::recursive_directory_iterator walk(dir, ec);
+  for (fs::recursive_directory_iterator end; !ec && walk != end;
+       walk.increment(ec)) {
+    if (walk->is_directory(ec) &&
+        IsGeneratedTreeDir(walk->path().filename().string())) {
+      walk.disable_recursion_pending();
+      continue;
+    }
+    if (!walk->is_regular_file(ec)) continue;
+    const std::string fname = walk->path().filename().string();
+    const std::string ext = walk->path().extension().string();
+    if (fname != "CMakeLists.txt" && ext != ".cmake" && ext != ".sh") {
+      continue;
+    }
+    std::ifstream in(walk->path());
+    std::string word;
+    while (in >> word) {
+      // Strip shell/CMake punctuation hugging the path token.
+      const size_t b = word.find_first_not_of("\"'();,=");
+      if (b == std::string::npos) continue;
+      const size_t e = word.find_last_not_of("\"'();,=\\");
+      word = word.substr(b, e - b + 1);
+      if (word.size() < 3 ||
+          word.compare(word.size() - 3, 3, ".ir") != 0) {
+        continue;
+      }
+      const std::string re = IrTokenToRegex(word);
+      if (!re.empty()) patterns.emplace_back(re);
+    }
+  }
+
+  for (const fs::path& fixture : fixtures) {
+    const std::string path = fixture.generic_string();
+    bool referenced = false;
+    for (const std::regex& re : patterns) {
+      if (std::regex_search(path, re)) {
+        referenced = true;
+        break;
+      }
+    }
+    if (!referenced) {
+      Report(path, 1, "corpus-drift",
+             "seeded-bad fixture is not referenced by any "
+             "CMakeLists.txt/*.cmake/*.sh under " + dir.generic_string() +
+                 "; wire it into a CTest case or delete it");
+    }
+  }
+}
+
 // --- Driver ----------------------------------------------------------------
 
 std::vector<std::string> ReadLines(const fs::path& path) {
@@ -517,6 +641,7 @@ int main(int argc, char** argv) {
     }
   }
   CheckDocDrift(fs::path(argv[1]));
+  CheckCorpusDrift(fs::path(argv[1]));
 
   for (const Violation& v : violations) {
     std::printf("%s:%zu: [%s] %s\n", v.file.c_str(), v.line, v.rule.c_str(),

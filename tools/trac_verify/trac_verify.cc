@@ -17,7 +17,21 @@
 //          format: examples/plans/bad/*.ir pin one TRAC-V diagnostic
 //          each.
 //
+// A third mode checks rewrite witnesses instead of single plans:
+//
+//   --equiv           consume the .ir inputs in (before, after) pairs
+//                     and run the static equivalence checker
+//                     (src/verify/equiv.h) over each pair. A clean pair
+//                     proves the rewrite preserved the predicate
+//                     residue, provenance, snapshot contract, and
+//                     staleness bound (TRAC-V009..V012); golden files
+//                     are keyed by the after-file's stem.
+//
 //   --dump-ir         print the lowered/parsed IR before the report
+//   --dump-rewrites   append the planner's rewrite decision trail for
+//                     each .sql input (rule, detail, verdict per
+//                     attempted rewrite; "rewrites: none" when the
+//                     optimizer had nothing to try)
 //   --absint          also run the abstract interpreter and the
 //                     semantic rules TRAC-V005..V008 it feeds (the
 //                     library gates always run them; the CLI default
@@ -52,6 +66,7 @@
 #include "exec/statement.h"
 #include "expr/binder.h"
 #include "storage/database.h"
+#include "verify/equiv.h"
 #include "verify/verifier.h"
 
 namespace {
@@ -65,9 +80,9 @@ using trac::cli::StripSqlComments;
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --schema <schema.sql> [--golden <dir>] [--update] "
-               "[--dump-ir] [--absint] [--dump-absint] [--json] "
-               "[--parallelism N] [--expect-findings] "
-               "<file.sql|file.ir>...\n",
+               "[--dump-ir] [--dump-rewrites] [--absint] [--dump-absint] "
+               "[--json] [--parallelism N] [--expect-findings] "
+               "[--equiv] <file.sql|file.ir>...\n",
                argv0);
   return trac::cli::kExitUsage;
 }
@@ -77,7 +92,8 @@ int Usage(const char* argv0) {
 /// the IR shape is identical to what RecencyReporter verifies online.
 trac::Result<trac::PlanIr> LowerSqlFile(const trac::Database& db,
                                         const trac::BoundQuery& query,
-                                        size_t parallelism) {
+                                        size_t parallelism,
+                                        trac::QueryPlan* user_plan_out) {
   TRAC_ASSIGN_OR_RETURN(trac::RecencyQueryPlan plan,
                         trac::GenerateRecencyQueries(db, query));
   const trac::Snapshot snapshot = db.LatestSnapshot();
@@ -115,7 +131,22 @@ trac::Result<trac::PlanIr> LowerSqlFile(const trac::Database& db,
   }
   trac::LowerOptions lower;
   lower.heartbeat_table = trac::HeartbeatTable::kDefaultName;
-  return trac::LowerReportSession(db, input, lower);
+  trac::PlanIr ir = trac::LowerReportSession(db, input, lower);
+  if (user_plan_out != nullptr) *user_plan_out = std::move(user_plan);
+  return ir;
+}
+
+/// The --dump-rewrites block: the optimizer's decision trail for the
+/// user plan, one line per attempted rewrite.
+std::string FormatRewrites(const trac::QueryPlan& plan) {
+  if (plan.rewrites.empty()) return "rewrites: none\n";
+  std::string out = "rewrites:\n";
+  for (const trac::PlanRewrite& rw : plan.rewrites) {
+    out += "  " + rw.rule;
+    if (!rw.detail.empty()) out += " (" + rw.detail + ")";
+    out += ": " + rw.verdict + "\n";
+  }
+  return out;
 }
 
 std::string JsonForFile(const std::string& name, const trac::PlanIr& ir,
@@ -145,10 +176,12 @@ int main(int argc, char** argv) {
   std::string golden_dir;
   bool update = false;
   bool dump_ir = false;
+  bool dump_rewrites = false;
   bool absint = false;
   bool dump_absint = false;
   bool json = false;
   bool expect_findings = false;
+  bool equiv = false;
   size_t parallelism = 1;
   std::vector<std::string> input_files;
   for (int i = 1; i < argc; ++i) {
@@ -161,6 +194,10 @@ int main(int argc, char** argv) {
       update = true;
     } else if (arg == "--dump-ir") {
       dump_ir = true;
+    } else if (arg == "--dump-rewrites") {
+      dump_rewrites = true;
+    } else if (arg == "--equiv") {
+      equiv = true;
     } else if (arg == "--absint") {
       absint = true;
     } else if (arg == "--dump-absint") {
@@ -211,6 +248,84 @@ int main(int argc, char** argv) {
   int exit_code = 0;
   std::string json_out = "[\n";
   bool json_first = true;
+
+  if (equiv) {
+    // Rewrite-witness mode: inputs come in (before, after) .ir pairs.
+    if (input_files.size() % 2 != 0) {
+      std::fprintf(stderr,
+                   "trac_verify: --equiv needs an even number of .ir "
+                   "inputs (before/after pairs), got %zu\n",
+                   input_files.size());
+      return trac::cli::kExitUsage;
+    }
+    for (size_t p = 0; p + 1 < input_files.size(); p += 2) {
+      trac::PlanIr irs[2];
+      for (size_t k = 0; k < 2; ++k) {
+        const fs::path path(input_files[p + k]);
+        std::string text;
+        if (!ReadFile(path, &text)) {
+          std::fprintf(stderr, "trac_verify: cannot read input: %s\n",
+                       path.string().c_str());
+          return trac::cli::kExitUsage;
+        }
+        if (path.extension() != ".ir") {
+          std::fprintf(stderr, "trac_verify: --equiv takes .ir inputs: %s\n",
+                       path.string().c_str());
+          return trac::cli::kExitUsage;
+        }
+        auto parsed = trac::ParsePlanIr(text);
+        if (!parsed.ok()) {
+          std::fprintf(stderr, "trac_verify: %s: %s\n", path.string().c_str(),
+                       parsed.status().ToString().c_str());
+          return trac::cli::kExitUsage;
+        }
+        irs[k] = std::move(*parsed);
+      }
+      const fs::path before_path(input_files[p]);
+      const fs::path after_path(input_files[p + 1]);
+      const std::string before_name = before_path.filename().string();
+      const std::string after_name = after_path.filename().string();
+      const trac::VerifyReport report =
+          trac::CheckIrEquivalence(irs[0], irs[1]);
+      if (expect_findings ? report.ok() : !report.ok()) {
+        if (expect_findings) {
+          std::printf("FAIL %s: expected findings, got a clean witness\n",
+                      after_name.c_str());
+        }
+        exit_code = trac::cli::kExitFindings;
+      }
+      std::string block = "equiv " + before_name + " -> " + after_name + "\n";
+      if (dump_ir) {
+        block += trac::NormalizeIr(irs[0]).Dump();
+        block += trac::NormalizeIr(irs[1]).Dump();
+      }
+      block += report.Format(irs[1]);
+      if (json) {
+        if (!json_first) json_out += ",\n";
+        json_first = false;
+        json_out += JsonForFile(after_name, irs[1], report);
+      } else {
+        std::printf("== %s -> %s\n%s", before_name.c_str(),
+                    after_name.c_str(), block.c_str());
+      }
+      // The golden is keyed by the after file's stem: the pair's one
+      // distinctive name (before stems repeat across witness variants).
+      if (!golden_dir.empty() &&
+          !trac::cli::GateGoldenDir("trac_verify", golden_dir, after_path,
+                                    block, update, &exit_code)) {
+        return trac::cli::kExitUsage;
+      }
+    }
+    if (json) {
+      json_out += "\n]\n";
+      std::printf("%s", json_out.c_str());
+    } else if (exit_code == 0) {
+      std::printf("trac_verify: OK (%zu pair%s)\n", input_files.size() / 2,
+                  input_files.size() == 2 ? "" : "s");
+    }
+    return exit_code;
+  }
+
   for (const std::string& input_file : input_files) {
     const fs::path ipath(input_file);
     const std::string name = ipath.filename().string();
@@ -222,6 +337,8 @@ int main(int argc, char** argv) {
     }
 
     trac::PlanIr ir;
+    trac::QueryPlan user_plan;
+    bool have_user_plan = false;
     if (ipath.extension() == ".ir") {
       auto parsed = trac::ParsePlanIr(text);
       if (!parsed.ok()) {
@@ -252,13 +369,15 @@ int main(int argc, char** argv) {
                      input_file.c_str(), bound.status().ToString().c_str());
         return 2;
       }
-      auto lowered = LowerSqlFile(db, *bound, parallelism);
+      auto lowered = LowerSqlFile(db, *bound, parallelism,
+                                  dump_rewrites ? &user_plan : nullptr);
       if (!lowered.ok()) {
         std::fprintf(stderr, "trac_verify: %s: lowering failed: %s\n",
                      input_file.c_str(), lowered.status().ToString().c_str());
         return 2;
       }
       ir = std::move(*lowered);
+      have_user_plan = dump_rewrites;
     }
 
     trac::VerifyOptions verify_options;
@@ -275,6 +394,7 @@ int main(int argc, char** argv) {
     std::string block;
     if (dump_ir) block += ir.Dump();
     block += report.Format(ir);
+    if (have_user_plan) block += FormatRewrites(user_plan);
     if (dump_absint) block += trac::absint::AnalyzeIr(ir).Dump(ir);
 
     if (json) {
