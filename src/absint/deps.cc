@@ -1,0 +1,63 @@
+#include "absint/deps.h"
+
+#include <algorithm>
+
+namespace trac {
+namespace absint {
+
+namespace {
+
+void SortUnique(std::vector<std::string>* v) {
+  std::sort(v->begin(), v->end());
+  v->erase(std::unique(v->begin(), v->end()), v->end());
+}
+
+std::string JoinOrDash(const std::vector<std::string>& v) {
+  if (v.empty()) return "-";
+  std::string out;
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i != 0) out += ',';
+    out += v[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+bool DepFootprint::ContainsTable(const std::string& table) const {
+  return std::binary_search(tables.begin(), tables.end(), table);
+}
+
+std::string DepFootprint::ToString() const {
+  std::string out;
+  out += "footprint tables=" + JoinOrDash(tables) + "\n";
+  out += "footprint temps=" + JoinOrDash(temp_tables) + "\n";
+  out += "footprint sources=" + sources.ToString() + "\n";
+  out += std::string("footprint staleness=") +
+         (staleness_sensitive ? "sensitive" : "none") + "\n";
+  return out;
+}
+
+DepFootprint ExtractDeps(const PlanIr& ir, const AbsintResult& analysis) {
+  DepFootprint fp;
+  for (const IrNode& n : ir.nodes) {
+    if (!n.table.empty()) {
+      (IsTempTableName(n.table) ? fp.temp_tables : fp.tables)
+          .push_back(n.table);
+    }
+    if (n.has_age) fp.staleness_sensitive = true;
+    if (n.id < analysis.facts.size()) {
+      fp.sources.JoinWith(analysis.facts[n.id].sources);
+    }
+  }
+  SortUnique(&fp.tables);
+  SortUnique(&fp.temp_tables);
+  return fp;
+}
+
+DepFootprint ExtractDeps(const PlanIr& ir) {
+  return ExtractDeps(ir, AnalyzeIr(ir));
+}
+
+}  // namespace absint
+}  // namespace trac

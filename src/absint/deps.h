@@ -1,0 +1,65 @@
+#ifndef TRAC_ABSINT_DEPS_H_
+#define TRAC_ABSINT_DEPS_H_
+
+#include <string>
+#include <vector>
+
+#include "absint/absint.h"
+#include "ir/plan_ir.h"
+
+namespace trac {
+namespace absint {
+
+/// Dependency domain over the plan IR: the statically extracted
+/// footprint of everything a plan's *result* can depend on. This is
+/// what makes a relevance-cache entry precisely invalidatable — the
+/// cache (core/relevance.h) revalidates an entry by checking, per
+/// footprint member, that the underlying state cannot have changed
+/// since the entry's snapshot:
+///
+///   tables                per-table data epochs
+///                         (Table::last_mutation_version),
+///   sources               sniffer arrivals attributed to in-footprint
+///                         data sources,
+///   staleness_sensitive   whether the plan reads age-carrying state at
+///                         all (a staleness-sensitive plan must carry
+///                         the registry table in `tables`, TRAC-V015),
+///
+/// plus the catalog/schema epoch, which every footprint implicitly
+/// contains (the names above only mean anything under one catalog).
+/// Temp tables are collected separately: touching one makes a plan
+/// session-local and hence cache-inadmissible (TRAC-V013), so
+/// `temp_tables` is a witness list, not a revalidatable dependency.
+struct DepFootprint {
+  /// Base tables the plan reads or writes, sorted and deduplicated.
+  std::vector<std::string> tables;
+  /// Session temp tables (sys_temp_*) the plan touches, sorted.
+  std::vector<std::string> temp_tables;
+  /// Union of the provenance domain over every node: the data-source
+  /// relations whose identity any value in the plan can carry.
+  SourceSet sources;
+  /// True when any read in the plan is age-annotated (`age=`) — i.e.
+  /// the result quotes recency state that goes stale as sources beat.
+  bool staleness_sensitive = false;
+
+  bool ContainsTable(const std::string& table) const;
+
+  /// Deterministic multi-line rendering, one "footprint <k>=<v>" line
+  /// per component ('-' for empty); byte-pinned by the --cache-deps
+  /// goldens.
+  std::string ToString() const;
+};
+
+/// Extracts the footprint from `ir` using already-computed fixpoint
+/// facts (`analysis` must come from AnalyzeIr over the same IR). Never
+/// fails: malformed graphs simply yield the footprint of the nodes as
+/// written, and TRAC-V000 owns rejecting them.
+DepFootprint ExtractDeps(const PlanIr& ir, const AbsintResult& analysis);
+
+/// Convenience overload running AnalyzeIr internally.
+DepFootprint ExtractDeps(const PlanIr& ir);
+
+}  // namespace absint
+}  // namespace trac
+
+#endif  // TRAC_ABSINT_DEPS_H_

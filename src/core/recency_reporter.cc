@@ -3,6 +3,8 @@
 #include "absint/absint.h"
 #include "common/dcheck.h"
 #include "expr/binder.h"
+#include "ir/lower.h"
+#include "verify/admissible.h"
 #include "verify/verifier.h"
 
 namespace trac {
@@ -57,7 +59,8 @@ void ReadStaticBounds(const PlanIr& ir, StaticBounds* bounds) {
                                          Snapshot snapshot,
                                          const RecencyReportOptions& options,
                                          const PlanningHints& hints,
-                                         StaticBounds* bounds) {
+                                         StaticBounds* bounds,
+                                         RelevanceCache::Probe* probe) {
   TRAC_ASSIGN_OR_RETURN(QueryPlan user_plan,
                         PlanQuery(db, user_query, snapshot, hints));
   // Plan storage is sized up front so the pointers taken below stay
@@ -103,6 +106,16 @@ void ReadStaticBounds(const PlanIr& ir, StaticBounds* bounds) {
   const Status verified = VerifyIrStatus(ir);
   TRAC_DCHECK(verified.ok(), verified.message().c_str());
   if (verified.ok() && bounds != nullptr) ReadStaticBounds(ir, bounds);
+  if (verified.ok() && probe != nullptr) {
+    // Cache gate: the cacheable unit is the relevance computation alone
+    // (parts + merge, no user query / temp writes), lowered separately
+    // so the fingerprint describes exactly what the cache would replay.
+    const PlanIr relevance_ir = LowerRelevancePlan(db, input, lower);
+    CacheAdmissibilityOptions cache_options;
+    cache_options.registry_table = options.relevance.heartbeat_table;
+    *probe = RelevanceCache::MakeProbe(
+        db, AnalyzeCacheAdmissibility(relevance_ir, cache_options));
+  }
   return verified;
 }
 
@@ -210,6 +223,7 @@ Result<RecencyReport> RecencyReporter::Finish(
 
   RecencyReport report;
   report.trace_id = trace_id;
+  report.snapshot = snapshot;
   report.parse_generate_micros = parse_generate_micros;
   // 1. The user query, on the shared snapshot. The plan's guarantee
   // analysis rides along as a planner hint: a statically
@@ -221,9 +235,10 @@ Result<RecencyReport> RecencyReporter::Finish(
   // hard error with invariants armed, Status in release.
   TraceSpan verify_span(tel.tracer, tel.clock, "verify", trace_id, root.id());
   StaticBounds static_bounds;
-  const Status verified =
-      VerifyFinishSession(*db_, session_, user_query, plan, snapshot, options,
-                          hints, &static_bounds);
+  RelevanceCache::Probe cache_probe;
+  const Status verified = VerifyFinishSession(
+      *db_, session_, user_query, plan, snapshot, options, hints,
+      &static_bounds, options.cache != nullptr ? &cache_probe : nullptr);
   verify_span.End();
   report.static_bounds_computed = static_bounds.computed;
   report.static_staleness_width_micros = static_bounds.staleness_width_micros;
@@ -250,22 +265,41 @@ Result<RecencyReport> RecencyReporter::Finish(
   // tasks hang their "relevance-task" spans off this span.
   TraceSpan relevance_span(tel.tracer, tel.clock, "relevance", trace_id,
                            root.id());
-  RelevanceOptions relevance_options = options.relevance;
-  relevance_options.telemetry = options.telemetry;
-  relevance_options.trace_id = trace_id;
-  relevance_options.parent_span_id = relevance_span.id();
-  t = tel.clock();
-  TRAC_ASSIGN_OR_RETURN(
-      RecencyExecution exec,
-      ExecuteRecencyQueriesDetailed(*db_, plan, snapshot, relevance_options));
-  report.relevance_exec_micros = tel.clock() - t;
-  relevance_span.set_relevant_sources(
-      static_cast<int64_t>(exec.sources.size()));
+  std::vector<SourceRecency> sources;
+  std::optional<std::vector<SourceRecency>> cached;
+  if (options.cache != nullptr) {
+    cached = options.cache->Lookup(*db_, cache_probe, snapshot);
+  }
+  if (cached.has_value()) {
+    // Served from the verified relevance cache: the probe was admitted
+    // by the TRAC-V013..V016 analysis and validated against the entry's
+    // footprint at this snapshot, so this vector is byte-identical to
+    // what execution would produce.
+    t = tel.clock();
+    sources = std::move(*cached);
+    report.relevance_exec_micros = tel.clock() - t;
+    report.relevance_from_cache = true;
+    report.relevance_parallelism = 1;
+  } else {
+    RelevanceOptions relevance_options = options.relevance;
+    relevance_options.telemetry = options.telemetry;
+    relevance_options.trace_id = trace_id;
+    relevance_options.parent_span_id = relevance_span.id();
+    t = tel.clock();
+    TRAC_ASSIGN_OR_RETURN(
+        RecencyExecution exec,
+        ExecuteRecencyQueriesDetailed(*db_, plan, snapshot, relevance_options));
+    report.relevance_exec_micros = tel.clock() - t;
+    sources = std::move(exec.sources);
+    report.relevance_parallelism = exec.parallelism;
+    report.relevance_task_micros = std::move(exec.task_micros);
+    if (options.cache != nullptr) {
+      options.cache->Insert(*db_, cache_probe, snapshot, sources);
+    }
+  }
+  relevance_span.set_relevant_sources(static_cast<int64_t>(sources.size()));
   relevance_span.End();
-  root.set_relevant_sources(static_cast<int64_t>(exec.sources.size()));
-  std::vector<SourceRecency> sources = std::move(exec.sources);
-  report.relevance_parallelism = exec.parallelism;
-  report.relevance_task_micros = std::move(exec.task_micros);
+  root.set_relevant_sources(static_cast<int64_t>(sources.size()));
   for (int64_t micros : report.relevance_task_micros) {
     report.relevance_busy_micros += micros;
   }

@@ -36,6 +36,14 @@ struct RecencyReportOptions {
   /// relevance/stats) under RecencyReport::trace_id and feeds the
   /// trac_report_* histograms.
   const Telemetry* telemetry = nullptr;
+  /// Optional relevance-result cache. When set, the verify gate also
+  /// runs the cache-admissibility analysis (TRAC-V013..V016) over the
+  /// session's relevance plan; an admissible plan's SourceRecency vector
+  /// is then served from / inserted into the cache, skipping
+  /// ExecuteRecencyQueries on a hit. nullptr (the default) = every
+  /// report recomputes. The cache may be shared across reporters and
+  /// threads.
+  RelevanceCache* cache = nullptr;
 };
 
 /// Everything the paper's recencyReport() table function returns: the
@@ -77,6 +85,18 @@ struct RecencyReport {
   uint64_t static_sources_lo = 0;
   uint64_t static_sources_hi = 0;
   bool static_sources_unbounded = false;
+
+  /// The MVCC snapshot every part of this report (user query, recency
+  /// queries, stats) was evaluated against — Section 3.2's consistency
+  /// requirement, exposed so oracles can recompute at the same epoch.
+  Snapshot snapshot;
+
+  /// True when `relevance.sources` was served by the relevance-result
+  /// cache (options.cache) instead of executing the recency queries.
+  /// Cache admission is gated on the TRAC-V013..V016 static analysis,
+  /// so a served vector is byte-identical to what execution would have
+  /// produced at this snapshot.
+  bool relevance_from_cache = false;
 
   /// The report's span tree in the tracer
   /// (Tracer::DumpTraceJson(trace_id) renders it).

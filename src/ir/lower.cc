@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/str_util.h"
+#include "ir/fingerprint.h"
 
 namespace trac {
 
@@ -141,12 +142,7 @@ uint64_t PredFingerprint(const Database& db, const BoundQuery& query,
     if (i != 0) joined += " AND ";
     joined += terms[i];
   }
-  uint64_t h = 14695981039346656037ull;
-  for (char c : joined) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ull;
-  }
-  return h;
+  return Fnv1a64(joined);
 }
 
 void AnnotateFilter(IrNode* filter, const Database& db,
@@ -287,6 +283,92 @@ size_t LowerQueryInto(PlanIr* ir, const Database& db, const BoundQuery& query,
   return top;
 }
 
+/// Lowers every recency part of `input` plus their deterministic rejoin
+/// into `ir` and returns the merge's node id. Shared by the session
+/// lowering and by LowerRelevancePlan, so the cacheable relevance
+/// subgraph is *by construction* the same shape the session executes.
+size_t LowerPartsAndMergeInto(PlanIr* ir, const Database& db,
+                              const ReportSessionInput& input,
+                              const LowerOptions& options,
+                              const AgeRange& age) {
+  // Every recency part: sharded heartbeat scans, or the part's plan
+  // subgraph, gated by its guard subgraphs.
+  std::vector<size_t> part_tops;
+  std::vector<IrColumn> source_cols;
+  for (const SessionPartInput& part : input.parts) {
+    const BoundQuery& q = *part.query;
+    if (source_cols.empty()) {
+      for (const BoundQuery::OutputColumn& out : q.outputs) {
+        source_cols.push_back(IrColumn{
+            out.name, ProvenanceOf(db, q.relations[out.ref.rel].table_id,
+                                   out.ref.col, options)});
+      }
+    }
+    if (part.shards > 1) {
+      // Pure heartbeat scan fanned out into version-range shards; the
+      // shards rejoin only through the session merge below.
+      const TableSchema& schema =
+          db.catalog().schema(q.relations[0].table_id);
+      for (size_t s = 0; s < part.shards; ++s) {
+        IrNode& scan = ir->Add(IrNodeKind::kScan);
+        scan.generated = true;
+        scan.table = schema.name();
+        scan.snapshot = input.snapshot.version;
+        scan.shard = s;
+        scan.num_shards = part.shards;
+        for (size_t c = 0; c < schema.num_columns(); ++c) {
+          scan.columns.push_back(
+              IrColumn{q.relations[0].display_name + "." +
+                           schema.column(c).name,
+                       ProvenanceOf(db, q.relations[0].table_id, c, options)});
+        }
+        AnnotateScan(&scan, db, q.relations[0].table_id, age, options);
+        part_tops.push_back(scan.id);
+      }
+      continue;
+    }
+    // EXISTS guards execute before the part's main query, so they lower
+    // first (IR node order is execution order).
+    std::vector<size_t> guard_tops;
+    for (size_t g = 0; g < part.guard_queries.size(); ++g) {
+      guard_tops.push_back(LowerQueryInto(
+          ir, db, *part.guard_queries[g], *part.guard_plans[g],
+          input.snapshot, options, /*generated=*/true, age));
+    }
+    size_t part_top = LowerQueryInto(ir, db, q, *part.plan, input.snapshot,
+                                     options, /*generated=*/true, age);
+    if (!guard_tops.empty()) {
+      // The part's rows flow only if every guard is non-empty, modeled
+      // as a gating filter fed by the part and the guard roots.
+      const std::vector<IrColumn> cols = ir->nodes[part_top].columns;
+      IrNode& gate = ir->Add(IrNodeKind::kFilter);
+      gate.generated = true;
+      gate.inputs.push_back(part_top);
+      for (size_t g : guard_tops) gate.inputs.push_back(g);
+      gate.columns = cols;
+      part_top = gate.id;
+    }
+    part_tops.push_back(part_top);
+  }
+
+  // The deterministic rejoin: an order-insensitive set merge keyed on
+  // the source id, with sorted output (the union of Corollaries 1/4).
+  IrNode& merge = ir->Add(IrNodeKind::kMerge);
+  merge.generated = true;
+  merge.inputs = part_tops;
+  merge.set_merge = true;
+  merge.sorted = true;
+  if (source_cols.empty()) {
+    // No parts (S(Q) = ∅): the merge of nothing still carries the
+    // source-anchored shape the temp writes and report consume.
+    source_cols.push_back(IrColumn{"source_id", ColumnProvenance::kDataSource});
+    source_cols.push_back(
+        IrColumn{"recency_timestamp", ColumnProvenance::kRegular});
+  }
+  merge.columns = source_cols;
+  return merge.id;
+}
+
 }  // namespace
 
 PlanIr LowerQueryPlan(const Database& db, const BoundQuery& query,
@@ -311,82 +393,8 @@ PlanIr LowerReportSession(const Database& db, const ReportSessionInput& input,
       LowerQueryInto(&ir, db, *input.user_query, *input.user_plan,
                      input.snapshot, options, /*generated=*/false, age);
 
-  // 2. Every recency part: sharded heartbeat scans, or the part's plan
-  // subgraph, gated by its guard subgraphs.
-  std::vector<size_t> part_tops;
-  std::vector<IrColumn> source_cols;
-  for (const SessionPartInput& part : input.parts) {
-    const BoundQuery& q = *part.query;
-    if (source_cols.empty()) {
-      for (const BoundQuery::OutputColumn& out : q.outputs) {
-        source_cols.push_back(IrColumn{
-            out.name, ProvenanceOf(db, q.relations[out.ref.rel].table_id,
-                                   out.ref.col, options)});
-      }
-    }
-    if (part.shards > 1) {
-      // Pure heartbeat scan fanned out into version-range shards; the
-      // shards rejoin only through the session merge below.
-      const TableSchema& schema =
-          db.catalog().schema(q.relations[0].table_id);
-      for (size_t s = 0; s < part.shards; ++s) {
-        IrNode& scan = ir.Add(IrNodeKind::kScan);
-        scan.generated = true;
-        scan.table = schema.name();
-        scan.snapshot = input.snapshot.version;
-        scan.shard = s;
-        scan.num_shards = part.shards;
-        for (size_t c = 0; c < schema.num_columns(); ++c) {
-          scan.columns.push_back(
-              IrColumn{q.relations[0].display_name + "." +
-                           schema.column(c).name,
-                       ProvenanceOf(db, q.relations[0].table_id, c, options)});
-        }
-        AnnotateScan(&scan, db, q.relations[0].table_id, age, options);
-        part_tops.push_back(scan.id);
-      }
-      continue;
-    }
-    // EXISTS guards execute before the part's main query, so they lower
-    // first (IR node order is execution order).
-    std::vector<size_t> guard_tops;
-    for (size_t g = 0; g < part.guard_queries.size(); ++g) {
-      guard_tops.push_back(LowerQueryInto(
-          &ir, db, *part.guard_queries[g], *part.guard_plans[g],
-          input.snapshot, options, /*generated=*/true, age));
-    }
-    size_t part_top = LowerQueryInto(&ir, db, q, *part.plan, input.snapshot,
-                                     options, /*generated=*/true, age);
-    if (!guard_tops.empty()) {
-      // The part's rows flow only if every guard is non-empty, modeled
-      // as a gating filter fed by the part and the guard roots.
-      const std::vector<IrColumn> cols = ir.nodes[part_top].columns;
-      IrNode& gate = ir.Add(IrNodeKind::kFilter);
-      gate.generated = true;
-      gate.inputs.push_back(part_top);
-      for (size_t g : guard_tops) gate.inputs.push_back(g);
-      gate.columns = cols;
-      part_top = gate.id;
-    }
-    part_tops.push_back(part_top);
-  }
-
-  // 3. The deterministic rejoin: an order-insensitive set merge keyed on
-  // the source id, with sorted output (the union of Corollaries 1/4).
-  IrNode& merge = ir.Add(IrNodeKind::kMerge);
-  merge.generated = true;
-  merge.inputs = part_tops;
-  merge.set_merge = true;
-  merge.sorted = true;
-  if (source_cols.empty()) {
-    // No parts (S(Q) = ∅): the merge of nothing still carries the
-    // source-anchored shape the temp writes and report consume.
-    source_cols.push_back(IrColumn{"source_id", ColumnProvenance::kDataSource});
-    source_cols.push_back(
-        IrColumn{"recency_timestamp", ColumnProvenance::kRegular});
-  }
-  merge.columns = source_cols;
-  const size_t merge_id = merge.id;
+  // 2+3. Every recency part and their deterministic set-merge rejoin.
+  const size_t merge_id = LowerPartsAndMergeInto(&ir, db, input, options, age);
 
   // 4. Temp-table writes (sys_temp_a*/sys_temp_e*).
   const std::vector<std::string> declared = DeclaredSourceUniverse(db, options);
@@ -414,6 +422,15 @@ PlanIr LowerReportSession(const Database& db, const ReportSessionInput& input,
     report.has_bound = true;
     report.notice_bound_micros = age.hi - age.lo;
   }
+  return ir;
+}
+
+PlanIr LowerRelevancePlan(const Database& db, const ReportSessionInput& input,
+                          const LowerOptions& options) {
+  PlanIr ir;
+  ir.label = "relevance";
+  const AgeRange age = HeartbeatAgeRange(db, input.snapshot, options);
+  LowerPartsAndMergeInto(&ir, db, input, options, age);
   return ir;
 }
 

@@ -129,6 +129,15 @@ struct IrNode {
   /// provenance against this set (TRAC-V008); empty = undeclared.
   std::vector<std::string> declared_sources;
 
+  /// Declared cache-dependency footprint of this node: the tables,
+  /// indexes ("index:<table>.<column>") and registry structures whose
+  /// state the node's output depends on, as asserted by the producer of
+  /// the plan. The cache-admissibility pass checks the assertion against
+  /// the footprint the dependency domain extracts (TRAC-V014): a touched
+  /// structure missing from a non-empty declaration makes the plan
+  /// inadmissible. Empty = undeclared (extraction alone governs).
+  std::vector<std::string> cache_deps;
+
   /// kReport: the bound-of-inconsistency width (microseconds) the
   /// guarantee NOTICE promises. The static staleness interval reaching
   /// the report must fit inside it (TRAC-V005); absent = no promise.

@@ -1,0 +1,253 @@
+#include "verify/admissible.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "absint/absint.h"
+#include "ir/fingerprint.h"
+#include "ir/normalize.h"
+
+namespace trac {
+
+namespace {
+
+void Report(VerifyReport* report, VerifyCode code, const IrNode& node,
+            std::string message) {
+  VerifyDiagnostic d;
+  d.code = code;
+  d.node = node.id;
+  d.kind = node.kind;
+  d.message = std::move(message);
+  report->diagnostics.push_back(std::move(d));
+}
+
+/// Same canonical discipline as VerifyIr: dedupe by (code, node) keeping
+/// the first message, stable-sort by (node, code).
+void Canonicalize(VerifyReport* report) {
+  std::set<std::pair<size_t, VerifyCode>> seen;
+  std::vector<VerifyDiagnostic> kept;
+  kept.reserve(report->diagnostics.size());
+  for (VerifyDiagnostic& d : report->diagnostics) {
+    if (seen.insert({d.node, d.code}).second) kept.push_back(std::move(d));
+  }
+  std::stable_sort(kept.begin(), kept.end(),
+                   [](const VerifyDiagnostic& a, const VerifyDiagnostic& b) {
+                     if (a.node != b.node) return a.node < b.node;
+                     return a.code < b.code;
+                   });
+  report->diagnostics = std::move(kept);
+}
+
+/// TRAC-V013: every node must be a deterministic pure function of
+/// durable state. Three shapes break that: a multi-input merge with no
+/// determinism contract (arrival order leaks into the result), any
+/// temp-table touch (session-local state), and any session-owned node
+/// (the plan escapes its session even without a temp table name).
+void CheckInadmissibleNodes(const PlanIr& ir, VerifyReport* report) {
+  for (const IrNode& n : ir.nodes) {
+    if (n.kind == IrNodeKind::kMerge && n.inputs.size() > 1 &&
+        !n.set_merge && !n.sorted) {
+      Report(report, VerifyCode::kCacheInadmissibleNode, n,
+             "merge of " + std::to_string(n.inputs.size()) +
+                 " strands is neither set nor sorted; its output depends "
+                 "on arrival order and cannot be cached");
+    }
+    if (n.kind == IrNodeKind::kTempWrite) {
+      Report(report, VerifyCode::kCacheInadmissibleNode, n,
+             "temp write to '" + n.table +
+                 "' is a session-local side effect; plans that write "
+                 "session state are never cache-admissible");
+    }
+    if (n.kind == IrNodeKind::kScan && IsTempTableName(n.table)) {
+      Report(report, VerifyCode::kCacheInadmissibleNode, n,
+             "scan of session temp table '" + n.table +
+                 "' reads state outside the durable-footprint model; "
+                 "the cache cannot invalidate it");
+    }
+    if (n.session != 0) {
+      Report(report, VerifyCode::kCacheInadmissibleNode, n,
+             "node is owned by session " + std::to_string(n.session) +
+                 "; session-escaping plans are never cache-admissible");
+    }
+  }
+}
+
+/// TRAC-V014: when the plan declares a dependency set (`deps=`), every
+/// structure the extractor proves the plan touches — tables and data
+/// sources — must appear in it; a miss means footprint-based
+/// invalidation built from the declaration would let stale entries
+/// survive real changes. An undeclared plan (no `deps=` anywhere) is
+/// exempt: extraction alone governs it.
+void CheckDepsComplete(const PlanIr& ir, const absint::AbsintResult& analysis,
+                       const absint::DepFootprint& deps,
+                       VerifyReport* report) {
+  std::set<std::string> declared;
+  for (const IrNode& n : ir.nodes) {
+    declared.insert(n.cache_deps.begin(), n.cache_deps.end());
+  }
+  if (declared.empty()) return;
+  for (const std::string& table : deps.tables) {
+    if (declared.count(table) != 0) continue;
+    for (const IrNode& n : ir.nodes) {
+      if (n.table != table) continue;
+      Report(report, VerifyCode::kCacheDepsIncomplete, n,
+             std::string(IrNodeKindToString(n.kind)) + " touches table '" +
+                 table + "' which is absent from the declared dependency "
+                 "set; invalidation keyed on the declaration would miss "
+                 "its mutations");
+      break;
+    }
+  }
+  for (const std::string& source : deps.sources.tables) {
+    if (declared.count(source) != 0) continue;
+    for (const IrNode& n : ir.nodes) {
+      if (n.id >= analysis.facts.size()) break;
+      const auto& st = analysis.facts[n.id].sources.tables;
+      if (!std::binary_search(st.begin(), st.end(), source)) continue;
+      Report(report, VerifyCode::kCacheDepsIncomplete, n,
+             "node carries data-source provenance '" + source +
+                 "' which is absent from the declared dependency set; "
+                 "sniffer arrivals for that source would not invalidate "
+                 "the entry");
+      break;
+    }
+  }
+}
+
+/// TRAC-V015: a plan that quotes recency state (any age-annotated read)
+/// must depend on the registry table, or new heartbeats could never
+/// invalidate its cached answer.
+void CheckRegistryEpoch(const PlanIr& ir, const absint::DepFootprint& deps,
+                        const std::string& registry, VerifyReport* report) {
+  if (!deps.staleness_sensitive || deps.ContainsTable(registry)) return;
+  for (const IrNode& n : ir.nodes) {
+    if (!n.has_age) continue;
+    Report(report, VerifyCode::kCacheRegistryEpochMissing, n,
+           "plan is staleness-sensitive (age-annotated read) but its "
+           "footprint lacks the source registry '" +
+               registry + "'; cached recency answers would outlive new "
+               "heartbeats");
+    break;
+  }
+}
+
+/// Volatile-attribute strip matching ir/fingerprint.h's canonical form,
+/// reduced to one node: what must be identical across the shards of one
+/// decomposed scan.
+std::string ShardStrippedSignature(IrNode n) {
+  n.snapshot = 0;
+  n.has_rows = false;
+  n.rows = 0;
+  n.has_age = false;
+  n.age_lo = 0;
+  n.age_hi = 0;
+  n.shard = 0;
+  n.num_shards = 1;
+  return IrNodeSignature(n);
+}
+
+/// TRAC-V016: fingerprint stability. Leg (a): the fingerprint must
+/// survive a Dump/Parse round trip — the cache key of a plan read back
+/// from its own corpus file is the same entry. Leg (b): shard groups
+/// must be coherent — the shards of one decomposed scan (same table,
+/// same fan-out) must cover 0..n-1 exactly once and be structurally
+/// identical modulo the shard index and volatile annotations, which is
+/// precisely the condition under which the canonical form collapses the
+/// parallelism-N lowering onto the parallelism-1 one.
+void CheckFingerprintStable(const PlanIr& ir, VerifyReport* report) {
+  const uint64_t direct = IrCacheFingerprint(ir);
+  const Result<PlanIr> reparsed = ParsePlanIr(ir.Dump());
+  const IrNode& sink = ir.nodes.back();
+  if (!reparsed.ok()) {
+    Report(report, VerifyCode::kCacheFingerprintUnstable, sink,
+           "plan IR does not survive its own Dump/Parse round trip: " +
+               std::string(reparsed.status().message()));
+  } else if (IrCacheFingerprint(*reparsed) != direct) {
+    Report(report, VerifyCode::kCacheFingerprintUnstable, sink,
+           "cache fingerprint changes across a Dump/Parse round trip; "
+           "the plan would key different entries before and after "
+           "serialization");
+  }
+
+  struct Group {
+    const IrNode* first = nullptr;
+    std::string signature;
+    std::multiset<size_t> shards;
+    bool mixed = false;
+  };
+  std::map<std::pair<std::string, size_t>, Group> groups;
+  for (const IrNode& n : ir.nodes) {
+    if (n.kind != IrNodeKind::kScan || n.num_shards <= 1) continue;
+    Group& g = groups[{n.table, n.num_shards}];
+    const std::string sig = ShardStrippedSignature(n);
+    if (g.first == nullptr) {
+      g.first = &n;
+      g.signature = sig;
+    } else if (sig != g.signature) {
+      g.mixed = true;
+    }
+    g.shards.insert(n.shard);
+  }
+  for (const auto& [key, g] : groups) {
+    if (g.mixed) {
+      Report(report, VerifyCode::kCacheFingerprintUnstable, *g.first,
+             "shards of table '" + key.first +
+                 "' differ structurally beyond the shard index; the "
+                 "parallel lowering cannot collapse to the parallelism-1 "
+                 "form, so fan-out would change the cache key");
+      continue;
+    }
+    // Several plan parts may each scan the same table with the same
+    // fan-out, so the group legitimately holds k complete partitions:
+    // every index 0..n-1 must appear the same number of times and
+    // nothing outside that range may appear at all.
+    const size_t copies = g.shards.count(0);
+    bool partition = copies > 0 && g.shards.size() == copies * key.second;
+    for (size_t s = 0; partition && s < key.second; ++s) {
+      partition = g.shards.count(s) == copies;
+    }
+    if (!partition) {
+      Report(report, VerifyCode::kCacheFingerprintUnstable, *g.first,
+             "shard group of table '" + key.first + "' does not cover 0.." +
+                 std::to_string(key.second - 1) +
+                 " uniformly; the decomposition is not a partition of "
+                 "the parallelism-1 scan");
+    }
+  }
+}
+
+}  // namespace
+
+CacheAdmissibility AnalyzeCacheAdmissibility(
+    const PlanIr& ir, const CacheAdmissibilityOptions& options) {
+  CacheAdmissibility out;
+  size_t bad = 0;
+  if (ir.nodes.empty() || !IrWellFormed(ir, &bad)) {
+    VerifyDiagnostic d;
+    d.code = VerifyCode::kMalformedGraph;
+    d.node = bad;
+    d.kind = bad < ir.nodes.size() ? ir.nodes[bad].kind : IrNodeKind::kScan;
+    d.message =
+        "cache admissibility rejected: the plan IR is empty or malformed";
+    out.report.diagnostics.push_back(std::move(d));
+    return out;
+  }
+
+  const absint::AbsintResult analysis = absint::AnalyzeIr(ir);
+  out.deps = absint::ExtractDeps(ir, analysis);
+  out.cache_key = IrCacheKey(ir);
+  out.fingerprint = Fnv1a64(out.cache_key);
+
+  CheckInadmissibleNodes(ir, &out.report);
+  CheckDepsComplete(ir, analysis, out.deps, &out.report);
+  CheckRegistryEpoch(ir, out.deps, options.registry_table, &out.report);
+  CheckFingerprintStable(ir, &out.report);
+  Canonicalize(&out.report);
+  out.admissible = out.report.ok();
+  return out;
+}
+
+}  // namespace trac

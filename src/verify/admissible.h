@@ -1,0 +1,65 @@
+#ifndef TRAC_VERIFY_ADMISSIBLE_H_
+#define TRAC_VERIFY_ADMISSIBLE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "absint/deps.h"
+#include "ir/plan_ir.h"
+#include "verify/verifier.h"
+
+namespace trac {
+
+/// Static cache-admissibility analysis: the TRAC-V013..V016 pass family
+/// gating the relevance-result cache (core/relevance.h). A report may be
+/// served from cache only if its relevance plan *provably* (a) computes
+/// a pure function of durable database state, and (b) carries a
+/// footprint precise enough that every state change the result depends
+/// on maps to an invalidation signal. Each rule discharges one slice of
+/// that proof; any finding makes the plan inadmissible, which is always
+/// safe — the session just recomputes.
+///
+///   TRAC-V013  no non-deterministic or session-escaping node,
+///   TRAC-V014  declared dependency set (`deps=`) covers the extracted
+///              footprint,
+///   TRAC-V015  staleness-sensitive plans depend on the registry table,
+///   TRAC-V016  the cache fingerprint is stable across Dump/Parse and
+///              across shard decompositions (parallelism 1 vs N).
+
+struct CacheAdmissibilityOptions {
+  /// The source-registry (Heartbeat) table a staleness-sensitive plan
+  /// must carry in its footprint (TRAC-V015). Matches
+  /// HeartbeatTable::kDefaultName; the reporter passes its configured
+  /// name through.
+  std::string registry_table = "heartbeat";
+};
+
+/// The analysis verdict plus everything the cache needs to key and
+/// invalidate an entry.
+struct CacheAdmissibility {
+  /// True iff `report` is clean: the plan may enter the cache.
+  bool admissible = false;
+  /// TRAC-V013..V016 findings (canonical order, like VerifyIr); a
+  /// malformed graph yields a single TRAC-V000 finding instead.
+  VerifyReport report;
+  /// Extracted dependency footprint (absint/deps.h) — the invalidation
+  /// contract of a cached entry.
+  absint::DepFootprint deps;
+  /// Canonical cache key: the dump of the cache-canonical IR
+  /// (ir/fingerprint.h). Stored by the cache and compared on lookup, so
+  /// even a 64-bit fingerprint collision cannot alias two plans.
+  std::string cache_key;
+  /// Fnv1a64(cache_key): the hash the cache buckets by.
+  uint64_t fingerprint = 0;
+};
+
+/// Runs the V013..V016 passes plus footprint extraction over `ir`.
+/// Never fails as a function: inadmissibility is a verdict, not an
+/// error.
+CacheAdmissibility AnalyzeCacheAdmissibility(
+    const PlanIr& ir,
+    const CacheAdmissibilityOptions& options = CacheAdmissibilityOptions());
+
+}  // namespace trac
+
+#endif  // TRAC_VERIFY_ADMISSIBLE_H_

@@ -1,8 +1,7 @@
 #ifndef TRAC_VERIFY_EQUIV_H_
 #define TRAC_VERIFY_EQUIV_H_
 
-#include <vector>
-
+#include "ir/normalize.h"
 #include "ir/plan_ir.h"
 #include "verify/verifier.h"
 
@@ -19,22 +18,10 @@ namespace trac {
 /// staleness/NOTICE bound not weakened). A clean report means the
 /// rewrite provably preserves the recency-reporting contract; a finding
 /// means the rewrite must be discarded, never that planning fails.
-
-/// Canonicalizes an IR without changing its meaning:
-///   - nodes are re-ordered into a deterministic topological order
-///     (ready nodes tie-broken by a structural signature, then original
-///     id) and renumbered densely, with input edges remapped;
-///   - order-insensitive (set) merge inputs are sorted;
-///   - declared source universes are sorted and deduplicated.
-/// Idempotent: NormalizeIr(NormalizeIr(x)) == NormalizeIr(x), and
-/// Dump/ParsePlanIr round-trips are fixpoints of it (property-tested).
-/// A malformed graph (non-dense ids or a non-backward input edge) is
-/// returned as an unmodified copy — rejecting it is TRAC-V000's job.
-PlanIr NormalizeIr(const PlanIr& ir);
-
-/// As NormalizeIr; additionally fills `original_id` so that
-/// (*original_id)[k] is the id node k of the result had in `ir`.
-PlanIr NormalizeIr(const PlanIr& ir, std::vector<size_t>* original_id);
+///
+/// NormalizeIr, the canonicalization both this checker and the cache
+/// fingerprint build on, lives in ir/normalize.h (re-exported via the
+/// include above so existing callers keep compiling).
 
 /// Discharges the four equivalence obligations over a (before, after)
 /// rewrite witness. Diagnostics are anchored at nodes of `after` (the

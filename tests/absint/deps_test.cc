@@ -1,0 +1,113 @@
+// Unit tests for the dependency domain (absint/deps.h): footprint
+// extraction over the plan IR — base tables vs session temp tables,
+// provenance-carried data sources, the staleness-sensitivity bit, and
+// the deterministic ToString rendering the --cache-deps goldens pin.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "absint/absint.h"
+#include "absint/deps.h"
+#include "ir/plan_ir.h"
+
+namespace trac {
+namespace {
+
+using absint::DepFootprint;
+using absint::ExtractDeps;
+
+PlanIr MustParse(const std::string& text) {
+  auto ir = ParsePlanIr(text);
+  EXPECT_TRUE(ir.ok()) << ir.status().ToString();
+  return ir.ok() ? *ir : PlanIr{};
+}
+
+TEST(DepFootprintTest, TablesSortedAndDeduplicated) {
+  const PlanIr ir = MustParse(
+      "ir plan\n"
+      "node 0 scan table=routing snap=3 cols=r.mach_id:d\n"
+      "node 1 scan table=activity snap=3 cols=a.mach_id:d\n"
+      "node 2 scan table=activity snap=3 cols=a.mach_id:d\n"
+      "node 3 merge in=0,1,2 set gen cols=mach_id:d\n");
+  const DepFootprint fp = ExtractDeps(ir);
+  ASSERT_EQ(fp.tables.size(), 2u);
+  EXPECT_EQ(fp.tables[0], "activity");
+  EXPECT_EQ(fp.tables[1], "routing");
+  EXPECT_TRUE(fp.temp_tables.empty());
+  EXPECT_TRUE(fp.ContainsTable("activity"));
+  EXPECT_TRUE(fp.ContainsTable("routing"));
+  EXPECT_FALSE(fp.ContainsTable("heartbeat"));
+}
+
+TEST(DepFootprintTest, TempTablesCollectedSeparately) {
+  const PlanIr ir = MustParse(
+      "ir plan\n"
+      "node 0 scan table=heartbeat snap=3 cols=h.source_id:d\n"
+      "node 1 scan table=sys_temp_a1 snap=3 cols=t.source_id:d\n"
+      "node 2 merge in=0,1 set gen cols=source_id:d\n");
+  const DepFootprint fp = ExtractDeps(ir);
+  ASSERT_EQ(fp.tables.size(), 1u);
+  EXPECT_EQ(fp.tables[0], "heartbeat");
+  ASSERT_EQ(fp.temp_tables.size(), 1u);
+  EXPECT_EQ(fp.temp_tables[0], "sys_temp_a1");
+  // A temp table is a witness of session-locality, not a dependency:
+  // ContainsTable only answers for the durable footprint.
+  EXPECT_FALSE(fp.ContainsTable("sys_temp_a1"));
+}
+
+TEST(DepFootprintTest, AgeAnnotationSetsStalenessSensitive) {
+  const PlanIr plain = MustParse(
+      "ir plan\n"
+      "node 0 scan table=heartbeat snap=3 cols=h.source_id:d\n");
+  EXPECT_FALSE(ExtractDeps(plain).staleness_sensitive);
+
+  const PlanIr aged = MustParse(
+      "ir plan\n"
+      "node 0 scan table=heartbeat snap=3 "
+      "age=1142431200000000..1142431327000000 cols=h.source_id:d\n");
+  EXPECT_TRUE(ExtractDeps(aged).staleness_sensitive);
+}
+
+TEST(DepFootprintTest, SourcesUnionProvenanceAcrossNodes) {
+  // The :d column markers feed the fixpoint's provenance domain; the
+  // footprint unions it over every node.
+  const PlanIr ir = MustParse(
+      "ir plan\n"
+      "node 0 scan table=activity snap=3 cols=a.mach_id:d\n"
+      "node 1 scan table=routing snap=3 cols=r.mach_id:d\n"
+      "node 2 merge in=0,1 set gen cols=mach_id:d\n");
+  const absint::AbsintResult analysis = absint::AnalyzeIr(ir);
+  const DepFootprint fp = ExtractDeps(ir, analysis);
+  EXPECT_FALSE(fp.sources.empty());
+  // The overload running the fixpoint internally agrees.
+  EXPECT_TRUE(ExtractDeps(ir).sources == fp.sources);
+}
+
+TEST(DepFootprintTest, ToStringRendersFourPinnedLines) {
+  const PlanIr ir = MustParse(
+      "ir plan\n"
+      "node 0 scan table=heartbeat snap=3 "
+      "age=1142431200000000..1142431327000000 "
+      "cols=h.source_id:d,h.recency_timestamp:r\n"
+      "node 1 merge in=0 set sorted gen cols=source_id:d\n");
+  const DepFootprint fp = ExtractDeps(ir);
+  const std::string text = fp.ToString();
+  EXPECT_NE(text.find("footprint tables=heartbeat\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("footprint temps=-\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("footprint sources="), std::string::npos) << text;
+  EXPECT_NE(text.find("footprint staleness=sensitive\n"), std::string::npos)
+      << text;
+}
+
+TEST(DepFootprintTest, EmptyFootprintRendersDashes) {
+  DepFootprint fp;
+  const std::string text = fp.ToString();
+  EXPECT_NE(text.find("footprint tables=-\n"), std::string::npos);
+  EXPECT_NE(text.find("footprint temps=-\n"), std::string::npos);
+  EXPECT_NE(text.find("footprint staleness=none\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace trac

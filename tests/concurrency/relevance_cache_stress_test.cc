@@ -1,0 +1,162 @@
+// Concurrency stress for the relevance-result cache: 8 threads hammer
+// one shared RelevanceCache over one Database — most run repeat reports
+// (mixed cache hits), one keeps landing heartbeat arrivals (forced
+// invalidations and insert races). TSan-clean by construction (leaf
+// mutex, copy-out under lock, validation outside), and the accounting
+// invariant must hold *exactly* despite every interleaving:
+//
+//   hits + misses + inadmissible == lookups == total reports,
+//
+// plus every served report must carry a sorted source vector coherent
+// with some committed heartbeat state (spot-checked per hit).
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "core/recency_reporter.h"
+#include "core/relevance.h"
+
+namespace trac {
+namespace {
+
+using testing_util::PaperExampleDb;
+using testing_util::Ts;
+
+TEST(RelevanceCacheStressTest, EightThreadsExactAccounting) {
+  PaperExampleDb fixture;
+  RelevanceCache cache;
+
+  constexpr size_t kReaders = 7;
+  constexpr size_t kReportsPerReader = 40;
+  constexpr size_t kWriterBeats = 60;
+
+  // Two queries cycling per reader: distinct relevance plans, so the
+  // cache holds multiple entries under contention.
+  const std::string sqls[2] = {
+      "SELECT * FROM activity WHERE value = 'idle'",
+      "SELECT * FROM activity WHERE mach_id = 'm1'",
+  };
+
+  std::atomic<size_t> failures{0};
+  std::atomic<bool> writer_done{false};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kReaders + 1);
+  for (size_t t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&, t] {
+      RecencyReporter reporter(&fixture.db, nullptr);
+      RecencyReportOptions options;
+      options.create_temp_tables = false;
+      options.cache = &cache;
+      for (size_t i = 0; i < kReportsPerReader; ++i) {
+        auto report = reporter.Run(sqls[(t + i) % 2], options);
+        if (!report.ok()) {
+          ++failures;
+          continue;
+        }
+        // Served or computed, the vector is sorted by source id — the
+        // cache must never hand back a torn or unsorted payload.
+        const auto& sources = report->relevance.sources;
+        for (size_t k = 1; k < sources.size(); ++k) {
+          if (!(sources[k - 1].source < sources[k].source)) ++failures;
+        }
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    // The writer: heartbeat arrivals move the registry's data epoch,
+    // forcing invalidations and insert-race discards in the readers.
+    for (size_t b = 0; b < kWriterBeats; ++b) {
+      const Status beat = fixture.heartbeat->SetRecency(
+          "m" + std::to_string(1 + (b % 11)),
+          Ts("2006-03-15 15:00:00") +
+              static_cast<int64_t>(b) * Timestamp::kMicrosPerMinute);
+      if (!beat.ok()) ++failures;
+      std::this_thread::yield();
+    }
+    writer_done = true;
+  });
+  for (std::thread& th : threads) th.join();
+  ASSERT_TRUE(writer_done.load());
+  EXPECT_EQ(failures.load(), 0u);
+
+  const RelevanceCache::Stats stats = cache.stats();
+  // Exact totals: each report with a cache wired does exactly one
+  // lookup, and each lookup resolves to exactly one outcome.
+  EXPECT_EQ(stats.lookups, kReaders * kReportsPerReader);
+  EXPECT_EQ(stats.hits + stats.misses + stats.inadmissible, stats.lookups);
+  // Every miss either inserted or was discarded by the race guard;
+  // hits and invalidations never insert.
+  EXPECT_EQ(stats.inserts + stats.insert_discards, stats.misses);
+  // An invalidation is always attached to a miss.
+  EXPECT_LE(stats.invalidations, stats.misses);
+  // The two plans are admissible: nothing may count inadmissible.
+  EXPECT_EQ(stats.inadmissible, 0u);
+  // At most one live entry per distinct plan.
+  EXPECT_LE(stats.entries, 2u);
+
+  // Quiescent epilogue: with the writer stopped, a repeat report must
+  // hit, and its payload must equal a cache-free recomputation.
+  RecencyReporter reporter(&fixture.db, nullptr);
+  RecencyReportOptions options;
+  options.create_temp_tables = false;
+  options.cache = &cache;
+  TRAC_ASSERT_OK_AND_ASSIGN(RecencyReport prime,
+                            reporter.Run(sqls[0], options));
+  TRAC_ASSERT_OK_AND_ASSIGN(RecencyReport warm,
+                            reporter.Run(sqls[0], options));
+  EXPECT_TRUE(warm.relevance_from_cache);
+  RecencyReportOptions cold_options = options;
+  cold_options.cache = nullptr;
+  TRAC_ASSERT_OK_AND_ASSIGN(RecencyReport cold,
+                            reporter.Run(sqls[0], cold_options));
+  EXPECT_EQ(warm.relevance.sources, cold.relevance.sources);
+  EXPECT_EQ(prime.relevance.sources, cold.relevance.sources);
+}
+
+TEST(RelevanceCacheStressTest, ConcurrentInsertsKeepOneCoherentEntry) {
+  // All threads race to insert the same probe computed at their own
+  // snapshot; the slot must end up holding a single coherent entry
+  // (newest snapshot wins, older offers discarded), never a blend.
+  PaperExampleDb fixture;
+  RelevanceCache cache;
+  RelevanceCache::Probe probe;
+  probe.admissible = true;
+  probe.fingerprint = 7;
+  probe.cache_key = "shared-plan";
+  probe.tables = {"heartbeat"};
+  probe.catalog_epoch = fixture.db.catalog().epoch();
+
+  constexpr size_t kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const Snapshot snapshot = fixture.db.LatestSnapshot();
+      std::vector<SourceRecency> payload = {
+          {"m" + std::to_string(t + 1), Ts("2006-03-15 14:20:05")}};
+      for (int i = 0; i < 50; ++i) {
+        cache.Insert(fixture.db, probe, snapshot, payload);
+        cache.Lookup(fixture.db, probe, snapshot);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  const RelevanceCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.hits + stats.misses + stats.inadmissible, stats.lookups);
+  auto served = cache.Lookup(fixture.db, probe, fixture.db.LatestSnapshot());
+  ASSERT_TRUE(served.has_value());
+  // The payload is exactly one thread's offer — single-element, intact.
+  ASSERT_EQ(served->size(), 1u);
+  EXPECT_EQ((*served)[0].recency, Ts("2006-03-15 14:20:05"));
+}
+
+}  // namespace
+}  // namespace trac

@@ -1,0 +1,196 @@
+// Unit tests for the cache-admissibility pass family
+// (verify/admissible.h): one focused case per rule TRAC-V013..V016,
+// the clean path that populates the key/fingerprint/footprint, the
+// malformed-graph rejection, and the multi-part partition shape that
+// must NOT trip V016 (k complete shard partitions of one table).
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "ir/fingerprint.h"
+#include "ir/plan_ir.h"
+#include "verify/admissible.h"
+
+namespace trac {
+namespace {
+
+PlanIr MustParse(const std::string& text) {
+  auto ir = ParsePlanIr(text);
+  EXPECT_TRUE(ir.ok()) << ir.status().ToString();
+  return ir.ok() ? *ir : PlanIr{};
+}
+
+bool HasCode(const VerifyReport& report, VerifyCode code) {
+  for (const VerifyDiagnostic& d : report.diagnostics) {
+    if (d.code == code) return true;
+  }
+  return false;
+}
+
+TEST(CacheAdmissibilityTest, CleanPlanIsAdmissible) {
+  const PlanIr ir = MustParse(
+      "ir relevance\n"
+      "node 0 scan table=heartbeat snap=3 "
+      "age=1142431200000000..1142431327000000 "
+      "cols=h.source_id:d,h.recency_timestamp:r\n"
+      "node 1 merge in=0 set sorted gen cols=source_id:d\n");
+  const CacheAdmissibility adm = AnalyzeCacheAdmissibility(ir);
+  EXPECT_TRUE(adm.admissible) << adm.report.Format(ir);
+  EXPECT_TRUE(adm.report.ok());
+  EXPECT_EQ(adm.cache_key, IrCacheKey(ir));
+  EXPECT_EQ(adm.fingerprint, IrCacheFingerprint(ir));
+  ASSERT_EQ(adm.deps.tables.size(), 1u);
+  EXPECT_EQ(adm.deps.tables[0], "heartbeat");
+  EXPECT_TRUE(adm.deps.staleness_sensitive);
+}
+
+TEST(CacheAdmissibilityTest, V013UnorderedMergeInadmissible) {
+  const PlanIr ir = MustParse(
+      "ir bad\n"
+      "node 0 scan table=heartbeat snap=3 cols=h.source_id:d\n"
+      "node 1 scan table=activity snap=3 cols=a.mach_id:d\n"
+      "node 2 merge in=0,1 gen cols=source_id:d\n");
+  const CacheAdmissibility adm = AnalyzeCacheAdmissibility(ir);
+  EXPECT_FALSE(adm.admissible);
+  EXPECT_TRUE(HasCode(adm.report, VerifyCode::kCacheInadmissibleNode));
+}
+
+TEST(CacheAdmissibilityTest, V013TempTableTouchInadmissible) {
+  const PlanIr ir = MustParse(
+      "ir bad\n"
+      "node 0 scan table=sys_temp_a1 snap=3 cols=t.source_id:d\n"
+      "node 1 merge in=0 set sorted gen cols=source_id:d\n");
+  const CacheAdmissibility adm = AnalyzeCacheAdmissibility(ir);
+  EXPECT_FALSE(adm.admissible);
+  EXPECT_TRUE(HasCode(adm.report, VerifyCode::kCacheInadmissibleNode));
+}
+
+TEST(CacheAdmissibilityTest, V013SessionOwnedNodeInadmissible) {
+  const PlanIr ir = MustParse(
+      "ir bad\n"
+      "node 0 scan table=heartbeat snap=3 session=9 cols=h.source_id:d\n"
+      "node 1 merge in=0 set sorted gen cols=source_id:d\n");
+  const CacheAdmissibility adm = AnalyzeCacheAdmissibility(ir);
+  EXPECT_FALSE(adm.admissible);
+  EXPECT_TRUE(HasCode(adm.report, VerifyCode::kCacheInadmissibleNode));
+}
+
+TEST(CacheAdmissibilityTest, V014UndeclaredTableInDepsSet) {
+  const PlanIr ir = MustParse(
+      "ir bad\n"
+      "node 0 scan table=heartbeat snap=3 deps=heartbeat "
+      "cols=h.source_id:d\n"
+      "node 1 scan table=activity snap=3 cols=a.mach_id:d\n"
+      "node 2 merge in=0,1 set gen cols=source_id:d\n");
+  const CacheAdmissibility adm = AnalyzeCacheAdmissibility(ir);
+  EXPECT_FALSE(adm.admissible);
+  EXPECT_TRUE(HasCode(adm.report, VerifyCode::kCacheDepsIncomplete));
+}
+
+TEST(CacheAdmissibilityTest, V014PlansWithoutDeclarationAreExempt) {
+  // No deps= anywhere: extraction alone governs invalidation, so the
+  // rule has nothing to cross-check.
+  const PlanIr ir = MustParse(
+      "ir ok\n"
+      "node 0 scan table=heartbeat snap=3 cols=h.source_id:d\n"
+      "node 1 scan table=activity snap=3 cols=a.mach_id:d\n"
+      "node 2 merge in=0,1 set gen cols=source_id:d\n");
+  const CacheAdmissibility adm = AnalyzeCacheAdmissibility(ir);
+  EXPECT_FALSE(HasCode(adm.report, VerifyCode::kCacheDepsIncomplete));
+}
+
+TEST(CacheAdmissibilityTest, V015StalenessSensitivePlanNeedsRegistry) {
+  const PlanIr ir = MustParse(
+      "ir bad\n"
+      "node 0 scan table=activity snap=3 "
+      "age=1142431200000000..1142431327000000 cols=a.mach_id:d\n"
+      "node 1 report in=0 cols=a.mach_id:d\n");
+  const CacheAdmissibility adm = AnalyzeCacheAdmissibility(ir);
+  EXPECT_FALSE(adm.admissible);
+  EXPECT_TRUE(HasCode(adm.report, VerifyCode::kCacheRegistryEpochMissing));
+
+  // The same plan under a registry configured to the table it *does*
+  // read is clean: the footprint covers the recency state it quotes.
+  CacheAdmissibilityOptions options;
+  options.registry_table = "activity";
+  EXPECT_FALSE(HasCode(AnalyzeCacheAdmissibility(ir, options).report,
+                       VerifyCode::kCacheRegistryEpochMissing));
+}
+
+TEST(CacheAdmissibilityTest, V016StructurallyMixedShardsUnstable) {
+  const PlanIr ir = MustParse(
+      "ir bad\n"
+      "node 0 scan table=heartbeat snap=3 shard=0/2 "
+      "cols=h.source_id:d,h.recency_timestamp:r\n"
+      "node 1 scan table=heartbeat snap=3 shard=1/2 cols=h.source_id:d\n"
+      "node 2 merge in=0,1 set sorted gen cols=source_id:d\n");
+  const CacheAdmissibility adm = AnalyzeCacheAdmissibility(ir);
+  EXPECT_FALSE(adm.admissible);
+  EXPECT_TRUE(HasCode(adm.report, VerifyCode::kCacheFingerprintUnstable));
+}
+
+TEST(CacheAdmissibilityTest, V016IncompleteShardCoverUnstable) {
+  // Shards 0/2 and 0/2 again: index 1 never appears, so the
+  // decomposition is not a partition of the serial scan.
+  const PlanIr ir = MustParse(
+      "ir bad\n"
+      "node 0 scan table=heartbeat snap=3 shard=0/2 cols=h.source_id:d\n"
+      "node 1 scan table=heartbeat snap=3 shard=0/2 cols=h.source_id:d\n"
+      "node 2 merge in=0,1 set sorted gen cols=source_id:d\n");
+  const CacheAdmissibility adm = AnalyzeCacheAdmissibility(ir);
+  EXPECT_FALSE(adm.admissible);
+  EXPECT_TRUE(HasCode(adm.report, VerifyCode::kCacheFingerprintUnstable));
+}
+
+TEST(CacheAdmissibilityTest, V016AcceptsMultipleCompletePartitions) {
+  // Two plan parts each shard the same table into 2: the group holds
+  // {0,1,0,1} — two complete partitions — which is exactly the shape
+  // the multi-part q2_scan/q5_range relevance plans lower to at
+  // parallelism 4. Must not be flagged.
+  const PlanIr ir = MustParse(
+      "ir ok\n"
+      "node 0 scan table=heartbeat snap=3 shard=0/2 cols=h.source_id:d\n"
+      "node 1 scan table=heartbeat snap=3 shard=1/2 cols=h.source_id:d\n"
+      "node 2 scan table=heartbeat snap=3 shard=0/2 cols=h.source_id:d\n"
+      "node 3 scan table=heartbeat snap=3 shard=1/2 cols=h.source_id:d\n"
+      "node 4 merge in=0,1,2,3 set sorted gen cols=source_id:d\n");
+  const CacheAdmissibility adm = AnalyzeCacheAdmissibility(ir);
+  EXPECT_TRUE(adm.admissible) << adm.report.Format(ir);
+}
+
+TEST(CacheAdmissibilityTest, MalformedGraphYieldsV000) {
+  const CacheAdmissibility empty = AnalyzeCacheAdmissibility(PlanIr{});
+  EXPECT_FALSE(empty.admissible);
+  ASSERT_EQ(empty.report.diagnostics.size(), 1u);
+  EXPECT_EQ(empty.report.diagnostics[0].code, VerifyCode::kMalformedGraph);
+
+  // A dangling input id is structurally broken, not merely inadmissible.
+  const PlanIr dangling = MustParse(
+      "ir bad\n"
+      "node 0 merge in=5 set sorted gen cols=source_id:d\n");
+  const CacheAdmissibility adm = AnalyzeCacheAdmissibility(dangling);
+  EXPECT_FALSE(adm.admissible);
+  EXPECT_TRUE(HasCode(adm.report, VerifyCode::kMalformedGraph));
+}
+
+TEST(CacheAdmissibilityTest, DiagnosticsAreCanonicallyOrdered) {
+  // Two rules fire on one plan; the report must be sorted by
+  // (node, code) like VerifyIr so goldens stay byte-stable.
+  const PlanIr ir = MustParse(
+      "ir bad\n"
+      "node 0 scan table=heartbeat snap=3 deps=heartbeat "
+      "cols=h.source_id:d\n"
+      "node 1 scan table=activity snap=3 cols=a.mach_id:d\n"
+      "node 2 merge in=0,1 gen cols=source_id:d\n");
+  const CacheAdmissibility adm = AnalyzeCacheAdmissibility(ir);
+  EXPECT_FALSE(adm.admissible);
+  for (size_t i = 1; i < adm.report.diagnostics.size(); ++i) {
+    const VerifyDiagnostic& a = adm.report.diagnostics[i - 1];
+    const VerifyDiagnostic& b = adm.report.diagnostics[i];
+    EXPECT_TRUE(a.node < b.node || (a.node == b.node && a.code < b.code));
+  }
+}
+
+}  // namespace
+}  // namespace trac

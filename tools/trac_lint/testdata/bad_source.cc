@@ -8,6 +8,8 @@
 //   no-iostream        — std::cerr in library code
 //   snapshot-acquire   — raw Snapshot{...} outside storage//session.cc
 //   doc-drift          — TRAC-V999 emitted but absent from DESIGN.md
+//   fingerprint-confinement
+//                      — FNV-1a constants re-implemented outside ir/
 
 #include <chrono>
 #include <ctime>
@@ -48,5 +50,14 @@ struct Snapshot {
 Snapshot MintFutureEpoch() { return Snapshot{~0ul}; }
 
 const char* UndocumentedDiagnosticCode() { return "TRAC-V999"; }
+
+unsigned long long ShadowFingerprint(const char* s) {
+  unsigned long long h = 14695981039346656037ull;
+  while (*s != '\0') {
+    h ^= static_cast<unsigned char>(*s++);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
 
 }  // namespace bad

@@ -33,6 +33,13 @@
 //                      tables (found by walking up from the first lint
 //                      root) — a code the docs do not know is a rule
 //                      nobody can look up
+//   fingerprint-confinement
+//                      the 64-bit FNV-1a constants (offset basis and
+//                      prime) appear only under ir/ — every cache
+//                      fingerprint is computed by ir/fingerprint.h's
+//                      Fnv1a64/IrCacheFingerprint, never re-implemented;
+//                      a second hash implementation that drifts would
+//                      silently split identical plans across cache keys
 //   corpus-drift       every fixture under examples/plans/bad/ (found by
 //                      walking up from the first lint root) must be
 //                      referenced — literally or via a glob/${VAR}
@@ -396,6 +403,42 @@ void CheckSnapshotAcquire(const std::string& path,
   }
 }
 
+// --- Rule: fingerprint-confinement -----------------------------------------
+
+/// The FNV-1a 64-bit offset basis and prime. A file mentioning either on
+/// a code line is computing (or re-implementing) the cache fingerprint.
+const char* const kFnvConstantTokens[] = {
+    "14695981039346656037",
+    "1099511628211",
+};
+
+/// True when `path` lives under the ir/ layer, the one owner of
+/// fingerprint computation (ir/fingerprint.{h,cc}).
+bool IsFingerprintOwningPath(const std::string& path) {
+  return path.rfind("ir/", 0) == 0 || path.find("/ir/") != std::string::npos;
+}
+
+void CheckFingerprintConfinement(const std::string& path,
+                                 const std::vector<std::string>& lines) {
+  if (IsFingerprintOwningPath(path)) return;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string trimmed = Trim(lines[i]);
+    if (IsCommentLine(trimmed) ||
+        HasNolint(lines[i], "fingerprint-confinement")) {
+      continue;
+    }
+    for (const char* token : kFnvConstantTokens) {
+      if (trimmed.find(token) != std::string::npos) {
+        Report(path, i + 1, "fingerprint-confinement",
+               std::string("FNV-1a constant ") + token +
+                   " outside ir/; cache fingerprints are computed only by "
+                   "ir/fingerprint.h (call Fnv1a64/IrCacheFingerprint "
+                   "instead of re-implementing the hash)");
+      }
+    }
+  }
+}
+
 // --- Rule: doc-drift -------------------------------------------------------
 
 /// A verifier/analyzer diagnostic identifier ("TRAC-V005", "TRAC-W002").
@@ -603,6 +646,7 @@ void LintFile(const fs::path& file) {
   CheckThrowAbort(path, lines);
   CheckIostream(path, lines);
   CheckSnapshotAcquire(path, lines);
+  CheckFingerprintConfinement(path, lines);
   CollectDiagCodes(path, lines);
 }
 
