@@ -15,6 +15,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "bench_common.h"
 #include "core/relevance.h"
 
@@ -93,6 +95,8 @@ void RunOne(benchmark::State& state, size_t plan_index, size_t threads) {
 
   int64_t total_wall = 0;
   int64_t total_busy = 0;
+  int64_t total_max_task = 0;
+  double total_imbalance = 0.0;
   int64_t n = 0;
   for (auto _ : state) {
     const int64_t t0 = NowMicros();
@@ -105,17 +109,42 @@ void RunOne(benchmark::State& state, size_t plan_index, size_t threads) {
     }
     benchmark::DoNotOptimize(exec->sources);
     total_wall += wall;
-    for (int64_t us : exec->task_micros) total_busy += us;
+    int64_t busy = 0;
+    int64_t max_task = 0;
+    for (int64_t us : exec->task_micros) {
+      busy += us;
+      max_task = std::max(max_task, us);
+    }
+    total_busy += busy;
+    total_max_task += max_task;
+    // Task imbalance: the longest strand over the mean strand. 1.0 is a
+    // perfectly even split; the fan-out can't speed up past
+    // busy / max_task no matter how many cores it gets.
+    if (!exec->task_micros.empty() && busy > 0) {
+      total_imbalance +=
+          static_cast<double>(max_task) * exec->task_micros.size() / busy;
+    }
     ++n;
   }
   const double mean_wall = n > 0 ? static_cast<double>(total_wall) / n : 0.0;
   const double mean_busy = n > 0 ? static_cast<double>(total_busy) / n : 0.0;
+  const double mean_max_task =
+      n > 0 ? static_cast<double>(total_max_task) / n : 0.0;
+  const double mean_imbalance = n > 0 ? total_imbalance / n : 0.0;
   state.counters["wall_us"] = mean_wall;
   state.counters["busy_over_wall"] =
       mean_wall > 0 ? mean_busy / mean_wall : 0.0;
   ResultRegistry::Instance().Record(Key(prepared.name, threads), mean_wall);
   ResultRegistry::Instance().Record(Key(prepared.name, threads) + "/busy",
                                     mean_busy);
+  ResultRegistry::Instance().Record(Key(prepared.name, threads) + "/imbalance",
+                                    mean_imbalance);
+  // Fan-out overhead: wall time past the longest strand — task spawn,
+  // pool scheduling, and the serial merge fold. This, not core count,
+  // is what makes the 2-thread configuration a wash on the short plans.
+  ResultRegistry::Instance().Record(
+      Key(prepared.name, threads) + "/fanout_overhead",
+      mean_wall - mean_max_task);
 }
 
 void PrintSpeedups() {
@@ -126,21 +155,30 @@ void PrintSpeedups() {
       "\n=== Parallel recency-query execution (rows = %zu, sources = %zu, "
       "threads = %zu) ===\n",
       TotalRows(), NumSources(), threads);
-  std::printf("%8s %14s %14s %10s %12s\n", "plan", "serial_us",
-              "parallel_us", "speedup", "busy/wall");
+  std::printf("%8s %14s %14s %10s %12s %11s %12s\n", "plan", "serial_us",
+              "parallel_us", "speedup", "busy/wall", "imbalance",
+              "overhead_us");
   for (const auto& prepared : env.plans) {
     const double serial = reg.Get(Key(prepared.name, 1));
     const double parallel = reg.Get(Key(prepared.name, threads));
     const double busy = reg.Get(Key(prepared.name, threads) + "/busy");
-    std::printf("%8s %14.1f %14.1f %9.2fx %12.2f\n", prepared.name.c_str(),
-                serial, parallel, parallel > 0 ? serial / parallel : 0.0,
-                parallel > 0 ? busy / parallel : 0.0);
+    const double imbalance =
+        reg.Get(Key(prepared.name, threads) + "/imbalance");
+    const double overhead =
+        reg.Get(Key(prepared.name, threads) + "/fanout_overhead");
+    std::printf("%8s %14.1f %14.1f %9.2fx %12.2f %11.2f %12.1f\n",
+                prepared.name.c_str(), serial, parallel,
+                parallel > 0 ? serial / parallel : 0.0,
+                parallel > 0 ? busy / parallel : 0.0, imbalance, overhead);
   }
   std::printf(
       "\nExpected on a >= %zu-core machine: >= 2x on the join queries "
       "(Q3, Q4) whose plans have many independent parts. busy/wall ~= 1 "
       "at %zu threads means the host could not actually run the strands "
-      "concurrently (core-starved), not that the fan-out regressed.\n",
+      "concurrently (core-starved), not that the fan-out regressed. "
+      "imbalance is max/mean strand time (1.0 = even split; the fan-out "
+      "cannot beat busy / max strand); overhead_us is wall minus the "
+      "longest strand — pure spawn/schedule/merge cost.\n",
       threads, threads);
 }
 

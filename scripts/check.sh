@@ -127,6 +127,30 @@ mkdir -p findings
   examples/plans/bad/bad_*.ir examples/plans/bad/absint/bad_*.ir \
   > findings/trac_verify_findings.json
 
+echo "==> trac_profile examples/profiles/ (profiled-session goldens)"
+# Clean corpus: every profiled session must byte-match its golden
+# (deterministic fixed-step clock) and stay free of TRAC-P001; the
+# seeded misestimate fixture must pin its advisory TRAC-P002. The JSON
+# run leaves the machine-readable profile record in findings/ for CI.
+./build/tools/trac_profile --schema examples/profiles/schema.sql \
+  --golden examples/profiles/golden examples/queries/q*.sql
+./build/tools/trac_profile --expect-findings \
+  --golden examples/profiles/golden/bad examples/profiles/bad/bad_*.ir
+./build/tools/trac_profile --json --schema examples/profiles/schema.sql \
+  examples/queries/q*.sql examples/profiles/bad/bad_*.ir \
+  > findings/trac_profile_sessions.json
+[[ -s findings/trac_profile_sessions.json ]] || {
+  echo "missing profile record findings/trac_profile_sessions.json" >&2
+  exit 1
+}
+
+echo "==> profiler-overhead smoke (on vs. off, 5% budget)"
+# DESIGN.md section 5.1's overhead contract: a profiled report batch
+# must stay within 5% of an unprofiled one. Min-of-N at 20k rows so the
+# fixed per-session tail is amortized over realistic query times.
+TRAC_BENCH_ROWS=20000 ./build/bench/bench_profile_overhead \
+  --iters=100 --max-delta-pct=5
+
 echo "==> trac_top examples/telemetry/ (golden dashboard)"
 ./build/tools/trac_top --golden examples/telemetry/trac_top.txt
 
@@ -169,14 +193,15 @@ cmake --preset tsan
 cmake --build --preset tsan -j"$(nproc)" \
   --target scenario_scenario_property_test scenario_scenario_test \
   --target telemetry_fault_telemetry_test monitor_failure_test \
-  --target concurrency_relevance_cache_stress_test
+  --target concurrency_relevance_cache_stress_test \
+  --target property_profile_property_test
 mkdir -p scenario-repro
 TRAC_SCENARIO_SCRIPTS=12 \
 TRAC_SCENARIO_MIN_SOURCES=1000 \
 TRAC_SCENARIO_SOURCES=1000 \
 TRAC_SCENARIO_REPRO_DIR="$PWD/scenario-repro" \
 ctest --preset tsan -R \
-  'scenario_scenario_property_test|scenario_scenario_test|telemetry_fault_telemetry_test|monitor_failure_test|concurrency_relevance_cache_stress_test' \
+  'scenario_scenario_property_test|scenario_scenario_test|telemetry_fault_telemetry_test|monitor_failure_test|concurrency_relevance_cache_stress_test|property_profile_property_test' \
   --output-on-failure
 
 echo "==> absint unit + property suites under UBSan"

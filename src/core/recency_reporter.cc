@@ -51,7 +51,9 @@ void ReadStaticBounds(const PlanIr& ir, StaticBounds* bounds) {
 /// writes — into one IR and gates it on the verifier. Per-plan
 /// verification inside PlanQuery cannot see cross-plan properties (the
 /// single-snapshot rule, session confinement, the rejoin discipline);
-/// this session-level pass can.
+/// this session-level pass can. `session_ir`/`layout`, when non-null,
+/// receive the lowered IR and its subgraph extents so the profiler can
+/// attach runtime counters onto exactly this graph after execution.
 [[nodiscard]] Status VerifyFinishSession(const Database& db,
                                          const Session* session,
                                          const BoundQuery& user_query,
@@ -60,7 +62,9 @@ void ReadStaticBounds(const PlanIr& ir, StaticBounds* bounds) {
                                          const RecencyReportOptions& options,
                                          const PlanningHints& hints,
                                          StaticBounds* bounds,
-                                         RelevanceCache::Probe* probe) {
+                                         RelevanceCache::Probe* probe,
+                                         PlanIr* session_ir,
+                                         SessionLayout* layout) {
   TRAC_ASSIGN_OR_RETURN(QueryPlan user_plan,
                         PlanQuery(db, user_query, snapshot, hints));
   // Plan storage is sized up front so the pointers taken below stay
@@ -102,10 +106,11 @@ void ReadStaticBounds(const PlanIr& ir, StaticBounds* bounds) {
   }
   LowerOptions lower;
   lower.heartbeat_table = options.relevance.heartbeat_table;
-  const PlanIr ir = LowerReportSession(db, input, lower);
+  const PlanIr ir = LowerReportSession(db, input, lower, layout);
   const Status verified = VerifyIrStatus(ir);
   TRAC_DCHECK(verified.ok(), verified.message().c_str());
   if (verified.ok() && bounds != nullptr) ReadStaticBounds(ir, bounds);
+  if (verified.ok() && session_ir != nullptr) *session_ir = ir;
   if (verified.ok() && probe != nullptr) {
     // Cache gate: the cacheable unit is the relevance computation alone
     // (parts + merge, no user query / temp writes), lowered separately
@@ -236,9 +241,18 @@ Result<RecencyReport> RecencyReporter::Finish(
   TraceSpan verify_span(tel.tracer, tel.clock, "verify", trace_id, root.id());
   StaticBounds static_bounds;
   RelevanceCache::Probe cache_probe;
+  // The profiler reuses the verify gate's session lowering: the IR the
+  // runtime counters attach onto is byte-for-byte the graph the verifier
+  // passed, so a drift finding can never be blamed on a second lowering.
+  PlanIr session_ir;
+  SessionLayout session_layout;
+  SessionProfile session_profile;
+  const bool profiling = options.profile;
   const Status verified = VerifyFinishSession(
       *db_, session_, user_query, plan, snapshot, options, hints,
-      &static_bounds, options.cache != nullptr ? &cache_probe : nullptr);
+      &static_bounds, options.cache != nullptr ? &cache_probe : nullptr,
+      profiling ? &session_ir : nullptr,
+      profiling ? &session_layout : nullptr);
   verify_span.End();
   report.static_bounds_computed = static_bounds.computed;
   report.static_staleness_width_micros = static_bounds.staleness_width_micros;
@@ -255,8 +269,11 @@ Result<RecencyReport> RecencyReporter::Finish(
   TraceSpan user_span(tel.tracer, tel.clock, "user-query", trace_id,
                       root.id());
   int64_t t = tel.clock();
-  TRAC_ASSIGN_OR_RETURN(report.result,
-                        ExecuteQuery(*db_, user_query, snapshot, hints));
+  TRAC_ASSIGN_OR_RETURN(
+      report.result,
+      ExecuteQuery(*db_, user_query, snapshot, hints,
+                   profiling ? &session_profile.user : nullptr, tel.clock));
+  session_profile.ran_user = profiling;
   report.user_query_micros = tel.clock() - t;
   user_span.End();
 
@@ -285,6 +302,7 @@ Result<RecencyReport> RecencyReporter::Finish(
     relevance_options.telemetry = options.telemetry;
     relevance_options.trace_id = trace_id;
     relevance_options.parent_span_id = relevance_span.id();
+    relevance_options.profile = profiling;
     t = tel.clock();
     TRAC_ASSIGN_OR_RETURN(
         RecencyExecution exec,
@@ -293,10 +311,14 @@ Result<RecencyReport> RecencyReporter::Finish(
     sources = std::move(exec.sources);
     report.relevance_parallelism = exec.parallelism;
     report.relevance_task_micros = std::move(exec.task_micros);
+    session_profile.tasks = std::move(exec.task_profiles);
+    session_profile.premerge_rows = exec.premerge_rows;
+    session_profile.merge_micros = exec.merge_micros;
     if (options.cache != nullptr) {
       options.cache->Insert(*db_, cache_probe, snapshot, sources);
     }
   }
+  session_profile.merged_rows = sources.size();
   relevance_span.set_relevant_sources(static_cast<int64_t>(sources.size()));
   relevance_span.End();
   root.set_relevant_sources(static_cast<int64_t>(sources.size()));
@@ -319,6 +341,9 @@ Result<RecencyReport> RecencyReporter::Finish(
   report.stats = ComputeRecencyStats(std::move(sources), options.stats);
   report.stats_micros = tel.clock() - t;
   stats_span.End();
+  session_profile.stats_micros = report.stats_micros;
+  session_profile.normal_rows = report.stats.normal.size();
+  session_profile.exceptional_rows = report.stats.exceptional.size();
 
   // PR 1's ad-hoc timing fields stay on the struct (benches read them),
   // but the canonical record is now the phase histograms below.
@@ -374,6 +399,33 @@ Result<RecencyReport> RecencyReporter::Finish(
         report.exceptional_temp_table,
         session_->CreateTempTable("sys_temp_e", columns,
                                   make_rows(report.stats.exceptional)));
+  }
+
+  if (profiling) {
+    // Write the runtime counters back onto the verified session IR, run
+    // the estimate-drift pass over the annotated graph, and preserve the
+    // whole profiled session in the flight recorder.
+    report.profiled_nodes =
+        AttachSessionProfile(&session_ir, session_layout, session_profile);
+    report.profiled_ir = session_ir.Dump();
+    report.profile_drift = AnalyzeProfileDrift(session_ir);
+    SessionProfileRecord record;
+    record.trace_id = trace_id;
+    record.snapshot = snapshot.version;
+    record.profiled_ir = report.profiled_ir;
+    record.annotated_nodes = report.profiled_nodes;
+    for (const ProfileDiagnostic& d : report.profile_drift) {
+      if (d.code == ProfileCode::kActualOutsideStaticBounds) {
+        ++record.p001_count;
+      } else if (d.code == ProfileCode::kMisestimate) {
+        ++record.p002_count;
+      }
+    }
+    ResolveFlightRecorder(tel).Record(std::move(record));
+    tel.metrics
+        ->GetCounter("trac_profile_sessions_total",
+                     "Report sessions profiled into the flight recorder")
+        ->Increment();
   }
   return report;
 }

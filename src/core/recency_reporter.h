@@ -10,6 +10,7 @@
 #include "core/relevance.h"
 #include "core/session.h"
 #include "exec/executor.h"
+#include "telemetry/profile.h"
 #include "telemetry/telemetry.h"
 
 namespace trac {
@@ -44,6 +45,14 @@ struct RecencyReportOptions {
   /// report recomputes. The cache may be shared across reporters and
   /// threads.
   RelevanceCache* cache = nullptr;
+  /// Collect a per-operator execution profile for the session
+  /// (telemetry/profile.h), attach it onto the session IR as
+  /// actual_rows=/actual_ns= annotations (RecencyReport::profiled_ir),
+  /// run the TRAC-P estimate-drift pass over it, and record the session
+  /// into the flight recorder. On by default: the collector is a set of
+  /// plain counters, and the stage clock reads go through the telemetry
+  /// bundle's ClockFn.
+  bool profile = true;
 };
 
 /// Everything the paper's recencyReport() table function returns: the
@@ -101,6 +110,19 @@ struct RecencyReport {
   /// The report's span tree in the tracer
   /// (Tracer::DumpTraceJson(trace_id) renders it).
   uint64_t trace_id = 0;
+
+  /// The session IR with runtime actual_rows=/actual_ns= annotations
+  /// attached (options.profile; empty when profiling was disabled).
+  /// Round-trips through ParsePlanIr — a profiled session is a plain
+  /// corpus artifact.
+  std::string profiled_ir;
+  /// Estimate-drift findings over `profiled_ir`: TRAC-P001 (an actual
+  /// outside the proven static cardinality interval — a soundness bug,
+  /// asserted empty by the scenario-harness oracle) and TRAC-P002
+  /// (scan misestimate advisory for the cost model).
+  std::vector<ProfileDiagnostic> profile_drift;
+  /// IR nodes that received runtime annotations.
+  size_t profiled_nodes = 0;
 
   /// Formats the paper's NOTICE block (exceptional table, least/most
   /// recent source, bound of inconsistency, normal table).

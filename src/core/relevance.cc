@@ -313,21 +313,35 @@ struct RecencyTaskResult {
   Status status = Status::OK();
   std::vector<std::pair<std::string, Timestamp>> rows;
   int64_t micros = 0;
+  /// Per-operator profile under options.profile. One slot per task, so
+  /// each strand writes only its own — race-free by construction.
+  TaskProfile profile;
 };
 
 /// Runs one plan part the same way the serial path always has: guards
 /// first (any empty guard kills the part), then the main query.
+/// `profile`, when non-null, collects one ExecProfile per executed
+/// guard plus the main query's; `clock` enables its stage timings.
 void RunPartTask(const Database& db, const RecencyQueryPlan::Part& part,
-                 Snapshot snapshot, RecencyTaskResult* out) {
+                 Snapshot snapshot, TaskProfile* profile, ClockFn clock,
+                 RecencyTaskResult* out) {
   for (const BoundQuery& guard : part.guards) {
-    Result<bool> nonempty = QueryHasResults(db, guard, snapshot);
+    ExecProfile* gprof = nullptr;
+    if (profile != nullptr) {
+      profile->guards.emplace_back();
+      gprof = &profile->guards.back();
+    }
+    Result<bool> nonempty = QueryHasResults(db, guard, snapshot, gprof, clock);
     if (!nonempty.ok()) {
       out->status = nonempty.status();
       return;
     }
     if (!*nonempty) return;
   }
-  Result<ResultSet> rs = ExecuteQuery(db, part.query, snapshot);
+  Result<ResultSet> rs =
+      ExecuteQuery(db, part.query, snapshot, PlanningHints(),
+                   profile != nullptr ? &profile->main : nullptr, clock);
+  if (profile != nullptr) profile->ran_main = rs.ok();
   if (!rs.ok()) {
     out->status = rs.status();
     return;
@@ -398,9 +412,12 @@ size_t PlannedHeartbeatShards(const Database& db,
     const RecencyQueryPlan::Part* part;
     bool shard = false;
     size_t begin_idx = 0, end_idx = 0;
+    size_t part_idx = 0;   ///< Index into plan.parts.
+    size_t shard_idx = 0;  ///< Shard ordinal within the part.
   };
   std::vector<TaskSpec> specs;
-  for (const RecencyQueryPlan::Part& part : plan.parts) {
+  for (size_t pi = 0; pi < plan.parts.size(); ++pi) {
+    const RecencyQueryPlan::Part& part = plan.parts[pi];
     if (IsPureHeartbeatScan(part)) {
       // Serial execution takes this path too (as a single shard), so a
       // serial-vs-parallel comparison measures fan-out, never a change
@@ -413,13 +430,14 @@ size_t PlannedHeartbeatShards(const Database& db,
       const size_t n = table->num_versions();
       const size_t shards = PlannedHeartbeatShards(db, part, parallelism);
       const size_t chunk = (n + shards - 1) / shards;
+      size_t shard_idx = 0;
       for (size_t lo = 0; lo < n || lo == 0; lo += chunk) {
         specs.push_back(TaskSpec{&part, /*shard=*/true, lo,
-                                 std::min(n, lo + chunk)});
+                                 std::min(n, lo + chunk), pi, shard_idx++});
         if (chunk == 0) break;
       }
     } else {
-      specs.push_back(TaskSpec{&part});
+      specs.push_back(TaskSpec{&part, /*shard=*/false, 0, 0, pi, 0});
     }
   }
 
@@ -438,23 +456,30 @@ size_t PlannedHeartbeatShards(const Database& db,
   // One result slot per task: no shared mutable state between strands —
   // every task reads the shared immutable plan/snapshot and writes only
   // its own slot.
+  const bool profiling = options.profile;
   std::vector<RecencyTaskResult> results(specs.size());
   std::vector<std::function<void()>> tasks;
   tasks.reserve(specs.size());
   for (size_t i = 0; i < specs.size(); ++i) {
-    tasks.push_back([&db, &specs, &results, snapshot, i, clock,
+    tasks.push_back([&db, &specs, &results, snapshot, i, clock, profiling,
                      task_histogram, tracer, trace_id, parent_span_id] {
       const TaskSpec& spec = specs[i];
       RecencyTaskResult* out = &results[i];
+      out->profile.part = spec.part_idx;
+      out->profile.shard = spec.shard_idx;
+      out->profile.sharded = spec.shard;
       const int64_t t0 = clock();
       if (spec.shard) {
         RunHeartbeatShardTask(db, *spec.part, snapshot, spec.begin_idx,
                               spec.end_idx, out);
       } else {
-        RunPartTask(db, *spec.part, snapshot, out);
+        RunPartTask(db, *spec.part, snapshot,
+                    profiling ? &out->profile : nullptr, clock, out);
       }
       const int64_t t1 = clock();
       out->micros = t1 - t0;
+      out->profile.micros = out->micros;
+      out->profile.rows = out->rows.size();
       task_histogram->Observe(out->micros);
       if (tracer != nullptr) {
         // Built from the same t0/t1 as out->micros, so the span durations
@@ -479,18 +504,22 @@ size_t PlannedHeartbeatShards(const Database& db,
 
   RecencyExecution exec;
   exec.parallelism = parallelism;
+  const int64_t merge_t0 = profiling ? clock() : 0;
   std::map<std::string, Timestamp> merged;
-  for (const RecencyTaskResult& result : results) {
+  for (RecencyTaskResult& result : results) {
     TRAC_RETURN_IF_ERROR(result.status);
     for (const auto& [source, ts] : result.rows) {
       merged.emplace(source, ts);
     }
+    exec.premerge_rows += result.rows.size();
     exec.task_micros.push_back(result.micros);
+    if (profiling) exec.task_profiles.push_back(std::move(result.profile));
   }
   exec.sources.reserve(merged.size());
   for (auto& [source, ts] : merged) {
     exec.sources.push_back(SourceRecency{source, ts});
   }
+  if (profiling) exec.merge_micros = clock() - merge_t0;
   return exec;
 }
 

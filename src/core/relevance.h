@@ -16,6 +16,7 @@
 #include "predicate/normalize.h"
 #include "predicate/satisfiability.h"
 #include "storage/database.h"
+#include "telemetry/profile.h"
 #include "verify/admissible.h"
 
 namespace trac {
@@ -51,6 +52,13 @@ struct RelevanceOptions {
   /// Pool supplying the helper threads; nullptr = ThreadPool::Shared()
   /// when parallelism > 1. Ignored when parallelism <= 1.
   ThreadPool* pool = nullptr;
+
+  /// Collect per-operator execution profiles (telemetry/profile.h) for
+  /// every task into RecencyExecution::task_profiles. Off by default —
+  /// profiling is requested by the reporter, which owns the session IR
+  /// the profiles attach onto. Each task writes only its own profile
+  /// slot, so collection is race-free at any parallelism.
+  bool profile = false;
 };
 
 /// The generated recency queries for a user query — one per
@@ -147,6 +155,15 @@ struct RecencyExecution {
   std::vector<SourceRecency> sources;
   std::vector<int64_t> task_micros;
   size_t parallelism = 1;  ///< Strands actually requested (clamped >= 1).
+
+  /// Per-task operator profiles, parallel to `task_micros`, when
+  /// options.profile was set; empty otherwise.
+  std::vector<TaskProfile> task_profiles;
+  /// Rows the tasks fed into the set merge (pre-dedup); always counted.
+  uint64_t premerge_rows = 0;
+  /// Wall time of the dedup merge fold; measured only under
+  /// options.profile (the unprofiled path takes no extra clock reads).
+  int64_t merge_micros = 0;
 };
 [[nodiscard]] Result<RecencyExecution> ExecuteRecencyQueriesDetailed(
     const Database& db, const RecencyQueryPlan& plan, Snapshot snapshot,

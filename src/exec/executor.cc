@@ -8,6 +8,7 @@
 #include "expr/binder.h"
 #include "expr/evaluator.h"
 #include "telemetry/metrics.h"
+#include "telemetry/profile.h"
 #include "verify/verifier.h"
 
 namespace trac {
@@ -54,14 +55,45 @@ struct LevelState {
 class Execution {
  public:
   Execution(const Database& db, const BoundQuery& query, Snapshot snapshot,
-            const QueryPlan& plan, size_t row_limit)
+            const QueryPlan& plan, size_t row_limit, ExecProfile* profile,
+            ClockFn clock)
       : db_(db),
         query_(query),
         snapshot_(snapshot),
         plan_(plan),
-        row_limit_(row_limit) {}
+        row_limit_(row_limit),
+        profile_(profile),
+        // Clock reads are gated on a sink being attached: without one
+        // the timings would be dropped anyway, and the unprofiled path
+        // must stay free of time syscalls.
+        clock_(profile != nullptr ? clock : nullptr) {}
 
   [[nodiscard]] Result<ResultSet> Run() {
+    // The structure flags are derived from the same plan fields the
+    // lowering's node grammar keys on (ir/lower.cc), so the attach walk
+    // in telemetry/profile.cc can re-derive the exact node sequence.
+    prof_.levels.resize(plan_.levels.size());
+    for (size_t i = 0; i < plan_.levels.size(); ++i) {
+      const LevelPlan& lp = plan_.levels[i];
+      prof_.levels[i].has_filter =
+          lp.use_local_index || !lp.local_preds.empty();
+      if (i > 0) prof_.levels[i].has_level_filter = !lp.level_preds.empty();
+    }
+    prof_.has_const_filter =
+        !plan_.constant_preds.empty() || plan_.provably_empty;
+    prof_.has_agg = query_.count_star || !query_.aggregates.empty();
+    prof_.invocations = 1;
+
+    const int64_t t0 = clock_ != nullptr ? clock_() : 0;
+    Result<ResultSet> result = RunQuery();
+    if (clock_ != nullptr) prof_.total_ns = (clock_() - t0) * 1000;
+    if (result.ok()) prof_.output_rows = result->rows.size();
+    if (profile_ != nullptr) *profile_ = std::move(prof_);
+    return result;
+  }
+
+ private:
+  [[nodiscard]] Result<ResultSet> RunQuery() {
     ResultSet result;
     if (query_.count_star) {
       result.column_names.push_back("count");
@@ -205,11 +237,17 @@ class Execution {
     LevelState& state = levels_[i];
     const LevelPlan& lp = *state.plan;
     const size_t rel = lp.relation;
+    ExecProfile::Level& lprof = prof_.levels[i];
+    const int64_t t0 = clock_ != nullptr ? clock_() : 0;
 
     auto consider = [&](const Row& row) -> Status {
+      ++lprof.scan_rows;
       tuple_[rel] = &row;
       TRAC_ASSIGN_OR_RETURN(bool ok, PassesPreds(lp.local_preds));
-      if (ok) state.rows.push_back(&row);
+      if (ok) {
+        ++lprof.filter_rows;
+        state.rows.push_back(&row);
+      }
       return Status::OK();
     };
 
@@ -262,6 +300,7 @@ class Execution {
       }
     }
     state.prepared = true;
+    if (clock_ != nullptr) lprof.prepare_ns = (clock_() - t0) * 1000;
     return Status::OK();
   }
 
@@ -273,9 +312,13 @@ class Execution {
     const size_t rel = lp.relation;
 
     auto try_row = [&](const Row& row) -> Status {
+      ++prof_.levels[depth].join_rows;
       tuple_[rel] = &row;
       TRAC_ASSIGN_OR_RETURN(bool ok, PassesPreds(lp.level_preds));
-      if (ok) TRAC_RETURN_IF_ERROR(RunLevel(depth + 1));
+      if (ok) {
+        ++prof_.levels[depth].level_rows;
+        TRAC_RETURN_IF_ERROR(RunLevel(depth + 1));
+      }
       tuple_[rel] = nullptr;
       return Status::OK();
     };
@@ -285,6 +328,7 @@ class Execution {
       Status status = Status::OK();
       auto consider = [&](const Row& row) {
         if (!status.ok() || done_) return;
+        ++prof_.levels[0].scan_rows;
         tuple_[rel] = &row;
         Result<bool> ok = PassesPreds(lp.local_preds);
         if (!ok.ok()) {
@@ -292,6 +336,7 @@ class Execution {
           return;
         }
         if (*ok) {
+          ++prof_.levels[0].filter_rows;
           Status s = RunLevel(1);
           if (!s.ok()) status = s;
         }
@@ -338,6 +383,7 @@ class Execution {
         if (!status.ok()) return;
         const RowVersion& v = state.table->version(vidx);
         if (!state.table->Visible(v, snapshot_)) return;
+        ++prof_.levels[depth].scan_rows;
         tuple_[rel] = &v.values;
         // Remaining equi keys.
         for (size_t k = 1; k < lp.equi_keys.size(); ++k) {
@@ -352,6 +398,7 @@ class Execution {
         }
         Result<bool> ok = PassesPreds(lp.local_preds);
         if (ok.ok() && *ok) {
+          ++prof_.levels[depth].filter_rows;
           Status s = try_row(v.values);
           if (!s.ok()) status = s;
         } else if (!ok.ok()) {
@@ -398,6 +445,7 @@ class Execution {
   }
 
   [[nodiscard]] Status Emit() {
+    ++prof_.emitted_rows;
     if (query_.count_star) {
       ++count_;
       if (row_limit_ != 0 && static_cast<size_t>(count_) >= row_limit_) {
@@ -475,6 +523,14 @@ class Execution {
   size_t row_limit_ = 0;  // 0: unlimited.
   bool done_ = false;
 
+  /// Row counters accumulate here unconditionally (plain increments on
+  /// this stack-local state — no branch, no sharing); the result is
+  /// copied out to `profile_` once at the end of Run(). `clock_` is
+  /// non-null only when a sink is attached.
+  ExecProfile prof_;
+  ExecProfile* const profile_ = nullptr;
+  const ClockFn clock_ = nullptr;
+
   std::vector<LevelState> levels_;
   TupleView tuple_;
   /// Accumulator for one aggregate select-list item.
@@ -540,14 +596,17 @@ class Execution {
 
 [[nodiscard]] Result<ResultSet> ExecuteQuery(const Database& db, const BoundQuery& query,
                                Snapshot snapshot,
-                               const PlanningHints& hints) {
-  return ExecuteQueryWithLimit(db, query, snapshot, /*row_limit=*/0, hints);
+                               const PlanningHints& hints,
+                               ExecProfile* profile, ClockFn clock) {
+  return ExecuteQueryWithLimit(db, query, snapshot, /*row_limit=*/0, hints,
+                               profile, clock);
 }
 
 [[nodiscard]] Result<ResultSet> ExecuteQueryWithLimit(const Database& db,
                                         const BoundQuery& query,
                                         Snapshot snapshot, size_t row_limit,
-                                        const PlanningHints& hints) {
+                                        const PlanningHints& hints,
+                                        ExecProfile* profile, ClockFn clock) {
   static Counter* queries_executed = MetricRegistry::Default().GetCounter(
       "trac_queries_executed_total",
       "Bound queries executed (user, recency, and guard queries)");
@@ -560,14 +619,17 @@ class Execution {
   const Status reverified = VerifyPlan(db, query, plan, snapshot);
   TRAC_DCHECK(reverified.ok(), reverified.message().c_str());
 #endif
-  Execution exec(db, query, snapshot, plan, row_limit);
+  Execution exec(db, query, snapshot, plan, row_limit, profile, clock);
   return exec.Run();
 }
 
 [[nodiscard]] Result<bool> QueryHasResults(const Database& db, const BoundQuery& query,
-                             Snapshot snapshot) {
+                             Snapshot snapshot, ExecProfile* profile,
+                             ClockFn clock) {
   TRAC_ASSIGN_OR_RETURN(ResultSet rs,
-                        ExecuteQueryWithLimit(db, query, snapshot, 1));
+                        ExecuteQueryWithLimit(db, query, snapshot, 1,
+                                              PlanningHints(), profile,
+                                              clock));
   if (query.count_star) return rs.count() > 0;
   return rs.num_rows() > 0;
 }

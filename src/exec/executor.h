@@ -5,6 +5,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/result.h"
 #include "exec/planner.h"
 #include "expr/bound_expr.h"
@@ -12,6 +13,8 @@
 #include "storage/snapshot.h"
 
 namespace trac {
+
+struct ExecProfile;  // telemetry/profile.h
 
 /// A fully materialized query result.
 struct ResultSet {
@@ -36,9 +39,17 @@ struct ResultSet {
 /// *same* snapshot, which yields the consistency guarantee of
 /// Section 3.2. `hints` forwards static-analysis results to the planner
 /// (a proven-unsatisfiable predicate short-circuits to an empty result).
+///
+/// `profile`, when non-null, receives per-operator row counters for the
+/// execution (telemetry/profile.h); `clock` additionally enables stage
+/// timings (pass the telemetry bundle's ClockFn — clock reads happen
+/// only when a profile sink is attached, keeping the unprofiled path
+/// free of time syscalls).
 [[nodiscard]] Result<ResultSet> ExecuteQuery(const Database& db, const BoundQuery& query,
                                Snapshot snapshot,
-                               const PlanningHints& hints = PlanningHints());
+                               const PlanningHints& hints = PlanningHints(),
+                               ExecProfile* profile = nullptr,
+                               ClockFn clock = nullptr);
 
 /// As above, but stops as soon as `row_limit` output rows (or counted
 /// tuples, for COUNT(*)) have been produced. Powers EXISTS-style guard
@@ -47,12 +58,16 @@ struct ResultSet {
                                         const BoundQuery& query,
                                         Snapshot snapshot, size_t row_limit,
                                         const PlanningHints& hints =
-                                            PlanningHints());
+                                            PlanningHints(),
+                                        ExecProfile* profile = nullptr,
+                                        ClockFn clock = nullptr);
 
 /// True iff the query produces at least one tuple under `snapshot`;
-/// evaluation stops at the first one.
+/// evaluation stops at the first one. `profile`/`clock` as above.
 [[nodiscard]] Result<bool> QueryHasResults(const Database& db, const BoundQuery& query,
-                             Snapshot snapshot);
+                             Snapshot snapshot,
+                             ExecProfile* profile = nullptr,
+                             ClockFn clock = nullptr);
 
 /// Parse + bind + execute against the latest snapshot.
 [[nodiscard]] Result<ResultSet> ExecuteSql(const Database& db, std::string_view sql);

@@ -50,6 +50,12 @@ PlanIr CacheCanonicalIr(const PlanIr& ir) {
     n.age_hi = 0;
     n.has_bound = false;
     n.notice_bound_micros = 0;
+    // Runtime profile annotations are observations of one execution,
+    // never part of what the plan computes.
+    n.has_actual_rows = false;
+    n.actual_rows = 0;
+    n.has_actual_ns = false;
+    n.actual_ns = 0;
     // Collapse shard decomposition: a shard scan reads one slice of the
     // same rows the whole-table scan reads, so after this rewrite the k
     // shard scans of one table are structurally identical and the

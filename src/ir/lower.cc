@@ -290,13 +290,15 @@ size_t LowerQueryInto(PlanIr* ir, const Database& db, const BoundQuery& query,
 size_t LowerPartsAndMergeInto(PlanIr* ir, const Database& db,
                               const ReportSessionInput& input,
                               const LowerOptions& options,
-                              const AgeRange& age) {
+                              const AgeRange& age,
+                              SessionLayout* layout = nullptr) {
   // Every recency part: sharded heartbeat scans, or the part's plan
   // subgraph, gated by its guard subgraphs.
   std::vector<size_t> part_tops;
   std::vector<IrColumn> source_cols;
   for (const SessionPartInput& part : input.parts) {
     const BoundQuery& q = *part.query;
+    SessionLayout::Part layout_part;
     if (source_cols.empty()) {
       for (const BoundQuery::OutputColumn& out : q.outputs) {
         source_cols.push_back(IrColumn{
@@ -324,19 +326,30 @@ size_t LowerPartsAndMergeInto(PlanIr* ir, const Database& db,
         }
         AnnotateScan(&scan, db, q.relations[0].table_id, age, options);
         part_tops.push_back(scan.id);
+        layout_part.shard_scan_ids.push_back(scan.id);
       }
+      layout_part.sharded = true;
+      if (layout != nullptr) layout->parts.push_back(std::move(layout_part));
       continue;
     }
     // EXISTS guards execute before the part's main query, so they lower
     // first (IR node order is execution order).
     std::vector<size_t> guard_tops;
     for (size_t g = 0; g < part.guard_queries.size(); ++g) {
+      SessionLayout::QueryRange range;
+      range.begin = ir->nodes.size();
       guard_tops.push_back(LowerQueryInto(
           ir, db, *part.guard_queries[g], *part.guard_plans[g],
           input.snapshot, options, /*generated=*/true, age));
+      range.end = ir->nodes.size();
+      range.top = guard_tops.back();
+      layout_part.guards.push_back(range);
     }
+    layout_part.main.begin = ir->nodes.size();
     size_t part_top = LowerQueryInto(ir, db, q, *part.plan, input.snapshot,
                                      options, /*generated=*/true, age);
+    layout_part.main.end = ir->nodes.size();
+    layout_part.main.top = part_top;
     if (!guard_tops.empty()) {
       // The part's rows flow only if every guard is non-empty, modeled
       // as a gating filter fed by the part and the guard roots.
@@ -347,8 +360,11 @@ size_t LowerPartsAndMergeInto(PlanIr* ir, const Database& db,
       for (size_t g : guard_tops) gate.inputs.push_back(g);
       gate.columns = cols;
       part_top = gate.id;
+      layout_part.has_gate = true;
+      layout_part.gate_id = gate.id;
     }
     part_tops.push_back(part_top);
+    if (layout != nullptr) layout->parts.push_back(std::move(layout_part));
   }
 
   // The deterministic rejoin: an order-insensitive set merge keyed on
@@ -366,6 +382,7 @@ size_t LowerPartsAndMergeInto(PlanIr* ir, const Database& db,
         IrColumn{"recency_timestamp", ColumnProvenance::kRegular});
   }
   merge.columns = source_cols;
+  if (layout != nullptr) layout->merge_id = merge.id;
   return merge.id;
 }
 
@@ -383,7 +400,7 @@ PlanIr LowerQueryPlan(const Database& db, const BoundQuery& query,
 }
 
 PlanIr LowerReportSession(const Database& db, const ReportSessionInput& input,
-                          const LowerOptions& options) {
+                          const LowerOptions& options, SessionLayout* layout) {
   PlanIr ir;
   ir.label = "report_session";
   const AgeRange age = HeartbeatAgeRange(db, input.snapshot, options);
@@ -392,9 +409,15 @@ PlanIr LowerReportSession(const Database& db, const ReportSessionInput& input,
   const size_t user_top =
       LowerQueryInto(&ir, db, *input.user_query, *input.user_plan,
                      input.snapshot, options, /*generated=*/false, age);
+  if (layout != nullptr) {
+    layout->user.begin = 0;
+    layout->user.end = ir.nodes.size();
+    layout->user.top = user_top;
+  }
 
   // 2+3. Every recency part and their deterministic set-merge rejoin.
-  const size_t merge_id = LowerPartsAndMergeInto(&ir, db, input, options, age);
+  const size_t merge_id =
+      LowerPartsAndMergeInto(&ir, db, input, options, age, layout);
 
   // 4. Temp-table writes (sys_temp_a*/sys_temp_e*).
   const std::vector<std::string> declared = DeclaredSourceUniverse(db, options);
@@ -408,6 +431,7 @@ PlanIr LowerReportSession(const Database& db, const ReportSessionInput& input,
     write.columns = ir.nodes[merge_id].columns;
     write.declared_sources = declared;
     report_inputs.push_back(write.id);
+    if (layout != nullptr) layout->tempwrite_ids.push_back(write.id);
   }
   if (input.temp_writes.empty()) report_inputs.push_back(merge_id);
 
@@ -422,6 +446,7 @@ PlanIr LowerReportSession(const Database& db, const ReportSessionInput& input,
     report.has_bound = true;
     report.notice_bound_micros = age.hi - age.lo;
   }
+  if (layout != nullptr) layout->report_id = report.id;
   return ir;
 }
 

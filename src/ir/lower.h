@@ -56,13 +56,44 @@ struct ReportSessionInput {
   Snapshot snapshot;      ///< The one snapshot every read is pinned to.
 };
 
+/// Node-id extents of the subgraphs a session lowering emitted. Lowering
+/// is append-only, so every subgraph occupies one contiguous id range
+/// [begin, end) whose last node is its dataflow root — which is what
+/// lets the profiler (telemetry/profile.h) map executor-side counters
+/// back onto exactly the nodes the session IR lowered for them.
+struct SessionLayout {
+  struct QueryRange {
+    size_t begin = 0;  ///< First node id of the subgraph.
+    size_t end = 0;    ///< One past the last node id.
+    size_t top = 0;    ///< Root node id (== end - 1).
+  };
+  QueryRange user;
+  struct Part {
+    /// Pure-heartbeat fan-out: `shard_scan_ids` instead of plan ranges.
+    bool sharded = false;
+    std::vector<size_t> shard_scan_ids;
+    /// Unsharded: guard subgraphs (execution order), then the main
+    /// query's subgraph, then the optional gating filter.
+    std::vector<QueryRange> guards;
+    QueryRange main;
+    bool has_gate = false;
+    size_t gate_id = 0;
+  };
+  std::vector<Part> parts;
+  size_t merge_id = 0;
+  std::vector<size_t> tempwrite_ids;
+  size_t report_id = 0;
+};
+
 /// Lowers a full report session: the user query subgraph, every recency
 /// part (sharded scans or its plan subgraph, guards as gating filters),
 /// the deterministic set merge of all parts, the temp-table writes, and
 /// the final report node consuming the user result and the sources.
-/// Recency-side nodes are marked `generated`.
+/// Recency-side nodes are marked `generated`. `layout`, when non-null,
+/// receives the node-id extents of every subgraph emitted.
 PlanIr LowerReportSession(const Database& db, const ReportSessionInput& input,
-                          const LowerOptions& options = LowerOptions());
+                          const LowerOptions& options = LowerOptions(),
+                          SessionLayout* layout = nullptr);
 
 /// Lowers only the cacheable unit of a report session: the recency
 /// parts and their deterministic set merge (label "relevance"). The

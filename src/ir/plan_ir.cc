@@ -181,6 +181,10 @@ std::string PlanIr::Dump() const {
       out += " bound=" + std::to_string(n.notice_bound_micros);
     }
     if (n.generated) out += " gen";
+    if (n.has_actual_rows) {
+      out += " actual_rows=" + std::to_string(n.actual_rows);
+    }
+    if (n.has_actual_ns) out += " actual_ns=" + std::to_string(n.actual_ns);
     if (!n.columns.empty()) {
       out += " cols=";
       for (size_t i = 0; i < n.columns.size(); ++i) {
@@ -382,6 +386,14 @@ std::string PlanIr::Dump() const {
         TRAC_ASSIGN_OR_RETURN(node.session, parse_u64("session", value));
       } else if (key == "gen") {
         node.generated = true;
+      } else if (key == "actual_rows") {
+        TRAC_ASSIGN_OR_RETURN(node.actual_rows,
+                              parse_u64("actual_rows", value));
+        node.has_actual_rows = true;
+      } else if (key == "actual_ns") {
+        TRAC_ASSIGN_OR_RETURN(uint64_t ns, parse_u64("actual_ns", value));
+        node.actual_ns = static_cast<int64_t>(ns);
+        node.has_actual_ns = true;
       } else if (key == "cols") {
         for (const std::string& piece : SplitOn(value, ',')) {
           const size_t colon = piece.rfind(':');

@@ -148,6 +148,16 @@ struct IrNode {
   /// recency part, its merge, temp writes, the report node) rather than
   /// to the user's own query.
   bool generated = false;
+
+  /// Runtime profile annotations (telemetry/profile.h): rows this node
+  /// actually produced and busy time actually attributed to it, written
+  /// back onto the session IR after execution. Absent on nodes that did
+  /// not execute (cache-served parts, guard-suppressed parts) — the
+  /// drift pass (TRAC-P001/P002) only judges annotated nodes.
+  bool has_actual_rows = false;
+  uint64_t actual_rows = 0;
+  bool has_actual_ns = false;
+  int64_t actual_ns = 0;
 };
 
 /// True for session temp-table names (sys_temp_a*/sys_temp_e*).

@@ -7,6 +7,8 @@
 
 namespace trac {
 
+class FlightRecorder;  // telemetry/profile.h
+
 /// The bundle a layer needs to self-report: where metrics go, where
 /// spans go, and what time it is. Passed by pointer through options
 /// structs; a null pointer means "use the process defaults" (resolve
@@ -16,6 +18,10 @@ struct Telemetry {
   MetricRegistry* metrics = nullptr;
   Tracer* tracer = nullptr;
   ClockFn clock = nullptr;
+  /// Session flight recorder (telemetry/profile.h); nullptr = the
+  /// process default (resolve with ResolveFlightRecorder — defined
+  /// there, since the recorder type lives above this header's layer).
+  FlightRecorder* recorder = nullptr;
 
   /// The process-wide default bundle (Default registry + tracer,
   /// monotonic clock).

@@ -169,6 +169,38 @@ TEST(PlanIrTest, TempTableNameClassifier) {
   EXPECT_FALSE(IsTempTableName("heartbeat"));
 }
 
+TEST(PlanIrTest, ActualAnnotationsRoundTrip) {
+  // A profiled session IR: runtime actuals ride after the static
+  // attributes and before cols=, and survive Dump/Parse byte-exactly.
+  const char kProfiled[] =
+      "ir profiled\n"
+      "node 0 scan table=activity snap=7 rows=131 actual_rows=3 "
+      "actual_ns=2000000 cols=a.mach_id:d\n"
+      "node 1 filter in=0 actual_rows=2 cols=a.mach_id:d\n"
+      "node 2 report in=1 actual_rows=2 actual_ns=1000000 cols=a.mach_id:d\n";
+  auto parsed = ParsePlanIr(kProfiled);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Dump(), kProfiled);
+
+  ASSERT_TRUE(parsed->nodes[0].has_actual_rows);
+  EXPECT_EQ(parsed->nodes[0].actual_rows, 3u);
+  ASSERT_TRUE(parsed->nodes[0].has_actual_ns);
+  EXPECT_EQ(parsed->nodes[0].actual_ns, 2000000);
+  // actual_rows without actual_ns is legal (row-only annotations).
+  ASSERT_TRUE(parsed->nodes[1].has_actual_rows);
+  EXPECT_FALSE(parsed->nodes[1].has_actual_ns);
+  // Unannotated estimate state is untouched by the runtime fields.
+  EXPECT_TRUE(parsed->nodes[0].has_rows);
+  EXPECT_EQ(parsed->nodes[0].rows, 131u);
+  EXPECT_FALSE(parsed->nodes[1].has_rows);
+}
+
+TEST(PlanIrTest, ActualAnnotationParseErrors) {
+  EXPECT_FALSE(
+      ParsePlanIr("ir x\nnode 0 scan snap=1 actual_rows=abc\n").ok());
+  EXPECT_FALSE(ParsePlanIr("ir x\nnode 0 scan snap=1 actual_ns=\n").ok());
+}
+
 TEST(PlanIrTest, AddAssignsDenseIds) {
   PlanIr ir;
   ir.label = "built";

@@ -8,6 +8,8 @@
 #include <utility>
 
 #include "expr/binder.h"
+#include "ir/plan_ir.h"
+#include "telemetry/profile.h"
 
 namespace trac {
 namespace oracle {
@@ -457,6 +459,49 @@ OracleOutcome CheckStaticBounds(const RecencyReport& report) {
   return out;
 }
 
+OracleOutcome CheckProfileSoundness(const RecencyReport& report) {
+  OracleOutcome out;
+  if (report.profiled_ir.empty()) {
+    ++out.exemptions;  // Profiling disabled for this report.
+    return out;
+  }
+  Result<PlanIr> parsed = ParsePlanIr(report.profiled_ir);
+  ++out.checks;
+  if (!parsed.ok()) {
+    Violation(&out, "profiled session IR does not re-parse: " +
+                        parsed.status().ToString());
+    return out;
+  }
+  ++out.checks;
+  if (parsed->Dump() != report.profiled_ir) {
+    Violation(&out,
+              "profiled session IR does not round-trip byte-exactly "
+              "through Dump/ParsePlanIr");
+  }
+  size_t annotated = 0;
+  for (const IrNode& node : parsed->nodes) {
+    if (node.has_actual_rows || node.has_actual_ns) ++annotated;
+  }
+  ++out.checks;
+  if (annotated == 0) {
+    Violation(&out, "profiled session IR carries no runtime annotations");
+  }
+  // Re-run the drift pass on the *parsed* IR: this exercises the whole
+  // artifact path, not just the in-memory annotations.
+  for (const ProfileDiagnostic& d : AnalyzeProfileDrift(*parsed)) {
+    if (d.code != ProfileCode::kActualOutsideStaticBounds) continue;
+    ++out.checks;
+    Violation(&out, "profile soundness: " + d.Format());
+  }
+  ++out.checks;
+  for (const ProfileDiagnostic& d : report.profile_drift) {
+    if (d.code == ProfileCode::kActualOutsideStaticBounds) {
+      Violation(&out, "report carries a TRAC-P001 finding: " + d.Format());
+    }
+  }
+  return out;
+}
+
 OracleOutcome CheckCacheCoherence(const Database& db,
                                   const std::string& user_sql,
                                   const RecencyReport& report,
@@ -531,6 +576,7 @@ OracleOutcome CheckReport(const ScenarioRunner& runner,
   out.Merge(CheckZscoreAgreement(report.stats));
   out.Merge(CheckGuarantee(report, true_sources));
   out.Merge(CheckStaticBounds(report));
+  out.Merge(CheckProfileSoundness(report));
   return out;
 }
 

@@ -83,6 +83,16 @@ OracleOutcome CheckTrace(const Tracer& tracer, const RecencyReport& report);
 /// fixpoint, e.g. an empty registry) are counted exempt.
 OracleOutcome CheckStaticBounds(const RecencyReport& report);
 
+/// Oracle — profile soundness. A profiled report (options.profile, the
+/// default) must yield a profiled session IR that (a) re-parses and
+/// round-trips byte-exactly through Dump/ParsePlanIr, (b) carries at
+/// least one runtime annotation, and (c) produces no TRAC-P001 drift
+/// finding — an actual_rows outside the abstract interpreter's proven
+/// cardinality interval would mean the static analysis (or the profiler
+/// attribution) is unsound. TRAC-P002 misestimate advisories are
+/// allowed. Unprofiled reports are counted exempt.
+OracleOutcome CheckProfileSoundness(const RecencyReport& report);
+
 /// Oracle — cache coherence. A report whose relevance result was served
 /// from the RelevanceCache (report.relevance_from_cache) must be
 /// byte-identical to a cold recomputation of the same user SQL at the
@@ -99,8 +109,8 @@ OracleOutcome CheckCacheCoherence(const Database& db,
                                   const RecencyReport& report,
                                   const RecencyReportOptions& options);
 
-/// Composite: oracles 1-3 plus the static-bounds oracle for one report
-/// (`true_sources` as in CheckGuarantee).
+/// Composite: oracles 1-3 plus the static-bounds and profile-soundness
+/// oracles for one report (`true_sources` as in CheckGuarantee).
 OracleOutcome CheckReport(const ScenarioRunner& runner,
                           const RecencyReport& report,
                           const std::vector<std::string>& true_sources);

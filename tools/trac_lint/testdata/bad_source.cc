@@ -7,7 +7,10 @@
 //   no-throw-abort     — throw and std::abort() outside common/dcheck.h
 //   no-iostream        — std::cerr in library code
 //   snapshot-acquire   — raw Snapshot{...} outside storage//session.cc
-//   doc-drift          — TRAC-V999 emitted but absent from DESIGN.md
+//   doc-drift          — TRAC-V999 and TRAC-P999 emitted but absent
+//                        from DESIGN.md (one per documented namespace:
+//                        static verifier codes and runtime profiler
+//                        codes must both resolve in the rule tables)
 //   fingerprint-confinement
 //                      — FNV-1a constants re-implemented outside ir/
 
@@ -50,6 +53,8 @@ struct Snapshot {
 Snapshot MintFutureEpoch() { return Snapshot{~0ul}; }
 
 const char* UndocumentedDiagnosticCode() { return "TRAC-V999"; }
+
+const char* UndocumentedProfilerCode() { return "TRAC-P999"; }
 
 unsigned long long ShadowFingerprint(const char* s) {
   unsigned long long h = 14695981039346656037ull;

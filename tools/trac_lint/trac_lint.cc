@@ -28,7 +28,7 @@
 //                      bypasses the acquire-ordered counter; take
 //                      Database::LatestSnapshot() or thread an existing
 //                      Snapshot through)
-//   doc-drift          every TRAC-V###/TRAC-W### diagnostic code emitted
+//   doc-drift          every TRAC-V###/TRAC-W###/TRAC-P### diagnostic code emitted
 //                      on a code line must appear in the DESIGN.md rule
 //                      tables (found by walking up from the first lint
 //                      root) — a code the docs do not know is a rule
@@ -441,10 +441,11 @@ void CheckFingerprintConfinement(const std::string& path,
 
 // --- Rule: doc-drift -------------------------------------------------------
 
-/// A verifier/analyzer diagnostic identifier ("TRAC-V005", "TRAC-W002").
+/// A verifier/analyzer/profiler diagnostic identifier ("TRAC-V005",
+/// "TRAC-W002", "TRAC-P001").
 /// Deliberately three digits: the "TRAC-V???" fallback string and prose
 /// mentions of rule families never match.
-const std::regex kDiagCodeRe(R"(TRAC-[VW][0-9]{3})");
+const std::regex kDiagCodeRe(R"(TRAC-[VWP][0-9]{3})");
 
 struct CodeSite {
   std::string file;

@@ -32,8 +32,10 @@
 
 #include "core/recency_reporter.h"
 #include "core/session.h"
+#include "ir/plan_ir.h"
 #include "monitor/staleness.h"
 #include "storage/database.h"
+#include "telemetry/profile.h"
 #include "telemetry/telemetry.h"
 #include "workload/eval_workload.h"
 
@@ -130,6 +132,11 @@ int main(int argc, char** argv) {
   // dashboard scrapes that; only the clock is swappable.
   trac::Telemetry telemetry = trac::Telemetry::Default();
   if (flags.deterministic) telemetry.clock = &FakeNowMicros;
+  // Per-run flight recorder: the slowest-operators row reads the last
+  // profiled session from here, not from whatever the process default
+  // accumulated.
+  trac::FlightRecorder recorder;
+  telemetry.recorder = &recorder;
 
   trac::Database db;
   trac::EvalWorkloadOptions workload_options;
@@ -259,6 +266,46 @@ int main(int argc, char** argv) {
            " inadmissible=" + std::to_string(cache_stats.inadmissible) +
            " invalidations=" + std::to_string(cache_stats.invalidations) +
            " entries=" + std::to_string(cache_stats.entries) + "\n";
+
+    // The flight recorder's newest session: the per-operator profile
+    // of the last report, ranked by attributed busy time.
+    out += "\n-- slowest operators (last profiled session) --\n";
+    const std::vector<trac::SessionProfileRecord> sessions =
+        recorder.Entries();
+    if (sessions.empty()) {
+      out += "  (no profiled sessions)\n";
+    } else {
+      const trac::SessionProfileRecord& last = sessions.back();
+      out += "  sessions recorded=" +
+             std::to_string(recorder.total_recorded()) +
+             " retained=" + std::to_string(sessions.size()) +
+             " annotated=" + std::to_string(last.annotated_nodes) +
+             " p001=" + std::to_string(last.p001_count) +
+             " p002=" + std::to_string(last.p002_count) + "\n";
+      auto profiled = trac::ParsePlanIr(last.profiled_ir);
+      if (profiled.ok()) {
+        std::vector<const trac::IrNode*> ranked;
+        for (const trac::IrNode& node : profiled->nodes) {
+          if (node.has_actual_ns || node.has_actual_rows)
+            ranked.push_back(&node);
+        }
+        std::stable_sort(ranked.begin(), ranked.end(),
+                         [](const trac::IrNode* a, const trac::IrNode* b) {
+                           if (a->actual_ns != b->actual_ns)
+                             return a->actual_ns > b->actual_ns;
+                           if (a->actual_rows != b->actual_rows)
+                             return a->actual_rows > b->actual_rows;
+                           return a->id < b->id;
+                         });
+        for (size_t i = 0; i < ranked.size() && i < flags.topk; ++i) {
+          const trac::IrNode& node = *ranked[i];
+          out += "  node " + std::to_string(node.id) + " (" +
+                 std::string(trac::IrNodeKindToString(node.kind)) +
+                 ")  actual_ns=" + std::to_string(node.actual_ns) +
+                 "  actual_rows=" + std::to_string(node.actual_rows) + "\n";
+        }
+      }
+    }
 
     out += "\n-- last report span tree --\n";
     out += telemetry.tracer->DumpTraceJson(last_trace_id);
